@@ -1,0 +1,375 @@
+//! Finite domains: encoding integers as blocks of BDD variables.
+//!
+//! BLQ-style analyses encode relations like *points-to ⊆ Var × Loc* as BDDs
+//! over several integer domains. As in BuDDy's `fdd` layer, the bits of all
+//! domains created together are **interleaved** in the variable order, which
+//! keeps the relation BDDs small when the related values are correlated —
+//! the property Berndl et al. identify as essential for performance.
+
+use crate::manager::{Bdd, BddManager, CubeId};
+
+/// A finite domain: a block of BDD variables encoding integers
+/// `0..capacity`.
+///
+/// Bit 0 of [`Domain::vars`] is the most significant bit and has the
+/// smallest variable index of the domain.
+///
+/// # Example
+///
+/// ```
+/// use ant_bdd::BddManager;
+///
+/// let mut m = BddManager::new();
+/// let doms = m.new_interleaved_domains(&[256, 256]);
+/// let (v, o) = (doms[0].clone(), doms[1].clone());
+/// // The tuple (v=3, o=17) as a BDD over both domains.
+/// let t = m.tuple(&[(&v, 3), (&o, 17)]);
+/// let row = m.domain_value(&v, 3);
+/// let mut anded = m.and(t, row);
+/// assert_eq!(anded, t); // t implies v=3
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Domain {
+    id: u32,
+    bits: Vec<u32>,
+    capacity: u64,
+}
+
+impl Domain {
+    /// Number of bits in the encoding.
+    pub fn num_bits(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Exclusive upper bound on encodable values.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The BDD variable indices of this domain, most significant first.
+    pub fn vars(&self) -> &[u32] {
+        &self.bits
+    }
+
+    /// Position of `var` within this domain's bits, if it belongs to it.
+    fn bit_of(&self, var: u32) -> Option<usize> {
+        self.bits.iter().position(|&b| b == var)
+    }
+}
+
+impl BddManager {
+    /// Creates a group of domains whose bits are interleaved in the variable
+    /// order: bit `k` of every domain precedes bit `k+1` of every domain.
+    ///
+    /// All domains in the group receive the same number of bits (enough for
+    /// the largest capacity), which is what makes cross-domain equality and
+    /// renaming relations linear-sized.
+    pub fn new_interleaved_domains(&mut self, capacities: &[u64]) -> Vec<Domain> {
+        assert!(!capacities.is_empty(), "need at least one domain");
+        let max_cap = capacities.iter().copied().max().expect("non-empty");
+        let nbits = bits_for(max_cap);
+        let ndoms = u32::try_from(capacities.len()).expect("too many domains");
+        let base = self.num_vars();
+        self.ensure_vars(base + nbits * ndoms);
+        capacities
+            .iter()
+            .enumerate()
+            .map(|(j, &cap)| {
+                assert!(cap >= 1, "domain capacity must be at least 1");
+                let j32 = u32::try_from(j).expect("domain index");
+                Domain {
+                    id: self.fresh_domain_id(),
+                    bits: (0..nbits).map(|b| base + b * ndoms + j32).collect(),
+                    capacity: cap,
+                }
+            })
+            .collect()
+    }
+
+    /// The BDD encoding `domain == value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the domain.
+    pub fn domain_value(&mut self, d: &Domain, value: u64) -> Bdd {
+        assert!(value < d.capacity, "value {value} outside domain");
+        let nbits = d.bits.len();
+        let mut f = Bdd::ONE;
+        // Build bottom-up: from the largest variable (LSB) to the smallest.
+        for (i, &var) in d.bits.iter().enumerate().rev() {
+            let bit_set = value >> (nbits - 1 - i) & 1 == 1;
+            f = if bit_set {
+                self.mk_checked(var, Bdd::ZERO, f)
+            } else {
+                self.mk_checked(var, f, Bdd::ZERO)
+            };
+        }
+        f
+    }
+
+    /// A conjunction of `domain == value` constraints — a relation tuple.
+    pub fn tuple(&mut self, assignments: &[(&Domain, u64)]) -> Bdd {
+        let mut f = Bdd::ONE;
+        for &(d, v) in assignments {
+            let dv = self.domain_value(d, v);
+            f = self.and(f, dv);
+        }
+        f
+    }
+
+    /// The quantification cube containing all bits of `d`.
+    pub fn domain_cube(&mut self, d: &Domain) -> CubeId {
+        self.register_cube(d.bits.clone())
+    }
+
+    /// The quantification cube for several domains at once.
+    pub fn domains_cube(&mut self, ds: &[&Domain]) -> CubeId {
+        let mut vars = Vec::new();
+        for d in ds {
+            vars.extend_from_slice(&d.bits);
+        }
+        self.register_cube(vars)
+    }
+
+    /// The equality relation `a == b` between two same-width domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domains have different bit widths.
+    pub fn domain_equals(&mut self, a: &Domain, b: &Domain) -> Bdd {
+        assert_eq!(
+            a.bits.len(),
+            b.bits.len(),
+            "equality requires same-width domains"
+        );
+        let mut f = Bdd::ONE;
+        // Conjoin bit-equalities from LSB upwards so intermediate BDDs stay
+        // small under the interleaved order.
+        for i in (0..a.bits.len()).rev() {
+            let av = self.var(a.bits[i]);
+            let bv = self.var(b.bits[i]);
+            let x = self.xor(av, bv);
+            let eq = self.not(x);
+            f = self.and(f, eq);
+        }
+        f
+    }
+
+    /// Renames the `from` domain to the `to` domain in `f`, i.e.
+    /// `∃ from. f ∧ (from == to)` — BuDDy's `bdd_replace`, expressed with the
+    /// relational product so that it is correct for any variable order.
+    pub fn rename(&mut self, f: Bdd, from: &Domain, to: &Domain) -> Bdd {
+        let eq = self.domain_equals(from, to);
+        let cube = self.domain_cube(from);
+        self.relprod(f, eq, cube)
+    }
+
+    /// Tests whether `value` satisfies `f` when every variable outside `d`
+    /// is treated as "don't care" (i.e. whether the value is in the set
+    /// `f` denotes over `d`).
+    pub fn domain_contains(&self, f: Bdd, d: &Domain, value: u64) -> bool {
+        let nbits = d.bits.len();
+        self.eval(f, |var| match d.bit_of(var) {
+            Some(i) => value >> (nbits - 1 - i) & 1 == 1,
+            None => panic!("domain_contains: function depends on foreign variable {var}"),
+        })
+    }
+
+    /// Enumerates the values of `d` contained in `f`, ascending — BuDDy's
+    /// `bdd_allsat` restricted to one domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` depends on variables outside `d`.
+    pub fn domain_values(&self, f: Bdd, d: &Domain) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.values_rec(f, d, 0, 0, &mut out);
+        out
+    }
+
+    fn values_rec(&self, f: Bdd, d: &Domain, bit: usize, acc: u64, out: &mut Vec<u64>) {
+        if f.is_zero() {
+            return;
+        }
+        let nbits = d.bits.len();
+        if bit == nbits {
+            assert!(
+                f.is_one(),
+                "domain_values: function depends on variables outside the domain"
+            );
+            out.push(acc);
+            return;
+        }
+        let expected = d.bits[bit];
+        let weight = 1u64 << (nbits - 1 - bit);
+        let fvar = self.root_var(f);
+        if !f.is_terminal() && fvar == expected {
+            self.values_rec(self.low(f), d, bit + 1, acc, out);
+            self.values_rec(self.high(f), d, bit + 1, acc + weight, out);
+        } else {
+            assert!(
+                f.is_terminal() || fvar > expected,
+                "domain_values: function depends on variables outside the domain"
+            );
+            // Don't-care bit: both settings satisfy f.
+            self.values_rec(f, d, bit + 1, acc, out);
+            self.values_rec(f, d, bit + 1, acc + weight, out);
+        }
+    }
+
+    /// Number of values of `d` in `f` (BuDDy's `bdd_satcount` over one
+    /// domain). Cheaper than materializing [`domain_values`](Self::domain_values).
+    pub fn domain_len(&self, f: Bdd, d: &Domain) -> u64 {
+        self.sat_count(f, &d.bits)
+    }
+
+    fn mk_checked(&mut self, var: u32, low: Bdd, high: Bdd) -> Bdd {
+        // `domain_value` builds strictly bottom-up, so plain ITE on a fresh
+        // variable is safe and cheap here.
+        let v = self.var(var);
+        self.ite(v, high, low)
+    }
+}
+
+fn bits_for(capacity: u64) -> u32 {
+    let mut bits = 1;
+    while 1u64.checked_shl(bits).is_none_or(|c| c < capacity) {
+        bits += 1;
+        assert!(bits <= 63, "domain capacity too large");
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_capacities() {
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(1 << 20), 20);
+    }
+
+    #[test]
+    fn interleaving_layout() {
+        let mut m = BddManager::new();
+        let doms = m.new_interleaved_domains(&[16, 16]);
+        assert_eq!(doms[0].vars(), &[0, 2, 4, 6]);
+        assert_eq!(doms[1].vars(), &[1, 3, 5, 7]);
+        assert_eq!(m.num_vars(), 8);
+        // A second group continues after the first.
+        let more = m.new_interleaved_domains(&[4]);
+        assert_eq!(more[0].vars(), &[8, 9]);
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let mut m = BddManager::new();
+        let d = m.new_interleaved_domains(&[100])[0].clone();
+        for v in [0u64, 1, 2, 50, 99] {
+            let f = m.domain_value(&d, v);
+            assert!(m.domain_contains(f, &d, v));
+            for w in [0u64, 1, 2, 50, 99] {
+                assert_eq!(m.domain_contains(f, &d, w), v == w);
+            }
+            assert_eq!(m.domain_values(f, &d), vec![v]);
+            assert_eq!(m.domain_len(f, &d), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn value_bound_checked() {
+        let mut m = BddManager::new();
+        let d = m.new_interleaved_domains(&[100])[0].clone();
+        let _ = m.domain_value(&d, 100);
+    }
+
+    #[test]
+    fn union_of_values_enumerates_sorted() {
+        let mut m = BddManager::new();
+        let d = m.new_interleaved_domains(&[64])[0].clone();
+        let vals = [9u64, 3, 63, 0, 32];
+        let mut f = Bdd::ZERO;
+        for &v in &vals {
+            let fv = m.domain_value(&d, v);
+            f = m.or(f, fv);
+        }
+        assert_eq!(m.domain_values(f, &d), vec![0, 3, 9, 32, 63]);
+        assert_eq!(m.domain_len(f, &d), 5);
+    }
+
+    #[test]
+    fn dont_care_compression_enumerates_fully() {
+        let mut m = BddManager::new();
+        let d = m.new_interleaved_domains(&[8])[0].clone();
+        // {0..8} collapses to the constant ONE over 3 bits.
+        let mut f = Bdd::ZERO;
+        for v in 0..8 {
+            let fv = m.domain_value(&d, v);
+            f = m.or(f, fv);
+        }
+        assert!(f.is_one());
+        assert_eq!(m.domain_values(f, &d), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tuples_and_rename() {
+        let mut m = BddManager::new();
+        let doms = m.new_interleaved_domains(&[32, 32]);
+        let (a, b) = (doms[0].clone(), doms[1].clone());
+        // f = (a=5) — rename to b.
+        let f = m.domain_value(&a, 5);
+        let g = m.rename(f, &a, &b);
+        assert_eq!(g, m.domain_value(&b, 5));
+        // A two-column relation: {(1,2),(3,4)}; project column b.
+        let t1 = m.tuple(&[(&a, 1), (&b, 2)]);
+        let t2 = m.tuple(&[(&a, 3), (&b, 4)]);
+        let rel = m.or(t1, t2);
+        let cube_a = m.domain_cube(&a);
+        let proj = m.exists(rel, cube_a);
+        assert_eq!(m.domain_values(proj, &b), vec![2, 4]);
+    }
+
+    #[test]
+    fn relprod_joins_relations() {
+        let mut m = BddManager::new();
+        let doms = m.new_interleaved_domains(&[16, 16, 16]);
+        let (x, y, z) = (doms[0].clone(), doms[1].clone(), doms[2].clone());
+        // R1(x,y) = {(1,2),(1,3)}, R2(y,z) = {(2,9),(3,7),(4,0)}
+        let mut r1 = Bdd::ZERO;
+        for (a, b) in [(1, 2), (1, 3)] {
+            let t = m.tuple(&[(&x, a), (&y, b)]);
+            r1 = m.or(r1, t);
+        }
+        let mut r2 = Bdd::ZERO;
+        for (b, c) in [(2, 9), (3, 7), (4, 0)] {
+            let t = m.tuple(&[(&y, b), (&z, c)]);
+            r2 = m.or(r2, t);
+        }
+        let cube_y = m.domain_cube(&y);
+        let joined = m.relprod(r1, r2, cube_y); // {(1,9),(1,7)} over (x,z)
+        let cube_x = m.domain_cube(&x);
+        let zs = m.exists(joined, cube_x);
+        assert_eq!(m.domain_values(zs, &z), vec![7, 9]);
+    }
+
+    #[test]
+    fn equality_relation() {
+        let mut m = BddManager::new();
+        let doms = m.new_interleaved_domains(&[8, 8]);
+        let (a, b) = (doms[0].clone(), doms[1].clone());
+        let eq = m.domain_equals(&a, &b);
+        assert_eq!(m.sat_count(eq, &[0, 1, 2, 3, 4, 5]), 8);
+        let t_eq = m.tuple(&[(&a, 5), (&b, 5)]);
+        let t_ne = m.tuple(&[(&a, 5), (&b, 6)]);
+        let i1 = m.and(eq, t_eq);
+        let i2 = m.and(eq, t_ne);
+        assert_eq!(i1, t_eq);
+        assert!(i2.is_zero());
+    }
+}

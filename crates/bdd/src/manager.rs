@@ -1,0 +1,734 @@
+//! The BDD node table and core operations.
+
+use ant_common::fx::FxHashMap;
+
+/// A handle to a BDD node. Handles are only meaningful together with the
+/// [`BddManager`] that created them.
+///
+/// Because nodes are hash-consed, two handles are equal **iff** they denote
+/// the same boolean function — set equality is a single integer comparison.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The constant `false` (the empty set).
+    pub const ZERO: Bdd = Bdd(0);
+    /// The constant `true`.
+    pub const ONE: Bdd = Bdd(1);
+
+    /// Returns `true` if this is the constant `false`.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if this is the constant `true`.
+    #[inline]
+    pub fn is_one(self) -> bool {
+        self.0 == 1
+    }
+
+    /// Returns `true` if this is `false` or `true`.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+/// Sentinel level for the two terminal nodes; compares greater than every
+/// real variable.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    var: u32,
+    low: u32,
+    high: u32,
+}
+
+/// A registered set of variables to quantify over (BuDDy's "varset"/cube).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CubeId(u32);
+
+/// Operation tags for the shared memo cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+enum Op {
+    Ite = 1,
+    Exists = 2,
+    Relprod = 3,
+}
+
+/// BuDDy-style direct-mapped, lossy operation cache: far faster than an
+/// exact hash map, and collisions merely cost a recomputation.
+#[derive(Clone, Debug)]
+struct OpCache {
+    entries: Vec<CacheEntry>,
+    mask: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CacheEntry {
+    a: u32,
+    b: u32,
+    c: u32,
+    op: u8,
+    result: u32,
+}
+
+const EMPTY_ENTRY: CacheEntry = CacheEntry {
+    a: u32::MAX,
+    b: u32::MAX,
+    c: u32::MAX,
+    op: 0,
+    result: 0,
+};
+
+impl OpCache {
+    fn new(log2: u32) -> Self {
+        let size = 1usize << log2;
+        OpCache {
+            entries: vec![EMPTY_ENTRY; size],
+            mask: size - 1,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, op: Op, a: u32, b: u32, c: u32) -> usize {
+        let mut h = (a as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((b as u64).rotate_left(21))
+            .wrapping_add((c as u64).rotate_left(42))
+            .wrapping_add(op as u64);
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+        (h >> 13) as usize & self.mask
+    }
+
+    #[inline]
+    fn get(&self, op: Op, a: u32, b: u32, c: u32) -> Option<u32> {
+        let e = &self.entries[self.slot(op, a, b, c)];
+        (e.op == op as u8 && e.a == a && e.b == b && e.c == c).then_some(e.result)
+    }
+
+    #[inline]
+    fn put(&mut self, op: Op, a: u32, b: u32, c: u32, result: u32) {
+        let slot = self.slot(op, a, b, c);
+        self.entries[slot] = CacheEntry {
+            a,
+            b,
+            c,
+            op: op as u8,
+            result,
+        };
+    }
+
+    fn clear(&mut self) {
+        self.entries.fill(EMPTY_ENTRY);
+    }
+
+    /// Double the table (lossy — old entries are dropped) up to a cap.
+    fn maybe_grow(&mut self, nodes: usize) {
+        let len = self.entries.len();
+        if nodes > len && len < (1 << 23) {
+            *self = OpCache::new((len.trailing_zeros()) + 1);
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<CacheEntry>()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Cube {
+    /// Sorted variable indices.
+    vars: Vec<u32>,
+    /// Largest variable in the cube (`0` if empty).
+    max: u32,
+}
+
+impl Cube {
+    #[inline]
+    fn contains(&self, var: u32) -> bool {
+        self.vars.binary_search(&var).is_ok()
+    }
+}
+
+/// A shared BDD node table with memoized operations.
+///
+/// The manager owns every node; all operations hash-cons through a unique
+/// table so that each boolean function has exactly one handle. There is no
+/// garbage collection: the analyses in this workspace run to a fixpoint and
+/// then drop the whole manager, which mirrors how the paper pre-allocates a
+/// BuDDy pool for the duration of a run.
+///
+/// # Example
+///
+/// ```
+/// use ant_bdd::BddManager;
+///
+/// let mut m = BddManager::new();
+/// m.ensure_vars(2);
+/// let x0 = m.var(0);
+/// let x1 = m.var(1);
+/// let f = m.or(x0, x1);
+/// let g = m.not(f);
+/// let h = m.and(g, x0);
+/// assert!(h.is_zero()); // ¬(x0 ∨ x1) ∧ x0 = false
+/// ```
+#[derive(Clone, Debug)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: FxHashMap<(u32, u32, u32), u32>,
+    cache: OpCache,
+    cubes: Vec<Cube>,
+    num_vars: u32,
+    next_domain_id: u32,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Creates a manager with no variables.
+    pub fn new() -> Self {
+        Self::with_capacity(1 << 12)
+    }
+
+    /// Creates a manager with a pre-sized node pool, mirroring BuDDy's
+    /// up-front pool allocation.
+    pub fn with_capacity(nodes: usize) -> Self {
+        let mut m = BddManager {
+            nodes: Vec::with_capacity(nodes.max(2)),
+            unique: FxHashMap::default(),
+            cache: OpCache::new(16),
+            cubes: Vec::new(),
+            num_vars: 0,
+            next_domain_id: 0,
+        };
+        // Slot 0 = false, slot 1 = true.
+        m.nodes.push(Node {
+            var: TERMINAL_VAR,
+            low: 0,
+            high: 0,
+        });
+        m.nodes.push(Node {
+            var: TERMINAL_VAR,
+            low: 1,
+            high: 1,
+        });
+        m
+    }
+
+    /// Number of boolean variables declared so far.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Declares variables so that indices `0..n` are valid.
+    pub fn ensure_vars(&mut self, n: u32) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    pub(crate) fn fresh_domain_id(&mut self) -> u32 {
+        let id = self.next_domain_id;
+        self.next_domain_id += 1;
+        id
+    }
+
+    /// Total nodes allocated (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Heap bytes owned by the node table and operation caches.
+    pub fn heap_bytes(&self) -> usize {
+        let node = std::mem::size_of::<Node>();
+        // Unique table: key + value + ~1 byte control per slot (hashbrown),
+        // over-approximated by capacity.
+        self.nodes.capacity() * node
+            + self.unique.capacity() * (12 + 4 + 8)
+            + self.cache.heap_bytes()
+    }
+
+    /// Drops the memoization cache (the unique table is kept — dropping it
+    /// would break canonicity).
+    pub fn clear_caches(&mut self) {
+        self.cache.clear();
+    }
+
+    #[inline]
+    fn node(&self, f: Bdd) -> Node {
+        self.nodes[f.0 as usize]
+    }
+
+    /// Variable index at the root of `f`; terminals report `u32::MAX`.
+    #[inline]
+    pub fn root_var(&self, f: Bdd) -> u32 {
+        self.node(f).var
+    }
+
+    /// Low (else) child of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn low(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_terminal(), "terminal node has no children");
+        Bdd(self.node(f).low)
+    }
+
+    /// High (then) child of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn high(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_terminal(), "terminal node has no children");
+        Bdd(self.node(f).high)
+    }
+
+    /// Hash-consing constructor: returns the canonical node `(var, low, high)`.
+    fn mk(&mut self, var: u32, low: Bdd, high: Bdd) -> Bdd {
+        if low == high {
+            return low;
+        }
+        debug_assert!(var < self.node(low).var && var < self.node(high).var);
+        let key = (var, low.0, high.0);
+        if let Some(&id) = self.unique.get(&key) {
+            return Bdd(id);
+        }
+        let id = u32::try_from(self.nodes.len()).expect("BDD node table overflow");
+        self.nodes.push(Node {
+            var,
+            low: low.0,
+            high: high.0,
+        });
+        self.unique.insert(key, id);
+        self.cache.maybe_grow(self.nodes.len());
+        Bdd(id)
+    }
+
+    /// The function of a single variable: `x_var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` has not been declared via [`ensure_vars`](Self::ensure_vars)
+    /// or domain creation.
+    pub fn var(&mut self, var: u32) -> Bdd {
+        assert!(var < self.num_vars, "undeclared BDD variable {var}");
+        self.mk(var, Bdd::ZERO, Bdd::ONE)
+    }
+
+    /// The negated single-variable function `¬x_var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` has not been declared.
+    pub fn nvar(&mut self, var: u32) -> Bdd {
+        assert!(var < self.num_vars, "undeclared BDD variable {var}");
+        self.mk(var, Bdd::ONE, Bdd::ZERO)
+    }
+
+    /// Cofactors of `f` with respect to `var` (which must be ≤ the root
+    /// variable of `f` in the order).
+    #[inline]
+    fn cofactors(&self, f: Bdd, var: u32) -> (Bdd, Bdd) {
+        let n = self.node(f);
+        if n.var == var {
+            (Bdd(n.low), Bdd(n.high))
+        } else {
+            (f, f)
+        }
+    }
+
+    /// If-then-else: `f·g ∨ ¬f·h`. All binary operations reduce to this.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal shortcuts.
+        if f.is_one() {
+            return g;
+        }
+        if f.is_zero() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_one() && h.is_zero() {
+            return f;
+        }
+        if let Some(r) = self.cache.get(Op::Ite, f.0, g.0, h.0) {
+            return Bdd(r);
+        }
+        let top = self
+            .node(f)
+            .var
+            .min(self.node(g).var)
+            .min(self.node(h).var);
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let r0 = self.ite(f0, g0, h0);
+        let r1 = self.ite(f1, g1, h1);
+        let r = self.mk(top, r0, r1);
+        self.cache.put(Op::Ite, f.0, g.0, h.0, r.0);
+        r
+    }
+
+    /// Conjunction `f ∧ g` (set intersection).
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::ZERO)
+    }
+
+    /// Disjunction `f ∨ g` (set union).
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, Bdd::ONE, g)
+    }
+
+    /// Negation `¬f` (set complement).
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        self.ite(f, Bdd::ZERO, Bdd::ONE)
+    }
+
+    /// Difference `f ∧ ¬g` (set difference).
+    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(g, Bdd::ZERO, f)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Registers a set of variables for quantification. Cubes are interned so
+    /// quantification results can be memoized per `(node, cube)` pair.
+    pub fn register_cube(&mut self, mut vars: Vec<u32>) -> CubeId {
+        vars.sort_unstable();
+        vars.dedup();
+        let max = vars.last().copied().unwrap_or(0);
+        // Reuse an existing identical cube so the caches stay effective.
+        for (i, c) in self.cubes.iter().enumerate() {
+            if c.vars == vars {
+                return CubeId(u32::try_from(i).expect("cube id overflow"));
+            }
+        }
+        let id = u32::try_from(self.cubes.len()).expect("cube id overflow");
+        self.cubes.push(Cube { vars, max });
+        CubeId(id)
+    }
+
+    /// Existential quantification `∃ cube. f`.
+    pub fn exists(&mut self, f: Bdd, cube: CubeId) -> Bdd {
+        if f.is_terminal() {
+            return f;
+        }
+        let fv = self.node(f).var;
+        if fv > self.cubes[cube.0 as usize].max {
+            return f;
+        }
+        if let Some(r) = self.cache.get(Op::Exists, f.0, cube.0, 0) {
+            return Bdd(r);
+        }
+        let n = self.node(f);
+        let r0 = self.exists(Bdd(n.low), cube);
+        let r1 = self.exists(Bdd(n.high), cube);
+        let r = if self.cubes[cube.0 as usize].contains(n.var) {
+            self.or(r0, r1)
+        } else {
+            self.mk(n.var, r0, r1)
+        };
+        self.cache.put(Op::Exists, f.0, cube.0, 0, r.0);
+        r
+    }
+
+    /// Fused relational product `∃ cube. f ∧ g` — the workhorse of the BLQ
+    /// solver (one call per propagation step instead of materializing the
+    /// full conjunction).
+    pub fn relprod(&mut self, f: Bdd, g: Bdd, cube: CubeId) -> Bdd {
+        if f.is_zero() || g.is_zero() {
+            return Bdd::ZERO;
+        }
+        if f.is_one() {
+            return self.exists(g, cube);
+        }
+        if g.is_one() {
+            return self.exists(f, cube);
+        }
+        let cmax = self.cubes[cube.0 as usize].max;
+        if self.node(f).var > cmax && self.node(g).var > cmax {
+            return self.and(f, g);
+        }
+        // ∧ is commutative: canonicalize the key.
+        let (ka, kb) = if f.0 <= g.0 { (f.0, g.0) } else { (g.0, f.0) };
+        if let Some(r) = self.cache.get(Op::Relprod, ka, kb, cube.0) {
+            return Bdd(r);
+        }
+        let top = self.node(f).var.min(self.node(g).var);
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let r0 = self.relprod(f0, g0, cube);
+        let r1 = self.relprod(f1, g1, cube);
+        let r = if self.cubes[cube.0 as usize].contains(top) {
+            self.or(r0, r1)
+        } else {
+            self.mk(top, r0, r1)
+        };
+        self.cache.put(Op::Relprod, ka, kb, cube.0, r.0);
+        r
+    }
+
+    /// Number of satisfying assignments of `f` over exactly the variables in
+    /// `vars` (which must be a superset of `f`'s support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` depends on a variable outside `vars`.
+    pub fn sat_count(&self, f: Bdd, vars: &[u32]) -> u64 {
+        let mut sorted: Vec<u32> = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut memo: FxHashMap<(u32, usize), u64> = FxHashMap::default();
+        self.sat_count_rec(f, 0, &sorted, &mut memo)
+    }
+
+    fn sat_count_rec(
+        &self,
+        f: Bdd,
+        pos: usize,
+        vars: &[u32],
+        memo: &mut FxHashMap<(u32, usize), u64>,
+    ) -> u64 {
+        if pos == vars.len() {
+            assert!(
+                f.is_terminal(),
+                "sat_count: function depends on variable {} outside the given set",
+                self.node(f).var
+            );
+            return u64::from(f.is_one());
+        }
+        if f.is_zero() {
+            return 0;
+        }
+        if let Some(&r) = memo.get(&(f.0, pos)) {
+            return r;
+        }
+        let n = self.node(f);
+        let r = if n.var == vars[pos] {
+            self.sat_count_rec(Bdd(n.low), pos + 1, vars, memo)
+                + self.sat_count_rec(Bdd(n.high), pos + 1, vars, memo)
+        } else {
+            assert!(
+                n.var > vars[pos] || f.is_one(),
+                "sat_count: function depends on variable {} outside the given set",
+                n.var
+            );
+            2 * self.sat_count_rec(f, pos + 1, vars, memo)
+        };
+        memo.insert((f.0, pos), r);
+        r
+    }
+
+    /// Number of distinct nodes reachable from `f` (BuDDy's `bdd_nodecount`).
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = ant_common::fx::FxHashSet::default();
+        let mut stack = vec![f.0];
+        while let Some(i) = stack.pop() {
+            if i <= 1 || !seen.insert(i) {
+                continue;
+            }
+            let n = self.nodes[i as usize];
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        seen.len() + 2
+    }
+
+    /// Evaluates `f` under a total assignment given as a predicate.
+    pub fn eval(&self, f: Bdd, assignment: impl Fn(u32) -> bool) -> bool {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let n = self.node(cur);
+            cur = if assignment(n.var) {
+                Bdd(n.high)
+            } else {
+                Bdd(n.low)
+            };
+        }
+        cur.is_one()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(nvars: u32) -> BddManager {
+        let mut m = BddManager::new();
+        m.ensure_vars(nvars);
+        m
+    }
+
+    #[test]
+    fn terminals() {
+        let m = BddManager::new();
+        assert!(Bdd::ZERO.is_zero());
+        assert!(Bdd::ONE.is_one());
+        assert_eq!(m.node_count(), 2);
+    }
+
+    #[test]
+    fn hash_consing_canonicalizes() {
+        let mut m = mgr(2);
+        let a1 = m.var(0);
+        let a2 = m.var(0);
+        assert_eq!(a1, a2);
+        let x = m.var(0);
+        let y = m.var(1);
+        let f1 = m.and(x, y);
+        let f2 = m.and(y, x);
+        assert_eq!(f1, f2, "∧ must be canonical regardless of argument order");
+    }
+
+    #[test]
+    fn boolean_algebra_identities() {
+        let mut m = mgr(3);
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        // Involution.
+        let nx = m.not(x);
+        assert_eq!(m.not(nx), x);
+        // De Morgan.
+        let and_xy = m.and(x, y);
+        let lhs = m.not(and_xy);
+        let ny = m.not(y);
+        let rhs = m.or(nx, ny);
+        assert_eq!(lhs, rhs);
+        // Distributivity.
+        let yz = m.or(y, z);
+        let l = m.and(x, yz);
+        let xy = m.and(x, y);
+        let xz = m.and(x, z);
+        let r = m.or(xy, xz);
+        assert_eq!(l, r);
+        // Xor.
+        let x_xor_x = m.xor(x, x);
+        assert!(x_xor_x.is_zero());
+        let x_xor_nx = m.xor(x, nx);
+        assert!(x_xor_nx.is_one());
+        // Difference.
+        let d = m.diff(x, x);
+        assert!(d.is_zero());
+    }
+
+    #[test]
+    fn ite_matches_truth_table() {
+        let mut m = mgr(3);
+        let f = m.var(0);
+        let g = m.var(1);
+        let h = m.var(2);
+        let r = m.ite(f, g, h);
+        for bits in 0..8u32 {
+            let assign = |v: u32| bits & (1 << v) != 0;
+            let expect = if assign(0) { assign(1) } else { assign(2) };
+            assert_eq!(m.eval(r, assign), expect, "bits={bits:03b}");
+        }
+    }
+
+    #[test]
+    fn exists_quantifies() {
+        let mut m = mgr(2);
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.and(x, y);
+        let cube = m.register_cube(vec![0]);
+        // ∃x. x∧y = y
+        assert_eq!(m.exists(f, cube), y);
+        // ∃x. x = true
+        assert!(m.exists(x, cube).is_one());
+        // ∃x. y = y (x not in support)
+        assert_eq!(m.exists(y, cube), y);
+    }
+
+    #[test]
+    fn relprod_equals_and_then_exists() {
+        let mut m = mgr(6);
+        // Build a couple of moderately interesting functions.
+        let a = m.var(0);
+        let b = m.var(2);
+        let c = m.var(4);
+        let d = m.var(1);
+        let ab = m.or(a, b);
+        let f = m.xor(ab, d);
+        let cd = m.and(c, d);
+        let g = m.or(cd, a);
+        let cube = m.register_cube(vec![0, 2]);
+        let fused = m.relprod(f, g, cube);
+        let anded = m.and(f, g);
+        let split = m.exists(anded, cube);
+        assert_eq!(fused, split);
+    }
+
+    #[test]
+    fn sat_count_counts() {
+        let mut m = mgr(3);
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.or(x, y);
+        assert_eq!(m.sat_count(f, &[0, 1]), 3);
+        assert_eq!(m.sat_count(f, &[0, 1, 2]), 6);
+        assert_eq!(m.sat_count(Bdd::ONE, &[0, 1, 2]), 8);
+        assert_eq!(m.sat_count(Bdd::ZERO, &[0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the given set")]
+    fn sat_count_rejects_escaping_support() {
+        let mut m = mgr(2);
+        let f = m.var(1);
+        let _ = m.sat_count(f, &[0]);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let mut m = mgr(2);
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.and(x, y);
+        assert_eq!(m.size(f), 4); // 2 internal + 2 terminals
+        assert_eq!(m.size(Bdd::ONE), 2);
+    }
+
+    #[test]
+    fn cube_interning() {
+        let mut m = mgr(4);
+        let c1 = m.register_cube(vec![3, 1]);
+        let c2 = m.register_cube(vec![1, 3, 3]);
+        assert_eq!(c1, c2);
+        let c3 = m.register_cube(vec![1]);
+        assert_ne!(c1, c3);
+    }
+
+    #[test]
+    fn clear_caches_preserves_semantics() {
+        let mut m = mgr(2);
+        let x = m.var(0);
+        let y = m.var(1);
+        let f1 = m.and(x, y);
+        m.clear_caches();
+        let f2 = m.and(x, y);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared")]
+    fn var_requires_declaration() {
+        let mut m = BddManager::new();
+        let _ = m.var(0);
+    }
+}

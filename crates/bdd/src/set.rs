@@ -1,0 +1,167 @@
+//! Per-variable BDD points-to sets (the representation of Tables 5 and 6).
+//!
+//! Unlike BLQ — which stores the whole points-to relation in a single BDD —
+//! this gives each variable its own BDD over one location domain, exactly
+//! the "simple modification" described in §5.1 of the paper.
+
+use crate::{Bdd, BddManager, Domain};
+
+/// A set of `u64` values represented as a BDD over a [`Domain`].
+///
+/// Because the manager hash-conses nodes, set equality is one integer
+/// comparison — which is why §5.4 notes that LCD's equal-set test is
+/// particularly cheap under this representation.
+///
+/// # Example
+///
+/// ```
+/// use ant_bdd::{BddManager, BddSet};
+///
+/// let mut m = BddManager::new();
+/// let d = m.new_interleaved_domains(&[128])[0].clone();
+/// let mut a = BddSet::empty();
+/// a.insert(&mut m, &d, 7);
+/// let mut b = BddSet::empty();
+/// b.insert(&mut m, &d, 7);
+/// assert_eq!(a, b); // canonical: O(1) equality
+/// assert!(!a.union_with(&mut m, &b)); // no change
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BddSet {
+    bdd: Bdd,
+}
+
+impl Default for BddSet {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl BddSet {
+    /// The empty set.
+    pub const fn empty() -> Self {
+        BddSet { bdd: Bdd::ZERO }
+    }
+
+    /// Wraps an existing BDD (which must be a function over `d` only).
+    pub const fn from_bdd(bdd: Bdd) -> Self {
+        BddSet { bdd }
+    }
+
+    /// The underlying BDD.
+    pub const fn as_bdd(self) -> Bdd {
+        self.bdd
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.bdd.is_zero()
+    }
+
+    /// Inserts `value`; returns `true` if it was not already present.
+    pub fn insert(&mut self, m: &mut BddManager, d: &Domain, value: u64) -> bool {
+        let v = m.domain_value(d, value);
+        let new = m.or(self.bdd, v);
+        let changed = new != self.bdd;
+        self.bdd = new;
+        changed
+    }
+
+    /// Returns `true` if `value` is in the set.
+    pub fn contains(self, m: &BddManager, d: &Domain, value: u64) -> bool {
+        !self.bdd.is_zero() && m.domain_contains(self.bdd, d, value)
+    }
+
+    /// In-place union; returns `true` if `self` changed.
+    pub fn union_with(&mut self, m: &mut BddManager, other: &BddSet) -> bool {
+        let new = m.or(self.bdd, other.bdd);
+        let changed = new != self.bdd;
+        self.bdd = new;
+        changed
+    }
+
+    /// Number of values in the set.
+    pub fn len(self, m: &BddManager, d: &Domain) -> u64 {
+        if self.bdd.is_zero() {
+            0
+        } else {
+            m.domain_len(self.bdd, d)
+        }
+    }
+
+    /// All values, ascending (BuDDy's `bdd_allsat`).
+    pub fn values(self, m: &BddManager, d: &Domain) -> Vec<u64> {
+        if self.bdd.is_zero() {
+            Vec::new()
+        } else {
+            m.domain_values(self.bdd, d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut m = BddManager::new();
+        let d = m.new_interleaved_domains(&[1000])[0].clone();
+        let mut s = BddSet::empty();
+        assert!(s.is_empty());
+        assert!(s.insert(&mut m, &d, 1));
+        assert!(!s.insert(&mut m, &d, 1));
+        assert!(s.insert(&mut m, &d, 999));
+        assert!(s.contains(&m, &d, 1));
+        assert!(!s.contains(&m, &d, 2));
+        assert_eq!(s.len(&m, &d), 2);
+        assert_eq!(s.values(&m, &d), vec![1, 999]);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut m = BddManager::new();
+        let d = m.new_interleaved_domains(&[64])[0].clone();
+        let mut a = BddSet::empty();
+        a.insert(&mut m, &d, 1);
+        a.insert(&mut m, &d, 2);
+        let mut b = BddSet::empty();
+        b.insert(&mut m, &d, 2);
+        assert!(!a.union_with(&mut m, &b));
+        b.insert(&mut m, &d, 3);
+        assert!(a.union_with(&mut m, &b));
+        assert_eq!(a.values(&m, &d), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn canonical_equality() {
+        let mut m = BddManager::new();
+        let d = m.new_interleaved_domains(&[64])[0].clone();
+        let mut a = BddSet::empty();
+        let mut b = BddSet::empty();
+        for v in [5u64, 10, 15] {
+            a.insert(&mut m, &d, v);
+        }
+        for v in [15u64, 5, 10] {
+            b.insert(&mut m, &d, v);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn model_check_against_btreeset() {
+        use std::collections::BTreeSet;
+        let mut m = BddManager::new();
+        let d = m.new_interleaved_domains(&[512])[0].clone();
+        let mut s = BddSet::empty();
+        let mut model = BTreeSet::new();
+        let mut x: u64 = 99;
+        for _ in 0..600 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (x >> 33) % 512;
+            assert_eq!(s.insert(&mut m, &d, v), model.insert(v));
+        }
+        assert_eq!(s.values(&m, &d), model.iter().copied().collect::<Vec<_>>());
+        assert_eq!(s.len(&m, &d), model.len() as u64);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based testing of the BDD package: boolean algebra against an
+//! exhaustive truth-table oracle, and set operations against `BTreeSet`.
+
+use ant_bdd::{Bdd, BddManager, BddSet};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A random boolean expression over `NVARS` variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+const NVARS: u32 = 6;
+
+fn exprs() -> impl Strategy<Value = Expr> {
+    let leaf = (0..NVARS).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(m: &mut BddManager, e: &Expr) -> Bdd {
+    match e {
+        Expr::Var(v) => m.var(*v),
+        Expr::Not(a) => {
+            let x = build(m, a);
+            m.not(x)
+        }
+        Expr::And(a, b) => {
+            let (x, y) = (build(m, a), build(m, b));
+            m.and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let (x, y) = (build(m, a), build(m, b));
+            m.or(x, y)
+        }
+        Expr::Xor(a, b) => {
+            let (x, y) = (build(m, a), build(m, b));
+            m.xor(x, y)
+        }
+    }
+}
+
+fn eval(e: &Expr, bits: u32) -> bool {
+    match e {
+        Expr::Var(v) => bits & (1 << v) != 0,
+        Expr::Not(a) => !eval(a, bits),
+        Expr::And(a, b) => eval(a, bits) && eval(b, bits),
+        Expr::Or(a, b) => eval(a, bits) || eval(b, bits),
+        Expr::Xor(a, b) => eval(a, bits) ^ eval(b, bits),
+    }
+}
+
+proptest! {
+    #[test]
+    fn bdd_matches_truth_table(e in exprs()) {
+        let mut m = BddManager::new();
+        m.ensure_vars(NVARS);
+        let f = build(&mut m, &e);
+        for bits in 0..(1u32 << NVARS) {
+            prop_assert_eq!(m.eval(f, |v| bits & (1 << v) != 0), eval(&e, bits));
+        }
+    }
+
+    #[test]
+    fn canonicity_equal_functions_equal_handles(e1 in exprs(), e2 in exprs()) {
+        let mut m = BddManager::new();
+        m.ensure_vars(NVARS);
+        let f1 = build(&mut m, &e1);
+        let f2 = build(&mut m, &e2);
+        let same = (0..(1u32 << NVARS)).all(|bits| eval(&e1, bits) == eval(&e2, bits));
+        prop_assert_eq!(f1 == f2, same);
+    }
+
+    #[test]
+    fn exists_matches_oracle(e in exprs(), qvar in 0..NVARS) {
+        let mut m = BddManager::new();
+        m.ensure_vars(NVARS);
+        let f = build(&mut m, &e);
+        let cube = m.register_cube(vec![qvar]);
+        let q = m.exists(f, cube);
+        for bits in 0..(1u32 << NVARS) {
+            let expect = eval(&e, bits | (1 << qvar)) || eval(&e, bits & !(1 << qvar));
+            prop_assert_eq!(m.eval(q, |v| bits & (1 << v) != 0), expect);
+        }
+    }
+
+    #[test]
+    fn relprod_is_and_then_exists(e1 in exprs(), e2 in exprs(), q1 in 0..NVARS, q2 in 0..NVARS) {
+        let mut m = BddManager::new();
+        m.ensure_vars(NVARS);
+        let f = build(&mut m, &e1);
+        let g = build(&mut m, &e2);
+        let cube = m.register_cube(vec![q1, q2]);
+        let fused = m.relprod(f, g, cube);
+        let anded = m.and(f, g);
+        let split = m.exists(anded, cube);
+        prop_assert_eq!(fused, split);
+    }
+
+    #[test]
+    fn set_ops_match_btreeset(xs in prop::collection::vec(0u64..500, 0..80),
+                              ys in prop::collection::vec(0u64..500, 0..80)) {
+        let mut m = BddManager::new();
+        let d = m.new_interleaved_domains(&[512])[0].clone();
+        let mut a = BddSet::empty();
+        let mut ma = BTreeSet::new();
+        for &x in &xs {
+            prop_assert_eq!(a.insert(&mut m, &d, x), ma.insert(x));
+        }
+        let mut b = BddSet::empty();
+        let mut mb = BTreeSet::new();
+        for &y in &ys {
+            b.insert(&mut m, &d, y);
+            mb.insert(y);
+        }
+        prop_assert_eq!(a.values(&m, &d), ma.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(a.len(&m, &d), ma.len() as u64);
+        let mut u = a;
+        let changed = u.union_with(&mut m, &b);
+        let mu: BTreeSet<u64> = ma.union(&mb).copied().collect();
+        prop_assert_eq!(changed, mu != ma);
+        prop_assert_eq!(u.values(&m, &d), mu.into_iter().collect::<Vec<_>>());
+        for probe in [0u64, 17, 499] {
+            prop_assert_eq!(b.contains(&m, &d, probe), mb.contains(&probe));
+        }
+    }
+}

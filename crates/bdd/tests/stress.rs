@@ -1,0 +1,105 @@
+//! Stress and robustness tests for the BDD manager: cache growth, many
+//! domains, wide value spaces.
+
+use ant_bdd::{Bdd, BddManager, BddSet};
+
+#[test]
+fn cache_grows_with_node_count() {
+    let mut m = BddManager::new();
+    let d = m.new_interleaved_domains(&[1 << 20])[0].clone();
+    let before = m.heap_bytes();
+    let mut s = BddSet::empty();
+    // Enough inserts to outgrow the initial 2^16-entry cache.
+    let mut x: u64 = 1;
+    for _ in 0..80_000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s.insert(&mut m, &d, x % (1 << 20));
+    }
+    assert!(m.node_count() > 1 << 16);
+    assert!(m.heap_bytes() > before);
+    // The set still answers correctly after growth.
+    assert!(s.len(&m, &d) > 70_000);
+}
+
+#[test]
+fn clear_caches_mid_computation_is_safe() {
+    let mut m = BddManager::new();
+    let doms = m.new_interleaved_domains(&[256, 256]);
+    let (a, b) = (doms[0].clone(), doms[1].clone());
+    let mut rel = Bdd::ZERO;
+    for i in 0..128 {
+        let t = m.tuple(&[(&a, i), (&b, (i * 7) % 256)]);
+        rel = m.or(rel, t);
+    }
+    let cube = m.domain_cube(&a);
+    let before = m.exists(rel, cube);
+    m.clear_caches();
+    let after = m.exists(rel, cube);
+    assert_eq!(before, after, "canonicity survives cache clearing");
+}
+
+#[test]
+fn many_domain_groups_coexist() {
+    let mut m = BddManager::new();
+    let mut doms = Vec::new();
+    for _ in 0..6 {
+        doms.extend(m.new_interleaved_domains(&[64, 64]));
+    }
+    // Values in distinct groups occupy disjoint variables: conjunction of
+    // one value per domain is satisfiable and enumerable per-domain.
+    let mut f = Bdd::ONE;
+    for (i, d) in doms.iter().enumerate() {
+        let v = m.domain_value(d, (i as u64 * 13) % 64);
+        f = m.and(f, v);
+    }
+    assert!(!f.is_zero());
+    for (i, d) in doms.iter().enumerate() {
+        // Project to this domain alone.
+        let others: Vec<u32> = doms
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .flat_map(|(_, o)| o.vars().iter().copied())
+            .collect();
+        let cube = m.register_cube(others);
+        let proj = m.exists(f, cube);
+        assert_eq!(m.domain_values(proj, d), vec![(i as u64 * 13) % 64]);
+    }
+}
+
+#[test]
+fn single_value_domain() {
+    let mut m = BddManager::new();
+    let d = m.new_interleaved_domains(&[1])[0].clone();
+    let v = m.domain_value(&d, 0);
+    assert!(m.domain_contains(v, &d, 0));
+    assert_eq!(m.domain_values(v, &d), vec![0]);
+}
+
+#[test]
+fn full_domain_is_constant_true() {
+    let mut m = BddManager::new();
+    let d = m.new_interleaved_domains(&[16])[0].clone();
+    let mut f = Bdd::ZERO;
+    for v in 0..16 {
+        let fv = m.domain_value(&d, v);
+        f = m.or(f, fv);
+    }
+    assert!(f.is_one());
+    assert_eq!(m.domain_len(f, &d), 16);
+}
+
+#[test]
+fn rename_is_involutive() {
+    let mut m = BddManager::new();
+    let doms = m.new_interleaved_domains(&[512, 512]);
+    let (a, b) = (doms[0].clone(), doms[1].clone());
+    let mut f = Bdd::ZERO;
+    for v in [3u64, 99, 511, 200] {
+        let fv = m.domain_value(&a, v);
+        f = m.or(f, fv);
+    }
+    let g = m.rename(f, &a, &b);
+    let back = m.rename(g, &b, &a);
+    assert_eq!(back, f);
+}

@@ -1,0 +1,71 @@
+//! Microbenchmarks for the BDD package: set operations (Tables 5/6 path)
+//! and the relational products that drive BLQ.
+
+use ant_bdd::{Bdd, BddManager, BddSet};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_bdd(c: &mut Criterion) {
+    c.bench_function("bdd/set_insert_1000", |bch| {
+        bch.iter(|| {
+            let mut m = BddManager::new();
+            let d = m.new_interleaved_domains(&[1 << 16])[0].clone();
+            let mut s = BddSet::empty();
+            let mut rng = StdRng::seed_from_u64(3);
+            for _ in 0..1000 {
+                s.insert(&mut m, &d, rng.gen_range(0..1 << 16));
+            }
+            m.node_count()
+        })
+    });
+
+    // Shared manager for the read-mostly benchmarks.
+    let mut m = BddManager::new();
+    let doms = m.new_interleaved_domains(&[1 << 14, 1 << 14, 1 << 14]);
+    let (dv, dw, dl) = (doms[0].clone(), doms[1].clone(), doms[2].clone());
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut rel = Bdd::ZERO;
+    let mut pts = Bdd::ZERO;
+    for _ in 0..2000 {
+        let t = m.tuple(&[
+            (&dv, rng.gen_range(0..1 << 14)),
+            (&dw, rng.gen_range(0..1 << 14)),
+        ]);
+        rel = m.or(rel, t);
+        let p = m.tuple(&[
+            (&dv, rng.gen_range(0..1 << 14)),
+            (&dl, rng.gen_range(0..1 << 14)),
+        ]);
+        pts = m.or(pts, p);
+    }
+    let cube_v = m.domain_cube(&dv);
+
+    c.bench_function("bdd/relprod_2000x2000", |bch| {
+        bch.iter(|| {
+            // Clear the memo cache so each iteration measures real work.
+            m.clear_caches();
+            m.relprod(rel, pts, cube_v)
+        })
+    });
+
+    c.bench_function("bdd/rename_columns", |bch| {
+        bch.iter(|| {
+            m.clear_caches();
+            m.rename(pts, &dl, &dw)
+        })
+    });
+
+    c.bench_function("bdd/allsat_enumeration", |bch| {
+        let row = m.exists(pts, cube_v);
+        bch.iter(|| m.domain_values(row, &dl).len())
+    });
+
+    c.bench_function("bdd/satcount", |bch| {
+        let row = m.exists(pts, cube_v);
+        bch.iter(|| m.domain_len(row, &dl))
+    });
+}
+
+criterion_group!(benches, bench_bdd);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Microbenchmarks for the GCC-style sparse bitmap (the hot data structure
+//! of every bitmap-based solver).
+
+use ant_common::SparseBitmap;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_set(rng: &mut StdRng, n: usize, universe: u32) -> SparseBitmap {
+    (0..n).map(|_| rng.gen_range(0..universe)).collect()
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let a = random_set(&mut rng, 2000, 100_000);
+    let b = random_set(&mut rng, 2000, 100_000);
+    let mut sub = a.clone();
+    sub.intersect_with(&b); // shared part
+
+    c.bench_function("bitmap/insert_2000", |bch| {
+        let mut rng = StdRng::seed_from_u64(7);
+        bch.iter(|| {
+            let mut s = SparseBitmap::new();
+            for _ in 0..2000 {
+                s.insert(rng.gen_range(0..100_000));
+            }
+            s
+        })
+    });
+
+    c.bench_function("bitmap/union_changed", |bch| {
+        bch.iter(|| {
+            let mut s = a.clone();
+            s.union_with(&b)
+        })
+    });
+
+    c.bench_function("bitmap/union_noop", |bch| {
+        // The fixpoint-solver hot path: union that changes nothing.
+        let mut s = a.clone();
+        s.union_with(&b);
+        bch.iter(|| s.clone().union_with(&a))
+    });
+
+    c.bench_function("bitmap/superset_check", |bch| {
+        bch.iter(|| a.superset_of(&sub))
+    });
+
+    c.bench_function("bitmap/equality", |bch| {
+        let a2 = a.clone();
+        bch.iter(|| a == a2)
+    });
+
+    c.bench_function("bitmap/iterate", |bch| bch.iter(|| a.iter().sum::<u32>()));
+
+    c.bench_function("bitmap/difference_iter", |bch| {
+        bch.iter(|| a.difference(&b).count())
+    });
+}
+
+criterion_group!(benches, bench_bitmap);
+criterion_main!(benches);

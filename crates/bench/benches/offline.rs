@@ -1,0 +1,26 @@
+//! Benchmarks for the offline passes: offline variable substitution (the
+//! §5.1 pre-processing) and HCD's offline analysis (the "HCD-Offline" row
+//! of Table 3, which the paper reports is essentially negligible).
+
+use ant_constraints::hcd::HcdOffline;
+use ant_constraints::ovs;
+use ant_frontend::suite;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_offline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline");
+    for name in ["emacs", "wine"] {
+        let program = suite::benchmark(name, 0.03).expect("benchmark").program();
+        group.bench_with_input(BenchmarkId::new("ovs", name), &program, |b, p| {
+            b.iter(|| ovs::substitute(p).stats.constraints_after)
+        });
+        let reduced = ovs::substitute(&program).program;
+        group.bench_with_input(BenchmarkId::new("hcd_offline", name), &reduced, |b, p| {
+            b.iter(|| HcdOffline::analyze(p).num_pairs())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Microbenchmarks for strongly-connected-component detection — the
+//! operation whose placement (lazy, periodic, offline) is the paper's whole
+//! subject.
+
+use ant_constraints::scc::tarjan_scc;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn chain(n: u32) -> Vec<Vec<u32>> {
+    (0..n).map(|i| if i + 1 < n { vec![i + 1] } else { vec![] }).collect()
+}
+
+fn random_graph(n: u32, edges: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adj = vec![Vec::new(); n as usize];
+    for _ in 0..edges {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        adj[u as usize].push(v);
+    }
+    adj
+}
+
+fn rings(n: u32, ring: u32) -> Vec<Vec<u32>> {
+    // n nodes arranged in rings of `ring`, consecutive rings linked.
+    (0..n)
+        .map(|i| {
+            let base = i / ring * ring;
+            let next = base + (i + 1) % ring;
+            let mut out = vec![next];
+            if i % ring == 0 && base + ring < n {
+                out.push(base + ring);
+            }
+            out
+        })
+        .collect()
+}
+
+fn bench_scc(c: &mut Criterion) {
+    let deep = chain(100_000);
+    c.bench_function("scc/chain_100k", |b| b.iter(|| tarjan_scc(&deep).num_comps));
+
+    let rand_g = random_graph(20_000, 60_000, 5);
+    c.bench_function("scc/random_20k_60k", |b| {
+        b.iter(|| tarjan_scc(&rand_g).num_comps)
+    });
+
+    let ring_g = rings(30_000, 50);
+    c.bench_function("scc/rings_30k", |b| b.iter(|| tarjan_scc(&ring_g).num_comps));
+}
+
+criterion_group!(benches, bench_scc);
+criterion_main!(benches);

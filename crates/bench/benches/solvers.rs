@@ -1,0 +1,45 @@
+//! Criterion benchmarks: one per solver on a mid-size workload (Table 3's
+//! cells as statistically sampled microbenchmarks).
+
+use ant_constraints::ovs;
+use ant_core::{solve, Algorithm, BddPts, BitmapPts, SolverConfig};
+use ant_frontend::suite;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_solvers(c: &mut Criterion) {
+    // A small fixed scale keeps criterion's many iterations affordable.
+    let bench = suite::benchmark("emacs", 0.02).expect("emacs exists");
+    let program = ovs::substitute(&bench.program()).program;
+
+    let mut group = c.benchmark_group("solve/emacs@0.02/bitmap");
+    for alg in Algorithm::ALL {
+        if matches!(alg, Algorithm::Blq | Algorithm::BlqHcd) {
+            continue; // BLQ has its own group with fewer samples
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, &alg| {
+            b.iter(|| solve::<BitmapPts>(&program, &SolverConfig::new(alg)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("solve/emacs@0.02/bdd-pts");
+    group.sample_size(10);
+    for alg in [Algorithm::Ht, Algorithm::Lcd, Algorithm::LcdHcd] {
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, &alg| {
+            b.iter(|| solve::<BddPts>(&program, &SolverConfig::new(alg)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("solve/emacs@0.02/blq");
+    group.sample_size(10);
+    for alg in [Algorithm::Blq, Algorithm::BlqHcd] {
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, &alg| {
+            b.iter(|| solve::<BitmapPts>(&program, &SolverConfig::new(alg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

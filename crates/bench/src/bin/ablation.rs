@@ -1,0 +1,74 @@
+//! Ablations beyond the paper's tables:
+//!
+//! * worklist strategies (FIFO / LIFO / LRF / divided LRF — §5.1 notes the
+//!   divided worklist is "significantly better" than a single one);
+//! * the naive Figure 1 baseline with no cycle detection, showing why
+//!   online cycle detection is "critical for scalability".
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin ablation [benchmark]
+//! ```
+
+use ant_bench::render::{secs, table};
+use ant_bench::runner::{prepare_suite, repeats_from_env};
+use ant_common::worklist::WorklistKind;
+use ant_core::{solve, Algorithm, BitmapPts, SolverConfig};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "gimp".to_owned());
+    let benches = prepare_suite();
+    let bench = benches
+        .iter()
+        .find(|b| b.name == which)
+        .unwrap_or_else(|| panic!("unknown benchmark {which}"));
+    let repeats = repeats_from_env();
+
+    println!("Worklist-strategy ablation on `{}` (seconds)\n", bench.name);
+    let algs = [Algorithm::Lcd, Algorithm::Hcd, Algorithm::LcdHcd];
+    let columns: Vec<String> = WorklistKind::ALL.iter().map(|w| w.to_string()).collect();
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for alg in algs {
+        let mut cells = Vec::new();
+        for wk in WorklistKind::ALL {
+            let config = SolverConfig {
+                algorithm: alg,
+                worklist: wk,
+            };
+            let mut best = f64::INFINITY;
+            for _ in 0..repeats {
+                let out = solve::<BitmapPts>(&bench.program, &config);
+                best = best.min(out.stats.solve_time.as_secs_f64());
+            }
+            cells.push(secs(best));
+        }
+        rows.push((alg.name().to_owned(), cells));
+    }
+    println!("{}", table("Algorithm", &column_refs, &rows));
+
+    println!("Cycle-detection ablation on `{}` (seconds)\n", bench.name);
+    let mut rows = Vec::new();
+    for alg in [
+        Algorithm::Basic,
+        Algorithm::Pkh03,
+        Algorithm::Pkh,
+        Algorithm::Lcd,
+        Algorithm::LcdDiff,
+        Algorithm::LcdHcd,
+    ] {
+        let out = solve::<BitmapPts>(&bench.program, &SolverConfig::new(alg));
+        rows.push((
+            alg.name().to_owned(),
+            vec![
+                secs(out.stats.solve_time.as_secs_f64()),
+                out.stats.nodes_collapsed.to_string(),
+                out.stats.propagations.to_string(),
+            ],
+        ));
+    }
+    println!(
+        "{}",
+        table("Algorithm", &["time", "collapsed", "propagations"], &rows)
+    );
+    println!("Paper: without cycle detection the larger benchmarks run out of memory.");
+}

@@ -1,0 +1,45 @@
+//! Figure 6: the paper's headline chart — LCD+HCD versus the three
+//! state-of-the-art algorithms (HT, PKH, BLQ), per benchmark. The paper
+//! plots seconds on a log scale; we print the series plus the speedup of
+//! LCD+HCD over each baseline.
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin fig6
+//! ```
+
+use ant_bench::render::{geomean, ratio, secs, table};
+use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite};
+use ant_core::{Algorithm, BitmapPts};
+
+fn main() {
+    let benches = prepare_suite();
+    let algs = [
+        Algorithm::Ht,
+        Algorithm::Pkh,
+        Algorithm::Blq,
+        Algorithm::LcdHcd,
+    ];
+    let results = run_suite::<BitmapPts>(&benches, &algs, repeats_from_env());
+    let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
+    let rows: Vec<(String, Vec<String>)> = algs
+        .iter()
+        .map(|&alg| {
+            (
+                alg.name().to_owned(),
+                benches
+                    .iter()
+                    .map(|b| secs(results.seconds(alg, &b.name)))
+                    .collect(),
+            )
+        })
+        .collect();
+    println!("Figure 6: LCD+HCD vs state-of-the-art (seconds; plot on log scale)\n");
+    println!("{}", table("Series", &columns, &rows));
+    for base in [Algorithm::Ht, Algorithm::Pkh, Algorithm::Blq] {
+        let speedup = geomean(benches.iter().map(|b| {
+            results.seconds(base, &b.name) / results.seconds(Algorithm::LcdHcd, &b.name)
+        }));
+        println!("LCD+HCD vs {:<4}: {} faster (geometric mean)", base.name(), ratio(speedup));
+    }
+    println!("\nPaper: 3.2x vs HT, 6.4x vs PKH, 20.6x vs BLQ.");
+}

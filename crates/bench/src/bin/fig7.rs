@@ -1,0 +1,41 @@
+//! Figure 7: per-benchmark performance of the five main algorithms,
+//! normalized to LCD (LCD = 1.0).
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin fig7
+//! ```
+
+use ant_bench::render::{geomean, ratio, table};
+use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite};
+use ant_core::{Algorithm, BitmapPts};
+
+fn main() {
+    let benches = prepare_suite();
+    let results = run_suite::<BitmapPts>(&benches, &Algorithm::MAIN, repeats_from_env());
+    let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
+    let rows: Vec<(String, Vec<String>)> = Algorithm::MAIN
+        .iter()
+        .map(|&alg| {
+            (
+                alg.name().to_owned(),
+                benches
+                    .iter()
+                    .map(|b| {
+                        ratio(results.seconds(alg, &b.name) / results.seconds(Algorithm::Lcd, &b.name))
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    println!("Figure 7: time normalized to LCD (lower is faster)\n");
+    println!("{}", table("Algorithm", &columns, &rows));
+    for alg in [Algorithm::Ht, Algorithm::Pkh, Algorithm::Blq, Algorithm::Hcd] {
+        let g = geomean(
+            benches
+                .iter()
+                .map(|b| results.seconds(alg, &b.name) / results.seconds(Algorithm::Lcd, &b.name)),
+        );
+        println!("{:<4} / LCD = {} (geometric mean)", alg.name(), ratio(g));
+    }
+    println!("\nPaper: LCD is 1.05x faster than HT, 2.1x faster than PKH, 6.8x faster than BLQ.");
+}

@@ -1,0 +1,46 @@
+//! Figure 8: each main algorithm normalized to its HCD-enhanced
+//! counterpart — the speedup Hybrid Cycle Detection delivers.
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin fig8
+//! ```
+
+use ant_bench::render::{geomean, ratio, table};
+use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite};
+use ant_core::{Algorithm, BitmapPts};
+
+fn main() {
+    let benches = prepare_suite();
+    let pairs = [
+        (Algorithm::Ht, Algorithm::HtHcd),
+        (Algorithm::Pkh, Algorithm::PkhHcd),
+        (Algorithm::Blq, Algorithm::BlqHcd),
+        (Algorithm::Lcd, Algorithm::LcdHcd),
+    ];
+    let algs: Vec<Algorithm> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let results = run_suite::<BitmapPts>(&benches, &algs, repeats_from_env());
+    let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
+    let rows: Vec<(String, Vec<String>)> = pairs
+        .iter()
+        .map(|&(plain, hcd)| {
+            (
+                format!("{} / {}", plain.name(), hcd.name()),
+                benches
+                    .iter()
+                    .map(|b| ratio(results.seconds(plain, &b.name) / results.seconds(hcd, &b.name)))
+                    .collect(),
+            )
+        })
+        .collect();
+    println!("Figure 8: time normalized to the HCD-enhanced counterpart (>1 = HCD helps)\n");
+    println!("{}", table("Pair", &columns, &rows));
+    for &(plain, hcd) in &pairs {
+        let g = geomean(
+            benches
+                .iter()
+                .map(|b| results.seconds(plain, &b.name) / results.seconds(hcd, &b.name)),
+        );
+        println!("HCD speeds up {:<4} by {} (geometric mean)", plain.name(), ratio(g));
+    }
+    println!("\nPaper: HCD improves HT by 3.2x, PKH by 5x, BLQ by 1.1x, LCD by 3.2x.");
+}

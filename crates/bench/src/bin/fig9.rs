@@ -1,0 +1,47 @@
+//! Figure 9: BDD-based points-to sets normalized to their bitmap
+//! counterparts (time cost of the compact representation), averaged over
+//! the benchmarks.
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin fig9
+//! ```
+
+use ant_bench::render::{geomean, ratio, table};
+use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite};
+use ant_core::{Algorithm, BddPts, BitmapPts};
+
+fn main() {
+    let benches = prepare_suite();
+    let repeats = repeats_from_env();
+    eprintln!("bitmap sweep:");
+    let bitmap = run_suite::<BitmapPts>(&benches, &Algorithm::TABLE5, repeats);
+    eprintln!("bdd sweep:");
+    let bdd = run_suite::<BddPts>(&benches, &Algorithm::TABLE5, repeats);
+    let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
+    let mut rows = Vec::new();
+    let mut avgs = Vec::new();
+    for alg in Algorithm::TABLE5 {
+        rows.push((
+            alg.name().to_owned(),
+            benches
+                .iter()
+                .map(|b| ratio(bdd.seconds(alg, &b.name) / bitmap.seconds(alg, &b.name)))
+                .collect(),
+        ));
+        avgs.push((
+            alg,
+            geomean(
+                benches
+                    .iter()
+                    .map(|b| bdd.seconds(alg, &b.name) / bitmap.seconds(alg, &b.name)),
+            ),
+        ));
+    }
+    println!("Figure 9: BDD points-to time / bitmap points-to time (>1 = BDD slower)\n");
+    println!("{}", table("Algorithm", &columns, &rows));
+    for (alg, g) in &avgs {
+        println!("{:<8} average {}", alg.name(), ratio(*g));
+    }
+    let overall = geomean(avgs.iter().map(|&(_, g)| g));
+    println!("\nOverall: BDDs are {} slower (paper: ~2x on average).", ratio(overall));
+}

@@ -1,0 +1,35 @@
+//! Quick per-algorithm probe: runs one algorithm on one benchmark.
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin probe -- LCD+HCD wine [bdd]
+//! ```
+use ant_bench::runner::prepare_suite;
+use ant_core::{solve, Algorithm, BddPts, BitmapPts, SolverConfig};
+
+fn main() {
+    let alg_name = std::env::args().nth(1).unwrap_or_else(|| "HT".into());
+    let which = std::env::args().nth(2).unwrap_or_else(|| "emacs".into());
+    let use_bdd = std::env::args().nth(3).is_some_and(|s| s == "bdd");
+    let alg = Algorithm::parse(&alg_name).expect("algorithm");
+    let benches = prepare_suite();
+    let b = benches.iter().find(|b| b.name == which).expect("bench");
+    eprintln!(
+        "solving {} with {} ({} constraints, {} pts)...",
+        b.name,
+        alg.name(),
+        b.program.stats().total(),
+        if use_bdd { "bdd" } else { "bitmap" }
+    );
+    let stats = if use_bdd {
+        solve::<BddPts>(&b.program, &SolverConfig::new(alg)).stats
+    } else {
+        solve::<BitmapPts>(&b.program, &SolverConfig::new(alg)).stats
+    };
+    println!(
+        "{} on {}: {:.3}s",
+        alg.name(),
+        b.name,
+        stats.solve_time.as_secs_f64()
+    );
+    println!("{stats}");
+}

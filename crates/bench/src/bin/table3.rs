@@ -1,0 +1,38 @@
+//! Table 3: solve time in seconds for the nine algorithms over the six
+//! benchmarks, with sparse-bitmap points-to sets. The HCD offline analysis
+//! is reported separately (first row), exactly as in the paper.
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin table3
+//! ```
+
+use ant_bench::render::{secs, table};
+use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite};
+use ant_core::{Algorithm, BitmapPts};
+
+fn main() {
+    let benches = prepare_suite();
+    let results = run_suite::<BitmapPts>(&benches, &Algorithm::TABLE3, repeats_from_env());
+
+    let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
+    let mut rows = Vec::new();
+    rows.push((
+        "HCD-Offline".to_owned(),
+        benches
+            .iter()
+            .map(|b| secs(b.hcd_offline_time.as_secs_f64()))
+            .collect(),
+    ));
+    for alg in Algorithm::TABLE3 {
+        rows.push((
+            alg.name().to_owned(),
+            benches
+                .iter()
+                .map(|b| secs(results.seconds(alg, &b.name)))
+                .collect(),
+        ));
+    }
+    println!("Table 3: performance (seconds), bitmap points-to sets\n");
+    println!("{}", table("Algorithm", &columns, &rows));
+    println!("Paper shape: HT < PKH < BLQ; LCD ~ HT; X+HCD beats X; LCD+HCD fastest.");
+}

@@ -1,0 +1,37 @@
+//! Table 4: memory consumption in MiB for the nine algorithms, with
+//! sparse-bitmap points-to sets.
+//!
+//! The paper measures process RSS; we report instrumented bytes of the
+//! dominant structures (points-to sets, constraint-graph edges, auxiliary
+//! tables). Note: the paper's BLQ rows are flat because it pre-allocates a
+//! BDD pool sized for the largest benchmark; ours grow with actual use —
+//! see EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin table4
+//! ```
+
+use ant_bench::render::{mib, table};
+use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite};
+use ant_core::{Algorithm, BitmapPts};
+
+fn main() {
+    let benches = prepare_suite();
+    let results = run_suite::<BitmapPts>(&benches, &Algorithm::TABLE3, repeats_from_env());
+    let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
+    let rows: Vec<(String, Vec<String>)> = Algorithm::TABLE3
+        .iter()
+        .map(|&alg| {
+            (
+                alg.name().to_owned(),
+                benches
+                    .iter()
+                    .map(|b| mib(results.mib(alg, &b.name)))
+                    .collect(),
+            )
+        })
+        .collect();
+    println!("Table 4: memory consumption (MiB), bitmap points-to sets\n");
+    println!("{}", table("Algorithm", &columns, &rows));
+    println!("Paper shape: bitmap algorithms grow with benchmark size; BLQ stays small/flat.");
+}

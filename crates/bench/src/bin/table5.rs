@@ -1,0 +1,32 @@
+//! Table 5: solve time in seconds with **BDD** points-to sets (each
+//! variable has its own BDD over a shared manager), for the seven
+//! algorithms the paper lists (BLQ is excluded: it is already BDD-based).
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin table5
+//! ```
+
+use ant_bench::render::{secs, table};
+use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite};
+use ant_core::{Algorithm, BddPts};
+
+fn main() {
+    let benches = prepare_suite();
+    let results = run_suite::<BddPts>(&benches, &Algorithm::TABLE5, repeats_from_env());
+    let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
+    let rows: Vec<(String, Vec<String>)> = Algorithm::TABLE5
+        .iter()
+        .map(|&alg| {
+            (
+                alg.name().to_owned(),
+                benches
+                    .iter()
+                    .map(|b| secs(results.seconds(alg, &b.name)))
+                    .collect(),
+            )
+        })
+        .collect();
+    println!("Table 5: performance (seconds), BDD points-to sets\n");
+    println!("{}", table("Algorithm", &columns, &rows));
+    println!("Paper shape: ~2x slower than bitmaps on average, dominated by bdd_allsat.");
+}

@@ -1,0 +1,30 @@
+//! Table 6: memory consumption in MiB with BDD points-to sets.
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin table6
+//! ```
+
+use ant_bench::render::{mib, table};
+use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite};
+use ant_core::{Algorithm, BddPts};
+
+fn main() {
+    let benches = prepare_suite();
+    let results = run_suite::<BddPts>(&benches, &Algorithm::TABLE5, repeats_from_env());
+    let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
+    let rows: Vec<(String, Vec<String>)> = Algorithm::TABLE5
+        .iter()
+        .map(|&alg| {
+            (
+                alg.name().to_owned(),
+                benches
+                    .iter()
+                    .map(|b| mib(results.mib(alg, &b.name)))
+                    .collect(),
+            )
+        })
+        .collect();
+    println!("Table 6: memory consumption (MiB), BDD points-to sets\n");
+    println!("{}", table("Algorithm", &columns, &rows));
+    println!("Paper shape: ~5.5x less memory than bitmaps on the larger benchmarks.");
+}

@@ -1,0 +1,15 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (see `DESIGN.md` §5 for the experiment index).
+//!
+//! Each table/figure is a binary (`cargo run --release -p ant-bench --bin
+//! table3`); this library holds the shared runner: benchmark loading,
+//! OVS pre-processing, timed solver sweeps, and plain-text table/series
+//! rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod render;
+pub mod runner;
+
+pub use runner::{run_suite, BenchResult, SuiteResults};

@@ -1,0 +1,127 @@
+//! Plain-text rendering of paper-style tables and figure series.
+
+/// Renders a table: first column is the row label, remaining cells are
+/// formatted values.
+pub fn table(title: &str, columns: &[&str], rows: &[(String, Vec<String>)]) -> String {
+    let mut widths: Vec<usize> = Vec::new();
+    widths.push(
+        rows.iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(title.len()))
+            .max()
+            .unwrap_or(0),
+    );
+    for (i, c) in columns.iter().enumerate() {
+        let w = rows
+            .iter()
+            .filter_map(|(_, cells)| cells.get(i).map(String::len))
+            .chain(std::iter::once(c.len()))
+            .max()
+            .unwrap_or(0);
+        widths.push(w);
+    }
+    let mut out = String::new();
+    let mut header = format!("{:<w$}", title, w = widths[0]);
+    for (i, c) in columns.iter().enumerate() {
+        header.push_str(&format!("  {:>w$}", c, w = widths[i + 1]));
+    }
+    out.push_str(&header);
+    out.push('\n');
+    out.push_str(&"-".repeat(header.len()));
+    out.push('\n');
+    for (label, cells) in rows {
+        out.push_str(&format!("{:<w$}", label, w = widths[0]));
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("  {:>w$}", cell, w = widths[i + 1]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats seconds like the paper's tables (two decimals, thousands
+/// separators for the big numbers).
+pub fn secs(s: f64) -> String {
+    if s.is_nan() {
+        "OOM".to_owned()
+    } else {
+        format!("{s:.3}")
+    }
+}
+
+/// Formats mebibytes with one decimal.
+pub fn mib(m: f64) -> String {
+    if m.is_nan() {
+        "OOM".to_owned()
+    } else {
+        format!("{m:.1}")
+    }
+}
+
+/// Formats a normalized ratio.
+pub fn ratio(r: f64) -> String {
+    if r.is_nan() {
+        "-".to_owned()
+    } else {
+        format!("{r:.2}x")
+    }
+}
+
+/// Geometric mean of positive ratios (the paper's "on average N× faster").
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v.is_finite() && v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = table(
+            "Bench",
+            &["A", "BB"],
+            &[
+                ("emacs".into(), vec!["1.0".into(), "2.00".into()]),
+                ("linux".into(), vec!["10.5".into(), "3".into()]),
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Bench"));
+        assert!(lines[2].starts_with("emacs"));
+        // Columns align: all lines same length for the rendered cells.
+        assert!(lines[2].len() <= lines[0].len());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(1.23456), "1.235");
+        assert_eq!(secs(f64::NAN), "OOM");
+        assert_eq!(mib(12.34), "12.3");
+        assert_eq!(ratio(2.5), "2.50x");
+        assert_eq!(ratio(f64::NAN), "-");
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        let g = geomean([2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+        assert!(geomean(std::iter::empty()).is_nan());
+        // Non-finite entries are skipped.
+        let g2 = geomean([2.0, f64::NAN, 8.0]);
+        assert!((g2 - 4.0).abs() < 1e-12);
+    }
+}

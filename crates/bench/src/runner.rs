@@ -1,0 +1,198 @@
+//! Shared benchmark runner.
+
+use ant_common::SolverStats;
+use ant_constraints::hcd::HcdOffline;
+use ant_constraints::{ConstraintStats, Program};
+use ant_core::{solve, Algorithm, PtsRepr, SolverConfig};
+use ant_frontend::suite::{default_suite, scale_from_env};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A benchmark after constraint generation and OVS pre-processing — the
+/// exact input the paper's solvers receive ("the results reported are for
+/// these reduced constraint files").
+#[derive(Clone, Debug)]
+pub struct PreparedBench {
+    /// Benchmark name (paper's Table 2 rows).
+    pub name: String,
+    /// Nominal LOC at the current scale.
+    pub loc: usize,
+    /// Constraint counts before reduction.
+    pub original: ConstraintStats,
+    /// Constraint counts after offline variable substitution.
+    pub reduced: ConstraintStats,
+    /// OVS pre-processing time.
+    pub ovs_time: Duration,
+    /// HCD offline analysis time on the reduced program (Table 3's
+    /// "HCD-Offline" row).
+    pub hcd_offline_time: Duration,
+    /// The reduced program handed to every solver.
+    pub program: Program,
+}
+
+/// Prepares the whole suite at the `ANT_SCALE` environment scale.
+pub fn prepare_suite() -> Vec<PreparedBench> {
+    let _ = scale_from_env();
+    default_suite()
+        .into_iter()
+        .map(|b| {
+            let program = b.program();
+            let original = program.stats();
+            let ovs = ant_constraints::ovs::substitute(&program);
+            let hcd = HcdOffline::analyze(&ovs.program);
+            PreparedBench {
+                name: b.name().to_owned(),
+                loc: b.spec.loc,
+                original,
+                reduced: ovs.program.stats(),
+                ovs_time: ovs.elapsed,
+                hcd_offline_time: hcd.elapsed,
+                program: ovs.program,
+            }
+        })
+        .collect()
+}
+
+/// One timed solver run.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Algorithm that ran.
+    pub algorithm: Algorithm,
+    /// Benchmark name.
+    pub bench: String,
+    /// Best-of-N solve time (the paper repeats three times and reports the
+    /// smallest).
+    pub time: Duration,
+    /// Statistics from the best run.
+    pub stats: SolverStats,
+}
+
+/// Number of repetitions from `ANT_REPEATS` (default 1; the paper uses 3).
+pub fn repeats_from_env() -> usize {
+    std::env::var("ANT_REPEATS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(1)
+}
+
+/// Runs one algorithm on one prepared benchmark, best of `repeats`.
+pub fn run_one<P: PtsRepr>(bench: &PreparedBench, alg: Algorithm, repeats: usize) -> BenchResult {
+    let config = SolverConfig::new(alg);
+    let mut best: Option<SolverStats> = None;
+    for _ in 0..repeats.max(1) {
+        let out = solve::<P>(&bench.program, &config);
+        if best
+            .as_ref()
+            .is_none_or(|b| out.stats.solve_time < b.solve_time)
+        {
+            best = Some(out.stats);
+        }
+    }
+    let stats = best.expect("at least one run");
+    BenchResult {
+        algorithm: alg,
+        bench: bench.name.clone(),
+        time: stats.solve_time,
+        stats,
+    }
+}
+
+/// Results of a full sweep, indexed by `(algorithm name, benchmark name)`.
+#[derive(Debug, Default)]
+pub struct SuiteResults {
+    map: HashMap<(&'static str, String), BenchResult>,
+}
+
+impl SuiteResults {
+    /// Looks up one cell.
+    pub fn get(&self, alg: Algorithm, bench: &str) -> Option<&BenchResult> {
+        self.map.get(&(alg.name(), bench.to_owned()))
+    }
+
+    /// Cell solve time in seconds.
+    pub fn seconds(&self, alg: Algorithm, bench: &str) -> f64 {
+        self.get(alg, bench)
+            .map(|r| r.time.as_secs_f64())
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Cell memory in MiB.
+    pub fn mib(&self, alg: Algorithm, bench: &str) -> f64 {
+        self.get(alg, bench)
+            .map(|r| r.stats.total_mib())
+            .unwrap_or(f64::NAN)
+    }
+
+    fn insert(&mut self, r: BenchResult) {
+        self.map.insert((r.algorithm.name(), r.bench.clone()), r);
+    }
+}
+
+/// Runs `algorithms` over every prepared benchmark.
+pub fn run_suite<P: PtsRepr>(
+    benches: &[PreparedBench],
+    algorithms: &[Algorithm],
+    repeats: usize,
+) -> SuiteResults {
+    let mut out = SuiteResults::default();
+    for bench in benches {
+        for &alg in algorithms {
+            eprintln!("  [{}] {} ...", bench.name, alg.name());
+            out.insert(run_one::<P>(bench, alg, repeats));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ant_core::BitmapPts;
+    use ant_frontend::workload::WorkloadSpec;
+
+    fn tiny_bench() -> PreparedBench {
+        let program = WorkloadSpec::tiny(1).generate();
+        let original = program.stats();
+        let ovs = ant_constraints::ovs::substitute(&program);
+        let hcd = HcdOffline::analyze(&ovs.program);
+        PreparedBench {
+            name: "tiny".into(),
+            loc: 1000,
+            original,
+            reduced: ovs.program.stats(),
+            ovs_time: ovs.elapsed,
+            hcd_offline_time: hcd.elapsed,
+            program: ovs.program,
+        }
+    }
+
+    #[test]
+    fn run_one_produces_stats() {
+        let b = tiny_bench();
+        let r = run_one::<BitmapPts>(&b, Algorithm::LcdHcd, 2);
+        assert_eq!(r.bench, "tiny");
+        assert!(r.stats.nodes_processed > 0);
+    }
+
+    #[test]
+    fn suite_results_lookup() {
+        let b = tiny_bench();
+        let rs = run_suite::<BitmapPts>(
+            std::slice::from_ref(&b),
+            &[Algorithm::Lcd, Algorithm::Hcd],
+            1,
+        );
+        assert!(rs.get(Algorithm::Lcd, "tiny").is_some());
+        assert!(rs.get(Algorithm::Ht, "tiny").is_none());
+        assert!(rs.seconds(Algorithm::Lcd, "tiny") >= 0.0);
+        assert!(rs.mib(Algorithm::Lcd, "tiny") > 0.0);
+        assert!(rs.seconds(Algorithm::Blq, "tiny").is_nan());
+    }
+
+    #[test]
+    fn ovs_reduces_constraints() {
+        let b = tiny_bench();
+        assert!(b.reduced.total() < b.original.total());
+    }
+}

@@ -1,0 +1,306 @@
+//! The `ant` subcommands.
+
+use crate::opts::Opts;
+use ant_common::VarId;
+use ant_constraints::{ovs, parse_program, Program};
+use ant_core::{solve as run_solver, Algorithm, BddPts, BitmapPts, Solution, SolveOutput, SolverConfig};
+use ant_frontend::suite;
+
+pub const USAGE: &str = "\
+ant — inclusion-based pointer analysis (Hardekopf & Lin, PLDI 2007)
+
+USAGE:
+  ant compile <file.c> [-o out.consts]
+  ant solve   <file.c|file.consts> [--algorithm NAME] [--pts bitmap|bdd]
+              [--worklist fifo|lifo|lrf|divided-lrf] [--no-ovs] [--stats]
+  ant query   <file> --pointer NAME | --alias NAME NAME
+  ant gen     <benchmark> [--scale S] [-o out.consts]
+  ant compare <file>
+
+ALGORITHMS: Basic HT PKH BLQ LCD HCD HT+HCD PKH+HCD BLQ+HCD LCD+HCD PKH03 LCD-DP
+BENCHMARKS: emacs ghostscript gimp insight wine linux";
+
+/// Loads a program from a `.c` source or a constraint file.
+fn load(path: &str) -> Result<Program, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".c") {
+        let out = ant_frontend::compile_c(&text).map_err(|e| format!("{path}: {e}"))?;
+        for w in &out.warnings {
+            eprintln!("warning: {w}");
+        }
+        Ok(out.program)
+    } else {
+        parse_program(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn config_from(opts: &Opts) -> Result<SolverConfig, String> {
+    let algorithm = match opts.value("--algorithm") {
+        None => Algorithm::LcdHcd,
+        Some(name) => {
+            Algorithm::parse(name).ok_or_else(|| format!("unknown algorithm `{name}`"))?
+        }
+    };
+    let worklist = match opts.value("--worklist") {
+        None => ant_common::worklist::WorklistKind::DividedLrf,
+        Some("fifo") => ant_common::worklist::WorklistKind::Fifo,
+        Some("lifo") => ant_common::worklist::WorklistKind::Lifo,
+        Some("lrf") => ant_common::worklist::WorklistKind::Lrf,
+        Some("divided-lrf") => ant_common::worklist::WorklistKind::DividedLrf,
+        Some(other) => return Err(format!("unknown worklist `{other}`")),
+    };
+    Ok(SolverConfig {
+        algorithm,
+        worklist,
+    })
+}
+
+fn run(program: &Program, opts: &Opts) -> Result<(SolveOutput, Option<ovs::OvsResult>), String> {
+    let config = config_from(opts)?;
+    let reduced = if opts.has("--no-ovs") {
+        None
+    } else {
+        Some(ovs::substitute(program))
+    };
+    let target = reduced.as_ref().map(|r| &r.program).unwrap_or(program);
+    let out = match opts.value("--pts") {
+        None | Some("bitmap") => run_solver::<BitmapPts>(target, &config),
+        Some("bdd") => run_solver::<BddPts>(target, &config),
+        Some(other) => return Err(format!("unknown points-to representation `{other}`")),
+    };
+    Ok((out, reduced))
+}
+
+fn expanded(out: &SolveOutput, reduced: &Option<ovs::OvsResult>) -> Solution {
+    match reduced {
+        Some(r) => out.solution.expand_ovs(r),
+        None => out.solution.clone(),
+    }
+}
+
+fn print_pts(program: &Program, solution: &Solution, v: VarId) {
+    let names: Vec<&str> = solution
+        .points_to(v)
+        .iter()
+        .map(|&l| program.var_name(VarId::from_u32(l)))
+        .collect();
+    println!("pts({}) = {{{}}}", program.var_name(v), names.join(", "));
+}
+
+pub fn compile(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args)?;
+    let [input] = opts.positional.as_slice() else {
+        return Err("compile takes exactly one input file".into());
+    };
+    if !input.ends_with(".c") {
+        return Err("compile expects a .c file".into());
+    }
+    let program = load(input)?;
+    let text = program.to_text();
+    match opts.value("-o") {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "{}: {} variables, {}",
+                path,
+                program.num_vars(),
+                program.stats()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+pub fn solve(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args)?;
+    let [input] = opts.positional.as_slice() else {
+        return Err("solve takes exactly one input file".into());
+    };
+    let program = load(input)?;
+    let (out, reduced) = run(&program, &opts)?;
+    let solution = expanded(&out, &reduced);
+    if let Some(r) = &reduced {
+        eprintln!(
+            "OVS: {} -> {} constraints ({:.0}% removed) in {:.3}ms",
+            r.stats.constraints_before,
+            r.stats.constraints_after,
+            r.stats.reduction_percent(),
+            r.elapsed.as_secs_f64() * 1000.0
+        );
+    }
+    eprintln!(
+        "solved with {} in {:.3}ms",
+        config_from(&opts)?.algorithm,
+        out.stats.solve_time.as_secs_f64() * 1000.0
+    );
+    if opts.has("--stats") {
+        eprintln!("{}", out.stats);
+    }
+    for v in program.vars() {
+        if !solution.points_to(v).is_empty() {
+            print_pts(&program, &solution, v);
+        }
+    }
+    Ok(())
+}
+
+pub fn query(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args)?;
+    let [input, rest @ ..] = opts.positional.as_slice() else {
+        return Err("query takes an input file".into());
+    };
+    let program = load(input)?;
+    let (out, reduced) = run(&program, &opts)?;
+    let solution = expanded(&out, &reduced);
+    if let Some(name) = opts.value("--pointer") {
+        let v = program
+            .var_by_name(name)
+            .ok_or_else(|| format!("no variable named `{name}`"))?;
+        print_pts(&program, &solution, v);
+        return Ok(());
+    }
+    if opts.has("--alias") {
+        let [a, b] = rest else {
+            return Err("--alias takes two variable names: ant query f --alias a b".into());
+        };
+        let va = program
+            .var_by_name(a)
+            .ok_or_else(|| format!("no variable named `{a}`"))?;
+        let vb = program
+            .var_by_name(b)
+            .ok_or_else(|| format!("no variable named `{b}`"))?;
+        println!("may_alias({a}, {b}) = {}", solution.may_alias(va, vb));
+        return Ok(());
+    }
+    Err("query needs --pointer NAME or --alias A B".into())
+}
+
+pub fn gen(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args)?;
+    let [name] = opts.positional.as_slice() else {
+        return Err("gen takes one benchmark name".into());
+    };
+    let scale: f64 = match opts.value("--scale") {
+        None => suite::DEFAULT_SCALE,
+        Some(s) => s.parse().map_err(|_| format!("bad scale `{s}`"))?,
+    };
+    let bench =
+        suite::benchmark(name, scale).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let program = bench.program();
+    eprintln!("{name}@{scale}: {}", program.stats());
+    let text = program.to_text();
+    match opts.value("-o") {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+pub fn compare(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args)?;
+    let [input] = opts.positional.as_slice() else {
+        return Err("compare takes exactly one input file".into());
+    };
+    let program = load(input)?;
+    let reduced = ovs::substitute(&program);
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>12}",
+        "algo", "time(ms)", "collapsed", "searched", "propagations"
+    );
+    let mut reference: Option<Solution> = None;
+    for alg in Algorithm::ALL {
+        let out = run_solver::<BitmapPts>(&reduced.program, &SolverConfig::new(alg));
+        println!(
+            "{:<8} {:>10.2} {:>10} {:>10} {:>12}",
+            alg.name(),
+            out.stats.solve_time.as_secs_f64() * 1000.0,
+            out.stats.nodes_collapsed,
+            out.stats.nodes_searched,
+            out.stats.propagations
+        );
+        let solution = out.solution.expand_ovs(&reduced);
+        match &reference {
+            None => reference = Some(solution),
+            Some(r) => {
+                if !solution.equiv(r) {
+                    return Err(format!("{} disagrees with the reference solution", alg));
+                }
+            }
+        }
+    }
+    println!("all algorithms agree ✓");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let dir = std::env::temp_dir().join("ant-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn compile_and_solve_roundtrip() {
+        let c = write_temp(
+            "t1.c",
+            "int x; int *p; void main() { p = &x; }",
+        );
+        let out = write_temp("t1.consts", "");
+        compile(&s(&[&c, "-o", &out])).unwrap();
+        solve(&s(&[&out])).unwrap();
+        solve(&s(&[&c, "--algorithm", "HT", "--pts", "bdd", "--stats"])).unwrap();
+    }
+
+    #[test]
+    fn query_pointer_and_alias() {
+        let c = write_temp(
+            "t2.c",
+            "int x; int *p; int *q; void main() { p = &x; q = p; }",
+        );
+        query(&s(&[&c, "--pointer", "p"])).unwrap();
+        query(&s(&[&c, "--alias", "p", "q"])).unwrap();
+        assert!(query(&s(&[&c, "--pointer", "nope"])).is_err());
+        assert!(query(&s(&[&c])).is_err());
+    }
+
+    #[test]
+    fn gen_writes_workloads() {
+        let out = write_temp("t3.consts", "");
+        gen(&s(&["emacs", "--scale", "0.005", "-o", &out])).unwrap();
+        let program = parse_program(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert!(program.stats().total() > 50);
+        assert!(gen(&s(&["nope"])).is_err());
+    }
+
+    #[test]
+    fn compare_agrees_on_small_input() {
+        let c = write_temp(
+            "t4.c",
+            "int x; int *p; int **pp; void main() { p = &x; pp = &p; **pp = x; }",
+        );
+        compare(&s(&[&c])).unwrap();
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        assert!(load("/nonexistent/file.c").is_err());
+        assert!(compile(&s(&["not_c.txt"])).is_err());
+        assert!(solve(&s(&[])).is_err());
+        let c = write_temp("t5.c", "int x;");
+        assert!(solve(&s(&[&c, "--algorithm", "WAT"])).is_err());
+        assert!(solve(&s(&[&c, "--pts", "rope"])).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! `ant` — the command-line front door to the pointer analysis.
+//!
+//! ```text
+//! ant compile prog.c -o prog.consts        # mini-C → constraint file
+//! ant solve prog.c --algorithm LCD+HCD     # solve and dump points-to sets
+//! ant solve prog.consts --stats            # constraint files work too
+//! ant query prog.c --pointer p             # one variable's set
+//! ant query prog.c --alias p q             # may-alias question
+//! ant gen wine --scale 0.05 -o wine.consts # synthetic workload to a file
+//! ant compare prog.c                       # run every algorithm, verify agreement
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+mod opts;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "compile" => commands::compile(rest),
+        "solve" => commands::solve(rest),
+        "query" => commands::query(rest),
+        "gen" => commands::gen(rest),
+        "compare" => commands::compare(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Tiny hand-rolled option parsing (no external dependencies).
+
+/// Parsed command line: positional arguments plus `--flag [value]` options.
+#[derive(Debug, Default)]
+pub struct Opts {
+    pub positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+/// Options that take a value (everything else is boolean).
+const VALUED: &[&str] = &[
+    "-o",
+    "--algorithm",
+    "--pts",
+    "--scale",
+    "--seed",
+    "--pointer",
+    "--worklist",
+];
+
+impl Opts {
+    /// Parses `args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a valued flag is missing its value.
+    pub fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut out = Opts::default();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if a.starts_with('-') {
+                if VALUED.contains(&a.as_str()) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("flag {a} needs a value"))?;
+                    out.flags.push((a.clone(), Some(v.clone())));
+                } else {
+                    out.flags.push((a.clone(), None));
+                }
+            } else {
+                out.positional.push(a.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The value of flag `name`, if present.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(f, _)| f == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// All values of the (repeatable) flag `name` — used by `--alias a b`
+    /// style flags via positionals instead; kept for symmetry.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(f, _)| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let o = Opts::parse(&s(&["a.c", "--stats", "-o", "out", "b"])).unwrap();
+        assert_eq!(o.positional, vec!["a.c", "b"]);
+        assert!(o.has("--stats"));
+        assert_eq!(o.value("-o"), Some("out"));
+        assert_eq!(o.value("--algorithm"), None);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = Opts::parse(&s(&["--algorithm"])).unwrap_err();
+        assert!(err.contains("needs a value"));
+    }
+}

@@ -1,0 +1,680 @@
+//! A sparse bitmap of 128-bit elements, modeled on the GCC `bitmap`
+//! structure that the paper uses for points-to sets and edge sets.
+//!
+//! GCC chains 128-bit *elements* (an element index plus two 64-bit words) in
+//! a linked list ordered by index. We keep the same element granularity and
+//! ordering but store the elements in a sorted `Vec`, which preserves the
+//! asymptotics of every set operation while being considerably more cache
+//! friendly; `DESIGN.md` records this substitution.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Number of bits covered by one element.
+const ELT_BITS: u32 = 128;
+/// Number of 64-bit words per element.
+const WORDS: usize = 2;
+
+/// One 128-bit chunk of the bitmap, covering bits
+/// `[idx * 128, (idx + 1) * 128)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct Element {
+    idx: u32,
+    words: [u64; WORDS],
+}
+
+impl Element {
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.words[0] == 0 && self.words[1] == 0
+    }
+
+    #[inline]
+    fn popcount(&self) -> u32 {
+        self.words[0].count_ones() + self.words[1].count_ones()
+    }
+}
+
+#[inline]
+fn split(bit: u32) -> (u32, usize, u32) {
+    let idx = bit / ELT_BITS;
+    let rem = bit % ELT_BITS;
+    ((idx), (rem / 64) as usize, rem % 64)
+}
+
+/// A sparse set of `u32` values stored as a sorted sequence of 128-bit
+/// elements, in the style of GCC's `bitmap` type.
+///
+/// This is the representation the paper uses for points-to sets and for the
+/// successor-edge sets of the online constraint graph (every solver except
+/// BLQ). The critical operation is [`union_with`](SparseBitmap::union_with),
+/// which performs an in-place `ior` and reports whether the destination
+/// changed — the "propagate and test" step at the heart of the dynamic
+/// transitive closure.
+///
+/// # Example
+///
+/// ```
+/// use ant_common::SparseBitmap;
+///
+/// let mut pts = SparseBitmap::new();
+/// assert!(pts.insert(3));
+/// assert!(!pts.insert(3));
+/// let other: SparseBitmap = [3u32, 1000].into_iter().collect();
+/// assert!(pts.union_with(&other));
+/// assert!(!pts.union_with(&other)); // already a superset
+/// assert_eq!(pts.len(), 2);
+/// ```
+#[derive(Clone, Default)]
+pub struct SparseBitmap {
+    /// Non-zero elements sorted by `idx`.
+    elems: Vec<Element>,
+}
+
+impl SparseBitmap {
+    /// Creates an empty bitmap.
+    #[inline]
+    pub fn new() -> Self {
+        SparseBitmap { elems: Vec::new() }
+    }
+
+    /// Creates an empty bitmap with room for `n` elements (not bits).
+    pub fn with_element_capacity(n: usize) -> Self {
+        SparseBitmap {
+            elems: Vec::with_capacity(n),
+        }
+    }
+
+    /// Returns the position of the element with index `idx`, or where it
+    /// would be inserted.
+    #[inline]
+    fn search(&self, idx: u32) -> Result<usize, usize> {
+        // Most workloads touch the highest element repeatedly while a set
+        // grows; probe the ends before falling back to binary search.
+        match self.elems.last() {
+            None => return Err(0),
+            Some(last) => match last.idx.cmp(&idx) {
+                Ordering::Equal => return Ok(self.elems.len() - 1),
+                Ordering::Less => return Err(self.elems.len()),
+                Ordering::Greater => {}
+            },
+        }
+        self.elems.binary_search_by_key(&idx, |e| e.idx)
+    }
+
+    /// Inserts `bit`; returns `true` if the bit was not already present.
+    pub fn insert(&mut self, bit: u32) -> bool {
+        let (idx, word, pos) = split(bit);
+        let mask = 1u64 << pos;
+        match self.search(idx) {
+            Ok(i) => {
+                let w = &mut self.elems[i].words[word];
+                let was = *w & mask != 0;
+                *w |= mask;
+                !was
+            }
+            Err(i) => {
+                let mut words = [0u64; WORDS];
+                words[word] = mask;
+                self.elems.insert(i, Element { idx, words });
+                true
+            }
+        }
+    }
+
+    /// Removes `bit`; returns `true` if the bit was present.
+    pub fn remove(&mut self, bit: u32) -> bool {
+        let (idx, word, pos) = split(bit);
+        let mask = 1u64 << pos;
+        match self.search(idx) {
+            Ok(i) => {
+                let e = &mut self.elems[i];
+                let was = e.words[word] & mask != 0;
+                e.words[word] &= !mask;
+                if e.is_zero() {
+                    self.elems.remove(i);
+                }
+                was
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Returns `true` if `bit` is in the set.
+    #[inline]
+    pub fn contains(&self, bit: u32) -> bool {
+        let (idx, word, pos) = split(bit);
+        match self.search(idx) {
+            Ok(i) => self.elems[i].words[word] & (1 << pos) != 0,
+            Err(_) => false,
+        }
+    }
+
+    /// Number of bits set. O(#elements).
+    pub fn len(&self) -> usize {
+        self.elems.iter().map(|e| e.popcount() as usize).sum()
+    }
+
+    /// Returns `true` if no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Removes all bits.
+    pub fn clear(&mut self) {
+        self.elems.clear();
+    }
+
+    /// Smallest bit in the set, if any.
+    pub fn first(&self) -> Option<u32> {
+        self.elems.first().map(|e| {
+            let base = e.idx * ELT_BITS;
+            if e.words[0] != 0 {
+                base + e.words[0].trailing_zeros()
+            } else {
+                base + 64 + e.words[1].trailing_zeros()
+            }
+        })
+    }
+
+    /// Largest bit in the set, if any.
+    pub fn last(&self) -> Option<u32> {
+        self.elems.last().map(|e| {
+            let base = e.idx * ELT_BITS;
+            if e.words[1] != 0 {
+                base + 127 - e.words[1].leading_zeros()
+            } else {
+                base + 63 - e.words[0].leading_zeros()
+            }
+        })
+    }
+
+    /// In-place union (`self |= other`); returns `true` if `self` changed.
+    ///
+    /// This is GCC's `bitmap_ior_into`, the single hottest operation of the
+    /// bitmap-based solvers: every points-to propagation along a constraint
+    /// edge is one call.
+    pub fn union_with(&mut self, other: &SparseBitmap) -> bool {
+        if other.elems.is_empty() || std::ptr::eq(self, other) {
+            return false;
+        }
+        if self.elems.is_empty() {
+            self.elems = other.elems.clone();
+            return true;
+        }
+        // Pass 1 (allocation-free): would the union change `self`?
+        // In a converging fixpoint most propagations are no-ops, so this
+        // fast path pays for itself many times over.
+        if self.superset_of(other) {
+            return false;
+        }
+        // Pass 2: merge into a fresh vector.
+        let mut out = Vec::with_capacity(self.elems.len() + other.elems.len());
+        let (a, b) = (&self.elems, &other.elems);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].idx.cmp(&b[j].idx) {
+                Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    out.push(Element {
+                        idx: a[i].idx,
+                        words: [
+                            a[i].words[0] | b[j].words[0],
+                            a[i].words[1] | b[j].words[1],
+                        ],
+                    });
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        self.elems = out;
+        true
+    }
+
+    /// Returns `true` if every bit of `other` is in `self`.
+    pub fn superset_of(&self, other: &SparseBitmap) -> bool {
+        let (a, b) = (&self.elems, &other.elems);
+        let mut i = 0;
+        for be in b {
+            while i < a.len() && a[i].idx < be.idx {
+                i += 1;
+            }
+            if i == a.len() || a[i].idx != be.idx {
+                return false;
+            }
+            let ae = &a[i];
+            if be.words[0] & !ae.words[0] != 0 || be.words[1] & !ae.words[1] != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if every bit of `self` is in `other`.
+    #[inline]
+    pub fn subset_of(&self, other: &SparseBitmap) -> bool {
+        other.superset_of(self)
+    }
+
+    /// In-place intersection (`self &= other`); returns `true` if `self`
+    /// changed.
+    pub fn intersect_with(&mut self, other: &SparseBitmap) -> bool {
+        if std::ptr::eq(self, other) {
+            return false;
+        }
+        let mut changed = false;
+        let mut j = 0;
+        self.elems.retain_mut(|e| {
+            while j < other.elems.len() && other.elems[j].idx < e.idx {
+                j += 1;
+            }
+            if j < other.elems.len() && other.elems[j].idx == e.idx {
+                let oe = &other.elems[j];
+                let w0 = e.words[0] & oe.words[0];
+                let w1 = e.words[1] & oe.words[1];
+                if w0 != e.words[0] || w1 != e.words[1] {
+                    changed = true;
+                }
+                e.words = [w0, w1];
+                !e.is_zero()
+            } else {
+                changed = true;
+                false
+            }
+        });
+        changed
+    }
+
+    /// In-place difference (`self -= other`); returns `true` if `self`
+    /// changed.
+    pub fn subtract(&mut self, other: &SparseBitmap) -> bool {
+        if std::ptr::eq(self, other) {
+            let changed = !self.is_empty();
+            self.clear();
+            return changed;
+        }
+        let mut changed = false;
+        let mut j = 0;
+        self.elems.retain_mut(|e| {
+            while j < other.elems.len() && other.elems[j].idx < e.idx {
+                j += 1;
+            }
+            if j < other.elems.len() && other.elems[j].idx == e.idx {
+                let oe = &other.elems[j];
+                let w0 = e.words[0] & !oe.words[0];
+                let w1 = e.words[1] & !oe.words[1];
+                if w0 != e.words[0] || w1 != e.words[1] {
+                    changed = true;
+                }
+                e.words = [w0, w1];
+                !e.is_zero()
+            } else {
+                true
+            }
+        });
+        changed
+    }
+
+    /// Returns `true` if the two sets share no bit.
+    pub fn is_disjoint(&self, other: &SparseBitmap) -> bool {
+        let (a, b) = (&self.elems, &other.elems);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].idx.cmp(&b[j].idx) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => {
+                    if a[i].words[0] & b[j].words[0] != 0 || a[i].words[1] & b[j].words[1] != 0 {
+                        return false;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// Iterates over the set bits in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            elems: &self.elems,
+            pos: 0,
+            word: 0,
+            bits: self.elems.first().map_or(0, |e| e.words[0]),
+        }
+    }
+
+    /// Iterates over the bits of `self` that are *not* in `other`, in
+    /// ascending order — the delta iteration at the heart of incremental
+    /// complex-constraint processing. Allocation-free element-wise merge.
+    pub fn difference<'a>(&'a self, other: &'a SparseBitmap) -> Difference<'a> {
+        Difference {
+            a: &self.elems,
+            b: &other.elems,
+            pos: 0,
+            b_pos: 0,
+            word: 0,
+            bits: 0,
+            primed: false,
+        }
+    }
+
+    /// Heap bytes owned by this bitmap (the paper's Table 4/6 accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.elems.capacity() * std::mem::size_of::<Element>()
+    }
+}
+
+impl PartialEq for SparseBitmap {
+    fn eq(&self, other: &Self) -> bool {
+        // Zero elements are never stored, so the element list is canonical.
+        self.elems == other.elems
+    }
+}
+
+impl Eq for SparseBitmap {}
+
+impl Hash for SparseBitmap {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for e in &self.elems {
+            e.hash(state);
+        }
+    }
+}
+
+impl fmt::Debug for SparseBitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<u32> for SparseBitmap {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut s = SparseBitmap::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl Extend<u32> for SparseBitmap {
+    fn extend<I: IntoIterator<Item = u32>>(&mut self, iter: I) {
+        for b in iter {
+            self.insert(b);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a SparseBitmap {
+    type Item = u32;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Ascending iterator over the bits of a [`SparseBitmap`].
+#[derive(Clone, Debug)]
+pub struct Iter<'a> {
+    elems: &'a [Element],
+    pos: usize,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.pos >= self.elems.len() {
+                return None;
+            }
+            if self.bits != 0 {
+                let tz = self.bits.trailing_zeros();
+                self.bits &= self.bits - 1;
+                let e = &self.elems[self.pos];
+                return Some(e.idx * ELT_BITS + self.word as u32 * 64 + tz);
+            }
+            if self.word + 1 < WORDS {
+                self.word += 1;
+            } else {
+                self.pos += 1;
+                self.word = 0;
+                if self.pos >= self.elems.len() {
+                    return None;
+                }
+            }
+            self.bits = self.elems[self.pos].words[self.word];
+        }
+    }
+}
+
+/// Iterator over `a - b` produced by [`SparseBitmap::difference`].
+#[derive(Clone, Debug)]
+pub struct Difference<'a> {
+    a: &'a [Element],
+    b: &'a [Element],
+    pos: usize,
+    b_pos: usize,
+    word: usize,
+    bits: u64,
+    primed: bool,
+}
+
+impl Difference<'_> {
+    /// Loads `self.bits` with the masked word at (pos, word).
+    fn load(&mut self) {
+        let ae = &self.a[self.pos];
+        while self.b_pos < self.b.len() && self.b[self.b_pos].idx < ae.idx {
+            self.b_pos += 1;
+        }
+        let mask = if self.b_pos < self.b.len() && self.b[self.b_pos].idx == ae.idx {
+            !self.b[self.b_pos].words[self.word]
+        } else {
+            !0
+        };
+        self.bits = ae.words[self.word] & mask;
+        self.primed = true;
+    }
+}
+
+impl Iterator for Difference<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.pos >= self.a.len() {
+                return None;
+            }
+            if !self.primed {
+                self.load();
+            }
+            if self.bits != 0 {
+                let tz = self.bits.trailing_zeros();
+                self.bits &= self.bits - 1;
+                let e = &self.a[self.pos];
+                return Some(e.idx * ELT_BITS + self.word as u32 * 64 + tz);
+            }
+            if self.word + 1 < WORDS {
+                self.word += 1;
+            } else {
+                self.pos += 1;
+                self.word = 0;
+            }
+            self.primed = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn from_slice(bits: &[u32]) -> SparseBitmap {
+        bits.iter().copied().collect()
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = SparseBitmap::new();
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(127));
+        assert!(s.insert(128));
+        assert!(!s.insert(127));
+        assert!(s.contains(0) && s.contains(127) && s.contains(128));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(127));
+        assert!(!s.remove(127));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn removing_last_bit_drops_element() {
+        let mut s = from_slice(&[1000]);
+        assert!(s.remove(1000));
+        assert!(s.is_empty());
+        assert_eq!(s.elems.len(), 0);
+    }
+
+    #[test]
+    fn first_and_last() {
+        assert_eq!(SparseBitmap::new().first(), None);
+        let s = from_slice(&[64, 5, 1_000_000]);
+        assert_eq!(s.first(), Some(5));
+        assert_eq!(s.last(), Some(1_000_000));
+        let t = from_slice(&[70]);
+        assert_eq!(t.first(), Some(70));
+        assert_eq!(t.last(), Some(70));
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = from_slice(&[1, 2, 3]);
+        let b = from_slice(&[2, 3]);
+        assert!(!a.union_with(&b));
+        let c = from_slice(&[4]);
+        assert!(a.union_with(&c));
+        assert!(a.contains(4));
+        let mut empty = SparseBitmap::new();
+        assert!(empty.union_with(&a));
+        assert_eq!(empty, a);
+        assert!(!a.union_with(&SparseBitmap::new()));
+    }
+
+    #[test]
+    fn union_merges_distant_elements() {
+        let mut a = from_slice(&[1]);
+        let b = from_slice(&[100_000]);
+        assert!(a.union_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 100_000]);
+    }
+
+    #[test]
+    fn subset_superset() {
+        let a = from_slice(&[1, 200, 4000]);
+        let b = from_slice(&[200, 4000]);
+        assert!(a.superset_of(&b));
+        assert!(b.subset_of(&a));
+        assert!(!b.superset_of(&a));
+        assert!(a.superset_of(&SparseBitmap::new()));
+    }
+
+    #[test]
+    fn intersection() {
+        let mut a = from_slice(&[1, 2, 300, 4000]);
+        let b = from_slice(&[2, 300, 9999]);
+        assert!(a.intersect_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![2, 300]);
+        assert!(!a.intersect_with(&b));
+    }
+
+    #[test]
+    fn subtraction() {
+        let mut a = from_slice(&[1, 2, 300]);
+        let b = from_slice(&[2, 7]);
+        assert!(a.subtract(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 300]);
+        assert!(!a.subtract(&b));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = from_slice(&[1, 130]);
+        let b = from_slice(&[2, 131]);
+        assert!(a.is_disjoint(&b));
+        let c = from_slice(&[130]);
+        assert!(!a.is_disjoint(&c));
+    }
+
+    #[test]
+    fn equality_is_canonical() {
+        let mut a = from_slice(&[5, 600]);
+        let mut b = from_slice(&[600]);
+        b.insert(5);
+        assert_eq!(a, b);
+        a.remove(600);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn difference_iterator() {
+        let a = from_slice(&[1, 2, 3, 500]);
+        let b = from_slice(&[2, 500]);
+        let d: Vec<u32> = a.difference(&b).collect();
+        assert_eq!(d, vec![1, 3]);
+    }
+
+    #[test]
+    fn iterates_in_ascending_order_across_words() {
+        let bits = [0u32, 63, 64, 65, 127, 128, 129, 255, 256, 100_000];
+        let s = from_slice(&bits);
+        assert_eq!(s.iter().collect::<Vec<_>>(), bits);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", SparseBitmap::new()), "{}");
+        assert_eq!(format!("{:?}", from_slice(&[3])), "{3}");
+    }
+
+    #[test]
+    fn model_check_small_ops() {
+        // Deterministic cross-check against BTreeSet over a few thousand
+        // mixed operations.
+        let mut model = BTreeSet::new();
+        let mut s = SparseBitmap::new();
+        let mut x: u32 = 12345;
+        for step in 0..4000 {
+            // Simple LCG so the test needs no external crates.
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            let bit = (x >> 7) % 1500;
+            match step % 3 {
+                0 | 1 => {
+                    assert_eq!(s.insert(bit), model.insert(bit));
+                }
+                _ => {
+                    assert_eq!(s.remove(bit), model.remove(&bit));
+                }
+            }
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+        assert_eq!(s.len(), model.len());
+    }
+}

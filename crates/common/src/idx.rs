@@ -1,0 +1,120 @@
+use std::fmt;
+
+/// A compact identifier for a program variable (a node of the constraint
+/// graph and/or an abstract memory location).
+///
+/// Inclusion-based pointer analysis identifies variables and the memory
+/// locations they denote: `loc(v)` in the paper is simply `v`'s own id, so a
+/// points-to set is a set of `VarId`s.
+///
+/// `VarId` is a `u32` newtype: the analyses in this workspace routinely
+/// manipulate hundreds of thousands of variables, and halving the id width
+/// halves the size of every edge list and worklist entry.
+///
+/// # Example
+///
+/// ```
+/// use ant_common::VarId;
+/// let v = VarId::new(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(v.to_string(), "v7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// Creates a variable id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        VarId(u32::try_from(index).expect("variable index exceeds u32::MAX"))
+    }
+
+    /// Creates a variable id from a raw `u32`.
+    #[inline]
+    pub const fn from_u32(raw: u32) -> Self {
+        VarId(raw)
+    }
+
+    /// Returns the dense index of this variable, suitable for `Vec` indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the variable `offset` slots after this one.
+    ///
+    /// Used for Pearce-style indirect-call resolution, where the `k`-th
+    /// parameter of a function variable `f` lives at id `f + k`.
+    #[inline]
+    pub const fn offset(self, offset: u32) -> Self {
+        VarId(self.0 + offset)
+    }
+}
+
+impl From<u32> for VarId {
+    #[inline]
+    fn from(raw: u32) -> Self {
+        VarId(raw)
+    }
+}
+
+impl From<VarId> for u32 {
+    #[inline]
+    fn from(v: VarId) -> u32 {
+        v.0
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = VarId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.as_u32(), 42);
+        assert_eq!(VarId::from(42u32), v);
+        assert_eq!(u32::from(v), 42);
+    }
+
+    #[test]
+    fn offsets_address_parameters() {
+        let f = VarId::new(10);
+        assert_eq!(f.offset(0), f);
+        assert_eq!(f.offset(3), VarId::new(13));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(VarId::new(1) < VarId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn new_rejects_huge_indices() {
+        let _ = VarId::new(usize::try_from(u64::from(u32::MAX) + 1).unwrap());
+    }
+}

@@ -1,0 +1,44 @@
+//! Shared infrastructure for the `ant-grasshopper` pointer analysis.
+//!
+//! This crate contains the domain-independent building blocks that the
+//! PLDI 2007 paper *The Ant and the Grasshopper* (Hardekopf & Lin) names as
+//! the common substrate of all its solver implementations:
+//!
+//! * [`SparseBitmap`] — a GCC-style sparse bitmap of 128-bit elements, used
+//!   for both points-to sets and constraint-graph edge sets,
+//! * [`UnionFind`] — union-by-rank with path compression, used to collapse
+//!   strongly connected components of the constraint graph,
+//! * [`worklist`] — FIFO / LIFO / least-recently-fired worklists, including
+//!   the divided *current*/*next* worklist of Nielson et al.,
+//! * [`SolverStats`] — the counters reported in §5.3 of the paper (nodes
+//!   collapsed, nodes searched, propagations) plus byte accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use ant_common::SparseBitmap;
+//!
+//! let mut a: SparseBitmap = [1u32, 500, 100_000].into_iter().collect();
+//! let b: SparseBitmap = [2u32, 500].into_iter().collect();
+//! let changed = a.union_with(&b);
+//! assert!(changed);
+//! assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 500, 100_000]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitmap;
+pub mod fx;
+mod idx;
+mod mem;
+mod stats;
+mod union_find;
+pub mod worklist;
+
+pub use bitmap::SparseBitmap;
+pub use idx::VarId;
+pub use mem::{vec_bytes, HeapBytes};
+pub use stats::SolverStats;
+pub use union_find::UnionFind;
+pub use worklist::{DividedLrf, Fifo, Lifo, Lrf, Worklist, WorklistKind};

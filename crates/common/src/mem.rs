@@ -1,0 +1,70 @@
+//! Byte accounting for the paper's memory tables.
+//!
+//! The paper measures process memory; we instead instrument the dominant
+//! data structures directly (bitmap elements, edge vectors, BDD node and
+//! cache arrays), which measures exactly the quantity the paper's Tables 4
+//! and 6 compare across representations.
+
+/// Types that can report the heap bytes they own.
+pub trait HeapBytes {
+    /// Heap bytes owned by `self`, excluding `size_of::<Self>()` itself.
+    fn heap_bytes(&self) -> usize;
+}
+
+impl HeapBytes for crate::SparseBitmap {
+    fn heap_bytes(&self) -> usize {
+        SparseBitmap::heap_bytes(self)
+    }
+}
+use crate::SparseBitmap;
+
+impl HeapBytes for crate::UnionFind {
+    fn heap_bytes(&self) -> usize {
+        crate::UnionFind::heap_bytes(self)
+    }
+}
+
+impl<T: HeapBytes> HeapBytes for Vec<T> {
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+            + self.iter().map(HeapBytes::heap_bytes).sum::<usize>()
+    }
+}
+
+impl<T: HeapBytes> HeapBytes for Option<T> {
+    fn heap_bytes(&self) -> usize {
+        self.as_ref().map_or(0, HeapBytes::heap_bytes)
+    }
+}
+
+/// Heap bytes of a vector of plain (non-owning) elements.
+pub fn vec_bytes<T>(v: &[T]) -> usize {
+    std::mem::size_of_val(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_bytes_grow_with_elements() {
+        let mut s = SparseBitmap::new();
+        assert_eq!(s.heap_bytes(), 0);
+        s.insert(1);
+        s.insert(10_000);
+        assert!(s.heap_bytes() >= 2 * 24);
+    }
+
+    #[test]
+    fn vec_of_bitmaps_accounts_recursively() {
+        let inner: SparseBitmap = [1u32, 500].into_iter().collect();
+        let v = vec![inner.clone(), inner];
+        assert!(v.heap_bytes() > 2 * std::mem::size_of::<SparseBitmap>());
+    }
+
+    #[test]
+    fn plain_vec_bytes() {
+        let v: Vec<u32> = vec![0; 16];
+        assert_eq!(vec_bytes(&v), 64);
+    }
+}

@@ -1,0 +1,148 @@
+//! Solver statistics — the quantities §5.3 of the paper uses to explain the
+//! relative performance of the algorithms.
+
+use std::fmt;
+use std::ops::AddAssign;
+use std::time::Duration;
+
+/// Counters and byte accounting collected by every solver run.
+///
+/// §5.3 names three decisive metrics: "(1) the number of nodes collapsed due
+/// to strongly-connected components; (2) the number of nodes searched during
+/// the depth-first traversals of the constraint graph; and (3) the number of
+/// propagations of points-to information across the edges of the constraint
+/// graph." The byte counters feed the memory tables (Tables 4 and 6).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Nodes merged away by cycle collapsing (paper metric 1).
+    pub nodes_collapsed: u64,
+    /// Nodes visited by cycle-detection depth-first searches (metric 2).
+    pub nodes_searched: u64,
+    /// Points-to set propagations across constraint edges (metric 3).
+    pub propagations: u64,
+    /// Propagations whose union actually changed the destination.
+    pub propagations_changed: u64,
+    /// Cycle-detection attempts that were triggered.
+    pub cycle_searches: u64,
+    /// Cycles actually found and collapsed.
+    pub cycles_found: u64,
+    /// Edges added to the online constraint graph by complex constraints.
+    pub edges_added: u64,
+    /// Inner iterations of complex-constraint resolution (locations ×
+    /// attached constraints) — the work `process_complex` performs.
+    pub complex_iters: u64,
+    /// Nodes popped from the worklist.
+    pub nodes_processed: u64,
+    /// Bytes held by points-to set representations at the end of the run.
+    pub pts_bytes: usize,
+    /// Bytes held by the constraint graph (edge sets) at the end of the run.
+    pub graph_bytes: usize,
+    /// Bytes held by auxiliary structures (union-find, caches, BDD manager).
+    pub aux_bytes: usize,
+    /// Wall-clock time of the online solve.
+    pub solve_time: Duration,
+    /// Wall-clock time of offline pre-analyses run by the solver (HCD).
+    pub offline_time: Duration,
+}
+
+impl SolverStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        SolverStats::default()
+    }
+
+    /// Total bytes across all accounted structures.
+    pub fn total_bytes(&self) -> usize {
+        self.pts_bytes + self.graph_bytes + self.aux_bytes
+    }
+
+    /// Total bytes in mebibytes, as the paper's memory tables report.
+    pub fn total_mib(&self) -> f64 {
+        self.total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl AddAssign<&SolverStats> for SolverStats {
+    fn add_assign(&mut self, rhs: &SolverStats) {
+        self.nodes_collapsed += rhs.nodes_collapsed;
+        self.nodes_searched += rhs.nodes_searched;
+        self.propagations += rhs.propagations;
+        self.propagations_changed += rhs.propagations_changed;
+        self.cycle_searches += rhs.cycle_searches;
+        self.cycles_found += rhs.cycles_found;
+        self.edges_added += rhs.edges_added;
+        self.complex_iters += rhs.complex_iters;
+        self.nodes_processed += rhs.nodes_processed;
+        self.pts_bytes += rhs.pts_bytes;
+        self.graph_bytes += rhs.graph_bytes;
+        self.aux_bytes += rhs.aux_bytes;
+        self.solve_time += rhs.solve_time;
+        self.offline_time += rhs.offline_time;
+    }
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "collapsed {} | searched {} | propagations {} ({} changed)",
+            self.nodes_collapsed, self.nodes_searched, self.propagations, self.propagations_changed
+        )?;
+        writeln!(
+            f,
+            "cycle searches {} | cycles found {} | edges added {} ({} iters) | nodes processed {}",
+            self.cycle_searches, self.cycles_found, self.edges_added, self.complex_iters, self.nodes_processed
+        )?;
+        write!(
+            f,
+            "memory {:.1} MiB (pts {:.1}, graph {:.1}, aux {:.1}) | solve {:.3}s | offline {:.3}s",
+            self.total_mib(),
+            self.pts_bytes as f64 / (1024.0 * 1024.0),
+            self.graph_bytes as f64 / (1024.0 * 1024.0),
+            self.aux_bytes as f64 / (1024.0 * 1024.0),
+            self.solve_time.as_secs_f64(),
+            self.offline_time.as_secs_f64(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = SolverStats {
+            pts_bytes: 1024 * 1024,
+            graph_bytes: 1024 * 1024,
+            aux_bytes: 0,
+            ..SolverStats::default()
+        };
+        assert_eq!(s.total_bytes(), 2 * 1024 * 1024);
+        assert!((s.total_mib() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = SolverStats {
+            propagations: 5,
+            ..SolverStats::default()
+        };
+        let b = SolverStats {
+            propagations: 7,
+            nodes_collapsed: 2,
+            ..SolverStats::default()
+        };
+        a += &b;
+        assert_eq!(a.propagations, 12);
+        assert_eq!(a.nodes_collapsed, 2);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = SolverStats::new();
+        let text = s.to_string();
+        assert!(text.contains("propagations"));
+        assert!(text.contains("memory"));
+    }
+}

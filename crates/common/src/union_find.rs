@@ -1,0 +1,211 @@
+//! Union-find with union-by-rank and path compression.
+//!
+//! The paper (§5.1): "cycles … are collapsed using a union-find data
+//! structure with both union-by-rank and path compression heuristics."
+
+use crate::VarId;
+
+/// A disjoint-set forest over dense `VarId`s.
+///
+/// Collapsing a constraint-graph cycle unions all its nodes; afterwards the
+/// solver keeps points-to sets, edge sets and complex-constraint lists only
+/// on representatives.
+///
+/// # Example
+///
+/// ```
+/// use ant_common::{UnionFind, VarId};
+///
+/// let mut uf = UnionFind::new(4);
+/// let (a, b) = (VarId::new(0), VarId::new(1));
+/// let winner = uf.union(a, b);
+/// assert_eq!(uf.find(a), winner);
+/// assert_eq!(uf.find(b), winner);
+/// assert!(uf.same_set(a, b));
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..u32::try_from(n).expect("too many nodes")).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements (not sets).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of unions performed so far (nodes collapsed away).
+    pub fn merged_count(&self) -> usize {
+        self.parent.len() - self.sets
+    }
+
+    /// Appends a fresh singleton and returns its id.
+    pub fn push(&mut self) -> VarId {
+        let id = u32::try_from(self.parent.len()).expect("too many nodes");
+        self.parent.push(id);
+        self.rank.push(0);
+        self.sets += 1;
+        VarId::from_u32(id)
+    }
+
+    /// Finds the representative of `x`, compressing the path.
+    pub fn find(&mut self, x: VarId) -> VarId {
+        let mut i = x.as_u32();
+        // Path halving: every node on the path points to its grandparent.
+        loop {
+            let p = self.parent[i as usize];
+            if p == i {
+                return VarId::from_u32(i);
+            }
+            let gp = self.parent[p as usize];
+            self.parent[i as usize] = gp;
+            i = gp;
+        }
+    }
+
+    /// Finds the representative of `x` without mutating the forest.
+    pub fn find_no_compress(&self, x: VarId) -> VarId {
+        let mut i = x.as_u32();
+        while self.parent[i as usize] != i {
+            i = self.parent[i as usize];
+        }
+        VarId::from_u32(i)
+    }
+
+    /// Returns `true` if `x` is the representative of its set.
+    pub fn is_rep(&self, x: VarId) -> bool {
+        self.parent[x.index()] == x.as_u32()
+    }
+
+    /// Unions the sets of `a` and `b`; returns the surviving representative.
+    ///
+    /// Union-by-rank decides the winner; the caller must merge any per-node
+    /// solver data from the loser into the winner.
+    pub fn union(&mut self, a: VarId, b: VarId) -> VarId {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        self.sets -= 1;
+        let (win, lose) = if self.rank[ra.index()] >= self.rank[rb.index()] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        if self.rank[win.index()] == self.rank[lose.index()] {
+            self.rank[win.index()] += 1;
+        }
+        self.parent[lose.index()] = win.as_u32();
+        win
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: VarId, b: VarId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Heap bytes owned by the forest.
+    pub fn heap_bytes(&self) -> usize {
+        self.parent.capacity() * std::mem::size_of::<u32>()
+            + self.rank.capacity() * std::mem::size_of::<u8>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId::new(i)
+    }
+
+    #[test]
+    fn singletons_are_their_own_reps() {
+        let mut uf = UnionFind::new(3);
+        for i in 0..3 {
+            assert_eq!(uf.find(v(i)), v(i));
+            assert!(uf.is_rep(v(i)));
+        }
+        assert_eq!(uf.set_count(), 3);
+        assert_eq!(uf.merged_count(), 0);
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        let r1 = uf.union(v(0), v(1));
+        let r2 = uf.union(v(2), v(3));
+        assert_ne!(uf.find(v(0)), uf.find(v(2)));
+        let r3 = uf.union(v(1), v(3));
+        assert_eq!(uf.find(v(0)), uf.find(v(2)));
+        assert_eq!(uf.set_count(), 2);
+        assert_eq!(uf.merged_count(), 3);
+        // The final representative must be one of the two previous winners.
+        assert!(r3 == r1 || r3 == r2);
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new(2);
+        let w1 = uf.union(v(0), v(1));
+        let w2 = uf.union(v(0), v(1));
+        assert_eq!(w1, w2);
+        assert_eq!(uf.set_count(), 1);
+    }
+
+    #[test]
+    fn path_compression_converges() {
+        let mut uf = UnionFind::new(64);
+        for i in 1..64 {
+            uf.union(v(i - 1), v(i));
+        }
+        let rep = uf.find(v(0));
+        for i in 0..64 {
+            assert_eq!(uf.find(v(i)), rep);
+            assert_eq!(uf.find_no_compress(v(i)), rep);
+        }
+        assert_eq!(uf.set_count(), 1);
+    }
+
+    #[test]
+    fn push_appends_singletons() {
+        let mut uf = UnionFind::new(1);
+        let n = uf.push();
+        assert_eq!(n, v(1));
+        assert_eq!(uf.set_count(), 2);
+        assert!(uf.is_rep(n));
+    }
+
+    #[test]
+    fn no_compress_find_matches() {
+        let mut uf = UnionFind::new(8);
+        uf.union(v(0), v(3));
+        uf.union(v(3), v(7));
+        let frozen = uf.clone();
+        for i in [0usize, 3, 7] {
+            assert_eq!(frozen.find_no_compress(v(i)), uf.find(v(i)));
+        }
+    }
+}

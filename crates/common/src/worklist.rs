@@ -1,0 +1,434 @@
+//! Worklist strategies for the fixpoint solvers.
+//!
+//! The paper (§5.1): "LCD and HCD are both worklist algorithms — we use the
+//! worklist strategy LRF (Least Recently Fired: the node processed furthest
+//! back in time is given priority), suggested by Pearce et al., to prioritize
+//! the worklist. We also divide the worklist into two sections, *current* and
+//! *next*, as described by Nielson et al.; items are selected from *current*
+//! and pushed onto *next*, and the two are swapped when *current* becomes
+//! empty."
+//!
+//! All strategies de-duplicate: pushing a node that is already queued is a
+//! no-op, exactly like the membership flag on GCC's worklists.
+
+use crate::VarId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A queue of constraint-graph nodes awaiting processing.
+///
+/// Implementations de-duplicate pushes of already-queued nodes.
+pub trait Worklist {
+    /// Enqueues `n` (no-op if already queued).
+    fn push(&mut self, n: VarId);
+    /// Dequeues the next node, recording it as *fired now* for LRF
+    /// strategies.
+    fn pop(&mut self) -> Option<VarId>;
+    /// Returns `true` if no node is queued.
+    fn is_empty(&self) -> bool;
+    /// Number of queued nodes.
+    fn len(&self) -> usize;
+}
+
+/// Which worklist strategy a solver should use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum WorklistKind {
+    /// First-in first-out.
+    Fifo,
+    /// Last-in first-out.
+    Lifo,
+    /// Least-recently-fired priority over a single section.
+    Lrf,
+    /// LRF within the divided *current*/*next* worklist — the paper's
+    /// configuration and the default.
+    #[default]
+    DividedLrf,
+}
+
+impl WorklistKind {
+    /// Builds a worklist of this kind for a graph of `n` nodes.
+    pub fn build(self, n: usize) -> Box<dyn Worklist> {
+        match self {
+            WorklistKind::Fifo => Box::new(Fifo::new(n)),
+            WorklistKind::Lifo => Box::new(Lifo::new(n)),
+            WorklistKind::Lrf => Box::new(Lrf::new(n)),
+            WorklistKind::DividedLrf => Box::new(DividedLrf::new(n)),
+        }
+    }
+
+    /// All strategies, for ablation sweeps.
+    pub const ALL: [WorklistKind; 4] = [
+        WorklistKind::Fifo,
+        WorklistKind::Lifo,
+        WorklistKind::Lrf,
+        WorklistKind::DividedLrf,
+    ];
+}
+
+impl std::fmt::Display for WorklistKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WorklistKind::Fifo => "fifo",
+            WorklistKind::Lifo => "lifo",
+            WorklistKind::Lrf => "lrf",
+            WorklistKind::DividedLrf => "divided-lrf",
+        };
+        f.write_str(s)
+    }
+}
+
+/// First-in first-out worklist.
+///
+/// # Example
+///
+/// ```
+/// use ant_common::{Fifo, Worklist, VarId};
+/// let mut w = Fifo::new(4);
+/// w.push(VarId::new(2));
+/// w.push(VarId::new(0));
+/// w.push(VarId::new(2)); // duplicate: ignored
+/// assert_eq!(w.pop(), Some(VarId::new(2)));
+/// assert_eq!(w.pop(), Some(VarId::new(0)));
+/// assert!(w.pop().is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fifo {
+    queue: VecDeque<VarId>,
+    queued: Vec<bool>,
+}
+
+impl Fifo {
+    /// Creates an empty FIFO worklist for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Fifo {
+            queue: VecDeque::new(),
+            queued: vec![false; n],
+        }
+    }
+}
+
+impl Worklist for Fifo {
+    fn push(&mut self, n: VarId) {
+        let q = &mut self.queued[n.index()];
+        if !*q {
+            *q = true;
+            self.queue.push_back(n);
+        }
+    }
+
+    fn pop(&mut self) -> Option<VarId> {
+        let n = self.queue.pop_front()?;
+        self.queued[n.index()] = false;
+        Some(n)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Last-in first-out worklist.
+#[derive(Clone, Debug)]
+pub struct Lifo {
+    stack: Vec<VarId>,
+    queued: Vec<bool>,
+}
+
+impl Lifo {
+    /// Creates an empty LIFO worklist for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Lifo {
+            stack: Vec::new(),
+            queued: vec![false; n],
+        }
+    }
+}
+
+impl Worklist for Lifo {
+    fn push(&mut self, n: VarId) {
+        let q = &mut self.queued[n.index()];
+        if !*q {
+            *q = true;
+            self.stack.push(n);
+        }
+    }
+
+    fn pop(&mut self) -> Option<VarId> {
+        let n = self.stack.pop()?;
+        self.queued[n.index()] = false;
+        Some(n)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+/// Single-section least-recently-fired priority worklist.
+///
+/// The node whose last processing lies furthest in the past is popped first;
+/// never-fired nodes come before all fired ones, in id order.
+///
+/// # Example
+///
+/// ```
+/// use ant_common::{Lrf, Worklist, VarId};
+/// let mut w = Lrf::new(2);
+/// w.push(VarId::new(0));
+/// w.push(VarId::new(1));
+/// w.pop(); // fires 0
+/// w.pop(); // fires 1
+/// w.push(VarId::new(1));
+/// w.push(VarId::new(0));
+/// // 0 fired longer ago, so it comes out first.
+/// assert_eq!(w.pop(), Some(VarId::new(0)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Lrf {
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    last_fired: Vec<u64>,
+    queued: Vec<bool>,
+    clock: u64,
+}
+
+impl Lrf {
+    /// Creates an empty LRF worklist for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Lrf {
+            heap: BinaryHeap::new(),
+            last_fired: vec![0; n],
+            queued: vec![false; n],
+            clock: 1,
+        }
+    }
+}
+
+impl Worklist for Lrf {
+    fn push(&mut self, n: VarId) {
+        let q = &mut self.queued[n.index()];
+        if !*q {
+            *q = true;
+            self.heap
+                .push(Reverse((self.last_fired[n.index()], n.as_u32())));
+        }
+    }
+
+    fn pop(&mut self) -> Option<VarId> {
+        let Reverse((_, raw)) = self.heap.pop()?;
+        let n = VarId::from_u32(raw);
+        self.queued[n.index()] = false;
+        self.last_fired[n.index()] = self.clock;
+        self.clock += 1;
+        Some(n)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// The divided *current*/*next* worklist of Nielson et al. with LRF priority
+/// inside each section — the configuration the paper uses for LCD and HCD.
+///
+/// Pops come from *current*; pushes go to *next*; when *current* drains the
+/// two sections are swapped. This batches each "pass" over the graph, which
+/// the paper reports is significantly faster than a single worklist.
+///
+/// # Example
+///
+/// ```
+/// use ant_common::{DividedLrf, Worklist, VarId};
+/// let mut w = DividedLrf::new(3);
+/// w.push(VarId::new(0));
+/// assert_eq!(w.pop(), Some(VarId::new(0)));
+/// w.push(VarId::new(1)); // lands in the *next* section
+/// assert_eq!(w.pop(), Some(VarId::new(1))); // served after a swap
+/// assert_eq!(w.swaps(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DividedLrf {
+    current: BinaryHeap<Reverse<(u64, u32)>>,
+    next: Vec<VarId>,
+    last_fired: Vec<u64>,
+    queued: Vec<bool>,
+    clock: u64,
+    /// Number of section swaps so far (one per "pass"); solvers that act
+    /// periodically — PKH's cycle sweeps — key off this.
+    swaps: u64,
+}
+
+impl DividedLrf {
+    /// Creates an empty divided worklist for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DividedLrf {
+            current: BinaryHeap::new(),
+            next: Vec::new(),
+            last_fired: vec![0; n],
+            queued: vec![false; n],
+            clock: 1,
+            swaps: 0,
+        }
+    }
+
+    /// Number of *current*/*next* swaps performed so far.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    fn refill(&mut self) {
+        if self.current.is_empty() && !self.next.is_empty() {
+            self.swaps += 1;
+            for n in self.next.drain(..) {
+                self.current
+                    .push(Reverse((self.last_fired[n.index()], n.as_u32())));
+            }
+        }
+    }
+}
+
+impl Worklist for DividedLrf {
+    fn push(&mut self, n: VarId) {
+        let q = &mut self.queued[n.index()];
+        if !*q {
+            *q = true;
+            self.next.push(n);
+        }
+    }
+
+    fn pop(&mut self) -> Option<VarId> {
+        self.refill();
+        let Reverse((_, raw)) = self.current.pop()?;
+        let n = VarId::from_u32(raw);
+        self.queued[n.index()] = false;
+        self.last_fired[n.index()] = self.clock;
+        self.clock += 1;
+        Some(n)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.current.is_empty() && self.next.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.current.len() + self.next.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId::new(i)
+    }
+
+    fn drain(w: &mut dyn Worklist) -> Vec<usize> {
+        let mut out = Vec::new();
+        while let Some(n) = w.pop() {
+            out.push(n.index());
+        }
+        out
+    }
+
+    #[test]
+    fn fifo_order_and_dedup() {
+        let mut w = Fifo::new(4);
+        w.push(v(2));
+        w.push(v(0));
+        w.push(v(2)); // duplicate
+        assert_eq!(w.len(), 2);
+        assert_eq!(drain(&mut w), vec![2, 0]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn lifo_order() {
+        let mut w = Lifo::new(4);
+        w.push(v(1));
+        w.push(v(3));
+        assert_eq!(drain(&mut w), vec![3, 1]);
+    }
+
+    #[test]
+    fn repush_after_pop_is_allowed() {
+        let mut w = Fifo::new(2);
+        w.push(v(0));
+        assert_eq!(w.pop(), Some(v(0)));
+        w.push(v(0));
+        assert_eq!(w.pop(), Some(v(0)));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn lrf_prefers_least_recently_fired() {
+        let mut w = Lrf::new(3);
+        w.push(v(0));
+        w.push(v(1));
+        assert_eq!(w.pop(), Some(v(0))); // never fired: id order
+        assert_eq!(w.pop(), Some(v(1)));
+        // Now 0 fired before 1. Pushing both again: 0 is least recent.
+        w.push(v(1));
+        w.push(v(0));
+        assert_eq!(w.pop(), Some(v(0)));
+        assert_eq!(w.pop(), Some(v(1)));
+        // Fire 2 for the first time; it must precede both fired nodes.
+        w.push(v(0));
+        w.push(v(2));
+        assert_eq!(w.pop(), Some(v(2)));
+    }
+
+    #[test]
+    fn divided_defers_pushes_to_next_section() {
+        let mut w = DividedLrf::new(4);
+        w.push(v(0));
+        w.push(v(1));
+        assert_eq!(w.pop(), Some(v(0)));
+        // Pushed while current is non-empty: must wait for the swap even
+        // though node 2 has never fired.
+        w.push(v(2));
+        assert_eq!(w.pop(), Some(v(1)));
+        assert_eq!(w.swaps(), 1);
+        assert_eq!(w.pop(), Some(v(2)));
+        assert_eq!(w.swaps(), 2);
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn divided_lrf_orders_within_section() {
+        let mut w = DividedLrf::new(3);
+        w.push(v(2));
+        w.push(v(1));
+        // Same section, neither fired: id order.
+        assert_eq!(drain(&mut w), vec![1, 2]);
+        w.push(v(2));
+        w.push(v(1));
+        // 1 fired before 2 above, so 1 is least recently fired.
+        assert_eq!(drain(&mut w), vec![1, 2]);
+    }
+
+    #[test]
+    fn kind_builds_all() {
+        for kind in WorklistKind::ALL {
+            let mut w = kind.build(8);
+            assert!(w.is_empty());
+            w.push(v(5));
+            w.push(v(5));
+            assert_eq!(w.len(), 1);
+            assert_eq!(w.pop(), Some(v(5)));
+            assert!(w.pop().is_none());
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+}

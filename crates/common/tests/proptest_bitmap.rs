@@ -1,0 +1,92 @@
+//! Property-based testing of the sparse bitmap against `BTreeSet`.
+
+use ant_common::SparseBitmap;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn to_model(s: &SparseBitmap) -> BTreeSet<u32> {
+    s.iter().collect()
+}
+
+fn sets() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    // Bits clustered in a smallish universe so elements overlap, plus a few
+    // far-away outliers to exercise multi-element paths.
+    let bit = prop_oneof![0u32..600, 100_000u32..100_200];
+    (
+        prop::collection::vec(bit.clone(), 0..120),
+        prop::collection::vec(bit, 0..120),
+    )
+}
+
+proptest! {
+    #[test]
+    fn insert_remove_contains((xs, ys) in sets()) {
+        let mut s = SparseBitmap::new();
+        let mut model = BTreeSet::new();
+        for &x in &xs {
+            prop_assert_eq!(s.insert(x), model.insert(x));
+        }
+        for &y in &ys {
+            prop_assert_eq!(s.remove(y), model.remove(&y));
+        }
+        prop_assert_eq!(to_model(&s), model.clone());
+        prop_assert_eq!(s.len(), model.len());
+        prop_assert_eq!(s.is_empty(), model.is_empty());
+        prop_assert_eq!(s.first(), model.iter().next().copied());
+        prop_assert_eq!(s.last(), model.iter().next_back().copied());
+    }
+
+    #[test]
+    fn union_matches_model((xs, ys) in sets()) {
+        let a: SparseBitmap = xs.iter().copied().collect();
+        let b: SparseBitmap = ys.iter().copied().collect();
+        let (ma, mb): (BTreeSet<u32>, BTreeSet<u32>) =
+            (xs.iter().copied().collect(), ys.iter().copied().collect());
+        let mut u = a.clone();
+        let changed = u.union_with(&b);
+        let mu: BTreeSet<u32> = ma.union(&mb).copied().collect();
+        prop_assert_eq!(to_model(&u), mu.clone());
+        prop_assert_eq!(changed, mu != ma);
+        // Union is idempotent.
+        let mut u2 = u.clone();
+        prop_assert!(!u2.union_with(&b));
+        prop_assert!(!u2.union_with(&a));
+    }
+
+    #[test]
+    fn intersection_difference_disjoint((xs, ys) in sets()) {
+        let a: SparseBitmap = xs.iter().copied().collect();
+        let b: SparseBitmap = ys.iter().copied().collect();
+        let (ma, mb): (BTreeSet<u32>, BTreeSet<u32>) =
+            (xs.iter().copied().collect(), ys.iter().copied().collect());
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        prop_assert_eq!(to_model(&i), ma.intersection(&mb).copied().collect::<BTreeSet<_>>());
+
+        let mut d = a.clone();
+        d.subtract(&b);
+        let md: BTreeSet<u32> = ma.difference(&mb).copied().collect();
+        prop_assert_eq!(to_model(&d), md.clone());
+
+        // The allocation-free difference iterator agrees with subtract.
+        let iter_diff: Vec<u32> = a.difference(&b).collect();
+        prop_assert_eq!(iter_diff, md.into_iter().collect::<Vec<_>>());
+
+        prop_assert_eq!(a.is_disjoint(&b), ma.is_disjoint(&mb));
+        prop_assert_eq!(a.superset_of(&b), mb.is_subset(&ma));
+    }
+
+    #[test]
+    fn equality_is_extensional((xs, _) in sets()) {
+        let a: SparseBitmap = xs.iter().copied().collect();
+        // Insert in reverse order: same set, same representation.
+        let b: SparseBitmap = xs.iter().rev().copied().collect();
+        prop_assert_eq!(&a, &b);
+        if let Some(first) = xs.first() {
+            let mut c = b.clone();
+            c.remove(*first);
+            prop_assert_eq!(a == c, a.len() == c.len());
+        }
+    }
+}

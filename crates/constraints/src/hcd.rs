@@ -1,0 +1,189 @@
+//! The offline half of Hybrid Cycle Detection (§4.2, Figures 3–4).
+//!
+//! A linear-time static analysis run before the pointer analysis. It finds
+//! SCCs of the [offline constraint graph](crate::offline::OfflineGraph)
+//! with Tarjan's algorithm and splits them into:
+//!
+//! * SCCs of only non-ref nodes — genuine copy cycles, collapsible
+//!   immediately ([`HcdOffline::static_unions`]);
+//! * SCCs containing ref nodes — for each ref node `*a` in such an SCC,
+//!   record the pair `(a, b)` where `b` is a non-ref member
+//!   ([`HcdOffline::pair_of`]). At solve time, whenever node `a` is popped,
+//!   every `v ∈ pts(a)` is preemptively collapsed with `b` — cycle
+//!   collapsing with **zero** graph traversal.
+
+use crate::offline::OfflineGraph;
+use crate::scc::tarjan_scc;
+use crate::Program;
+use ant_common::VarId;
+use std::time::{Duration, Instant};
+
+/// Result of the HCD offline analysis.
+#[derive(Clone, Debug)]
+pub struct HcdOffline {
+    /// `pair[a] = Some(b)` encodes the tuple `(a, b)` of Figure 5's list
+    /// `L`: `pts(a)` belongs in a cycle with `b`.
+    pair: Vec<Option<VarId>>,
+    /// Copy cycles already present offline; each `(x, rep)` may be unioned
+    /// before solving starts.
+    pub static_unions: Vec<(VarId, VarId)>,
+    /// Wall-clock time of the offline analysis (the "HCD-Offline" row of
+    /// Table 3).
+    pub elapsed: Duration,
+    /// Number of non-trivial SCCs containing at least one ref node.
+    pub ref_sccs: usize,
+}
+
+impl HcdOffline {
+    /// Runs the offline analysis on `program`.
+    pub fn analyze(program: &Program) -> Self {
+        let start = Instant::now();
+        let g = OfflineGraph::build(program);
+        let scc = tarjan_scc(&g.adj);
+        let mut pair = vec![None; program.num_vars()];
+        let mut static_unions = Vec::new();
+        let mut ref_sccs = 0;
+
+        let members = scc.members();
+        for comp in &members {
+            if comp.len() <= 1 {
+                continue;
+            }
+            let rep = comp.iter().copied().find(|&n| !g.is_ref(n));
+            let rep = match rep {
+                Some(r) => VarId::from_u32(r),
+                // The paper: "no ref node can have a reflexive edge and any
+                // non-trivial SCC containing a ref node must also contain a
+                // non-ref node" — there are no *p ⊇ *q constraints, so every
+                // edge touches a non-ref node.
+                None => unreachable!("non-trivial SCC of only ref nodes is impossible"),
+            };
+            let has_ref = comp.iter().any(|&n| g.is_ref(n));
+            if has_ref {
+                ref_sccs += 1;
+            }
+            for &n in comp {
+                if g.is_ref(n) {
+                    pair[g.var_of(n).index()] = Some(rep);
+                } else if n != rep.as_u32() {
+                    // Non-ref members of *any* non-trivial SCC are linked by
+                    // genuine copy paths... only when the path avoids ref
+                    // nodes. Only collapse components made purely of
+                    // non-ref nodes; mixed components defer to the online
+                    // pairs.
+                    if !has_ref {
+                        static_unions.push((VarId::from_u32(n), rep));
+                    }
+                }
+            }
+        }
+        HcdOffline {
+            pair,
+            static_unions,
+            elapsed: start.elapsed(),
+            ref_sccs,
+        }
+    }
+
+    /// The online-collapse partner of `a`, if the offline analysis placed
+    /// `*a` in a cycle with a non-ref node.
+    pub fn pair_of(&self, a: VarId) -> Option<VarId> {
+        self.pair[a.index()]
+    }
+
+    /// Number of `(a, b)` tuples in the list `L`.
+    pub fn num_pairs(&self) -> usize {
+        self.pair.iter().flatten().count()
+    }
+
+    /// Iterates over all `(a, b)` tuples.
+    pub fn pairs(&self) -> impl Iterator<Item = (VarId, VarId)> + '_ {
+        self.pair
+            .iter()
+            .enumerate()
+            .filter_map(|(a, b)| b.map(|b| (VarId::new(a), b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    /// The paper's running example (Figures 3–4): `a = &c; d = c; b = *a;
+    /// *a = b`. Offline, `*a` and `b` form an SCC, so `L = {(a, b)}`.
+    #[test]
+    fn figure3_produces_pair_a_b() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.var("a");
+        let b = pb.var("b");
+        let c = pb.var("c");
+        let d = pb.var("d");
+        pb.addr_of(a, c);
+        pb.copy(d, c);
+        pb.load(b, a);
+        pb.store(a, b);
+        let hcd = HcdOffline::analyze(&pb.finish());
+        assert_eq!(hcd.pair_of(a), Some(b));
+        assert_eq!(hcd.pair_of(b), None);
+        assert_eq!(hcd.pair_of(c), None);
+        assert_eq!(hcd.pair_of(d), None);
+        assert_eq!(hcd.num_pairs(), 1);
+        assert_eq!(hcd.ref_sccs, 1);
+        assert!(hcd.static_unions.is_empty());
+        assert_eq!(hcd.pairs().collect::<Vec<_>>(), vec![(a, b)]);
+    }
+
+    #[test]
+    fn pure_copy_cycle_is_statically_unioned() {
+        let mut pb = ProgramBuilder::new();
+        let x = pb.var("x");
+        let y = pb.var("y");
+        let z = pb.var("z");
+        pb.copy(x, y);
+        pb.copy(y, z);
+        pb.copy(z, x);
+        let hcd = HcdOffline::analyze(&pb.finish());
+        assert_eq!(hcd.num_pairs(), 0);
+        assert_eq!(hcd.static_unions.len(), 2);
+        // All unions share one representative.
+        let rep = hcd.static_unions[0].1;
+        assert!(hcd.static_unions.iter().all(|&(_, r)| r == rep));
+    }
+
+    #[test]
+    fn mixed_scc_defers_nonref_members_to_online_pairs() {
+        // b → *c → x → *a → b : refs {*a,*c} and non-refs {b,x} in one SCC.
+        let mut pb = ProgramBuilder::new();
+        let a = pb.var("a");
+        let b = pb.var("b");
+        let c = pb.var("c");
+        let x = pb.var("x");
+        pb.store(c, b); // *c ⊇ b : b → *c
+        pb.load(x, c); // x ⊇ *c : *c → x
+        pb.store(a, x); // *a ⊇ x : x → *a
+        pb.load(b, a); // b ⊇ *a : *a → b
+        let hcd = HcdOffline::analyze(&pb.finish());
+        assert_eq!(hcd.num_pairs(), 2);
+        let pa = hcd.pair_of(a).unwrap();
+        let pc = hcd.pair_of(c).unwrap();
+        assert_eq!(pa, pc);
+        assert!(pa == b || pa == x);
+        // b and x must NOT be statically collapsed: the cycle between them
+        // only materializes if the ref nodes' points-to sets are non-empty.
+        assert!(hcd.static_unions.is_empty());
+    }
+
+    #[test]
+    fn no_cycles_no_output() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.var("a");
+        let b = pb.var("b");
+        pb.copy(a, b);
+        pb.load(b, a);
+        let hcd = HcdOffline::analyze(&pb.finish());
+        assert_eq!(hcd.num_pairs(), 0);
+        assert!(hcd.static_unions.is_empty());
+        assert_eq!(hcd.ref_sccs, 0);
+    }
+}

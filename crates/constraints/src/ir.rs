@@ -1,0 +1,482 @@
+//! The inclusion-constraint intermediate representation.
+
+use ant_common::VarId;
+use std::fmt;
+
+/// The four constraint forms of Table 1 (with Pearce-style offsets for
+/// indirect calls).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ConstraintKind {
+    /// Base: `lhs ⊇ {rhs}` — from `lhs = &rhs`.
+    AddrOf,
+    /// Simple: `lhs ⊇ rhs` — from `lhs = rhs`.
+    Copy,
+    /// Complex 1: `lhs ⊇ *(rhs)+k` — from `lhs = *rhs` (k = 0) or an
+    /// indirect-call result/parameter read (k > 0).
+    Load,
+    /// Complex 2: `*(lhs)+k ⊇ rhs` — from `*lhs = rhs` (k = 0) or an
+    /// indirect-call argument write (k > 0).
+    Store,
+}
+
+/// One inclusion constraint.
+///
+/// For [`Load`](ConstraintKind::Load) the `offset` applies to the
+/// dereference: for every `t ∈ pts(rhs)` with `offset < offset_limit(t)`,
+/// the solver adds the copy edge `t+offset → lhs`. For
+/// [`Store`](ConstraintKind::Store), symmetrically, `rhs → t+offset` for
+/// every `t ∈ pts(lhs)`. Offsets implement Pearce et al.'s indirect-call
+/// encoding: a function variable is followed contiguously by its return and
+/// parameter variables, so offset `k` addresses the `k`-th slot of whichever
+/// function `rhs`/`lhs` points to.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Constraint {
+    /// Constraint form.
+    pub kind: ConstraintKind,
+    /// Left-hand side (the superset side).
+    pub lhs: VarId,
+    /// Right-hand side (the subset side).
+    pub rhs: VarId,
+    /// Dereference offset; `0` for ordinary constraints.
+    pub offset: u32,
+}
+
+impl Constraint {
+    /// `lhs = &rhs`.
+    pub fn addr_of(lhs: VarId, rhs: VarId) -> Self {
+        Constraint {
+            kind: ConstraintKind::AddrOf,
+            lhs,
+            rhs,
+            offset: 0,
+        }
+    }
+
+    /// `lhs = rhs`.
+    pub fn copy(lhs: VarId, rhs: VarId) -> Self {
+        Constraint {
+            kind: ConstraintKind::Copy,
+            lhs,
+            rhs,
+            offset: 0,
+        }
+    }
+
+    /// `lhs = *rhs`.
+    pub fn load(lhs: VarId, rhs: VarId) -> Self {
+        Constraint {
+            kind: ConstraintKind::Load,
+            lhs,
+            rhs,
+            offset: 0,
+        }
+    }
+
+    /// `lhs = *(rhs + offset)` — indirect-call slot read.
+    pub fn load_offset(lhs: VarId, rhs: VarId, offset: u32) -> Self {
+        Constraint {
+            kind: ConstraintKind::Load,
+            lhs,
+            rhs,
+            offset,
+        }
+    }
+
+    /// `*lhs = rhs`.
+    pub fn store(lhs: VarId, rhs: VarId) -> Self {
+        Constraint {
+            kind: ConstraintKind::Store,
+            lhs,
+            rhs,
+            offset: 0,
+        }
+    }
+
+    /// `*(lhs + offset) = rhs` — indirect-call slot write.
+    pub fn store_offset(lhs: VarId, rhs: VarId, offset: u32) -> Self {
+        Constraint {
+            kind: ConstraintKind::Store,
+            lhs,
+            rhs,
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.kind, self.offset) {
+            (ConstraintKind::AddrOf, _) => write!(f, "{} = &{}", self.lhs, self.rhs),
+            (ConstraintKind::Copy, _) => write!(f, "{} = {}", self.lhs, self.rhs),
+            (ConstraintKind::Load, 0) => write!(f, "{} = *{}", self.lhs, self.rhs),
+            (ConstraintKind::Load, k) => write!(f, "{} = *({} + {k})", self.lhs, self.rhs),
+            (ConstraintKind::Store, 0) => write!(f, "*{} = {}", self.lhs, self.rhs),
+            (ConstraintKind::Store, k) => write!(f, "*({} + {k}) = {}", self.lhs, self.rhs),
+        }
+    }
+}
+
+/// Per-form constraint counts — the breakdown reported in Table 2.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConstraintStats {
+    /// `a = &b` constraints.
+    pub base: usize,
+    /// `a = b` constraints.
+    pub simple: usize,
+    /// `a = *b` constraints (any offset).
+    pub complex1: usize,
+    /// `*a = b` constraints (any offset).
+    pub complex2: usize,
+}
+
+impl ConstraintStats {
+    /// Total number of constraints.
+    pub fn total(&self) -> usize {
+        self.base + self.simple + self.complex1 + self.complex2
+    }
+}
+
+impl fmt::Display for ConstraintStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} constraints (base {}, simple {}, complex1 {}, complex2 {})",
+            self.total(),
+            self.base,
+            self.simple,
+            self.complex1,
+            self.complex2
+        )
+    }
+}
+
+/// A complete constraint program: the input to every solver.
+///
+/// Variables are dense ids `0..num_vars`. Function variables own a block of
+/// `offset_limit` consecutive ids (the function variable itself, then its
+/// return/parameter slots) addressed by [`Constraint::offset`]; ordinary
+/// variables have `offset_limit == 1`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    names: Vec<String>,
+    offset_limit: Vec<u32>,
+    constraints: Vec<Constraint>,
+}
+
+impl Program {
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The constraints, in generation order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Name of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Looks up a variable by name (linear scan; intended for tests and
+    /// examples).
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.names.iter().position(|n| n == name).map(VarId::new)
+    }
+
+    /// Number of offset slots rooted at `v` (1 for ordinary variables).
+    pub fn offset_limit(&self, v: VarId) -> u32 {
+        self.offset_limit[v.index()]
+    }
+
+    /// The raw offset-limit table, indexed by variable.
+    pub fn offset_limits(&self) -> &[u32] {
+        &self.offset_limit
+    }
+
+    /// Iterates over all variables.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.num_vars()).map(VarId::new)
+    }
+
+    /// Per-form constraint counts (Table 2 columns).
+    pub fn stats(&self) -> ConstraintStats {
+        let mut s = ConstraintStats::default();
+        for c in &self.constraints {
+            match c.kind {
+                ConstraintKind::AddrOf => s.base += 1,
+                ConstraintKind::Copy => s.simple += 1,
+                ConstraintKind::Load => s.complex1 += 1,
+                ConstraintKind::Store => s.complex2 += 1,
+            }
+        }
+        s
+    }
+
+    /// Replaces the constraint list (used by the offline reductions), keeping
+    /// the variable space intact.
+    pub fn with_constraints(&self, constraints: Vec<Constraint>) -> Program {
+        let mut p = self.clone();
+        p.constraints = constraints;
+        p
+    }
+
+    /// Serializes to the text format accepted by
+    /// [`parse_program`](crate::parse_program).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for v in self.vars() {
+            let limit = self.offset_limit(v);
+            if limit > 1 {
+                let _ = writeln!(out, "fun {} {}", self.var_name(v), limit);
+            }
+        }
+        for c in &self.constraints {
+            let lhs = self.var_name(c.lhs);
+            let rhs = self.var_name(c.rhs);
+            let line = match (c.kind, c.offset) {
+                (ConstraintKind::AddrOf, _) => format!("{lhs} = &{rhs}"),
+                (ConstraintKind::Copy, _) => format!("{lhs} = {rhs}"),
+                (ConstraintKind::Load, 0) => format!("{lhs} = *{rhs}"),
+                (ConstraintKind::Load, k) => format!("{lhs} = *({rhs} + {k})"),
+                (ConstraintKind::Store, 0) => format!("*{lhs} = {rhs}"),
+                (ConstraintKind::Store, k) => format!("*({lhs} + {k}) = {rhs}"),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Incremental construction of a [`Program`].
+///
+/// # Example
+///
+/// ```
+/// use ant_constraints::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new();
+/// let p = b.var("p");
+/// let x = b.var("x");
+/// b.addr_of(p, x);        // p = &x
+/// let q = b.var("q");
+/// b.copy(q, p);           // q = p
+/// let program = b.finish();
+/// assert_eq!(program.num_vars(), 3);
+/// assert_eq!(program.stats().total(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ProgramBuilder {
+    names: Vec<String>,
+    offset_limit: Vec<u32>,
+    by_name: std::collections::HashMap<String, VarId>,
+    constraints: Vec<Constraint>,
+    temps: usize,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Interns `name`, creating the variable on first use.
+    pub fn var(&mut self, name: &str) -> VarId {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let v = VarId::new(self.names.len());
+        self.names.push(name.to_owned());
+        self.offset_limit.push(1);
+        self.by_name.insert(name.to_owned(), v);
+        v
+    }
+
+    /// Creates a fresh anonymous temporary (used to flatten nested
+    /// dereferences so each constraint has at most one `*`).
+    pub fn temp(&mut self) -> VarId {
+        let name = format!("$t{}", self.temps);
+        self.temps += 1;
+        self.var(&name)
+    }
+
+    /// Declares a function variable named `name` with `slots - 1` contiguous
+    /// offset slots after it (slot 1 is conventionally the return value,
+    /// slots 2.. the parameters). Returns the function variable; slot `k` is
+    /// `f.offset(k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0` or if `name` was already interned (a function
+    /// block must be allocated contiguously).
+    pub fn function(&mut self, name: &str, slots: u32) -> VarId {
+        assert!(slots >= 1, "a function needs at least its own slot");
+        assert!(
+            !self.by_name.contains_key(name),
+            "function variable {name} already exists"
+        );
+        let f = self.var(name);
+        self.offset_limit[f.index()] = slots;
+        for k in 1..slots {
+            let slot = self.var(&format!("{name}#{k}"));
+            debug_assert_eq!(slot, f.offset(k));
+        }
+        f
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Adds `lhs = &rhs`.
+    pub fn addr_of(&mut self, lhs: VarId, rhs: VarId) {
+        self.constraints.push(Constraint::addr_of(lhs, rhs));
+    }
+
+    /// Adds `lhs = rhs`.
+    pub fn copy(&mut self, lhs: VarId, rhs: VarId) {
+        self.constraints.push(Constraint::copy(lhs, rhs));
+    }
+
+    /// Adds `lhs = *rhs`.
+    pub fn load(&mut self, lhs: VarId, rhs: VarId) {
+        self.constraints.push(Constraint::load(lhs, rhs));
+    }
+
+    /// Adds `lhs = *(rhs + offset)`.
+    pub fn load_offset(&mut self, lhs: VarId, rhs: VarId, offset: u32) {
+        self.constraints
+            .push(Constraint::load_offset(lhs, rhs, offset));
+    }
+
+    /// Adds `*lhs = rhs`.
+    pub fn store(&mut self, lhs: VarId, rhs: VarId) {
+        self.constraints.push(Constraint::store(lhs, rhs));
+    }
+
+    /// Adds `*(lhs + offset) = rhs`.
+    pub fn store_offset(&mut self, lhs: VarId, rhs: VarId, offset: u32) {
+        self.constraints
+            .push(Constraint::store_offset(lhs, rhs, offset));
+    }
+
+    /// Adds a pre-built constraint.
+    pub fn push(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// Finalizes the program.
+    pub fn finish(self) -> Program {
+        Program {
+            names: self.names,
+            offset_limit: self.offset_limit,
+            constraints: self.constraints,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_interns_names() {
+        let mut b = ProgramBuilder::new();
+        let a1 = b.var("a");
+        let a2 = b.var("a");
+        assert_eq!(a1, a2);
+        let t1 = b.temp();
+        let t2 = b.temp();
+        assert_ne!(t1, t2);
+        assert_eq!(b.num_vars(), 3);
+    }
+
+    #[test]
+    fn function_blocks_are_contiguous() {
+        let mut b = ProgramBuilder::new();
+        let _x = b.var("x");
+        let f = b.function("f", 4); // f, ret, p1, p2
+        assert_eq!(f.offset(1).index(), f.index() + 1);
+        let p = b.finish();
+        assert_eq!(p.offset_limit(f), 4);
+        assert_eq!(p.offset_limit(VarId::new(0)), 1);
+        assert_eq!(p.var_name(f.offset(2)), "f#2");
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn function_rejects_existing_name() {
+        let mut b = ProgramBuilder::new();
+        b.var("f");
+        b.function("f", 2);
+    }
+
+    #[test]
+    fn stats_count_forms() {
+        let mut b = ProgramBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.addr_of(x, y);
+        b.copy(x, y);
+        b.copy(y, x);
+        b.load(x, y);
+        b.store(y, x);
+        b.store_offset(y, x, 2);
+        let p = b.finish();
+        let s = p.stats();
+        assert_eq!(
+            (s.base, s.simple, s.complex1, s.complex2),
+            (1, 2, 1, 2)
+        );
+        assert_eq!(s.total(), 6);
+        assert!(s.to_string().contains("6 constraints"));
+    }
+
+    #[test]
+    fn display_forms() {
+        let a = VarId::new(0);
+        let b = VarId::new(1);
+        assert_eq!(Constraint::addr_of(a, b).to_string(), "v0 = &v1");
+        assert_eq!(Constraint::copy(a, b).to_string(), "v0 = v1");
+        assert_eq!(Constraint::load(a, b).to_string(), "v0 = *v1");
+        assert_eq!(Constraint::store(a, b).to_string(), "*v0 = v1");
+        assert_eq!(
+            Constraint::load_offset(a, b, 3).to_string(),
+            "v0 = *(v1 + 3)"
+        );
+        assert_eq!(
+            Constraint::store_offset(a, b, 1).to_string(),
+            "*(v0 + 1) = v1"
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut b = ProgramBuilder::new();
+        b.var("hello");
+        let p = b.finish();
+        assert_eq!(p.var_by_name("hello"), Some(VarId::new(0)));
+        assert_eq!(p.var_by_name("nope"), None);
+        assert_eq!(p.var_name(VarId::new(0)), "hello");
+    }
+
+    #[test]
+    fn with_constraints_preserves_vars() {
+        let mut b = ProgramBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.copy(x, y);
+        let p = b.finish();
+        let q = p.with_constraints(vec![]);
+        assert_eq!(q.num_vars(), 2);
+        assert_eq!(q.stats().total(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Inclusion-constraint IR and offline analyses.
+//!
+//! Inclusion-based (Andersen-style) pointer analysis is a set-constraint
+//! problem. A linear pass through the program generates three kinds of
+//! constraints (Table 1 of the paper):
+//!
+//! | program code | constraint   | meaning                                |
+//! |--------------|--------------|----------------------------------------|
+//! | `a = &b`     | `a ⊇ {b}`    | `loc(b) ∈ pts(a)`                      |
+//! | `a = b`      | `a ⊇ b`      | `pts(a) ⊇ pts(b)`                      |
+//! | `a = *b`     | `a ⊇ *b`     | `∀v ∈ pts(b): pts(a) ⊇ pts(v)`         |
+//! | `*a = b`     | `*a ⊇ b`     | `∀v ∈ pts(a): pts(v) ⊇ pts(b)`         |
+//!
+//! This crate defines that IR ([`Constraint`], [`Program`],
+//! [`ProgramBuilder`]), a human-readable text format ([`parse_program`]),
+//! and the two *offline* (pre-solve) analyses the paper relies on:
+//!
+//! * [`ovs`] — a variant of Rountev & Chandra's Offline Variable
+//!   Substitution, which the paper uses to shrink the constraint files by
+//!   60–77% before solving (§5.1);
+//! * [`hcd`] — the offline half of Hybrid Cycle Detection (§4.2): SCCs of
+//!   the offline constraint graph yield `(a, b)` pairs telling the online
+//!   solver that everything in `pts(a)` can be preemptively collapsed with
+//!   `b`.
+//!
+//! Indirect function calls follow Pearce et al.: the parameters of a
+//! function variable `f` are numbered contiguously after `f`, and call
+//! constraints carry an offset `k` resolved as `t + k` for each
+//! call-target `t ∈ pts(f)` (see [`Constraint::offset`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hcd;
+mod ir;
+pub mod offline;
+pub mod ovs;
+mod parse;
+pub mod scc;
+
+pub use ir::{Constraint, ConstraintKind, ConstraintStats, Program, ProgramBuilder};
+pub use parse::{parse_program, ParseProgramError};

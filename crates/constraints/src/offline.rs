@@ -1,0 +1,166 @@
+//! The offline constraint graph (Figure 3 of the paper).
+//!
+//! Built before solving, with one node per variable **plus one *ref* node
+//! `*v` per dereferenced variable position**. Edges:
+//!
+//! * `a ⊇ b`  →  edge `b → a`
+//! * `a ⊇ *b` →  edge `*b → a`
+//! * `*a ⊇ b` →  edge `b → *a`
+//!
+//! Base constraints are ignored. Offset (indirect-call) constraints are
+//! conservatively skipped: their dereference targets depend on arithmetic
+//! over unknown points-to sets, so they cannot be named by a single ref
+//! node; skipping them only means fewer cycles are predicted offline, never
+//! wrong ones.
+
+use crate::{ConstraintKind, Program};
+use ant_common::VarId;
+
+/// The offline constraint graph shared by HCD and OVS.
+#[derive(Clone, Debug)]
+pub struct OfflineGraph {
+    num_vars: usize,
+    /// Adjacency over `2 * num_vars` nodes: `v` for variables,
+    /// `num_vars + v` for ref nodes `*v`.
+    pub adj: Vec<Vec<u32>>,
+}
+
+impl OfflineGraph {
+    /// Builds the offline graph for `program`.
+    pub fn build(program: &Program) -> Self {
+        let n = program.num_vars();
+        let mut adj = vec![Vec::new(); 2 * n];
+        for c in program.constraints() {
+            if c.offset != 0 {
+                continue;
+            }
+            match c.kind {
+                ConstraintKind::AddrOf => {}
+                ConstraintKind::Copy => {
+                    // a ⊇ b: b → a
+                    if c.lhs != c.rhs {
+                        adj[c.rhs.index()].push(c.lhs.as_u32());
+                    }
+                }
+                ConstraintKind::Load => {
+                    // a ⊇ *b: *b → a
+                    adj[n + c.rhs.index()].push(c.lhs.as_u32());
+                }
+                ConstraintKind::Store => {
+                    // *a ⊇ b: b → *a
+                    adj[c.rhs.index()].push((n + c.lhs.index()) as u32);
+                }
+            }
+        }
+        for succs in &mut adj {
+            succs.sort_unstable();
+            succs.dedup();
+        }
+        OfflineGraph { num_vars: n, adj }
+    }
+
+    /// Number of program variables (half the node count).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Total node count (variables + ref nodes).
+    pub fn num_nodes(&self) -> usize {
+        2 * self.num_vars
+    }
+
+    /// Is `node` a ref node `*v`?
+    pub fn is_ref(&self, node: u32) -> bool {
+        (node as usize) >= self.num_vars
+    }
+
+    /// The variable underlying `node` (identity for plain nodes, `v` for a
+    /// ref node `*v`).
+    pub fn var_of(&self, node: u32) -> VarId {
+        if self.is_ref(node) {
+            VarId::new(node as usize - self.num_vars)
+        } else {
+            VarId::from_u32(node)
+        }
+    }
+
+    /// The ref node `*v`.
+    pub fn ref_node(&self, v: VarId) -> u32 {
+        (self.num_vars + v.index()) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    /// Figure 3 of the paper: `a = &c; d = c; b = *a; *a = b`.
+    fn figure3() -> (Program, [VarId; 4]) {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.var("a");
+        let b = pb.var("b");
+        let c = pb.var("c");
+        let d = pb.var("d");
+        pb.addr_of(a, c);
+        pb.copy(d, c);
+        pb.load(b, a);
+        pb.store(a, b);
+        (pb.finish(), [a, b, c, d])
+    }
+
+    #[test]
+    fn figure3_offline_edges() {
+        let (p, [a, b, c, d]) = figure3();
+        let g = OfflineGraph::build(&p);
+        assert_eq!(g.num_nodes(), 8);
+        let ra = g.ref_node(a);
+        // d ⊇ c: c → d
+        assert!(g.adj[c.index()].contains(&d.as_u32()));
+        // b ⊇ *a: *a → b
+        assert!(g.adj[ra as usize].contains(&b.as_u32()));
+        // *a ⊇ b: b → *a
+        assert!(g.adj[b.index()].contains(&ra));
+        // AddrOf contributes nothing.
+        assert!(g.adj[a.index()].is_empty());
+    }
+
+    #[test]
+    fn ref_node_mapping() {
+        let (p, [a, ..]) = figure3();
+        let g = OfflineGraph::build(&p);
+        let r = g.ref_node(a);
+        assert!(g.is_ref(r));
+        assert!(!g.is_ref(a.as_u32()));
+        assert_eq!(g.var_of(r), a);
+        assert_eq!(g.var_of(a.as_u32()), a);
+    }
+
+    #[test]
+    fn offset_constraints_are_skipped() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.function("f", 3);
+        let p = pb.var("p");
+        let x = pb.var("x");
+        pb.addr_of(p, f);
+        pb.store_offset(p, x, 2);
+        pb.load_offset(x, p, 1);
+        let prog = pb.finish();
+        let g = OfflineGraph::build(&prog);
+        for succs in &g.adj {
+            assert!(succs.is_empty(), "offset constraints must add no edges");
+        }
+    }
+
+    #[test]
+    fn self_copy_skipped_and_dedup() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.var("a");
+        let b = pb.var("b");
+        pb.copy(a, a);
+        pb.copy(b, a);
+        pb.copy(b, a);
+        let g = OfflineGraph::build(&pb.finish());
+        assert!(g.adj[a.index()] == vec![b.as_u32()]);
+    }
+}

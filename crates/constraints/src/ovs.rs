@@ -1,0 +1,445 @@
+//! Offline Variable Substitution (Rountev & Chandra), the constraint
+//! pre-processing the paper applies before every solver run.
+//!
+//! §5.1: "We pre-process the resulting constraint files using a variant of
+//! Offline Variable Substitution, which reduces the number of constraints
+//! by 60–77%."
+//!
+//! The variant implemented here is hash-based value numbering of *pointer
+//! equivalence* labels, run on the copy subgraph:
+//!
+//! 1. Classify variables as **indirect** when their points-to set can be
+//!    modified by something other than static copy edges — address-of
+//!    targets, load left-hand sides, offset slots of address-taken function
+//!    blocks — and as **direct** otherwise.
+//! 2. Condense copy-edge SCCs (Tarjan).
+//! 3. In topological order, label each component: indirect components get a
+//!    fresh label; direct components get the label determined by the *set*
+//!    of predecessor labels (same set ⟹ same points-to set at fixpoint;
+//!    the empty set gets the distinguished label 0 = "always empty").
+//! 4. Merge every direct variable into the canonical variable of its label
+//!    and rewrite the constraints, dropping no-ops (self-copies,
+//!    constraints reading a provably-empty pointer) and duplicates.
+//!
+//! The rewritten program has the same variable space — locations are never
+//! renamed — so a solution of the reduced program extends to the original
+//! via [`OvsResult::rep_of`]: `pts(v) = pts(rep_of(v))`.
+
+use crate::scc::tarjan_scc;
+use crate::{Constraint, ConstraintKind, Program};
+use ant_common::fx::{FxHashMap, FxHashSet};
+use ant_common::VarId;
+use std::time::{Duration, Instant};
+
+/// Statistics from one substitution run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OvsStats {
+    /// Constraints before reduction.
+    pub constraints_before: usize,
+    /// Constraints after reduction.
+    pub constraints_after: usize,
+    /// Variables merged into a representative other than themselves.
+    pub vars_merged: usize,
+    /// Distinct pointer-equivalence labels assigned (excluding label 0).
+    pub labels: usize,
+}
+
+impl OvsStats {
+    /// Fraction of constraints eliminated, in percent.
+    pub fn reduction_percent(&self) -> f64 {
+        if self.constraints_before == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.constraints_after as f64 / self.constraints_before as f64)
+        }
+    }
+}
+
+/// Result of [`substitute`].
+#[derive(Clone, Debug)]
+pub struct OvsResult {
+    /// The reduced program (same variable space, fewer constraints).
+    pub program: Program,
+    subst: Vec<VarId>,
+    /// Wall-clock time of the substitution.
+    pub elapsed: Duration,
+    /// Reduction statistics.
+    pub stats: OvsStats,
+}
+
+impl OvsResult {
+    /// The representative whose solved points-to set equals `v`'s.
+    pub fn rep_of(&self, v: VarId) -> VarId {
+        self.subst[v.index()]
+    }
+}
+
+/// Runs offline variable substitution on `program`.
+pub fn substitute(program: &Program) -> OvsResult {
+    let start = Instant::now();
+    let n = program.num_vars();
+
+    // Step 1: indirect classification.
+    let mut indirect = vec![false; n];
+    for c in program.constraints() {
+        match c.kind {
+            ConstraintKind::AddrOf => {
+                indirect[c.lhs.index()] = true;
+                // The target is a location: stores through pointers can add
+                // edges into it (and into its offset slots) at solve time.
+                let limit = program.offset_limit(c.rhs);
+                for k in 0..limit {
+                    if c.rhs.index() + (k as usize) < n {
+                        indirect[c.rhs.index() + k as usize] = true;
+                    }
+                }
+            }
+            ConstraintKind::Load => indirect[c.lhs.index()] = true,
+            _ => {}
+        }
+    }
+
+    // Step 2: copy-edge SCCs. Successor adjacency: rhs → lhs.
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for c in program.constraints() {
+        if c.kind == ConstraintKind::Copy && c.lhs != c.rhs {
+            succs[c.rhs.index()].push(c.lhs.as_u32());
+            preds[c.lhs.index()].push(c.rhs.as_u32());
+        }
+    }
+    let scc = tarjan_scc(&succs);
+    let members = scc.members();
+
+    // Component classification.
+    let mut comp_indirect = vec![false; scc.num_comps];
+    for (v, &c) in scc.comp.iter().enumerate() {
+        if indirect[v] {
+            comp_indirect[c as usize] = true;
+        }
+    }
+
+    // Step 3: labels, predecessors first. Cross-component copy edges go
+    // from higher component id to lower, so descending id order is
+    // topological.
+    let mut comp_label = vec![0u32; scc.num_comps];
+    let mut next_label = 1u32;
+    let mut set_table: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+    // Canonical variable per label (for merging across components).
+    let mut canon: FxHashMap<u32, VarId> = FxHashMap::default();
+
+    for c in (0..scc.num_comps).rev() {
+        if comp_indirect[c] {
+            comp_label[c] = next_label;
+            // Any member works as the canonical variable: all members of a
+            // copy cycle share one points-to set. Prefer an indirect member
+            // so locations/function slots keep their identity.
+            let rep = members[c]
+                .iter()
+                .copied()
+                .find(|&m| indirect[m as usize])
+                .expect("indirect component has an indirect member");
+            canon.insert(next_label, VarId::from_u32(rep));
+            next_label += 1;
+            continue;
+        }
+        let mut labels: Vec<u32> = Vec::new();
+        for &m in &members[c] {
+            for &p in &preds[m as usize] {
+                let pc = scc.comp[p as usize] as usize;
+                if pc != c {
+                    let l = comp_label[pc];
+                    if l != 0 {
+                        labels.push(l);
+                    }
+                }
+            }
+        }
+        labels.sort_unstable();
+        labels.dedup();
+        comp_label[c] = match labels.len() {
+            0 => 0,
+            1 => labels[0],
+            _ => *set_table.entry(labels).or_insert_with(|| {
+                let l = next_label;
+                next_label += 1;
+                l
+            }),
+        };
+    }
+
+    // Step 4: merge map.
+    let mut subst: Vec<VarId> = (0..n).map(VarId::new).collect();
+    for c in 0..scc.num_comps {
+        let label = comp_label[c];
+        for &m in &members[c] {
+            if indirect[m as usize] || label == 0 {
+                continue; // keep identity
+            }
+            let rep = *canon.entry(label).or_insert(VarId::from_u32(m));
+            subst[m as usize] = rep;
+        }
+    }
+
+    // Rewrite constraints.
+    let var_label = |v: VarId| comp_label[scc.comp[v.index()] as usize];
+    let mut seen: FxHashSet<Constraint> = FxHashSet::default();
+    let mut out: Vec<Constraint> = Vec::new();
+    for c in program.constraints() {
+        let mapped = match c.kind {
+            ConstraintKind::AddrOf => Constraint {
+                kind: c.kind,
+                lhs: subst[c.lhs.index()],
+                rhs: c.rhs, // locations are never renamed
+                offset: 0,
+            },
+            ConstraintKind::Copy => {
+                if var_label(c.rhs) == 0 {
+                    continue; // right-hand side is provably empty
+                }
+                let lhs = subst[c.lhs.index()];
+                let rhs = subst[c.rhs.index()];
+                if lhs == rhs {
+                    continue;
+                }
+                Constraint {
+                    kind: c.kind,
+                    lhs,
+                    rhs,
+                    offset: 0,
+                }
+            }
+            ConstraintKind::Load => {
+                if var_label(c.rhs) == 0 {
+                    continue; // dereferencing an always-null pointer
+                }
+                Constraint {
+                    kind: c.kind,
+                    lhs: subst[c.lhs.index()],
+                    rhs: subst[c.rhs.index()],
+                    offset: c.offset,
+                }
+            }
+            ConstraintKind::Store => {
+                if var_label(c.lhs) == 0 || var_label(c.rhs) == 0 {
+                    continue; // target set or stored set provably empty
+                }
+                Constraint {
+                    kind: c.kind,
+                    lhs: subst[c.lhs.index()],
+                    rhs: subst[c.rhs.index()],
+                    offset: c.offset,
+                }
+            }
+        };
+        if seen.insert(mapped) {
+            out.push(mapped);
+        }
+    }
+
+    let stats = OvsStats {
+        constraints_before: program.constraints().len(),
+        constraints_after: out.len(),
+        vars_merged: subst
+            .iter()
+            .enumerate()
+            .filter(|&(i, &r)| r.index() != i)
+            .count(),
+        labels: (next_label - 1) as usize,
+    };
+    OvsResult {
+        program: program.with_constraints(out),
+        subst,
+        elapsed: start.elapsed(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    #[test]
+    fn copy_chain_collapses_to_one_variable() {
+        // p = &x; a = p; b = a; c = b — a, b, c are all pointer-equivalent
+        // to p... not to p (p is indirect, AddrOf lhs), but to each other?
+        // a's only pred is p → singleton label of p → a ≡ p's label; same
+        // for b, c transitively. All three merge with the canonical variable
+        // of p's label (p's own component).
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        let a = pb.var("a");
+        let b = pb.var("b");
+        let c = pb.var("c");
+        pb.addr_of(p, x);
+        pb.copy(a, p);
+        pb.copy(b, a);
+        pb.copy(c, b);
+        let r = substitute(&pb.finish());
+        assert_eq!(r.rep_of(a), p);
+        assert_eq!(r.rep_of(b), p);
+        assert_eq!(r.rep_of(c), p);
+        // Only the base constraint survives: every copy became a self-loop.
+        assert_eq!(r.program.stats().total(), 1);
+        assert_eq!(r.stats.vars_merged, 3);
+        assert!(r.stats.reduction_percent() > 70.0);
+    }
+
+    #[test]
+    fn diamonds_with_equal_sources_merge() {
+        // a = p; a = q; b = p; b = q — a and b have equal label sets.
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let q = pb.var("q");
+        let x = pb.var("x");
+        let y = pb.var("y");
+        let a = pb.var("a");
+        let b = pb.var("b");
+        pb.addr_of(p, x);
+        pb.addr_of(q, y);
+        pb.copy(a, p);
+        pb.copy(a, q);
+        pb.copy(b, p);
+        pb.copy(b, q);
+        let r = substitute(&pb.finish());
+        assert_eq!(r.rep_of(a), r.rep_of(b));
+        assert_ne!(r.rep_of(a), r.rep_of(p));
+        // 2 base + 2 copies into the merged node.
+        assert_eq!(r.program.stats().total(), 4);
+    }
+
+    #[test]
+    fn unreachable_pointers_get_label_zero() {
+        // u = w (neither has a base constraint): both always empty; the
+        // copy and the load through them are dropped.
+        let mut pb = ProgramBuilder::new();
+        let u = pb.var("u");
+        let w = pb.var("w");
+        let z = pb.var("z");
+        pb.copy(u, w);
+        pb.load(z, u); // z = *u — never fires
+        pb.store(u, z); // *u = z — never fires
+        let r = substitute(&pb.finish());
+        assert_eq!(r.program.stats().total(), 0);
+    }
+
+    #[test]
+    fn address_taken_vars_keep_identity() {
+        // x is address-taken and also copies from p: it must not merge.
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let q = pb.var("q");
+        let x = pb.var("x");
+        pb.addr_of(q, x);
+        pb.addr_of(p, q);
+        pb.copy(x, p);
+        let r = substitute(&pb.finish());
+        assert_eq!(r.rep_of(x), x);
+        assert_eq!(r.rep_of(p), p);
+        assert_eq!(r.program.stats().total(), 3);
+    }
+
+    #[test]
+    fn copy_cycle_members_merge_into_indirect_member() {
+        // Cycle x → y → x where x is address-taken: y merges into x.
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        let y = pb.var("y");
+        pb.addr_of(p, x);
+        pb.copy(x, y);
+        pb.copy(y, x);
+        let r = substitute(&pb.finish());
+        assert_eq!(r.rep_of(y), x);
+        assert_eq!(r.rep_of(x), x);
+    }
+
+    #[test]
+    fn function_slots_stay_distinct() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.function("f", 3);
+        let p = pb.var("p");
+        let a = pb.var("a");
+        pb.addr_of(p, f);
+        pb.copy(f.offset(1), a); // ret = a
+        pb.copy(f.offset(2), a); // param = a — same preds as ret!
+        let r = substitute(&pb.finish());
+        // Both slots belong to an address-taken function block: indirect,
+        // never merged despite equal predecessor sets.
+        assert_eq!(r.rep_of(f.offset(1)), f.offset(1));
+        assert_eq!(r.rep_of(f.offset(2)), f.offset(2));
+    }
+
+    #[test]
+    fn load_lhs_not_merged() {
+        // a = *p and b = *p: a, b have equal "sources" but are indirect
+        // (their points-to sets grow via dynamic edges), so HVN must not
+        // merge them... they actually are pointer-equivalent here, but the
+        // conservative classification keeps them separate.
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        let a = pb.var("a");
+        let b = pb.var("b");
+        pb.addr_of(p, x);
+        pb.load(a, p);
+        pb.load(b, p);
+        let r = substitute(&pb.finish());
+        assert_eq!(r.rep_of(a), a);
+        assert_eq!(r.rep_of(b), b);
+        assert_eq!(r.program.stats().total(), 3);
+    }
+
+    #[test]
+    fn duplicate_constraints_dedup() {
+        // x is address-taken so it cannot merge with p; the three identical
+        // copies into it must collapse to one.
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        pb.addr_of(p, x);
+        pb.copy(x, p);
+        pb.copy(x, p);
+        pb.copy(x, p);
+        pb.load(p, x);
+        pb.load(p, x);
+        let r = substitute(&pb.finish());
+        assert_eq!(r.program.stats().simple, 1);
+        assert_eq!(r.program.stats().complex1, 1);
+    }
+
+    #[test]
+    fn copy_of_copy_into_addressed_pointer_becomes_self_loop() {
+        // a = p; a = p duplicated via merging: a merges into p, so the
+        // copies vanish entirely rather than deduplicate.
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        let a = pb.var("a");
+        pb.addr_of(p, x);
+        pb.copy(a, p);
+        pb.copy(a, p);
+        let r = substitute(&pb.finish());
+        assert_eq!(r.rep_of(a), p);
+        assert_eq!(r.program.stats().simple, 0);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        let a = pb.var("a");
+        let b = pb.var("b");
+        pb.addr_of(p, x);
+        pb.copy(a, p);
+        pb.copy(b, a);
+        let before = pb.finish();
+        let r = substitute(&before);
+        assert_eq!(r.stats.constraints_before, 3);
+        assert_eq!(r.stats.constraints_after, r.program.stats().total());
+        assert!(r.stats.labels >= 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! The textual constraint-file format.
+//!
+//! The paper keeps constraint generation (CIL) separate from the solvers and
+//! exchanges constraint *files*; this module plays the same role. One
+//! constraint per line:
+//!
+//! ```text
+//! # comment
+//! fun f 4            # declare a function block: f plus 3 offset slots
+//! p = &x             # base
+//! q = p              # simple
+//! r = *q             # complex 1
+//! *p = r             # complex 2
+//! ret = *(fp + 1)    # complex 1 with offset (indirect-call return)
+//! *(fp + 2) = arg    # complex 2 with offset (indirect-call argument)
+//! ```
+
+use crate::{Program, ProgramBuilder};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`parse_program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseProgramError {
+    line: usize,
+    message: String,
+}
+
+impl ParseProgramError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseProgramError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the offending line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseProgramError {}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '$' | '#' | '.' | ':'))
+}
+
+/// A dereference expression `*v`, `*(v + k)`, or a bare identifier.
+fn parse_side(s: &str) -> Option<(&str, bool, u32)> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix("*(") {
+        let inner = rest.strip_suffix(')')?;
+        let (name, off) = inner.split_once('+')?;
+        let name = name.trim();
+        let off: u32 = off.trim().parse().ok()?;
+        is_ident(name).then_some((name, true, off))
+    } else if let Some(rest) = s.strip_prefix('*') {
+        let name = rest.trim();
+        is_ident(name).then_some((name, true, 0))
+    } else {
+        is_ident(s).then_some((s, false, 0))
+    }
+}
+
+/// Parses the text constraint format into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseProgramError`] on malformed lines, unknown directives, or
+/// `fun` declarations that appear after the name was already used.
+///
+/// # Example
+///
+/// ```
+/// use ant_constraints::parse_program;
+///
+/// let p = parse_program("p = &x\nq = p\nr = *q\n")?;
+/// assert_eq!(p.num_vars(), 4);
+/// assert_eq!(p.stats().total(), 3);
+/// # Ok::<(), ant_constraints::ParseProgramError>(())
+/// ```
+pub fn parse_program(text: &str) -> Result<Program, ParseProgramError> {
+    let mut b = ProgramBuilder::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = match raw.split_once('#') {
+            // `#` begins a comment unless it is part of an identifier
+            // (function slot names contain `#`), so only strip comments that
+            // start a token.
+            Some((before, _)) if before.is_empty() || before.ends_with(char::is_whitespace) => {
+                before
+            }
+            _ => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("fun ") {
+            let mut parts = rest.split_whitespace();
+            let (name, slots) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(n), Some(s), None) => (n, s),
+                _ => return Err(ParseProgramError::new(lineno, "expected `fun <name> <slots>`")),
+            };
+            let slots: u32 = slots
+                .parse()
+                .map_err(|_| ParseProgramError::new(lineno, "bad slot count"))?;
+            if slots == 0 {
+                return Err(ParseProgramError::new(lineno, "slot count must be >= 1"));
+            }
+            if !is_ident(name) {
+                return Err(ParseProgramError::new(lineno, "bad function name"));
+            }
+            b.function(name, slots);
+            continue;
+        }
+        let (lhs_text, rhs_text) = line
+            .split_once('=')
+            .ok_or_else(|| ParseProgramError::new(lineno, "expected `lhs = rhs`"))?;
+        let (lname, lderef, loff) = parse_side(lhs_text)
+            .ok_or_else(|| ParseProgramError::new(lineno, "bad left-hand side"))?;
+        let rhs_text = rhs_text.trim();
+        if let Some(addr) = rhs_text.strip_prefix('&') {
+            let addr = addr.trim();
+            if lderef || !is_ident(addr) {
+                return Err(ParseProgramError::new(lineno, "bad address-of constraint"));
+            }
+            let lhs = b.var(lname);
+            let rhs = b.var(addr);
+            b.addr_of(lhs, rhs);
+            continue;
+        }
+        let (rname, rderef, roff) = parse_side(rhs_text)
+            .ok_or_else(|| ParseProgramError::new(lineno, "bad right-hand side"))?;
+        let lhs = b.var(lname);
+        let rhs = b.var(rname);
+        match (lderef, rderef) {
+            (false, false) => b.copy(lhs, rhs),
+            (false, true) => b.load_offset(lhs, rhs, roff),
+            (true, false) => b.store_offset(lhs, rhs, loff),
+            (true, true) => {
+                return Err(ParseProgramError::new(
+                    lineno,
+                    "at most one dereference per constraint (introduce a temporary)",
+                ))
+            }
+        }
+    }
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConstraintKind;
+
+    #[test]
+    fn parses_all_forms() {
+        let p = parse_program(
+            "# a comment\n\
+             p = &x\n\
+             q = p\n\
+             r = *q\n\
+             *p = r\n\
+             s = *(q + 2)\n\
+             *(p + 1) = s\n",
+        )
+        .unwrap();
+        let ks: Vec<_> = p.constraints().iter().map(|c| (c.kind, c.offset)).collect();
+        use ConstraintKind::*;
+        assert_eq!(
+            ks,
+            vec![
+                (AddrOf, 0),
+                (Copy, 0),
+                (Load, 0),
+                (Store, 0),
+                (Load, 2),
+                (Store, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn fun_declares_slots() {
+        let p = parse_program("fun f 3\np = &f\nx = *(p + 2)\n").unwrap();
+        let f = p.var_by_name("f").unwrap();
+        assert_eq!(p.offset_limit(f), 3);
+        assert_eq!(p.var_by_name("f#2"), Some(f.offset(2)));
+    }
+
+    #[test]
+    fn roundtrips_through_text() {
+        let src = "fun f 3\np = &x\nq = p\nr = *q\n*p = r\ns = *(p + 1)\n*(p + 2) = s\nh = &f\n";
+        let p1 = parse_program(src).unwrap();
+        let p2 = parse_program(&p1.to_text()).unwrap();
+        assert_eq!(p1.stats(), p2.stats());
+        assert_eq!(p1.num_vars(), p2.num_vars());
+        // Same shapes constraint-by-constraint.
+        assert_eq!(p1.constraints().len(), p2.constraints().len());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let p = parse_program("\n   \n# only a comment\na = b # trailing\n").unwrap();
+        assert_eq!(p.stats().total(), 1);
+    }
+
+    #[test]
+    fn rejects_double_deref() {
+        let err = parse_program("*a = *b\n").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("one dereference"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_program("hello world\n").is_err());
+        assert!(parse_program("a = &*b\n").is_err());
+        assert!(parse_program("fun f\n").is_err());
+        assert!(parse_program("fun f 0\n").is_err());
+        assert!(parse_program("a = *(b - 1)\n").is_err());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let err = parse_program("???\n").unwrap_err();
+        let _: &dyn std::error::Error = &err;
+        assert!(err.to_string().starts_with("line 1"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based testing of the offline analyses' structural invariants.
+
+use ant_common::VarId;
+use ant_constraints::hcd::HcdOffline;
+use ant_constraints::offline::OfflineGraph;
+use ant_constraints::scc::tarjan_scc;
+use ant_constraints::{ovs, Constraint, ConstraintKind, Program, ProgramBuilder};
+use proptest::prelude::*;
+
+const NVARS: usize = 20;
+
+fn programs() -> impl Strategy<Value = Program> {
+    prop::collection::vec((0u8..4, 0..NVARS, 0..NVARS), 1..60).prop_map(|raw| {
+        let mut b = ProgramBuilder::new();
+        let vars: Vec<VarId> = (0..NVARS).map(|i| b.var(&format!("v{i}"))).collect();
+        for (k, l, r) in raw {
+            match k {
+                0 => b.addr_of(vars[l], vars[r]),
+                1 => b.copy(vars[l], vars[r]),
+                2 => b.load(vars[l], vars[r]),
+                _ => b.store(vars[l], vars[r]),
+            }
+        }
+        b.finish()
+    })
+}
+
+proptest! {
+    #[test]
+    fn scc_component_ids_are_reverse_topological(program in programs()) {
+        let g = OfflineGraph::build(&program);
+        let scc = tarjan_scc(&g.adj);
+        for (u, succs) in g.adj.iter().enumerate() {
+            for &v in succs {
+                let (cu, cv) = (scc.comp[u], scc.comp[v as usize]);
+                if cu != cv {
+                    prop_assert!(cv < cu, "edge {u}→{v} violates order");
+                }
+            }
+        }
+        // members() partitions the nodes.
+        let total: usize = scc.members().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.num_nodes());
+    }
+
+    #[test]
+    fn hcd_pairs_reference_real_cycles(program in programs()) {
+        let hcd = HcdOffline::analyze(&program);
+        let g = OfflineGraph::build(&program);
+        let scc = tarjan_scc(&g.adj);
+        for (a, b) in hcd.pairs() {
+            // (a, b) means ref(a) and b share an offline SCC.
+            prop_assert_eq!(
+                scc.comp[g.ref_node(a) as usize],
+                scc.comp[b.index()],
+                "pair ({}, {}) not in one SCC",
+                a,
+                b
+            );
+        }
+        // Static unions only join plain variables in one SCC.
+        for &(x, rep) in &hcd.static_unions {
+            prop_assert_eq!(scc.comp[x.index()], scc.comp[rep.index()]);
+        }
+    }
+
+    #[test]
+    fn ovs_never_grows_and_stays_parseable(program in programs()) {
+        let r = ovs::substitute(&program);
+        prop_assert!(r.program.constraints().len() <= program.constraints().len());
+        prop_assert_eq!(r.program.num_vars(), program.num_vars());
+        // No duplicate constraints survive.
+        let mut seen = std::collections::HashSet::new();
+        for c in r.program.constraints() {
+            prop_assert!(seen.insert(*c), "duplicate {c} after OVS");
+        }
+        // Substitution targets are representatives of merged groups: a
+        // variable never maps to a variable that itself maps elsewhere.
+        for v in program.vars() {
+            let rep = r.rep_of(v);
+            prop_assert_eq!(r.rep_of(rep), rep, "non-idempotent substitution");
+        }
+        // The reduced program round-trips through the text format.
+        let text = r.program.to_text();
+        let reparsed = ant_constraints::parse_program(&text).unwrap();
+        prop_assert_eq!(reparsed.stats(), r.program.stats());
+    }
+
+    #[test]
+    fn ovs_rewrites_preserve_location_identity(program in programs()) {
+        let r = ovs::substitute(&program);
+        let originals: std::collections::HashSet<(VarId, VarId)> = program
+            .constraints()
+            .iter()
+            .filter(|c| c.kind == ConstraintKind::AddrOf)
+            .map(|c| (c.lhs, c.rhs))
+            .collect();
+        for c in r.program.constraints() {
+            if c.kind == ConstraintKind::AddrOf {
+                // The location side is never renamed; the pointer side is a
+                // substitution of some original constraint.
+                let matched = originals
+                    .iter()
+                    .any(|&(l, rhs)| rhs == c.rhs && r.rep_of(l) == c.lhs);
+                prop_assert!(matched, "AddrOf {c} has no original counterpart");
+            }
+        }
+    }
+
+    #[test]
+    fn constraint_text_roundtrip(cs in prop::collection::vec((0u8..4, 0..8usize, 0..8usize), 0..30)) {
+        let mut b = ProgramBuilder::new();
+        let vars: Vec<VarId> = (0..8).map(|i| b.var(&format!("x{i}"))).collect();
+        for (k, l, r) in cs {
+            let c = match k {
+                0 => Constraint::addr_of(vars[l], vars[r]),
+                1 => Constraint::copy(vars[l], vars[r]),
+                2 => Constraint::load(vars[l], vars[r]),
+                _ => Constraint::store(vars[l], vars[r]),
+            };
+            b.push(c);
+        }
+        let p = b.finish();
+        let q = ant_constraints::parse_program(&p.to_text()).unwrap();
+        prop_assert_eq!(p.stats(), q.stats());
+    }
+}

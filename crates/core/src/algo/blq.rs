@@ -1,0 +1,458 @@
+//! The Berndl–Lhoták–Qian–Hendren–Umanee solver, adapted as in the paper to
+//! a field-insensitive C analysis that handles indirect calls.
+//!
+//! Both the constraint graph `E ⊆ V × V` and the points-to relation
+//! `P ⊆ V × Loc` live in BDDs. As in Berndl et al., the complex constraints
+//! themselves are relations — one BDD `L(ptr, dst)` for all loads and one
+//! `S(ptr, src)` for all stores — so materializing every edge they imply is
+//! a *single* relational product per round, regardless of how many
+//! constraints there are. Propagation is incrementalized: each step pushes
+//! only the delta of `P` discovered since the previous step, and each new
+//! round seeds its delta from the rows reachable over the newly added
+//! edges. BLQ has no cycle detection of its own; with HCD enabled the
+//! offline pairs are applied by rewriting `P`, `E`, `L` and `S` through a
+//! BDD rename relation — which is why the paper finds HCD buys BLQ much
+//! less than it buys the other solvers.
+
+use crate::Solution;
+use ant_bdd::{Bdd, BddManager, CubeId, Domain};
+use ant_common::{SolverStats, UnionFind, VarId};
+use ant_constraints::hcd::HcdOffline;
+use ant_constraints::{ConstraintKind, Program};
+
+struct Blq<'p> {
+    program: &'p Program,
+    m: BddManager,
+    dv: Domain, // source / pointer column
+    dw: Domain, // destination column
+    dl: Domain, // location column (doubles as scratch for composition)
+    cube_v: CubeId,
+    cube_w: CubeId,
+    p_rel: Bdd,    // P(dv, dl): points-to
+    e_rel: Bdd,    // E(dv, dw): copy edges
+    load_rel: Bdd, // L(dv = ptr, dw = dst): all offset-0 loads
+    store_rel: Bdd, // S(dv = ptr, dw = src): all offset-0 stores
+    /// Per offset k > 0: the load relation `L_k(ptr, dst)`, the store
+    /// relation `S_k(ptr, src)`, and the arithmetic relation
+    /// `Add_k(dl = v, dv = v + k)` over the variables whose offset limit
+    /// admits `k` — offset resolution becomes pure relational algebra.
+    offsets: Vec<(u32, Bdd, Bdd, Bdd)>,
+    /// The location→node relation `N(dl = loc, dv = node)`: identity until
+    /// HCD merges nodes, after which dead nodes map to their
+    /// representatives. Complex-constraint edges target `N(loc)`, not `loc`.
+    loc2node: Bdd,
+    uf: UnionFind,
+    stats: SolverStats,
+}
+
+impl<'p> Blq<'p> {
+    fn new(program: &'p Program) -> Self {
+        let n = program.num_vars().max(2) as u64;
+        let mut m = BddManager::new();
+        let mut doms = m.new_interleaved_domains(&[n, n, n]).into_iter();
+        let dv = doms.next().expect("three domains");
+        let dw = doms.next().expect("three domains");
+        let dl = doms.next().expect("three domains");
+        let cube_v = m.domain_cube(&dv);
+        let cube_w = m.domain_cube(&dw);
+        let loc2node = m.domain_equals(&dl, &dv);
+        Blq {
+            program,
+            m,
+            dv,
+            dw,
+            dl,
+            cube_v,
+            cube_w,
+            p_rel: Bdd::ZERO,
+            e_rel: Bdd::ZERO,
+            load_rel: Bdd::ZERO,
+            store_rel: Bdd::ZERO,
+            offsets: Vec::new(),
+            loc2node,
+            uf: UnionFind::new(program.num_vars().max(1)),
+            stats: SolverStats::new(),
+        }
+    }
+
+    fn pair(&mut self, a: VarId, b: VarId) -> Bdd {
+        self.m.tuple(&[
+            (&self.dv, a.as_u32() as u64),
+            (&self.dw, b.as_u32() as u64),
+        ])
+    }
+
+    fn offset_slot(&mut self, k: u32) -> usize {
+        if let Some(i) = self.offsets.iter().position(|&(off, ..)| off == k) {
+            return i;
+        }
+        // Build Add_k(dl = v, dv = v + k) over the offsetable variables —
+        // the function blocks, a small set.
+        let mut add = Bdd::ZERO;
+        for v in self.program.vars() {
+            if k < self.program.offset_limit(v) {
+                let t = self.m.tuple(&[
+                    (&self.dl, v.as_u32() as u64),
+                    (&self.dv, (v.as_u32() + k) as u64),
+                ]);
+                add = self.m.or(add, t);
+            }
+        }
+        self.offsets.push((k, Bdd::ZERO, Bdd::ZERO, add));
+        self.offsets.len() - 1
+    }
+
+    fn load_constraints(&mut self) {
+        for c in self.program.constraints().to_vec() {
+            match (c.kind, c.offset) {
+                (ConstraintKind::AddrOf, _) => {
+                    let t = self.m.tuple(&[
+                        (&self.dv, c.lhs.as_u32() as u64),
+                        (&self.dl, c.rhs.as_u32() as u64),
+                    ]);
+                    self.p_rel = self.m.or(self.p_rel, t);
+                }
+                (ConstraintKind::Copy, _) => {
+                    if c.lhs != c.rhs {
+                        let t = self.pair(c.rhs, c.lhs);
+                        self.e_rel = self.m.or(self.e_rel, t);
+                    }
+                }
+                (ConstraintKind::Load, 0) => {
+                    let t = self.pair(c.rhs, c.lhs);
+                    self.load_rel = self.m.or(self.load_rel, t);
+                }
+                (ConstraintKind::Store, 0) => {
+                    let t = self.pair(c.lhs, c.rhs);
+                    self.store_rel = self.m.or(self.store_rel, t);
+                }
+                (ConstraintKind::Load, k) => {
+                    let slot = self.offset_slot(k);
+                    let t = self.pair(c.rhs, c.lhs);
+                    self.offsets[slot].1 = self.m.or(self.offsets[slot].1, t);
+                }
+                (ConstraintKind::Store, k) => {
+                    let slot = self.offset_slot(k);
+                    let t = self.pair(c.lhs, c.rhs);
+                    self.offsets[slot].2 = self.m.or(self.offsets[slot].2, t);
+                }
+            }
+        }
+    }
+
+    /// Semi-naive propagation: adds `frontier` to `P` and closes `P` under
+    /// `E`, pushing only the delta at each step (the incrementalization of
+    /// Berndl et al.).
+    fn propagate(&mut self, frontier: Bdd) {
+        let mut delta = frontier;
+        self.p_rel = self.m.or(self.p_rel, delta);
+        while !delta.is_zero() {
+            self.stats.propagations += 1;
+            // new(dw, dl) = ∃dv. E(dv, dw) ∧ delta(dv, dl)
+            let stepped = self.m.relprod(self.e_rel, delta, self.cube_v);
+            let stepped = self.m.rename(stepped, &self.dw, &self.dv);
+            let new = self.m.diff(stepped, self.p_rel);
+            if new.is_zero() {
+                break;
+            }
+            self.stats.propagations_changed += 1;
+            self.p_rel = self.m.or(self.p_rel, new);
+            delta = new;
+        }
+    }
+
+    /// The points-to row of variable `x`, as a set over `dl`.
+    fn row(&mut self, x: VarId) -> Bdd {
+        let vx = self.m.domain_value(&self.dv, x.as_u32() as u64);
+        self.m.relprod(self.p_rel, vx, self.cube_v)
+    }
+
+    /// Materializes all edges implied by the complex constraints under the
+    /// current `P`. Returns the edges (possibly already present).
+    fn complex_edges(&mut self) -> Bdd {
+        let cube_l = self.m.domain_cube(&self.dl);
+        // Locations resolve to nodes through N (identity until HCD merges).
+        let n_lv = self.loc2node;
+        let n_lw = self.m.rename(n_lv, &self.dv, &self.dw);
+        // Loads: { node(o) → dst : (ptr, dst) ∈ L, o ∈ pts(ptr) }.
+        //   X(dl, dw) = ∃dv. P(dv, dl) ∧ L(dv, dw); map dl through N.
+        let x = self.m.relprod(self.p_rel, self.load_rel, self.cube_v);
+        let e_load = self.m.relprod(x, n_lv, cube_l);
+        // Stores: { src → node(o) : (ptr, src) ∈ S, o ∈ pts(ptr) }.
+        //   Y(dl, dw) = ∃dv. P(dv, dl) ∧ S(dv, dw) — swap src into place,
+        //   then map the location column through N.
+        let y = self.m.relprod(self.p_rel, self.store_rel, self.cube_v);
+        let y = self.m.rename(y, &self.dw, &self.dv); // (dv = src, dl = o)
+        let e_store = self.m.relprod(y, n_lw, cube_l); // (dv = src, dw = node(o))
+        let mut edges = self.m.or(e_load, e_store);
+        // Offset (indirect-call) constraints, batched per offset value:
+        // the arithmetic `t ↦ t + k` is itself a relation (Add_k), so these
+        // reduce to two more relational products per offset.
+        for i in 0..self.offsets.len() {
+            let (_, l_k, s_k, add_lv) = self.offsets[i];
+            if !l_k.is_zero() {
+                // X(dl = t, dw = dst) = ∃dv. P(dv, dl) ∧ L_k(dv, dw);
+                // E(dv = t + k, dw = dst) = ∃dl. X ∧ Add_k(dl, dv).
+                let x = self.m.relprod(self.p_rel, l_k, self.cube_v);
+                let e = self.m.relprod(x, add_lv, cube_l);
+                edges = self.m.or(edges, e);
+            }
+            if !s_k.is_zero() {
+                // Y(dl = t, dw = src) = ∃dv. P(dv, dl) ∧ S_k(dv, dw);
+                // swap src into column 1, then map t to t + k in column 2.
+                let y = self.m.relprod(self.p_rel, s_k, self.cube_v);
+                let y = self.m.rename(y, &self.dw, &self.dv); // (dv = src, dl = t)
+                let add_lw = self.m.rename(add_lv, &self.dv, &self.dw); // Add_k(dl, dw)
+                let e = self.m.relprod(y, add_lw, cube_l); // (dv = src, dw = t + k)
+                edges = self.m.or(edges, e);
+            }
+        }
+        edges
+    }
+
+    /// Applies the HCD pairs: collapse every `v ∈ pts(a)` with `b` by
+    /// rewriting the relations through a rename relation.
+    fn apply_hcd(&mut self, hcd: &HcdOffline) {
+        let mut merges: Vec<(VarId, VarId)> = Vec::new();
+        let pairs: Vec<_> = hcd.pairs().collect();
+        for (a, b) in pairs {
+            let a_r = self.uf.find(a);
+            let row = self.row(a_r);
+            if row.is_zero() {
+                continue;
+            }
+            for v in self.m.domain_values(row, &self.dl) {
+                let v = VarId::from_u32(v as u32);
+                let rv = self.uf.find(v);
+                let rb = self.uf.find(b);
+                if rv != rb {
+                    let w = self.uf.union(rv, rb);
+                    let l = if w == rv { rb } else { rv };
+                    merges.push((l, w));
+                    self.stats.nodes_collapsed += 1;
+                }
+            }
+        }
+        if merges.is_empty() {
+            return;
+        }
+        // Rename relation M = identity off the merged set plus
+        // (loser → winner) pairs, in the three column layouts needed to
+        // rewrite both columns of a (dv, dw) relation.
+        let mut merged_v = Bdd::ZERO;
+        let mut pairs_vw = Bdd::ZERO;
+        let mut pairs_vl = Bdd::ZERO;
+        let mut pairs_wl = Bdd::ZERO;
+        for &(l, w0) in &merges {
+            let w = self.uf.find(w0); // winners can merge further
+            let lv = self.m.domain_value(&self.dv, l.as_u32() as u64);
+            merged_v = self.m.or(merged_v, lv);
+            let t_vw = self.pair(l, w);
+            pairs_vw = self.m.or(pairs_vw, t_vw);
+            let t_vl = self.m.tuple(&[
+                (&self.dv, l.as_u32() as u64),
+                (&self.dl, w.as_u32() as u64),
+            ]);
+            pairs_vl = self.m.or(pairs_vl, t_vl);
+            let t_wl = self.m.tuple(&[
+                (&self.dw, l.as_u32() as u64),
+                (&self.dl, w.as_u32() as u64),
+            ]);
+            pairs_wl = self.m.or(pairs_wl, t_wl);
+        }
+        let eq_vw = self.m.domain_equals(&self.dv, &self.dw);
+        let eq_vl = self.m.domain_equals(&self.dv, &self.dl);
+        let eq_wl = self.m.domain_equals(&self.dw, &self.dl);
+        let not_merged = self.m.not(merged_v);
+        let id_vw = self.m.and(eq_vw, not_merged);
+        let m_vw = self.m.or(id_vw, pairs_vw);
+        let id_vl = self.m.and(eq_vl, not_merged);
+        let m_vl = self.m.or(id_vl, pairs_vl);
+        let merged_w = self.m.rename(merged_v, &self.dv, &self.dw);
+        let not_merged_w = self.m.not(merged_w);
+        let id_wl = self.m.and(eq_wl, not_merged_w);
+        let m_wl = self.m.or(id_wl, pairs_wl);
+
+        // P column 1: P'(dw, dl) = ∃dv. M_vw(dv, dw) ∧ P(dv, dl).
+        let p1 = self.m.relprod(m_vw, self.p_rel, self.cube_v);
+        self.p_rel = self.m.rename(p1, &self.dw, &self.dv);
+        // Both columns of each (dv, dw) relation, via the scratch domain.
+        self.e_rel = self.rewrite_vw(self.e_rel, m_vl, m_wl);
+        self.load_rel = self.rewrite_vw(self.load_rel, m_vl, m_wl);
+        self.store_rel = self.rewrite_vw(self.store_rel, m_vl, m_wl);
+        for i in 0..self.offsets.len() {
+            let (_, l_k, s_k, add_lv) = self.offsets[i];
+            self.offsets[i].1 = self.rewrite_vw(l_k, m_vl, m_wl);
+            self.offsets[i].2 = self.rewrite_vw(s_k, m_vl, m_wl);
+            // Add_k's first column holds *locations* (never renamed); its
+            // second column holds graph nodes: compose with M.
+            let x = self.m.relprod(add_lv, m_vw, self.cube_v); // (dl, dw)
+            self.offsets[i].3 = self.m.rename(x, &self.dw, &self.dv);
+        }
+        // Same for the location→node relation.
+        let x = self.m.relprod(self.loc2node, m_vw, self.cube_v); // (dl, dw)
+        self.loc2node = self.m.rename(x, &self.dw, &self.dv);
+    }
+
+    /// Rewrites both columns of a `(dv, dw)` relation through the merge
+    /// relation (given in its `(dv, dl)` and `(dw, dl)` layouts).
+    fn rewrite_vw(&mut self, r: Bdd, m_vl: Bdd, m_wl: Bdd) -> Bdd {
+        let c1 = self.m.relprod(m_vl, r, self.cube_v); // (dl, dw)
+        let c1 = self.m.rename(c1, &self.dl, &self.dv); // (dv, dw)
+        let c2 = self.m.relprod(c1, m_wl, self.cube_w); // (dv, dl)
+        self.m.rename(c2, &self.dl, &self.dw) // (dv, dw)
+    }
+
+    fn solve(mut self, hcd: Option<&HcdOffline>) -> (Solution, SolverStats) {
+        self.load_constraints();
+        // The base tuples are the first frontier.
+        let base = self.p_rel;
+        self.p_rel = Bdd::ZERO;
+        let mut frontier = base;
+        loop {
+            self.propagate(frontier);
+            let collapsed_before = self.stats.nodes_collapsed;
+            let edges = self.complex_edges();
+            let new_edges = self.m.diff(edges, self.e_rel);
+            if !new_edges.is_zero() {
+                self.e_rel = self.m.or(self.e_rel, new_edges);
+                self.stats.edges_added += 1;
+            }
+            if let Some(h) = hcd {
+                self.apply_hcd(h);
+            }
+            let merged = self.stats.nodes_collapsed != collapsed_before;
+            if new_edges.is_zero() && !merged {
+                break;
+            }
+            frontier = if merged {
+                // Rewritten relations invalidate the frontier: re-push all.
+                self.p_rel
+            } else {
+                // Incremental: only rows flowing over the new edges.
+                let stepped = self.m.relprod(new_edges, self.p_rel, self.cube_v);
+                self.m.rename(stepped, &self.dw, &self.dv)
+            };
+        }
+        // Extract the solution.
+        let n = self.program.num_vars();
+        let mut row_cache: ant_common::fx::FxHashMap<u32, Vec<u32>> = Default::default();
+        let mut sets = Vec::with_capacity(n);
+        for i in 0..n {
+            let rep = self.uf.find(VarId::new(i));
+            if let std::collections::hash_map::Entry::Vacant(e) = row_cache.entry(rep.as_u32()) {
+                let row = self.row(rep);
+                let vals: Vec<u32> = self
+                    .m
+                    .domain_values(row, &self.dl)
+                    .into_iter()
+                    .map(|v| v as u32)
+                    .collect();
+                e.insert(vals);
+            }
+            sets.push(row_cache[&rep.as_u32()].clone());
+        }
+        self.stats.pts_bytes = self.m.heap_bytes();
+        self.stats.aux_bytes = self.uf.heap_bytes();
+        (Solution::from_sets(sets), self.stats)
+    }
+}
+
+/// Runs BLQ (optionally with HCD pairs applied through BDD renaming).
+pub(crate) fn blq(program: &Program, hcd: Option<&HcdOffline>) -> (Solution, SolverStats) {
+    Blq::new(program).solve(hcd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::assert_sound;
+    use ant_constraints::ProgramBuilder;
+
+    fn program_with_cycle() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        let y = pb.var("y");
+        let q = pb.var("q");
+        let r = pb.var("r");
+        pb.addr_of(p, x);
+        pb.addr_of(q, y);
+        pb.store(p, q); // *p = q
+        pb.load(r, p); // r = *p
+        pb.copy(x, y);
+        pb.copy(y, x);
+        pb.finish()
+    }
+
+    #[test]
+    fn blq_solves_loads_and_stores() {
+        let program = program_with_cycle();
+        let (sol, stats) = blq(&program, None);
+        assert_sound(&program, &sol);
+        let r = program.var_by_name("r").unwrap();
+        let y = program.var_by_name("y").unwrap();
+        assert!(sol.may_point_to(r, y));
+        assert!(stats.propagations > 0);
+        assert!(stats.pts_bytes > 0);
+        assert_eq!(stats.nodes_collapsed, 0, "plain BLQ never collapses");
+    }
+
+    #[test]
+    fn blq_hcd_agrees_with_plain() {
+        let program = program_with_cycle();
+        let (s1, _) = blq(&program, None);
+        let hcd = HcdOffline::analyze(&program);
+        let (s2, st2) = blq(&program, Some(&hcd));
+        assert_sound(&program, &s2);
+        assert!(s1.equiv(&s2), "diff at {:?}", s1.first_difference(&s2));
+        let _ = st2;
+    }
+
+    #[test]
+    fn blq_handles_offsets() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.function("f", 3);
+        let fp = pb.var("fp");
+        let q = pb.var("q");
+        let x = pb.var("x");
+        let r = pb.var("r");
+        pb.copy(f.offset(1), f.offset(2));
+        pb.addr_of(fp, f);
+        pb.addr_of(q, x);
+        pb.store_offset(fp, q, 2);
+        pb.load_offset(r, fp, 1);
+        let program = pb.finish();
+        let (sol, _) = blq(&program, None);
+        assert_sound(&program, &sol);
+        assert!(sol.may_point_to(r, x));
+    }
+
+    #[test]
+    fn empty_program_is_fine() {
+        let program = ProgramBuilder::new().finish();
+        let (sol, _) = blq(&program, None);
+        assert_eq!(sol.num_vars(), 0);
+    }
+
+    #[test]
+    fn chain_through_heap() {
+        // p = &h; *p = q; q = &x; r = *p; s = *r — two dereference levels.
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let h = pb.var("h");
+        let q = pb.var("q");
+        let x = pb.var("x");
+        let r = pb.var("r");
+        let s = pb.var("s");
+        pb.addr_of(p, h);
+        pb.store(p, q);
+        pb.addr_of(q, x);
+        pb.load(r, p);
+        pb.load(s, r);
+        let program = pb.finish();
+        let (sol, _) = blq(&program, None);
+        assert_sound(&program, &sol);
+        assert!(sol.may_point_to(r, x));
+    }
+}

@@ -1,0 +1,343 @@
+//! The Heintze–Tardieu solver (field-insensitive, §2 of the paper).
+//!
+//! HT keeps the constraint graph in *pre-transitive* form: copy edges are
+//! never closed transitively. Instead, whenever a complex constraint needs
+//! `pts(x)`, a cached **reachability query** walks the predecessor edges and
+//! pulls points-to information down to `x`, collapsing any cycles it runs
+//! into as a side effect. Queries are cached per *round*: a node computed in
+//! the current round is final for that round, which is where HT's documented
+//! redundancy comes from — an edge added later in the round is only seen by
+//! the next round's queries.
+
+use crate::pts::PtsRepr;
+use crate::state::OnlineState;
+use ant_common::worklist::{Fifo, Worklist};
+use ant_common::VarId;
+use ant_constraints::hcd::HcdOffline;
+use ant_constraints::{ConstraintKind, Program};
+
+/// Reusable buffers for the query DFS.
+struct QueryBufs {
+    epoch: Vec<u32>,
+    index: Vec<u32>,
+    low: Vec<u32>,
+    on_stack: Vec<bool>,
+    cur_epoch: u32,
+    /// Round in which each node's points-to set was last finalized.
+    round_mark: Vec<u32>,
+}
+
+impl QueryBufs {
+    fn new(n: usize) -> Self {
+        QueryBufs {
+            epoch: vec![0; n],
+            index: vec![0; n],
+            low: vec![0; n],
+            on_stack: vec![false; n],
+            cur_epoch: 0,
+            round_mark: vec![0; n],
+        }
+    }
+}
+
+/// Runs HT (optionally with HCD pairs) and returns the final state.
+///
+/// Note: in the returned state, `succs` holds **predecessor** edges — HT
+/// pulls information backwards along copy edges rather than pushing it
+/// forwards.
+pub(crate) fn ht<P: PtsRepr>(program: &Program, hcd: Option<&HcdOffline>) -> OnlineState<P> {
+    let mut st = OnlineState::<P>::new(program);
+    // Reverse the edge direction: succs[x] becomes the predecessor set of x.
+    let mut preds = vec![ant_common::SparseBitmap::new(); st.n];
+    for (i, s) in st.succs.iter().enumerate() {
+        for j in s.iter() {
+            preds[j as usize].insert(i as u32);
+        }
+    }
+    st.succs = preds;
+    if let Some(h) = hcd {
+        st.install_hcd(h);
+    }
+
+    // The global complex-constraint lists HT iterates each round.
+    let mut loads = Vec::new(); // (lhs, ptr, offset)
+    let mut stores = Vec::new(); // (ptr, rhs, offset)
+    for c in program.constraints() {
+        match c.kind {
+            ConstraintKind::Load => loads.push((c.lhs, c.rhs, c.offset)),
+            ConstraintKind::Store => stores.push((c.lhs, c.rhs, c.offset)),
+            _ => {}
+        }
+    }
+
+    let mut bufs = QueryBufs::new(st.n);
+    let mut sink = Fifo::new(st.n);
+    let mut round = 0u32;
+    loop {
+        round += 1;
+        let edges_before = st.stats.edges_added;
+        for &(a, b, k) in &loads {
+            let b_r = resolve(&mut st, b, round, &mut bufs, hcd.is_some(), &mut sink);
+            let locs = st.pts[b_r.index()].to_vec(&st.ctx);
+            let a_r = st.find(a);
+            for v in locs {
+                if k >= st.offset_limit[v as usize] {
+                    continue;
+                }
+                let t = st.find(VarId::from_u32(v + k));
+                if t != a_r {
+                    // Pre-transitive edge t → a, stored reversed.
+                    st.insert_edge(a_r, t);
+                }
+            }
+        }
+        for &(aptr, b, k) in &stores {
+            let a_r = resolve(&mut st, aptr, round, &mut bufs, hcd.is_some(), &mut sink);
+            let locs = st.pts[a_r.index()].to_vec(&st.ctx);
+            let b_r = st.find(b);
+            for v in locs {
+                if k >= st.offset_limit[v as usize] {
+                    continue;
+                }
+                let t = st.find(VarId::from_u32(v + k));
+                if t != b_r {
+                    // Edge b → t, stored reversed.
+                    st.insert_edge(t, b_r);
+                }
+            }
+        }
+        if st.stats.edges_added == edges_before {
+            break;
+        }
+    }
+
+    // Final pass: materialize pts for every node (many variables are never
+    // upstream of a complex constraint and have not been queried yet).
+    round += 1;
+    for i in 0..st.n {
+        let v = VarId::new(i);
+        if st.uf.is_rep(v) {
+            query(&mut st, v, round, &mut bufs);
+        }
+    }
+    st
+}
+
+/// Queries `b`'s points-to set and applies the HCD pairs if enabled.
+fn resolve<P: PtsRepr>(
+    st: &mut OnlineState<P>,
+    b: VarId,
+    round: u32,
+    bufs: &mut QueryBufs,
+    use_hcd: bool,
+    sink: &mut dyn Worklist,
+) -> VarId {
+    let b_r = st.find(b);
+    query(st, b_r, round, bufs);
+    let mut b_r = st.find(b_r);
+    if use_hcd {
+        b_r = st.hcd_step(b_r, sink);
+    }
+    b_r
+}
+
+/// The cached reachability query: ensures `pts(root)` reflects all points-to
+/// information reachable over the current pre-transitive graph, collapsing
+/// cycles found along the way (Tarjan on predecessor edges with
+/// round-finalized nodes acting as leaves).
+fn query<P: PtsRepr>(st: &mut OnlineState<P>, root: VarId, round: u32, bufs: &mut QueryBufs) {
+    let root = st.find(root);
+    if bufs.round_mark[root.index()] == round {
+        return;
+    }
+    bufs.cur_epoch += 1;
+    let epoch = bufs.cur_epoch;
+    let mut next_index = 1u32;
+    let mut comp_stack: Vec<u32> = Vec::new();
+    let mut dfs: Vec<(u32, Vec<u32>, usize)> = Vec::new();
+
+    let start_visit = |st: &mut OnlineState<P>, bufs: &mut QueryBufs, v: u32, ni: &mut u32| {
+        bufs.epoch[v as usize] = epoch;
+        bufs.index[v as usize] = *ni;
+        bufs.low[v as usize] = *ni;
+        *ni += 1;
+        st.stats.nodes_searched += 1;
+    };
+
+    // Predecessor snapshots are canonicalized in place: stale ids left by
+    // collapsing would otherwise be re-resolved on every query.
+    let children = |st: &mut OnlineState<P>, v: u32| -> Vec<u32> {
+        st.canonical_succs(VarId::from_u32(v))
+    };
+
+    start_visit(st, bufs, root.as_u32(), &mut next_index);
+    comp_stack.push(root.as_u32());
+    bufs.on_stack[root.index()] = true;
+    let kids = children(st, root.as_u32());
+    dfs.push((root.as_u32(), kids, 0));
+
+    while let Some(frame) = dfs.last_mut() {
+        let v = frame.0;
+        if let Some(&w_raw) = frame.1.get(frame.2) {
+            frame.2 += 1;
+            // Collapses earlier in this query may have merged the child
+            // away; resolve to its current representative.
+            let w = st.find(VarId::from_u32(w_raw)).as_u32();
+            if w == v || bufs.round_mark[w as usize] == round {
+                continue; // self edge, or already final this round: a leaf
+            }
+            if bufs.epoch[w as usize] != epoch {
+                start_visit(st, bufs, w, &mut next_index);
+                comp_stack.push(w);
+                bufs.on_stack[w as usize] = true;
+                let kids = children(st, w);
+                dfs.push((w, kids, 0));
+            } else if bufs.on_stack[w as usize] {
+                bufs.low[v as usize] = bufs.low[v as usize].min(bufs.index[w as usize]);
+            }
+        } else {
+            dfs.pop();
+            if let Some(parent) = dfs.last() {
+                let p = parent.0 as usize;
+                bufs.low[p] = bufs.low[p].min(bufs.low[v as usize]);
+            }
+            if bufs.low[v as usize] == bufs.index[v as usize] {
+                // Pop the SCC; collapse if non-trivial (HT's cycle detection
+                // as a side effect of the query).
+                let mut comp = Vec::new();
+                loop {
+                    let w = comp_stack.pop().expect("scc stack underflow");
+                    bufs.on_stack[w as usize] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                let mut rep = VarId::from_u32(comp[0]);
+                if comp.len() > 1 {
+                    for &m in &comp[1..] {
+                        rep = st.collapse(VarId::from_u32(m), rep);
+                    }
+                    st.stats.cycles_found += 1;
+                }
+                // Pull points-to info from the (now final) predecessors.
+                for p in st.canonical_succs(rep) {
+                    st.propagate(VarId::from_u32(p), rep);
+                }
+                bufs.round_mark[rep.index()] = round;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pts::BitmapPts;
+    use crate::verify::assert_sound;
+    use crate::Solution;
+    use ant_constraints::ProgramBuilder;
+
+    fn solve(program: &Program, use_hcd: bool) -> (Solution, OnlineState<BitmapPts>) {
+        let hcd = use_hcd.then(|| HcdOffline::analyze(program));
+        let mut st = ht::<BitmapPts>(program, hcd.as_ref());
+        (Solution::from_state(&mut st), st)
+    }
+
+    #[test]
+    fn straight_line_flows() {
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        let q = pb.var("q");
+        let r = pb.var("r");
+        pb.addr_of(p, x);
+        pb.copy(q, p);
+        pb.copy(r, q);
+        let program = pb.finish();
+        let (sol, _) = solve(&program, false);
+        assert_sound(&program, &sol);
+        assert!(sol.may_point_to(r, x));
+    }
+
+    #[test]
+    fn dynamic_edges_require_multiple_rounds() {
+        // r = *p where *p = q only materializes after pts(p) is known, and
+        // the store adds an edge the earlier load-query could not see.
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        let q = pb.var("q");
+        let y = pb.var("y");
+        let r = pb.var("r");
+        pb.load(r, p); // processed before the store each round
+        pb.addr_of(p, x);
+        pb.addr_of(q, y);
+        pb.store(p, q); // pts(x) ⊇ pts(q) = {y}
+        let program = pb.finish();
+        let (sol, _) = solve(&program, false);
+        assert_sound(&program, &sol);
+        assert!(sol.may_point_to(r, y));
+    }
+
+    #[test]
+    fn cycles_collapse_during_queries() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.var("a");
+        let b = pb.var("b");
+        let c = pb.var("c");
+        let p = pb.var("p");
+        let x = pb.var("x");
+        pb.addr_of(p, x);
+        pb.copy(a, b);
+        pb.copy(b, c);
+        pb.copy(c, a);
+        pb.copy(a, p);
+        pb.load(x, a); // forces a query of a
+        let program = pb.finish();
+        let (sol, st) = solve(&program, false);
+        assert_sound(&program, &sol);
+        assert!(st.stats.nodes_collapsed >= 2, "a,b,c collapse");
+        assert!(sol.may_point_to(VarId::new(0), x));
+    }
+
+    #[test]
+    fn ht_and_ht_hcd_agree() {
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        let y = pb.var("y");
+        let q = pb.var("q");
+        let r = pb.var("r");
+        pb.addr_of(p, x);
+        pb.addr_of(q, y);
+        pb.store(p, q);
+        pb.load(r, p);
+        pb.copy(x, y);
+        pb.copy(y, x);
+        let program = pb.finish();
+        let (s1, _) = solve(&program, false);
+        let (s2, _) = solve(&program, true);
+        assert_sound(&program, &s1);
+        assert!(s1.equiv(&s2), "diff at {:?}", s1.first_difference(&s2));
+    }
+
+    #[test]
+    fn offsets_flow_through_indirect_calls() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.function("f", 3);
+        let fp = pb.var("fp");
+        let q = pb.var("q");
+        let x = pb.var("x");
+        let r = pb.var("r");
+        pb.copy(f.offset(1), f.offset(2));
+        pb.addr_of(fp, f);
+        pb.addr_of(q, x);
+        pb.store_offset(fp, q, 2);
+        pb.load_offset(r, fp, 1);
+        let program = pb.finish();
+        let (sol, _) = solve(&program, false);
+        assert_sound(&program, &sol);
+        assert!(sol.may_point_to(r, x));
+    }
+}

@@ -1,0 +1,354 @@
+//! Solver selection and the top-level [`solve`] entry point.
+
+mod blq;
+mod diff_prop;
+mod ht;
+mod pkh03;
+mod steensgaard;
+mod worklist_solvers;
+
+pub use steensgaard::steensgaard;
+
+use crate::pts::PtsRepr;
+use crate::{Solution, SolverStats};
+use ant_common::worklist::WorklistKind;
+use ant_constraints::hcd::HcdOffline;
+use ant_constraints::Program;
+use std::fmt;
+use std::time::Instant;
+
+/// The nine algorithms the paper evaluates (plus the naive baseline of
+/// Figure 1).
+///
+/// The five *main* algorithms are HT, PKH, BLQ, LCD and HCD; the other four
+/// combine a main algorithm with Hybrid Cycle Detection.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Algorithm {
+    /// Figure 1: dynamic transitive closure with no cycle detection.
+    Basic,
+    /// Heintze–Tardieu: pre-transitive graph with cached reachability
+    /// queries.
+    Ht,
+    /// Pearce–Kelly–Hankin: explicit closure with periodic cycle sweeps.
+    Pkh,
+    /// Berndl et al.: BDD-relational solver (no cycle detection).
+    Blq,
+    /// Lazy Cycle Detection (this paper, Figure 2).
+    Lcd,
+    /// Hybrid Cycle Detection standalone (this paper, Figure 5).
+    Hcd,
+    /// HT enhanced with HCD.
+    HtHcd,
+    /// PKH enhanced with HCD.
+    PkhHcd,
+    /// BLQ enhanced with HCD.
+    BlqHcd,
+    /// LCD enhanced with HCD — the paper's fastest configuration.
+    LcdHcd,
+    /// Pearce et al.'s earlier (SCAM 2003) dynamic-topological-order
+    /// detector — the ablation behind §2's "proves to still have too much
+    /// overhead" remark. Not part of the paper's evaluated set.
+    Pkh03,
+    /// LCD with difference propagation (Pearce et al. 2003) — deltas
+    /// instead of whole sets along each edge. Ablation; not in the paper's
+    /// evaluated set.
+    LcdDiff,
+}
+
+impl Algorithm {
+    /// The algorithms of Table 3, in the paper's row order.
+    pub const TABLE3: [Algorithm; 9] = [
+        Algorithm::Ht,
+        Algorithm::Pkh,
+        Algorithm::Blq,
+        Algorithm::Lcd,
+        Algorithm::Hcd,
+        Algorithm::HtHcd,
+        Algorithm::PkhHcd,
+        Algorithm::BlqHcd,
+        Algorithm::LcdHcd,
+    ];
+
+    /// The algorithms of Table 5 (BDD points-to sets; BLQ excluded since it
+    /// is already BDD-based).
+    pub const TABLE5: [Algorithm; 7] = [
+        Algorithm::Ht,
+        Algorithm::Pkh,
+        Algorithm::Lcd,
+        Algorithm::Hcd,
+        Algorithm::HtHcd,
+        Algorithm::PkhHcd,
+        Algorithm::LcdHcd,
+    ];
+
+    /// The five main algorithms.
+    pub const MAIN: [Algorithm; 5] = [
+        Algorithm::Ht,
+        Algorithm::Pkh,
+        Algorithm::Blq,
+        Algorithm::Lcd,
+        Algorithm::Hcd,
+    ];
+
+    /// Every algorithm, including the naive baseline and the ablations.
+    pub const ALL: [Algorithm; 12] = [
+        Algorithm::Basic,
+        Algorithm::Ht,
+        Algorithm::Pkh,
+        Algorithm::Blq,
+        Algorithm::Lcd,
+        Algorithm::Hcd,
+        Algorithm::HtHcd,
+        Algorithm::PkhHcd,
+        Algorithm::BlqHcd,
+        Algorithm::LcdHcd,
+        Algorithm::Pkh03,
+        Algorithm::LcdDiff,
+    ];
+
+    /// The paper's name for this algorithm.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Basic => "Basic",
+            Algorithm::Ht => "HT",
+            Algorithm::Pkh => "PKH",
+            Algorithm::Blq => "BLQ",
+            Algorithm::Lcd => "LCD",
+            Algorithm::Hcd => "HCD",
+            Algorithm::HtHcd => "HT+HCD",
+            Algorithm::PkhHcd => "PKH+HCD",
+            Algorithm::BlqHcd => "BLQ+HCD",
+            Algorithm::LcdHcd => "LCD+HCD",
+            Algorithm::Pkh03 => "PKH03",
+            Algorithm::LcdDiff => "LCD-DP",
+        }
+    }
+
+    /// Does this configuration run the HCD offline analysis?
+    pub fn uses_hcd(self) -> bool {
+        matches!(
+            self,
+            Algorithm::Hcd
+                | Algorithm::HtHcd
+                | Algorithm::PkhHcd
+                | Algorithm::BlqHcd
+                | Algorithm::LcdHcd
+        )
+    }
+
+    /// The HCD-enhanced counterpart of a main algorithm (Figure 8 pairs).
+    pub fn hcd_counterpart(self) -> Option<Algorithm> {
+        match self {
+            Algorithm::Ht => Some(Algorithm::HtHcd),
+            Algorithm::Pkh => Some(Algorithm::PkhHcd),
+            Algorithm::Blq => Some(Algorithm::BlqHcd),
+            Algorithm::Lcd => Some(Algorithm::LcdHcd),
+            Algorithm::Basic => Some(Algorithm::Hcd),
+            _ => None,
+        }
+    }
+
+    /// Parses a paper-style name (case-insensitive, `+hcd` suffix allowed).
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        let lower = s.to_ascii_lowercase();
+        Some(match lower.as_str() {
+            "basic" => Algorithm::Basic,
+            "ht" => Algorithm::Ht,
+            "pkh" => Algorithm::Pkh,
+            "blq" => Algorithm::Blq,
+            "lcd" => Algorithm::Lcd,
+            "hcd" => Algorithm::Hcd,
+            "ht+hcd" => Algorithm::HtHcd,
+            "pkh+hcd" => Algorithm::PkhHcd,
+            "blq+hcd" => Algorithm::BlqHcd,
+            "lcd+hcd" => Algorithm::LcdHcd,
+            "pkh03" => Algorithm::Pkh03,
+            "lcd-dp" => Algorithm::LcdDiff,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Solver configuration: which algorithm and which worklist strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Worklist strategy for the worklist-driven solvers (the paper's
+    /// default is LRF over a divided worklist).
+    pub worklist: WorklistKind,
+}
+
+impl SolverConfig {
+    /// Configuration with the paper's default worklist.
+    pub fn new(algorithm: Algorithm) -> Self {
+        SolverConfig {
+            algorithm,
+            worklist: WorklistKind::DividedLrf,
+        }
+    }
+}
+
+/// A solver run: the solution plus the §5.3 statistics.
+#[derive(Clone, Debug)]
+pub struct SolveOutput {
+    /// The points-to solution (identical across algorithms).
+    pub solution: Solution,
+    /// Counters and memory/time accounting.
+    pub stats: SolverStats,
+}
+
+/// Solves `program` with the configured algorithm, generic over the
+/// points-to representation `P` (bitmaps for Tables 3–4, BDDs for 5–6).
+///
+/// The HCD offline time is reported in `stats.offline_time` and — following
+/// the paper — *not* included in `stats.solve_time`.
+///
+/// # Example
+///
+/// ```
+/// use ant_core::{solve, Algorithm, BitmapPts, SolverConfig};
+/// use ant_constraints::parse_program;
+///
+/// let program = parse_program("p = &x\nq = p\n").unwrap();
+/// let out = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::LcdHcd));
+/// let q = program.var_by_name("q").unwrap();
+/// let x = program.var_by_name("x").unwrap();
+/// assert!(out.solution.may_point_to(q, x));
+/// ```
+pub fn solve<P: PtsRepr>(program: &Program, config: &SolverConfig) -> SolveOutput {
+    let hcd = config
+        .algorithm
+        .uses_hcd()
+        .then(|| HcdOffline::analyze(program));
+    let hcd_ref = hcd.as_ref();
+    let wk = config.worklist;
+    let start = Instant::now();
+    let (solution, mut stats) = match config.algorithm {
+        Algorithm::Basic | Algorithm::Hcd => {
+            finish(worklist_solvers::basic::<P>(program, wk, hcd_ref), start)
+        }
+        Algorithm::Lcd | Algorithm::LcdHcd => {
+            finish(worklist_solvers::lcd::<P>(program, wk, hcd_ref), start)
+        }
+        Algorithm::Pkh | Algorithm::PkhHcd => {
+            finish(worklist_solvers::pkh::<P>(program, wk, hcd_ref), start)
+        }
+        Algorithm::Ht | Algorithm::HtHcd => finish(ht::ht::<P>(program, hcd_ref), start),
+        Algorithm::Pkh03 => finish(pkh03::pkh03::<P>(program, wk, hcd_ref), start),
+        Algorithm::LcdDiff => finish(diff_prop::lcd_diff::<P>(program, wk, hcd_ref), start),
+        Algorithm::Blq | Algorithm::BlqHcd => {
+            let (solution, mut stats) = blq::blq(program, hcd_ref);
+            stats.solve_time = start.elapsed();
+            (solution, stats)
+        }
+    };
+    if let Some(h) = &hcd {
+        stats.offline_time = h.elapsed;
+    }
+    SolveOutput { solution, stats }
+}
+
+fn finish<P: PtsRepr>(
+    mut st: crate::state::OnlineState<P>,
+    start: Instant,
+) -> (Solution, SolverStats) {
+    st.stats.solve_time = start.elapsed();
+    st.finalize_bytes();
+    let solution = Solution::from_state(&mut st);
+    (solution, st.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pts::{BddPts, BitmapPts};
+    use crate::verify::assert_sound;
+    use ant_constraints::ProgramBuilder;
+
+    fn medley() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.function("f", 3);
+        let p = pb.var("p");
+        let q = pb.var("q");
+        let x = pb.var("x");
+        let y = pb.var("y");
+        let r = pb.var("r");
+        let fp = pb.var("fp");
+        pb.addr_of(p, x);
+        pb.addr_of(q, y);
+        pb.store(p, q);
+        pb.load(r, p);
+        pb.copy(x, y);
+        pb.copy(y, x);
+        pb.copy(f.offset(1), f.offset(2));
+        pb.addr_of(fp, f);
+        pb.store_offset(fp, q, 2);
+        pb.load_offset(r, fp, 1);
+        pb.finish()
+    }
+
+    #[test]
+    fn every_algorithm_same_solution_bitmap() {
+        let program = medley();
+        let reference = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Basic));
+        assert_sound(&program, &reference.solution);
+        for alg in Algorithm::ALL {
+            let out = solve::<BitmapPts>(&program, &SolverConfig::new(alg));
+            assert!(
+                out.solution.equiv(&reference.solution),
+                "{alg} differs at {:?}",
+                out.solution.first_difference(&reference.solution)
+            );
+        }
+    }
+
+    #[test]
+    fn every_algorithm_same_solution_bdd() {
+        let program = medley();
+        let reference = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Basic));
+        for alg in Algorithm::TABLE5 {
+            let out = solve::<BddPts>(&program, &SolverConfig::new(alg));
+            assert!(
+                out.solution.equiv(&reference.solution),
+                "{alg} (bdd pts) differs at {:?}",
+                out.solution.first_difference(&reference.solution)
+            );
+        }
+    }
+
+    #[test]
+    fn hcd_runs_record_offline_time() {
+        let program = medley();
+        let out = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::LcdHcd));
+        // Offline time may be tiny but the analysis ran; nodes collapsed or
+        // pairs existed. Just confirm the field is populated when HCD ran.
+        assert!(out.stats.offline_time >= std::time::Duration::ZERO);
+        let plain = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Lcd));
+        assert_eq!(plain.stats.offline_time, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn names_and_parse_roundtrip() {
+        for alg in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(alg.name()), Some(alg));
+            assert_eq!(Algorithm::parse(&alg.name().to_lowercase()), Some(alg));
+        }
+        assert_eq!(Algorithm::parse("nope"), None);
+    }
+
+    #[test]
+    fn counterparts() {
+        assert_eq!(Algorithm::Ht.hcd_counterpart(), Some(Algorithm::HtHcd));
+        assert_eq!(Algorithm::Lcd.hcd_counterpart(), Some(Algorithm::LcdHcd));
+        assert_eq!(Algorithm::HtHcd.hcd_counterpart(), None);
+        assert!(Algorithm::LcdHcd.uses_hcd());
+        assert!(!Algorithm::Lcd.uses_hcd());
+    }
+}

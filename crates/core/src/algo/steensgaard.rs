@@ -1,0 +1,240 @@
+//! Steensgaard's near-linear-time unification-based analysis — the classic
+//! coarse baseline the paper's introduction contrasts with inclusion-based
+//! analysis ("Steensgaard's analysis has much greater imprecision…").
+//!
+//! Not part of the paper's evaluated set (it computes a *different*, coarser
+//! solution), but included so the precision gap that motivates the paper can
+//! be measured: see `examples/precision.rs`.
+//!
+//! Each equivalence class of variables has at most one pointee class;
+//! assignments unify pointees instead of propagating sets, so the whole
+//! analysis is a single pass with inverse-Ackermann-factor union-find —
+//! at the cost of conflating everything a pointer may reach.
+
+use crate::{Solution, SolverStats};
+use ant_common::{UnionFind, VarId};
+use ant_constraints::{ConstraintKind, Program};
+use std::time::Instant;
+
+struct Steens {
+    uf: UnionFind,
+    /// Pointee class per class representative (index by representative).
+    pointee: Vec<Option<VarId>>,
+}
+
+impl Steens {
+    fn new(n: usize) -> Self {
+        Steens {
+            uf: UnionFind::new(n.max(1)),
+            pointee: vec![None; n.max(1)],
+        }
+    }
+
+    /// The pointee class of `x`'s class, creating no state.
+    fn pointee_of(&mut self, x: VarId) -> Option<VarId> {
+        let r = self.uf.find(x);
+        self.pointee[r.index()].map(|p| self.uf.find(p))
+    }
+
+    /// Ensures `x`'s class points to (a class containing) `target`.
+    fn add_pointee(&mut self, x: VarId, target: VarId) {
+        let r = self.uf.find(x);
+        match self.pointee[r.index()] {
+            None => self.pointee[r.index()] = Some(target),
+            Some(p) => {
+                self.join(p, target);
+            }
+        }
+    }
+
+    /// Unifies the classes of `a` and `b`, recursively unifying pointees.
+    fn join(&mut self, a: VarId, b: VarId) -> VarId {
+        let ra = self.uf.find(a);
+        let rb = self.uf.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let pa = self.pointee[ra.index()];
+        let pb = self.pointee[rb.index()];
+        let w = self.uf.union(ra, rb);
+        self.pointee[w.index()] = match (pa, pb) {
+            (None, p) | (p, None) => p,
+            (Some(x), Some(y)) => Some(self.join(x, y)),
+        };
+        w
+    }
+
+    /// Conditional join: unify the pointees of `a` and `b` (the `a = b`
+    /// rule), creating nothing if neither side points anywhere yet… except
+    /// that one-sided pointees must flow, so the sides are linked through a
+    /// shared pointee when either exists.
+    fn cjoin_pointees(&mut self, a: VarId, b: VarId) {
+        match (self.pointee_of(a), self.pointee_of(b)) {
+            (Some(x), Some(y)) => {
+                self.join(x, y);
+            }
+            (None, Some(y)) => self.add_pointee(a, y),
+            (Some(x), None) => self.add_pointee(b, x),
+            (None, None) => {}
+        }
+    }
+}
+
+/// Runs Steensgaard's analysis and reports the induced may-point-to sets
+/// (for each variable: all members of its class's pointee class).
+///
+/// The result over-approximates the Andersen solution computed by
+/// [`solve`](crate::solve) — usually by a wide margin, which is exactly the
+/// trade-off §1 and §6 of the paper discuss.
+pub fn steensgaard(program: &Program) -> crate::SolveOutput {
+    let start = Instant::now();
+    let n = program.num_vars();
+    let mut st = Steens::new(n);
+    // Two passes: assignments may reference pointees created later — a
+    // second pass reaches the (unification) fixpoint because joins are
+    // idempotent and each constraint's effect is monotone. Steensgaard's
+    // original uses lazy "pending" lists; two passes over the constraints
+    // give the same classes for our constraint forms… except chains of
+    // conditional joins may need more: iterate until stable (few passes in
+    // practice, bounded by the class count).
+    let mut last_sets = usize::MAX;
+    loop {
+        for c in program.constraints() {
+            match (c.kind, c.offset) {
+                (ConstraintKind::AddrOf, _) => st.add_pointee(c.lhs, c.rhs),
+                (ConstraintKind::Copy, _) => st.cjoin_pointees(c.lhs, c.rhs),
+                (ConstraintKind::Load, 0) => {
+                    // a = *b: unify pts(a) with pts(pts(b)).
+                    if let Some(pb) = st.pointee_of(c.rhs) {
+                        st.cjoin_pointees(c.lhs, pb);
+                    }
+                }
+                (ConstraintKind::Store, 0) => {
+                    if let Some(pa) = st.pointee_of(c.lhs) {
+                        st.cjoin_pointees(pa, c.rhs);
+                    }
+                }
+                (ConstraintKind::Load, k) => {
+                    // Offset loads conflate all same-arity callees: join
+                    // with every function block's k-th slot. Coarse but
+                    // sound — exactly Steensgaard's style of trade-off.
+                    for f in program.vars() {
+                        if program.offset_limit(f) > k {
+                            st.cjoin_pointees(c.lhs, f.offset(k));
+                        }
+                    }
+                }
+                (ConstraintKind::Store, k) => {
+                    for f in program.vars() {
+                        if program.offset_limit(f) > k {
+                            st.cjoin_pointees(f.offset(k), c.rhs);
+                        }
+                    }
+                }
+            }
+        }
+        let sets = st.uf.set_count();
+        if sets == last_sets {
+            break;
+        }
+        last_sets = sets;
+    }
+
+    // Materialize: members of each class, then pts(v) = members of the
+    // pointee class of v's class.
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for i in 0..n {
+        let r = st.uf.find(VarId::new(i));
+        members[r.index()].push(i as u32);
+    }
+    let mut sets = Vec::with_capacity(n);
+    for i in 0..n {
+        match st.pointee_of(VarId::new(i)) {
+            Some(p) => sets.push(members[p.index()].clone()),
+            None => sets.push(Vec::new()),
+        }
+    }
+    let mut stats = SolverStats::new();
+    stats.solve_time = start.elapsed();
+    stats.nodes_collapsed = n.saturating_sub(st.uf.set_count()) as u64;
+    stats.aux_bytes = st.uf.heap_bytes() + st.pointee.capacity() * 8;
+    crate::SolveOutput {
+        solution: Solution::from_sets(sets),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pts::BitmapPts;
+    use crate::verify::check_soundness;
+    use crate::{solve, Algorithm, SolverConfig};
+    use ant_constraints::ProgramBuilder;
+
+    #[test]
+    fn unifies_assignment_targets() {
+        // p = &x; q = &y; p = q — Steensgaard unifies {x, y}.
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        let q = pb.var("q");
+        let y = pb.var("y");
+        pb.addr_of(p, x);
+        pb.addr_of(q, y);
+        pb.copy(p, q);
+        let program = pb.finish();
+        let out = steensgaard(&program);
+        assert!(out.solution.may_point_to(p, x));
+        assert!(out.solution.may_point_to(p, y));
+        // The hallmark imprecision: q also "points to" x.
+        assert!(out.solution.may_point_to(q, x));
+        // Andersen keeps them separate.
+        let andersen = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Lcd));
+        assert!(!andersen.solution.may_point_to(q, x));
+    }
+
+    #[test]
+    fn subsumes_andersen_on_workloads() {
+        use ant_frontend::workload::WorkloadSpec;
+        for seed in [1u64, 9, 33] {
+            let program = WorkloadSpec::tiny(seed).generate();
+            let coarse = steensgaard(&program);
+            assert!(
+                check_soundness(&program, &coarse.solution).is_empty(),
+                "Steensgaard must satisfy the inclusion constraints"
+            );
+            let exact = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Lcd));
+            assert!(
+                coarse.solution.subsumes(&exact.solution),
+                "Steensgaard must over-approximate Andersen (seed {seed})"
+            );
+            assert!(coarse.solution.total_pts_size() >= exact.solution.total_pts_size());
+        }
+    }
+
+    #[test]
+    fn loads_and_stores_unify_through_pointees() {
+        // p = &x; *p = q; q = &y; r = *p.
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        let q = pb.var("q");
+        let y = pb.var("y");
+        let r = pb.var("r");
+        pb.addr_of(p, x);
+        pb.store(p, q);
+        pb.addr_of(q, y);
+        pb.load(r, p);
+        let program = pb.finish();
+        let out = steensgaard(&program);
+        assert!(check_soundness(&program, &out.solution).is_empty());
+        assert!(out.solution.may_point_to(r, y));
+    }
+
+    #[test]
+    fn empty_program() {
+        let out = steensgaard(&ProgramBuilder::new().finish());
+        assert_eq!(out.solution.num_vars(), 0);
+    }
+}

@@ -1,0 +1,269 @@
+//! The worklist-driven solvers: Basic (Figure 1), HCD (Figure 5),
+//! LCD (Figure 2), and PKH (periodic sweeps).
+
+use crate::pts::PtsRepr;
+use crate::state::OnlineState;
+use ant_common::fx::FxHashSet;
+use ant_common::worklist::{DividedLrf, Worklist, WorklistKind};
+use ant_common::VarId;
+use ant_constraints::hcd::HcdOffline;
+use ant_constraints::Program;
+
+/// Figure 1 (no cycle detection), optionally extended with the Hybrid Cycle
+/// Detection step of Figure 5 (`hcd = Some(..)` turns Basic into the paper's
+/// standalone HCD solver).
+pub(crate) fn basic<P: PtsRepr>(
+    program: &Program,
+    wk: WorklistKind,
+    hcd: Option<&HcdOffline>,
+) -> OnlineState<P> {
+    let mut st = OnlineState::<P>::new(program);
+    if let Some(h) = hcd {
+        st.install_hcd(h);
+    }
+    let mut wl = wk.build(st.n);
+    st.seed_worklist(wl.as_mut());
+    while let Some(popped) = wl.pop() {
+        let mut n = st.find(popped);
+        st.stats.nodes_processed += 1;
+        if hcd.is_some() {
+            n = st.hcd_step(n, wl.as_mut());
+        }
+        st.process_complex(n, wl.as_mut());
+        st.propagate_all(n, wl.as_mut());
+    }
+    st
+}
+
+/// Lazy Cycle Detection (Figure 2), optionally combined with HCD (the
+/// paper's fastest configuration, LCD+HCD).
+///
+/// Before propagating along `n → z`, if `pts(n) == pts(z)` and this edge has
+/// never triggered a search, run a depth-first search rooted at `z` and
+/// collapse any cycles found. Each edge triggers at most once (the set `R`),
+/// keeping the technique precise about when searching is worthwhile.
+pub(crate) fn lcd<P: PtsRepr>(
+    program: &Program,
+    wk: WorklistKind,
+    hcd: Option<&HcdOffline>,
+) -> OnlineState<P> {
+    let mut st = OnlineState::<P>::new(program);
+    if let Some(h) = hcd {
+        st.install_hcd(h);
+    }
+    let mut wl = wk.build(st.n);
+    st.seed_worklist(wl.as_mut());
+    // R: edges that have already triggered a cycle search.
+    let mut triggered: FxHashSet<(u32, u32)> = FxHashSet::default();
+
+    while let Some(popped) = wl.pop() {
+        let mut n = st.find(popped);
+        st.stats.nodes_processed += 1;
+        if hcd.is_some() {
+            n = st.hcd_step(n, wl.as_mut());
+        }
+        st.process_complex(n, wl.as_mut());
+        let targets = st.canonical_succs(n);
+        for z_raw in targets {
+            // Cycle collapses during this loop can merge both endpoints.
+            let n_now = st.find(n);
+            let mut z = st.find(VarId::from_u32(z_raw));
+            if z == n_now {
+                continue;
+            }
+            let edge = (n_now.as_u32(), z.as_u32());
+            let eq = st.pts[z.index()].set_eq(&st.ctx, &st.pts[n_now.index()]);
+            if eq {
+                if triggered.contains(&edge) {
+                    // Equal sets make the propagation a guaranteed no-op.
+                    continue;
+                }
+                // Identical points-to sets: the tell-tale effect of a cycle.
+                st.stats.cycle_searches += 1;
+                let search = st.cycle_search(&[z]);
+                st.collapse_sccs(&search, wl.as_mut());
+                triggered.insert(edge);
+                z = st.find(z);
+                let n2 = st.find(n_now);
+                if z == n2 || st.pts[z.index()].set_eq(&st.ctx, &st.pts[n2.index()]) {
+                    continue;
+                }
+            }
+            let src = st.find(n_now);
+            if st.propagate(src, z) {
+                wl.push(z);
+            }
+        }
+    }
+    st.stats.aux_bytes += triggered.capacity() * (8 + 8);
+    st
+}
+
+/// Pearce, Kelly & Hankin: explicit transitive closure with *periodic*
+/// whole-graph cycle sweeps — "rather than detect cycles at every edge
+/// insertion, the entire constraint graph is periodically swept to detect
+/// and collapse any cycles that have formed since the last sweep" (§2).
+///
+/// Between sweeps this is the plain Figure 1 worklist; a sweep (a full
+/// Tarjan pass over every node) runs each time the divided worklist swaps
+/// its *current*/*next* sections — i.e. once per pass over the pending
+/// nodes, which is what makes PKH search so much more of the graph than HT
+/// or LCD (§5.3).
+pub(crate) fn pkh<P: PtsRepr>(
+    program: &Program,
+    _wk: WorklistKind,
+    hcd: Option<&HcdOffline>,
+) -> OnlineState<P> {
+    let mut st = OnlineState::<P>::new(program);
+    if let Some(h) = hcd {
+        st.install_hcd(h);
+    }
+    // PKH owns a concrete divided worklist so it can observe section swaps.
+    let mut wl = DividedLrf::new(st.n);
+    st.seed_worklist(&mut wl);
+    let mut swept_at = u64::MAX; // force a sweep before the first pop
+    while !wl.is_empty() {
+        if wl.swaps() != swept_at {
+            // Periodic sweep: collapse every cycle currently in the graph.
+            swept_at = wl.swaps();
+            let reps = st.reps();
+            let search = st.cycle_search(&reps);
+            st.collapse_sccs(&search, &mut wl);
+        }
+        let Some(popped) = wl.pop() else { break };
+        let mut n = st.find(popped);
+        st.stats.nodes_processed += 1;
+        if hcd.is_some() {
+            n = st.hcd_step(n, &mut wl);
+        }
+        st.process_complex(n, &mut wl);
+        st.propagate_all(n, &mut wl);
+    }
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pts::BitmapPts;
+    use crate::verify::assert_sound;
+    use crate::Solution;
+    use ant_constraints::ProgramBuilder;
+
+    /// A small program with a dynamic cycle: the cycle between x and y only
+    /// appears once the store/load edges materialize.
+    fn cyclic_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        let y = pb.var("y");
+        let q = pb.var("q");
+        let r = pb.var("r");
+        pb.addr_of(p, x); // p = &x
+        pb.addr_of(q, y); // q = &y
+        pb.store(p, q); // *p = q   ⟹ x ⊇ q  ⟹ pts(x) ∋ y
+        pb.load(r, p); // r = *p    ⟹ r ⊇ x
+        pb.copy(x, y); // x = y
+        pb.copy(y, x); // y = x (static cycle x ↔ y)
+        pb.finish()
+    }
+
+    fn solve_each(program: &Program) -> Vec<Solution> {
+        let hcd = HcdOffline::analyze(program);
+        let wk = WorklistKind::DividedLrf;
+        let mut outs = Vec::new();
+        for h in [None, Some(&hcd)] {
+            let mut s1 = basic::<BitmapPts>(program, wk, h);
+            outs.push(Solution::from_state(&mut s1));
+            let mut s2 = lcd::<BitmapPts>(program, wk, h);
+            outs.push(Solution::from_state(&mut s2));
+            let mut s3 = pkh::<BitmapPts>(program, wk, h);
+            outs.push(Solution::from_state(&mut s3));
+        }
+        outs
+    }
+
+    #[test]
+    fn all_worklist_solvers_agree_and_are_sound() {
+        let program = cyclic_program();
+        let sols = solve_each(&program);
+        for s in &sols {
+            assert_sound(&program, s);
+            assert!(
+                s.equiv(&sols[0]),
+                "solver disagreement at {:?}",
+                s.first_difference(&sols[0])
+            );
+        }
+        // Spot-check: pts(r) must include y through the materialized edges.
+        let p = program.var_by_name("r").unwrap();
+        let y = program.var_by_name("y").unwrap();
+        assert!(sols[0].may_point_to(p, y));
+    }
+
+    #[test]
+    fn lcd_collapses_the_static_cycle() {
+        let program = cyclic_program();
+        let st = lcd::<BitmapPts>(&program, WorklistKind::DividedLrf, None);
+        assert!(st.stats.nodes_collapsed >= 1, "x↔y cycle should collapse");
+        assert!(st.stats.cycle_searches >= 1);
+    }
+
+    #[test]
+    fn hcd_collapses_without_searching() {
+        let program = cyclic_program();
+        let hcd = HcdOffline::analyze(&program);
+        let st = basic::<BitmapPts>(&program, WorklistKind::DividedLrf, Some(&hcd));
+        assert_eq!(st.stats.nodes_searched, 0, "HCD never traverses the graph");
+    }
+
+    #[test]
+    fn works_with_every_worklist_strategy() {
+        let program = cyclic_program();
+        let mut reference = None;
+        for wk in WorklistKind::ALL {
+            let mut st = lcd::<BitmapPts>(&program, wk, None);
+            let sol = Solution::from_state(&mut st);
+            assert_sound(&program, &sol);
+            if let Some(r) = &reference {
+                assert!(sol.equiv(r));
+            } else {
+                reference = Some(sol);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_program() {
+        let program = ProgramBuilder::new().finish();
+        let mut st = basic::<BitmapPts>(&program, WorklistKind::Fifo, None);
+        let sol = Solution::from_state(&mut st);
+        assert_eq!(sol.num_vars(), 0);
+    }
+
+    #[test]
+    fn indirect_calls_resolve_through_offsets() {
+        // fun f(a) { return a; }  fp = &f; r = fp(q); with q = &x.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.function("f", 3); // f, f#1 = ret, f#2 = param a
+        let fp = pb.var("fp");
+        let q = pb.var("q");
+        let x = pb.var("x");
+        let r = pb.var("r");
+        pb.copy(f.offset(1), f.offset(2)); // return a
+        pb.addr_of(fp, f); // fp = &f
+        pb.addr_of(q, x); // q = &x
+        pb.store_offset(fp, q, 2); // pass q to param slot
+        pb.load_offset(r, fp, 1); // r = return slot
+        let program = pb.finish();
+        for solver in [basic::<BitmapPts>, lcd::<BitmapPts>, pkh::<BitmapPts>] {
+            let mut st = solver(&program, WorklistKind::DividedLrf, None);
+            let sol = Solution::from_state(&mut st);
+            assert_sound(&program, &sol);
+            assert!(
+                sol.may_point_to(r, x),
+                "indirect call must flow &x to the caller's result"
+            );
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Client analyses built on the points-to solution — the consumers §1 of
+//! the paper motivates ("pointer information is a prerequisite for most
+//! program analyses").
+
+use crate::Solution;
+use ant_common::VarId;
+use ant_constraints::{ConstraintKind, Program};
+
+/// One resolved indirect call site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// The function-pointer variable the call goes through.
+    pub pointer: VarId,
+    /// Functions the call may invoke (targets with a function block wide
+    /// enough for the accessed slot).
+    pub targets: Vec<VarId>,
+}
+
+/// Resolves every indirect call site of `program` against `solution`.
+///
+/// Indirect call sites are recognized by their Pearce-style encoding: a
+/// load at offset 1 (the return-slot read). Targets are the function
+/// variables in the pointer's points-to set.
+///
+/// # Example
+///
+/// ```
+/// use ant_core::{clients, solve, Algorithm, BitmapPts, SolverConfig};
+/// use ant_constraints::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new();
+/// let f = b.function("f", 3);
+/// let fp = b.var("fp");
+/// let r = b.var("r");
+/// b.addr_of(fp, f);
+/// b.load_offset(r, fp, 1); // r = fp(...)
+/// let program = b.finish();
+/// let out = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Lcd));
+/// let cg = clients::indirect_calls(&program, &out.solution);
+/// assert_eq!(cg.len(), 1);
+/// assert_eq!(cg[0].targets, vec![f]);
+/// ```
+pub fn indirect_calls(program: &Program, solution: &Solution) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for c in program.constraints() {
+        if c.kind == ConstraintKind::Load && c.offset == 1 {
+            let targets: Vec<VarId> = solution
+                .points_to(c.rhs)
+                .iter()
+                .map(|&t| VarId::from_u32(t))
+                .filter(|&t| program.offset_limit(t) > 1)
+                .collect();
+            out.push(CallSite {
+                pointer: c.rhs,
+                targets,
+            });
+        }
+    }
+    out
+}
+
+/// The *mod* set of a store constraint: every location the store may
+/// write. Returns `None` for non-store constraints.
+pub fn mod_set(program: &Program, solution: &Solution, constraint: usize) -> Option<Vec<VarId>> {
+    let c = program.constraints().get(constraint)?;
+    if c.kind != ConstraintKind::Store {
+        return None;
+    }
+    Some(deref_targets(program, solution, c.lhs, c.offset))
+}
+
+/// The *ref* set of a load constraint: every location the load may read.
+/// Returns `None` for non-load constraints.
+pub fn ref_set(program: &Program, solution: &Solution, constraint: usize) -> Option<Vec<VarId>> {
+    let c = program.constraints().get(constraint)?;
+    if c.kind != ConstraintKind::Load {
+        return None;
+    }
+    Some(deref_targets(program, solution, c.rhs, c.offset))
+}
+
+fn deref_targets(
+    program: &Program,
+    solution: &Solution,
+    ptr: VarId,
+    offset: u32,
+) -> Vec<VarId> {
+    solution
+        .points_to(ptr)
+        .iter()
+        .map(|&v| VarId::from_u32(v))
+        .filter(|&v| offset < program.offset_limit(v))
+        .map(|v| v.offset(offset))
+        .collect()
+}
+
+/// Locations whose address flows into some dereferenced pointer — i.e.
+/// memory that can be accessed indirectly at all. Anything *not* in this
+/// set can only be touched through its own name (a cheap escape-style
+/// filter clients use to skip strong-update reasoning).
+pub fn indirectly_accessed(program: &Program, solution: &Solution) -> Vec<VarId> {
+    let mut hit = vec![false; program.num_vars()];
+    for c in program.constraints() {
+        let ptr = match c.kind {
+            ConstraintKind::Load => c.rhs,
+            ConstraintKind::Store => c.lhs,
+            _ => continue,
+        };
+        for t in deref_targets(program, solution, ptr, c.offset) {
+            hit[t.index()] = true;
+        }
+    }
+    (0..program.num_vars())
+        .map(VarId::new)
+        .filter(|v| hit[v.index()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pts::BitmapPts;
+    use crate::{solve, Algorithm, SolverConfig};
+    use ant_constraints::ProgramBuilder;
+
+    fn setup() -> (Program, Solution) {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f", 3);
+        let g = b.function("g", 3);
+        let fp = b.var("fp");
+        let p = b.var("p");
+        let x = b.var("x");
+        let y = b.var("y");
+        let r = b.var("r");
+        b.addr_of(fp, f);
+        b.addr_of(fp, g);
+        b.addr_of(p, x);
+        b.addr_of(p, y);
+        b.store(p, r); // *p = r
+        b.load(r, p); // r = *p
+        b.load_offset(r, fp, 1); // r = fp(..)
+        let program = b.finish();
+        let solution = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Lcd)).solution;
+        (program, solution)
+    }
+
+    #[test]
+    fn call_graph_resolves_both_targets() {
+        let (program, solution) = setup();
+        let cg = indirect_calls(&program, &solution);
+        assert_eq!(cg.len(), 1);
+        let names: Vec<&str> = cg[0]
+            .targets
+            .iter()
+            .map(|&t| program.var_name(t))
+            .collect();
+        assert_eq!(names, vec!["f", "g"]);
+    }
+
+    #[test]
+    fn mod_and_ref_sets() {
+        let (program, solution) = setup();
+        // Constraint 4 is the store, 5 the load (after 4 addr_ofs).
+        let m = mod_set(&program, &solution, 4).expect("store");
+        let names: Vec<&str> = m.iter().map(|&t| program.var_name(t)).collect();
+        assert_eq!(names, vec!["x", "y"]);
+        let r = ref_set(&program, &solution, 5).expect("load");
+        assert_eq!(r, m);
+        assert!(mod_set(&program, &solution, 5).is_none());
+        assert!(ref_set(&program, &solution, 4).is_none());
+        assert!(mod_set(&program, &solution, 999).is_none());
+    }
+
+    #[test]
+    fn indirectly_accessed_excludes_named_only() {
+        let (program, solution) = setup();
+        let hit = indirectly_accessed(&program, &solution);
+        let names: Vec<&str> = hit.iter().map(|&t| program.var_name(t)).collect();
+        assert!(names.contains(&"x") && names.contains(&"y"));
+        assert!(!names.contains(&"fp"), "fp is only accessed by name");
+        // The call-site read hits the return slots of both callees.
+        assert!(names.contains(&"f#1") && names.contains(&"g#1"));
+    }
+}

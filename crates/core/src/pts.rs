@@ -1,0 +1,282 @@
+//! Points-to set representations.
+//!
+//! §5.4 of the paper compares two representations: GCC-style sparse bitmaps
+//! and per-variable BDDs. Every solver here is generic over [`PtsRepr`], so
+//! Tables 3/4 (bitmaps) and Tables 5/6 (BDDs) run the *same* solver code
+//! instantiated at two types.
+
+use ant_bdd::{BddManager, BddSet, Domain};
+use ant_common::SparseBitmap;
+
+/// A points-to set: a set of location ids (`u32`).
+///
+/// Representation-wide state (e.g. the shared BDD manager) lives in the
+/// associated `Ctx`, created once per solver run.
+pub trait PtsRepr: Default + Clone {
+    /// Shared representation context (`()` for bitmaps, the BDD manager and
+    /// location domain for BDDs).
+    type Ctx;
+
+    /// Creates the context for a location space of `num_locs` ids.
+    fn make_ctx(num_locs: usize) -> Self::Ctx;
+
+    /// Inserts a location; returns `true` if it was new.
+    fn insert(&mut self, ctx: &mut Self::Ctx, loc: u32) -> bool;
+
+    /// Membership test.
+    fn contains(&self, ctx: &Self::Ctx, loc: u32) -> bool;
+
+    /// In-place union; returns `true` if `self` changed.
+    fn union_from(&mut self, ctx: &mut Self::Ctx, other: &Self) -> bool;
+
+    /// Set equality — the test at the heart of Lazy Cycle Detection. O(1)
+    /// for BDDs (hash-consed), O(elements) for bitmaps.
+    fn set_eq(&self, ctx: &Self::Ctx, other: &Self) -> bool;
+
+    /// Returns `true` if the set is empty.
+    fn is_empty(&self, ctx: &Self::Ctx) -> bool;
+
+    /// Number of locations.
+    fn len(&self, ctx: &Self::Ctx) -> usize;
+
+    /// Materializes the set in ascending order (BuDDy's `bdd_allsat` for the
+    /// BDD representation — the cost §5.4 singles out).
+    fn to_vec(&self, ctx: &Self::Ctx) -> Vec<u32>;
+
+    /// Materializes `self − other` in ascending order (the delta iteration
+    /// used when resolving complex constraints incrementally).
+    fn minus_to_vec(&self, ctx: &mut Self::Ctx, other: &Self) -> Vec<u32>;
+
+    /// In-place intersection; returns `true` if `self` changed. Used to
+    /// combine "already processed" markers when nodes collapse.
+    fn intersect_from(&mut self, ctx: &mut Self::Ctx, other: &Self) -> bool;
+
+    /// The set difference `self − other` as a new set (used by the
+    /// difference-propagation ablation).
+    fn minus(&self, ctx: &mut Self::Ctx, other: &Self) -> Self;
+
+    /// Heap bytes owned by this individual set (0 for BDDs — nodes live in
+    /// the shared manager, accounted by [`ctx_bytes`](Self::ctx_bytes)).
+    fn heap_bytes(&self) -> usize;
+
+    /// Heap bytes owned by the shared context.
+    fn ctx_bytes(ctx: &Self::Ctx) -> usize;
+
+    /// Short name for reports: `"bitmap"` or `"bdd"`.
+    const NAME: &'static str;
+}
+
+/// GCC-style sparse-bitmap points-to sets (the paper's default).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitmapPts(pub SparseBitmap);
+
+impl PtsRepr for BitmapPts {
+    type Ctx = ();
+
+    fn make_ctx(_num_locs: usize) {}
+
+    fn insert(&mut self, _ctx: &mut (), loc: u32) -> bool {
+        self.0.insert(loc)
+    }
+
+    fn contains(&self, _ctx: &(), loc: u32) -> bool {
+        self.0.contains(loc)
+    }
+
+    fn union_from(&mut self, _ctx: &mut (), other: &Self) -> bool {
+        self.0.union_with(&other.0)
+    }
+
+    fn set_eq(&self, _ctx: &(), other: &Self) -> bool {
+        self.0 == other.0
+    }
+
+    fn is_empty(&self, _ctx: &()) -> bool {
+        self.0.is_empty()
+    }
+
+    fn len(&self, _ctx: &()) -> usize {
+        self.0.len()
+    }
+
+    fn to_vec(&self, _ctx: &()) -> Vec<u32> {
+        self.0.iter().collect()
+    }
+
+    fn minus_to_vec(&self, _ctx: &mut (), other: &Self) -> Vec<u32> {
+        self.0.difference(&other.0).collect()
+    }
+
+    fn intersect_from(&mut self, _ctx: &mut (), other: &Self) -> bool {
+        self.0.intersect_with(&other.0)
+    }
+
+    fn minus(&self, _ctx: &mut (), other: &Self) -> Self {
+        let mut d = self.0.clone();
+        d.subtract(&other.0);
+        BitmapPts(d)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.0.heap_bytes()
+    }
+
+    fn ctx_bytes(_ctx: &()) -> usize {
+        0
+    }
+
+    const NAME: &'static str = "bitmap";
+}
+
+/// Shared context for [`BddPts`]: one manager and one location domain.
+#[derive(Debug)]
+pub struct BddPtsCtx {
+    /// The node table shared by all sets.
+    pub manager: BddManager,
+    /// The location domain.
+    pub domain: Domain,
+}
+
+/// Per-variable BDD points-to sets (§5.4, Tables 5 and 6).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BddPts(pub BddSet);
+
+impl PtsRepr for BddPts {
+    type Ctx = BddPtsCtx;
+
+    fn make_ctx(num_locs: usize) -> BddPtsCtx {
+        let mut manager = BddManager::new();
+        let domain = manager
+            .new_interleaved_domains(&[(num_locs.max(2)) as u64])
+            .pop()
+            .expect("one domain requested");
+        BddPtsCtx { manager, domain }
+    }
+
+    fn insert(&mut self, ctx: &mut BddPtsCtx, loc: u32) -> bool {
+        self.0.insert(&mut ctx.manager, &ctx.domain, u64::from(loc))
+    }
+
+    fn contains(&self, ctx: &BddPtsCtx, loc: u32) -> bool {
+        self.0.contains(&ctx.manager, &ctx.domain, u64::from(loc))
+    }
+
+    fn union_from(&mut self, ctx: &mut BddPtsCtx, other: &Self) -> bool {
+        self.0.union_with(&mut ctx.manager, &other.0)
+    }
+
+    fn set_eq(&self, _ctx: &BddPtsCtx, other: &Self) -> bool {
+        // Hash-consing makes this a single integer comparison.
+        self.0 == other.0
+    }
+
+    fn is_empty(&self, _ctx: &BddPtsCtx) -> bool {
+        self.0.is_empty()
+    }
+
+    fn len(&self, ctx: &BddPtsCtx) -> usize {
+        self.0.len(&ctx.manager, &ctx.domain) as usize
+    }
+
+    fn to_vec(&self, ctx: &BddPtsCtx) -> Vec<u32> {
+        self.0
+            .values(&ctx.manager, &ctx.domain)
+            .into_iter()
+            .map(|v| u32::try_from(v).expect("location id fits u32"))
+            .collect()
+    }
+
+    fn minus_to_vec(&self, ctx: &mut BddPtsCtx, other: &Self) -> Vec<u32> {
+        let d = ctx.manager.diff(self.0.as_bdd(), other.0.as_bdd());
+        if d.is_zero() {
+            return Vec::new();
+        }
+        ctx.manager
+            .domain_values(d, &ctx.domain)
+            .into_iter()
+            .map(|v| u32::try_from(v).expect("location id fits u32"))
+            .collect()
+    }
+
+    fn intersect_from(&mut self, ctx: &mut BddPtsCtx, other: &Self) -> bool {
+        let new = ctx.manager.and(self.0.as_bdd(), other.0.as_bdd());
+        let changed = new != self.0.as_bdd();
+        self.0 = ant_bdd::BddSet::from_bdd(new);
+        changed
+    }
+
+    fn minus(&self, ctx: &mut BddPtsCtx, other: &Self) -> Self {
+        BddPts(ant_bdd::BddSet::from_bdd(
+            ctx.manager.diff(self.0.as_bdd(), other.0.as_bdd()),
+        ))
+    }
+
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+
+    fn ctx_bytes(ctx: &BddPtsCtx) -> usize {
+        ctx.manager.heap_bytes()
+    }
+
+    const NAME: &'static str = "bdd";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<P: PtsRepr>() {
+        let mut ctx = P::make_ctx(1000);
+        let mut a = P::default();
+        assert!(a.is_empty(&ctx));
+        assert!(a.insert(&mut ctx, 5));
+        assert!(!a.insert(&mut ctx, 5));
+        assert!(a.insert(&mut ctx, 900));
+        assert!(a.contains(&ctx, 5));
+        assert!(!a.contains(&ctx, 6));
+        assert_eq!(a.len(&ctx), 2);
+        assert_eq!(a.to_vec(&ctx), vec![5, 900]);
+
+        let mut b = P::default();
+        b.insert(&mut ctx, 900);
+        assert!(!a.set_eq(&ctx, &b));
+        assert_eq!(a.minus_to_vec(&mut ctx, &b), vec![5]);
+        assert_eq!(b.minus_to_vec(&mut ctx, &a), Vec::<u32>::new());
+        assert!(b.union_from(&mut ctx, &a));
+        assert!(!b.union_from(&mut ctx, &a));
+        b.insert(&mut ctx, 5);
+        assert!(a.set_eq(&ctx, &b));
+
+        let mut c = P::default();
+        c.insert(&mut ctx, 5);
+        c.insert(&mut ctx, 77);
+        assert!(c.intersect_from(&mut ctx, &a));
+        assert_eq!(c.to_vec(&ctx), vec![5]);
+        assert!(!c.intersect_from(&mut ctx, &a));
+    }
+
+    #[test]
+    fn bitmap_repr() {
+        exercise::<BitmapPts>();
+        assert_eq!(BitmapPts::NAME, "bitmap");
+    }
+
+    #[test]
+    fn bdd_repr() {
+        exercise::<BddPts>();
+        assert_eq!(BddPts::NAME, "bdd");
+    }
+
+    #[test]
+    fn bdd_ctx_accounts_manager_bytes() {
+        let mut ctx = BddPts::make_ctx(64);
+        let before = BddPts::ctx_bytes(&ctx);
+        let mut s = BddPts::default();
+        for i in 0..64 {
+            s.insert(&mut ctx, i);
+        }
+        assert!(BddPts::ctx_bytes(&ctx) >= before);
+        assert!(BddPts::ctx_bytes(&ctx) > 0);
+    }
+}

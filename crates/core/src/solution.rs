@@ -1,0 +1,164 @@
+//! The final points-to solution.
+
+use crate::pts::PtsRepr;
+use crate::state::OnlineState;
+use ant_common::fx::FxHashMap;
+use ant_common::VarId;
+
+/// A fully materialized points-to solution: for every variable, the sorted
+/// set of location ids it may point to.
+///
+/// All nine solvers of the paper compute the *same* solution (inclusion-based
+/// analysis has one fixpoint; the algorithms differ only in how fast they
+/// reach it), which [`Solution::equiv`] checks in the test suite.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Solution {
+    pts: Vec<Vec<u32>>,
+}
+
+impl Solution {
+    /// Builds a solution directly from per-variable sets.
+    pub fn from_sets(mut pts: Vec<Vec<u32>>) -> Self {
+        for set in &mut pts {
+            set.sort_unstable();
+            set.dedup();
+        }
+        Solution { pts }
+    }
+
+    /// Expands solver state into a per-original-variable solution by
+    /// resolving collapsed nodes through the union-find.
+    pub(crate) fn from_state<P: PtsRepr>(st: &mut OnlineState<P>) -> Self {
+        let mut cache: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        let mut pts = Vec::with_capacity(st.n);
+        for i in 0..st.n {
+            let rep = st.find(VarId::new(i));
+            let set = cache
+                .entry(rep.as_u32())
+                .or_insert_with(|| st.pts[rep.index()].to_vec(&st.ctx));
+            pts.push(set.clone());
+        }
+        Solution { pts }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// The sorted points-to set of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn points_to(&self, v: VarId) -> &[u32] {
+        &self.pts[v.index()]
+    }
+
+    /// Returns `true` if `v` may point to `loc`.
+    pub fn may_point_to(&self, v: VarId, loc: VarId) -> bool {
+        self.pts[v.index()].binary_search(&loc.as_u32()).is_ok()
+    }
+
+    /// May `a` and `b` alias (their points-to sets intersect)?
+    pub fn may_alias(&self, a: VarId, b: VarId) -> bool {
+        let (mut x, mut y) = (self.pts[a.index()].iter(), self.pts[b.index()].iter());
+        let (mut xv, mut yv) = (x.next(), y.next());
+        while let (Some(&u), Some(&v)) = (xv, yv) {
+            match u.cmp(&v) {
+                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Less => xv = x.next(),
+                std::cmp::Ordering::Greater => yv = y.next(),
+            }
+        }
+        false
+    }
+
+    /// Sum of all points-to set sizes (a standard precision metric).
+    pub fn total_pts_size(&self) -> usize {
+        self.pts.iter().map(Vec::len).sum()
+    }
+
+    /// Pointwise equality with another solution.
+    pub fn equiv(&self, other: &Solution) -> bool {
+        self.pts == other.pts
+    }
+
+    /// Pointwise superset test: does `self` over-approximate `other`?
+    pub fn subsumes(&self, other: &Solution) -> bool {
+        self.pts.len() == other.pts.len()
+            && self.pts.iter().zip(&other.pts).all(|(a, b)| {
+                let mut i = 0;
+                b.iter().all(|v| {
+                    while i < a.len() && a[i] < *v {
+                        i += 1;
+                    }
+                    i < a.len() && a[i] == *v
+                })
+            })
+    }
+
+    /// Composes with an offline-variable-substitution map: the solution of
+    /// the reduced program, re-expanded to answer queries about original
+    /// variables.
+    pub fn expand_ovs(&self, ovs: &ant_constraints::ovs::OvsResult) -> Solution {
+        let pts = (0..self.pts.len())
+            .map(|i| self.pts[ovs.rep_of(VarId::new(i)).index()].clone())
+            .collect();
+        Solution { pts }
+    }
+
+    /// First variable (if any) whose sets differ — for test diagnostics.
+    pub fn first_difference(&self, other: &Solution) -> Option<VarId> {
+        self.pts
+            .iter()
+            .zip(&other.pts)
+            .position(|(a, b)| a != b)
+            .map(VarId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId::new(i)
+    }
+
+    #[test]
+    fn from_sets_sorts_and_dedups() {
+        let s = Solution::from_sets(vec![vec![3, 1, 3], vec![]]);
+        assert_eq!(s.points_to(v(0)), &[1, 3]);
+        assert_eq!(s.points_to(v(1)), &[] as &[u32]);
+        assert_eq!(s.total_pts_size(), 2);
+    }
+
+    #[test]
+    fn alias_queries() {
+        let s = Solution::from_sets(vec![vec![1, 5], vec![5, 9], vec![2]]);
+        assert!(s.may_alias(v(0), v(1)));
+        assert!(!s.may_alias(v(0), v(2)));
+        assert!(s.may_point_to(v(0), v(5)));
+        assert!(!s.may_point_to(v(0), v(2)));
+    }
+
+    #[test]
+    fn equiv_and_subsumes() {
+        let a = Solution::from_sets(vec![vec![1, 2], vec![3]]);
+        let b = Solution::from_sets(vec![vec![2, 1], vec![3]]);
+        let c = Solution::from_sets(vec![vec![1, 2, 4], vec![3]]);
+        assert!(a.equiv(&b));
+        assert!(c.subsumes(&a));
+        assert!(!a.subsumes(&c));
+        assert_eq!(a.first_difference(&b), None);
+        assert_eq!(a.first_difference(&c), Some(v(0)));
+    }
+
+    #[test]
+    fn subsumes_rejects_shorter() {
+        let a = Solution::from_sets(vec![vec![1]]);
+        let b = Solution::from_sets(vec![vec![1], vec![]]);
+        assert!(!a.subsumes(&b));
+    }
+}

@@ -1,0 +1,795 @@
+//! Shared machinery of the online (worklist) solvers: the mutable
+//! constraint graph, node collapsing, complex-constraint resolution and
+//! cycle search.
+//!
+//! This corresponds to the common infrastructure §5.1 of the paper says all
+//! implementations share "to provide a fair comparison": sparse-bitmap edge
+//! sets, union-find collapsing with union-by-rank and path compression, and
+//! an iterative Tarjan-style SCC search (Nuutila's refinements affect only
+//! constant factors; the collapse behaviour is identical).
+
+use crate::pts::PtsRepr;
+use ant_common::worklist::Worklist;
+use ant_common::{SolverStats, SparseBitmap, UnionFind, VarId};
+use ant_constraints::{ConstraintKind, Program};
+
+/// A complex constraint attached to a node: `(other, offset)`.
+///
+/// For a load list entry on node `n`: `other ⊇ *(n)+offset`.
+/// For a store list entry on node `n`: `*(n)+offset ⊇ other`.
+pub(crate) type ComplexRef = (VarId, u32);
+
+/// Mutable solver state shared by the Basic, LCD, HCD and PKH solvers (and
+/// used by HT for its post-pass).
+pub(crate) struct OnlineState<P: PtsRepr> {
+    pub n: usize,
+    pub ctx: P::Ctx,
+    pub uf: UnionFind,
+    pub pts: Vec<P>,
+    /// Successor edges, per node, as raw (possibly stale) node ids.
+    pub succs: Vec<SparseBitmap>,
+    pub loads: Vec<Vec<ComplexRef>>,
+    pub stores: Vec<Vec<ComplexRef>>,
+    /// Per node: the part of its points-to set already resolved against its
+    /// complex constraints. [`process_complex`](Self::process_complex) only
+    /// visits the delta — without this, re-processing a collapsed hub is
+    /// quadratic (one of the "various optimizations" Figure 1 alludes to;
+    /// GCC's solver keeps the same per-node `oldsolution`).
+    done: Vec<P>,
+    /// Like `done`, but for the HCD collapse step (which runs before
+    /// `process_complex` and so needs its own marker).
+    hcd_done: Vec<P>,
+    /// Per *location* id: number of valid offset slots (≥ 1).
+    pub offset_limit: Vec<u32>,
+    /// HCD online pairs: when node `n` is processed, collapse every
+    /// `v ∈ pts(n)` with each listed target. Empty when HCD is disabled.
+    pub hcd_targets: Vec<Vec<VarId>>,
+    pub stats: SolverStats,
+    // Reusable Tarjan buffers (epoch-stamped so repeated searches are cheap).
+    t_epoch: Vec<u32>,
+    t_index: Vec<u32>,
+    t_low: Vec<u32>,
+    t_on_stack: Vec<bool>,
+    t_cur_epoch: u32,
+}
+
+/// Result of a cycle search: the non-trivial SCCs found, plus the SCC
+/// completion order (reverse topological).
+pub(crate) struct CycleSearch {
+    pub sccs: Vec<Vec<u32>>,
+    /// One representative node per visited SCC, in completion order
+    /// (successors before predecessors).
+    pub completion: Vec<u32>,
+}
+
+impl CycleSearch {
+    /// Returns `true` if at least one non-trivial SCC was found.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn found_cycle(&self) -> bool {
+        !self.sccs.is_empty()
+    }
+
+    /// Visited SCC representatives in topological order (predecessors before
+    /// successors along constraint edges).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn topo_order(mut self) -> Vec<u32> {
+        self.completion.reverse();
+        self.completion
+    }
+}
+
+impl<P: PtsRepr> OnlineState<P> {
+    /// Builds the initial online constraint graph of Figure 1: points-to
+    /// sets from base constraints, edges from simple constraints, and
+    /// per-node complex-constraint lists.
+    pub fn new(program: &Program) -> Self {
+        let n = program.num_vars();
+        let mut ctx = P::make_ctx(n);
+        let mut pts: Vec<P> = vec![P::default(); n];
+        let mut succs = vec![SparseBitmap::new(); n];
+        let mut loads = vec![Vec::new(); n];
+        let mut stores = vec![Vec::new(); n];
+        for c in program.constraints() {
+            match c.kind {
+                ConstraintKind::AddrOf => {
+                    pts[c.lhs.index()].insert(&mut ctx, c.rhs.as_u32());
+                }
+                ConstraintKind::Copy => {
+                    if c.lhs != c.rhs {
+                        succs[c.rhs.index()].insert(c.lhs.as_u32());
+                    }
+                }
+                ConstraintKind::Load => loads[c.rhs.index()].push((c.lhs, c.offset)),
+                ConstraintKind::Store => stores[c.lhs.index()].push((c.rhs, c.offset)),
+            }
+        }
+        OnlineState {
+            n,
+            ctx,
+            uf: UnionFind::new(n),
+            pts,
+            succs,
+            loads,
+            stores,
+            done: vec![P::default(); n],
+            hcd_done: vec![P::default(); n],
+            offset_limit: program.offset_limits().to_vec(),
+            hcd_targets: vec![Vec::new(); n],
+            stats: SolverStats::new(),
+            t_epoch: vec![0; n],
+            t_index: vec![0; n],
+            t_low: vec![0; n],
+            t_on_stack: vec![false; n],
+            t_cur_epoch: 0,
+        }
+    }
+
+    /// Installs the HCD offline results: static unions are applied now, the
+    /// `(a, b)` pairs become per-node collapse targets for
+    /// [`hcd_step`](Self::hcd_step).
+    pub fn install_hcd(&mut self, hcd: &ant_constraints::hcd::HcdOffline) {
+        for &(x, rep) in &hcd.static_unions {
+            self.collapse(x, rep);
+        }
+        for (a, b) in hcd.pairs() {
+            let ra = self.find(a);
+            self.hcd_targets[ra.index()].push(b);
+        }
+    }
+
+    #[inline]
+    pub fn find(&mut self, v: VarId) -> VarId {
+        self.uf.find(v)
+    }
+
+    /// Seeds `wl` with every representative that has a non-empty points-to
+    /// set (the worklist initialization of Figure 1).
+    pub fn seed_worklist(&mut self, wl: &mut dyn Worklist) {
+        for i in 0..self.n {
+            let v = VarId::new(i);
+            if self.uf.is_rep(v) && !self.pts[i].is_empty(&self.ctx) {
+                wl.push(v);
+            }
+        }
+    }
+
+    /// Unions the nodes of `a` and `b`, merging all per-node data into the
+    /// surviving representative, which is returned. Newly implied edges
+    /// (from reconciling the two sides' complex-constraint progress) push
+    /// their sources onto `wl`.
+    pub fn collapse_with(&mut self, a: VarId, b: VarId, wl: &mut dyn Worklist) -> VarId {
+        let ra = self.uf.find(a);
+        let rb = self.uf.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let w = self.uf.union(ra, rb);
+        let l = if w == ra { rb } else { ra };
+        self.stats.nodes_collapsed += 1;
+        // Reconcile the complex-constraint progress of the two sides first:
+        // each side's constraint list must see the locations the *other*
+        // side has already processed (and it hasn't). Afterwards every
+        // location in either `done` marker is processed against both lists,
+        // so the merged marker is their union — collapsing never forces
+        // reprocessing. A side with no constraints has vacuously processed
+        // everything.
+        let l_vacuous = self.loads[l.index()].is_empty() && self.stores[l.index()].is_empty();
+        let w_vacuous = self.loads[w.index()].is_empty() && self.stores[w.index()].is_empty();
+        let dl = std::mem::take(&mut self.done[l.index()]);
+        let mut dw = std::mem::take(&mut self.done[w.index()]);
+        if !l_vacuous {
+            let missing = dw.minus_to_vec(&mut self.ctx, &dl);
+            self.apply_complex_lists(l, &missing, wl);
+        }
+        if !w_vacuous {
+            let missing = dl.minus_to_vec(&mut self.ctx, &dw);
+            self.apply_complex_lists(w, &missing, wl);
+        }
+        dw.union_from(&mut self.ctx, &dl);
+        self.done[w.index()] = dw;
+        // The HCD markers merge the same way, except the reconciliation is
+        // a collapse rather than edge insertion; defer it by intersecting
+        // (HCD target lists are rare, so this is almost always vacuous).
+        let l_hcd_vacuous = self.hcd_targets[l.index()].is_empty();
+        let w_hcd_vacuous = self.hcd_targets[w.index()].is_empty();
+        let hl = std::mem::take(&mut self.hcd_done[l.index()]);
+        let hw = std::mem::take(&mut self.hcd_done[w.index()]);
+        self.hcd_done[w.index()] = match (w_hcd_vacuous, l_hcd_vacuous) {
+            (_, true) => hw,
+            (true, false) => hl,
+            (false, false) => intersect(&mut self.ctx, hw, &hl),
+        };
+        let lp = std::mem::take(&mut self.pts[l.index()]);
+        self.pts[w.index()].union_from(&mut self.ctx, &lp);
+        let ls = std::mem::take(&mut self.succs[l.index()]);
+        self.succs[w.index()].union_with(&ls);
+        let ll = std::mem::take(&mut self.loads[l.index()]);
+        merge_dedup(&mut self.loads[w.index()], ll);
+        let lt = std::mem::take(&mut self.stores[l.index()]);
+        merge_dedup(&mut self.stores[w.index()], lt);
+        let lh = std::mem::take(&mut self.hcd_targets[l.index()]);
+        self.hcd_targets[w.index()].extend(lh);
+        self.hcd_targets[w.index()].sort_unstable();
+        self.hcd_targets[w.index()].dedup();
+        w
+    }
+
+    /// [`collapse_with`](Self::collapse_with) using an internal throw-away
+    /// queue — for callers that re-derive pending work by other means (HT's
+    /// rounds, test setup).
+    pub fn collapse(&mut self, a: VarId, b: VarId) -> VarId {
+        let mut sink = ant_common::worklist::Fifo::new(self.n);
+        self.collapse_with(a, b, &mut sink)
+    }
+
+    /// Resolves the complex constraints of `node` against exactly `locs`
+    /// (which must already be in `pts(node)`), pushing sources of new edges.
+    fn apply_complex_lists(&mut self, node: VarId, locs: &[u32], wl: &mut dyn Worklist) {
+        if locs.is_empty() {
+            return;
+        }
+        let loads = std::mem::take(&mut self.loads[node.index()]);
+        for &(a, k) in &loads {
+            let a_r = self.find(a);
+            for &v in locs {
+                self.stats.complex_iters += 1;
+                if k >= self.offset_limit[v as usize] {
+                    continue;
+                }
+                let t = self.find(VarId::from_u32(v + k));
+                if t != a_r && self.insert_edge(t, a_r) {
+                    wl.push(t);
+                }
+            }
+        }
+        self.loads[node.index()] = loads;
+        let stores = std::mem::take(&mut self.stores[node.index()]);
+        for &(b, k) in &stores {
+            let b_r = self.find(b);
+            for &v in locs {
+                self.stats.complex_iters += 1;
+                if k >= self.offset_limit[v as usize] {
+                    continue;
+                }
+                let t = self.find(VarId::from_u32(v + k));
+                if t != b_r && self.insert_edge(b_r, t) {
+                    wl.push(b_r);
+                }
+            }
+        }
+        self.stores[node.index()] = stores;
+    }
+
+    /// Adds the edge `src → dst` (both must be representatives); returns
+    /// `true` if it is new.
+    pub fn insert_edge(&mut self, src: VarId, dst: VarId) -> bool {
+        debug_assert!(self.uf.is_rep(src) && self.uf.is_rep(dst));
+        if self.succs[src.index()].insert(dst.as_u32()) {
+            self.stats.edges_added += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Propagates `pts(src)` into `pts(dst)` (one paper "propagation");
+    /// returns `true` if `pts(dst)` grew.
+    pub fn propagate(&mut self, src: VarId, dst: VarId) -> bool {
+        debug_assert_ne!(src, dst);
+        self.stats.propagations += 1;
+        let s = std::mem::take(&mut self.pts[src.index()]);
+        let changed = self.pts[dst.index()].union_from(&mut self.ctx, &s);
+        self.pts[src.index()] = s;
+        if changed {
+            self.stats.propagations_changed += 1;
+        }
+        changed
+    }
+
+    /// Resolves the complex constraints attached to `n` (step 1 of the
+    /// Figure 1 worklist body): materializes new edges implied by the part
+    /// of `pts(n)` not yet processed, and pushes nodes that gained an
+    /// outgoing edge.
+    pub fn process_complex(&mut self, n: VarId, wl: &mut dyn Worklist) {
+        if self.loads[n.index()].is_empty() && self.stores[n.index()].is_empty() {
+            return;
+        }
+        let prev = std::mem::take(&mut self.done[n.index()]);
+        let locs = self.pts[n.index()].minus_to_vec(&mut self.ctx, &prev);
+        if locs.is_empty() {
+            self.done[n.index()] = prev;
+            return;
+        }
+        self.done[n.index()] = self.pts[n.index()].clone();
+        // Canonicalize the lists through the union-find: entries that
+        // differed before a collapse are duplicates afterwards.
+        let mut loads = std::mem::take(&mut self.loads[n.index()]);
+        for e in &mut loads {
+            e.0 = self.find(e.0);
+        }
+        loads.sort_unstable();
+        loads.dedup();
+        for &(a, k) in &loads {
+            let a_r = a;
+            for &v in &locs {
+                self.stats.complex_iters += 1;
+                if k >= self.offset_limit[v as usize] {
+                    continue;
+                }
+                let t = self.find(VarId::from_u32(v + k));
+                if t != a_r && self.insert_edge(t, a_r) {
+                    wl.push(t);
+                }
+            }
+        }
+        self.loads[n.index()] = loads;
+        let mut stores = std::mem::take(&mut self.stores[n.index()]);
+        for e in &mut stores {
+            e.0 = self.find(e.0);
+        }
+        stores.sort_unstable();
+        stores.dedup();
+        for &(b, k) in &stores {
+            let b_r = b;
+            for &v in &locs {
+                self.stats.complex_iters += 1;
+                if k >= self.offset_limit[v as usize] {
+                    continue;
+                }
+                let t = self.find(VarId::from_u32(v + k));
+                if t != b_r && self.insert_edge(b_r, t) {
+                    wl.push(b_r);
+                }
+            }
+        }
+        self.stores[n.index()] = stores;
+    }
+
+    /// Rewrites `n`'s successor set through the union-find, dropping self
+    /// edges and duplicates left behind by collapsing, and returns the
+    /// distinct successor representatives. Without this, edge sets bloat
+    /// with stale ids after heavy collapsing and every pop re-propagates
+    /// the same set many times (GCC's solver performs the same cleaning).
+    pub fn canonical_succs(&mut self, n: VarId) -> Vec<u32> {
+        let raw: Vec<u32> = self.succs[n.index()].iter().collect();
+        let mut rebuilt = SparseBitmap::new();
+        let mut targets = Vec::with_capacity(raw.len());
+        for z_raw in raw {
+            let z = self.find(VarId::from_u32(z_raw));
+            if z == n {
+                continue;
+            }
+            if rebuilt.insert(z.as_u32()) {
+                targets.push(z.as_u32());
+            }
+        }
+        self.succs[n.index()] = rebuilt;
+        targets
+    }
+
+    /// Step 2 of the Figure 1 body: propagate `pts(n)` along every outgoing
+    /// edge, pushing changed targets.
+    pub fn propagate_all(&mut self, n: VarId, wl: &mut dyn Worklist) {
+        for z_raw in self.canonical_succs(n) {
+            let z = VarId::from_u32(z_raw);
+            if self.propagate(n, z) {
+                wl.push(z);
+            }
+        }
+    }
+
+    /// The Hybrid Cycle Detection online step (first block of Figure 5):
+    /// if the offline analysis recorded pairs `(n, a)`, preemptively
+    /// collapse every `v ∈ pts(n)` with `a` — no graph traversal needed.
+    ///
+    /// Returns the (possibly new) representative of `n`, since `n` itself
+    /// may be swallowed by a collapse.
+    pub fn hcd_step(&mut self, n: VarId, wl: &mut dyn Worklist) -> VarId {
+        if self.hcd_targets[n.index()].is_empty() {
+            return n;
+        }
+        let pairs = self.hcd_targets[n.index()].clone();
+        // Only the locations that appeared since the last HCD step need
+        // collapsing — earlier ones are already merged with the target.
+        let prev = std::mem::take(&mut self.hcd_done[n.index()]);
+        let locs = self.pts[n.index()].minus_to_vec(&mut self.ctx, &prev);
+        if locs.is_empty() {
+            self.hcd_done[n.index()] = prev;
+            return n;
+        }
+        self.hcd_done[n.index()] = self.pts[n.index()].clone();
+        let mut n_cur = n;
+        for a in pairs {
+            let mut rep = self.find(a);
+            let mut collapsed_any = false;
+            for &v in &locs {
+                let v = VarId::from_u32(v);
+                if self.find(v) != rep {
+                    rep = self.collapse_with(v, rep, wl);
+                    collapsed_any = true;
+                }
+            }
+            // Figure 5 re-queues the collapse target; only necessary (and
+            // safe against re-queue loops) when something actually merged.
+            if collapsed_any {
+                wl.push(rep);
+            }
+            n_cur = self.find(n_cur);
+        }
+        n_cur
+    }
+
+    /// Iterative Tarjan search over the current representative graph from
+    /// the given roots. Does **not** mutate the graph; pair with
+    /// [`collapse_sccs`](Self::collapse_sccs).
+    pub fn cycle_search(&mut self, roots: &[VarId]) -> CycleSearch {
+        self.t_cur_epoch += 1;
+        let epoch = self.t_cur_epoch;
+        let mut next_index = 1u32;
+        let mut sccs = Vec::new();
+        let mut completion = Vec::new();
+        let mut comp_stack: Vec<u32> = Vec::new();
+        // Frames: (node, children snapshot, next child position).
+        let mut dfs: Vec<(u32, Vec<u32>, usize)> = Vec::new();
+
+        for &r in roots {
+            let root = self.uf.find(r).as_u32();
+            if self.t_epoch[root as usize] == epoch {
+                continue;
+            }
+            self.visit_start(root, epoch, &mut next_index);
+            comp_stack.push(root);
+            self.t_on_stack[root as usize] = true;
+            dfs.push((root, self.child_snapshot(root), 0));
+
+            while let Some(frame) = dfs.last_mut() {
+                let v = frame.0;
+                if let Some(&w) = frame.1.get(frame.2) {
+                    frame.2 += 1;
+                    if w == v {
+                        continue; // self edge after a collapse
+                    }
+                    if self.t_epoch[w as usize] != epoch {
+                        self.visit_start(w, epoch, &mut next_index);
+                        comp_stack.push(w);
+                        self.t_on_stack[w as usize] = true;
+                        let children = self.child_snapshot(w);
+                        dfs.push((w, children, 0));
+                    } else if self.t_on_stack[w as usize] {
+                        self.t_low[v as usize] =
+                            self.t_low[v as usize].min(self.t_index[w as usize]);
+                    }
+                } else {
+                    dfs.pop();
+                    if let Some(parent) = dfs.last() {
+                        let p = parent.0 as usize;
+                        self.t_low[p] = self.t_low[p].min(self.t_low[v as usize]);
+                    }
+                    if self.t_low[v as usize] == self.t_index[v as usize] {
+                        completion.push(v);
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = comp_stack.pop().expect("scc stack underflow");
+                            self.t_on_stack[w as usize] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        if comp.len() > 1 {
+                            sccs.push(comp);
+                        }
+                    }
+                }
+            }
+        }
+        CycleSearch { sccs, completion }
+    }
+
+    fn visit_start(&mut self, v: u32, epoch: u32, next_index: &mut u32) {
+        self.t_epoch[v as usize] = epoch;
+        self.t_index[v as usize] = *next_index;
+        self.t_low[v as usize] = *next_index;
+        *next_index += 1;
+        self.stats.nodes_searched += 1;
+    }
+
+    /// Successor representatives of `v` (deduplicated via find).
+    fn child_snapshot(&mut self, v: u32) -> Vec<u32> {
+        let raw: Vec<u32> = self.succs[v as usize].iter().collect();
+        let mut out: Vec<u32> = raw
+            .into_iter()
+            .map(|w| self.uf.find(VarId::from_u32(w)).as_u32())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Collapses every SCC found by a [`cycle_search`](Self::cycle_search),
+    /// pushing each surviving representative. Returns the number of cycles
+    /// collapsed.
+    pub fn collapse_sccs(&mut self, search: &CycleSearch, wl: &mut dyn Worklist) -> usize {
+        for comp in &search.sccs {
+            let mut rep = VarId::from_u32(comp[0]);
+            for &m in &comp[1..] {
+                rep = self.collapse_with(VarId::from_u32(m), rep, wl);
+            }
+            wl.push(rep);
+        }
+        self.stats.cycles_found += search.sccs.len() as u64;
+        search.sccs.len()
+    }
+
+    /// All current representative nodes.
+    pub fn reps(&self) -> Vec<VarId> {
+        (0..self.n)
+            .map(VarId::new)
+            .filter(|&v| self.uf.is_rep(v))
+            .collect()
+    }
+
+    /// Records final memory consumption into the statistics.
+    pub fn finalize_bytes(&mut self) {
+        self.stats.pts_bytes = self.pts.iter().map(P::heap_bytes).sum::<usize>()
+            + self.done.iter().map(P::heap_bytes).sum::<usize>()
+            + self.hcd_done.iter().map(P::heap_bytes).sum::<usize>()
+            + P::ctx_bytes(&self.ctx);
+        self.stats.graph_bytes = self
+            .succs
+            .iter()
+            .map(SparseBitmap::heap_bytes)
+            .sum::<usize>()
+            + self
+                .loads
+                .iter()
+                .chain(self.stores.iter())
+                .map(|v| v.capacity() * std::mem::size_of::<ComplexRef>())
+                .sum::<usize>();
+        self.stats.aux_bytes = self.uf.heap_bytes() + self.n * (4 * 4 + 1); // Tarjan buffers
+    }
+}
+
+/// Appends `extra` to `list`, deduplicating (collapsed hubs would otherwise
+/// accumulate duplicate constraint entries).
+fn merge_dedup(list: &mut Vec<ComplexRef>, extra: Vec<ComplexRef>) {
+    list.extend(extra);
+    list.sort_unstable();
+    list.dedup();
+}
+
+/// `a ∩ b`, consuming `a`.
+fn intersect<P: PtsRepr>(ctx: &mut P::Ctx, mut a: P, b: &P) -> P {
+    a.intersect_from(ctx, b);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pts::BitmapPts;
+    use ant_common::worklist::Fifo;
+    use ant_constraints::ProgramBuilder;
+
+    fn state_for(build: impl FnOnce(&mut ProgramBuilder)) -> OnlineState<BitmapPts> {
+        let mut pb = ProgramBuilder::new();
+        build(&mut pb);
+        OnlineState::new(&pb.finish())
+    }
+
+    #[test]
+    fn init_from_constraints() {
+        let st = state_for(|pb| {
+            let p = pb.var("p");
+            let x = pb.var("x");
+            let q = pb.var("q");
+            pb.addr_of(p, x);
+            pb.copy(q, p);
+            pb.load(x, q);
+            pb.store(q, x);
+        });
+        assert_eq!(st.pts[0].to_vec(&st.ctx), vec![1]); // pts(p) = {x}
+        assert!(st.succs[0].contains(2)); // edge p → q
+        assert_eq!(st.loads[2], vec![(VarId::new(1), 0)]); // x ⊇ *q
+        assert_eq!(st.stores[2], vec![(VarId::new(1), 0)]); // *q ⊇ x
+    }
+
+    #[test]
+    fn collapse_merges_everything() {
+        let mut st = state_for(|pb| {
+            let a = pb.var("a");
+            let b = pb.var("b");
+            let c = pb.var("c");
+            let d = pb.var("d");
+            pb.addr_of(a, c);
+            pb.addr_of(b, d);
+            pb.copy(c, a);
+            pb.copy(d, b);
+            pb.load(c, a);
+            pb.store(b, d);
+        });
+        let (a, b) = (VarId::new(0), VarId::new(1));
+        let w = st.collapse(a, b);
+        assert_eq!(st.find(a), w);
+        assert_eq!(st.find(b), w);
+        assert_eq!(st.pts[w.index()].to_vec(&st.ctx), vec![2, 3]);
+        assert!(st.succs[w.index()].contains(2) && st.succs[w.index()].contains(3));
+        assert_eq!(st.loads[w.index()].len(), 1);
+        assert_eq!(st.stores[w.index()].len(), 1);
+        assert_eq!(st.stats.nodes_collapsed, 1);
+        // Idempotent.
+        assert_eq!(st.collapse(a, b), w);
+        assert_eq!(st.stats.nodes_collapsed, 1);
+    }
+
+    #[test]
+    fn process_complex_materializes_edges() {
+        let mut st = state_for(|pb| {
+            let p = pb.var("p");
+            let x = pb.var("x");
+            let y = pb.var("y");
+            let z = pb.var("z");
+            pb.addr_of(p, x);
+            pb.load(y, p); // y ⊇ *p  ⟹ edge x → y
+            pb.store(p, z); // *p ⊇ z ⟹ edge z → x
+        });
+        let mut wl = Fifo::new(4);
+        st.process_complex(VarId::new(0), &mut wl);
+        assert!(st.succs[1].contains(2)); // x → y
+        assert!(st.succs[3].contains(1)); // z → x
+        assert_eq!(st.stats.edges_added, 2);
+        // The sources of the new edges were pushed.
+        let mut popped = Vec::new();
+        while let Some(n) = wl.pop() {
+            popped.push(n.index());
+        }
+        assert_eq!(popped, vec![1, 3]);
+    }
+
+    #[test]
+    fn offsets_respect_limits() {
+        let mut st = {
+            let mut pb = ProgramBuilder::new();
+            let f = pb.function("f", 3); // f, f#1, f#2
+            let g = pb.var("g"); // plain var, limit 1
+            let p = pb.var("p");
+            let a = pb.var("a");
+            pb.addr_of(p, f);
+            pb.addr_of(p, g);
+            pb.load_offset(a, p, 2); // a ⊇ *(p+2)
+            let _ = f;
+            OnlineState::<BitmapPts>::new(&pb.finish())
+        };
+        let mut wl = Fifo::new(6);
+        // Ids: f=0, f#1=1, f#2=2, g=3, p=4, a=5.
+        let p = VarId::new(4);
+        st.process_complex(p, &mut wl);
+        // Only f admits offset 2; g (limit 1) is skipped.
+        assert!(st.succs[2].contains(5)); // f#2 → a
+        assert!(st.succs[3].is_empty()); // nothing rooted at g
+        assert_eq!(st.stats.edges_added, 1);
+    }
+
+    #[test]
+    fn propagate_all_pushes_changed_targets() {
+        let mut st = state_for(|pb| {
+            let p = pb.var("p");
+            let x = pb.var("x");
+            let q = pb.var("q");
+            let r = pb.var("r");
+            pb.addr_of(p, x);
+            pb.copy(q, p);
+            pb.copy(r, p);
+        });
+        let mut wl = Fifo::new(4);
+        st.propagate_all(VarId::new(0), &mut wl);
+        assert_eq!(st.pts[2].to_vec(&st.ctx), vec![1]);
+        assert_eq!(st.pts[3].to_vec(&st.ctx), vec![1]);
+        assert_eq!(st.stats.propagations, 2);
+        assert_eq!(st.stats.propagations_changed, 2);
+        // Re-propagation changes nothing and pushes nothing.
+        let mut wl2 = Fifo::new(4);
+        st.propagate_all(VarId::new(0), &mut wl2);
+        assert!(wl2.is_empty());
+        assert_eq!(st.stats.propagations_changed, 2);
+    }
+
+    #[test]
+    fn cycle_search_finds_and_collapses() {
+        let mut st = state_for(|pb| {
+            let a = pb.var("a");
+            let b = pb.var("b");
+            let c = pb.var("c");
+            let d = pb.var("d");
+            pb.copy(b, a); // a → b
+            pb.copy(c, b); // b → c
+            pb.copy(a, c); // c → a
+            pb.copy(d, c); // c → d (out of the cycle)
+        });
+        let roots = [VarId::new(0)];
+        let search = st.cycle_search(&roots);
+        assert!(search.found_cycle());
+        assert_eq!(search.sccs.len(), 1);
+        assert_eq!(search.sccs[0].len(), 3);
+        let mut wl = Fifo::new(4);
+        st.collapse_sccs(&search, &mut wl);
+        assert_eq!(st.stats.nodes_collapsed, 2);
+        assert_eq!(st.stats.cycles_found, 1);
+        let rep = st.find(VarId::new(0));
+        assert_eq!(st.find(VarId::new(1)), rep);
+        assert_eq!(st.find(VarId::new(2)), rep);
+        assert_ne!(st.find(VarId::new(3)), rep);
+        assert!(st.stats.nodes_searched >= 4);
+    }
+
+    #[test]
+    fn cycle_search_topo_order() {
+        let mut st = state_for(|pb| {
+            let a = pb.var("a");
+            let b = pb.var("b");
+            let c = pb.var("c");
+            pb.copy(b, a); // a → b
+            pb.copy(c, b); // b → c
+        });
+        let reps = st.reps();
+        let order = st.cycle_search(&reps).topo_order();
+        let pos =
+            |v: u32| order.iter().position(|&x| x == v).expect("in order");
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(2));
+    }
+
+    #[test]
+    fn hcd_step_collapses_pts_members() {
+        // Figure 3/4: a = &c; d = c; b = *a; *a = b. HCD pair (a, b); when a
+        // is processed, c (∈ pts(a)) is collapsed with b.
+        let mut pb = ProgramBuilder::new();
+        let a = pb.var("a");
+        let b = pb.var("b");
+        let c = pb.var("c");
+        let d = pb.var("d");
+        pb.addr_of(a, c);
+        pb.copy(d, c);
+        pb.load(b, a);
+        pb.store(a, b);
+        let program = pb.finish();
+        let hcd = ant_constraints::hcd::HcdOffline::analyze(&program);
+        let mut st = OnlineState::<BitmapPts>::new(&program);
+        st.install_hcd(&hcd);
+        let mut wl = Fifo::new(4);
+        let n = st.hcd_step(a, &mut wl);
+        assert_eq!(n, a, "a itself is not merged here");
+        assert_eq!(st.find(c), st.find(b), "c and b collapsed with no search");
+        assert_eq!(st.stats.nodes_searched, 0);
+        assert_eq!(st.stats.nodes_collapsed, 1);
+    }
+
+    #[test]
+    fn seed_worklist_pushes_nonempty_reps() {
+        let mut st = state_for(|pb| {
+            let p = pb.var("p");
+            let x = pb.var("x");
+            let q = pb.var("q");
+            pb.addr_of(p, x);
+            let _ = q;
+        });
+        let mut wl = Fifo::new(3);
+        st.seed_worklist(&mut wl);
+        assert_eq!(wl.pop(), Some(VarId::new(0)));
+        assert!(wl.pop().is_none());
+    }
+
+    #[test]
+    fn finalize_bytes_accounts_structures() {
+        let mut st = state_for(|pb| {
+            let p = pb.var("p");
+            let x = pb.var("x");
+            pb.addr_of(p, x);
+            pb.copy(x, p);
+        });
+        st.finalize_bytes();
+        assert!(st.stats.pts_bytes > 0);
+        assert!(st.stats.graph_bytes > 0);
+        assert!(st.stats.aux_bytes > 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Solution checking: soundness against the constraints, and precision
+//! via pointwise comparison between solvers.
+
+use crate::Solution;
+use ant_common::VarId;
+use ant_constraints::{ConstraintKind, Program};
+
+/// A constraint the solution fails to satisfy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Index into `program.constraints()`.
+    pub constraint_index: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "constraint #{}: {}", self.constraint_index, self.message)
+    }
+}
+
+fn superset(a: &[u32], b: &[u32]) -> bool {
+    let mut i = 0;
+    b.iter().all(|v| {
+        while i < a.len() && a[i] < *v {
+            i += 1;
+        }
+        i < a.len() && a[i] == *v
+    })
+}
+
+/// Checks that `solution` satisfies every constraint of `program` (i.e. it
+/// is a sound fixpoint of the inclusion system). Returns all violations,
+/// empty when sound.
+pub fn check_soundness(program: &Program, solution: &Solution) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, c) in program.constraints().iter().enumerate() {
+        let fail = |msg: String| Violation {
+            constraint_index: i,
+            message: msg,
+        };
+        match c.kind {
+            ConstraintKind::AddrOf => {
+                if !solution.may_point_to(c.lhs, c.rhs) {
+                    out.push(fail(format!("{c}: missing {} in pts({})", c.rhs, c.lhs)));
+                }
+            }
+            ConstraintKind::Copy => {
+                if !superset(solution.points_to(c.lhs), solution.points_to(c.rhs)) {
+                    out.push(fail(format!("{c}: pts({}) ⊉ pts({})", c.lhs, c.rhs)));
+                }
+            }
+            ConstraintKind::Load => {
+                for &v in solution.points_to(c.rhs) {
+                    let v = VarId::from_u32(v);
+                    if c.offset >= program.offset_limit(v) {
+                        continue;
+                    }
+                    let t = v.offset(c.offset);
+                    if !superset(solution.points_to(c.lhs), solution.points_to(t)) {
+                        out.push(fail(format!("{c}: pts({}) ⊉ pts({t})", c.lhs)));
+                    }
+                }
+            }
+            ConstraintKind::Store => {
+                for &v in solution.points_to(c.lhs) {
+                    let v = VarId::from_u32(v);
+                    if c.offset >= program.offset_limit(v) {
+                        continue;
+                    }
+                    let t = v.offset(c.offset);
+                    if !superset(solution.points_to(t), solution.points_to(c.rhs)) {
+                        out.push(fail(format!("{c}: pts({t}) ⊉ pts({})", c.rhs)));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Panicking variant of [`check_soundness`] for tests.
+///
+/// # Panics
+///
+/// Panics with the first violations if the solution is unsound.
+pub fn assert_sound(program: &Program, solution: &Solution) {
+    let violations = check_soundness(program, solution);
+    assert!(
+        violations.is_empty(),
+        "unsound solution: {} violations, first: {}",
+        violations.len(),
+        violations[0]
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ant_constraints::ProgramBuilder;
+
+    fn simple_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        let q = pb.var("q");
+        pb.addr_of(p, x); // p = &x
+        pb.copy(q, p); // q = p
+        pb.finish()
+    }
+
+    #[test]
+    fn sound_solution_passes() {
+        let program = simple_program();
+        let sol = Solution::from_sets(vec![vec![1], vec![], vec![1]]);
+        assert!(check_soundness(&program, &sol).is_empty());
+        assert_sound(&program, &sol);
+    }
+
+    #[test]
+    fn missing_base_detected() {
+        let program = simple_program();
+        let sol = Solution::from_sets(vec![vec![], vec![], vec![]]);
+        let v = check_soundness(&program, &sol);
+        assert!(!v.is_empty());
+        assert!(v[0].to_string().contains("missing"));
+    }
+
+    #[test]
+    fn missing_copy_detected() {
+        let program = simple_program();
+        let sol = Solution::from_sets(vec![vec![1], vec![], vec![]]);
+        let v = check_soundness(&program, &sol);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].constraint_index, 1);
+    }
+
+    #[test]
+    fn load_store_checked_through_pts() {
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        let y = pb.var("y");
+        let q = pb.var("q");
+        let r = pb.var("r");
+        pb.addr_of(p, x); // p = &x
+        pb.addr_of(q, y); // q = &y
+        pb.store(p, q); // *p = q  ⟹ pts(x) ⊇ pts(q)
+        pb.load(r, p); // r = *p  ⟹ pts(r) ⊇ pts(x)
+        let program = pb.finish();
+        // Correct: pts(x) = {y}, pts(r) = {y}.
+        let good = Solution::from_sets(vec![vec![1], vec![2], vec![], vec![2], vec![2]]);
+        assert_sound(&program, &good);
+        // Break the store: pts(x) misses y, so constraint 2 is violated
+        // (the load is then vacuously satisfied since pts(x) is empty).
+        let bad = Solution::from_sets(vec![vec![1], vec![], vec![], vec![2], vec![]]);
+        let v = check_soundness(&program, &bad);
+        assert!(v.iter().any(|x| x.constraint_index == 2));
+        // Break the load: pts(x) has y but pts(r) is empty.
+        let bad2 = Solution::from_sets(vec![vec![1], vec![2], vec![], vec![2], vec![]]);
+        let v2 = check_soundness(&program, &bad2);
+        assert!(v2.iter().any(|x| x.constraint_index == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsound solution")]
+    fn assert_sound_panics() {
+        let program = simple_program();
+        let sol = Solution::from_sets(vec![vec![], vec![], vec![]]);
+        assert_sound(&program, &sol);
+    }
+}

@@ -1,0 +1,181 @@
+//! Solver edge cases: degenerate constraint programs every algorithm must
+//! handle identically.
+
+use ant_constraints::{Program, ProgramBuilder};
+use ant_core::{solve, Algorithm, BitmapPts, SolverConfig, VarId};
+
+fn all_agree(program: &Program) -> ant_core::Solution {
+    let reference = solve::<BitmapPts>(program, &SolverConfig::new(Algorithm::Basic));
+    ant_core::verify::assert_sound(program, &reference.solution);
+    for alg in Algorithm::ALL {
+        let out = solve::<BitmapPts>(program, &SolverConfig::new(alg));
+        assert!(
+            out.solution.equiv(&reference.solution),
+            "{alg} differs at {:?}",
+            out.solution.first_difference(&reference.solution)
+        );
+    }
+    reference.solution
+}
+
+#[test]
+fn empty_program() {
+    let sol = all_agree(&ProgramBuilder::new().finish());
+    assert_eq!(sol.num_vars(), 0);
+}
+
+#[test]
+fn vars_without_constraints() {
+    let mut pb = ProgramBuilder::new();
+    pb.var("a");
+    pb.var("b");
+    let sol = all_agree(&pb.finish());
+    assert!(sol.points_to(VarId::new(0)).is_empty());
+}
+
+#[test]
+fn self_copy_and_self_points() {
+    let mut pb = ProgramBuilder::new();
+    let a = pb.var("a");
+    pb.copy(a, a); // a = a
+    pb.addr_of(a, a); // a = &a
+    pb.load(a, a); // a = *a
+    pb.store(a, a); // *a = a
+    let sol = all_agree(&pb.finish());
+    assert!(sol.may_point_to(a, a));
+}
+
+#[test]
+fn two_node_cycle_through_stores() {
+    let mut pb = ProgramBuilder::new();
+    let p = pb.var("p");
+    let q = pb.var("q");
+    let x = pb.var("x");
+    let y = pb.var("y");
+    pb.addr_of(p, x);
+    pb.addr_of(q, y);
+    pb.store(p, q); // x ⊇ q
+    pb.store(q, p); // y ⊇ p
+    pb.load(p, q); // p ⊇ *q = y's pts
+    pb.load(q, p); // q ⊇ *p
+    let sol = all_agree(&pb.finish());
+    // The fixpoint: p = {x}, q = {y}, and the two objects point at each
+    // other through the stores.
+    assert!(sol.may_point_to(p, x));
+    assert!(sol.may_point_to(x, y));
+    assert!(sol.may_point_to(y, x));
+}
+
+#[test]
+fn duplicate_constraints_are_harmless() {
+    let mut pb = ProgramBuilder::new();
+    let p = pb.var("p");
+    let x = pb.var("x");
+    let q = pb.var("q");
+    for _ in 0..5 {
+        pb.addr_of(p, x);
+        pb.copy(q, p);
+        pb.load(x, q);
+        pb.store(q, x);
+    }
+    all_agree(&pb.finish());
+}
+
+#[test]
+fn offset_beyond_every_limit_is_dropped() {
+    let mut pb = ProgramBuilder::new();
+    let f = pb.function("f", 2);
+    let p = pb.var("p");
+    let r = pb.var("r");
+    pb.addr_of(p, f);
+    pb.load_offset(r, p, 9); // f has only 2 slots: resolves to nothing
+    let sol = all_agree(&pb.finish());
+    assert!(sol.points_to(r).is_empty());
+}
+
+#[test]
+fn mixed_function_and_data_targets() {
+    // A pointer that may point to a function *or* a plain variable; offset
+    // resolution must skip the plain one.
+    let mut pb = ProgramBuilder::new();
+    let f = pb.function("f", 3);
+    let g = pb.var("g");
+    let p = pb.var("p");
+    let arg = pb.var("arg");
+    let x = pb.var("x");
+    let r = pb.var("r");
+    pb.addr_of(p, f);
+    pb.addr_of(p, g);
+    pb.addr_of(arg, x);
+    pb.store_offset(p, arg, 2);
+    pb.copy(f.offset(1), f.offset(2));
+    pb.load_offset(r, p, 1);
+    let sol = all_agree(&pb.finish());
+    assert!(sol.may_point_to(r, x));
+    assert!(sol.points_to(g).is_empty(), "g must not receive the argument");
+}
+
+#[test]
+fn long_copy_chain() {
+    let mut pb = ProgramBuilder::new();
+    let p = pb.var("p");
+    let x = pb.var("x");
+    pb.addr_of(p, x);
+    let mut prev = p;
+    for i in 0..300 {
+        let v = pb.var(&format!("c{i}"));
+        pb.copy(v, prev);
+        prev = v;
+    }
+    let sol = all_agree(&pb.finish());
+    assert!(sol.may_point_to(prev, x));
+}
+
+#[test]
+fn giant_static_cycle() {
+    let mut pb = ProgramBuilder::new();
+    let p = pb.var("p");
+    let x = pb.var("x");
+    pb.addr_of(p, x);
+    let first = pb.var("r0");
+    let mut prev = first;
+    for i in 1..200 {
+        let v = pb.var(&format!("r{i}"));
+        pb.copy(v, prev);
+        prev = v;
+    }
+    pb.copy(first, prev); // close the ring
+    pb.copy(first, p); // feed it
+    let sol = all_agree(&pb.finish());
+    assert!(sol.may_point_to(prev, x));
+    assert!(sol.may_point_to(first, x));
+}
+
+#[test]
+fn store_into_everything() {
+    // A pointer to many objects: one store fans out to all of them.
+    let mut pb = ProgramBuilder::new();
+    let p = pb.var("p");
+    let src = pb.var("src");
+    let x = pb.var("x");
+    pb.addr_of(src, x);
+    let objs: Vec<VarId> = (0..50).map(|i| pb.var(&format!("o{i}"))).collect();
+    for &o in &objs {
+        pb.addr_of(p, o);
+    }
+    pb.store(p, src);
+    let sol = all_agree(&pb.finish());
+    for &o in &objs {
+        assert!(sol.may_point_to(o, x));
+    }
+}
+
+#[test]
+fn load_from_empty_pointer_is_empty() {
+    let mut pb = ProgramBuilder::new();
+    let p = pb.var("p"); // never assigned
+    let r = pb.var("r");
+    pb.load(r, p);
+    let sol = all_agree(&pb.finish());
+    assert!(sol.points_to(r).is_empty());
+}

@@ -1,0 +1,98 @@
+//! Abstract syntax for the mini-C subset.
+//!
+//! Types are kept only to the extent the analysis needs them: whether a
+//! declarator is an array (arrays are treated as single monolithic objects,
+//! field-insensitively) and function signatures. Everything else — `int`
+//! versus `char*`, qualifiers, struct layouts — is irrelevant to a
+//! field-insensitive Andersen analysis and is parsed but discarded.
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A name.
+    Id(String),
+    /// `*e`.
+    Deref(Box<Expr>),
+    /// `&e`.
+    AddrOf(Box<Expr>),
+    /// `e.f` or `e->f` (`arrow = true`). Field-insensitive: `e.f ≡ e`,
+    /// `e->f ≡ *e`.
+    Field(Box<Expr>, String, bool),
+    /// `e[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `f(args)`.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `l = r` (compound assignments are desugared to plain `=`).
+    Assign(Box<Expr>, Box<Expr>),
+    /// `c ? t : e`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Any binary operator — pointer values flow from both operands.
+    Binary(Box<Expr>, Box<Expr>),
+    /// Unary operators that preserve no pointer value (`!e`, `-e`, `~e`)
+    /// still evaluate their operand for side effects.
+    Unary(Box<Expr>),
+    /// `,` — evaluate both, value of the second.
+    Comma(Box<Expr>, Box<Expr>),
+    /// Integer/string/char literal, `sizeof`, etc. — no pointer value.
+    Opaque,
+}
+
+impl Expr {
+    pub(crate) fn boxed(self) -> Box<Expr> {
+        Box::new(self)
+    }
+}
+
+/// One declared name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Declarator {
+    /// Variable name.
+    pub name: String,
+    /// Declared with array brackets (`int *a[10]`)?
+    pub is_array: bool,
+    /// Initializer expressions: empty for none, one for `= e`, several for
+    /// a brace initializer `= {e1, e2, ...}` (each flows into the object,
+    /// weakly).
+    pub inits: Vec<Expr>,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Local/global declaration.
+    Decl(Vec<Declarator>),
+    /// Expression statement.
+    Expr(Expr),
+    /// `return e;`.
+    Return(Option<Expr>),
+    /// `{ ... }`.
+    Block(Vec<Stmt>),
+    /// `if (c) t else e` — flow-insensitively, all three are just visited.
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while (c) body`, `do body while (c)`, and `switch` bodies.
+    Loop(Expr, Box<Stmt>),
+    /// `for (init; cond; step) body`.
+    For(Option<Expr>, Option<Expr>, Option<Expr>, Box<Stmt>),
+    /// `;`, `break;`, `continue;`, labels.
+    Empty,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter names in order.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed translation unit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TranslationUnit {
+    /// Global declarations.
+    pub globals: Vec<Declarator>,
+    /// Function definitions.
+    pub functions: Vec<Function>,
+}

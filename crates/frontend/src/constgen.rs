@@ -1,0 +1,635 @@
+//! Constraint generation: AST → inclusion constraints.
+//!
+//! Implements the standard field-insensitive Andersen generation rules
+//! (Table 1 of the paper) with auxiliary temporaries so that every
+//! constraint carries at most one dereference, Pearce-style indirect-call
+//! encoding (offsets into function variable blocks), array collapsing
+//! (an array is one object; `a` decays to `&a`, `a[i]` to `*a`), and
+//! per-call-site heap abstraction for the allocator stubs.
+
+use crate::ast::{Declarator, Expr, Function, Stmt, TranslationUnit};
+use crate::stubs;
+use ant_common::fx::FxHashMap;
+use ant_common::VarId;
+use ant_constraints::{Program, ProgramBuilder};
+
+#[derive(Clone, Copy, Debug)]
+struct Binding {
+    var: VarId,
+    is_array: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct FuncInfo {
+    var: VarId,
+    nparams: usize,
+}
+
+/// Result of constraint generation.
+#[derive(Debug)]
+pub struct GenOutput {
+    /// The generated constraint program.
+    pub program: Program,
+    /// Non-fatal notes (implicitly declared identifiers, unknown externals
+    /// summarized by the generic stub).
+    pub warnings: Vec<String>,
+}
+
+pub(crate) struct Gen {
+    pub b: ProgramBuilder,
+    scopes: Vec<FxHashMap<String, Binding>>,
+    funcs: FxHashMap<String, FuncInfo>,
+    current_ret: Option<VarId>,
+    heap_count: usize,
+    uniq: usize,
+    pub warnings: Vec<String>,
+}
+
+/// Generates constraints for a parsed translation unit.
+pub fn generate(tu: &TranslationUnit) -> GenOutput {
+    let mut g = Gen {
+        b: ProgramBuilder::new(),
+        scopes: vec![FxHashMap::default()],
+        funcs: FxHashMap::default(),
+        current_ret: None,
+        heap_count: 0,
+        uniq: 0,
+        warnings: Vec::new(),
+    };
+    // Pass 1: allocate every function block (function variable, then its
+    // return slot at offset 1 and parameters at offsets 2..).
+    for f in &tu.functions {
+        if g.funcs.contains_key(&f.name) {
+            g.warnings.push(format!("duplicate function {}", f.name));
+            continue;
+        }
+        let slots = 2 + f.params.len() as u32;
+        let var = g.b.function(&f.name, slots);
+        g.funcs.insert(
+            f.name.clone(),
+            FuncInfo {
+                var,
+                nparams: f.params.len(),
+            },
+        );
+    }
+    // Pass 2: globals.
+    for d in &tu.globals {
+        g.declare(d);
+    }
+    // Pass 3: function bodies.
+    for f in &tu.functions {
+        g.function_body(f);
+    }
+    GenOutput {
+        program: g.b.finish(),
+        warnings: g.warnings,
+    }
+}
+
+impl Gen {
+    fn temp(&mut self) -> VarId {
+        self.b.temp()
+    }
+
+    /// Declares `d` in the current scope and processes its initializers.
+    fn declare(&mut self, d: &Declarator) {
+        let mangled = if self.scopes.len() == 1 {
+            d.name.clone()
+        } else {
+            self.uniq += 1;
+            format!("{}.{}", d.name, self.uniq)
+        };
+        let var = self.b.var(&mangled);
+        self.scopes
+            .last_mut()
+            .expect("scope stack non-empty")
+            .insert(
+                d.name.clone(),
+                Binding {
+                    var,
+                    is_array: d.is_array,
+                },
+            );
+        let inits = d.inits.clone();
+        for init in &inits {
+            if let Some(rv) = self.rvalue(init) {
+                // Initialization flows into the object (weakly for arrays
+                // and braces — exactly what flow-insensitivity gives us).
+                self.b.copy(var, rv);
+            }
+        }
+    }
+
+    fn lookup(&mut self, name: &str) -> Option<Binding> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&b) = scope.get(name) {
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    /// Looks up `name`, implicitly declaring it as a global if unknown
+    /// (pre-C99 implicit declaration; also how extern objects appear).
+    fn lookup_or_declare(&mut self, name: &str) -> Binding {
+        if let Some(b) = self.lookup(name) {
+            return b;
+        }
+        let var = self.b.var(name);
+        let b = Binding {
+            var,
+            is_array: false,
+        };
+        self.scopes[0].insert(name.to_owned(), b);
+        self.warnings
+            .push(format!("implicitly declared identifier `{name}`"));
+        b
+    }
+
+    fn function_body(&mut self, f: &Function) {
+        let info = self.funcs[&f.name];
+        self.current_ret = Some(info.var.offset(1));
+        self.scopes.push(FxHashMap::default());
+        for (i, p) in f.params.iter().enumerate() {
+            self.scopes.last_mut().expect("scope").insert(
+                p.clone(),
+                Binding {
+                    var: info.var.offset(2 + i as u32),
+                    is_array: false,
+                },
+            );
+        }
+        for s in &f.body {
+            self.stmt(s);
+        }
+        self.scopes.pop();
+        self.current_ret = None;
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl(ds) => {
+                for d in ds {
+                    self.declare(d);
+                }
+            }
+            Stmt::Expr(e) => {
+                self.rvalue(e);
+            }
+            Stmt::Return(Some(e)) => {
+                if let (Some(rv), Some(ret)) = (self.rvalue(e), self.current_ret) {
+                    self.b.copy(ret, rv);
+                }
+            }
+            Stmt::Return(None) | Stmt::Empty => {}
+            Stmt::Block(body) => {
+                self.scopes.push(FxHashMap::default());
+                for s in body {
+                    self.stmt(s);
+                }
+                self.scopes.pop();
+            }
+            Stmt::If(c, t, e) => {
+                self.rvalue(c);
+                self.stmt(t);
+                if let Some(e) = e {
+                    self.stmt(e);
+                }
+            }
+            Stmt::Loop(c, body) => {
+                self.rvalue(c);
+                self.stmt(body);
+            }
+            Stmt::For(init, cond, step, body) => {
+                if let Some(e) = init {
+                    self.rvalue(e);
+                }
+                if let Some(e) = cond {
+                    self.rvalue(e);
+                }
+                if let Some(e) = step {
+                    self.rvalue(e);
+                }
+                self.stmt(body);
+            }
+        }
+    }
+
+    /// Evaluates `e` for its pointer value, emitting constraints for its
+    /// side effects. `None` means "no pointer value" (integers, etc.).
+    pub(crate) fn rvalue(&mut self, e: &Expr) -> Option<VarId> {
+        match e {
+            Expr::Id(name) => {
+                if let Some(&f) = self.funcs.get(name) {
+                    // A function designator decays to its address.
+                    let t = self.temp();
+                    self.b.addr_of(t, f.var);
+                    return Some(t);
+                }
+                let b = self.lookup_or_declare(name);
+                if b.is_array {
+                    // Array-to-pointer decay: the value is &object.
+                    let t = self.temp();
+                    self.b.addr_of(t, b.var);
+                    Some(t)
+                } else {
+                    Some(b.var)
+                }
+            }
+            Expr::Deref(inner) => {
+                let p = self.rvalue(inner)?;
+                let t = self.temp();
+                self.b.load(t, p);
+                Some(t)
+            }
+            Expr::AddrOf(inner) => self.addr_of(inner),
+            Expr::Field(base, _, arrow) => {
+                if *arrow {
+                    // p->f ≡ *p, field-insensitively.
+                    let p = self.rvalue(base)?;
+                    let t = self.temp();
+                    self.b.load(t, p);
+                    Some(t)
+                } else {
+                    // s.f ≡ s.
+                    self.rvalue(base)
+                }
+            }
+            Expr::Index(base, idx) => {
+                self.rvalue(idx);
+                // a[i] ≡ *(a decayed); p[i] ≡ *p.
+                let p = self.rvalue(base)?;
+                let t = self.temp();
+                self.b.load(t, p);
+                Some(t)
+            }
+            Expr::Call(callee, args) => self.call(callee, args),
+            Expr::Assign(l, r) => {
+                let rv = self.rvalue(r);
+                self.assign_to(l, rv);
+                rv
+            }
+            Expr::Ternary(c, t, e) => {
+                self.rvalue(c);
+                let a = self.rvalue(t);
+                let b = self.rvalue(e);
+                self.merge(a, b)
+            }
+            Expr::Binary(a, b) => {
+                // Pointer arithmetic and comparisons: the value may derive
+                // from either operand (conservative).
+                let ra = self.rvalue(a);
+                let rb = self.rvalue(b);
+                self.merge(ra, rb)
+            }
+            Expr::Unary(inner) => {
+                self.rvalue(inner);
+                None
+            }
+            Expr::Comma(a, b) => {
+                self.rvalue(a);
+                self.rvalue(b)
+            }
+            Expr::Opaque => None,
+        }
+    }
+
+    fn merge(&mut self, a: Option<VarId>, b: Option<VarId>) -> Option<VarId> {
+        match (a, b) {
+            (None, None) => None,
+            (Some(x), None) => Some(x),
+            (None, Some(y)) => Some(y),
+            (Some(x), Some(y)) => {
+                let t = self.temp();
+                self.b.copy(t, x);
+                self.b.copy(t, y);
+                Some(t)
+            }
+        }
+    }
+
+    /// `&lvalue`.
+    fn addr_of(&mut self, inner: &Expr) -> Option<VarId> {
+        match inner {
+            Expr::Id(name) => {
+                if let Some(&f) = self.funcs.get(name) {
+                    let t = self.temp();
+                    self.b.addr_of(t, f.var);
+                    return Some(t);
+                }
+                let b = self.lookup_or_declare(name);
+                let t = self.temp();
+                self.b.addr_of(t, b.var);
+                Some(t)
+            }
+            // &*e ≡ e.
+            Expr::Deref(e) => self.rvalue(e),
+            // &a[i] ≡ a (decayed) or p (pointer indexing).
+            Expr::Index(e, idx) => {
+                self.rvalue(idx);
+                self.rvalue(e)
+            }
+            // &s.f ≡ &s; &p->f ≡ p.
+            Expr::Field(base, _, arrow) => {
+                if *arrow {
+                    self.rvalue(base)
+                } else {
+                    self.addr_of(base)
+                }
+            }
+            other => self.rvalue(other),
+        }
+    }
+
+    /// Assignment into an lvalue.
+    fn assign_to(&mut self, l: &Expr, rv: Option<VarId>) {
+        match l {
+            Expr::Id(name) => {
+                let b = self.lookup_or_declare(name);
+                if let Some(rv) = rv {
+                    self.b.copy(b.var, rv);
+                }
+            }
+            Expr::Deref(e) => {
+                let p = self.rvalue(e);
+                if let (Some(p), Some(rv)) = (p, rv) {
+                    self.b.store(p, rv);
+                }
+            }
+            Expr::Index(e, idx) => {
+                self.rvalue(idx);
+                let p = self.rvalue(e);
+                if let (Some(p), Some(rv)) = (p, rv) {
+                    self.b.store(p, rv);
+                }
+            }
+            Expr::Field(base, _, arrow) => {
+                if *arrow {
+                    let p = self.rvalue(base);
+                    if let (Some(p), Some(rv)) = (p, rv) {
+                        self.b.store(p, rv);
+                    }
+                } else {
+                    self.assign_to(base, rv);
+                }
+            }
+            Expr::Ternary(c, t, e) => {
+                self.rvalue(c);
+                self.assign_to(t, rv);
+                self.assign_to(e, rv);
+            }
+            Expr::Comma(a, b) => {
+                self.rvalue(a);
+                self.assign_to(b, rv);
+            }
+            // Assignments into casts of lvalues arrive as the inner lvalue
+            // (casts are transparent); anything else has no effect on the
+            // points-to solution.
+            _ => {
+                self.rvalue(l);
+            }
+        }
+    }
+
+    /// A fresh heap object for an allocation site.
+    pub(crate) fn heap_object(&mut self) -> VarId {
+        let name = format!("heap${}", self.heap_count);
+        self.heap_count += 1;
+        self.b.var(&name)
+    }
+
+    fn call(&mut self, callee: &Expr, args: &[Expr]) -> Option<VarId> {
+        // `(*fp)(...)` ≡ `fp(...)`: a dereffed function designator decays
+        // right back.
+        let callee = match callee {
+            Expr::Deref(inner) => inner,
+            other => other,
+        };
+        if let Expr::Id(name) = callee {
+            if let Some(&info) = self.funcs.get(name) {
+                // Direct call to a defined function.
+                let rvs: Vec<Option<VarId>> = args.iter().map(|a| self.rvalue(a)).collect();
+                for (i, rv) in rvs.iter().enumerate() {
+                    if let Some(rv) = rv {
+                        if i < info.nparams {
+                            self.b.copy(info.var.offset(2 + i as u32), *rv);
+                        }
+                    }
+                }
+                let t = self.temp();
+                self.b.copy(t, info.var.offset(1));
+                return Some(t);
+            }
+            if self.lookup(name).is_none() {
+                // Undefined function: libc stub summary.
+                let rvs: Vec<Option<VarId>> = args.iter().map(|a| self.rvalue(a)).collect();
+                return stubs::apply(self, name, &rvs);
+            }
+        }
+        // Indirect call through a function pointer.
+        let fp = self.rvalue(callee)?;
+        let rvs: Vec<Option<VarId>> = args.iter().map(|a| self.rvalue(a)).collect();
+        for (i, rv) in rvs.iter().enumerate() {
+            if let Some(rv) = rv {
+                self.b.store_offset(fp, *rv, 2 + i as u32);
+            }
+        }
+        let t = self.temp();
+        self.b.load_offset(t, fp, 1);
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_c;
+    use ant_constraints::ConstraintKind;
+
+    fn gen(src: &str) -> GenOutput {
+        generate(&parse_c(src).unwrap())
+    }
+
+    /// Convenience: solve with the basic algorithm and check a points-to
+    /// relationship by variable names.
+    fn solve(out: &GenOutput) -> ant_core::Solution {
+        ant_core::solve::<ant_core::BitmapPts>(
+            &out.program,
+            &ant_core::SolverConfig::new(ant_core::Algorithm::Basic),
+        )
+        .solution
+    }
+
+    fn points_to(out: &GenOutput, sol: &ant_core::Solution, p: &str, x: &str) -> bool {
+        let pv = out.program.var_by_name(p).unwrap();
+        let xv = out.program.var_by_name(x).unwrap();
+        sol.may_point_to(pv, xv)
+    }
+
+    #[test]
+    fn basic_address_flow() {
+        let out = gen("int x; int *p; int *q; void main() { p = &x; q = p; }");
+        let sol = solve(&out);
+        assert!(points_to(&out, &sol, "p", "x"));
+        assert!(points_to(&out, &sol, "q", "x"));
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let out = gen(
+            "int x; int *p; int **pp; int *r;\n\
+             void main() { p = &x; pp = &p; r = *pp; **pp = x; }",
+        );
+        let sol = solve(&out);
+        assert!(points_to(&out, &sol, "pp", "p"));
+        assert!(points_to(&out, &sol, "r", "x"));
+    }
+
+    #[test]
+    fn direct_calls_flow_args_and_returns() {
+        let out = gen(
+            "int *id(int *a) { return a; }\n\
+             int x; int *p;\n\
+             void main() { p = id(&x); }",
+        );
+        let sol = solve(&out);
+        assert!(points_to(&out, &sol, "p", "x"));
+    }
+
+    #[test]
+    fn indirect_calls_via_function_pointer() {
+        let out = gen(
+            "int *id(int *a) { return a; }\n\
+             int *(*fp)(int *);\n\
+             int x; int *p; int *q;\n\
+             void main() { fp = id; p = fp(&x); q = (*fp)(&x); }",
+        );
+        let sol = solve(&out);
+        assert!(points_to(&out, &sol, "fp", "id"));
+        assert!(points_to(&out, &sol, "p", "x"));
+        assert!(points_to(&out, &sol, "q", "x"));
+    }
+
+    #[test]
+    fn fields_collapse() {
+        let out = gen(
+            "struct s { int *f; int *g; };\n\
+             struct s obj; struct s *sp; int x; int *r;\n\
+             void main() { obj.f = &x; sp = &obj; sp->g = obj.f; r = sp->f; }",
+        );
+        let sol = solve(&out);
+        // Field-insensitive: obj.f and obj.g are both just obj.
+        assert!(points_to(&out, &sol, "obj", "x"));
+        assert!(points_to(&out, &sol, "r", "x"));
+    }
+
+    #[test]
+    fn arrays_collapse_to_one_object() {
+        let out = gen(
+            "int x; int y; int *a[4]; int *r;\n\
+             void main() { a[0] = &x; a[1] = &y; r = a[2]; }",
+        );
+        let sol = solve(&out);
+        assert!(points_to(&out, &sol, "a", "x"));
+        assert!(points_to(&out, &sol, "r", "x"));
+        assert!(points_to(&out, &sol, "r", "y"));
+    }
+
+    #[test]
+    fn array_decay_and_address() {
+        let out = gen(
+            "int *a[4]; int **p; int **q; int x;\n\
+             void main() { p = a; q = &a[1]; *p = &x; }",
+        );
+        let sol = solve(&out);
+        assert!(points_to(&out, &sol, "p", "a"));
+        assert!(points_to(&out, &sol, "q", "a"));
+        assert!(points_to(&out, &sol, "a", "x"));
+    }
+
+    #[test]
+    fn malloc_heap_objects_per_site() {
+        let out = gen(
+            "int *p; int *q;\n\
+             void main() { p = malloc(4); q = malloc(8); }",
+        );
+        let sol = solve(&out);
+        assert!(points_to(&out, &sol, "p", "heap$0"));
+        assert!(points_to(&out, &sol, "q", "heap$1"));
+        assert!(!points_to(&out, &sol, "p", "heap$1"), "per-site heap");
+    }
+
+    #[test]
+    fn locals_shadow_globals() {
+        let out = gen(
+            "int x; int *p;\n\
+             void main() { int x; p = &x; }",
+        );
+        let sol = solve(&out);
+        let p = out.program.var_by_name("p").unwrap();
+        let global_x = out.program.var_by_name("x").unwrap();
+        assert!(!sol.may_point_to(p, global_x), "p points to the local x");
+        assert_eq!(sol.points_to(p).len(), 1);
+    }
+
+    #[test]
+    fn ternary_and_arith_merge_values() {
+        let out = gen(
+            "int x; int y; int *p; int c;\n\
+             void main() { p = c ? &x : &y; p = p + 1; }",
+        );
+        let sol = solve(&out);
+        assert!(points_to(&out, &sol, "p", "x"));
+        assert!(points_to(&out, &sol, "p", "y"));
+    }
+
+    #[test]
+    fn global_initializers() {
+        let out = gen("int x; int *p = &x; int *a[2] = { &x, p };");
+        let sol = solve(&out);
+        assert!(points_to(&out, &sol, "p", "x"));
+        assert!(points_to(&out, &sol, "a", "x"));
+    }
+
+    #[test]
+    fn string_copy_stub_copies_contents() {
+        let out = gen(
+            "int x; char *src; char *dst; char *r; char buf[8];\n\
+             void main() { src = &x; r = strcpy(&buf[0], src); }",
+        );
+        let sol = solve(&out);
+        // r aliases the destination buffer.
+        assert!(points_to(&out, &sol, "r", "buf"));
+    }
+
+    #[test]
+    fn unknown_externals_warn() {
+        let out = gen("void main() { frobnicate(0); }");
+        assert!(out
+            .warnings
+            .iter()
+            .any(|w| w.contains("frobnicate")));
+    }
+
+    #[test]
+    fn generated_constraints_have_offsets_for_indirect_calls() {
+        let out = gen(
+            "int *id(int *a) { return a; }\n\
+             int *(*fp)(int *); int x;\n\
+             void main() { fp = id; fp(&x); }",
+        );
+        let stats = out.program.stats();
+        assert!(stats.complex2 >= 1);
+        assert!(out
+            .program
+            .constraints()
+            .iter()
+            .any(|c| c.kind == ConstraintKind::Store && c.offset == 2));
+        assert!(out
+            .program
+            .constraints()
+            .iter()
+            .any(|c| c.kind == ConstraintKind::Load && c.offset == 1));
+    }
+}

@@ -1,0 +1,278 @@
+//! Tokenizer for the mini-C front end.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (value irrelevant to the analysis).
+    Int(i64),
+    /// String literal (contents irrelevant).
+    Str,
+    /// Character literal.
+    Char,
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Is this exactly the punctuation `p`?
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Token::Punct(q) if *q == p)
+    }
+
+    /// Is this exactly the identifier/keyword `kw`?
+    pub fn is_ident(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s == kw)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "`{s}`"),
+            Token::Int(v) => write!(f, "integer {v}"),
+            Token::Str => write!(f, "string literal"),
+            Token::Char => write!(f, "character literal"),
+            Token::Punct(p) => write!(f, "`{p}`"),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Error produced when the source contains an unrecognized character.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending character.
+    pub ch: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: unexpected character {:?}", self.line, self.ch)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character operators, longest first.
+const PUNCTS: [&str; 38] = [
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",", ".", "?",
+    ":", "~", "=", "<", ">", "!",
+];
+const SINGLE: &str = "*&+-/%|^";
+
+/// Tokenizes `src`, returning tokens with their 1-based line numbers.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on characters that cannot start any token.
+pub fn lex(src: &str) -> Result<Vec<(Token, usize)>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            match bytes[i + 1] as char {
+                '/' => {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                '*' => {
+                    i += 2;
+                    while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i = (i + 2).min(bytes.len());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Preprocessor lines are ignored (the front end expects
+        // already-preprocessed or preprocessor-free sources).
+        if c == '#' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push((Token::Ident(src[start..i].to_owned()), line));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'.' || bytes[i] == b'x')
+            {
+                i += 1;
+            }
+            let text = &src[start..i];
+            let suffix: &[char] = &['u', 'U', 'l', 'L'];
+            let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                i64::from_str_radix(hex.trim_end_matches(suffix), 16).unwrap_or(0)
+            } else {
+                // The numeric value is irrelevant to the analysis; floats
+                // and exotic forms simply lex to 0.
+                text.trim_end_matches(|c: char| c.is_ascii_alphabetic())
+                    .parse()
+                    .unwrap_or(0)
+            };
+            out.push((Token::Int(value), line));
+            continue;
+        }
+        if c == '"' {
+            i += 1;
+            while i < bytes.len() && bytes[i] != b'"' {
+                if bytes[i] == b'\\' {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+            out.push((Token::Str, line));
+            continue;
+        }
+        if c == '\'' {
+            i += 1;
+            while i < bytes.len() && bytes[i] != b'\'' {
+                if bytes[i] == b'\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+            out.push((Token::Char, line));
+            continue;
+        }
+        // Operators, longest match first.
+        let rest = &src[i..];
+        if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) {
+            out.push((Token::Punct(p), line));
+            i += p.len();
+            continue;
+        }
+        if SINGLE.contains(c) {
+            let p = match c {
+                '*' => "*",
+                '&' => "&",
+                '+' => "+",
+                '-' => "-",
+                '/' => "/",
+                '%' => "%",
+                '|' => "|",
+                '^' => "^",
+                _ => unreachable!(),
+            };
+            out.push((Token::Punct(p), line));
+            i += 1;
+            continue;
+        }
+        return Err(LexError { line, ch: c });
+    }
+    out.push((Token::Eof, line));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let t = toks("p = &x;");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("p".into()),
+                Token::Punct("="),
+                Token::Punct("&"),
+                Token::Ident("x".into()),
+                Token::Punct(";"),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let t = toks("a->b != c && d <<= 2");
+        assert!(t.contains(&Token::Punct("->")));
+        assert!(t.contains(&Token::Punct("!=")));
+        assert!(t.contains(&Token::Punct("&&")));
+        assert!(t.contains(&Token::Punct("<<=")));
+    }
+
+    #[test]
+    fn comments_and_preprocessor_skipped() {
+        let t = toks("#include <stdio.h>\n// nope\n/* multi\nline */ x");
+        assert_eq!(t, vec![Token::Ident("x".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn literals() {
+        let t = toks("42 0x1f 'a' \"str\\\"ing\" 10L");
+        assert_eq!(
+            t,
+            vec![
+                Token::Int(42),
+                Token::Int(0x1f),
+                Token::Char,
+                Token::Str,
+                Token::Int(10),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let lexed = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<usize> = lexed.iter().map(|&(_, l)| l).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = lex("a @ b").unwrap_err();
+        assert_eq!(err.ch, '@');
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("unexpected character"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Constraint generation for the ant-grasshopper pointer analysis: a mini-C
+//! front end (the stand-in for the paper's CIL-based generator) and a
+//! deterministic synthetic workload generator (the stand-in for the paper's
+//! six open-source benchmark programs).
+//!
+//! # Example
+//!
+//! ```
+//! use ant_frontend::compile_c;
+//!
+//! let out = compile_c(
+//!     "int x;\n\
+//!      int *id(int *a) { return a; }\n\
+//!      int *p;\n\
+//!      void main() { p = id(&x); }",
+//! )?;
+//! assert!(out.program.stats().total() > 0);
+//! # Ok::<(), ant_frontend::FrontendError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod constgen;
+mod lexer;
+mod parser;
+mod stubs;
+pub mod suite;
+pub mod workload;
+
+pub use constgen::{generate, GenOutput};
+pub use lexer::{lex, LexError, Token};
+pub use parser::{parse_c, ParseCError};
+
+/// Error from [`compile_c`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrontendError(ParseCError);
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+/// Parses mini-C source and generates its inclusion constraints.
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] on lexical or syntactic errors (including
+/// varargs, which the analysis does not handle — exactly as in the paper).
+pub fn compile_c(src: &str) -> Result<GenOutput, FrontendError> {
+    let tu = parse_c(src).map_err(FrontendError)?;
+    Ok(generate(&tu))
+}

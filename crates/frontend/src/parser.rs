@@ -1,0 +1,901 @@
+//! Recursive-descent parser for the mini-C subset.
+//!
+//! Faithful to what a field-insensitive constraint generator needs: names,
+//! address-of/dereference structure, assignments, calls (direct and through
+//! function pointers), declarations (including arrays and function
+//! pointers), struct/union definitions (fields are collapsed), typedefs,
+//! casts (transparent), and all control flow (visited flow-insensitively).
+//! Varargs are rejected, exactly as in the paper ("handle all aspects of
+//! the C language except for varargs").
+
+use crate::ast::{Declarator, Expr, Function, Stmt, TranslationUnit};
+use crate::lexer::{lex, Token};
+use ant_common::fx::FxHashSet;
+use std::fmt;
+
+/// Parse error with a source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseCError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseCError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseCError {}
+
+const TYPE_KEYWORDS: [&str; 16] = [
+    "void", "int", "char", "long", "short", "unsigned", "signed", "float", "double", "const",
+    "volatile", "static", "extern", "register", "inline", "_Bool",
+];
+
+struct Parser {
+    toks: Vec<(Token, usize)>,
+    pos: usize,
+    typedefs: FxHashSet<String>,
+}
+
+type PResult<T> = Result<T, ParseCError>;
+
+/// Parses a mini-C translation unit.
+///
+/// # Errors
+///
+/// Returns [`ParseCError`] on lexical errors, malformed syntax, or varargs.
+pub fn parse_c(src: &str) -> PResult<TranslationUnit> {
+    let toks = lex(src).map_err(|e| ParseCError {
+        line: e.line,
+        message: e.to_string(),
+    })?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        typedefs: FxHashSet::default(),
+    };
+    p.translation_unit()
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos].0
+    }
+
+    fn peek_at(&self, off: usize) -> &Token {
+        let i = (self.pos + off).min(self.toks.len() - 1);
+        &self.toks[i].0
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(ParseCError {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.peek().is_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> PResult<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {}", self.peek()))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_ident(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    /// Does the current token begin a type?
+    fn at_type_start(&self) -> bool {
+        match self.peek() {
+            Token::Ident(s) => {
+                TYPE_KEYWORDS.contains(&s.as_str())
+                    || s == "struct"
+                    || s == "union"
+                    || s == "enum"
+                    || s == "typedef"
+                    || self.typedefs.contains(s)
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes a type specifier (keywords, `struct X`, possibly an inline
+    /// `struct {...}` body whose fields are irrelevant field-insensitively).
+    fn type_specifier(&mut self) -> PResult<()> {
+        let mut any = false;
+        loop {
+            match self.peek().clone() {
+                Token::Ident(s)
+                    if s == "struct" || s == "union" || s == "enum" =>
+                {
+                    self.bump();
+                    if matches!(self.peek(), Token::Ident(_)) && !self.peek().is_punct("{") {
+                        self.bump(); // tag
+                    }
+                    if self.peek().is_punct("{") {
+                        self.skip_balanced("{", "}")?;
+                    }
+                    any = true;
+                }
+                Token::Ident(s) if TYPE_KEYWORDS.contains(&s.as_str()) => {
+                    self.bump();
+                    any = true;
+                }
+                Token::Ident(s) if !any && self.typedefs.contains(&s) => {
+                    self.bump();
+                    any = true;
+                }
+                _ => break,
+            }
+        }
+        if any {
+            Ok(())
+        } else {
+            self.err(format!("expected type, found {}", self.peek()))
+        }
+    }
+
+    fn skip_balanced(&mut self, open: &str, close: &str) -> PResult<()> {
+        self.expect_punct(open)?;
+        let mut depth = 1;
+        loop {
+            match self.peek() {
+                Token::Eof => return self.err(format!("unterminated `{open}`")),
+                t if t.is_punct(open) => depth += 1,
+                t if t.is_punct(close) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        return Ok(());
+                    }
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    fn translation_unit(&mut self) -> PResult<TranslationUnit> {
+        let mut tu = TranslationUnit::default();
+        while !matches!(self.peek(), Token::Eof) {
+            if self.eat_punct(";") {
+                continue;
+            }
+            if self.peek().is_ident("typedef") {
+                self.typedef_decl()?;
+                continue;
+            }
+            self.type_specifier()?;
+            if self.eat_punct(";") {
+                continue; // bare struct/enum definition
+            }
+            self.external_declarators(&mut tu)?;
+        }
+        Ok(tu)
+    }
+
+    fn typedef_decl(&mut self) -> PResult<()> {
+        self.bump(); // typedef
+        // Heuristic: the typedef'd name is the last plain identifier before
+        // the `;` (skipping over array bounds and parameter lists).
+        let mut name = None;
+        while !self.peek().is_punct(";") {
+            match self.bump() {
+                Token::Ident(s)
+                    if !TYPE_KEYWORDS.contains(&s.as_str())
+                        && s != "struct"
+                        && s != "union"
+                        && s != "enum" =>
+                {
+                    name = Some(s);
+                }
+                Token::Punct("{") => {
+                    // Rewind one token and skip the body.
+                    self.pos -= 1;
+                    self.skip_balanced("{", "}")?;
+                }
+                Token::Punct("(") => {
+                    // A function-pointer typedef: the name is inside these
+                    // parens; scan them without descending into the
+                    // parameter list that follows.
+                    let mut depth = 1;
+                    while depth > 0 {
+                        match self.bump() {
+                            Token::Punct("(") => depth += 1,
+                            Token::Punct(")") => depth -= 1,
+                            Token::Ident(s)
+                                if !TYPE_KEYWORDS.contains(&s.as_str()) && depth == 1 =>
+                            {
+                                name = Some(s);
+                            }
+                            Token::Eof => return self.err("unterminated typedef"),
+                            _ => {}
+                        }
+                    }
+                    if self.peek().is_punct("(") {
+                        self.skip_balanced("(", ")")?;
+                    }
+                    break;
+                }
+                Token::Eof => return self.err("unterminated typedef"),
+                _ => {}
+            }
+        }
+        while !self.eat_punct(";") {
+            if matches!(self.peek(), Token::Eof) {
+                return self.err("unterminated typedef");
+            }
+            self.bump();
+        }
+        match name {
+            Some(n) => {
+                self.typedefs.insert(n);
+                Ok(())
+            }
+            None => self.err("typedef without a name"),
+        }
+    }
+
+    /// After a type specifier at file scope: either a function definition or
+    /// a list of global declarators.
+    fn external_declarators(&mut self, tu: &mut TranslationUnit) -> PResult<()> {
+        let first = self.declarator()?;
+        // Function definition or prototype?
+        if let DeclaratorKind::Function(params) = first.kind {
+            if self.peek().is_punct("{") {
+                let body = self.block()?;
+                tu.functions.push(Function {
+                    name: first.name,
+                    params,
+                    body,
+                });
+                return Ok(());
+            }
+            // Prototype: ignore.
+            self.expect_punct(";")?;
+            return Ok(());
+        }
+        let mut decls = vec![self.finish_var(first)?];
+        while self.eat_punct(",") {
+            let d = self.declarator()?;
+            decls.push(self.finish_var(d)?);
+        }
+        self.expect_punct(";")?;
+        tu.globals.extend(decls);
+        Ok(())
+    }
+
+    fn finish_var(&mut self, d: ParsedDeclarator) -> PResult<Declarator> {
+        let inits = if self.eat_punct("=") {
+            if self.peek().is_punct("{") {
+                self.brace_init()?
+            } else {
+                vec![self.assign_expr()?]
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Declarator {
+            name: d.name,
+            is_array: d.is_array,
+            inits,
+        })
+    }
+
+    fn brace_init(&mut self) -> PResult<Vec<Expr>> {
+        self.expect_punct("{")?;
+        let mut out = Vec::new();
+        while !self.peek().is_punct("}") {
+            if self.peek().is_punct("{") {
+                out.extend(self.brace_init()?);
+            } else if self.eat_punct(".") {
+                // Designated initializer: `.field = expr`.
+                let _ = self.ident()?;
+                self.expect_punct("=")?;
+                out.push(self.assign_expr()?);
+            } else {
+                out.push(self.assign_expr()?);
+            }
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct("}")?;
+        Ok(out)
+    }
+
+    /// Parses one declarator: stars, the name (possibly inside a
+    /// function-pointer grouping), array suffixes, parameter lists.
+    fn declarator(&mut self) -> PResult<ParsedDeclarator> {
+        while self.eat_punct("*") || self.eat_kw("const") || self.eat_kw("volatile") {}
+        if self.eat_punct("(") {
+            // Function pointer (or array-of-function-pointers) grouping.
+            while self.eat_punct("*") || self.eat_kw("const") {}
+            let name = self.ident()?;
+            let mut is_array = false;
+            while self.peek().is_punct("[") {
+                self.skip_balanced("[", "]")?;
+                is_array = true;
+            }
+            self.expect_punct(")")?;
+            if self.peek().is_punct("(") {
+                self.skip_balanced("(", ")")?; // parameter types, irrelevant
+            }
+            return Ok(ParsedDeclarator {
+                name,
+                is_array,
+                kind: DeclaratorKind::Var,
+            });
+        }
+        let name = self.ident()?;
+        if self.peek().is_punct("(") {
+            let params = self.param_names()?;
+            return Ok(ParsedDeclarator {
+                name,
+                is_array: false,
+                kind: DeclaratorKind::Function(params),
+            });
+        }
+        let mut is_array = false;
+        while self.peek().is_punct("[") {
+            self.skip_balanced("[", "]")?;
+            is_array = true;
+        }
+        Ok(ParsedDeclarator {
+            name,
+            is_array,
+            kind: DeclaratorKind::Var,
+        })
+    }
+
+    fn param_names(&mut self) -> PResult<Vec<String>> {
+        self.expect_punct("(")?;
+        let mut names = Vec::new();
+        if self.eat_punct(")") {
+            return Ok(names);
+        }
+        if self.peek().is_ident("void") && self.peek_at(1).is_punct(")") {
+            self.bump();
+            self.bump();
+            return Ok(names);
+        }
+        loop {
+            if self.peek().is_punct("...") {
+                return self.err("varargs are not supported (as in the paper)");
+            }
+            self.type_specifier()?;
+            if self.peek().is_punct(",") || self.peek().is_punct(")") {
+                // Unnamed parameter (prototype style).
+                names.push(format!("$anon{}", names.len()));
+            } else {
+                let d = self.declarator()?;
+                names.push(d.name);
+            }
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(")")?;
+        Ok(names)
+    }
+
+    fn block(&mut self) -> PResult<Vec<Stmt>> {
+        self.expect_punct("{")?;
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek(), Token::Eof) {
+                return self.err("unterminated block");
+            }
+            out.push(self.statement()?);
+        }
+        Ok(out)
+    }
+
+    fn statement(&mut self) -> PResult<Stmt> {
+        // Labels: `name:` — but not the ternary `? :`.
+        if matches!(self.peek(), Token::Ident(s) if !self.at_type_start() && s != "case" && s != "default")
+            && self.peek_at(1).is_punct(":")
+        {
+            self.bump();
+            self.bump();
+            return self.statement();
+        }
+        if self.peek().is_punct("{") {
+            return Ok(Stmt::Block(self.block()?));
+        }
+        if self.eat_punct(";") {
+            return Ok(Stmt::Empty);
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let c = self.expr()?;
+            self.expect_punct(")")?;
+            let t = Box::new(self.statement()?);
+            let e = if self.eat_kw("else") {
+                Some(Box::new(self.statement()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If(c, t, e));
+        }
+        if self.eat_kw("while") || self.eat_kw("switch") {
+            self.expect_punct("(")?;
+            let c = self.expr()?;
+            self.expect_punct(")")?;
+            let body = Box::new(self.statement()?);
+            return Ok(Stmt::Loop(c, body));
+        }
+        if self.eat_kw("do") {
+            let body = Box::new(self.statement()?);
+            if !self.eat_kw("while") {
+                return self.err("expected `while` after `do` body");
+            }
+            self.expect_punct("(")?;
+            let c = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Loop(c, body));
+        }
+        if self.eat_kw("for") {
+            self.expect_punct("(")?;
+            let init = if self.peek().is_punct(";") {
+                None
+            } else if self.at_type_start() {
+                // C99 for-scope declaration: desugar into a block.
+                let d = self.declaration()?;
+                self.pos -= 1; // declaration consumed the `;`; re-align
+                self.bump();
+                let cond = if self.peek().is_punct(";") {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(";")?;
+                let step = if self.peek().is_punct(")") {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(")")?;
+                let body = Box::new(self.statement()?);
+                return Ok(Stmt::Block(vec![d, Stmt::For(None, cond, step, body)]));
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            let cond = if self.peek().is_punct(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            let step = if self.peek().is_punct(")") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(")")?;
+            let body = Box::new(self.statement()?);
+            return Ok(Stmt::For(init, cond, step, body));
+        }
+        if self.eat_kw("return") {
+            let e = if self.peek().is_punct(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(e));
+        }
+        if self.eat_kw("break") || self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Empty);
+        }
+        if self.eat_kw("goto") {
+            let _ = self.ident()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Empty);
+        }
+        if self.eat_kw("case") {
+            // Skip the constant expression up to `:`.
+            while !self.peek().is_punct(":") {
+                if matches!(self.peek(), Token::Eof) {
+                    return self.err("unterminated case label");
+                }
+                self.bump();
+            }
+            self.bump();
+            return self.statement();
+        }
+        if self.eat_kw("default") {
+            self.expect_punct(":")?;
+            return self.statement();
+        }
+        if self.at_type_start() {
+            return self.declaration();
+        }
+        let e = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    /// A local declaration statement (consumes the trailing `;`).
+    fn declaration(&mut self) -> PResult<Stmt> {
+        if self.peek().is_ident("typedef") {
+            self.typedef_decl()?;
+            return Ok(Stmt::Empty);
+        }
+        self.type_specifier()?;
+        if self.eat_punct(";") {
+            return Ok(Stmt::Empty); // bare struct definition in a block
+        }
+        let mut decls = Vec::new();
+        loop {
+            let d = self.declarator()?;
+            if let DeclaratorKind::Function(_) = d.kind {
+                // Local prototype: ignore.
+                break;
+            }
+            decls.push(self.finish_var(d)?);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(";")?;
+        Ok(Stmt::Decl(decls))
+    }
+
+    // ----- expressions -----
+
+    fn expr(&mut self) -> PResult<Expr> {
+        let mut e = self.assign_expr()?;
+        while self.eat_punct(",") {
+            let r = self.assign_expr()?;
+            e = Expr::Comma(e.boxed(), r.boxed());
+        }
+        Ok(e)
+    }
+
+    fn assign_expr(&mut self) -> PResult<Expr> {
+        let lhs = self.ternary_expr()?;
+        const ASSIGN_OPS: [&str; 11] = [
+            "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+        ];
+        for op in ASSIGN_OPS {
+            if self.peek().is_punct(op) {
+                self.bump();
+                let rhs = self.assign_expr()?;
+                let rhs = if op == "=" {
+                    rhs
+                } else {
+                    // l op= r  ⟹  l = l ⊕ r.
+                    Expr::Binary(lhs.clone().boxed(), rhs.boxed())
+                };
+                return Ok(Expr::Assign(lhs.boxed(), rhs.boxed()));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn ternary_expr(&mut self) -> PResult<Expr> {
+        let c = self.binary_expr(0)?;
+        if self.eat_punct("?") {
+            let t = self.expr()?;
+            self.expect_punct(":")?;
+            let e = self.ternary_expr()?;
+            return Ok(Expr::Ternary(c.boxed(), t.boxed(), e.boxed()));
+        }
+        Ok(c)
+    }
+
+    fn binary_expr(&mut self, level: usize) -> PResult<Expr> {
+        const LEVELS: [&[&str]; 10] = [
+            &["||"],
+            &["&&"],
+            &["|"],
+            &["^"],
+            &["&"],
+            &["==", "!="],
+            &["<", ">", "<=", ">="],
+            &["<<", ">>"],
+            &["+", "-"],
+            &["*", "/", "%"],
+        ];
+        if level == LEVELS.len() {
+            return self.unary_expr();
+        }
+        let mut lhs = self.binary_expr(level + 1)?;
+        loop {
+            let matched = LEVELS[level].iter().find(|op| self.peek().is_punct(op));
+            match matched {
+                Some(_) => {
+                    self.bump();
+                    let rhs = self.binary_expr(level + 1)?;
+                    lhs = Expr::Binary(lhs.boxed(), rhs.boxed());
+                }
+                None => return Ok(lhs),
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> PResult<Expr> {
+        if self.eat_punct("*") {
+            return Ok(Expr::Deref(self.unary_expr()?.boxed()));
+        }
+        if self.eat_punct("&") {
+            return Ok(Expr::AddrOf(self.unary_expr()?.boxed()));
+        }
+        if self.eat_punct("!") || self.eat_punct("~") || self.eat_punct("-") || self.eat_punct("+")
+        {
+            return Ok(Expr::Unary(self.unary_expr()?.boxed()));
+        }
+        if self.eat_punct("++") || self.eat_punct("--") {
+            // Pre-increment: value is the operand.
+            return self.unary_expr();
+        }
+        if self.eat_kw("sizeof") {
+            if self.peek().is_punct("(") {
+                self.skip_balanced("(", ")")?;
+            } else {
+                let _ = self.unary_expr()?;
+            }
+            return Ok(Expr::Opaque);
+        }
+        // Cast: `(` type `)` unary.
+        if self.peek().is_punct("(") {
+            let is_cast = match self.peek_at(1) {
+                Token::Ident(s) => {
+                    TYPE_KEYWORDS.contains(&s.as_str())
+                        || s == "struct"
+                        || s == "union"
+                        || s == "enum"
+                        || self.typedefs.contains(s)
+                }
+                _ => false,
+            };
+            if is_cast {
+                self.skip_balanced("(", ")")?;
+                // Casts are transparent to a field-insensitive analysis.
+                // A compound literal `(type){...}` is opaque.
+                if self.peek().is_punct("{") {
+                    self.skip_balanced("{", "}")?;
+                    return Ok(Expr::Opaque);
+                }
+                return self.unary_expr();
+            }
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            if self.eat_punct("(") {
+                let mut args = Vec::new();
+                if !self.peek().is_punct(")") {
+                    loop {
+                        args.push(self.assign_expr()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect_punct(")")?;
+                e = Expr::Call(e.boxed(), args);
+            } else if self.eat_punct("[") {
+                let i = self.expr()?;
+                self.expect_punct("]")?;
+                e = Expr::Index(e.boxed(), i.boxed());
+            } else if self.eat_punct(".") {
+                let f = self.ident()?;
+                e = Expr::Field(e.boxed(), f, false);
+            } else if self.eat_punct("->") {
+                let f = self.ident()?;
+                e = Expr::Field(e.boxed(), f, true);
+            } else if self.eat_punct("++") || self.eat_punct("--") {
+                // Post-increment: value is the operand (conservatively).
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary_expr(&mut self) -> PResult<Expr> {
+        match self.bump() {
+            Token::Ident(s) => Ok(Expr::Id(s)),
+            Token::Int(_) | Token::Str | Token::Char => Ok(Expr::Opaque),
+            Token::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected expression, found {other}"))
+            }
+        }
+    }
+}
+
+struct ParsedDeclarator {
+    name: String,
+    is_array: bool,
+    kind: DeclaratorKind,
+}
+
+enum DeclaratorKind {
+    Var,
+    Function(Vec<String>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals_and_functions() {
+        let tu = parse_c(
+            "int x;\n\
+             int *p = &x, **q;\n\
+             int *id(int *a) { return a; }\n",
+        )
+        .unwrap();
+        assert_eq!(tu.globals.len(), 3);
+        assert_eq!(tu.globals[1].name, "p");
+        assert_eq!(tu.globals[1].inits.len(), 1);
+        assert_eq!(tu.functions.len(), 1);
+        assert_eq!(tu.functions[0].params, vec!["a"]);
+    }
+
+    #[test]
+    fn struct_fields_are_skipped() {
+        let tu = parse_c(
+            "struct node { struct node *next; int *data; };\n\
+             struct node n, *head;\n",
+        )
+        .unwrap();
+        assert_eq!(tu.globals.len(), 2);
+        assert_eq!(tu.globals[0].name, "n");
+    }
+
+    #[test]
+    fn typedefs_enable_declarations() {
+        let tu = parse_c(
+            "typedef struct node node_t;\n\
+             typedef int (*fnptr)(int *);\n\
+             node_t *head;\n\
+             fnptr callback;\n",
+        )
+        .unwrap();
+        assert_eq!(tu.globals.len(), 2);
+        assert_eq!(tu.globals[1].name, "callback");
+    }
+
+    #[test]
+    fn function_pointers_and_arrays() {
+        let tu = parse_c(
+            "int (*fp)(int *);\n\
+             int *table[16];\n\
+             int (*handlers[4])(void);\n",
+        )
+        .unwrap();
+        assert_eq!(tu.globals[0].name, "fp");
+        assert!(!tu.globals[0].is_array);
+        assert!(tu.globals[1].is_array);
+        assert_eq!(tu.globals[2].name, "handlers");
+        assert!(tu.globals[2].is_array);
+    }
+
+    #[test]
+    fn statements_and_expressions() {
+        let tu = parse_c(
+            "int *g;\n\
+             void f(int *p) {\n\
+               int *q = p;\n\
+               if (p) { g = q; } else g = p;\n\
+               while (q) q = *(int**)q;\n\
+               for (int i = 0; i < 10; ++i) { g = p; }\n\
+               do { g = q; } while (0);\n\
+               switch (1) { case 1: g = p; break; default: break; }\n\
+               lbl: g = p ? p : q;\n\
+               goto lbl;\n\
+               return;\n\
+             }\n",
+        )
+        .unwrap();
+        assert_eq!(tu.functions.len(), 1);
+        assert!(tu.functions[0].body.len() >= 8);
+    }
+
+    #[test]
+    fn casts_are_transparent() {
+        let tu = parse_c("void f(void *v) { int *p; p = (int *) v; }").unwrap();
+        let body = &tu.functions[0].body;
+        match &body[1] {
+            Stmt::Expr(Expr::Assign(_, rhs)) => {
+                assert_eq!(**rhs, Expr::Id("v".into()), "cast must be transparent");
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn brace_initializers_collect_elements() {
+        let tu = parse_c("int x; int y; int *a[2] = { &x, &y };").unwrap();
+        assert_eq!(tu.globals[2].inits.len(), 2);
+    }
+
+    #[test]
+    fn varargs_rejected() {
+        let err = parse_c("int printf(char *fmt, ...);").unwrap_err();
+        assert!(err.to_string().contains("varargs"));
+    }
+
+    #[test]
+    fn compound_assign_desugars() {
+        let tu = parse_c("void f(int *p, int n) { p += n; }").unwrap();
+        match &tu.functions[0].body[0] {
+            Stmt::Expr(Expr::Assign(l, r)) => {
+                assert_eq!(**l, Expr::Id("p".into()));
+                assert!(matches!(**r, Expr::Binary(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn calls_parse() {
+        let tu = parse_c(
+            "int *f(int *a, int *b) { return a; }\n\
+             int (*fp)(int*);\n\
+             void g(int *x) { f(x, x); fp(x); (*fp)(x); }\n",
+        )
+        .unwrap();
+        assert_eq!(tu.functions.len(), 2);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_c("int x;\nint = 3;\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

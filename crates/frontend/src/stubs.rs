@@ -1,0 +1,85 @@
+//! Hand-crafted summaries for external library calls.
+//!
+//! The paper (§5.1): "External library calls are summarized using
+//! hand-crafted function stubs." Each stub states how pointer values flow
+//! through the callee without analyzing its body.
+
+use crate::constgen::Gen;
+use ant_common::VarId;
+
+/// Applies the stub for external function `name` to already-evaluated
+/// argument values; returns the call's pointer value, if any.
+pub(crate) fn apply(g: &mut Gen, name: &str, args: &[Option<VarId>]) -> Option<VarId> {
+    match name {
+        // Allocators: return a fresh heap object per call site.
+        "malloc" | "calloc" | "valloc" | "alloca" | "strdup" | "strndup" => {
+            let obj = g.heap_object();
+            let t = g.b.temp();
+            g.b.addr_of(t, obj);
+            Some(t)
+        }
+        // realloc: fresh object, but may also return its first argument.
+        "realloc" => {
+            let obj = g.heap_object();
+            let t = g.b.temp();
+            g.b.addr_of(t, obj);
+            if let Some(Some(a0)) = args.first() {
+                g.b.copy(t, *a0);
+            }
+            Some(t)
+        }
+        // Copiers: *dst gets what *src holds; return dst.
+        "memcpy" | "memmove" | "strcpy" | "strncpy" | "strcat" | "strncat" | "bcopy" => {
+            if let (Some(Some(dst)), Some(Some(src))) = (args.first(), args.get(1)) {
+                let t = g.b.temp();
+                g.b.load(t, *src);
+                g.b.store(*dst, t);
+            }
+            args.first().copied().flatten()
+        }
+        // memset returns its argument; contents become non-pointers.
+        "memset" | "bzero" => args.first().copied().flatten(),
+        // Searchers return (an alias of) the searched buffer.
+        "strchr" | "strrchr" | "strstr" | "memchr" | "strpbrk" | "index" | "rindex" => {
+            args.first().copied().flatten()
+        }
+        // getenv and friends: a fresh static buffer per call site.
+        "getenv" | "ttyname" | "ctime" | "asctime" | "gets" => {
+            let obj = g.heap_object();
+            let t = g.b.temp();
+            g.b.addr_of(t, obj);
+            Some(t)
+        }
+        // Callback-driven: qsort/bsearch invoke the comparator on pointers
+        // into the array — model as an indirect call whose arguments alias
+        // the base buffer's contents' addresses (conservatively, the base
+        // pointer itself, which is where the elements live after the
+        // array-collapsing abstraction).
+        "qsort" | "bsearch" => {
+            let (base, cmp) = match name {
+                "qsort" => (args.first(), args.get(3)),
+                _ => (args.get(1), args.get(4)),
+            };
+            if let (Some(Some(base)), Some(Some(cmp))) = (base, cmp) {
+                g.b.store_offset(*cmp, *base, 2);
+                g.b.store_offset(*cmp, *base, 3);
+            }
+            // bsearch returns a pointer into the array.
+            if name == "bsearch" {
+                args.get(1).copied().flatten()
+            } else {
+                None
+            }
+        }
+        // Pure / value-returning / output-only externals.
+        "free" | "printf" | "fprintf" | "sprintf" | "snprintf" | "puts" | "putchar" | "exit"
+        | "abort" | "atoi" | "atol" | "strlen" | "strcmp" | "strncmp" | "memcmp" | "abs"
+        | "rand" | "srand" | "open" | "close" | "read" | "write" | "assert" => None,
+        other => {
+            g.warnings.push(format!(
+                "unknown external `{other}` summarized as pointer-pure"
+            ));
+            None
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The benchmark suite: six synthetic workloads shaped like the paper's
+//! Table 2 benchmarks, scaled by a common factor.
+//!
+//! | name        |   LOC | original constraints | base | simple | complex |
+//! |-------------|-------|----------------------|------|--------|---------|
+//! | emacs       |  169K |               83,213 | 4,088| 11,095 |  6,277  |
+//! | ghostscript |  242K |              169,312 |12,154| 25,880 | 29,276  |
+//! | gimp        |  554K |              411,783 |17,083| 43,878 | 35,522  |
+//! | insight     |  603K |              243,404 |13,198| 35,382 | 36,795  |
+//! | wine        |1,338K |              713,065 |39,166| 62,499 | 69,572  |
+//! | linux       |2,172K |              574,788 |25,678| 77,936 |100,119  |
+//!
+//! The base/simple/complex columns are the paper's *reduced* breakdown; we
+//! generate original constraints in those proportions (scaled up by the
+//! original/reduced ratio) and let our own OVS pass reduce them, mirroring
+//! the paper's pipeline. Per-benchmark character knobs: Wine gets the
+//! highest richness (fat points-to sets — its final graph is an order of
+//! magnitude larger than Linux's despite fewer constraints), Linux gets the
+//! most functions and complex constraints.
+
+use crate::workload::WorkloadSpec;
+use ant_constraints::Program;
+
+/// Default scale factor relative to the paper's constraint counts. At 0.03
+/// the largest benchmark is ≈ 17K original constraints — sized so the full
+/// 9-algorithm × 6-benchmark sweep (including the BDD-heavy BLQ runs)
+/// finishes in a few minutes on a laptop. Raise `ANT_SCALE` to stress the
+/// solvers.
+pub const DEFAULT_SCALE: f64 = 0.03;
+
+/// Scale factor from the `ANT_SCALE` environment variable, defaulting to
+/// [`DEFAULT_SCALE`]. Raise it to stress the solvers.
+pub fn scale_from_env() -> f64 {
+    std::env::var("ANT_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SCALE)
+}
+
+/// One benchmark of the suite.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// The workload parameters.
+    pub spec: WorkloadSpec,
+}
+
+impl Benchmark {
+    /// Generates the constraint program.
+    pub fn program(&self) -> Program {
+        self.spec.generate()
+    }
+
+    /// Benchmark name.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+}
+
+struct Row {
+    name: &'static str,
+    loc: usize,
+    original: usize,
+    base: usize,
+    simple: usize,
+    complex: usize,
+    richness: f64,
+    functions_per_kc: f64, // functions per 1000 original constraints
+    indirect: f64,
+    ref_cycles: f64,
+    cycles: f64,
+    seed: u64,
+}
+
+const ROWS: [Row; 6] = [
+    Row {
+        name: "emacs",
+        loc: 169_000,
+        original: 83_213,
+        base: 4_088,
+        simple: 11_095,
+        complex: 6_277,
+        richness: 1.6,
+        functions_per_kc: 10.0,
+        indirect: 0.10,
+        ref_cycles: 0.22,
+        cycles: 0.06,
+        seed: 0xE14AC5,
+    },
+    Row {
+        name: "ghostscript",
+        loc: 242_000,
+        original: 169_312,
+        base: 12_154,
+        simple: 25_880,
+        complex: 29_276,
+        richness: 2.2,
+        functions_per_kc: 9.0,
+        indirect: 0.14,
+        ref_cycles: 0.28,
+        cycles: 0.08,
+        seed: 0x6057,
+    },
+    Row {
+        name: "gimp",
+        loc: 554_000,
+        original: 411_783,
+        base: 17_083,
+        simple: 43_878,
+        complex: 35_522,
+        richness: 2.4,
+        functions_per_kc: 8.0,
+        indirect: 0.12,
+        ref_cycles: 0.25,
+        cycles: 0.09,
+        seed: 0x617B,
+    },
+    Row {
+        name: "insight",
+        loc: 603_000,
+        original: 243_404,
+        base: 13_198,
+        simple: 35_382,
+        complex: 36_795,
+        richness: 2.4,
+        functions_per_kc: 8.5,
+        indirect: 0.15,
+        ref_cycles: 0.3,
+        cycles: 0.09,
+        seed: 0x1256,
+    },
+    Row {
+        name: "wine",
+        loc: 1_338_000,
+        original: 713_065,
+        base: 39_166,
+        simple: 62_499,
+        complex: 69_572,
+        // Wine's signature: fat points-to sets (its final constraint graph
+        // is an order of magnitude larger than Linux's, §5.2).
+        richness: 4.5,
+        functions_per_kc: 7.0,
+        indirect: 0.18,
+        ref_cycles: 0.3,
+        cycles: 0.12,
+        seed: 0x817E,
+    },
+    Row {
+        name: "linux",
+        loc: 2_172_000,
+        original: 574_788,
+        base: 25_678,
+        simple: 77_936,
+        complex: 100_119,
+        richness: 2.0,
+        functions_per_kc: 11.0,
+        indirect: 0.16,
+        ref_cycles: 0.28,
+        cycles: 0.08,
+        seed: 0x11A0,
+    },
+];
+
+/// Builds the six-benchmark suite at the given scale factor.
+pub fn suite(scale: f64) -> Vec<Benchmark> {
+    assert!(scale > 0.0, "scale must be positive");
+    ROWS.iter()
+        .map(|r| {
+            // The essential constraints follow the paper's *reduced*
+            // breakdown; the generator pads with collapsible CIL-style
+            // temporaries up to the paper's *original* count, so our OVS
+            // pass reproduces the 60–77% reduction.
+            let reduced_total = (r.base + r.simple + r.complex) as f64;
+            let redundancy = r.original as f64 / reduced_total;
+            Benchmark {
+                spec: WorkloadSpec {
+                    name: r.name.to_owned(),
+                    loc: (r.loc as f64 * scale) as usize,
+                    base: ((r.base as f64 * scale) as usize).max(8),
+                    simple: ((r.simple as f64 * scale) as usize).max(8),
+                    complex: ((r.complex as f64 * scale) as usize).max(8),
+                    functions: ((r.original as f64 * scale * r.functions_per_kc / 1000.0)
+                        as usize)
+                        .max(4),
+                    indirect_call_fraction: r.indirect,
+                    ref_cycle_fraction: r.ref_cycles,
+                    cycle_density: r.cycles,
+                    richness: r.richness,
+                    redundancy,
+                    seed: r.seed,
+                },
+            }
+        })
+        .collect()
+}
+
+/// The suite at the environment-selected scale.
+pub fn default_suite() -> Vec<Benchmark> {
+    suite(scale_from_env())
+}
+
+/// Looks up one benchmark by name at the given scale.
+pub fn benchmark(name: &str, scale: f64) -> Option<Benchmark> {
+    suite(scale).into_iter().find(|b| b.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_benchmarks_in_paper_order() {
+        let s = suite(0.01);
+        let names: Vec<&str> = s.iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec!["emacs", "ghostscript", "gimp", "insight", "wine", "linux"]
+        );
+    }
+
+    #[test]
+    fn scaled_sizes_track_the_paper() {
+        let s = suite(0.01);
+        let totals: Vec<usize> = s.iter().map(|b| b.program().stats().total()).collect();
+        // Original constraint counts scaled by 0.01 (±10% for rounding and
+        // generator structure).
+        let expect = [832.0, 1693.0, 4117.0, 2434.0, 7130.0, 5747.0];
+        for (t, e) in totals.iter().zip(expect) {
+            let ratio = *t as f64 / e;
+            assert!(
+                (0.85..=1.15).contains(&ratio),
+                "total {t} vs expected {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn wine_is_richest() {
+        let s = suite(0.01);
+        let wine = &s[4];
+        for (i, b) in s.iter().enumerate() {
+            if i != 4 {
+                assert!(wine.spec.richness > b.spec.richness);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark("wine", 0.01).is_some());
+        assert!(benchmark("nope", 0.01).is_none());
+    }
+
+    #[test]
+    fn benchmarks_are_deterministic() {
+        let a = benchmark("emacs", 0.02).unwrap().program();
+        let b = benchmark("emacs", 0.02).unwrap().program();
+        assert_eq!(a, b);
+    }
+}

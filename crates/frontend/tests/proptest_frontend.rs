@@ -1,0 +1,100 @@
+//! Robustness properties of the mini-C front end: the parser must never
+//! panic (only return errors), and generated constraint programs must be
+//! structurally well-formed.
+
+use ant_constraints::ConstraintKind;
+use ant_frontend::{compile_c, parse_c};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary printable soup: the lexer/parser must reject or accept,
+    /// never panic.
+    #[test]
+    fn parser_never_panics_on_noise(src in "[ -~\n]{0,200}") {
+        let _ = parse_c(&src);
+    }
+
+    /// Token-shaped noise: sequences of C-ish tokens.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        toks in prop::collection::vec(
+            prop_oneof![
+                Just("int".to_owned()), Just("*".to_owned()), Just("x".to_owned()),
+                Just("y".to_owned()), Just("&".to_owned()), Just("=".to_owned()),
+                Just(";".to_owned()), Just("(".to_owned()), Just(")".to_owned()),
+                Just("{".to_owned()), Just("}".to_owned()), Just("if".to_owned()),
+                Just("struct".to_owned()), Just("return".to_owned()),
+                Just(",".to_owned()), Just("[".to_owned()), Just("]".to_owned()),
+                Just("42".to_owned()),
+            ],
+            0..60,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = parse_c(&src);
+    }
+
+    /// Structured random programs always compile, and the constraints they
+    /// generate are in range and respect the one-deref normal form.
+    #[test]
+    fn generated_constraints_are_wellformed(
+        n_globals in 1usize..6,
+        stmts in prop::collection::vec((0u8..6, 0usize..6, 0usize..6), 0..25),
+    ) {
+        let mut src = String::new();
+        for i in 0..n_globals {
+            src.push_str(&format!("int *g{i};\nint v{i};\n"));
+        }
+        src.push_str("void main() {\n");
+        for (kind, a, b) in &stmts {
+            let a = a % n_globals;
+            let b = b % n_globals;
+            match kind {
+                0 => src.push_str(&format!("g{a} = &v{b};\n")),
+                1 => src.push_str(&format!("g{a} = g{b};\n")),
+                2 => src.push_str(&format!("g{a} = *(int**)g{b};\n")),
+                3 => src.push_str(&format!("*(int**)g{a} = g{b};\n")),
+                4 => src.push_str(&format!("if (v{a}) g{a} = g{b};\n")),
+                _ => src.push_str(&format!("g{a} = v{b} ? g{b} : g{a};\n")),
+            }
+        }
+        src.push_str("}\n");
+        let out = compile_c(&src).expect("structured program parses");
+        let p = &out.program;
+        for c in p.constraints() {
+            prop_assert!(c.lhs.index() < p.num_vars());
+            prop_assert!(c.rhs.index() < p.num_vars());
+            if c.kind == ConstraintKind::AddrOf {
+                prop_assert_eq!(c.offset, 0);
+            }
+        }
+        // The generated program solves without issue under every algorithm
+        // (smoke: just one fast one here; full equivalence lives in the
+        // root integration tests).
+        let solved = ant_core::solve::<ant_core::BitmapPts>(
+            p,
+            &ant_core::SolverConfig::new(ant_core::Algorithm::LcdHcd),
+        );
+        prop_assert!(ant_core::verify::check_soundness(p, &solved.solution).is_empty());
+    }
+}
+
+#[test]
+fn qsort_callback_reaches_comparator() {
+    let out = compile_c(
+        "int cmp(int *a, int *b) { return *a - *b; }\n\
+         int *table[8]; int x;\n\
+         void main() { table[0] = &x; qsort(table, 8, 8, cmp); }",
+    )
+    .unwrap();
+    let solved = ant_core::solve::<ant_core::BitmapPts>(
+        &out.program,
+        &ant_core::SolverConfig::new(ant_core::Algorithm::LcdHcd),
+    );
+    let a_param = out.program.var_by_name("cmp#2").unwrap();
+    let table = out.program.var_by_name("table").unwrap();
+    assert!(
+        solved.solution.may_point_to(a_param, table),
+        "the comparator's parameter receives pointers into the array"
+    );
+}

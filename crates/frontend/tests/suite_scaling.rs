@@ -1,0 +1,73 @@
+//! Scaling behaviour of the benchmark suite: sizes track the paper's
+//! counts linearly, workloads are deterministic, and the per-benchmark
+//! character knobs hold across scales.
+
+use ant_frontend::suite::suite;
+
+#[test]
+fn sizes_scale_linearly() {
+    let small = suite(0.01);
+    let big = suite(0.04);
+    for (s, b) in small.iter().zip(&big) {
+        let rs = s.program().stats().total() as f64;
+        let rb = b.program().stats().total() as f64;
+        let ratio = rb / rs;
+        assert!(
+            (3.2..=4.8).contains(&ratio),
+            "{}: 4x scale gave {ratio:.2}x constraints",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn paper_ratios_embedded() {
+    // original/reduced ratios from Table 2 survive the spec construction.
+    let s = suite(0.02);
+    let expect = [3.88, 2.52, 4.27, 2.85, 4.16, 2.82];
+    for (b, e) in s.iter().zip(expect) {
+        assert!(
+            (b.spec.redundancy - e).abs() < 0.05,
+            "{}: redundancy {} vs paper {e}",
+            b.name(),
+            b.spec.redundancy
+        );
+    }
+}
+
+#[test]
+fn deterministic_across_calls_and_scales() {
+    for scale in [0.01, 0.03] {
+        let a = suite(scale);
+        let b = suite(scale);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.program(), y.program(), "{} at {scale}", x.name());
+        }
+    }
+}
+
+#[test]
+fn reduction_lands_in_paper_band() {
+    for b in suite(0.03) {
+        let program = b.program();
+        let r = ant_constraints::ovs::substitute(&program);
+        let pct = r.stats.reduction_percent();
+        assert!(
+            (55.0..=85.0).contains(&pct),
+            "{}: OVS reduced {pct:.0}% (paper band 60-77%)",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn every_benchmark_solves_quickly_at_tiny_scale() {
+    use ant_core::{solve, Algorithm, BitmapPts, SolverConfig};
+    for b in suite(0.005) {
+        let program = b.program();
+        let reduced = ant_constraints::ovs::substitute(&program).program;
+        let out = solve::<BitmapPts>(&reduced, &SolverConfig::new(Algorithm::LcdHcd));
+        ant_core::verify::assert_sound(&reduced, &out.solution);
+        assert!(out.stats.nodes_processed > 0);
+    }
+}

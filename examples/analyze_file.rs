@@ -1,0 +1,82 @@
+//! Analyze a mini-C source file or a `.consts` constraint file from the
+//! command line and dump the points-to solution.
+//!
+//! ```text
+//! cargo run --example analyze_file -- path/to/file.c [algorithm]
+//! echo 'p = &x
+//! q = p' > /tmp/t.consts && cargo run --example analyze_file -- /tmp/t.consts
+//! ```
+
+use ant_grasshopper::{
+    analyze_program, parse_program, Algorithm, BitmapPts, Program, SolverConfig, VarId,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: analyze_file <file.c | file.consts> [algorithm]");
+        return ExitCode::FAILURE;
+    };
+    let algorithm = match args.next() {
+        None => Algorithm::LcdHcd,
+        Some(name) => match Algorithm::parse(&name) {
+            Some(a) => a,
+            None => {
+                eprintln!("unknown algorithm `{name}` (try HT, PKH, BLQ, LCD, HCD, LCD+HCD)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let program: Program = if path.ends_with(".c") {
+        match ant_grasshopper::compile_c(&text) {
+            Ok(out) => {
+                for w in &out.warnings {
+                    eprintln!("warning: {w}");
+                }
+                out.program
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match parse_program(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let analysis = analyze_program::<BitmapPts>(&program, &SolverConfig::new(algorithm));
+    println!(
+        "# {} vars, {} constraints ({:.0}% removed by OVS), solved by {} in {:.3}ms",
+        program.num_vars(),
+        program.stats().total(),
+        analysis.ovs.reduction_percent(),
+        algorithm,
+        analysis.stats.solve_time.as_secs_f64() * 1000.0
+    );
+    for v in program.vars() {
+        let pts = analysis.solution.points_to(v);
+        if !pts.is_empty() {
+            let names: Vec<&str> = pts
+                .iter()
+                .map(|&l| program.var_name(VarId::from_u32(l)))
+                .collect();
+            println!("pts({}) = {{{}}}", program.var_name(v), names.join(", "));
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,56 @@
+//! Runs all ten algorithms on one synthetic benchmark, verifies they all
+//! produce the identical points-to solution, and prints the paper's §5.3
+//! counters side by side.
+//!
+//! ```text
+//! cargo run --release --example compare_solvers [benchmark] [scale]
+//! ```
+
+use ant_grasshopper::constraints::ovs;
+use ant_grasshopper::frontend::suite;
+use ant_grasshopper::{solve, Algorithm, BitmapPts, SolverConfig};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "emacs".to_owned());
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
+    let bench = suite::benchmark(&which, scale).expect("benchmark name");
+    let program = bench.program();
+    let reduced = ovs::substitute(&program);
+    println!(
+        "benchmark `{}` at scale {scale}: {} constraints, {} after OVS ({:.0}% reduction)\n",
+        which,
+        program.stats().total(),
+        reduced.program.stats().total(),
+        reduced.stats.reduction_percent(),
+    );
+
+    println!(
+        "{:<8} {:>9} {:>10} {:>10} {:>12} {:>10}",
+        "algo", "time(ms)", "collapsed", "searched", "propagations", "mem(MiB)"
+    );
+    let mut reference = None;
+    for alg in Algorithm::ALL {
+        let out = solve::<BitmapPts>(&reduced.program, &SolverConfig::new(alg));
+        println!(
+            "{:<8} {:>9.2} {:>10} {:>10} {:>12} {:>10.1}",
+            alg.name(),
+            out.stats.solve_time.as_secs_f64() * 1000.0,
+            out.stats.nodes_collapsed,
+            out.stats.nodes_searched,
+            out.stats.propagations,
+            out.stats.total_mib(),
+        );
+        let solution = out.solution.expand_ovs(&reduced);
+        match &reference {
+            None => reference = Some(solution),
+            Some(r) => assert!(
+                solution.equiv(r),
+                "{alg} disagrees with the reference solution!"
+            ),
+        }
+    }
+    println!("\nall {} algorithms computed the identical solution ✓", Algorithm::ALL.len());
+}

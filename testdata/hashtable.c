@@ -1,0 +1,47 @@
+/* A separate-chaining hash table with user-supplied hash/eq callbacks. */
+
+struct entry { struct entry *next; char *key; int *value; };
+struct table {
+    struct entry *buckets[16];
+    int (*hash)(char *);
+    int (*eq)(char *, char *);
+};
+
+int str_hash(char *s) { return *s; }
+int str_eq(char *a, char *b) { return strcmp(a, b); }
+
+struct table *table_new() {
+    struct table *t = malloc(128);
+    t->hash = str_hash;
+    t->eq = str_eq;
+    return t;
+}
+
+void table_put(struct table *t, char *key, int *value) {
+    int h = t->hash(key);
+    struct entry *e = malloc(24);
+    e->key = key;
+    e->value = value;
+    e->next = t->buckets[h];
+    t->buckets[h] = e;
+}
+
+int *table_get(struct table *t, char *key) {
+    int h = t->hash(key);
+    struct entry *e;
+    for (e = t->buckets[h]; e; e = e->next) {
+        if (t->eq(e->key, key)) {
+            return e->value;
+        }
+    }
+    return 0;
+}
+
+int answer;
+
+int main() {
+    struct table *t = table_new();
+    table_put(t, "answer", &answer);
+    int *back = table_get(t, "answer");
+    return *back;
+}

@@ -1,0 +1,64 @@
+/* A tiny stack-based interpreter: op dispatch through a function-pointer
+ * table, a heap-allocated environment, and string interning — the kind of
+ * code pointer analyses are run on. */
+
+struct value { int tag; int *payload; };
+struct env { struct env *parent; struct value *slot; };
+
+struct value stack[64];
+int sp;
+struct env *global_env;
+
+int *heap_int(int n) {
+    int *p = malloc(4);
+    *p = n;
+    return p;
+}
+
+void push(struct value v) { stack[sp] = v; sp = sp + 1; }
+struct value pop() { sp = sp - 1; return stack[sp]; }
+
+void op_add() {
+    struct value a = pop();
+    struct value b = pop();
+    struct value r;
+    r.payload = heap_int(*a.payload + *b.payload);
+    push(r);
+}
+
+void op_dup() {
+    struct value a = pop();
+    push(a);
+    push(a);
+}
+
+void op_store() {
+    struct value v = pop();
+    struct env *e = global_env;
+    e->slot = &stack[sp];   /* alias into the stack */
+    *e->slot = v;
+}
+
+void (*dispatch[3])(void);
+
+void init() {
+    dispatch[0] = op_add;
+    dispatch[1] = op_dup;
+    dispatch[2] = op_store;
+    global_env = malloc(16);
+    global_env->parent = global_env;  /* cyclic env chain */
+}
+
+void run(int *code, int len) {
+    int i;
+    for (i = 0; i < len; i++) {
+        dispatch[code[i]]();
+    }
+}
+
+int main() {
+    int prog[3];
+    init();
+    run(prog, 3);
+    return 0;
+}

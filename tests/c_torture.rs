@@ -1,0 +1,219 @@
+//! Mini-C front-end torture tests: each case states a precise points-to
+//! fact the generated constraints must (or must not) imply.
+
+use ant_grasshopper::{analyze_c, Algorithm, CAnalysis, SolverConfig};
+
+fn analyze(src: &str) -> CAnalysis {
+    analyze_c(src, &SolverConfig::new(Algorithm::LcdHcd)).expect("source parses")
+}
+
+fn pts(a: &CAnalysis, p: &str) -> Vec<String> {
+    let v = a
+        .program
+        .var_by_name(p)
+        .unwrap_or_else(|| panic!("no variable {p}"));
+    a.solution
+        .points_to(v)
+        .iter()
+        .map(|&l| a.program.var_name(ant_grasshopper::VarId::from_u32(l)).to_owned())
+        .collect()
+}
+
+fn points_to(a: &CAnalysis, p: &str, x: &str) -> bool {
+    pts(a, p).iter().any(|n| n == x)
+}
+
+#[test]
+fn multi_level_dereference() {
+    let a = analyze(
+        "int x; int *p; int **pp; int ***ppp; int *r;\n\
+         void main() { p = &x; pp = &p; ppp = &pp; r = **ppp; ***ppp = x; }",
+    );
+    assert!(points_to(&a, "r", "x"));
+    assert!(points_to(&a, "ppp", "pp"));
+}
+
+#[test]
+fn swap_through_pointers() {
+    let a = analyze(
+        "int x; int y; int *a; int *b; int **pa; int **pb; int *t;\n\
+         void main() {\n\
+           a = &x; b = &y; pa = &a; pb = &b;\n\
+           t = *pa; *pa = *pb; *pb = t;\n\
+         }",
+    );
+    // Flow-insensitively, both a and b may point to both x and y.
+    assert!(points_to(&a, "a", "x") && points_to(&a, "a", "y"));
+    assert!(points_to(&a, "b", "x") && points_to(&a, "b", "y"));
+}
+
+#[test]
+fn function_pointer_table_dispatch() {
+    let a = analyze(
+        "int x; int y;\n\
+         int *fx(int *a) { return a; }\n\
+         int *fy(int *a) { return &y; }\n\
+         int *(*ops[2])(int *);\n\
+         int *r;\n\
+         void init() { ops[0] = fx; ops[1] = fy; }\n\
+         void main() { init(); r = ops[1](&x); }",
+    );
+    assert!(points_to(&a, "r", "x"), "via fx's identity");
+    assert!(points_to(&a, "r", "y"), "via fy's constant");
+}
+
+#[test]
+fn returning_function_pointers() {
+    let a = analyze(
+        "typedef int *(*fnp)(int *);\n\
+         int x;\n\
+         int *id(int *a) { return a; }\n\
+         fnp get(void) { return id; }\n\
+         int *r;\n\
+         void main() { r = get()(&x); }",
+    );
+    assert!(points_to(&a, "r", "x"));
+}
+
+#[test]
+fn struct_graph_cycles() {
+    let a = analyze(
+        "struct n { struct n *next; };\n\
+         struct n a; struct n b; struct n c;\n\
+         void main() {\n\
+           a.next = &b; b.next = &c; c.next = &a;\n\
+         }",
+    );
+    // Field-insensitive: each object points to the next.
+    assert!(points_to(&a, "a", "b"));
+    assert!(points_to(&a, "c", "a"));
+    assert!(!points_to(&a, "a", "c"), "no transitive contents");
+}
+
+#[test]
+fn heap_linked_list() {
+    let a = analyze(
+        "struct n { struct n *next; int *val; };\n\
+         struct n *head; int x;\n\
+         void push() {\n\
+           struct n *fresh = malloc(8);\n\
+           fresh->next = head;\n\
+           fresh->val = &x;\n\
+           head = fresh;\n\
+         }\n\
+         int *first() { return head->val; }\n\
+         void main() { push(); push(); first(); }",
+    );
+    assert!(points_to(&a, "head", "heap$0"));
+    assert!(points_to(&a, "first#1", "x"));
+}
+
+#[test]
+fn address_of_deref_cancels() {
+    let a = analyze(
+        "int x; int *p; int *q;\n\
+         void main() { p = &x; q = &*p; }",
+    );
+    assert_eq!(pts(&a, "q"), vec!["x"]);
+}
+
+#[test]
+fn arrays_of_structs_collapse() {
+    let a = analyze(
+        "struct s { int *f; };\n\
+         struct s table[4]; int x; int *r;\n\
+         void main() { table[0].f = &x; r = table[3].f; }",
+    );
+    assert!(points_to(&a, "r", "x"));
+}
+
+#[test]
+fn ternary_lvalue() {
+    let a = analyze(
+        "int x; int y; int *p; int *q; int c;\n\
+         void main() { (c ? p : q) = &x; p = &y; }",
+    );
+    assert!(points_to(&a, "p", "x"));
+    assert!(points_to(&a, "q", "x"));
+    assert!(!points_to(&a, "q", "y"));
+}
+
+#[test]
+fn string_functions_and_heap() {
+    let a = analyze(
+        "char *dup; char buf[32]; char *s;\n\
+         void main() { s = strdup(\"hi\"); dup = strcpy(buf, s); }",
+    );
+    assert!(points_to(&a, "s", "heap$0"));
+    assert!(points_to(&a, "dup", "buf"));
+}
+
+#[test]
+fn shadowing_in_nested_blocks() {
+    let a = analyze(
+        "int g; int *p; int *q;\n\
+         void main() {\n\
+           int x;\n\
+           p = &x;\n\
+           { int x; q = &x; }\n\
+         }",
+    );
+    let p = pts(&a, "p");
+    let q = pts(&a, "q");
+    assert_eq!(p.len(), 1);
+    assert_eq!(q.len(), 1);
+    assert_ne!(p, q, "the two locals are distinct objects");
+}
+
+#[test]
+fn globals_arent_affected_by_unrelated_stores() {
+    let a = analyze(
+        "int x; int y; int *p; int *q; int **pp;\n\
+         void main() { p = &x; pp = &p; *pp = &y; q = &y; }",
+    );
+    assert!(points_to(&a, "p", "y"), "store through pp reaches p");
+    assert!(!points_to(&a, "q", "x"), "q is untouched");
+}
+
+#[test]
+fn do_while_and_switch_bodies_are_visited() {
+    let a = analyze(
+        "int x; int *p; int *q; int c;\n\
+         void main() {\n\
+           do { p = &x; } while (0);\n\
+           switch (c) { case 1: q = p; break; default: q = 0; }\n\
+         }",
+    );
+    assert!(points_to(&a, "q", "x"));
+}
+
+#[test]
+fn every_solver_agrees_on_torture_programs() {
+    let src = "struct n { struct n *next; int *val; };\n\
+               struct n *head; int x; int *r;\n\
+               int *pick(struct n *c) { return c->val; }\n\
+               int *(*f)(struct n *);\n\
+               void main() {\n\
+                 struct n *fresh = malloc(16);\n\
+                 fresh->next = head; head = fresh;\n\
+                 head->val = &x;\n\
+                 f = pick;\n\
+                 r = f(head);\n\
+               }";
+    let generated = ant_grasshopper::compile_c(src).unwrap();
+    let reference = ant_grasshopper::solve::<ant_grasshopper::BitmapPts>(
+        &generated.program,
+        &SolverConfig::new(Algorithm::Basic),
+    );
+    for alg in Algorithm::ALL {
+        let out = ant_grasshopper::solve::<ant_grasshopper::BitmapPts>(
+            &generated.program,
+            &SolverConfig::new(alg),
+        );
+        assert!(
+            out.solution.equiv(&reference.solution),
+            "{alg} differs at {:?}",
+            out.solution.first_difference(&reference.solution)
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-solver equivalence: inclusion-based pointer analysis has a single
+//! fixpoint, so all nine algorithms (and the naive baseline), under both
+//! points-to representations, must produce the identical solution.
+
+use ant_grasshopper::frontend::workload::WorkloadSpec;
+use ant_grasshopper::solver::verify::assert_sound;
+use ant_grasshopper::{
+    analyze_program, solve, Algorithm, BddPts, BitmapPts, Program, SolverConfig,
+};
+
+fn workloads() -> Vec<(String, Program)> {
+    let mut out = Vec::new();
+    for seed in [1u64, 7, 99] {
+        let spec = WorkloadSpec::tiny(seed);
+        out.push((format!("tiny-{seed}"), spec.generate()));
+    }
+    // A denser one with more cycles and indirect calls.
+    let dense = WorkloadSpec {
+        base: 120,
+        simple: 260,
+        complex: 200,
+        cycle_density: 0.25,
+        ref_cycle_fraction: 0.3,
+        indirect_call_fraction: 0.25,
+        ..WorkloadSpec::tiny(1234)
+    };
+    out.push(("dense".to_owned(), dense.generate()));
+    out
+}
+
+#[test]
+fn all_algorithms_agree_bitmap() {
+    for (name, program) in workloads() {
+        let reference = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Basic));
+        assert_sound(&program, &reference.solution);
+        for alg in Algorithm::ALL {
+            let out = solve::<BitmapPts>(&program, &SolverConfig::new(alg));
+            assert!(
+                out.solution.equiv(&reference.solution),
+                "{alg} differs from Basic on {name} at {:?}",
+                out.solution.first_difference(&reference.solution)
+            );
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_agree_bdd_pts() {
+    for (name, program) in workloads() {
+        let reference = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Basic));
+        for alg in Algorithm::TABLE5 {
+            let out = solve::<BddPts>(&program, &SolverConfig::new(alg));
+            assert!(
+                out.solution.equiv(&reference.solution),
+                "{alg} (BDD pts) differs from Basic on {name} at {:?}",
+                out.solution.first_difference(&reference.solution)
+            );
+        }
+    }
+}
+
+#[test]
+fn ovs_preserves_the_solution() {
+    for (name, program) in workloads() {
+        let direct = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Lcd));
+        let pipelined =
+            analyze_program::<BitmapPts>(&program, &SolverConfig::new(Algorithm::LcdHcd));
+        assert!(
+            pipelined.solution.equiv(&direct.solution),
+            "OVS changed the solution on {name} at {:?}",
+            pipelined.solution.first_difference(&direct.solution)
+        );
+        assert!(pipelined.ovs.constraints_after < pipelined.ovs.constraints_before);
+    }
+}
+
+#[test]
+fn every_worklist_strategy_agrees() {
+    use ant_grasshopper::common::worklist::WorklistKind;
+    let (_, program) = workloads().pop().expect("non-empty");
+    let reference = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Basic));
+    for wk in WorklistKind::ALL {
+        for alg in [Algorithm::Lcd, Algorithm::Hcd, Algorithm::LcdHcd] {
+            let out = solve::<BitmapPts>(
+                &program,
+                &SolverConfig {
+                    algorithm: alg,
+                    worklist: wk,
+                },
+            );
+            assert!(
+                out.solution.equiv(&reference.solution),
+                "{alg} with {wk} differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn suite_benchmarks_solve_equivalently_at_small_scale() {
+    for bench in ant_grasshopper::frontend::suite::suite(0.005) {
+        let program = bench.program();
+        let reduced = ant_grasshopper::constraints::ovs::substitute(&program);
+        let reference = solve::<BitmapPts>(&reduced.program, &SolverConfig::new(Algorithm::Ht));
+        for alg in [Algorithm::Lcd, Algorithm::Hcd, Algorithm::LcdHcd, Algorithm::Pkh] {
+            let out = solve::<BitmapPts>(&reduced.program, &SolverConfig::new(alg));
+            assert!(
+                out.solution.equiv(&reference.solution),
+                "{alg} differs on {}",
+                bench.name()
+            );
+        }
+    }
+}

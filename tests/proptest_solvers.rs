@@ -1,0 +1,147 @@
+//! Property-based testing of the solvers on random constraint programs.
+//!
+//! Two regimes:
+//!
+//! * *Well-formed* programs (every dereferenced pointer is seeded, as in
+//!   real code): every algorithm must produce the exact Andersen solution.
+//! * *Adversarial* programs (dereferences of possibly-empty pointers):
+//!   the exact solvers must still agree; HCD-based solvers must be sound
+//!   over-approximations (the paper's precision argument assumes cycle
+//!   materialization, which empty dereferences can break).
+
+use ant_grasshopper::solver::verify::check_soundness;
+use ant_grasshopper::{
+    solve, Algorithm, BitmapPts, Constraint, Program, ProgramBuilder, SolverConfig, VarId,
+};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct RawConstraint {
+    kind: u8,
+    lhs: usize,
+    rhs: usize,
+}
+
+fn raw_constraints(max_vars: usize, max_cs: usize) -> impl Strategy<Value = Vec<RawConstraint>> {
+    prop::collection::vec(
+        (0u8..4, 0..max_vars, 0..max_vars).prop_map(|(kind, lhs, rhs)| RawConstraint {
+            kind,
+            lhs,
+            rhs,
+        }),
+        1..max_cs,
+    )
+}
+
+fn build_program(raw: &[RawConstraint], nvars: usize, seed_derefs: bool) -> Program {
+    let mut b = ProgramBuilder::new();
+    let vars: Vec<VarId> = (0..nvars).map(|i| b.var(&format!("v{i}"))).collect();
+    let mut seeded = vec![false; nvars];
+    for c in raw {
+        if c.kind == 0 {
+            seeded[c.lhs] = true;
+        }
+    }
+    for c in raw {
+        let (l, r) = (vars[c.lhs], vars[c.rhs]);
+        match c.kind {
+            0 => b.addr_of(l, r),
+            1 => b.copy(l, r),
+            2 => {
+                if seed_derefs && !seeded[c.rhs] {
+                    seeded[c.rhs] = true;
+                    b.addr_of(r, vars[(c.rhs + 1) % nvars]);
+                }
+                b.load(l, r);
+            }
+            _ => {
+                if seed_derefs && !seeded[c.lhs] {
+                    seeded[c.lhs] = true;
+                    b.addr_of(l, vars[(c.lhs + 1) % nvars]);
+                }
+                b.store(l, r);
+            }
+        }
+    }
+    b.finish()
+}
+
+const NVARS: usize = 24;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_solvers_agree_on_arbitrary_programs(raw in raw_constraints(NVARS, 60)) {
+        let program = build_program(&raw, NVARS, false);
+        let reference = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Basic));
+        prop_assert!(check_soundness(&program, &reference.solution).is_empty());
+        for alg in [Algorithm::Ht, Algorithm::Pkh, Algorithm::Blq, Algorithm::Lcd] {
+            let out = solve::<BitmapPts>(&program, &SolverConfig::new(alg));
+            prop_assert!(
+                out.solution.equiv(&reference.solution),
+                "{} differs at {:?}", alg, out.solution.first_difference(&reference.solution)
+            );
+        }
+    }
+
+    #[test]
+    fn hcd_is_exact_on_wellformed_and_sound_always(raw in raw_constraints(NVARS, 60)) {
+        // Well-formed: exactness.
+        let wf = build_program(&raw, NVARS, true);
+        let reference = solve::<BitmapPts>(&wf, &SolverConfig::new(Algorithm::Basic));
+        for alg in [Algorithm::Hcd, Algorithm::HtHcd, Algorithm::PkhHcd, Algorithm::LcdHcd, Algorithm::BlqHcd] {
+            let out = solve::<BitmapPts>(&wf, &SolverConfig::new(alg));
+            prop_assert!(
+                out.solution.equiv(&reference.solution),
+                "{} differs on well-formed input at {:?}",
+                alg, out.solution.first_difference(&reference.solution)
+            );
+        }
+        // Adversarial: soundness and over-approximation.
+        let adv = build_program(&raw, NVARS, false);
+        let exact = solve::<BitmapPts>(&adv, &SolverConfig::new(Algorithm::Basic));
+        for alg in [Algorithm::Hcd, Algorithm::LcdHcd] {
+            let out = solve::<BitmapPts>(&adv, &SolverConfig::new(alg));
+            prop_assert!(check_soundness(&adv, &out.solution).is_empty(), "{} unsound", alg);
+            prop_assert!(
+                out.solution.subsumes(&exact.solution),
+                "{} dropped facts", alg
+            );
+        }
+    }
+
+    #[test]
+    fn ovs_preserves_solutions(raw in raw_constraints(NVARS, 60)) {
+        let program = build_program(&raw, NVARS, false);
+        let direct = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Basic));
+        let reduced = ant_grasshopper::constraints::ovs::substitute(&program);
+        let out = solve::<BitmapPts>(&reduced.program, &SolverConfig::new(Algorithm::Lcd));
+        let expanded = out.solution.expand_ovs(&reduced);
+        prop_assert!(
+            expanded.equiv(&direct.solution),
+            "OVS changed the solution at {:?}",
+            expanded.first_difference(&direct.solution)
+        );
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_constraints(raw in raw_constraints(12, 30)) {
+        let program = build_program(&raw, 12, false);
+        let text = program.to_text();
+        let reparsed = ant_grasshopper::parse_program(&text).unwrap();
+        prop_assert_eq!(program.constraints().len(), reparsed.constraints().len());
+        // Same multiset of name-rendered constraints (variable ids differ:
+        // the parser interns by first appearance).
+        let render = |p: &Program, c: &Constraint| {
+            format!("{:?} {} {} {}", c.kind, p.var_name(c.lhs), p.var_name(c.rhs), c.offset)
+        };
+        let mut sa: Vec<String> =
+            program.constraints().iter().map(|c| render(&program, c)).collect();
+        let mut sb: Vec<String> =
+            reparsed.constraints().iter().map(|c| render(&reparsed, c)).collect();
+        sa.sort();
+        sb.sort();
+        prop_assert_eq!(sa, sb);
+    }
+}
