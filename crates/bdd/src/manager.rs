@@ -364,11 +364,7 @@ impl BddManager {
         if let Some(r) = self.cache.get(Op::Ite, f.0, g.0, h.0) {
             return Bdd(r);
         }
-        let top = self
-            .node(f)
-            .var
-            .min(self.node(g).var)
-            .min(self.node(h).var);
+        let top = self.node(f).var.min(self.node(g).var).min(self.node(h).var);
         let (f0, f1) = self.cofactors(f, top);
         let (g0, g1) = self.cofactors(g, top);
         let (h0, h1) = self.cofactors(h, top);

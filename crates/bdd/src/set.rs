@@ -157,7 +157,9 @@ mod tests {
         let mut model = BTreeSet::new();
         let mut x: u64 = 99;
         for _ in 0..600 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (x >> 33) % 512;
             assert_eq!(s.insert(&mut m, &d, v), model.insert(v));
         }

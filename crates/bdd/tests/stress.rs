@@ -12,7 +12,9 @@ fn cache_grows_with_node_count() {
     // Enough inserts to outgrow the initial 2^16-entry cache.
     let mut x: u64 = 1;
     for _ in 0..80_000 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         s.insert(&mut m, &d, x % (1 << 20));
     }
     assert!(m.node_count() > 1 << 16);

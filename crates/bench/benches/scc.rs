@@ -8,7 +8,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn chain(n: u32) -> Vec<Vec<u32>> {
-    (0..n).map(|i| if i + 1 < n { vec![i + 1] } else { vec![] }).collect()
+    (0..n)
+        .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+        .collect()
 }
 
 fn random_graph(n: u32, edges: usize, seed: u64) -> Vec<Vec<u32>> {
@@ -47,7 +49,9 @@ fn bench_scc(c: &mut Criterion) {
     });
 
     let ring_g = rings(30_000, 50);
-    c.bench_function("scc/rings_30k", |b| b.iter(|| tarjan_scc(&ring_g).num_comps));
+    c.bench_function("scc/rings_30k", |b| {
+        b.iter(|| tarjan_scc(&ring_g).num_comps)
+    });
 }
 
 criterion_group!(benches, bench_scc);

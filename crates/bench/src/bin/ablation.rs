@@ -32,8 +32,8 @@ fn main() {
         let mut cells = Vec::new();
         for wk in WorklistKind::ALL {
             let config = SolverConfig {
-                algorithm: alg,
                 worklist: wk,
+                ..SolverConfig::new(alg)
             };
             let mut best = f64::INFINITY;
             for _ in 0..repeats {

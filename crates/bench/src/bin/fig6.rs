@@ -36,10 +36,15 @@ fn main() {
     println!("Figure 6: LCD+HCD vs state-of-the-art (seconds; plot on log scale)\n");
     println!("{}", table("Series", &columns, &rows));
     for base in [Algorithm::Ht, Algorithm::Pkh, Algorithm::Blq] {
-        let speedup = geomean(benches.iter().map(|b| {
-            results.seconds(base, &b.name) / results.seconds(Algorithm::LcdHcd, &b.name)
-        }));
-        println!("LCD+HCD vs {:<4}: {} faster (geometric mean)", base.name(), ratio(speedup));
+        let speedup =
+            geomean(benches.iter().map(|b| {
+                results.seconds(base, &b.name) / results.seconds(Algorithm::LcdHcd, &b.name)
+            }));
+        println!(
+            "LCD+HCD vs {:<4}: {} faster (geometric mean)",
+            base.name(),
+            ratio(speedup)
+        );
     }
     println!("\nPaper: 3.2x vs HT, 6.4x vs PKH, 20.6x vs BLQ.");
 }

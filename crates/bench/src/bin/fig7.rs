@@ -21,7 +21,10 @@ fn main() {
                 benches
                     .iter()
                     .map(|b| {
-                        ratio(results.seconds(alg, &b.name) / results.seconds(Algorithm::Lcd, &b.name))
+                        ratio(
+                            results.seconds(alg, &b.name)
+                                / results.seconds(Algorithm::Lcd, &b.name),
+                        )
                     })
                     .collect(),
             )
@@ -29,7 +32,12 @@ fn main() {
         .collect();
     println!("Figure 7: time normalized to LCD (lower is faster)\n");
     println!("{}", table("Algorithm", &columns, &rows));
-    for alg in [Algorithm::Ht, Algorithm::Pkh, Algorithm::Blq, Algorithm::Hcd] {
+    for alg in [
+        Algorithm::Ht,
+        Algorithm::Pkh,
+        Algorithm::Blq,
+        Algorithm::Hcd,
+    ] {
         let g = geomean(
             benches
                 .iter()

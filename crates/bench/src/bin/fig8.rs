@@ -40,7 +40,11 @@ fn main() {
                 .iter()
                 .map(|b| results.seconds(plain, &b.name) / results.seconds(hcd, &b.name)),
         );
-        println!("HCD speeds up {:<4} by {} (geometric mean)", plain.name(), ratio(g));
+        println!(
+            "HCD speeds up {:<4} by {} (geometric mean)",
+            plain.name(),
+            ratio(g)
+        );
     }
     println!("\nPaper: HCD improves HT by 3.2x, PKH by 5x, BLQ by 1.1x, LCD by 3.2x.");
 }

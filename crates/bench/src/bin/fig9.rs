@@ -43,5 +43,8 @@ fn main() {
         println!("{:<8} average {}", alg.name(), ratio(*g));
     }
     let overall = geomean(avgs.iter().map(|&(_, g)| g));
-    println!("\nOverall: BDDs are {} slower (paper: ~2x on average).", ratio(overall));
+    println!(
+        "\nOverall: BDDs are {} slower (paper: ~2x on average).",
+        ratio(overall)
+    );
 }

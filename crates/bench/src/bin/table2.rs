@@ -6,8 +6,8 @@
 //! cargo run --release -p ant-bench --bin table2
 //! ```
 
-use ant_bench::runner::prepare_suite;
 use ant_bench::render::table;
+use ant_bench::runner::prepare_suite;
 
 fn main() {
     let benches = prepare_suite();
@@ -39,7 +39,13 @@ fn main() {
         table(
             "Name",
             &[
-                "LOC", "Original", "Reduced", "Base", "Simple", "Complex", "Reduction",
+                "LOC",
+                "Original",
+                "Reduced",
+                "Base",
+                "Simple",
+                "Complex",
+                "Reduction",
                 "OVS time"
             ],
             &rows

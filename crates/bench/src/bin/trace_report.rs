@@ -1,0 +1,34 @@
+//! `trace_report` — per-solver, per-phase breakdown of a JSONL trace.
+//!
+//! ```text
+//! ant solve prog.c --algorithm lcd-hcd --trace-out trace.jsonl
+//! cargo run --release -p ant-bench --bin trace_report trace.jsonl
+//! ```
+
+use ant_bench::trace::{render, summarize};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: trace_report <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match summarize(&text) {
+        Ok(summary) => {
+            print!("{}", render(&summary));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -11,5 +11,6 @@
 
 pub mod render;
 pub mod runner;
+pub mod trace;
 
 pub use runner::{run_suite, BenchResult, SuiteResults};

@@ -67,13 +67,43 @@ pub struct BenchResult {
     pub stats: SolverStats,
 }
 
-/// Number of repetitions from `ANT_REPEATS` (default 1; the paper uses 3).
+/// Number of repetitions from `ANT_BENCH_REPEATS` (default 1; the paper
+/// uses 3). The older spelling `ANT_REPEATS` is still honoured when the
+/// new one is unset. Invalid or zero values are clamped to 1 with a
+/// warning rather than silently ignored.
 pub fn repeats_from_env() -> usize {
-    std::env::var("ANT_REPEATS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&r| r >= 1)
-        .unwrap_or(1)
+    let bench = std::env::var("ANT_BENCH_REPEATS").ok();
+    let legacy = std::env::var("ANT_REPEATS").ok();
+    let (repeats, warning) = parse_repeats(bench.as_deref(), legacy.as_deref());
+    if let Some(w) = warning {
+        eprintln!("warning: {w}");
+    }
+    repeats
+}
+
+/// Pure core of [`repeats_from_env`]: `bench` is `ANT_BENCH_REPEATS`,
+/// `legacy` the older `ANT_REPEATS` (used only when `bench` is unset).
+/// Returns the repeat count plus a warning to surface when the value was
+/// rejected.
+pub fn parse_repeats(bench: Option<&str>, legacy: Option<&str>) -> (usize, Option<String>) {
+    let (name, value) = match (bench, legacy) {
+        (Some(v), _) => ("ANT_BENCH_REPEATS", v),
+        (None, Some(v)) => ("ANT_REPEATS", v),
+        (None, None) => return (1, None),
+    };
+    match value.trim().parse::<usize>() {
+        Ok(0) => (
+            1,
+            Some(format!(
+                "{name}=0 is not a valid repeat count; clamping to 1"
+            )),
+        ),
+        Ok(n) => (n, None),
+        Err(_) => (
+            1,
+            Some(format!("{name}=`{value}` is not a number; using 1 repeat")),
+        ),
+    }
 }
 
 /// Runs one algorithm on one prepared benchmark, best of `repeats`.
@@ -194,5 +224,28 @@ mod tests {
     fn ovs_reduces_constraints() {
         let b = tiny_bench();
         assert!(b.reduced.total() < b.original.total());
+    }
+
+    #[test]
+    fn parse_repeats_accepts_both_spellings() {
+        assert_eq!(parse_repeats(None, None), (1, None));
+        assert_eq!(parse_repeats(Some("3"), None), (3, None));
+        assert_eq!(parse_repeats(None, Some("5")), (5, None));
+        // The new spelling wins when both are set.
+        assert_eq!(parse_repeats(Some("2"), Some("9")), (2, None));
+        assert_eq!(parse_repeats(Some(" 4 "), None), (4, None));
+    }
+
+    #[test]
+    fn parse_repeats_rejects_zero_and_garbage_with_a_warning() {
+        let (r, warn) = parse_repeats(Some("0"), None);
+        assert_eq!(r, 1);
+        assert!(warn.unwrap().contains("ANT_BENCH_REPEATS=0"));
+        let (r, warn) = parse_repeats(None, Some("three"));
+        assert_eq!(r, 1);
+        assert!(warn.unwrap().contains("ANT_REPEATS=`three`"));
+        let (r, warn) = parse_repeats(Some("-2"), None);
+        assert_eq!(r, 1);
+        assert!(warn.is_some());
     }
 }

@@ -1,0 +1,245 @@
+//! Aggregation and rendering of JSONL solver traces (the files written by
+//! `ant solve --trace-out`).
+//!
+//! The input is one flat JSON object per line (see
+//! `ant_core::obs::TraceWriter` for the schema); the output is a
+//! plain-text per-solver, per-phase breakdown in the style of the other
+//! `ant-bench` tables.
+
+use crate::render::table;
+use ant_core::obs::{parse_object, Phase};
+use std::collections::BTreeMap;
+
+/// Everything aggregated for one solver section of a trace.
+#[derive(Clone, Debug, Default)]
+pub struct SolverTrace {
+    /// Per-phase `(span count, total seconds)`, summed over `phase_end`
+    /// records.
+    pub phases: BTreeMap<String, (u64, f64)>,
+    /// Number of `cycle_collapsed` records and total members removed.
+    pub cycles: (u64, u64),
+    /// Total `edges_added` over `graph_mutation` records.
+    pub edges_added: u64,
+    /// Number of `progress` records.
+    pub snapshots: u64,
+    /// The last `progress` record: `(worklist, nodes, propagations,
+    /// pts_bytes)`.
+    pub last_progress: Option<(u64, u64, u64, u64)>,
+}
+
+/// A parsed trace: solver sections in first-appearance order (events
+/// before the first `solver_start` land in a `""` section).
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// `(solver name, aggregate)` pairs.
+    pub solvers: Vec<(String, SolverTrace)>,
+    /// Number of records read.
+    pub records: usize,
+}
+
+impl TraceSummary {
+    fn section(&mut self, solver: &str) -> &mut SolverTrace {
+        if !self.solvers.iter().any(|(name, _)| name == solver) {
+            self.solvers
+                .push((solver.to_owned(), SolverTrace::default()));
+        }
+        let (_, agg) = self
+            .solvers
+            .iter_mut()
+            .find(|(name, _)| name == solver)
+            .expect("just inserted");
+        agg
+    }
+}
+
+/// Parses a JSONL trace into per-solver aggregates.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line (1-based).
+pub fn summarize(text: &str) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = parse_object(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        summary.records += 1;
+        let solver = record
+            .get("solver")
+            .and_then(|v| v.as_str())
+            .unwrap_or("")
+            .to_owned();
+        let event = record
+            .get("event")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("line {}: missing `event`", idx + 1))?;
+        let agg = summary.section(&solver);
+        match event {
+            "phase_end" => {
+                let phase = record
+                    .get("phase")
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| format!("line {}: phase_end without `phase`", idx + 1))?;
+                let seconds = record
+                    .get("seconds")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0);
+                let cell = agg.phases.entry(phase.to_owned()).or_insert((0, 0.0));
+                cell.0 += 1;
+                cell.1 += seconds;
+            }
+            "cycle_collapsed" => {
+                agg.cycles.0 += 1;
+                agg.cycles.1 += record.get("members").and_then(|v| v.as_u64()).unwrap_or(0);
+            }
+            "graph_mutation" => {
+                agg.edges_added += record
+                    .get("edges_added")
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0);
+            }
+            "progress" => {
+                agg.snapshots += 1;
+                let field = |k: &str| record.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+                agg.last_progress = Some((
+                    field("worklist"),
+                    field("nodes"),
+                    field("propagations"),
+                    field("pts_bytes"),
+                ));
+            }
+            // `solver_start` opens the section (handled above);
+            // `phase_start` only matters through its matching `phase_end`.
+            _ => {}
+        }
+    }
+    Ok(summary)
+}
+
+/// Renders the per-solver, per-phase breakdown as plain text.
+pub fn render(summary: &TraceSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} trace records\n", summary.records));
+    for (solver, agg) in &summary.solvers {
+        let title = if solver.is_empty() {
+            "(pre-solve)"
+        } else {
+            solver
+        };
+        out.push('\n');
+        out.push_str(&format!("solver: {title}\n"));
+        let mut rows: Vec<(String, Vec<String>)> = Vec::new();
+        // Known phases first, in their canonical order, then any others.
+        let canonical: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        let ordered = canonical
+            .iter()
+            .filter(|name| agg.phases.contains_key(**name))
+            .map(|name| (*name).to_owned())
+            .chain(
+                agg.phases
+                    .keys()
+                    .filter(|k| !canonical.contains(&k.as_str()))
+                    .cloned(),
+            );
+        let total: f64 = agg.phases.values().map(|(_, s)| s).sum();
+        for name in ordered {
+            let (count, seconds) = agg.phases[&name];
+            let share = if total > 0.0 {
+                format!("{:.1}%", 100.0 * seconds / total)
+            } else {
+                "-".to_owned()
+            };
+            rows.push((
+                name,
+                vec![count.to_string(), format!("{seconds:.3}"), share],
+            ));
+        }
+        if rows.is_empty() {
+            out.push_str("  (no completed phase spans)\n");
+        } else {
+            out.push_str(&table("phase", &["spans", "seconds", "share"], &rows));
+        }
+        if agg.cycles.0 > 0 {
+            out.push_str(&format!(
+                "cycles collapsed: {} (removing {} nodes)\n",
+                agg.cycles.0, agg.cycles.1
+            ));
+        }
+        if agg.edges_added > 0 {
+            out.push_str(&format!("graph edges added: {}\n", agg.edges_added));
+        }
+        if let Some((worklist, nodes, propagations, pts_bytes)) = agg.last_progress {
+            out.push_str(&format!(
+                "final snapshot ({} total): worklist {worklist} | nodes {nodes} | \
+                 propagations {propagations} | pts {:.1} MiB\n",
+                agg.snapshots,
+                pts_bytes as f64 / (1024.0 * 1024.0)
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+{\"t\": 0.0, \"event\": \"phase_end\", \"solver\": \"\", \"phase\": \"parse\", \"seconds\": 0.25}
+{\"t\": 0.3, \"event\": \"solver_start\", \"solver\": \"LCD+HCD\"}
+{\"t\": 0.4, \"event\": \"phase_start\", \"solver\": \"LCD+HCD\", \"phase\": \"solve\"}
+{\"t\": 0.5, \"event\": \"progress\", \"solver\": \"LCD+HCD\", \"worklist\": 10, \"nodes\": 5, \"propagations\": 7, \"pts_bytes\": 1048576}
+{\"t\": 0.6, \"event\": \"cycle_collapsed\", \"solver\": \"LCD+HCD\", \"members\": 3}
+{\"t\": 0.7, \"event\": \"graph_mutation\", \"solver\": \"LCD+HCD\", \"edges_added\": 2}
+{\"t\": 0.8, \"event\": \"progress\", \"solver\": \"LCD+HCD\", \"worklist\": 0, \"nodes\": 9, \"propagations\": 12, \"pts_bytes\": 2097152}
+{\"t\": 0.9, \"event\": \"phase_end\", \"solver\": \"LCD+HCD\", \"phase\": \"solve\", \"seconds\": 0.5}
+";
+
+    #[test]
+    fn summarize_aggregates_per_solver() {
+        let s = summarize(SAMPLE).unwrap();
+        assert_eq!(s.records, 8);
+        assert_eq!(s.solvers.len(), 2);
+        let (pre_name, pre) = &s.solvers[0];
+        assert!(pre_name.is_empty());
+        assert_eq!(pre.phases["parse"], (1, 0.25));
+        let (name, lcd) = &s.solvers[1];
+        assert_eq!(name, "LCD+HCD");
+        assert_eq!(lcd.phases["solve"].0, 1);
+        assert_eq!(lcd.cycles, (1, 3));
+        assert_eq!(lcd.edges_added, 2);
+        assert_eq!(lcd.snapshots, 2);
+        assert_eq!(lcd.last_progress, Some((0, 9, 12, 2 << 20)));
+    }
+
+    #[test]
+    fn render_mentions_phases_and_counters() {
+        let s = summarize(SAMPLE).unwrap();
+        let text = render(&s);
+        assert!(text.contains("8 trace records"));
+        assert!(text.contains("(pre-solve)"));
+        assert!(text.contains("solver: LCD+HCD"));
+        assert!(text.contains("parse"));
+        assert!(text.contains("solve"));
+        assert!(text.contains("cycles collapsed: 1 (removing 3 nodes)"));
+        assert!(text.contains("graph edges added: 2"));
+        assert!(text.contains("propagations 12"));
+        assert!(text.contains("pts 2.0 MiB"));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        let err = summarize("{\"event\": \"progress\"}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let err = summarize("{\"t\": 1.0}\n").unwrap_err();
+        assert!(err.contains("missing `event`"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let s = summarize("\n\n").unwrap();
+        assert_eq!(s.records, 0);
+        assert!(render(&s).contains("0 trace records"));
+    }
+}

@@ -3,8 +3,14 @@
 use crate::opts::Opts;
 use ant_common::VarId;
 use ant_constraints::{ovs, parse_program, Program};
-use ant_core::{solve as run_solver, Algorithm, BddPts, BitmapPts, Solution, SolveOutput, SolverConfig};
+use ant_core::obs::{FanOut, Obs, Phase, PhaseTimer, ProgressPrinter, TraceWriter};
+use ant_core::{
+    solve as run_solver, solve_with_observer, Algorithm, BddPts, BitmapPts, Solution, SolveOutput,
+    SolverConfig,
+};
 use ant_frontend::suite;
+use std::fs::File;
+use std::io;
 
 pub const USAGE: &str = "\
 ant — inclusion-based pointer analysis (Hardekopf & Lin, PLDI 2007)
@@ -13,6 +19,7 @@ USAGE:
   ant compile <file.c> [-o out.consts]
   ant solve   <file.c|file.consts> [--algorithm NAME] [--pts bitmap|bdd]
               [--worklist fifo|lifo|lrf|divided-lrf] [--no-ovs] [--stats]
+              [--trace-out trace.jsonl] [--progress] [--progress-every N]
   ant query   <file> --pointer NAME | --alias NAME NAME
   ant gen     <benchmark> [--scale S] [-o out.consts]
   ant compare <file>
@@ -22,8 +29,7 @@ BENCHMARKS: emacs ghostscript gimp insight wine linux";
 
 /// Loads a program from a `.c` source or a constraint file.
 fn load(path: &str) -> Result<Program, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if path.ends_with(".c") {
         let out = ant_frontend::compile_c(&text).map_err(|e| format!("{path}: {e}"))?;
         for w in &out.warnings {
@@ -50,26 +56,112 @@ fn config_from(opts: &Opts) -> Result<SolverConfig, String> {
         Some("divided-lrf") => ant_common::worklist::WorklistKind::DividedLrf,
         Some(other) => return Err(format!("unknown worklist `{other}`")),
     };
+    let progress_every = match opts.value("--progress-every") {
+        None => SolverConfig::DEFAULT_PROGRESS_EVERY,
+        Some(n) => n
+            .parse::<u32>()
+            .map_err(|_| format!("bad --progress-every `{n}` (want a non-negative integer)"))?,
+    };
     Ok(SolverConfig {
         algorithm,
         worklist,
+        progress_every,
     })
 }
 
-fn run(program: &Program, opts: &Opts) -> Result<(SolveOutput, Option<ovs::OvsResult>), String> {
+/// Observer stack assembled from `--trace-out` / `--progress`.
+struct Telemetry {
+    trace: Option<(String, TraceWriter<File>)>,
+    progress: Option<ProgressPrinter<io::Stderr>>,
+}
+
+impl Telemetry {
+    /// `Ok(None)` when no telemetry flag is present.
+    fn from_opts(opts: &Opts) -> Result<Option<Telemetry>, String> {
+        let trace = match opts.value("--trace-out") {
+            None => None,
+            Some(path) => {
+                let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+                Some((path.to_owned(), TraceWriter::new(file)))
+            }
+        };
+        let progress = opts.has("--progress").then(ProgressPrinter::stderr);
+        if trace.is_none() && progress.is_none() {
+            return Ok(None);
+        }
+        Ok(Some(Telemetry { trace, progress }))
+    }
+
+    fn fan(&mut self) -> FanOut<'_> {
+        let mut fan = FanOut::new();
+        if let Some((_, writer)) = &mut self.trace {
+            fan.push(writer);
+        }
+        if let Some(printer) = &mut self.progress {
+            fan.push(printer);
+        }
+        fan
+    }
+
+    /// Flushes the trace file and surfaces any write error.
+    fn finish(self) -> Result<(), String> {
+        if let Some((path, writer)) = self.trace {
+            if let Some(e) = writer.error() {
+                return Err(format!("failed writing {path}: {e}"));
+            }
+            writer.into_inner();
+            eprintln!("trace written to {path}");
+        }
+        Ok(())
+    }
+}
+
+/// An [`Obs`] over the fan-out when telemetry is on, else a silent one.
+fn obs_over<'a>(fan: &'a mut Option<FanOut<'_>>) -> Obs<'a> {
+    match fan {
+        Some(fan) => Obs::new(fan, 0),
+        None => Obs::none(),
+    }
+}
+
+fn run(input: &str, opts: &Opts) -> Result<(Program, SolveOutput, Option<ovs::OvsResult>), String> {
     let config = config_from(opts)?;
-    let reduced = if opts.has("--no-ovs") {
-        None
-    } else {
-        Some(ovs::substitute(program))
+    let mut telemetry = Telemetry::from_opts(opts)?;
+    let result = {
+        let mut fan = telemetry.as_mut().map(Telemetry::fan);
+
+        // Load (and for .c inputs, compile) under a `parse` span.
+        let program = {
+            let mut obs = obs_over(&mut fan);
+            let mut timer = PhaseTimer::new();
+            timer.start(Phase::Parse, &mut obs);
+            let loaded = load(input);
+            timer.stop(&mut obs);
+            loaded?
+        };
+
+        let reduced = if opts.has("--no-ovs") {
+            None
+        } else {
+            let mut obs = obs_over(&mut fan);
+            Some(ovs::substitute_with_obs(&program, &mut obs))
+        };
+        let target = reduced.as_ref().map(|r| &r.program).unwrap_or(&program);
+        let out = match (opts.value("--pts"), &mut fan) {
+            (None | Some("bitmap"), None) => run_solver::<BitmapPts>(target, &config),
+            (None | Some("bitmap"), Some(fan)) => {
+                solve_with_observer::<BitmapPts>(target, &config, &mut *fan)
+            }
+            (Some("bdd"), None) => run_solver::<BddPts>(target, &config),
+            (Some("bdd"), Some(fan)) => solve_with_observer::<BddPts>(target, &config, &mut *fan),
+            (Some(other), _) => return Err(format!("unknown points-to representation `{other}`")),
+        };
+        (program, out, reduced)
     };
-    let target = reduced.as_ref().map(|r| &r.program).unwrap_or(program);
-    let out = match opts.value("--pts") {
-        None | Some("bitmap") => run_solver::<BitmapPts>(target, &config),
-        Some("bdd") => run_solver::<BddPts>(target, &config),
-        Some(other) => return Err(format!("unknown points-to representation `{other}`")),
-    };
-    Ok((out, reduced))
+    if let Some(telemetry) = telemetry {
+        telemetry.finish()?;
+    }
+    Ok(result)
 }
 
 fn expanded(out: &SolveOutput, reduced: &Option<ovs::OvsResult>) -> Solution {
@@ -118,8 +210,7 @@ pub fn solve(args: &[String]) -> Result<(), String> {
     let [input] = opts.positional.as_slice() else {
         return Err("solve takes exactly one input file".into());
     };
-    let program = load(input)?;
-    let (out, reduced) = run(&program, &opts)?;
+    let (program, out, reduced) = run(input, &opts)?;
     let solution = expanded(&out, &reduced);
     if let Some(r) = &reduced {
         eprintln!(
@@ -151,8 +242,7 @@ pub fn query(args: &[String]) -> Result<(), String> {
     let [input, rest @ ..] = opts.positional.as_slice() else {
         return Err("query takes an input file".into());
     };
-    let program = load(input)?;
-    let (out, reduced) = run(&program, &opts)?;
+    let (program, out, reduced) = run(input, &opts)?;
     let solution = expanded(&out, &reduced);
     if let Some(name) = opts.value("--pointer") {
         let v = program
@@ -254,10 +344,7 @@ mod tests {
 
     #[test]
     fn compile_and_solve_roundtrip() {
-        let c = write_temp(
-            "t1.c",
-            "int x; int *p; void main() { p = &x; }",
-        );
+        let c = write_temp("t1.c", "int x; int *p; void main() { p = &x; }");
         let out = write_temp("t1.consts", "");
         compile(&s(&[&c, "-o", &out])).unwrap();
         solve(&s(&[&out])).unwrap();
@@ -292,6 +379,85 @@ mod tests {
             "int x; int *p; int **pp; void main() { p = &x; pp = &p; **pp = x; }",
         );
         compare(&s(&[&c])).unwrap();
+    }
+
+    /// Golden end-to-end check of the `--trace-out` JSONL schema: every
+    /// line parses, carries `t`/`event`/`solver`, and the run produces the
+    /// expected span structure plus at least one progress snapshot and one
+    /// cycle collapse.
+    #[test]
+    fn solve_trace_out_emits_schema_conformant_jsonl() {
+        use ant_core::obs::parse_object;
+        // `*a ⊇ q` and `q ⊇ *a` put {*a, q} in one offline SCC, so HCD
+        // collapses pts(a) with q online — guaranteeing a cycle event.
+        let c = write_temp(
+            "t6.c",
+            "int x; int *p; int *q; int **a;\n\
+             void main() { a = &p; p = &x; q = *a; *a = q; }",
+        );
+        let trace = write_temp("t6.jsonl", "");
+        solve(&s(&[
+            &c,
+            "--algorithm",
+            "lcd-hcd",
+            "--no-ovs",
+            "--trace-out",
+            &trace,
+            "--progress-every",
+            "1",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let records: Vec<_> = text
+            .lines()
+            .map(|l| parse_object(l).expect("every trace line is a flat JSON object"))
+            .collect();
+        assert!(!records.is_empty());
+        let mut last_t = 0.0;
+        for r in &records {
+            let t = r["t"].as_f64().expect("t is a number");
+            assert!(t >= last_t, "timestamps are monotone");
+            last_t = t;
+            assert!(r.contains_key("solver"));
+            let event = r["event"].as_str().expect("event is a string");
+            match event {
+                "phase_start" => assert!(r["phase"].as_str().is_some()),
+                "phase_end" => {
+                    assert!(r["phase"].as_str().is_some());
+                    assert!(r["seconds"].as_f64().unwrap() >= 0.0);
+                }
+                "progress" => {
+                    for key in ["worklist", "nodes", "propagations", "pts_bytes"] {
+                        assert!(r[key].as_u64().is_some(), "progress carries {key}");
+                    }
+                }
+                "cycle_collapsed" => assert!(r["members"].as_u64().unwrap() >= 1),
+                "graph_mutation" => assert!(r["edges_added"].as_u64().is_some()),
+                "solver_start" => {}
+                other => panic!("unknown event kind `{other}`"),
+            }
+        }
+        let count = |ev: &str| {
+            records
+                .iter()
+                .filter(|r| r["event"].as_str() == Some(ev))
+                .count()
+        };
+        assert_eq!(count("solver_start"), 1);
+        assert!(count("progress") >= 1, "at least one snapshot per run");
+        assert!(count("cycle_collapsed") >= 1, "HCD collapsed the cycle");
+        assert_eq!(count("phase_start"), count("phase_end"), "spans balance");
+        let phases: Vec<_> = records
+            .iter()
+            .filter(|r| r["event"].as_str() == Some("phase_start"))
+            .map(|r| r["phase"].as_str().unwrap().to_owned())
+            .collect();
+        for expected in ["parse", "offline_hcd", "offline_scc", "solve"] {
+            assert!(
+                phases.iter().any(|p| p == expected),
+                "saw a {expected} span"
+            );
+        }
     }
 
     #[test]

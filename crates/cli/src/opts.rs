@@ -16,6 +16,8 @@ const VALUED: &[&str] = &[
     "--seed",
     "--pointer",
     "--worklist",
+    "--trace-out",
+    "--progress-every",
 ];
 
 impl Opts {
@@ -30,9 +32,7 @@ impl Opts {
         while let Some(a) = it.next() {
             if a.starts_with('-') {
                 if VALUED.contains(&a.as_str()) {
-                    let v = it
-                        .next()
-                        .ok_or_else(|| format!("flag {a} needs a value"))?;
+                    let v = it.next().ok_or_else(|| format!("flag {a} needs a value"))?;
                     out.flags.push((a.clone(), Some(v.clone())));
                 } else {
                     out.flags.push((a.clone(), None));

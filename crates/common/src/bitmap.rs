@@ -227,10 +227,7 @@ impl SparseBitmap {
                 Ordering::Equal => {
                     out.push(Element {
                         idx: a[i].idx,
-                        words: [
-                            a[i].words[0] | b[j].words[0],
-                            a[i].words[1] | b[j].words[1],
-                        ],
+                        words: [a[i].words[0] | b[j].words[0], a[i].words[1] | b[j].words[1]],
                     });
                     i += 1;
                     j += 1;
@@ -674,7 +671,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(s.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            model.iter().copied().collect::<Vec<_>>()
+        );
         assert_eq!(s.len(), model.len());
     }
 }

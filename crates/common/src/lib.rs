@@ -11,7 +11,9 @@
 //! * [`worklist`] — FIFO / LIFO / least-recently-fired worklists, including
 //!   the divided *current*/*next* worklist of Nielson et al.,
 //! * [`SolverStats`] — the counters reported in §5.3 of the paper (nodes
-//!   collapsed, nodes searched, propagations) plus byte accounting.
+//!   collapsed, nodes searched, propagations) plus byte accounting,
+//! * [`obs`] — the telemetry layer: phase-scoped timers, progress
+//!   snapshots and JSON-lines trace export shared by every solver.
 //!
 //! # Example
 //!
@@ -32,6 +34,7 @@ mod bitmap;
 pub mod fx;
 mod idx;
 mod mem;
+pub mod obs;
 mod stats;
 mod union_find;
 pub mod worklist;

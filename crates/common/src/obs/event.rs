@@ -1,0 +1,139 @@
+//! The telemetry event model: named phases, progress snapshots and the
+//! [`SolveEvent`] enum every observer receives.
+
+use std::time::Duration;
+
+/// A named unit of solver work that wall time is attributed to.
+///
+/// The coarse phases (`Parse` through `Solve`) follow the lifecycle of a
+/// run: front-end parsing, the offline pre-passes of the paper (§4: offline
+/// variable substitution, the HCD offline pass and its SCC detection), then
+/// the online solve. The fine phases (`Complex`, `Propagate`,
+/// `CycleSearch`) subdivide the online solve into the three activities §5.3
+/// of the paper measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Reading and parsing the input program into constraints.
+    Parse = 0,
+    /// Offline variable substitution (Rountev & Chandra).
+    OfflineOvs = 1,
+    /// The HCD offline pass over the (ref-augmented) constraint graph.
+    OfflineHcd = 2,
+    /// SCC detection inside the offline passes.
+    OfflineScc = 3,
+    /// The online worklist solve as a whole.
+    Solve = 4,
+    /// Complex-constraint resolution (loads/stores adding edges).
+    Complex = 5,
+    /// Points-to propagation across constraint edges.
+    Propagate = 6,
+    /// Online cycle detection (LCD/PKH searches, HT queries).
+    CycleSearch = 7,
+}
+
+impl Phase {
+    /// Number of distinct phases (for fixed-size per-phase tables).
+    pub const COUNT: usize = 8;
+
+    /// Every phase, in declaration order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Parse,
+        Phase::OfflineOvs,
+        Phase::OfflineHcd,
+        Phase::OfflineScc,
+        Phase::Solve,
+        Phase::Complex,
+        Phase::Propagate,
+        Phase::CycleSearch,
+    ];
+
+    /// Stable machine-readable name, used as the `phase` field in traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::OfflineOvs => "offline_ovs",
+            Phase::OfflineHcd => "offline_hcd",
+            Phase::OfflineScc => "offline_scc",
+            Phase::Solve => "solve",
+            Phase::Complex => "complex",
+            Phase::Propagate => "propagate",
+            Phase::CycleSearch => "cycle_search",
+        }
+    }
+
+    /// Index into per-phase tables; the inverse of [`Phase::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Parses the [`Phase::name`] spelling back into a phase.
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// A point-in-time measurement of solver progress, emitted every N
+/// worklist pops (see `Obs::tick`) and once at the end of every solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Nodes currently awaiting processing on the worklist.
+    pub worklist_len: usize,
+    /// Worklist pops performed so far.
+    pub nodes_processed: u64,
+    /// Points-to propagations performed so far.
+    pub propagations: u64,
+    /// Bytes currently held by points-to set representations (an estimate
+    /// during the run; exact byte accounting happens at finalization).
+    pub pts_bytes: usize,
+}
+
+/// One telemetry event, delivered to [`Observer::on_event`].
+///
+/// [`Observer::on_event`]: crate::obs::Observer::on_event
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveEvent {
+    /// A solver run begins; subsequent events belong to `name` until the
+    /// next `SolverStart`.
+    SolverStart {
+        /// Stable solver name (e.g. `"lcd"`, `"ht"`, `"blq"`).
+        name: &'static str,
+    },
+    /// A phase span opened.
+    PhaseStart {
+        /// The phase being entered.
+        phase: Phase,
+    },
+    /// A phase span closed.
+    PhaseEnd {
+        /// The phase being left.
+        phase: Phase,
+        /// Wall time of the whole span (including nested phases).
+        duration: Duration,
+    },
+    /// A periodic progress measurement.
+    Progress(ProgressSnapshot),
+    /// A cycle was detected and collapsed into its representative.
+    CycleCollapsed {
+        /// Number of nodes merged away (cycle size minus the survivor).
+        members: u64,
+    },
+    /// Complex-constraint resolution mutated the constraint graph.
+    GraphMutation {
+        /// Edges added by this resolution step.
+        edges_added: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_roundtrip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_name(p.name()), Some(p));
+            assert_eq!(Phase::ALL[p.index()], p);
+        }
+        assert_eq!(Phase::from_name("bogus"), None);
+    }
+}

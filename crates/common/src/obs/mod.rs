@@ -1,0 +1,35 @@
+//! Solver telemetry: phase-scoped tracing, live progress snapshots and
+//! JSON-lines export.
+//!
+//! The model is deliberately small and dependency-free:
+//!
+//! * [`SolveEvent`] — what can happen: phase spans opening/closing,
+//!   periodic [`ProgressSnapshot`]s, cycles collapsing, constraint-graph
+//!   mutations, and a `SolverStart` marker that scopes subsequent events.
+//! * [`Observer`] — where events go. [`NoopObserver`] reports itself
+//!   disabled; [`FanOut`] broadcasts to several sinks; [`TraceWriter`]
+//!   emits JSON lines; [`ProgressPrinter`] renders live progress for a
+//!   terminal.
+//! * [`Obs`] — the handle instrumented code carries. It caches the
+//!   observer's enabled flag and owns the snapshot cadence counter, so an
+//!   un-observed run pays one predictable branch per emission site and per
+//!   worklist pop.
+//! * [`PhaseTimer`] — a span stack attributing wall time (whole-span and
+//!   exclusive self time) to [`Phase`]s while emitting the matching
+//!   start/end events.
+//!
+//! The JSON layer ([`JsonObject`], [`parse_object`]) is hand-rolled for
+//! the flat one-object-per-line trace schema, keeping the workspace free
+//! of serialization crates.
+
+mod event;
+mod json;
+mod observer;
+mod sink;
+mod timer;
+
+pub use event::{Phase, ProgressSnapshot, SolveEvent};
+pub use json::{escape_into, parse_object, JsonObject, JsonValue};
+pub use observer::{FanOut, NoopObserver, Obs, Observer};
+pub use sink::{ProgressPrinter, TraceWriter};
+pub use timer::PhaseTimer;

@@ -1,0 +1,235 @@
+//! The [`Observer`] trait, the no-op default, the [`FanOut`] combinator and
+//! the [`Obs`] handle solvers carry through their hot loops.
+
+use super::event::SolveEvent;
+
+/// A sink for [`SolveEvent`]s.
+///
+/// Implementations must be cheap per event; solvers emit events from inside
+/// their worklist loops. An observer that is not interested in a run can
+/// return `false` from [`Observer::enabled`], which lets instrumented code
+/// skip event construction (and the associated clock reads) entirely.
+pub trait Observer {
+    /// Receives one event.
+    fn on_event(&mut self, event: &SolveEvent);
+
+    /// Whether this observer wants events at all. Instrumentation is gated
+    /// on this, so a disabled observer costs one cached boolean test per
+    /// emission site.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The do-nothing observer: reports itself disabled so instrumented code
+/// pays (almost) nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    fn on_event(&mut self, _event: &SolveEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Broadcasts every event to several observers (e.g. a JSONL trace file and
+/// a live stderr progress printer at the same time).
+#[derive(Default)]
+pub struct FanOut<'a> {
+    sinks: Vec<&'a mut dyn Observer>,
+}
+
+impl<'a> FanOut<'a> {
+    /// Creates an empty fan-out (disabled until a sink is added).
+    pub fn new() -> Self {
+        FanOut::default()
+    }
+
+    /// Adds a sink.
+    pub fn push(&mut self, sink: &'a mut dyn Observer) {
+        self.sinks.push(sink);
+    }
+}
+
+impl Observer for FanOut<'_> {
+    fn on_event(&mut self, event: &SolveEvent) {
+        for sink in &mut self.sinks {
+            if sink.enabled() {
+                sink.on_event(event);
+            }
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+}
+
+/// The handle instrumented code holds: an optional observer plus the
+/// progress-snapshot cadence counter.
+///
+/// `Obs::none()` is the default wiring; it caches `enabled = false`, so the
+/// per-pop cost of an un-observed run is a single predictable branch.
+pub struct Obs<'o> {
+    inner: Option<&'o mut dyn Observer>,
+    enabled: bool,
+    every: u32,
+    countdown: u32,
+}
+
+impl<'o> Obs<'o> {
+    /// No observer attached; all emission sites become near-free.
+    pub fn none() -> Self {
+        Obs {
+            inner: None,
+            enabled: false,
+            every: 0,
+            countdown: 0,
+        }
+    }
+
+    /// Attaches `observer`, emitting a progress snapshot every `every`
+    /// worklist pops (`0` disables periodic snapshots; a final snapshot is
+    /// still emitted at the end of a solve).
+    pub fn new(observer: &'o mut dyn Observer, every: u32) -> Self {
+        let enabled = observer.enabled();
+        Obs {
+            inner: Some(observer),
+            enabled,
+            every,
+            countdown: every,
+        }
+    }
+
+    /// Whether instrumentation should run (cached at attach time).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Delivers one event (no-op when disabled).
+    #[inline]
+    pub fn emit(&mut self, event: &SolveEvent) {
+        if self.enabled {
+            if let Some(observer) = self.inner.as_deref_mut() {
+                observer.on_event(event);
+            }
+        }
+    }
+
+    /// Counts one worklist pop; returns `true` when a progress snapshot is
+    /// due. Call sites build the (comparatively expensive) snapshot only on
+    /// a `true` return.
+    #[inline]
+    pub fn tick(&mut self) -> bool {
+        if !self.enabled || self.every == 0 {
+            return false;
+        }
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = self.every;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The configured snapshot cadence (pops between snapshots; 0 = off).
+    pub fn every(&self) -> u32 {
+        self.every
+    }
+}
+
+impl Default for Obs<'_> {
+    fn default() -> Self {
+        Obs::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::event::{Phase, ProgressSnapshot};
+    use super::*;
+
+    /// Records every event it sees.
+    pub(crate) struct Recorder {
+        pub events: Vec<SolveEvent>,
+    }
+
+    impl Recorder {
+        pub fn new() -> Self {
+            Recorder { events: Vec::new() }
+        }
+    }
+
+    impl Observer for Recorder {
+        fn on_event(&mut self, event: &SolveEvent) {
+            self.events.push(*event);
+        }
+    }
+
+    #[test]
+    fn none_is_disabled_and_never_ticks() {
+        let mut obs = Obs::none();
+        assert!(!obs.enabled());
+        for _ in 0..1000 {
+            assert!(!obs.tick());
+        }
+        // Emitting into the void is fine.
+        obs.emit(&SolveEvent::PhaseStart {
+            phase: Phase::Solve,
+        });
+    }
+
+    #[test]
+    fn tick_fires_every_n_pops() {
+        let mut rec = Recorder::new();
+        let mut obs = Obs::new(&mut rec, 3);
+        let fired: Vec<bool> = (0..10).map(|_| obs.tick()).collect();
+        assert_eq!(
+            fired,
+            vec![false, false, true, false, false, true, false, false, true, false]
+        );
+    }
+
+    #[test]
+    fn zero_cadence_never_fires_but_still_emits() {
+        let mut rec = Recorder::new();
+        {
+            let mut obs = Obs::new(&mut rec, 0);
+            assert!(obs.enabled());
+            for _ in 0..100 {
+                assert!(!obs.tick());
+            }
+            obs.emit(&SolveEvent::Progress(ProgressSnapshot::default()));
+        }
+        assert_eq!(rec.events.len(), 1);
+    }
+
+    #[test]
+    fn noop_observer_disables_the_handle() {
+        let mut noop = NoopObserver;
+        let mut obs = Obs::new(&mut noop, 1);
+        assert!(!obs.enabled());
+        assert!(!obs.tick());
+    }
+
+    #[test]
+    fn fanout_broadcasts_and_reports_enabled() {
+        let mut a = Recorder::new();
+        let mut b = Recorder::new();
+        {
+            let mut fan = FanOut::new();
+            assert!(!fan.enabled());
+            fan.push(&mut a);
+            fan.push(&mut b);
+            assert!(fan.enabled());
+            let mut obs = Obs::new(&mut fan, 0);
+            obs.emit(&SolveEvent::CycleCollapsed { members: 4 });
+        }
+        assert_eq!(a.events, vec![SolveEvent::CycleCollapsed { members: 4 }]);
+        assert_eq!(a.events, b.events);
+    }
+}

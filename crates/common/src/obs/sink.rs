@@ -1,0 +1,237 @@
+//! Ready-made observers: [`TraceWriter`] (machine-readable JSON lines) and
+//! [`ProgressPrinter`] (human-readable live progress, normally on stderr).
+
+use std::io::{self, Write};
+use std::time::Instant;
+
+use super::event::SolveEvent;
+use super::json::JsonObject;
+use super::observer::Observer;
+
+/// Writes one flat JSON object per event (JSON Lines).
+///
+/// Every record carries `t` (seconds since the writer was created), `event`
+/// (the event kind) and `solver` (the most recent
+/// [`SolveEvent::SolverStart`] name, empty before the first solver starts),
+/// plus the kind-specific fields:
+///
+/// | `event`           | extra fields                                        |
+/// |-------------------|-----------------------------------------------------|
+/// | `solver_start`    | —                                                   |
+/// | `phase_start`     | `phase`                                             |
+/// | `phase_end`       | `phase`, `seconds`                                  |
+/// | `progress`        | `worklist`, `nodes`, `propagations`, `pts_bytes`    |
+/// | `cycle_collapsed` | `members`                                           |
+/// | `graph_mutation`  | `edges_added`                                       |
+pub struct TraceWriter<W: Write> {
+    out: W,
+    epoch: Instant,
+    solver: &'static str,
+    /// First write error, if any (subsequent events are dropped).
+    error: Option<io::Error>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps `out`; the timestamp epoch is "now".
+    pub fn new(out: W) -> Self {
+        TraceWriter {
+            out,
+            epoch: Instant::now(),
+            solver: "",
+            error: None,
+        }
+    }
+
+    /// The first I/O error encountered while writing, if any.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+
+    fn record(&mut self, event: &SolveEvent) -> String {
+        let mut o = JsonObject::new();
+        o.float_field("t", self.epoch.elapsed().as_secs_f64());
+        match event {
+            SolveEvent::SolverStart { name } => {
+                self.solver = name;
+                o.str_field("event", "solver_start");
+                o.str_field("solver", name);
+            }
+            SolveEvent::PhaseStart { phase } => {
+                o.str_field("event", "phase_start");
+                o.str_field("solver", self.solver);
+                o.str_field("phase", phase.name());
+            }
+            SolveEvent::PhaseEnd { phase, duration } => {
+                o.str_field("event", "phase_end");
+                o.str_field("solver", self.solver);
+                o.str_field("phase", phase.name());
+                o.float_field("seconds", duration.as_secs_f64());
+            }
+            SolveEvent::Progress(s) => {
+                o.str_field("event", "progress");
+                o.str_field("solver", self.solver);
+                o.uint_field("worklist", s.worklist_len as u64);
+                o.uint_field("nodes", s.nodes_processed);
+                o.uint_field("propagations", s.propagations);
+                o.uint_field("pts_bytes", s.pts_bytes as u64);
+            }
+            SolveEvent::CycleCollapsed { members } => {
+                o.str_field("event", "cycle_collapsed");
+                o.str_field("solver", self.solver);
+                o.uint_field("members", *members);
+            }
+            SolveEvent::GraphMutation { edges_added } => {
+                o.str_field("event", "graph_mutation");
+                o.str_field("solver", self.solver);
+                o.uint_field("edges_added", *edges_added);
+            }
+        }
+        o.finish()
+    }
+}
+
+impl<W: Write> Observer for TraceWriter<W> {
+    fn on_event(&mut self, event: &SolveEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = self.record(event);
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Prints human-readable progress lines — phase transitions and periodic
+/// snapshots — meant for a terminal (stderr) while a long solve runs.
+pub struct ProgressPrinter<W: Write> {
+    out: W,
+    solver: &'static str,
+}
+
+impl ProgressPrinter<io::Stderr> {
+    /// A printer writing to stderr.
+    pub fn stderr() -> Self {
+        ProgressPrinter::new(io::stderr())
+    }
+}
+
+impl<W: Write> ProgressPrinter<W> {
+    /// Wraps an arbitrary writer (used by tests).
+    pub fn new(out: W) -> Self {
+        ProgressPrinter { out, solver: "" }
+    }
+
+    fn tag(&self) -> &'static str {
+        if self.solver.is_empty() {
+            "-"
+        } else {
+            self.solver
+        }
+    }
+}
+
+impl<W: Write> Observer for ProgressPrinter<W> {
+    fn on_event(&mut self, event: &SolveEvent) {
+        let tag = self.tag();
+        let _ = match event {
+            SolveEvent::SolverStart { name } => {
+                self.solver = name;
+                writeln!(self.out, "[{name}] start")
+            }
+            SolveEvent::PhaseStart { phase } => {
+                writeln!(self.out, "[{tag}] {} ...", phase.name())
+            }
+            SolveEvent::PhaseEnd { phase, duration } => {
+                writeln!(
+                    self.out,
+                    "[{tag}] {} done in {:.3}s",
+                    phase.name(),
+                    duration.as_secs_f64()
+                )
+            }
+            SolveEvent::Progress(s) => {
+                writeln!(
+                    self.out,
+                    "[{tag}] worklist {} | nodes {} | propagations {} | pts {:.1} MiB",
+                    s.worklist_len,
+                    s.nodes_processed,
+                    s.propagations,
+                    s.pts_bytes as f64 / (1024.0 * 1024.0)
+                )
+            }
+            // Cycle and mutation events are too frequent for a terminal.
+            SolveEvent::CycleCollapsed { .. } | SolveEvent::GraphMutation { .. } => Ok(()),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::event::{Phase, ProgressSnapshot};
+    use super::super::json::parse_object;
+    use super::*;
+    use std::time::Duration;
+
+    fn drive(observer: &mut dyn Observer) {
+        observer.on_event(&SolveEvent::SolverStart { name: "lcd" });
+        observer.on_event(&SolveEvent::PhaseStart {
+            phase: Phase::Solve,
+        });
+        observer.on_event(&SolveEvent::Progress(ProgressSnapshot {
+            worklist_len: 7,
+            nodes_processed: 40,
+            propagations: 99,
+            pts_bytes: 1 << 20,
+        }));
+        observer.on_event(&SolveEvent::CycleCollapsed { members: 3 });
+        observer.on_event(&SolveEvent::GraphMutation { edges_added: 2 });
+        observer.on_event(&SolveEvent::PhaseEnd {
+            phase: Phase::Solve,
+            duration: Duration::from_millis(1500),
+        });
+    }
+
+    #[test]
+    fn trace_writer_emits_parseable_jsonl() {
+        let mut w = TraceWriter::new(Vec::new());
+        drive(&mut w);
+        assert!(w.error().is_none());
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 6);
+        let maps: Vec<_> = lines.iter().map(|l| parse_object(l).unwrap()).collect();
+        for m in &maps {
+            assert!(m["t"].as_f64().unwrap() >= 0.0);
+            assert!(m.contains_key("solver"));
+        }
+        assert_eq!(maps[0]["event"].as_str(), Some("solver_start"));
+        assert_eq!(maps[1]["event"].as_str(), Some("phase_start"));
+        assert_eq!(maps[1]["phase"].as_str(), Some("solve"));
+        assert_eq!(maps[1]["solver"].as_str(), Some("lcd"));
+        assert_eq!(maps[2]["worklist"].as_u64(), Some(7));
+        assert_eq!(maps[2]["pts_bytes"].as_u64(), Some(1 << 20));
+        assert_eq!(maps[3]["members"].as_u64(), Some(3));
+        assert_eq!(maps[4]["edges_added"].as_u64(), Some(2));
+        assert!((maps[5]["seconds"].as_f64().unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn progress_printer_is_human_readable() {
+        let mut p = ProgressPrinter::new(Vec::new());
+        drive(&mut p);
+        let text = String::from_utf8(p.out).unwrap();
+        assert!(text.contains("[lcd] start"));
+        assert!(text.contains("[lcd] solve ..."));
+        assert!(text.contains("worklist 7"));
+        assert!(text.contains("done in 1.500s"));
+        // Chatty events are suppressed.
+        assert!(!text.contains("members"));
+    }
+}

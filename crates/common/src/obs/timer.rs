@@ -1,0 +1,172 @@
+//! [`PhaseTimer`]: a span stack that attributes wall time to [`Phase`]s,
+//! keeping both whole-span time and exclusive self time (span minus nested
+//! children) per phase.
+
+use std::time::{Duration, Instant};
+
+use super::event::{Phase, SolveEvent};
+use super::observer::Obs;
+
+struct Span {
+    phase: Phase,
+    started: Instant,
+    /// Wall time spent in already-closed child spans.
+    child: Duration,
+}
+
+/// A stack of open phase spans plus accumulated per-phase totals.
+///
+/// `start`/`stop` emit [`SolveEvent::PhaseStart`]/[`SolveEvent::PhaseEnd`]
+/// through the supplied [`Obs`] handle, so the same calls drive both the
+/// trace and the timing tables. Spans nest: stopping a span adds its wall
+/// time to the parent's child-time, so [`PhaseTimer::self_time`] reports
+/// time spent in a phase *excluding* nested phases while
+/// [`PhaseTimer::span_time`] reports the whole span.
+#[derive(Default)]
+pub struct PhaseTimer {
+    stack: Vec<Span>,
+    self_time: [Duration; Phase::COUNT],
+    span_time: [Duration; Phase::COUNT],
+    counts: [u64; Phase::COUNT],
+}
+
+impl PhaseTimer {
+    /// Creates an empty timer.
+    pub fn new() -> Self {
+        PhaseTimer::default()
+    }
+
+    /// Opens a span for `phase` and emits `PhaseStart`.
+    pub fn start(&mut self, phase: Phase, obs: &mut Obs<'_>) {
+        obs.emit(&SolveEvent::PhaseStart { phase });
+        self.stack.push(Span {
+            phase,
+            started: Instant::now(),
+            child: Duration::ZERO,
+        });
+    }
+
+    /// Closes the innermost span, emits `PhaseEnd`, and returns the span's
+    /// wall time. Panics if no span is open.
+    pub fn stop(&mut self, obs: &mut Obs<'_>) -> Duration {
+        let span = self
+            .stack
+            .pop()
+            .expect("PhaseTimer::stop with no open span");
+        let wall = span.started.elapsed();
+        let i = span.phase.index();
+        self.span_time[i] += wall;
+        self.self_time[i] += wall.saturating_sub(span.child);
+        self.counts[i] += 1;
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child += wall;
+        }
+        obs.emit(&SolveEvent::PhaseEnd {
+            phase: span.phase,
+            duration: wall,
+        });
+        wall
+    }
+
+    /// Total wall time of closed `phase` spans, including nested phases.
+    pub fn span_time(&self, phase: Phase) -> Duration {
+        self.span_time[phase.index()]
+    }
+
+    /// Total time attributed exclusively to `phase` (nested spans deducted).
+    pub fn self_time(&self, phase: Phase) -> Duration {
+        self.self_time[phase.index()]
+    }
+
+    /// How many `phase` spans have been closed.
+    pub fn count(&self, phase: Phase) -> u64 {
+        self.counts[phase.index()]
+    }
+
+    /// The phase of the innermost open span, if any.
+    pub fn current(&self) -> Option<Phase> {
+        self.stack.last().map(|s| s.phase)
+    }
+
+    /// Number of open spans.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::event::Phase;
+    use super::super::observer::{Obs, Observer};
+    use super::*;
+    use std::thread::sleep;
+
+    #[test]
+    fn nesting_attributes_self_time() {
+        let mut timer = PhaseTimer::new();
+        let mut obs = Obs::none();
+        let outer_sleep = Duration::from_millis(8);
+        let inner_sleep = Duration::from_millis(8);
+
+        timer.start(Phase::Solve, &mut obs);
+        assert_eq!(timer.current(), Some(Phase::Solve));
+        sleep(outer_sleep);
+        timer.start(Phase::Complex, &mut obs);
+        assert_eq!(timer.depth(), 2);
+        sleep(inner_sleep);
+        let inner_wall = timer.stop(&mut obs);
+        let outer_wall = timer.stop(&mut obs);
+        assert_eq!(timer.depth(), 0);
+        assert_eq!(timer.current(), None);
+
+        // The outer span covers both sleeps; its self time excludes the
+        // inner span, so it must be at least the outer sleep but at most
+        // the outer wall minus the inner sleep.
+        assert!(outer_wall >= outer_sleep + inner_sleep);
+        assert!(inner_wall >= inner_sleep);
+        let self_outer = timer.self_time(Phase::Solve);
+        assert!(self_outer >= outer_sleep, "self {self_outer:?}");
+        assert!(self_outer <= outer_wall - inner_sleep + Duration::from_millis(1));
+        assert_eq!(timer.span_time(Phase::Solve), outer_wall);
+        assert_eq!(timer.span_time(Phase::Complex), inner_wall);
+        assert_eq!(timer.self_time(Phase::Complex), inner_wall);
+        assert_eq!(timer.count(Phase::Solve), 1);
+        assert_eq!(timer.count(Phase::Complex), 1);
+    }
+
+    #[test]
+    fn repeated_spans_accumulate() {
+        let mut timer = PhaseTimer::new();
+        let mut obs = Obs::none();
+        for _ in 0..3 {
+            timer.start(Phase::Propagate, &mut obs);
+            timer.stop(&mut obs);
+        }
+        assert_eq!(timer.count(Phase::Propagate), 3);
+        assert!(timer.span_time(Phase::Propagate) >= timer.self_time(Phase::Propagate));
+    }
+
+    #[test]
+    fn start_stop_emit_events() {
+        struct Log(Vec<&'static str>);
+        impl Observer for Log {
+            fn on_event(&mut self, event: &SolveEvent) {
+                self.0.push(match event {
+                    SolveEvent::PhaseStart { .. } => "start",
+                    SolveEvent::PhaseEnd { .. } => "end",
+                    _ => "other",
+                });
+            }
+        }
+        let mut log = Log(Vec::new());
+        {
+            let mut obs = Obs::new(&mut log, 0);
+            let mut timer = PhaseTimer::new();
+            timer.start(Phase::Parse, &mut obs);
+            timer.start(Phase::OfflineScc, &mut obs);
+            timer.stop(&mut obs);
+            timer.stop(&mut obs);
+        }
+        assert_eq!(log.0, vec!["start", "start", "end", "end"]);
+    }
+}

@@ -43,6 +43,15 @@ pub struct SolverStats {
     pub solve_time: Duration,
     /// Wall-clock time of offline pre-analyses run by the solver (HCD).
     pub offline_time: Duration,
+    /// Time inside complex-constraint resolution (`process_complex`).
+    ///
+    /// The per-phase durations below are collected only when an observer is
+    /// attached; un-observed runs skip the clock reads and leave them zero.
+    pub complex_time: Duration,
+    /// Time propagating points-to sets across constraint edges.
+    pub propagate_time: Duration,
+    /// Time in online cycle detection (searches, collapses, order repair).
+    pub cycle_time: Duration,
 }
 
 impl SolverStats {
@@ -64,20 +73,45 @@ impl SolverStats {
 
 impl AddAssign<&SolverStats> for SolverStats {
     fn add_assign(&mut self, rhs: &SolverStats) {
-        self.nodes_collapsed += rhs.nodes_collapsed;
-        self.nodes_searched += rhs.nodes_searched;
-        self.propagations += rhs.propagations;
-        self.propagations_changed += rhs.propagations_changed;
-        self.cycle_searches += rhs.cycle_searches;
-        self.cycles_found += rhs.cycles_found;
-        self.edges_added += rhs.edges_added;
-        self.complex_iters += rhs.complex_iters;
-        self.nodes_processed += rhs.nodes_processed;
-        self.pts_bytes += rhs.pts_bytes;
-        self.graph_bytes += rhs.graph_bytes;
-        self.aux_bytes += rhs.aux_bytes;
-        self.solve_time += rhs.solve_time;
-        self.offline_time += rhs.offline_time;
+        // Exhaustive destructuring (no `..`): adding a field to the struct
+        // without extending this impl is a compile error, not a silently
+        // dropped counter.
+        let SolverStats {
+            nodes_collapsed,
+            nodes_searched,
+            propagations,
+            propagations_changed,
+            cycle_searches,
+            cycles_found,
+            edges_added,
+            complex_iters,
+            nodes_processed,
+            pts_bytes,
+            graph_bytes,
+            aux_bytes,
+            solve_time,
+            offline_time,
+            complex_time,
+            propagate_time,
+            cycle_time,
+        } = rhs;
+        self.nodes_collapsed += nodes_collapsed;
+        self.nodes_searched += nodes_searched;
+        self.propagations += propagations;
+        self.propagations_changed += propagations_changed;
+        self.cycle_searches += cycle_searches;
+        self.cycles_found += cycles_found;
+        self.edges_added += edges_added;
+        self.complex_iters += complex_iters;
+        self.nodes_processed += nodes_processed;
+        self.pts_bytes += pts_bytes;
+        self.graph_bytes += graph_bytes;
+        self.aux_bytes += aux_bytes;
+        self.solve_time += *solve_time;
+        self.offline_time += *offline_time;
+        self.complex_time += *complex_time;
+        self.propagate_time += *propagate_time;
+        self.cycle_time += *cycle_time;
     }
 }
 
@@ -91,9 +125,13 @@ impl fmt::Display for SolverStats {
         writeln!(
             f,
             "cycle searches {} | cycles found {} | edges added {} ({} iters) | nodes processed {}",
-            self.cycle_searches, self.cycles_found, self.edges_added, self.complex_iters, self.nodes_processed
+            self.cycle_searches,
+            self.cycles_found,
+            self.edges_added,
+            self.complex_iters,
+            self.nodes_processed
         )?;
-        write!(
+        writeln!(
             f,
             "memory {:.1} MiB (pts {:.1}, graph {:.1}, aux {:.1}) | solve {:.3}s | offline {:.3}s",
             self.total_mib(),
@@ -102,6 +140,13 @@ impl fmt::Display for SolverStats {
             self.aux_bytes as f64 / (1024.0 * 1024.0),
             self.solve_time.as_secs_f64(),
             self.offline_time.as_secs_f64(),
+        )?;
+        write!(
+            f,
+            "phase time: complex {:.3}s | propagate {:.3}s | cycle {:.3}s",
+            self.complex_time.as_secs_f64(),
+            self.propagate_time.as_secs_f64(),
+            self.cycle_time.as_secs_f64(),
         )
     }
 }
@@ -144,5 +189,72 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("propagations"));
         assert!(text.contains("memory"));
+        assert!(text.contains("phase time"));
+    }
+
+    /// Every field participates in `+=`. The `AddAssign` impl destructures
+    /// its operand exhaustively, so adding a field without extending it is
+    /// a compile error; this test additionally checks the arithmetic by
+    /// exhaustively destructuring the sum — it too must be updated when a
+    /// field is added, keeping the three definitions in lockstep.
+    #[test]
+    fn add_assign_covers_every_field() {
+        let one = SolverStats {
+            nodes_collapsed: 1,
+            nodes_searched: 2,
+            propagations: 3,
+            propagations_changed: 4,
+            cycle_searches: 5,
+            cycles_found: 6,
+            edges_added: 7,
+            complex_iters: 8,
+            nodes_processed: 9,
+            pts_bytes: 10,
+            graph_bytes: 11,
+            aux_bytes: 12,
+            solve_time: Duration::from_millis(13),
+            offline_time: Duration::from_millis(14),
+            complex_time: Duration::from_millis(15),
+            propagate_time: Duration::from_millis(16),
+            cycle_time: Duration::from_millis(17),
+        };
+        let mut sum = one.clone();
+        sum += &one;
+        let SolverStats {
+            nodes_collapsed,
+            nodes_searched,
+            propagations,
+            propagations_changed,
+            cycle_searches,
+            cycles_found,
+            edges_added,
+            complex_iters,
+            nodes_processed,
+            pts_bytes,
+            graph_bytes,
+            aux_bytes,
+            solve_time,
+            offline_time,
+            complex_time,
+            propagate_time,
+            cycle_time,
+        } = sum;
+        assert_eq!(nodes_collapsed, 2);
+        assert_eq!(nodes_searched, 4);
+        assert_eq!(propagations, 6);
+        assert_eq!(propagations_changed, 8);
+        assert_eq!(cycle_searches, 10);
+        assert_eq!(cycles_found, 12);
+        assert_eq!(edges_added, 14);
+        assert_eq!(complex_iters, 16);
+        assert_eq!(nodes_processed, 18);
+        assert_eq!(pts_bytes, 20);
+        assert_eq!(graph_bytes, 22);
+        assert_eq!(aux_bytes, 24);
+        assert_eq!(solve_time, Duration::from_millis(26));
+        assert_eq!(offline_time, Duration::from_millis(28));
+        assert_eq!(complex_time, Duration::from_millis(30));
+        assert_eq!(propagate_time, Duration::from_millis(32));
+        assert_eq!(cycle_time, Duration::from_millis(34));
     }
 }

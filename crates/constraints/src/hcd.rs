@@ -15,6 +15,7 @@
 use crate::offline::OfflineGraph;
 use crate::scc::tarjan_scc;
 use crate::Program;
+use ant_common::obs::{Obs, Phase, PhaseTimer};
 use ant_common::VarId;
 use std::time::{Duration, Instant};
 
@@ -37,9 +38,19 @@ pub struct HcdOffline {
 impl HcdOffline {
     /// Runs the offline analysis on `program`.
     pub fn analyze(program: &Program) -> Self {
+        Self::analyze_with_obs(program, &mut Obs::none())
+    }
+
+    /// [`analyze`](Self::analyze) with telemetry: the Tarjan SCC pass is
+    /// wrapped in a [`Phase::OfflineScc`] span. Callers typically nest this
+    /// inside their own [`Phase::OfflineHcd`] span.
+    pub fn analyze_with_obs(program: &Program, obs: &mut Obs<'_>) -> Self {
         let start = Instant::now();
         let g = OfflineGraph::build(program);
+        let mut timer = PhaseTimer::new();
+        timer.start(Phase::OfflineScc, obs);
         let scc = tarjan_scc(&g.adj);
+        timer.stop(obs);
         let mut pair = vec![None; program.num_vars()];
         let mut static_unions = Vec::new();
         let mut ref_sccs = 0;

@@ -432,10 +432,7 @@ mod tests {
         b.store_offset(y, x, 2);
         let p = b.finish();
         let s = p.stats();
-        assert_eq!(
-            (s.base, s.simple, s.complex1, s.complex2),
-            (1, 2, 1, 2)
-        );
+        assert_eq!((s.base, s.simple, s.complex1, s.complex2), (1, 2, 1, 2));
         assert_eq!(s.total(), 6);
         assert!(s.to_string().contains("6 constraints"));
     }

@@ -28,6 +28,7 @@
 use crate::scc::tarjan_scc;
 use crate::{Constraint, ConstraintKind, Program};
 use ant_common::fx::{FxHashMap, FxHashSet};
+use ant_common::obs::{Obs, Phase, PhaseTimer};
 use ant_common::VarId;
 use std::time::{Duration, Instant};
 
@@ -76,6 +77,15 @@ impl OvsResult {
 
 /// Runs offline variable substitution on `program`.
 pub fn substitute(program: &Program) -> OvsResult {
+    substitute_with_obs(program, &mut Obs::none())
+}
+
+/// [`substitute`] with telemetry: the whole pass is wrapped in a
+/// [`Phase::OfflineOvs`] span, with the Tarjan condensation reported as a
+/// nested [`Phase::OfflineScc`] span.
+pub fn substitute_with_obs(program: &Program, obs: &mut Obs<'_>) -> OvsResult {
+    let mut timer = PhaseTimer::new();
+    timer.start(Phase::OfflineOvs, obs);
     let start = Instant::now();
     let n = program.num_vars();
 
@@ -108,7 +118,9 @@ pub fn substitute(program: &Program) -> OvsResult {
             preds[c.lhs.index()].push(c.rhs.as_u32());
         }
     }
+    timer.start(Phase::OfflineScc, obs);
     let scc = tarjan_scc(&succs);
+    timer.stop(obs);
     let members = scc.members();
 
     // Component classification.
@@ -247,10 +259,12 @@ pub fn substitute(program: &Program) -> OvsResult {
             .count(),
         labels: (next_label - 1) as usize,
     };
+    let elapsed = start.elapsed();
+    timer.stop(obs);
     OvsResult {
         program: program.with_constraints(out),
         subst,
-        elapsed: start.elapsed(),
+        elapsed,
         stats,
     }
 }

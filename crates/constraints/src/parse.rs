@@ -109,7 +109,12 @@ pub fn parse_program(text: &str) -> Result<Program, ParseProgramError> {
             let mut parts = rest.split_whitespace();
             let (name, slots) = match (parts.next(), parts.next(), parts.next()) {
                 (Some(n), Some(s), None) => (n, s),
-                _ => return Err(ParseProgramError::new(lineno, "expected `fun <name> <slots>`")),
+                _ => {
+                    return Err(ParseProgramError::new(
+                        lineno,
+                        "expected `fun <name> <slots>`",
+                    ))
+                }
             };
             let slots: u32 = slots
                 .parse()

@@ -165,6 +165,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index pairs are the point here
     fn dense_random_graph_partitions_correctly() {
         // Deterministic pseudo-random graph; verify the component relation
         // is an equivalence consistent with mutual reachability on a small

@@ -16,11 +16,13 @@
 
 use crate::Solution;
 use ant_bdd::{Bdd, BddManager, CubeId, Domain};
+use ant_common::obs::{Obs, ProgressSnapshot, SolveEvent};
 use ant_common::{SolverStats, UnionFind, VarId};
 use ant_constraints::hcd::HcdOffline;
 use ant_constraints::{ConstraintKind, Program};
+use std::time::Instant;
 
-struct Blq<'p> {
+struct Blq<'p, 'a, 'o> {
     program: &'p Program,
     m: BddManager,
     dv: Domain, // source / pointer column
@@ -28,9 +30,9 @@ struct Blq<'p> {
     dl: Domain, // location column (doubles as scratch for composition)
     cube_v: CubeId,
     cube_w: CubeId,
-    p_rel: Bdd,    // P(dv, dl): points-to
-    e_rel: Bdd,    // E(dv, dw): copy edges
-    load_rel: Bdd, // L(dv = ptr, dw = dst): all offset-0 loads
+    p_rel: Bdd,     // P(dv, dl): points-to
+    e_rel: Bdd,     // E(dv, dw): copy edges
+    load_rel: Bdd,  // L(dv = ptr, dw = dst): all offset-0 loads
     store_rel: Bdd, // S(dv = ptr, dw = src): all offset-0 stores
     /// Per offset k > 0: the load relation `L_k(ptr, dst)`, the store
     /// relation `S_k(ptr, src)`, and the arithmetic relation
@@ -43,10 +45,13 @@ struct Blq<'p> {
     loc2node: Bdd,
     uf: UnionFind,
     stats: SolverStats,
+    /// Borrowed (not owned): the driver emits the final snapshot and closes
+    /// the Solve phase span after this solver returns.
+    obs: &'a mut Obs<'o>,
 }
 
-impl<'p> Blq<'p> {
-    fn new(program: &'p Program) -> Self {
+impl<'p, 'a, 'o> Blq<'p, 'a, 'o> {
+    fn new(program: &'p Program, obs: &'a mut Obs<'o>) -> Self {
         let n = program.num_vars().max(2) as u64;
         let mut m = BddManager::new();
         let mut doms = m.new_interleaved_domains(&[n, n, n]).into_iter();
@@ -72,14 +77,13 @@ impl<'p> Blq<'p> {
             loc2node,
             uf: UnionFind::new(program.num_vars().max(1)),
             stats: SolverStats::new(),
+            obs,
         }
     }
 
     fn pair(&mut self, a: VarId, b: VarId) -> Bdd {
-        self.m.tuple(&[
-            (&self.dv, a.as_u32() as u64),
-            (&self.dw, b.as_u32() as u64),
-        ])
+        self.m
+            .tuple(&[(&self.dv, a.as_u32() as u64), (&self.dw, b.as_u32() as u64)])
     }
 
     fn offset_slot(&mut self, k: u32) -> usize {
@@ -142,8 +146,18 @@ impl<'p> Blq<'p> {
 
     /// Semi-naive propagation: adds `frontier` to `P` and closes `P` under
     /// `E`, pushing only the delta at each step (the incrementalization of
-    /// Berndl et al.).
+    /// Berndl et al.). With an observer attached, wall time goes to
+    /// `stats.propagate_time`.
     fn propagate(&mut self, frontier: Bdd) {
+        if !self.obs.enabled() {
+            return self.propagate_inner(frontier);
+        }
+        let t0 = Instant::now();
+        self.propagate_inner(frontier);
+        self.stats.propagate_time += t0.elapsed();
+    }
+
+    fn propagate_inner(&mut self, frontier: Bdd) {
         let mut delta = frontier;
         self.p_rel = self.m.or(self.p_rel, delta);
         while !delta.is_zero() {
@@ -211,8 +225,24 @@ impl<'p> Blq<'p> {
     }
 
     /// Applies the HCD pairs: collapse every `v ∈ pts(a)` with `b` by
-    /// rewriting the relations through a rename relation.
+    /// rewriting the relations through a rename relation. With an observer
+    /// attached, wall time goes to `stats.cycle_time` and merges are
+    /// reported as a [`SolveEvent::CycleCollapsed`].
     fn apply_hcd(&mut self, hcd: &HcdOffline) {
+        if !self.obs.enabled() {
+            return self.apply_hcd_inner(hcd);
+        }
+        let t0 = Instant::now();
+        let collapsed_before = self.stats.nodes_collapsed;
+        self.apply_hcd_inner(hcd);
+        self.stats.cycle_time += t0.elapsed();
+        let members = self.stats.nodes_collapsed - collapsed_before;
+        if members > 0 {
+            self.obs.emit(&SolveEvent::CycleCollapsed { members });
+        }
+    }
+
+    fn apply_hcd_inner(&mut self, hcd: &HcdOffline) {
         let mut merges: Vec<(VarId, VarId)> = Vec::new();
         let pairs: Vec<_> = hcd.pairs().collect();
         for (a, b) in pairs {
@@ -249,15 +279,13 @@ impl<'p> Blq<'p> {
             merged_v = self.m.or(merged_v, lv);
             let t_vw = self.pair(l, w);
             pairs_vw = self.m.or(pairs_vw, t_vw);
-            let t_vl = self.m.tuple(&[
-                (&self.dv, l.as_u32() as u64),
-                (&self.dl, w.as_u32() as u64),
-            ]);
+            let t_vl = self
+                .m
+                .tuple(&[(&self.dv, l.as_u32() as u64), (&self.dl, w.as_u32() as u64)]);
             pairs_vl = self.m.or(pairs_vl, t_vl);
-            let t_wl = self.m.tuple(&[
-                (&self.dw, l.as_u32() as u64),
-                (&self.dl, w.as_u32() as u64),
-            ]);
+            let t_wl = self
+                .m
+                .tuple(&[(&self.dw, l.as_u32() as u64), (&self.dl, w.as_u32() as u64)]);
             pairs_wl = self.m.or(pairs_wl, t_wl);
         }
         let eq_vw = self.m.domain_equals(&self.dv, &self.dw);
@@ -311,12 +339,25 @@ impl<'p> Blq<'p> {
         let mut frontier = base;
         loop {
             self.propagate(frontier);
+            // The cadence counts rounds here: BLQ has no worklist, so the
+            // snapshot reports zero pending work and the BDD heap as the
+            // points-to footprint.
+            if self.obs.tick() {
+                let snapshot = ProgressSnapshot {
+                    worklist_len: 0,
+                    nodes_processed: self.stats.nodes_processed,
+                    propagations: self.stats.propagations,
+                    pts_bytes: self.m.heap_bytes(),
+                };
+                self.obs.emit(&SolveEvent::Progress(snapshot));
+            }
             let collapsed_before = self.stats.nodes_collapsed;
             let edges = self.complex_edges();
             let new_edges = self.m.diff(edges, self.e_rel);
             if !new_edges.is_zero() {
                 self.e_rel = self.m.or(self.e_rel, new_edges);
                 self.stats.edges_added += 1;
+                self.obs.emit(&SolveEvent::GraphMutation { edges_added: 1 });
             }
             if let Some(h) = hcd {
                 self.apply_hcd(h);
@@ -359,8 +400,12 @@ impl<'p> Blq<'p> {
 }
 
 /// Runs BLQ (optionally with HCD pairs applied through BDD renaming).
-pub(crate) fn blq(program: &Program, hcd: Option<&HcdOffline>) -> (Solution, SolverStats) {
-    Blq::new(program).solve(hcd)
+pub(crate) fn blq(
+    program: &Program,
+    hcd: Option<&HcdOffline>,
+    obs: &mut Obs<'_>,
+) -> (Solution, SolverStats) {
+    Blq::new(program, obs).solve(hcd)
 }
 
 #[cfg(test)]
@@ -388,7 +433,7 @@ mod tests {
     #[test]
     fn blq_solves_loads_and_stores() {
         let program = program_with_cycle();
-        let (sol, stats) = blq(&program, None);
+        let (sol, stats) = blq(&program, None, &mut Obs::none());
         assert_sound(&program, &sol);
         let r = program.var_by_name("r").unwrap();
         let y = program.var_by_name("y").unwrap();
@@ -401,9 +446,9 @@ mod tests {
     #[test]
     fn blq_hcd_agrees_with_plain() {
         let program = program_with_cycle();
-        let (s1, _) = blq(&program, None);
+        let (s1, _) = blq(&program, None, &mut Obs::none());
         let hcd = HcdOffline::analyze(&program);
-        let (s2, st2) = blq(&program, Some(&hcd));
+        let (s2, st2) = blq(&program, Some(&hcd), &mut Obs::none());
         assert_sound(&program, &s2);
         assert!(s1.equiv(&s2), "diff at {:?}", s1.first_difference(&s2));
         let _ = st2;
@@ -423,7 +468,7 @@ mod tests {
         pb.store_offset(fp, q, 2);
         pb.load_offset(r, fp, 1);
         let program = pb.finish();
-        let (sol, _) = blq(&program, None);
+        let (sol, _) = blq(&program, None, &mut Obs::none());
         assert_sound(&program, &sol);
         assert!(sol.may_point_to(r, x));
     }
@@ -431,7 +476,7 @@ mod tests {
     #[test]
     fn empty_program_is_fine() {
         let program = ProgramBuilder::new().finish();
-        let (sol, _) = blq(&program, None);
+        let (sol, _) = blq(&program, None, &mut Obs::none());
         assert_eq!(sol.num_vars(), 0);
     }
 
@@ -451,7 +496,7 @@ mod tests {
         pb.load(r, p);
         pb.load(s, r);
         let program = pb.finish();
-        let (sol, _) = blq(&program, None);
+        let (sol, _) = blq(&program, None, &mut Obs::none());
         assert_sound(&program, &sol);
         assert!(sol.may_point_to(r, x));
     }

@@ -11,6 +11,7 @@
 use crate::pts::PtsRepr;
 use crate::state::OnlineState;
 use ant_common::fx::FxHashSet;
+use ant_common::obs::Obs;
 use ant_common::worklist::WorklistKind;
 use ant_common::VarId;
 use ant_constraints::hcd::HcdOffline;
@@ -22,12 +23,14 @@ use ant_constraints::Program;
 /// markers (a safe under-approximation: the merged node simply re-sends),
 /// and newly added edges reset the source's marker so the full set reaches
 /// the new target.
-pub(crate) fn lcd_diff<P: PtsRepr>(
+pub(crate) fn lcd_diff<'o, P: PtsRepr>(
     program: &Program,
     wk: WorklistKind,
     hcd: Option<&HcdOffline>,
-) -> OnlineState<P> {
+    obs: Obs<'o>,
+) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
+    st.obs = obs;
     if let Some(h) = hcd {
         st.install_hcd(h);
     }
@@ -48,6 +51,7 @@ pub(crate) fn lcd_diff<P: PtsRepr>(
     while let Some(popped) = wl.pop() {
         let mut n = st.find(popped);
         st.stats.nodes_processed += 1;
+        st.tick_progress(|| wl.len());
         if hcd.is_some() {
             n = st.hcd_step(n, wl.as_mut());
         }
@@ -127,8 +131,12 @@ mod tests {
             );
             for h in [false, true] {
                 let hcd = h.then(|| HcdOffline::analyze(&program));
-                let mut st =
-                    lcd_diff::<BitmapPts>(&program, WorklistKind::DividedLrf, hcd.as_ref());
+                let mut st = lcd_diff::<BitmapPts>(
+                    &program,
+                    WorklistKind::DividedLrf,
+                    hcd.as_ref(),
+                    Obs::none(),
+                );
                 let sol = Solution::from_state(&mut st);
                 assert_sound(&program, &sol);
                 assert!(

@@ -11,6 +11,7 @@
 
 use crate::pts::PtsRepr;
 use crate::state::OnlineState;
+use ant_common::obs::{Obs, SolveEvent};
 use ant_common::worklist::{Fifo, Worklist};
 use ant_common::VarId;
 use ant_constraints::hcd::HcdOffline;
@@ -45,8 +46,13 @@ impl QueryBufs {
 /// Note: in the returned state, `succs` holds **predecessor** edges — HT
 /// pulls information backwards along copy edges rather than pushing it
 /// forwards.
-pub(crate) fn ht<P: PtsRepr>(program: &Program, hcd: Option<&HcdOffline>) -> OnlineState<P> {
+pub(crate) fn ht<'o, P: PtsRepr>(
+    program: &Program,
+    hcd: Option<&HcdOffline>,
+    obs: Obs<'o>,
+) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
+    st.obs = obs;
     // Reverse the edge direction: succs[x] becomes the predecessor set of x.
     let mut preds = vec![ant_common::SparseBitmap::new(); st.n];
     for (i, s) in st.succs.iter().enumerate() {
@@ -77,6 +83,9 @@ pub(crate) fn ht<P: PtsRepr>(program: &Program, hcd: Option<&HcdOffline>) -> Onl
         round += 1;
         let edges_before = st.stats.edges_added;
         for &(a, b, k) in &loads {
+            // HT has no worklist; the cadence counts constraint resolutions
+            // and reports the per-round pending count in its place.
+            st.tick_progress(|| loads.len() + stores.len());
             let b_r = resolve(&mut st, b, round, &mut bufs, hcd.is_some(), &mut sink);
             let locs = st.pts[b_r.index()].to_vec(&st.ctx);
             let a_r = st.find(a);
@@ -92,6 +101,7 @@ pub(crate) fn ht<P: PtsRepr>(program: &Program, hcd: Option<&HcdOffline>) -> Onl
             }
         }
         for &(aptr, b, k) in &stores {
+            st.tick_progress(|| loads.len() + stores.len());
             let a_r = resolve(&mut st, aptr, round, &mut bufs, hcd.is_some(), &mut sink);
             let locs = st.pts[a_r.index()].to_vec(&st.ctx);
             let b_r = st.find(b);
@@ -166,9 +176,8 @@ fn query<P: PtsRepr>(st: &mut OnlineState<P>, root: VarId, round: u32, bufs: &mu
 
     // Predecessor snapshots are canonicalized in place: stale ids left by
     // collapsing would otherwise be re-resolved on every query.
-    let children = |st: &mut OnlineState<P>, v: u32| -> Vec<u32> {
-        st.canonical_succs(VarId::from_u32(v))
-    };
+    let children =
+        |st: &mut OnlineState<P>, v: u32| -> Vec<u32> { st.canonical_succs(VarId::from_u32(v)) };
 
     start_visit(st, bufs, root.as_u32(), &mut next_index);
     comp_stack.push(root.as_u32());
@@ -219,6 +228,9 @@ fn query<P: PtsRepr>(st: &mut OnlineState<P>, root: VarId, round: u32, bufs: &mu
                         rep = st.collapse(VarId::from_u32(m), rep);
                     }
                     st.stats.cycles_found += 1;
+                    st.obs.emit(&SolveEvent::CycleCollapsed {
+                        members: (comp.len() - 1) as u64,
+                    });
                 }
                 // Pull points-to info from the (now final) predecessors.
                 for p in st.canonical_succs(rep) {
@@ -238,9 +250,9 @@ mod tests {
     use crate::Solution;
     use ant_constraints::ProgramBuilder;
 
-    fn solve(program: &Program, use_hcd: bool) -> (Solution, OnlineState<BitmapPts>) {
+    fn solve(program: &Program, use_hcd: bool) -> (Solution, OnlineState<'static, BitmapPts>) {
         let hcd = use_hcd.then(|| HcdOffline::analyze(program));
-        let mut st = ht::<BitmapPts>(program, hcd.as_ref());
+        let mut st = ht::<BitmapPts>(program, hcd.as_ref(), Obs::none());
         (Solution::from_state(&mut st), st)
     }
 

@@ -7,10 +7,11 @@ mod pkh03;
 mod steensgaard;
 mod worklist_solvers;
 
-pub use steensgaard::steensgaard;
+pub use steensgaard::{steensgaard, steensgaard_with_observer};
 
 use crate::pts::PtsRepr;
 use crate::{Solution, SolverStats};
+use ant_common::obs::{Obs, Observer, Phase, PhaseTimer, ProgressSnapshot, SolveEvent};
 use ant_common::worklist::WorklistKind;
 use ant_constraints::hcd::HcdOffline;
 use ant_constraints::Program;
@@ -148,9 +149,13 @@ impl Algorithm {
         }
     }
 
-    /// Parses a paper-style name (case-insensitive, `+hcd` suffix allowed).
+    /// Parses a paper-style name (case-insensitive; the `+hcd` suffix may
+    /// also be spelled `-hcd`, the shell-friendly form).
     pub fn parse(s: &str) -> Option<Algorithm> {
-        let lower = s.to_ascii_lowercase();
+        let mut lower = s.to_ascii_lowercase();
+        if let Some(base) = lower.strip_suffix("-hcd") {
+            lower = format!("{base}+hcd");
+        }
         Some(match lower.as_str() {
             "basic" => Algorithm::Basic,
             "ht" => Algorithm::Ht,
@@ -183,14 +188,23 @@ pub struct SolverConfig {
     /// Worklist strategy for the worklist-driven solvers (the paper's
     /// default is LRF over a divided worklist).
     pub worklist: WorklistKind,
+    /// With an observer attached ([`solve_with_observer`]): emit a progress
+    /// snapshot every this many worklist pops (rounds/passes for the
+    /// solvers without a worklist). `0` disables periodic snapshots; one
+    /// final snapshot is emitted regardless. Ignored by plain [`solve`].
+    pub progress_every: u32,
 }
 
 impl SolverConfig {
+    /// Snapshot cadence used when none is configured explicitly.
+    pub const DEFAULT_PROGRESS_EVERY: u32 = 1024;
+
     /// Configuration with the paper's default worklist.
     pub fn new(algorithm: Algorithm) -> Self {
         SolverConfig {
             algorithm,
             worklist: WorklistKind::DividedLrf,
+            progress_every: Self::DEFAULT_PROGRESS_EVERY,
         }
     }
 }
@@ -223,29 +237,88 @@ pub struct SolveOutput {
 /// assert!(out.solution.may_point_to(q, x));
 /// ```
 pub fn solve<P: PtsRepr>(program: &Program, config: &SolverConfig) -> SolveOutput {
-    let hcd = config
-        .algorithm
-        .uses_hcd()
-        .then(|| HcdOffline::analyze(program));
+    solve_impl::<P>(program, config, Obs::none())
+}
+
+/// [`solve`] with telemetry: every event of the run — solver start, phase
+/// spans (offline HCD, online solve), periodic progress snapshots, cycle
+/// collapses and constraint-graph growth — is delivered to `observer`.
+/// The snapshot cadence comes from [`SolverConfig::progress_every`].
+///
+/// Observed runs additionally fill the per-phase durations of
+/// [`SolverStats`] (`complex_time`, `propagate_time`, `cycle_time`), which
+/// plain [`solve`] leaves zero to keep the un-instrumented hot path free of
+/// clock reads.
+pub fn solve_with_observer<P: PtsRepr>(
+    program: &Program,
+    config: &SolverConfig,
+    observer: &mut dyn Observer,
+) -> SolveOutput {
+    solve_impl::<P>(program, config, Obs::new(observer, config.progress_every))
+}
+
+fn solve_impl<P: PtsRepr>(
+    program: &Program,
+    config: &SolverConfig,
+    mut obs: Obs<'_>,
+) -> SolveOutput {
+    obs.emit(&SolveEvent::SolverStart {
+        name: config.algorithm.name(),
+    });
+    let mut timer = PhaseTimer::new();
+    let hcd = config.algorithm.uses_hcd().then(|| {
+        timer.start(Phase::OfflineHcd, &mut obs);
+        let h = HcdOffline::analyze_with_obs(program, &mut obs);
+        timer.stop(&mut obs);
+        h
+    });
     let hcd_ref = hcd.as_ref();
     let wk = config.worklist;
+    timer.start(Phase::Solve, &mut obs);
     let start = Instant::now();
+    // The worklist solvers take the observer by value (it lives in their
+    // state); `finish` closes the Solve span through the returned state.
     let (solution, mut stats) = match config.algorithm {
-        Algorithm::Basic | Algorithm::Hcd => {
-            finish(worklist_solvers::basic::<P>(program, wk, hcd_ref), start)
+        Algorithm::Basic | Algorithm::Hcd => finish(
+            worklist_solvers::basic::<P>(program, wk, hcd_ref, obs),
+            start,
+            &mut timer,
+        ),
+        Algorithm::Lcd | Algorithm::LcdHcd => finish(
+            worklist_solvers::lcd::<P>(program, wk, hcd_ref, obs),
+            start,
+            &mut timer,
+        ),
+        Algorithm::Pkh | Algorithm::PkhHcd => finish(
+            worklist_solvers::pkh::<P>(program, wk, hcd_ref, obs),
+            start,
+            &mut timer,
+        ),
+        Algorithm::Ht | Algorithm::HtHcd => {
+            finish(ht::ht::<P>(program, hcd_ref, obs), start, &mut timer)
         }
-        Algorithm::Lcd | Algorithm::LcdHcd => {
-            finish(worklist_solvers::lcd::<P>(program, wk, hcd_ref), start)
-        }
-        Algorithm::Pkh | Algorithm::PkhHcd => {
-            finish(worklist_solvers::pkh::<P>(program, wk, hcd_ref), start)
-        }
-        Algorithm::Ht | Algorithm::HtHcd => finish(ht::ht::<P>(program, hcd_ref), start),
-        Algorithm::Pkh03 => finish(pkh03::pkh03::<P>(program, wk, hcd_ref), start),
-        Algorithm::LcdDiff => finish(diff_prop::lcd_diff::<P>(program, wk, hcd_ref), start),
+        Algorithm::Pkh03 => finish(
+            pkh03::pkh03::<P>(program, wk, hcd_ref, obs),
+            start,
+            &mut timer,
+        ),
+        Algorithm::LcdDiff => finish(
+            diff_prop::lcd_diff::<P>(program, wk, hcd_ref, obs),
+            start,
+            &mut timer,
+        ),
         Algorithm::Blq | Algorithm::BlqHcd => {
-            let (solution, mut stats) = blq::blq(program, hcd_ref);
+            let (solution, mut stats) = blq::blq(program, hcd_ref, &mut obs);
             stats.solve_time = start.elapsed();
+            if obs.enabled() {
+                obs.emit(&SolveEvent::Progress(ProgressSnapshot {
+                    worklist_len: 0,
+                    nodes_processed: stats.nodes_processed,
+                    propagations: stats.propagations,
+                    pts_bytes: stats.pts_bytes,
+                }));
+            }
+            timer.stop(&mut obs);
             (solution, stats)
         }
     };
@@ -256,11 +329,19 @@ pub fn solve<P: PtsRepr>(program: &Program, config: &SolverConfig) -> SolveOutpu
 }
 
 fn finish<P: PtsRepr>(
-    mut st: crate::state::OnlineState<P>,
+    mut st: crate::state::OnlineState<'_, P>,
     start: Instant,
+    timer: &mut PhaseTimer,
 ) -> (Solution, SolverStats) {
     st.stats.solve_time = start.elapsed();
     st.finalize_bytes();
+    if st.obs.enabled() {
+        // Final snapshot: even a solve too small to hit the cadence leaves
+        // one progress record in the trace.
+        let snapshot = st.progress_snapshot(0);
+        st.obs.emit(&SolveEvent::Progress(snapshot));
+    }
+    timer.stop(&mut st.obs);
     let solution = Solution::from_state(&mut st);
     (solution, st.stats)
 }

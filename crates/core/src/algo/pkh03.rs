@@ -20,6 +20,7 @@
 
 use crate::pts::PtsRepr;
 use crate::state::OnlineState;
+use ant_common::obs::{Obs, SolveEvent};
 use ant_common::worklist::WorklistKind;
 use ant_common::VarId;
 use ant_constraints::hcd::HcdOffline;
@@ -107,12 +108,14 @@ fn restore_order<P: PtsRepr>(
 }
 
 /// Runs the PKH'03 dynamic-topological-order solver.
-pub(crate) fn pkh03<P: PtsRepr>(
+pub(crate) fn pkh03<'o, P: PtsRepr>(
     program: &Program,
     wk: WorklistKind,
     hcd: Option<&HcdOffline>,
-) -> OnlineState<P> {
+    obs: Obs<'o>,
+) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
+    st.obs = obs;
     if let Some(h) = hcd {
         st.install_hcd(h);
     }
@@ -122,6 +125,7 @@ pub(crate) fn pkh03<P: PtsRepr>(
     while let Some(popped) = wl.pop() {
         let mut n = st.find(popped);
         st.stats.nodes_processed += 1;
+        st.tick_progress(|| wl.len());
         if hcd.is_some() {
             n = st.hcd_step(n, wl.as_mut());
         }
@@ -149,6 +153,9 @@ pub(crate) fn pkh03<P: PtsRepr>(
                             rep = st.collapse_with(VarId::from_u32(m), rep, wl.as_mut());
                         }
                         st.stats.cycles_found += 1;
+                        st.obs.emit(&SolveEvent::CycleCollapsed {
+                            members: (members.len() - 1) as u64,
+                        });
                         wl.push(rep);
                     }
                 }
@@ -183,7 +190,7 @@ mod tests {
         pb.copy(x, y);
         pb.copy(y, x);
         let program = pb.finish();
-        let mut st = pkh03::<BitmapPts>(&program, WorklistKind::DividedLrf, None);
+        let mut st = pkh03::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none());
         let sol = Solution::from_state(&mut st);
         assert_sound(&program, &sol);
         let r = program.var_by_name("r").unwrap();
@@ -195,12 +202,10 @@ mod tests {
     fn agrees_with_basic_on_workload() {
         use ant_frontend::workload::WorkloadSpec;
         let program = WorkloadSpec::tiny(5).generate();
-        let mut st = pkh03::<BitmapPts>(&program, WorklistKind::DividedLrf, None);
+        let mut st = pkh03::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none());
         let sol = Solution::from_state(&mut st);
-        let reference = crate::solve::<BitmapPts>(
-            &program,
-            &crate::SolverConfig::new(crate::Algorithm::Basic),
-        );
+        let reference =
+            crate::solve::<BitmapPts>(&program, &crate::SolverConfig::new(crate::Algorithm::Basic));
         assert!(
             sol.equiv(&reference.solution),
             "PKH03 differs at {:?}",

@@ -12,6 +12,7 @@
 //! at the cost of conflating everything a pointer may reach.
 
 use crate::{Solution, SolverStats};
+use ant_common::obs::{Obs, Observer, Phase, PhaseTimer, ProgressSnapshot, SolveEvent};
 use ant_common::{UnionFind, VarId};
 use ant_constraints::{ConstraintKind, Program};
 use std::time::Instant;
@@ -87,9 +88,30 @@ impl Steens {
 /// [`solve`](crate::solve) — usually by a wide margin, which is exactly the
 /// trade-off §1 and §6 of the paper discuss.
 pub fn steensgaard(program: &Program) -> crate::SolveOutput {
+    steensgaard_impl(program, Obs::none())
+}
+
+/// [`steensgaard`] with telemetry: emits a `SolverStart` marker, wraps the
+/// unification passes in a [`Phase::Solve`] span and reports one
+/// [`ProgressSnapshot`] per pass over the constraints.
+pub fn steensgaard_with_observer(
+    program: &Program,
+    observer: &mut dyn Observer,
+    progress_every: u32,
+) -> crate::SolveOutput {
+    steensgaard_impl(program, Obs::new(observer, progress_every))
+}
+
+fn steensgaard_impl(program: &Program, mut obs: Obs<'_>) -> crate::SolveOutput {
+    obs.emit(&SolveEvent::SolverStart {
+        name: "Steensgaard",
+    });
+    let mut timer = PhaseTimer::new();
+    timer.start(Phase::Solve, &mut obs);
     let start = Instant::now();
     let n = program.num_vars();
     let mut st = Steens::new(n);
+    let mut passes = 0u64;
     // Two passes: assignments may reference pointees created later — a
     // second pass reaches the (unification) fixpoint because joins are
     // idempotent and each constraint's effect is monotone. Steensgaard's
@@ -133,6 +155,16 @@ pub fn steensgaard(program: &Program) -> crate::SolveOutput {
                 }
             }
         }
+        passes += 1;
+        if obs.tick() {
+            let snapshot = ProgressSnapshot {
+                worklist_len: 0,
+                nodes_processed: passes,
+                propagations: 0,
+                pts_bytes: 0,
+            };
+            obs.emit(&SolveEvent::Progress(snapshot));
+        }
         let sets = st.uf.set_count();
         if sets == last_sets {
             break;
@@ -158,6 +190,7 @@ pub fn steensgaard(program: &Program) -> crate::SolveOutput {
     stats.solve_time = start.elapsed();
     stats.nodes_collapsed = n.saturating_sub(st.uf.set_count()) as u64;
     stats.aux_bytes = st.uf.heap_bytes() + st.pointee.capacity() * 8;
+    timer.stop(&mut obs);
     crate::SolveOutput {
         solution: Solution::from_sets(sets),
         stats,

@@ -4,6 +4,7 @@
 use crate::pts::PtsRepr;
 use crate::state::OnlineState;
 use ant_common::fx::FxHashSet;
+use ant_common::obs::Obs;
 use ant_common::worklist::{DividedLrf, Worklist, WorklistKind};
 use ant_common::VarId;
 use ant_constraints::hcd::HcdOffline;
@@ -12,12 +13,14 @@ use ant_constraints::Program;
 /// Figure 1 (no cycle detection), optionally extended with the Hybrid Cycle
 /// Detection step of Figure 5 (`hcd = Some(..)` turns Basic into the paper's
 /// standalone HCD solver).
-pub(crate) fn basic<P: PtsRepr>(
+pub(crate) fn basic<'o, P: PtsRepr>(
     program: &Program,
     wk: WorklistKind,
     hcd: Option<&HcdOffline>,
-) -> OnlineState<P> {
+    obs: Obs<'o>,
+) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
+    st.obs = obs;
     if let Some(h) = hcd {
         st.install_hcd(h);
     }
@@ -26,6 +29,7 @@ pub(crate) fn basic<P: PtsRepr>(
     while let Some(popped) = wl.pop() {
         let mut n = st.find(popped);
         st.stats.nodes_processed += 1;
+        st.tick_progress(|| wl.len());
         if hcd.is_some() {
             n = st.hcd_step(n, wl.as_mut());
         }
@@ -42,12 +46,14 @@ pub(crate) fn basic<P: PtsRepr>(
 /// never triggered a search, run a depth-first search rooted at `z` and
 /// collapse any cycles found. Each edge triggers at most once (the set `R`),
 /// keeping the technique precise about when searching is worthwhile.
-pub(crate) fn lcd<P: PtsRepr>(
+pub(crate) fn lcd<'o, P: PtsRepr>(
     program: &Program,
     wk: WorklistKind,
     hcd: Option<&HcdOffline>,
-) -> OnlineState<P> {
+    obs: Obs<'o>,
+) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
+    st.obs = obs;
     if let Some(h) = hcd {
         st.install_hcd(h);
     }
@@ -59,6 +65,7 @@ pub(crate) fn lcd<P: PtsRepr>(
     while let Some(popped) = wl.pop() {
         let mut n = st.find(popped);
         st.stats.nodes_processed += 1;
+        st.tick_progress(|| wl.len());
         if hcd.is_some() {
             n = st.hcd_step(n, wl.as_mut());
         }
@@ -109,12 +116,14 @@ pub(crate) fn lcd<P: PtsRepr>(
 /// its *current*/*next* sections — i.e. once per pass over the pending
 /// nodes, which is what makes PKH search so much more of the graph than HT
 /// or LCD (§5.3).
-pub(crate) fn pkh<P: PtsRepr>(
+pub(crate) fn pkh<'o, P: PtsRepr>(
     program: &Program,
     _wk: WorklistKind,
     hcd: Option<&HcdOffline>,
-) -> OnlineState<P> {
+    obs: Obs<'o>,
+) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
+    st.obs = obs;
     if let Some(h) = hcd {
         st.install_hcd(h);
     }
@@ -133,6 +142,7 @@ pub(crate) fn pkh<P: PtsRepr>(
         let Some(popped) = wl.pop() else { break };
         let mut n = st.find(popped);
         st.stats.nodes_processed += 1;
+        st.tick_progress(|| wl.len());
         if hcd.is_some() {
             n = st.hcd_step(n, &mut wl);
         }
@@ -173,11 +183,11 @@ mod tests {
         let wk = WorklistKind::DividedLrf;
         let mut outs = Vec::new();
         for h in [None, Some(&hcd)] {
-            let mut s1 = basic::<BitmapPts>(program, wk, h);
+            let mut s1 = basic::<BitmapPts>(program, wk, h, Obs::none());
             outs.push(Solution::from_state(&mut s1));
-            let mut s2 = lcd::<BitmapPts>(program, wk, h);
+            let mut s2 = lcd::<BitmapPts>(program, wk, h, Obs::none());
             outs.push(Solution::from_state(&mut s2));
-            let mut s3 = pkh::<BitmapPts>(program, wk, h);
+            let mut s3 = pkh::<BitmapPts>(program, wk, h, Obs::none());
             outs.push(Solution::from_state(&mut s3));
         }
         outs
@@ -204,7 +214,7 @@ mod tests {
     #[test]
     fn lcd_collapses_the_static_cycle() {
         let program = cyclic_program();
-        let st = lcd::<BitmapPts>(&program, WorklistKind::DividedLrf, None);
+        let st = lcd::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none());
         assert!(st.stats.nodes_collapsed >= 1, "x↔y cycle should collapse");
         assert!(st.stats.cycle_searches >= 1);
     }
@@ -213,7 +223,7 @@ mod tests {
     fn hcd_collapses_without_searching() {
         let program = cyclic_program();
         let hcd = HcdOffline::analyze(&program);
-        let st = basic::<BitmapPts>(&program, WorklistKind::DividedLrf, Some(&hcd));
+        let st = basic::<BitmapPts>(&program, WorklistKind::DividedLrf, Some(&hcd), Obs::none());
         assert_eq!(st.stats.nodes_searched, 0, "HCD never traverses the graph");
     }
 
@@ -222,7 +232,7 @@ mod tests {
         let program = cyclic_program();
         let mut reference = None;
         for wk in WorklistKind::ALL {
-            let mut st = lcd::<BitmapPts>(&program, wk, None);
+            let mut st = lcd::<BitmapPts>(&program, wk, None, Obs::none());
             let sol = Solution::from_state(&mut st);
             assert_sound(&program, &sol);
             if let Some(r) = &reference {
@@ -236,7 +246,7 @@ mod tests {
     #[test]
     fn empty_program() {
         let program = ProgramBuilder::new().finish();
-        let mut st = basic::<BitmapPts>(&program, WorklistKind::Fifo, None);
+        let mut st = basic::<BitmapPts>(&program, WorklistKind::Fifo, None, Obs::none());
         let sol = Solution::from_state(&mut st);
         assert_eq!(sol.num_vars(), 0);
     }
@@ -257,7 +267,7 @@ mod tests {
         pb.load_offset(r, fp, 1); // r = return slot
         let program = pb.finish();
         for solver in [basic::<BitmapPts>, lcd::<BitmapPts>, pkh::<BitmapPts>] {
-            let mut st = solver(&program, WorklistKind::DividedLrf, None);
+            let mut st = solver(&program, WorklistKind::DividedLrf, None, Obs::none());
             let sol = Solution::from_state(&mut st);
             assert_sound(&program, &sol);
             assert!(

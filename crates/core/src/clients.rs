@@ -79,12 +79,7 @@ pub fn ref_set(program: &Program, solution: &Solution, constraint: usize) -> Opt
     Some(deref_targets(program, solution, c.rhs, c.offset))
 }
 
-fn deref_targets(
-    program: &Program,
-    solution: &Solution,
-    ptr: VarId,
-    offset: u32,
-) -> Vec<VarId> {
+fn deref_targets(program: &Program, solution: &Solution, ptr: VarId, offset: u32) -> Vec<VarId> {
     solution
         .points_to(ptr)
         .iter()
@@ -149,11 +144,7 @@ mod tests {
         let (program, solution) = setup();
         let cg = indirect_calls(&program, &solution);
         assert_eq!(cg.len(), 1);
-        let names: Vec<&str> = cg[0]
-            .targets
-            .iter()
-            .map(|&t| program.var_name(t))
-            .collect();
+        let names: Vec<&str> = cg[0].targets.iter().map(|&t| program.var_name(t)).collect();
         assert_eq!(names, vec!["f", "g"]);
     }
 

@@ -52,7 +52,11 @@ mod solution;
 mod state;
 pub mod verify;
 
-pub use algo::{solve, steensgaard, Algorithm, SolveOutput, SolverConfig};
+pub use algo::{
+    solve, solve_with_observer, steensgaard, steensgaard_with_observer, Algorithm, SolveOutput,
+    SolverConfig,
+};
+pub use ant_common::obs;
 pub use ant_common::{SolverStats, VarId};
 pub use pts::{BddPts, BddPtsCtx, BitmapPts, PtsRepr};
 pub use solution::Solution;

@@ -9,9 +9,11 @@
 //! constant factors; the collapse behaviour is identical).
 
 use crate::pts::PtsRepr;
+use ant_common::obs::{Obs, ProgressSnapshot, SolveEvent};
 use ant_common::worklist::Worklist;
 use ant_common::{SolverStats, SparseBitmap, UnionFind, VarId};
 use ant_constraints::{ConstraintKind, Program};
+use std::time::Instant;
 
 /// A complex constraint attached to a node: `(other, offset)`.
 ///
@@ -21,7 +23,11 @@ pub(crate) type ComplexRef = (VarId, u32);
 
 /// Mutable solver state shared by the Basic, LCD, HCD and PKH solvers (and
 /// used by HT for its post-pass).
-pub(crate) struct OnlineState<P: PtsRepr> {
+///
+/// The `'o` lifetime is the attached telemetry observer's; states built by
+/// [`OnlineState::new`] start with no observer (`Obs::none()`), so
+/// un-instrumented callers are unaffected.
+pub(crate) struct OnlineState<'o, P: PtsRepr> {
     pub n: usize,
     pub ctx: P::Ctx,
     pub uf: UnionFind,
@@ -45,6 +51,9 @@ pub(crate) struct OnlineState<P: PtsRepr> {
     /// `v ∈ pts(n)` with each listed target. Empty when HCD is disabled.
     pub hcd_targets: Vec<Vec<VarId>>,
     pub stats: SolverStats,
+    /// Telemetry handle; [`Obs::none`] by default. Event emission and the
+    /// per-phase clock reads are gated on `obs.enabled()`.
+    pub obs: Obs<'o>,
     // Reusable Tarjan buffers (epoch-stamped so repeated searches are cheap).
     t_epoch: Vec<u32>,
     t_index: Vec<u32>,
@@ -78,7 +87,7 @@ impl CycleSearch {
     }
 }
 
-impl<P: PtsRepr> OnlineState<P> {
+impl<'o, P: PtsRepr> OnlineState<'o, P> {
     /// Builds the initial online constraint graph of Figure 1: points-to
     /// sets from base constraints, edges from simple constraints, and
     /// per-node complex-constraint lists.
@@ -116,6 +125,7 @@ impl<P: PtsRepr> OnlineState<P> {
             offset_limit: program.offset_limits().to_vec(),
             hcd_targets: vec![Vec::new(); n],
             stats: SolverStats::new(),
+            obs: Obs::none(),
             t_epoch: vec![0; n],
             t_index: vec![0; n],
             t_low: vec![0; n],
@@ -273,8 +283,20 @@ impl<P: PtsRepr> OnlineState<P> {
     }
 
     /// Propagates `pts(src)` into `pts(dst)` (one paper "propagation");
-    /// returns `true` if `pts(dst)` grew.
+    /// returns `true` if `pts(dst)` grew. With an observer attached the
+    /// wall time is accumulated into `stats.propagate_time`.
+    #[inline]
     pub fn propagate(&mut self, src: VarId, dst: VarId) -> bool {
+        if !self.obs.enabled() {
+            return self.propagate_inner(src, dst);
+        }
+        let t0 = Instant::now();
+        let changed = self.propagate_inner(src, dst);
+        self.stats.propagate_time += t0.elapsed();
+        changed
+    }
+
+    fn propagate_inner(&mut self, src: VarId, dst: VarId) -> bool {
         debug_assert_ne!(src, dst);
         self.stats.propagations += 1;
         let s = std::mem::take(&mut self.pts[src.index()]);
@@ -290,7 +312,26 @@ impl<P: PtsRepr> OnlineState<P> {
     /// Figure 1 worklist body): materializes new edges implied by the part
     /// of `pts(n)` not yet processed, and pushes nodes that gained an
     /// outgoing edge.
+    ///
+    /// With an observer attached, wall time goes to `stats.complex_time`
+    /// and any net graph growth is reported as a
+    /// [`SolveEvent::GraphMutation`].
+    #[inline]
     pub fn process_complex(&mut self, n: VarId, wl: &mut dyn Worklist) {
+        if !self.obs.enabled() {
+            return self.process_complex_inner(n, wl);
+        }
+        let t0 = Instant::now();
+        let edges_before = self.stats.edges_added;
+        self.process_complex_inner(n, wl);
+        self.stats.complex_time += t0.elapsed();
+        let edges_added = self.stats.edges_added - edges_before;
+        if edges_added > 0 {
+            self.obs.emit(&SolveEvent::GraphMutation { edges_added });
+        }
+    }
+
+    fn process_complex_inner(&mut self, n: VarId, wl: &mut dyn Worklist) {
         if self.loads[n.index()].is_empty() && self.stores[n.index()].is_empty() {
             return;
         }
@@ -384,7 +425,26 @@ impl<P: PtsRepr> OnlineState<P> {
     ///
     /// Returns the (possibly new) representative of `n`, since `n` itself
     /// may be swallowed by a collapse.
+    ///
+    /// With an observer attached, wall time goes to `stats.cycle_time` and
+    /// collapses are reported as a [`SolveEvent::CycleCollapsed`].
+    #[inline]
     pub fn hcd_step(&mut self, n: VarId, wl: &mut dyn Worklist) -> VarId {
+        if !self.obs.enabled() {
+            return self.hcd_step_inner(n, wl);
+        }
+        let t0 = Instant::now();
+        let collapsed_before = self.stats.nodes_collapsed;
+        let rep = self.hcd_step_inner(n, wl);
+        self.stats.cycle_time += t0.elapsed();
+        let members = self.stats.nodes_collapsed - collapsed_before;
+        if members > 0 {
+            self.obs.emit(&SolveEvent::CycleCollapsed { members });
+        }
+        rep
+    }
+
+    fn hcd_step_inner(&mut self, n: VarId, wl: &mut dyn Worklist) -> VarId {
         if self.hcd_targets[n.index()].is_empty() {
             return n;
         }
@@ -421,8 +481,20 @@ impl<P: PtsRepr> OnlineState<P> {
 
     /// Iterative Tarjan search over the current representative graph from
     /// the given roots. Does **not** mutate the graph; pair with
-    /// [`collapse_sccs`](Self::collapse_sccs).
+    /// [`collapse_sccs`](Self::collapse_sccs). With an observer attached,
+    /// wall time goes to `stats.cycle_time`.
+    #[inline]
     pub fn cycle_search(&mut self, roots: &[VarId]) -> CycleSearch {
+        if !self.obs.enabled() {
+            return self.cycle_search_inner(roots);
+        }
+        let t0 = Instant::now();
+        let search = self.cycle_search_inner(roots);
+        self.stats.cycle_time += t0.elapsed();
+        search
+    }
+
+    fn cycle_search_inner(&mut self, roots: &[VarId]) -> CycleSearch {
         self.t_cur_epoch += 1;
         let epoch = self.t_cur_epoch;
         let mut next_index = 1u32;
@@ -508,8 +580,26 @@ impl<P: PtsRepr> OnlineState<P> {
 
     /// Collapses every SCC found by a [`cycle_search`](Self::cycle_search),
     /// pushing each surviving representative. Returns the number of cycles
-    /// collapsed.
+    /// collapsed. With an observer attached, wall time goes to
+    /// `stats.cycle_time` and each SCC is reported as a
+    /// [`SolveEvent::CycleCollapsed`].
+    #[inline]
     pub fn collapse_sccs(&mut self, search: &CycleSearch, wl: &mut dyn Worklist) -> usize {
+        if !self.obs.enabled() {
+            return self.collapse_sccs_inner(search, wl);
+        }
+        let t0 = Instant::now();
+        let n = self.collapse_sccs_inner(search, wl);
+        self.stats.cycle_time += t0.elapsed();
+        for comp in &search.sccs {
+            self.obs.emit(&SolveEvent::CycleCollapsed {
+                members: (comp.len() - 1) as u64,
+            });
+        }
+        n
+    }
+
+    fn collapse_sccs_inner(&mut self, search: &CycleSearch, wl: &mut dyn Worklist) -> usize {
         for comp in &search.sccs {
             let mut rep = VarId::from_u32(comp[0]);
             for &m in &comp[1..] {
@@ -519,6 +609,29 @@ impl<P: PtsRepr> OnlineState<P> {
         }
         self.stats.cycles_found += search.sccs.len() as u64;
         search.sccs.len()
+    }
+
+    /// A [`ProgressSnapshot`] of the current state. `pts_bytes` walks every
+    /// points-to set, so this is O(n); it is only built when a snapshot is
+    /// actually due.
+    pub fn progress_snapshot(&self, worklist_len: usize) -> ProgressSnapshot {
+        ProgressSnapshot {
+            worklist_len,
+            nodes_processed: self.stats.nodes_processed,
+            propagations: self.stats.propagations,
+            pts_bytes: self.pts.iter().map(P::heap_bytes).sum(),
+        }
+    }
+
+    /// Counts one worklist pop against the snapshot cadence and emits a
+    /// [`SolveEvent::Progress`] when it fires. Costs one branch when no
+    /// observer is attached.
+    #[inline]
+    pub fn tick_progress(&mut self, worklist_len: impl FnOnce() -> usize) {
+        if self.obs.tick() {
+            let snapshot = self.progress_snapshot(worklist_len());
+            self.obs.emit(&SolveEvent::Progress(snapshot));
+        }
     }
 
     /// All current representative nodes.
@@ -571,7 +684,7 @@ mod tests {
     use ant_common::worklist::Fifo;
     use ant_constraints::ProgramBuilder;
 
-    fn state_for(build: impl FnOnce(&mut ProgramBuilder)) -> OnlineState<BitmapPts> {
+    fn state_for(build: impl FnOnce(&mut ProgramBuilder)) -> OnlineState<'static, BitmapPts> {
         let mut pb = ProgramBuilder::new();
         build(&mut pb);
         OnlineState::new(&pb.finish())
@@ -733,8 +846,7 @@ mod tests {
         });
         let reps = st.reps();
         let order = st.cycle_search(&reps).topo_order();
-        let pos =
-            |v: u32| order.iter().position(|&x| x == v).expect("in order");
+        let pos = |v: u32| order.iter().position(|&x| x == v).expect("in order");
         assert!(pos(0) < pos(1));
         assert!(pos(1) < pos(2));
     }

@@ -112,7 +112,10 @@ fn mixed_function_and_data_targets() {
     pb.load_offset(r, p, 1);
     let sol = all_agree(&pb.finish());
     assert!(sol.may_point_to(r, x));
-    assert!(sol.points_to(g).is_empty(), "g must not receive the argument");
+    assert!(
+        sol.points_to(g).is_empty(),
+        "g must not receive the argument"
+    );
 }
 
 #[test]

@@ -477,10 +477,8 @@ mod tests {
 
     #[test]
     fn loads_and_stores() {
-        let out = gen(
-            "int x; int *p; int **pp; int *r;\n\
-             void main() { p = &x; pp = &p; r = *pp; **pp = x; }",
-        );
+        let out = gen("int x; int *p; int **pp; int *r;\n\
+             void main() { p = &x; pp = &p; r = *pp; **pp = x; }");
         let sol = solve(&out);
         assert!(points_to(&out, &sol, "pp", "p"));
         assert!(points_to(&out, &sol, "r", "x"));
@@ -488,23 +486,19 @@ mod tests {
 
     #[test]
     fn direct_calls_flow_args_and_returns() {
-        let out = gen(
-            "int *id(int *a) { return a; }\n\
+        let out = gen("int *id(int *a) { return a; }\n\
              int x; int *p;\n\
-             void main() { p = id(&x); }",
-        );
+             void main() { p = id(&x); }");
         let sol = solve(&out);
         assert!(points_to(&out, &sol, "p", "x"));
     }
 
     #[test]
     fn indirect_calls_via_function_pointer() {
-        let out = gen(
-            "int *id(int *a) { return a; }\n\
+        let out = gen("int *id(int *a) { return a; }\n\
              int *(*fp)(int *);\n\
              int x; int *p; int *q;\n\
-             void main() { fp = id; p = fp(&x); q = (*fp)(&x); }",
-        );
+             void main() { fp = id; p = fp(&x); q = (*fp)(&x); }");
         let sol = solve(&out);
         assert!(points_to(&out, &sol, "fp", "id"));
         assert!(points_to(&out, &sol, "p", "x"));
@@ -513,11 +507,9 @@ mod tests {
 
     #[test]
     fn fields_collapse() {
-        let out = gen(
-            "struct s { int *f; int *g; };\n\
+        let out = gen("struct s { int *f; int *g; };\n\
              struct s obj; struct s *sp; int x; int *r;\n\
-             void main() { obj.f = &x; sp = &obj; sp->g = obj.f; r = sp->f; }",
-        );
+             void main() { obj.f = &x; sp = &obj; sp->g = obj.f; r = sp->f; }");
         let sol = solve(&out);
         // Field-insensitive: obj.f and obj.g are both just obj.
         assert!(points_to(&out, &sol, "obj", "x"));
@@ -526,10 +518,8 @@ mod tests {
 
     #[test]
     fn arrays_collapse_to_one_object() {
-        let out = gen(
-            "int x; int y; int *a[4]; int *r;\n\
-             void main() { a[0] = &x; a[1] = &y; r = a[2]; }",
-        );
+        let out = gen("int x; int y; int *a[4]; int *r;\n\
+             void main() { a[0] = &x; a[1] = &y; r = a[2]; }");
         let sol = solve(&out);
         assert!(points_to(&out, &sol, "a", "x"));
         assert!(points_to(&out, &sol, "r", "x"));
@@ -538,10 +528,8 @@ mod tests {
 
     #[test]
     fn array_decay_and_address() {
-        let out = gen(
-            "int *a[4]; int **p; int **q; int x;\n\
-             void main() { p = a; q = &a[1]; *p = &x; }",
-        );
+        let out = gen("int *a[4]; int **p; int **q; int x;\n\
+             void main() { p = a; q = &a[1]; *p = &x; }");
         let sol = solve(&out);
         assert!(points_to(&out, &sol, "p", "a"));
         assert!(points_to(&out, &sol, "q", "a"));
@@ -550,10 +538,8 @@ mod tests {
 
     #[test]
     fn malloc_heap_objects_per_site() {
-        let out = gen(
-            "int *p; int *q;\n\
-             void main() { p = malloc(4); q = malloc(8); }",
-        );
+        let out = gen("int *p; int *q;\n\
+             void main() { p = malloc(4); q = malloc(8); }");
         let sol = solve(&out);
         assert!(points_to(&out, &sol, "p", "heap$0"));
         assert!(points_to(&out, &sol, "q", "heap$1"));
@@ -562,10 +548,8 @@ mod tests {
 
     #[test]
     fn locals_shadow_globals() {
-        let out = gen(
-            "int x; int *p;\n\
-             void main() { int x; p = &x; }",
-        );
+        let out = gen("int x; int *p;\n\
+             void main() { int x; p = &x; }");
         let sol = solve(&out);
         let p = out.program.var_by_name("p").unwrap();
         let global_x = out.program.var_by_name("x").unwrap();
@@ -575,10 +559,8 @@ mod tests {
 
     #[test]
     fn ternary_and_arith_merge_values() {
-        let out = gen(
-            "int x; int y; int *p; int c;\n\
-             void main() { p = c ? &x : &y; p = p + 1; }",
-        );
+        let out = gen("int x; int y; int *p; int c;\n\
+             void main() { p = c ? &x : &y; p = p + 1; }");
         let sol = solve(&out);
         assert!(points_to(&out, &sol, "p", "x"));
         assert!(points_to(&out, &sol, "p", "y"));
@@ -594,10 +576,8 @@ mod tests {
 
     #[test]
     fn string_copy_stub_copies_contents() {
-        let out = gen(
-            "int x; char *src; char *dst; char *r; char buf[8];\n\
-             void main() { src = &x; r = strcpy(&buf[0], src); }",
-        );
+        let out = gen("int x; char *src; char *dst; char *r; char buf[8];\n\
+             void main() { src = &x; r = strcpy(&buf[0], src); }");
         let sol = solve(&out);
         // r aliases the destination buffer.
         assert!(points_to(&out, &sol, "r", "buf"));
@@ -606,19 +586,14 @@ mod tests {
     #[test]
     fn unknown_externals_warn() {
         let out = gen("void main() { frobnicate(0); }");
-        assert!(out
-            .warnings
-            .iter()
-            .any(|w| w.contains("frobnicate")));
+        assert!(out.warnings.iter().any(|w| w.contains("frobnicate")));
     }
 
     #[test]
     fn generated_constraints_have_offsets_for_indirect_calls() {
-        let out = gen(
-            "int *id(int *a) { return a; }\n\
+        let out = gen("int *id(int *a) { return a; }\n\
              int *(*fp)(int *); int x;\n\
-             void main() { fp = id; fp(&x); }",
-        );
+             void main() { fp = id; fp(&x); }");
         let stats = out.program.stats();
         assert!(stats.complex2 >= 1);
         assert!(out

@@ -138,15 +138,16 @@ pub fn lex(src: &str) -> Result<Vec<(Token, usize)>, LexError> {
             }
             let text = &src[start..i];
             let suffix: &[char] = &['u', 'U', 'l', 'L'];
-            let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
-                i64::from_str_radix(hex.trim_end_matches(suffix), 16).unwrap_or(0)
-            } else {
-                // The numeric value is irrelevant to the analysis; floats
-                // and exotic forms simply lex to 0.
-                text.trim_end_matches(|c: char| c.is_ascii_alphabetic())
-                    .parse()
-                    .unwrap_or(0)
-            };
+            let value =
+                if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                    i64::from_str_radix(hex.trim_end_matches(suffix), 16).unwrap_or(0)
+                } else {
+                    // The numeric value is irrelevant to the analysis; floats
+                    // and exotic forms simply lex to 0.
+                    text.trim_end_matches(|c: char| c.is_ascii_alphabetic())
+                        .parse()
+                        .unwrap_or(0)
+                };
             out.push((Token::Int(value), line));
             continue;
         }

@@ -144,9 +144,7 @@ impl Parser {
         let mut any = false;
         loop {
             match self.peek().clone() {
-                Token::Ident(s)
-                    if s == "struct" || s == "union" || s == "enum" =>
-                {
+                Token::Ident(s) if s == "struct" || s == "union" || s == "enum" => {
                     self.bump();
                     if matches!(self.peek(), Token::Ident(_)) && !self.peek().is_punct("{") {
                         self.bump(); // tag
@@ -215,8 +213,8 @@ impl Parser {
 
     fn typedef_decl(&mut self) -> PResult<()> {
         self.bump(); // typedef
-        // Heuristic: the typedef'd name is the last plain identifier before
-        // the `;` (skipping over array bounds and parameter lists).
+                     // Heuristic: the typedef'd name is the last plain identifier before
+                     // the `;` (skipping over array bounds and parameter lists).
         let mut name = None;
         while !self.peek().is_punct(";") {
             match self.bump() {

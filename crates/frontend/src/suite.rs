@@ -178,8 +178,7 @@ pub fn suite(scale: f64) -> Vec<Benchmark> {
                     base: ((r.base as f64 * scale) as usize).max(8),
                     simple: ((r.simple as f64 * scale) as usize).max(8),
                     complex: ((r.complex as f64 * scale) as usize).max(8),
-                    functions: ((r.original as f64 * scale * r.functions_per_kc / 1000.0)
-                        as usize)
+                    functions: ((r.original as f64 * scale * r.functions_per_kc / 1000.0) as usize)
                         .max(4),
                     indirect_call_fraction: r.indirect,
                     ref_cycle_fraction: r.ref_cycles,
@@ -226,10 +225,7 @@ mod tests {
         let expect = [832.0, 1693.0, 4117.0, 2434.0, 7130.0, 5747.0];
         for (t, e) in totals.iter().zip(expect) {
             let ratio = *t as f64 / e;
-            assert!(
-                (0.85..=1.15).contains(&ratio),
-                "total {t} vs expected {e}"
-            );
+            assert!((0.85..=1.15).contains(&ratio), "total {t} vs expected {e}");
         }
     }
 

@@ -158,9 +158,7 @@ impl WorkloadSpec {
                 // benchmarks have SCCs with thousands of nodes).
                 let budget = ((self.complex - emitted_complex) / 2).max(1);
                 let r = rng.gen_range(4..=16).min(budget);
-                let ps: Vec<VarId> = (0..r)
-                    .map(|_| ptrs[rng.gen_range(0..seeded)])
-                    .collect();
+                let ps: Vec<VarId> = (0..r).map(|_| ptrs[rng.gen_range(0..seeded)]).collect();
                 let ts: Vec<VarId> = (0..r).map(|_| pick(&mut rng, &ptrs)).collect();
                 for i in 0..r {
                     b.load(ts[i], ps[i]);

@@ -11,7 +11,9 @@ use ant_grasshopper::frontend::suite;
 use ant_grasshopper::{solve, Algorithm, BitmapPts, SolverConfig};
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "emacs".to_owned());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "emacs".to_owned());
     let scale: f64 = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())
@@ -52,5 +54,8 @@ fn main() {
             ),
         }
     }
-    println!("\nall {} algorithms computed the identical solution ✓", Algorithm::ALL.len());
+    println!(
+        "\nall {} algorithms computed the identical solution ✓",
+        Algorithm::ALL.len()
+    );
 }

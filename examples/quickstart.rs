@@ -31,8 +31,11 @@ fn main() {
     let config = SolverConfig::new(Algorithm::LcdHcd);
     let analysis = analyze_c(SOURCE, &config).expect("source parses");
 
-    println!("analyzed with {} in {:.3} ms\n", config.algorithm,
-             analysis.stats.solve_time.as_secs_f64() * 1000.0);
+    println!(
+        "analyzed with {} in {:.3} ms\n",
+        config.algorithm,
+        analysis.stats.solve_time.as_secs_f64() * 1000.0
+    );
 
     for name in ["p", "q", "pp", "select#1"] {
         let v = analysis.program.var_by_name(name).expect("variable exists");
@@ -40,7 +43,11 @@ fn main() {
             .solution
             .points_to(v)
             .iter()
-            .map(|&l| analysis.program.var_name(ant_grasshopper::VarId::from_u32(l)))
+            .map(|&l| {
+                analysis
+                    .program
+                    .var_name(ant_grasshopper::VarId::from_u32(l))
+            })
             .collect();
         println!("pts({name:9}) = {{{}}}", pts.join(", "));
     }

@@ -15,7 +15,11 @@ fn pts(a: &CAnalysis, p: &str) -> Vec<String> {
     a.solution
         .points_to(v)
         .iter()
-        .map(|&l| a.program.var_name(ant_grasshopper::VarId::from_u32(l)).to_owned())
+        .map(|&l| {
+            a.program
+                .var_name(ant_grasshopper::VarId::from_u32(l))
+                .to_owned()
+        })
         .collect()
 }
 

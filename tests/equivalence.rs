@@ -84,8 +84,8 @@ fn every_worklist_strategy_agrees() {
             let out = solve::<BitmapPts>(
                 &program,
                 &SolverConfig {
-                    algorithm: alg,
                     worklist: wk,
+                    ..SolverConfig::new(alg)
                 },
             );
             assert!(
@@ -102,7 +102,12 @@ fn suite_benchmarks_solve_equivalently_at_small_scale() {
         let program = bench.program();
         let reduced = ant_grasshopper::constraints::ovs::substitute(&program);
         let reference = solve::<BitmapPts>(&reduced.program, &SolverConfig::new(Algorithm::Ht));
-        for alg in [Algorithm::Lcd, Algorithm::Hcd, Algorithm::LcdHcd, Algorithm::Pkh] {
+        for alg in [
+            Algorithm::Lcd,
+            Algorithm::Hcd,
+            Algorithm::LcdHcd,
+            Algorithm::Pkh,
+        ] {
             let out = solve::<BitmapPts>(&reduced.program, &SolverConfig::new(alg));
             assert!(
                 out.solution.equiv(&reference.solution),

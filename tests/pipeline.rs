@@ -2,8 +2,7 @@
 //! OVS → every solver → expanded solution.
 
 use ant_grasshopper::{
-    analyze_c, analyze_program, compile_c, parse_program, Algorithm, BitmapPts, SolverConfig,
-    VarId,
+    analyze_c, analyze_program, compile_c, parse_program, Algorithm, BitmapPts, SolverConfig, VarId,
 };
 
 const LINKED_LIST: &str = r#"
@@ -42,7 +41,10 @@ fn linked_list_flows_through_fields_and_calls() {
     let a = analyze_c(LINKED_LIST, &SolverConfig::new(Algorithm::LcdHcd)).unwrap();
     let head = a.program.var_by_name("head").unwrap();
     let pool = a.program.var_by_name("pool").unwrap();
-    assert!(a.solution.may_point_to(head, pool), "head points into the pool");
+    assert!(
+        a.solution.may_point_to(head, pool),
+        "head points into the pool"
+    );
     // sum's return value reaches the payload.
     let ret = a.program.var_by_name("sum#1").unwrap();
     let value = a.program.var_by_name("value").unwrap();

@@ -42,7 +42,10 @@ fn interpreter_dispatch_resolves_all_ops() {
 fn interpreter_env_is_cyclic_and_heap_allocated() {
     let a = analyze_file("interp.c");
     let env = pts_names(&a, "global_env");
-    assert!(env.iter().any(|n| n.starts_with("heap$")), "env on the heap");
+    assert!(
+        env.iter().any(|n| n.starts_with("heap$")),
+        "env on the heap"
+    );
     // env->parent = env: the heap object points back to itself.
     let heap = a
         .program
@@ -80,7 +83,10 @@ fn hashtable_callbacks_and_values() {
     assert!(!table_objs.is_empty());
     // The stored value (&answer) comes back out of table_get.
     let ret = pts_names(&a, "table_get#1");
-    assert!(ret.contains(&"answer".to_string()), "get returns &answer: {ret:?}");
+    assert!(
+        ret.contains(&"answer".to_string()),
+        "get returns &answer: {ret:?}"
+    );
     // The hash callback is resolvable at the indirect call sites.
     let calls = clients::indirect_calls(&a.program, &a.solution);
     let targets: Vec<&str> = calls

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so the workspace patches
+//! `rand` to this in-tree implementation (see `[patch.crates-io]` in the
+//! root `Cargo.toml`). It provides exactly the API surface the workspace
+//! uses — `StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen_range` and
+//! `Rng::gen_bool` — backed by the public-domain xoshiro256** generator,
+//! so workload generation stays deterministic per seed.
+//!
+//! It is **not** a cryptographic or statistically rigorous replacement for
+//! the real crate; it exists only to keep the repository self-contained.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding interface (the subset of `rand::SeedableRng` used here).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A half-open or inclusive range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample_one(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// The minimal core-RNG object-safe interface.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types samplable from uniform bits (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut dyn RngCore) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut dyn RngCore) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// User-facing sampling methods (the subset of `rand::Rng` used here).
+pub trait Rng: RngCore + Sized {
+    /// Uniform sample from `range`. Panics when the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_one(self)
+    }
+
+    /// A uniform sample of `T` (`f64` in `[0, 1)`, integers over the full
+    /// width).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        // 53 uniform mantissa bits, as the real crate does.
+        let v = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        v < p
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Integer primitives uniform sampling is defined for. Implemented via a
+/// widening round-trip through `u64` so one generic `SampleRange` impl per
+/// range shape exists — that uniqueness is what lets inference pick `T`
+/// from the range argument alone.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widens to `u64` (values are non-negative in all supported uses).
+    fn to_u64(self) -> u64;
+    /// Narrows back from `u64`.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample_one(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        T::from_u64(lo + rng.next_u64() % (hi - lo))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample_one(self, rng: &mut dyn RngCore) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        let (lo, hi) = (start.to_u64(), end.to_u64());
+        let span = hi - lo + 1;
+        if span == 0 {
+            // Full-width inclusive range of u64 itself.
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(lo + rng.next_u64() % span)
+    }
+}
+
+/// Deterministic generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** — the stand-in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical way to seed xoshiro.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: Vec<u32> = (0..32).map(|_| c.gen_range(0..1000)).collect();
+        let mut a2 = StdRng::seed_from_u64(42);
+        let reference: Vec<u32> = (0..32).map(|_| a2.gen_range(0..1000)).collect();
+        assert_ne!(same, reference);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(4..=16u64);
+            assert!((4..=16).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rough_frequency() {
+        let mut r = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}
