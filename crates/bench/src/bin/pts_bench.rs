@@ -1,0 +1,154 @@
+//! Representation shoot-out: wall time and points-to bytes per
+//! solver × representation over the bundled workload suite, written to
+//! `BENCH_pts.json`.
+//!
+//! Runs are *interleaved* best-of-N (default 20, `ANT_BENCH_REPEATS`):
+//! the outer loop is the repetition, the inner loops visit every
+//! (benchmark, algorithm, representation) cell once per repetition, so
+//! slow drift (thermal, allocator state) hits all cells equally instead of
+//! biasing whichever representation ran last.
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin pts_bench
+//! ```
+
+use ant_bench::runner::{prepare_suite, repeats_from_env, PreparedBench};
+use ant_core::{solve, Algorithm, BitmapPts, PtsRepr, SharedPts, SolverConfig};
+use ant_frontend::suite::scale_from_env;
+use std::fmt::Write as _;
+
+const ALGORITHMS: [Algorithm; 4] = [
+    Algorithm::Lcd,
+    Algorithm::Hcd,
+    Algorithm::LcdHcd,
+    Algorithm::Ht,
+];
+const REPRS: [&str; 2] = [BitmapPts::NAME, SharedPts::NAME];
+
+/// Best-so-far for one (bench, algorithm, repr) cell.
+#[derive(Clone, Copy)]
+struct Cell {
+    seconds: f64,
+    pts_bytes: usize,
+}
+
+impl Default for Cell {
+    fn default() -> Self {
+        Cell {
+            seconds: f64::INFINITY,
+            pts_bytes: usize::MAX,
+        }
+    }
+}
+
+fn run_once<P: PtsRepr>(bench: &PreparedBench, alg: Algorithm, cell: &mut Cell) {
+    let out = solve::<P>(&bench.program, &SolverConfig::new(alg));
+    let secs = out.stats.solve_time.as_secs_f64();
+    if secs < cell.seconds {
+        cell.seconds = secs;
+    }
+    // pts_bytes is deterministic per cell; keep the min for symmetry.
+    cell.pts_bytes = cell.pts_bytes.min(out.stats.pts_bytes);
+}
+
+fn main() {
+    let benches = prepare_suite();
+    let repeats = {
+        // The acceptance protocol for this table is best-of-20 unless the
+        // caller asks otherwise.
+        let r = repeats_from_env();
+        if std::env::var("ANT_BENCH_REPEATS").is_err() && std::env::var("ANT_REPEATS").is_err() {
+            20
+        } else {
+            r
+        }
+    };
+    let scale = scale_from_env();
+
+    // cells[bench][alg][repr]
+    let mut cells = vec![[[Cell::default(); REPRS.len()]; ALGORITHMS.len()]; benches.len()];
+    for rep in 0..repeats {
+        eprintln!("pass {}/{repeats}", rep + 1);
+        for (bi, bench) in benches.iter().enumerate() {
+            for (ai, &alg) in ALGORITHMS.iter().enumerate() {
+                run_once::<BitmapPts>(bench, alg, &mut cells[bi][ai][0]);
+                run_once::<SharedPts>(bench, alg, &mut cells[bi][ai][1]);
+            }
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
+    let _ = writeln!(json, "  \"results\": [");
+    let mut first = true;
+    for (bi, bench) in benches.iter().enumerate() {
+        for (ai, &alg) in ALGORITHMS.iter().enumerate() {
+            for (ri, repr) in REPRS.iter().enumerate() {
+                let c = &cells[bi][ai][ri];
+                if !first {
+                    let _ = writeln!(json, ",");
+                }
+                first = false;
+                let _ = write!(
+                    json,
+                    "    {{\"bench\": \"{}\", \"algorithm\": \"{}\", \"repr\": \"{repr}\", \
+                     \"seconds\": {:.6}, \"pts_bytes\": {}}}",
+                    bench.name,
+                    alg.name(),
+                    c.seconds,
+                    c.pts_bytes
+                );
+            }
+        }
+    }
+    let _ = writeln!(json, "\n  ],");
+
+    // Acceptance summary: LCD+HCD totals across the suite per repr.
+    let lcd_hcd = ALGORITHMS
+        .iter()
+        .position(|&a| a == Algorithm::LcdHcd)
+        .expect("LCD+HCD is benchmarked");
+    let mut totals = [[0.0f64, 0.0f64]; 2]; // [repr][seconds, bytes]
+    for row in &cells {
+        for (ri, t) in totals.iter_mut().enumerate() {
+            t[0] += row[lcd_hcd][ri].seconds;
+            t[1] += row[lcd_hcd][ri].pts_bytes as f64;
+        }
+    }
+    let bytes_reduction = 100.0 * (1.0 - totals[1][1] / totals[0][1]);
+    let _ = writeln!(json, "  \"summary\": {{");
+    let _ = writeln!(
+        json,
+        "    \"lcd_hcd_bitmap_seconds\": {:.6},\n    \"lcd_hcd_shared_seconds\": {:.6},",
+        totals[0][0], totals[1][0]
+    );
+    let _ = writeln!(
+        json,
+        "    \"lcd_hcd_bitmap_pts_bytes\": {},\n    \"lcd_hcd_shared_pts_bytes\": {},",
+        totals[0][1] as u64, totals[1][1] as u64
+    );
+    let _ = writeln!(
+        json,
+        "    \"lcd_hcd_pts_bytes_reduction_percent\": {bytes_reduction:.1}"
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write("BENCH_pts.json", &json).expect("write BENCH_pts.json");
+    eprintln!("wrote BENCH_pts.json");
+    println!(
+        "LCD+HCD suite totals: bitmap {:.3}s / {:.1} MiB pts, shared {:.3}s / {:.1} MiB pts \
+         ({bytes_reduction:.1}% fewer pts bytes)",
+        totals[0][0],
+        totals[0][1] / (1024.0 * 1024.0),
+        totals[1][0],
+        totals[1][1] / (1024.0 * 1024.0),
+    );
+    if totals[1][0] <= totals[0][0] && bytes_reduction >= 30.0 {
+        println!("acceptance: PASS (shared is faster and ≥30% smaller)");
+    } else {
+        println!("acceptance: CHECK (shared must beat bitmap time and cut pts bytes ≥30%)");
+    }
+}

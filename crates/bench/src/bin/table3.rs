@@ -2,37 +2,55 @@
 //! benchmarks, with sparse-bitmap points-to sets. The HCD offline analysis
 //! is reported separately (first row), exactly as in the paper.
 //!
+//! A second section repeats the sweep with the interned (`shared`)
+//! representation so the copy-on-write trade-off is visible next to the
+//! paper's numbers.
+//!
 //! ```text
 //! cargo run --release -p ant-bench --bin table3
 //! ```
 
 use ant_bench::render::{secs, table};
-use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite};
-use ant_core::{Algorithm, BitmapPts};
+use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite, PreparedBench, SuiteResults};
+use ant_core::{Algorithm, BitmapPts, SharedPts};
+
+fn time_rows(benches: &[PreparedBench], results: &SuiteResults) -> Vec<(String, Vec<String>)> {
+    Algorithm::TABLE3
+        .iter()
+        .map(|&alg| {
+            (
+                alg.name().to_owned(),
+                benches
+                    .iter()
+                    .map(|b| secs(results.seconds(alg, &b.name)))
+                    .collect(),
+            )
+        })
+        .collect()
+}
 
 fn main() {
     let benches = prepare_suite();
-    let results = run_suite::<BitmapPts>(&benches, &Algorithm::TABLE3, repeats_from_env());
-
+    let repeats = repeats_from_env();
     let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
-    let mut rows = Vec::new();
-    rows.push((
+
+    let bitmap = run_suite::<BitmapPts>(&benches, &Algorithm::TABLE3, repeats);
+    let mut rows = vec![(
         "HCD-Offline".to_owned(),
         benches
             .iter()
             .map(|b| secs(b.hcd_offline_time.as_secs_f64()))
             .collect(),
-    ));
-    for alg in Algorithm::TABLE3 {
-        rows.push((
-            alg.name().to_owned(),
-            benches
-                .iter()
-                .map(|b| secs(results.seconds(alg, &b.name)))
-                .collect(),
-        ));
-    }
+    )];
+    rows.extend(time_rows(&benches, &bitmap));
     println!("Table 3: performance (seconds), bitmap points-to sets\n");
     println!("{}", table("Algorithm", &columns, &rows));
+
+    let shared = run_suite::<SharedPts>(&benches, &Algorithm::TABLE3, repeats);
+    println!("Table 3b: performance (seconds), shared (interned) points-to sets\n");
+    println!(
+        "{}",
+        table("Algorithm", &columns, &time_rows(&benches, &shared))
+    );
     println!("Paper shape: HT < PKH < BLQ; LCD ~ HT; X+HCD beats X; LCD+HCD fastest.");
 }

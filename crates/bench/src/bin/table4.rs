@@ -7,19 +7,20 @@
 //! BDD pool sized for the largest benchmark; ours grow with actual use —
 //! see EXPERIMENTS.md.
 //!
+//! A second section repeats the sweep with the interned (`shared`)
+//! representation, whose hash-consed intern table stores each distinct set
+//! once — the memory win of deduplication shows up directly here.
+//!
 //! ```text
 //! cargo run --release -p ant-bench --bin table4
 //! ```
 
 use ant_bench::render::{mib, table};
-use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite};
-use ant_core::{Algorithm, BitmapPts};
+use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite, PreparedBench, SuiteResults};
+use ant_core::{Algorithm, BitmapPts, SharedPts};
 
-fn main() {
-    let benches = prepare_suite();
-    let results = run_suite::<BitmapPts>(&benches, &Algorithm::TABLE3, repeats_from_env());
-    let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
-    let rows: Vec<(String, Vec<String>)> = Algorithm::TABLE3
+fn mem_rows(benches: &[PreparedBench], results: &SuiteResults) -> Vec<(String, Vec<String>)> {
+    Algorithm::TABLE3
         .iter()
         .map(|&alg| {
             (
@@ -30,8 +31,26 @@ fn main() {
                     .collect(),
             )
         })
-        .collect();
+        .collect()
+}
+
+fn main() {
+    let benches = prepare_suite();
+    let repeats = repeats_from_env();
+    let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
+
+    let bitmap = run_suite::<BitmapPts>(&benches, &Algorithm::TABLE3, repeats);
     println!("Table 4: memory consumption (MiB), bitmap points-to sets\n");
-    println!("{}", table("Algorithm", &columns, &rows));
+    println!(
+        "{}",
+        table("Algorithm", &columns, &mem_rows(&benches, &bitmap))
+    );
+
+    let shared = run_suite::<SharedPts>(&benches, &Algorithm::TABLE3, repeats);
+    println!("Table 4b: memory consumption (MiB), shared (interned) points-to sets\n");
+    println!(
+        "{}",
+        table("Algorithm", &columns, &mem_rows(&benches, &shared))
+    );
     println!("Paper shape: bitmap algorithms grow with benchmark size; BLQ stays small/flat.");
 }

@@ -25,6 +25,9 @@ pub struct SolverTrace {
     /// The last `progress` record: `(worklist, nodes, propagations,
     /// pts_bytes)`.
     pub last_progress: Option<(u64, u64, u64, u64)>,
+    /// The last `repr_cache` record, if the solver ran with a shared
+    /// (interned) points-to representation.
+    pub repr_cache: Option<ant_common::ReprCacheStats>,
 }
 
 /// A parsed trace: solver sections in first-appearance order (events
@@ -109,6 +112,16 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                     field("pts_bytes"),
                 ));
             }
+            "repr_cache" => {
+                let field = |k: &str| record.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+                agg.repr_cache = Some(ant_common::ReprCacheStats {
+                    intern_hits: field("intern_hits"),
+                    intern_misses: field("intern_misses"),
+                    memo_hits: field("memo_hits"),
+                    memo_misses: field("memo_misses"),
+                    distinct_sets: field("distinct_sets"),
+                });
+            }
             // `solver_start` opens the section (handled above);
             // `phase_start` only matters through its matching `phase_end`.
             _ => {}
@@ -177,6 +190,15 @@ pub fn render(summary: &TraceSummary) -> String {
                 pts_bytes as f64 / (1024.0 * 1024.0)
             ));
         }
+        if let Some(cs) = &agg.repr_cache {
+            out.push_str(&format!(
+                "repr cache: {} distinct sets | intern hit rate {:.1}% | \
+                 memo hit rate {:.1}%\n",
+                cs.distinct_sets,
+                100.0 * cs.intern_hit_rate(),
+                100.0 * cs.memo_hit_rate()
+            ));
+        }
     }
     out
 }
@@ -193,13 +215,14 @@ mod tests {
 {\"t\": 0.6, \"event\": \"cycle_collapsed\", \"solver\": \"LCD+HCD\", \"members\": 3}
 {\"t\": 0.7, \"event\": \"graph_mutation\", \"solver\": \"LCD+HCD\", \"edges_added\": 2}
 {\"t\": 0.8, \"event\": \"progress\", \"solver\": \"LCD+HCD\", \"worklist\": 0, \"nodes\": 9, \"propagations\": 12, \"pts_bytes\": 2097152}
+{\"t\": 0.85, \"event\": \"repr_cache\", \"solver\": \"LCD+HCD\", \"intern_hits\": 30, \"intern_misses\": 10, \"memo_hits\": 75, \"memo_misses\": 25, \"distinct_sets\": 11}
 {\"t\": 0.9, \"event\": \"phase_end\", \"solver\": \"LCD+HCD\", \"phase\": \"solve\", \"seconds\": 0.5}
 ";
 
     #[test]
     fn summarize_aggregates_per_solver() {
         let s = summarize(SAMPLE).unwrap();
-        assert_eq!(s.records, 8);
+        assert_eq!(s.records, 9);
         assert_eq!(s.solvers.len(), 2);
         let (pre_name, pre) = &s.solvers[0];
         assert!(pre_name.is_empty());
@@ -211,13 +234,18 @@ mod tests {
         assert_eq!(lcd.edges_added, 2);
         assert_eq!(lcd.snapshots, 2);
         assert_eq!(lcd.last_progress, Some((0, 9, 12, 2 << 20)));
+        let cs = lcd.repr_cache.expect("repr_cache record parsed");
+        assert_eq!(cs.intern_hits, 30);
+        assert_eq!(cs.memo_misses, 25);
+        assert_eq!(cs.distinct_sets, 11);
+        assert!(pre.repr_cache.is_none());
     }
 
     #[test]
     fn render_mentions_phases_and_counters() {
         let s = summarize(SAMPLE).unwrap();
         let text = render(&s);
-        assert!(text.contains("8 trace records"));
+        assert!(text.contains("9 trace records"));
         assert!(text.contains("(pre-solve)"));
         assert!(text.contains("solver: LCD+HCD"));
         assert!(text.contains("parse"));
@@ -226,6 +254,8 @@ mod tests {
         assert!(text.contains("graph edges added: 2"));
         assert!(text.contains("propagations 12"));
         assert!(text.contains("pts 2.0 MiB"));
+        assert!(text.contains("repr cache: 11 distinct sets"));
+        assert!(text.contains("intern hit rate 75.0%"));
     }
 
     #[test]

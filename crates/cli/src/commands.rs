@@ -5,8 +5,8 @@ use ant_common::VarId;
 use ant_constraints::{ovs, parse_program, Program};
 use ant_core::obs::{FanOut, Obs, Phase, PhaseTimer, ProgressPrinter, TraceWriter};
 use ant_core::{
-    solve as run_solver, solve_with_observer, Algorithm, BddPts, BitmapPts, Solution, SolveOutput,
-    SolverConfig,
+    solve as run_solver, solve_with_observer, Algorithm, BddPts, BitmapPts, SharedPts, Solution,
+    SolveOutput, SolverConfig,
 };
 use ant_frontend::suite;
 use std::fs::File;
@@ -17,7 +17,7 @@ ant — inclusion-based pointer analysis (Hardekopf & Lin, PLDI 2007)
 
 USAGE:
   ant compile <file.c> [-o out.consts]
-  ant solve   <file.c|file.consts> [--algorithm NAME] [--pts bitmap|bdd]
+  ant solve   <file.c|file.consts> [--algorithm NAME] [--pts bitmap|shared|bdd]
               [--worklist fifo|lifo|lrf|divided-lrf] [--no-ovs] [--stats]
               [--trace-out trace.jsonl] [--progress] [--progress-every N]
   ant query   <file> --pointer NAME | --alias NAME NAME
@@ -151,6 +151,10 @@ fn run(input: &str, opts: &Opts) -> Result<(Program, SolveOutput, Option<ovs::Ov
             (None | Some("bitmap"), None) => run_solver::<BitmapPts>(target, &config),
             (None | Some("bitmap"), Some(fan)) => {
                 solve_with_observer::<BitmapPts>(target, &config, &mut *fan)
+            }
+            (Some("shared"), None) => run_solver::<SharedPts>(target, &config),
+            (Some("shared"), Some(fan)) => {
+                solve_with_observer::<SharedPts>(target, &config, &mut *fan)
             }
             (Some("bdd"), None) => run_solver::<BddPts>(target, &config),
             (Some("bdd"), Some(fan)) => solve_with_observer::<BddPts>(target, &config, &mut *fan),
@@ -349,6 +353,31 @@ mod tests {
         compile(&s(&[&c, "-o", &out])).unwrap();
         solve(&s(&[&out])).unwrap();
         solve(&s(&[&c, "--algorithm", "HT", "--pts", "bdd", "--stats"])).unwrap();
+        solve(&s(&[&c, "--pts", "shared", "--stats"])).unwrap();
+    }
+
+    /// `--pts shared` traces carry the final `repr_cache` record, and the
+    /// shared solve agrees with the bitmap solve it shadows.
+    #[test]
+    fn solve_shared_emits_repr_cache_record() {
+        use ant_core::obs::parse_object;
+        let c = write_temp(
+            "t7.c",
+            "int x; int *p; int *q; int **a;\n\
+             void main() { a = &p; p = &x; q = *a; *a = q; }",
+        );
+        let trace = write_temp("t7.jsonl", "");
+        solve(&s(&[&c, "--pts", "shared", "--trace-out", &trace])).unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let cache_records: Vec<_> = text
+            .lines()
+            .map(|l| parse_object(l).unwrap())
+            .filter(|r| r["event"].as_str() == Some("repr_cache"))
+            .collect();
+        assert_eq!(cache_records.len(), 1);
+        let r = &cache_records[0];
+        assert!(r["distinct_sets"].as_u64().unwrap() >= 1);
+        assert!(r["intern_misses"].as_u64().unwrap() >= 1);
     }
 
     #[test]
@@ -433,6 +462,17 @@ mod tests {
                 }
                 "cycle_collapsed" => assert!(r["members"].as_u64().unwrap() >= 1),
                 "graph_mutation" => assert!(r["edges_added"].as_u64().is_some()),
+                "repr_cache" => {
+                    for key in [
+                        "intern_hits",
+                        "intern_misses",
+                        "memo_hits",
+                        "memo_misses",
+                        "distinct_sets",
+                    ] {
+                        assert!(r[key].as_u64().is_some(), "repr_cache carries {key}");
+                    }
+                }
                 "solver_start" => {}
                 other => panic!("unknown event kind `{other}`"),
             }

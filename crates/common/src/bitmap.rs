@@ -373,6 +373,13 @@ impl SparseBitmap {
     pub fn heap_bytes(&self) -> usize {
         self.elems.capacity() * std::mem::size_of::<Element>()
     }
+
+    /// Releases spare capacity (the byte accounting above charges capacity,
+    /// not length, so long-lived sets should be shrunk once they stop
+    /// growing).
+    pub fn shrink_to_fit(&mut self) {
+        self.elems.shrink_to_fit();
+    }
 }
 
 impl PartialEq for SparseBitmap {

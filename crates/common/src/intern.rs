@@ -1,0 +1,578 @@
+//! A hash-consed intern table for [`SparseBitmap`]s — shared storage for
+//! points-to sets.
+//!
+//! §5.4 of the paper explains why BDDs use ~5× less memory than bitmaps:
+//! thousands of variables end up with *identical* points-to sets, and the
+//! BDD node table stores each distinct function once. This module applies
+//! the same idea to the bitmap representation directly: every distinct set
+//! is stored exactly once in a [`PtsInterner`] and referred to by a dense
+//! [`SetId`]. Because interning is canonical, two ids are equal **iff** the
+//! sets are equal — the O(1) equality test Lazy Cycle Detection's
+//! `pts(n) == pts(z)` probe wants, with none of BDDs' `bdd_allsat`
+//! materialization cost.
+//!
+//! Mutation is copy-on-write: `insert`/`union`/… never modify a stored set,
+//! they produce the id of the (possibly newly interned) result. Since ids
+//! are immutable values, set operations are pure functions of their ids and
+//! can be memoized in a BuDDy-style direct-mapped lossy cache (the same
+//! apply-cache trick `crates/bdd/src/manager.rs` uses for ITE): collisions
+//! simply overwrite — that *is* the eviction policy — and entries can never
+//! go stale, even when the solver collapses constraint-graph nodes, because
+//! a `(op, a, b) → result` triple remains true forever.
+
+use crate::bitmap::SparseBitmap;
+use crate::fx::{FxHashMap, FxHasher};
+use std::hash::{Hash, Hasher};
+
+/// Identifier of an interned set. Dense, starting at 0 (the empty set).
+///
+/// Ids are only meaningful together with the [`PtsInterner`] that created
+/// them. Equality of ids is equality of sets (hash-consing invariant).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SetId(u32);
+
+impl SetId {
+    /// The empty set — pre-interned by every table as id 0, so a
+    /// default-constructed id is valid and empty.
+    pub const EMPTY: SetId = SetId(0);
+
+    /// The raw index.
+    #[inline]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds an id from [`SetId::as_u32`]. Only meaningful for raw
+    /// values obtained from the same table — e.g. through the remap table
+    /// of [`PtsInterner::compact`].
+    #[inline]
+    pub fn from_u32(raw: u32) -> SetId {
+        SetId(raw)
+    }
+}
+
+/// Operation tags for the memo cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+enum SetOp {
+    Union = 1,
+    Insert = 2,
+    Minus = 3,
+    Intersect = 4,
+}
+
+/// Direct-mapped, lossy memo cache for `(op, a, b) → result`, modeled on
+/// the BDD manager's operation cache: far faster than an exact map, and a
+/// collision merely costs recomputing one set operation.
+#[derive(Clone, Debug)]
+struct MemoCache {
+    entries: Vec<MemoEntry>,
+    mask: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct MemoEntry {
+    a: u32,
+    b: u32,
+    op: u8,
+    result: u32,
+}
+
+const EMPTY_ENTRY: MemoEntry = MemoEntry {
+    a: u32::MAX,
+    b: u32::MAX,
+    op: 0,
+    result: 0,
+};
+
+/// Memo capacity at construction (2^10 entries); grows with the table.
+const MEMO_INITIAL_LOG2: u32 = 10;
+/// Memo growth cap (2^20 entries × 16 bytes = 16 MiB) — beyond this,
+/// collisions evict rather than the table growing further.
+const MEMO_MAX_LOG2: u32 = 20;
+
+impl MemoCache {
+    fn new(log2: u32) -> Self {
+        let size = 1usize << log2;
+        MemoCache {
+            entries: vec![EMPTY_ENTRY; size],
+            mask: size - 1,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, op: SetOp, a: u32, b: u32) -> usize {
+        let mut h = (a as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((b as u64).rotate_left(21))
+            .wrapping_add(op as u64);
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+        (h >> 13) as usize & self.mask
+    }
+
+    #[inline]
+    fn get(&self, op: SetOp, a: u32, b: u32) -> Option<u32> {
+        let e = &self.entries[self.slot(op, a, b)];
+        (e.op == op as u8 && e.a == a && e.b == b).then_some(e.result)
+    }
+
+    #[inline]
+    fn put(&mut self, op: SetOp, a: u32, b: u32, result: u32) {
+        let slot = self.slot(op, a, b);
+        self.entries[slot] = MemoEntry {
+            a,
+            b,
+            op: op as u8,
+            result,
+        };
+    }
+
+    /// Doubles the table (lossy — old entries are dropped) while the number
+    /// of distinct interned sets outgrows it, up to the cap. Keeping the
+    /// cache proportional to the table keeps small solves from paying a
+    /// fixed multi-MiB footprint.
+    fn maybe_grow(&mut self, distinct_sets: usize) {
+        let len = self.entries.len();
+        if distinct_sets > len && len < (1 << MEMO_MAX_LOG2) {
+            *self = MemoCache::new(len.trailing_zeros() + 1);
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<MemoEntry>()
+    }
+}
+
+/// Hit/miss counters for the intern table and its memo cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// `intern` calls that found the set already stored (dedup hits).
+    pub intern_hits: u64,
+    /// `intern` calls that stored a new distinct set.
+    pub intern_misses: u64,
+    /// Set operations answered from the memo cache.
+    pub memo_hits: u64,
+    /// Set operations that had to be computed.
+    pub memo_misses: u64,
+}
+
+/// The intern table: canonical storage for a family of bitmaps.
+///
+/// See the module docs for the design; the short version is
+/// *hash-consing* (each distinct set stored once, looked up through a
+/// content-hash index) plus a *memo cache* for the set operations.
+#[derive(Clone, Debug)]
+pub struct PtsInterner {
+    /// `sets[id]` — the canonical bitmap for each id. `sets[0]` is empty.
+    sets: Vec<SparseBitmap>,
+    /// `lens[id]` — cached cardinality (used to detect no-op results
+    /// without an O(elements) comparison).
+    lens: Vec<u32>,
+    /// Content hash → ids of sets with that hash (collision bucket; almost
+    /// always a single entry).
+    index: FxHashMap<u64, Vec<u32>>,
+    memo: MemoCache,
+    /// Hit/miss counters.
+    pub stats: InternStats,
+}
+
+fn content_hash(set: &SparseBitmap) -> u64 {
+    let mut h = FxHasher::default();
+    set.hash(&mut h);
+    h.finish()
+}
+
+impl PtsInterner {
+    /// An empty table holding only the empty set (id 0).
+    pub fn new() -> Self {
+        let empty = SparseBitmap::new();
+        let mut index: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        index.insert(content_hash(&empty), vec![0]);
+        PtsInterner {
+            sets: vec![empty],
+            lens: vec![0],
+            index,
+            memo: MemoCache::new(MEMO_INITIAL_LOG2),
+            stats: InternStats::default(),
+        }
+    }
+
+    /// The canonical bitmap for `id`.
+    #[inline]
+    pub fn get(&self, id: SetId) -> &SparseBitmap {
+        &self.sets[id.0 as usize]
+    }
+
+    /// Cardinality of `id`'s set (cached, O(1)).
+    #[inline]
+    pub fn len(&self, id: SetId) -> usize {
+        self.lens[id.0 as usize] as usize
+    }
+
+    /// Returns `true` when the table holds only the empty set.
+    pub fn is_empty(&self) -> bool {
+        self.sets.len() == 1
+    }
+
+    /// Number of distinct sets stored (including the empty set).
+    pub fn distinct_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Interns `set`, returning the id of its canonical copy.
+    pub fn intern(&mut self, set: SparseBitmap) -> SetId {
+        let h = content_hash(&set);
+        let bucket = self.index.entry(h).or_default();
+        for &id in bucket.iter() {
+            if self.sets[id as usize] == set {
+                self.stats.intern_hits += 1;
+                return SetId(id);
+            }
+        }
+        self.stats.intern_misses += 1;
+        let id = u32::try_from(self.sets.len()).expect("fewer than 2^32 distinct sets");
+        bucket.push(id);
+        self.lens.push(set.len() as u32);
+        self.sets.push(set);
+        self.memo.maybe_grow(self.sets.len());
+        SetId(id)
+    }
+
+    /// `a ∪ {loc}` — the id of the set with `loc` added.
+    pub fn insert(&mut self, a: SetId, loc: u32) -> SetId {
+        if let Some(r) = self.memo.get(SetOp::Insert, a.0, loc) {
+            self.stats.memo_hits += 1;
+            return SetId(r);
+        }
+        self.stats.memo_misses += 1;
+        let result = if self.sets[a.0 as usize].contains(loc) {
+            a
+        } else {
+            let mut grown = self.sets[a.0 as usize].clone();
+            grown.insert(loc);
+            self.intern(grown)
+        };
+        self.memo.put(SetOp::Insert, a.0, loc, result.0);
+        result
+    }
+
+    /// `a ∪ b` — the id of the union. The hot path of propagation.
+    pub fn union(&mut self, a: SetId, b: SetId) -> SetId {
+        if b == SetId::EMPTY || a == b {
+            return a;
+        }
+        if a == SetId::EMPTY {
+            return b;
+        }
+        if let Some(r) = self.memo.get(SetOp::Union, a.0, b.0) {
+            self.stats.memo_hits += 1;
+            return SetId(r);
+        }
+        self.stats.memo_misses += 1;
+        let result = if self.sets[a.0 as usize].superset_of(&self.sets[b.0 as usize]) {
+            a
+        } else {
+            let mut u = self.sets[a.0 as usize].clone();
+            u.union_with(&self.sets[b.0 as usize]);
+            self.intern(u)
+        };
+        self.memo.put(SetOp::Union, a.0, b.0, result.0);
+        if result != a {
+            // The fixpoint entry: re-propagating `b` into the grown set is a
+            // guaranteed no-op; seed the cache so it is answered in O(1).
+            self.memo.put(SetOp::Union, result.0, b.0, result.0);
+        }
+        result
+    }
+
+    /// `a − b` — the id of the difference.
+    pub fn minus(&mut self, a: SetId, b: SetId) -> SetId {
+        if a == SetId::EMPTY || a == b {
+            return SetId::EMPTY;
+        }
+        if b == SetId::EMPTY {
+            return a;
+        }
+        if let Some(r) = self.memo.get(SetOp::Minus, a.0, b.0) {
+            self.stats.memo_hits += 1;
+            return SetId(r);
+        }
+        self.stats.memo_misses += 1;
+        let mut d = self.sets[a.0 as usize].clone();
+        d.subtract(&self.sets[b.0 as usize]);
+        let result = if d.len() == self.len(a) {
+            a
+        } else {
+            self.intern(d)
+        };
+        self.memo.put(SetOp::Minus, a.0, b.0, result.0);
+        result
+    }
+
+    /// `a ∩ b` — the id of the intersection.
+    pub fn intersect(&mut self, a: SetId, b: SetId) -> SetId {
+        if a == b {
+            return a;
+        }
+        if a == SetId::EMPTY || b == SetId::EMPTY {
+            return SetId::EMPTY;
+        }
+        if let Some(r) = self.memo.get(SetOp::Intersect, a.0, b.0) {
+            self.stats.memo_hits += 1;
+            return SetId(r);
+        }
+        self.stats.memo_misses += 1;
+        let mut m = self.sets[a.0 as usize].clone();
+        m.intersect_with(&self.sets[b.0 as usize]);
+        let result = if m.len() == self.len(a) {
+            a
+        } else {
+            self.intern(m)
+        };
+        self.memo.put(SetOp::Intersect, a.0, b.0, result.0);
+        result
+    }
+
+    /// Rebuilds the table keeping only the `live` ids (the empty set is
+    /// always retained), returning a remap table `old id → new id` (dead
+    /// ids map to `u32::MAX`). Callers must rewrite every handle they hold
+    /// through the remap.
+    ///
+    /// A monotone solve leaves the table full of intermediate sets — every
+    /// growth step of every variable interned one — so compaction at the
+    /// end of a solve typically frees the large majority of the storage.
+    /// The memo cache is cleared: its entries may name ids that no longer
+    /// exist. The canonical-id invariant survives because only unreachable
+    /// ids are dropped; content equal to a *live* id still interns to that
+    /// id.
+    pub fn compact(&mut self, live: &[SetId]) -> Vec<u32> {
+        let mut keep = vec![false; self.sets.len()];
+        keep[0] = true;
+        for &id in live {
+            keep[id.0 as usize] = true;
+        }
+        let mut remap = vec![u32::MAX; self.sets.len()];
+        let mut sets = Vec::new();
+        let mut lens = Vec::new();
+        for (old, &k) in keep.iter().enumerate() {
+            if k {
+                remap[old] = sets.len() as u32;
+                let mut set = std::mem::take(&mut self.sets[old]);
+                set.shrink_to_fit();
+                sets.push(set);
+                lens.push(self.lens[old]);
+            }
+        }
+        self.sets = sets;
+        self.lens = lens;
+        self.index.clear();
+        for (id, set) in self.sets.iter().enumerate() {
+            self.index
+                .entry(content_hash(set))
+                .or_default()
+                .push(id as u32);
+        }
+        self.index.shrink_to_fit();
+        self.memo = MemoCache::new(MEMO_INITIAL_LOG2);
+        remap
+    }
+
+    /// Heap bytes owned by the table: the deduplicated set storage plus the
+    /// index and memo cache. This is what a solver should report as its
+    /// points-to bytes — each distinct set is counted once, however many
+    /// variables share it.
+    pub fn heap_bytes(&self) -> usize {
+        let elems: usize = self
+            .sets
+            .iter()
+            .map(SparseBitmap::heap_bytes)
+            .sum::<usize>();
+        let slots = self.sets.capacity() * std::mem::size_of::<SparseBitmap>();
+        let lens = self.lens.capacity() * std::mem::size_of::<u32>();
+        let index = self.index.capacity()
+            * (std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>())
+            + self
+                .index
+                .values()
+                .map(|b| b.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>();
+        elems + slots + lens + index + self.memo.heap_bytes()
+    }
+}
+
+impl Default for PtsInterner {
+    fn default() -> Self {
+        PtsInterner::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_of(bits: &[u32]) -> SparseBitmap {
+        let mut s = SparseBitmap::new();
+        for &b in bits {
+            s.insert(b);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_set_is_id_zero() {
+        let mut t = PtsInterner::new();
+        assert_eq!(t.intern(SparseBitmap::new()), SetId::EMPTY);
+        assert_eq!(t.len(SetId::EMPTY), 0);
+        assert_eq!(t.distinct_sets(), 1);
+        assert_eq!(SetId::default(), SetId::EMPTY);
+    }
+
+    #[test]
+    fn interning_is_canonical() {
+        let mut t = PtsInterner::new();
+        let a = t.intern(set_of(&[1, 5, 900]));
+        let b = t.intern(set_of(&[1, 5, 900]));
+        let c = t.intern(set_of(&[1, 5]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.distinct_sets(), 3);
+        assert_eq!(t.stats.intern_hits, 1);
+        assert_eq!(t.stats.intern_misses, 2);
+    }
+
+    #[test]
+    fn insert_is_copy_on_write() {
+        let mut t = PtsInterner::new();
+        let a = t.intern(set_of(&[3]));
+        let b = t.insert(a, 9);
+        assert_ne!(a, b);
+        // The original is untouched.
+        assert_eq!(t.get(a).iter().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(t.get(b).iter().collect::<Vec<_>>(), vec![3, 9]);
+        // Inserting an existing bit is the identity.
+        assert_eq!(t.insert(b, 3), b);
+        // And memoized: repeating the first insert hits the cache.
+        let before = t.stats.memo_hits;
+        assert_eq!(t.insert(a, 9), b);
+        assert_eq!(t.stats.memo_hits, before + 1);
+    }
+
+    #[test]
+    fn union_identities_and_memo() {
+        let mut t = PtsInterner::new();
+        let a = t.intern(set_of(&[1, 2]));
+        let b = t.intern(set_of(&[2, 3]));
+        assert_eq!(t.union(a, SetId::EMPTY), a);
+        assert_eq!(t.union(SetId::EMPTY, b), b);
+        assert_eq!(t.union(a, a), a);
+        let u = t.union(a, b);
+        assert_eq!(t.get(u).iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        // Subset union is the identity (no new set interned).
+        assert_eq!(t.union(u, a), u);
+        // The fixpoint entry makes re-unioning b into u a memo hit.
+        let before = t.stats.memo_hits;
+        assert_eq!(t.union(u, b), u);
+        assert_eq!(t.stats.memo_hits, before + 1);
+        // Recomputing the original union is also a hit.
+        assert_eq!(t.union(a, b), u);
+        assert_eq!(t.stats.memo_hits, before + 2);
+    }
+
+    #[test]
+    fn minus_and_intersect() {
+        let mut t = PtsInterner::new();
+        let a = t.intern(set_of(&[1, 2, 3]));
+        let b = t.intern(set_of(&[2]));
+        let d = t.minus(a, b);
+        assert_eq!(t.get(d).iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(t.minus(a, a), SetId::EMPTY);
+        assert_eq!(t.minus(a, SetId::EMPTY), a);
+        assert_eq!(t.minus(SetId::EMPTY, a), SetId::EMPTY);
+        // Disjoint subtraction is the identity.
+        let c = t.intern(set_of(&[7]));
+        assert_eq!(t.minus(a, c), a);
+        let i = t.intersect(a, b);
+        assert_eq!(i, b, "a ∩ b interns to the existing {{2}}");
+        assert_eq!(t.intersect(a, SetId::EMPTY), SetId::EMPTY);
+        assert_eq!(t.intersect(a, a), a);
+        // Superset intersection is the identity.
+        let sup = t.intern(set_of(&[1, 2, 3, 4]));
+        assert_eq!(t.intersect(a, sup), a);
+    }
+
+    #[test]
+    fn memo_is_lossy_but_correct() {
+        // Force collisions by filling a tiny cache far beyond its size; every
+        // answer must still be right (recomputed on eviction).
+        let mut t = PtsInterner::new();
+        let singles: Vec<SetId> = (0..500).map(|i| t.intern(set_of(&[i]))).collect();
+        let mut acc = SetId::EMPTY;
+        for &s in &singles {
+            acc = t.union(acc, s);
+        }
+        assert_eq!(t.len(acc), 500);
+        for &s in &singles {
+            assert_eq!(t.union(acc, s), acc);
+            assert_eq!(t.intersect(acc, s), s);
+        }
+        assert!(t.stats.memo_misses > 0);
+    }
+
+    #[test]
+    fn memo_grows_with_table() {
+        let mut t = PtsInterner::new();
+        let before = t.heap_bytes();
+        for i in 0..3000u32 {
+            t.intern(set_of(&[i, i + 1]));
+        }
+        // 3000 distinct sets outgrow the 1024-entry initial cache; growth is
+        // visible through byte accounting.
+        assert!(t.heap_bytes() > before);
+        assert!(t.memo.entries.len() >= 2048);
+    }
+
+    #[test]
+    fn heap_bytes_counts_each_distinct_set_once() {
+        let mut t = PtsInterner::new();
+        let a = t.intern(set_of(&[1, 2, 3]));
+        let grew = t.heap_bytes();
+        // A thousand aliases of the same set cost nothing further.
+        for _ in 0..1000 {
+            assert_eq!(t.intern(set_of(&[1, 2, 3])), a);
+        }
+        assert_eq!(t.heap_bytes(), grew);
+    }
+
+    #[test]
+    fn compact_keeps_live_sets_and_reclaims_the_rest() {
+        let mut t = PtsInterner::new();
+        // Grow one set a step at a time, as a solve does: each step interns
+        // an intermediate that immediately becomes garbage.
+        let mut cur = SetId::EMPTY;
+        for loc in 0..100 {
+            cur = t.insert(cur, loc);
+        }
+        let other = t.intern(set_of(&[7, 9]));
+        assert_eq!(t.distinct_sets(), 102);
+        let before = t.heap_bytes();
+
+        let remap = t.compact(&[cur, other]);
+        let cur2 = SetId::from_u32(remap[cur.as_u32() as usize]);
+        let other2 = SetId::from_u32(remap[other.as_u32() as usize]);
+        // Empty + the two live sets survive; contents are intact.
+        assert_eq!(t.distinct_sets(), 3);
+        assert!(t.heap_bytes() < before);
+        assert_eq!(remap[SetId::EMPTY.as_u32() as usize], 0);
+        assert_eq!(t.len(cur2), 100);
+        assert_eq!(t.get(other2).iter().collect::<Vec<_>>(), vec![7, 9]);
+        // Canonical ids still hold after compaction: re-interning a live
+        // set's contents finds it, new contents get fresh ids, and the
+        // operations stay correct with the cleared memo.
+        assert_eq!(t.intern(set_of(&[7, 9])), other2);
+        let joined = t.union(cur2, other2);
+        assert_eq!(joined, cur2, "cur ⊇ other, union is a no-op");
+        let fresh = t.insert(other2, 500);
+        assert_eq!(t.get(fresh).iter().collect::<Vec<_>>(), vec![7, 9, 500]);
+    }
+}

@@ -10,6 +10,10 @@
 //!   strongly connected components of the constraint graph,
 //! * [`worklist`] — FIFO / LIFO / least-recently-fired worklists, including
 //!   the divided *current*/*next* worklist of Nielson et al.,
+//! * [`PtsInterner`] — a hash-consed intern table of sparse bitmaps with
+//!   copy-on-write mutation and a memoized operation cache, giving the
+//!   bitmap representation the O(1) set equality and shared storage that
+//!   §5.4 credits to BDDs,
 //! * [`SolverStats`] — the counters reported in §5.3 of the paper (nodes
 //!   collapsed, nodes searched, propagations) plus byte accounting,
 //! * [`obs`] — the telemetry layer: phase-scoped timers, progress
@@ -33,6 +37,7 @@
 mod bitmap;
 pub mod fx;
 mod idx;
+mod intern;
 mod mem;
 pub mod obs;
 mod stats;
@@ -41,7 +46,8 @@ pub mod worklist;
 
 pub use bitmap::SparseBitmap;
 pub use idx::VarId;
+pub use intern::{InternStats, PtsInterner, SetId};
 pub use mem::{vec_bytes, HeapBytes};
-pub use stats::SolverStats;
+pub use stats::{ReprCacheStats, SolverStats};
 pub use union_find::UnionFind;
 pub use worklist::{DividedLrf, Fifo, Lifo, Lrf, Worklist, WorklistKind};

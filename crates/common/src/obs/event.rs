@@ -122,6 +122,10 @@ pub enum SolveEvent {
         /// Edges added by this resolution step.
         edges_added: u64,
     },
+    /// Final cache statistics of a shared (interned) points-to
+    /// representation, emitted once at the end of a solve. Absent for
+    /// representations without shared caches.
+    ReprCache(crate::stats::ReprCacheStats),
 }
 
 #[cfg(test)]

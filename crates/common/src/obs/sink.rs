@@ -23,6 +23,7 @@ use super::observer::Observer;
 /// | `progress`        | `worklist`, `nodes`, `propagations`, `pts_bytes`    |
 /// | `cycle_collapsed` | `members`                                           |
 /// | `graph_mutation`  | `edges_added`                                       |
+/// | `repr_cache`      | `intern_hits`, `intern_misses`, `memo_hits`, `memo_misses`, `distinct_sets` |
 pub struct TraceWriter<W: Write> {
     out: W,
     epoch: Instant,
@@ -90,6 +91,15 @@ impl<W: Write> TraceWriter<W> {
                 o.str_field("event", "graph_mutation");
                 o.str_field("solver", self.solver);
                 o.uint_field("edges_added", *edges_added);
+            }
+            SolveEvent::ReprCache(s) => {
+                o.str_field("event", "repr_cache");
+                o.str_field("solver", self.solver);
+                o.uint_field("intern_hits", s.intern_hits);
+                o.uint_field("intern_misses", s.intern_misses);
+                o.uint_field("memo_hits", s.memo_hits);
+                o.uint_field("memo_misses", s.memo_misses);
+                o.uint_field("distinct_sets", s.distinct_sets);
             }
         }
         o.finish()
@@ -166,6 +176,15 @@ impl<W: Write> Observer for ProgressPrinter<W> {
                     s.pts_bytes as f64 / (1024.0 * 1024.0)
                 )
             }
+            SolveEvent::ReprCache(s) => {
+                writeln!(
+                    self.out,
+                    "[{tag}] repr cache: {} distinct sets | intern hit rate {:.1}% | memo hit rate {:.1}%",
+                    s.distinct_sets,
+                    100.0 * s.intern_hit_rate(),
+                    100.0 * s.memo_hit_rate(),
+                )
+            }
             // Cycle and mutation events are too frequent for a terminal.
             SolveEvent::CycleCollapsed { .. } | SolveEvent::GraphMutation { .. } => Ok(()),
         };
@@ -192,6 +211,13 @@ mod tests {
         }));
         observer.on_event(&SolveEvent::CycleCollapsed { members: 3 });
         observer.on_event(&SolveEvent::GraphMutation { edges_added: 2 });
+        observer.on_event(&SolveEvent::ReprCache(crate::ReprCacheStats {
+            intern_hits: 30,
+            intern_misses: 10,
+            memo_hits: 75,
+            memo_misses: 25,
+            distinct_sets: 11,
+        }));
         observer.on_event(&SolveEvent::PhaseEnd {
             phase: Phase::Solve,
             duration: Duration::from_millis(1500),
@@ -205,7 +231,7 @@ mod tests {
         assert!(w.error().is_none());
         let text = String::from_utf8(w.into_inner()).unwrap();
         let lines: Vec<_> = text.lines().collect();
-        assert_eq!(lines.len(), 6);
+        assert_eq!(lines.len(), 7);
         let maps: Vec<_> = lines.iter().map(|l| parse_object(l).unwrap()).collect();
         for m in &maps {
             assert!(m["t"].as_f64().unwrap() >= 0.0);
@@ -219,7 +245,11 @@ mod tests {
         assert_eq!(maps[2]["pts_bytes"].as_u64(), Some(1 << 20));
         assert_eq!(maps[3]["members"].as_u64(), Some(3));
         assert_eq!(maps[4]["edges_added"].as_u64(), Some(2));
-        assert!((maps[5]["seconds"].as_f64().unwrap() - 1.5).abs() < 1e-9);
+        assert_eq!(maps[5]["event"].as_str(), Some("repr_cache"));
+        assert_eq!(maps[5]["intern_hits"].as_u64(), Some(30));
+        assert_eq!(maps[5]["memo_misses"].as_u64(), Some(25));
+        assert_eq!(maps[5]["distinct_sets"].as_u64(), Some(11));
+        assert!((maps[6]["seconds"].as_f64().unwrap() - 1.5).abs() < 1e-9);
     }
 
     #[test]
@@ -231,6 +261,8 @@ mod tests {
         assert!(text.contains("[lcd] solve ..."));
         assert!(text.contains("worklist 7"));
         assert!(text.contains("done in 1.500s"));
+        assert!(text.contains("repr cache: 11 distinct sets"));
+        assert!(text.contains("intern hit rate 75.0%"));
         // Chatty events are suppressed.
         assert!(!text.contains("members"));
     }

@@ -33,6 +33,18 @@ pub struct SolverStats {
     pub complex_iters: u64,
     /// Nodes popped from the worklist.
     pub nodes_processed: u64,
+    /// Intern-table lookups that found the set already stored (shared
+    /// representations only; zero otherwise).
+    pub intern_hits: u64,
+    /// Intern-table lookups that stored a new distinct set.
+    pub intern_misses: u64,
+    /// Set operations answered by the representation's memo cache.
+    pub memo_hits: u64,
+    /// Set operations the representation had to compute.
+    pub memo_misses: u64,
+    /// Distinct points-to sets stored by the representation at the end of
+    /// the run (interned representations only; zero otherwise).
+    pub distinct_sets: u64,
     /// Bytes held by points-to set representations at the end of the run.
     pub pts_bytes: usize,
     /// Bytes held by the constraint graph (edge sets) at the end of the run.
@@ -86,6 +98,11 @@ impl AddAssign<&SolverStats> for SolverStats {
             edges_added,
             complex_iters,
             nodes_processed,
+            intern_hits,
+            intern_misses,
+            memo_hits,
+            memo_misses,
+            distinct_sets,
             pts_bytes,
             graph_bytes,
             aux_bytes,
@@ -104,6 +121,11 @@ impl AddAssign<&SolverStats> for SolverStats {
         self.edges_added += edges_added;
         self.complex_iters += complex_iters;
         self.nodes_processed += nodes_processed;
+        self.intern_hits += intern_hits;
+        self.intern_misses += intern_misses;
+        self.memo_hits += memo_hits;
+        self.memo_misses += memo_misses;
+        self.distinct_sets += distinct_sets;
         self.pts_bytes += pts_bytes;
         self.graph_bytes += graph_bytes;
         self.aux_bytes += aux_bytes;
@@ -141,6 +163,17 @@ impl fmt::Display for SolverStats {
             self.solve_time.as_secs_f64(),
             self.offline_time.as_secs_f64(),
         )?;
+        if self.distinct_sets > 0 {
+            writeln!(
+                f,
+                "repr cache: {} distinct sets | intern hits {} / misses {} | memo hits {} / misses {}",
+                self.distinct_sets,
+                self.intern_hits,
+                self.intern_misses,
+                self.memo_hits,
+                self.memo_misses,
+            )?;
+        }
         write!(
             f,
             "phase time: complex {:.3}s | propagate {:.3}s | cycle {:.3}s",
@@ -148,6 +181,45 @@ impl fmt::Display for SolverStats {
             self.propagate_time.as_secs_f64(),
             self.cycle_time.as_secs_f64(),
         )
+    }
+}
+
+/// Final cache statistics reported by a shared (interned) points-to
+/// representation: how effective deduplication and operation memoization
+/// were over a run. Produced by `PtsRepr::ctx_stats` implementations and
+/// carried by the `SolveEvent::ReprCache` telemetry event.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReprCacheStats {
+    /// Intern-table lookups that found the set already stored.
+    pub intern_hits: u64,
+    /// Intern-table lookups that stored a new distinct set.
+    pub intern_misses: u64,
+    /// Set operations answered from the memo cache.
+    pub memo_hits: u64,
+    /// Set operations that had to be computed.
+    pub memo_misses: u64,
+    /// Distinct sets stored at the end of the run.
+    pub distinct_sets: u64,
+}
+
+impl ReprCacheStats {
+    /// Intern-table hit rate in `[0, 1]` (1.0 when no lookups happened).
+    pub fn intern_hit_rate(&self) -> f64 {
+        rate(self.intern_hits, self.intern_misses)
+    }
+
+    /// Memo-cache hit rate in `[0, 1]` (1.0 when no lookups happened).
+    pub fn memo_hit_rate(&self) -> f64 {
+        rate(self.memo_hits, self.memo_misses)
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        1.0
+    } else {
+        hits as f64 / total as f64
     }
 }
 
@@ -190,6 +262,28 @@ mod tests {
         assert!(text.contains("propagations"));
         assert!(text.contains("memory"));
         assert!(text.contains("phase time"));
+        // Repr-cache counters only appear when a shared repr ran.
+        assert!(!text.contains("repr cache"));
+        let shared = SolverStats {
+            distinct_sets: 7,
+            intern_hits: 5,
+            ..SolverStats::default()
+        };
+        assert!(shared.to_string().contains("repr cache: 7 distinct sets"));
+    }
+
+    #[test]
+    fn repr_cache_hit_rates() {
+        let s = ReprCacheStats {
+            intern_hits: 3,
+            intern_misses: 1,
+            memo_hits: 0,
+            memo_misses: 10,
+            distinct_sets: 2,
+        };
+        assert!((s.intern_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.memo_hit_rate() - 0.0).abs() < 1e-12);
+        assert!((ReprCacheStats::default().intern_hit_rate() - 1.0).abs() < 1e-12);
     }
 
     /// Every field participates in `+=`. The `AddAssign` impl destructures
@@ -209,6 +303,11 @@ mod tests {
             edges_added: 7,
             complex_iters: 8,
             nodes_processed: 9,
+            intern_hits: 18,
+            intern_misses: 19,
+            memo_hits: 20,
+            memo_misses: 21,
+            distinct_sets: 22,
             pts_bytes: 10,
             graph_bytes: 11,
             aux_bytes: 12,
@@ -230,6 +329,11 @@ mod tests {
             edges_added,
             complex_iters,
             nodes_processed,
+            intern_hits,
+            intern_misses,
+            memo_hits,
+            memo_misses,
+            distinct_sets,
             pts_bytes,
             graph_bytes,
             aux_bytes,
@@ -248,6 +352,11 @@ mod tests {
         assert_eq!(edges_added, 14);
         assert_eq!(complex_iters, 16);
         assert_eq!(nodes_processed, 18);
+        assert_eq!(intern_hits, 36);
+        assert_eq!(intern_misses, 38);
+        assert_eq!(memo_hits, 40);
+        assert_eq!(memo_misses, 42);
+        assert_eq!(distinct_sets, 44);
         assert_eq!(pts_bytes, 20);
         assert_eq!(graph_bytes, 22);
         assert_eq!(aux_bytes, 24);

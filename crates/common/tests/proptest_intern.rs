@@ -1,0 +1,113 @@
+//! Property-based testing of the hash-consing intern table against a naive
+//! model (`BTreeSet` per handle). The invariants under test are the ones
+//! every `SharedPts` solver relies on:
+//!
+//! * **Canonical ids**: two handles have equal ids *iff* their sets have
+//!   equal contents (this is what makes `set_eq` an O(1) id compare).
+//! * **Copy-on-write**: no operation ever changes the contents behind a
+//!   previously returned id.
+//! * **Correctness under memoization**: results match the model whether
+//!   they come from the memo cache or from a fresh computation.
+
+use ant_common::{PtsInterner, SetId, SparseBitmap};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Intern a fresh set built from raw elements.
+    Intern(Vec<u32>),
+    /// `insert(ids[a], loc)`.
+    Insert(usize, u32),
+    /// `union(ids[a], ids[b])`.
+    Union(usize, usize),
+    /// `minus(ids[a], ids[b])`.
+    Minus(usize, usize),
+    /// `intersect(ids[a], ids[b])`.
+    Intersect(usize, usize),
+}
+
+fn ops(max_ops: usize) -> impl Strategy<Value = Vec<Op>> {
+    // Handle indices are drawn large and reduced modulo the live handle
+    // count when applied (the vendored proptest has no `any::<usize>()`).
+    let idx = || 0usize..1_000_000;
+    let op = prop_oneof![
+        prop::collection::vec(0u32..200, 0..12).prop_map(Op::Intern),
+        (idx(), 0u32..200).prop_map(|(a, l)| Op::Insert(a, l)),
+        (idx(), idx()).prop_map(|(a, b)| Op::Union(a, b)),
+        (idx(), idx()).prop_map(|(a, b)| Op::Minus(a, b)),
+        (idx(), idx()).prop_map(|(a, b)| Op::Intersect(a, b)),
+    ];
+    prop::collection::vec(op, 1..max_ops)
+}
+
+fn contents(t: &PtsInterner, id: SetId) -> BTreeSet<u32> {
+    t.get(id).iter().collect()
+}
+
+proptest! {
+    #[test]
+    fn interner_matches_model(ops in ops(60)) {
+        let mut t = PtsInterner::new();
+        // Parallel histories: ids[k] was returned alongside models[k].
+        let mut ids: Vec<SetId> = vec![SetId::EMPTY];
+        let mut models: Vec<BTreeSet<u32>> = vec![BTreeSet::new()];
+        for op in ops {
+            let (id, model) = match op {
+                Op::Intern(elems) => {
+                    let mut bm = SparseBitmap::new();
+                    for &e in &elems {
+                        bm.insert(e);
+                    }
+                    (t.intern(bm), elems.into_iter().collect())
+                }
+                Op::Insert(a, loc) => {
+                    let a = a % ids.len();
+                    let mut m = models[a].clone();
+                    m.insert(loc);
+                    (t.insert(ids[a], loc), m)
+                }
+                Op::Union(a, b) => {
+                    let (a, b) = (a % ids.len(), b % ids.len());
+                    let m = models[a].union(&models[b]).copied().collect();
+                    (t.union(ids[a], ids[b]), m)
+                }
+                Op::Minus(a, b) => {
+                    let (a, b) = (a % ids.len(), b % ids.len());
+                    let m = models[a].difference(&models[b]).copied().collect();
+                    (t.minus(ids[a], ids[b]), m)
+                }
+                Op::Intersect(a, b) => {
+                    let (a, b) = (a % ids.len(), b % ids.len());
+                    let m = models[a].intersection(&models[b]).copied().collect();
+                    (t.intersect(ids[a], ids[b]), m)
+                }
+            };
+            prop_assert_eq!(&contents(&t, id), &model, "result contents match the model");
+            ids.push(id);
+            models.push(model);
+        }
+        // Copy-on-write: every id ever returned still holds the contents it
+        // had when it was returned.
+        for (id, model) in ids.iter().zip(&models) {
+            prop_assert_eq!(&contents(&t, *id), model, "stored sets are immutable");
+        }
+        // Canonical ids: id equality is exactly content equality.
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                prop_assert_eq!(
+                    ids[i] == ids[j],
+                    models[i] == models[j],
+                    "ids {:?}/{:?} vs contents {:?}/{:?}",
+                    ids[i],
+                    ids[j],
+                    &models[i],
+                    &models[j]
+                );
+            }
+        }
+        // The table's distinct-set count agrees with the model's.
+        let distinct: BTreeSet<&BTreeSet<u32>> = models.iter().collect();
+        prop_assert!(t.distinct_sets() >= distinct.len());
+    }
+}

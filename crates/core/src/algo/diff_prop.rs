@@ -37,6 +37,7 @@ pub(crate) fn lcd_diff<'o, P: PtsRepr>(
     let mut wl = wk.build(st.n);
     st.seed_worklist(wl.as_mut());
     let mut triggered: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut triggered_epoch = st.stats.nodes_collapsed;
     // sent[n]: subset of pts(n) already propagated to every successor of n.
     let mut sent: Vec<P> = vec![P::default(); st.n];
     // Successor count when `sent[n]` was last valid: any growth means a new
@@ -56,8 +57,14 @@ pub(crate) fn lcd_diff<'o, P: PtsRepr>(
             n = st.hcd_step(n, wl.as_mut());
         }
         st.process_complex(n, wl.as_mut());
+        super::worklist_solvers::canonicalize_triggered(
+            &mut st,
+            &mut triggered,
+            &mut triggered_epoch,
+        );
         let n = st.find(n);
-        let targets = st.canonical_succs(n);
+        let mut targets = st.take_succ_scratch();
+        st.canonical_succs_into(n, &mut targets);
         if targets.len() != seen_degree[n.index()]
             || seen_collapse[n.index()] != st.stats.nodes_collapsed
         {
@@ -68,10 +75,11 @@ pub(crate) fn lcd_diff<'o, P: PtsRepr>(
         }
         let delta = st.pts[n.index()].minus(&mut st.ctx, &sent[n.index()]);
         if delta.is_empty(&st.ctx) {
+            st.put_succ_scratch(targets);
             continue;
         }
         let mut any_collapse = false;
-        for z_raw in targets {
+        for &z_raw in &targets {
             let n_now = st.find(n);
             let mut z = st.find(VarId::from_u32(z_raw));
             if z == n_now {
@@ -100,6 +108,7 @@ pub(crate) fn lcd_diff<'o, P: PtsRepr>(
                 wl.push(z);
             }
         }
+        st.put_succ_scratch(targets);
         let n_final = st.find(n);
         if n_final == n && !any_collapse {
             // The delta has now reached every successor.

@@ -233,9 +233,12 @@ fn query<P: PtsRepr>(st: &mut OnlineState<P>, root: VarId, round: u32, bufs: &mu
                     });
                 }
                 // Pull points-to info from the (now final) predecessors.
-                for p in st.canonical_succs(rep) {
+                let mut preds = st.take_succ_scratch();
+                st.canonical_succs_into(rep, &mut preds);
+                for &p in &preds {
                     st.propagate(VarId::from_u32(p), rep);
                 }
+                st.put_succ_scratch(preds);
                 bufs.round_mark[rep.index()] = round;
             }
         }

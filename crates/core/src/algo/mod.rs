@@ -340,6 +340,9 @@ fn finish<P: PtsRepr>(
         // one progress record in the trace.
         let snapshot = st.progress_snapshot(0);
         st.obs.emit(&SolveEvent::Progress(snapshot));
+        if let Some(cs) = P::ctx_stats(&st.ctx) {
+            st.obs.emit(&SolveEvent::ReprCache(cs));
+        }
     }
     timer.stop(&mut st.obs);
     let solution = Solution::from_state(&mut st);

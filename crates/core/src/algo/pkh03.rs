@@ -139,7 +139,9 @@ pub(crate) fn pkh03<'o, P: PtsRepr>(
             // measured overhead is the repeated searching, as in the
             // original.)
             let n_now = st.find(n);
-            for z_raw in st.canonical_succs(n_now) {
+            let mut targets = st.take_succ_scratch();
+            st.canonical_succs_into(n_now, &mut targets);
+            for &z_raw in &targets {
                 let z = VarId::from_u32(z_raw);
                 let n_cur = st.find(n_now);
                 if z == n_cur {
@@ -160,6 +162,7 @@ pub(crate) fn pkh03<'o, P: PtsRepr>(
                     }
                 }
             }
+            st.put_succ_scratch(targets);
         }
         let n = st.find(n);
         st.propagate_all(n, wl.as_mut());

@@ -61,6 +61,7 @@ pub(crate) fn lcd<'o, P: PtsRepr>(
     st.seed_worklist(wl.as_mut());
     // R: edges that have already triggered a cycle search.
     let mut triggered: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut triggered_epoch = st.stats.nodes_collapsed;
 
     while let Some(popped) = wl.pop() {
         let mut n = st.find(popped);
@@ -70,8 +71,10 @@ pub(crate) fn lcd<'o, P: PtsRepr>(
             n = st.hcd_step(n, wl.as_mut());
         }
         st.process_complex(n, wl.as_mut());
-        let targets = st.canonical_succs(n);
-        for z_raw in targets {
+        canonicalize_triggered(&mut st, &mut triggered, &mut triggered_epoch);
+        let mut targets = st.take_succ_scratch();
+        st.canonical_succs_into(n, &mut targets);
+        for &z_raw in &targets {
             // Cycle collapses during this loop can merge both endpoints.
             let n_now = st.find(n);
             let mut z = st.find(VarId::from_u32(z_raw));
@@ -101,9 +104,39 @@ pub(crate) fn lcd<'o, P: PtsRepr>(
                 wl.push(z);
             }
         }
+        st.put_succ_scratch(targets);
     }
     st.stats.aux_bytes += triggered.capacity() * (8 + 8);
     st
+}
+
+/// Re-canonicalizes LCD's triggered-edge keys (`R` in Figure 2) through the
+/// union-find after collapses. Keys are canonical when inserted, but a
+/// later collapse can merge an endpoint into a new representative; a probe
+/// for the canonical pair then misses the stale key and the same logical
+/// edge re-triggers a duplicate cycle search. Collapses are rare relative
+/// to pops, so the rebuild is gated on the collapse counter and costs one
+/// integer compare in the common case.
+pub(crate) fn canonicalize_triggered<P: PtsRepr>(
+    st: &mut OnlineState<P>,
+    triggered: &mut FxHashSet<(u32, u32)>,
+    epoch: &mut u64,
+) {
+    if *epoch == st.stats.nodes_collapsed {
+        return;
+    }
+    *epoch = st.stats.nodes_collapsed;
+    if triggered.is_empty() {
+        return;
+    }
+    let old = std::mem::take(triggered);
+    for (a, b) in old {
+        let ra = st.find(VarId::from_u32(a)).as_u32();
+        let rb = st.find(VarId::from_u32(b)).as_u32();
+        if ra != rb {
+            triggered.insert((ra, rb));
+        }
+    }
 }
 
 /// Pearce, Kelly & Hankin: explicit transitive closure with *periodic*
@@ -241,6 +274,52 @@ mod tests {
                 reference = Some(sol);
             }
         }
+    }
+
+    /// Regression for a stale-edge bug: `R` (the triggered set) stored keys
+    /// with pre-collapse endpoints, so after a collapse the probe for the
+    /// canonical pair missed them and the same logical edge re-triggered a
+    /// duplicate cycle search.
+    #[test]
+    fn triggered_edges_survive_collapse_canonically() {
+        let program = cyclic_program();
+        let mut st = OnlineState::<BitmapPts>::new(&program);
+        let mut wl = WorklistKind::Fifo.build(st.n);
+        let x = program.var_by_name("x").unwrap();
+        let y = program.var_by_name("y").unwrap();
+        let r = program.var_by_name("r").unwrap();
+        let mut triggered: FxHashSet<(u32, u32)> = FxHashSet::default();
+        let mut epoch = st.stats.nodes_collapsed;
+        triggered.insert((x.as_u32(), r.as_u32()));
+        triggered.insert((x.as_u32(), y.as_u32()));
+        // Collapse x with y: the first key's source gains a new
+        // representative; the second key becomes a self-edge.
+        st.collapse_with(x, y, wl.as_mut());
+        canonicalize_triggered(&mut st, &mut triggered, &mut epoch);
+        let rep = st.find(x).as_u32();
+        assert_eq!(st.find(y).as_u32(), rep);
+        assert!(triggered.contains(&(rep, st.find(r).as_u32())));
+        assert_eq!(triggered.len(), 1, "self-edges are dropped");
+        // With no intervening collapse the rebuild is skipped (epoch gate).
+        canonicalize_triggered(&mut st, &mut triggered, &mut epoch);
+        assert_eq!(triggered.len(), 1);
+    }
+
+    /// Deterministic search-count snapshot on a generated workload. With
+    /// stale (non-canonical) `R` keys this workload triggers 249 searches;
+    /// canonicalizing after each collapse removes the 4 duplicates. An
+    /// increase here means post-collapse representatives re-trigger
+    /// searches for edges that already paid for one.
+    #[test]
+    fn lcd_cycle_search_count_has_no_post_collapse_duplicates() {
+        use ant_frontend::workload::WorkloadSpec;
+        let program = WorkloadSpec::tiny(1).generate();
+        let st = lcd::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none());
+        assert_eq!(st.stats.cycle_searches, 245);
+        assert!(
+            st.stats.nodes_collapsed > 0,
+            "workload must exercise collapses"
+        );
     }
 
     #[test]

@@ -58,5 +58,5 @@ pub use algo::{
 };
 pub use ant_common::obs;
 pub use ant_common::{SolverStats, VarId};
-pub use pts::{BddPts, BddPtsCtx, BitmapPts, PtsRepr};
+pub use pts::{BddPts, BddPtsCtx, BitmapPts, PtsRepr, SharedPts};
 pub use solution::Solution;

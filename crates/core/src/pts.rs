@@ -3,10 +3,12 @@
 //! §5.4 of the paper compares two representations: GCC-style sparse bitmaps
 //! and per-variable BDDs. Every solver here is generic over [`PtsRepr`], so
 //! Tables 3/4 (bitmaps) and Tables 5/6 (BDDs) run the *same* solver code
-//! instantiated at two types.
+//! instantiated at two types. [`SharedPts`] adds a third: hash-consed
+//! bitmaps behind arena ids, combining the bitmaps' cheap iteration with
+//! the BDDs' O(1) equality and deduplicated storage.
 
 use ant_bdd::{BddManager, BddSet, Domain};
-use ant_common::SparseBitmap;
+use ant_common::{PtsInterner, ReprCacheStats, SetId, SparseBitmap};
 
 /// A points-to set: a set of location ids (`u32`).
 ///
@@ -62,7 +64,27 @@ pub trait PtsRepr: Default + Clone {
     /// Heap bytes owned by the shared context.
     fn ctx_bytes(ctx: &Self::Ctx) -> usize;
 
-    /// Short name for reports: `"bitmap"` or `"bdd"`.
+    /// Final cache statistics of the shared context, if the representation
+    /// keeps any (interned representations report intern-table and
+    /// memo-cache hit rates; `None` for the others).
+    fn ctx_stats(_ctx: &Self::Ctx) -> Option<ReprCacheStats> {
+        None
+    }
+
+    /// Compacts shared storage behind `ctx` down to exactly the handles
+    /// passed in, rewriting them in place. Called once at the end of a
+    /// solve, when no other handles are outstanding: a monotone solve
+    /// leaves interned storage full of intermediate sets, and what should
+    /// be accounted (and retained) is only the storage backing the final
+    /// solution. The default is a no-op — per-handle representations own
+    /// their storage outright.
+    fn compact_ctx(_ctx: &mut Self::Ctx, _handles: &mut [&mut Vec<Self>])
+    where
+        Self: Sized,
+    {
+    }
+
+    /// Short name for reports: `"bitmap"`, `"shared"` or `"bdd"`.
     const NAME: &'static str;
 }
 
@@ -126,6 +148,117 @@ impl PtsRepr for BitmapPts {
     }
 
     const NAME: &'static str = "bitmap";
+}
+
+/// Hash-consed, copy-on-write points-to sets: a [`SetId`] into the shared
+/// [`PtsInterner`] the `Ctx` owns.
+///
+/// Three structural properties make this the natural representation for
+/// Lazy Cycle Detection (this crate's fastest solvers):
+///
+/// * **`set_eq` is one integer comparison.** Interning is canonical, so
+///   LCD's per-edge `pts(n) == pts(z)` probe — O(elements) on plain
+///   bitmaps — costs O(1), as does every `done`-marker comparison.
+/// * **`clone` is a 4-byte copy.** The `done[n] = pts(n).clone()` marker
+///   updates and HCD's preemptive collapses share storage instead of
+///   duplicating sets.
+/// * **`union_from` is memoized.** Repeated propagations of the same
+///   source into the same destination — the dominant no-op pattern of a
+///   converging solve — are answered from a direct-mapped cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharedPts(pub SetId);
+
+impl PtsRepr for SharedPts {
+    type Ctx = PtsInterner;
+
+    fn make_ctx(_num_locs: usize) -> PtsInterner {
+        PtsInterner::new()
+    }
+
+    fn insert(&mut self, ctx: &mut PtsInterner, loc: u32) -> bool {
+        let id = ctx.insert(self.0, loc);
+        let changed = id != self.0;
+        self.0 = id;
+        changed
+    }
+
+    fn contains(&self, ctx: &PtsInterner, loc: u32) -> bool {
+        ctx.get(self.0).contains(loc)
+    }
+
+    fn union_from(&mut self, ctx: &mut PtsInterner, other: &Self) -> bool {
+        let id = ctx.union(self.0, other.0);
+        let changed = id != self.0;
+        self.0 = id;
+        changed
+    }
+
+    fn set_eq(&self, _ctx: &PtsInterner, other: &Self) -> bool {
+        // Hash-consing makes this a single integer comparison.
+        self.0 == other.0
+    }
+
+    fn is_empty(&self, _ctx: &PtsInterner) -> bool {
+        self.0 == SetId::EMPTY
+    }
+
+    fn len(&self, ctx: &PtsInterner) -> usize {
+        ctx.len(self.0)
+    }
+
+    fn to_vec(&self, ctx: &PtsInterner) -> Vec<u32> {
+        ctx.get(self.0).iter().collect()
+    }
+
+    fn minus_to_vec(&self, ctx: &mut PtsInterner, other: &Self) -> Vec<u32> {
+        if self.0 == other.0 {
+            // The delta-iteration fast path: `pts == done` is the common
+            // case on re-pops and costs nothing here.
+            return Vec::new();
+        }
+        ctx.get(self.0).difference(ctx.get(other.0)).collect()
+    }
+
+    fn intersect_from(&mut self, ctx: &mut PtsInterner, other: &Self) -> bool {
+        let id = ctx.intersect(self.0, other.0);
+        let changed = id != self.0;
+        self.0 = id;
+        changed
+    }
+
+    fn minus(&self, ctx: &mut PtsInterner, other: &Self) -> Self {
+        SharedPts(ctx.minus(self.0, other.0))
+    }
+
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+
+    fn ctx_bytes(ctx: &PtsInterner) -> usize {
+        ctx.heap_bytes()
+    }
+
+    fn ctx_stats(ctx: &PtsInterner) -> Option<ReprCacheStats> {
+        Some(ReprCacheStats {
+            intern_hits: ctx.stats.intern_hits,
+            intern_misses: ctx.stats.intern_misses,
+            memo_hits: ctx.stats.memo_hits,
+            memo_misses: ctx.stats.memo_misses,
+            distinct_sets: ctx.distinct_sets() as u64,
+        })
+    }
+
+    fn compact_ctx(ctx: &mut PtsInterner, handles: &mut [&mut Vec<SharedPts>]) {
+        let live: Vec<SetId> = handles.iter().flat_map(|v| v.iter().map(|h| h.0)).collect();
+        let remap = ctx.compact(&live);
+        for h in handles.iter_mut().flat_map(|v| v.iter_mut()) {
+            let new = remap[h.0.as_u32() as usize];
+            debug_assert_ne!(new, u32::MAX, "live handle dropped by compaction");
+            h.0 = SetId::from_u32(new);
+        }
+    }
+
+    const NAME: &'static str = "shared";
 }
 
 /// Shared context for [`BddPts`]: one manager and one location domain.
@@ -263,9 +396,53 @@ mod tests {
     }
 
     #[test]
+    fn shared_repr() {
+        exercise::<SharedPts>();
+        assert_eq!(SharedPts::NAME, "shared");
+    }
+
+    #[test]
     fn bdd_repr() {
         exercise::<BddPts>();
         assert_eq!(BddPts::NAME, "bdd");
+    }
+
+    #[test]
+    fn shared_set_eq_is_id_compare() {
+        let mut ctx = SharedPts::make_ctx(100);
+        let mut a = SharedPts::default();
+        let mut b = SharedPts::default();
+        for loc in [3u32, 17, 64] {
+            a.insert(&mut ctx, loc);
+        }
+        for loc in [3u32, 17, 64] {
+            b.insert(&mut ctx, loc);
+        }
+        // Equal contents intern to the same id; equality needs no ctx walk.
+        assert_eq!(a.0, b.0);
+        assert!(a.set_eq(&ctx, &b));
+        // Clones alias the same storage: individual sets own no heap.
+        assert_eq!(a.heap_bytes(), 0);
+        let stats = SharedPts::ctx_stats(&ctx).expect("shared repr reports stats");
+        // b retraces a's insert chain: every step is answered by the memo
+        // cache without even touching the intern table.
+        assert!(
+            stats.memo_hits >= 3,
+            "b's inserts replay a's memoized chain"
+        );
+        assert_eq!(stats.distinct_sets as usize, ctx.distinct_sets());
+    }
+
+    #[test]
+    fn shared_ctx_accounts_table_bytes() {
+        let mut ctx = SharedPts::make_ctx(64);
+        let mut s = SharedPts::default();
+        for i in 0..64 {
+            s.insert(&mut ctx, i);
+        }
+        assert!(SharedPts::ctx_bytes(&ctx) > 0);
+        // Default reprs report no cache statistics.
+        assert!(BitmapPts::ctx_stats(&()).is_none());
     }
 
     #[test]

@@ -54,6 +54,13 @@ pub(crate) struct OnlineState<'o, P: PtsRepr> {
     /// Telemetry handle; [`Obs::none`] by default. Event emission and the
     /// per-phase clock reads are gated on `obs.enabled()`.
     pub obs: Obs<'o>,
+    /// Scratch buffer reused by [`canonical_succs_into`]
+    /// (Self::canonical_succs_into) across worklist pops, so the hot loop
+    /// of every solver is allocation-free. Borrowed via
+    /// [`take_succ_scratch`](Self::take_succ_scratch) /
+    /// [`put_succ_scratch`](Self::put_succ_scratch) because callers mutate
+    /// the state while iterating the targets.
+    scratch_succs: Vec<u32>,
     // Reusable Tarjan buffers (epoch-stamped so repeated searches are cheap).
     t_epoch: Vec<u32>,
     t_index: Vec<u32>,
@@ -126,6 +133,7 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
             hcd_targets: vec![Vec::new(); n],
             stats: SolverStats::new(),
             obs: Obs::none(),
+            scratch_succs: Vec::new(),
             t_epoch: vec![0; n],
             t_index: vec![0; n],
             t_low: vec![0; n],
@@ -392,31 +400,69 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
     /// with stale ids after heavy collapsing and every pop re-propagates
     /// the same set many times (GCC's solver performs the same cleaning).
     pub fn canonical_succs(&mut self, n: VarId) -> Vec<u32> {
-        let raw: Vec<u32> = self.succs[n.index()].iter().collect();
-        let mut rebuilt = SparseBitmap::new();
-        let mut targets = Vec::with_capacity(raw.len());
-        for z_raw in raw {
-            let z = self.find(VarId::from_u32(z_raw));
-            if z == n {
-                continue;
-            }
-            if rebuilt.insert(z.as_u32()) {
-                targets.push(z.as_u32());
+        let mut targets = Vec::new();
+        self.canonical_succs_into(n, &mut targets);
+        targets
+    }
+
+    /// Allocation-free form of [`canonical_succs`](Self::canonical_succs):
+    /// fills `out` (cleared first) with the distinct successor
+    /// representatives of `n`, sorted ascending. Worklist pop loops pass
+    /// the scratch buffer from
+    /// [`take_succ_scratch`](Self::take_succ_scratch) so steady-state pops
+    /// allocate nothing.
+    pub fn canonical_succs_into(&mut self, n: VarId, out: &mut Vec<u32>) {
+        out.clear();
+        // Take the bitmap so it can be refilled in place (clearing keeps
+        // its element storage) while `self.uf` is borrowed for finds.
+        let mut bm = std::mem::take(&mut self.succs[n.index()]);
+        out.extend(bm.iter());
+        bm.clear();
+        let n_raw = n.as_u32();
+        let mut w = 0;
+        for i in 0..out.len() {
+            let z = self.uf.find(VarId::from_u32(out[i])).as_u32();
+            if z != n_raw {
+                out[w] = z;
+                w += 1;
             }
         }
-        self.succs[n.index()] = rebuilt;
-        targets
+        out.truncate(w);
+        out.sort_unstable();
+        out.dedup();
+        for &z in out.iter() {
+            // Ascending inserts append to the element list — no searching.
+            bm.insert(z);
+        }
+        self.succs[n.index()] = bm;
+    }
+
+    /// Borrows the successor scratch buffer (empty Vec if already taken).
+    #[inline]
+    pub fn take_succ_scratch(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.scratch_succs)
+    }
+
+    /// Returns the scratch buffer taken by
+    /// [`take_succ_scratch`](Self::take_succ_scratch), preserving its
+    /// capacity for the next pop.
+    #[inline]
+    pub fn put_succ_scratch(&mut self, v: Vec<u32>) {
+        self.scratch_succs = v;
     }
 
     /// Step 2 of the Figure 1 body: propagate `pts(n)` along every outgoing
     /// edge, pushing changed targets.
     pub fn propagate_all(&mut self, n: VarId, wl: &mut dyn Worklist) {
-        for z_raw in self.canonical_succs(n) {
+        let mut targets = self.take_succ_scratch();
+        self.canonical_succs_into(n, &mut targets);
+        for &z_raw in &targets {
             let z = VarId::from_u32(z_raw);
             if self.propagate(n, z) {
                 wl.push(z);
             }
         }
+        self.put_succ_scratch(targets);
     }
 
     /// The Hybrid Cycle Detection online step (first block of Figure 5):
@@ -642,8 +688,25 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
             .collect()
     }
 
-    /// Records final memory consumption into the statistics.
+    /// Records final memory consumption (and, for shared representations,
+    /// the cache statistics) into the statistics.
     pub fn finalize_bytes(&mut self) {
+        // Shared representations drop intermediate sets first: a monotone
+        // solve interns one set per growth step, and what should count (and
+        // be retained) is only the storage backing the final solution. The
+        // three vectors below are every live handle once the solver loop
+        // has returned.
+        P::compact_ctx(
+            &mut self.ctx,
+            &mut [&mut self.pts, &mut self.done, &mut self.hcd_done],
+        );
+        if let Some(cs) = P::ctx_stats(&self.ctx) {
+            self.stats.intern_hits = cs.intern_hits;
+            self.stats.intern_misses = cs.intern_misses;
+            self.stats.memo_hits = cs.memo_hits;
+            self.stats.memo_misses = cs.memo_misses;
+            self.stats.distinct_sets = cs.distinct_sets;
+        }
         self.stats.pts_bytes = self.pts.iter().map(P::heap_bytes).sum::<usize>()
             + self.done.iter().map(P::heap_bytes).sum::<usize>()
             + self.hcd_done.iter().map(P::heap_bytes).sum::<usize>()

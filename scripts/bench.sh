@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Representation benchmark: wall time + pts_bytes per solver × repr over
+# the bundled suite, interleaved best-of-20, written to BENCH_pts.json.
+# Usage: scripts/bench.sh            (honours ANT_SCALE, ANT_BENCH_REPEATS)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p ant-bench --bin pts_bench

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Local CI: formatting, lints, and the full test suite.
-# Usage: scripts/check.sh
+# Usage: scripts/check.sh [--bench]
+#   --bench  additionally run the representation benchmark (scripts/bench.sh)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,5 +13,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "==> cross-representation differential test"
+cargo test --test pts_repr_differential -q
+
+if [[ "${1:-}" == "--bench" ]]; then
+  echo "==> scripts/bench.sh"
+  scripts/bench.sh
+fi
 
 echo "All checks passed."

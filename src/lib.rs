@@ -40,7 +40,9 @@ pub use ant_frontend as frontend;
 pub use ant_common::{SolverStats, VarId};
 pub use ant_constraints::ovs::OvsStats;
 pub use ant_constraints::{parse_program, Constraint, ConstraintKind, Program, ProgramBuilder};
-pub use ant_core::{solve, Algorithm, BddPts, BitmapPts, PtsRepr, Solution, SolverConfig};
+pub use ant_core::{
+    solve, Algorithm, BddPts, BitmapPts, PtsRepr, SharedPts, Solution, SolverConfig,
+};
 pub use ant_frontend::{compile_c, FrontendError};
 
 use std::time::Duration;

@@ -1,0 +1,88 @@
+//! Cross-representation differential testing: the points-to representation
+//! is an implementation detail, so `BitmapPts`, `SharedPts` and `BddPts`
+//! must produce bit-identical solutions for every solver — and because the
+//! solvers branch only on set *contents* (`set_eq`, union growth), the
+//! bitmap and shared runs must also agree on behavioural counters like
+//! propagations and cycle searches.
+
+use ant_grasshopper::frontend::workload::WorkloadSpec;
+use ant_grasshopper::{
+    compile_c, solve, Algorithm, BddPts, BitmapPts, Program, SharedPts, SolverConfig,
+};
+
+fn workloads() -> Vec<(String, Program)> {
+    let mut out = Vec::new();
+    for seed in [1u64, 42] {
+        out.push((format!("tiny-{seed}"), WorkloadSpec::tiny(seed).generate()));
+    }
+    for name in ["hashtable.c", "interp.c"] {
+        let path = format!("{}/testdata/{name}", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        out.push((name.to_owned(), compile_c(&text).unwrap().program));
+    }
+    out
+}
+
+/// Every solver, bitmap vs shared: identical solutions *and* identical
+/// work counters. A counter mismatch means a representation changed a
+/// solver decision (e.g. a `set_eq` that should be content equality).
+#[test]
+fn shared_matches_bitmap_solutions_and_counters() {
+    for (name, program) in workloads() {
+        for alg in Algorithm::ALL {
+            let config = SolverConfig::new(alg);
+            let bm = solve::<BitmapPts>(&program, &config);
+            let sh = solve::<SharedPts>(&program, &config);
+            assert!(
+                sh.solution.equiv(&bm.solution),
+                "{alg} shared differs from bitmap on {name} at {:?}",
+                sh.solution.first_difference(&bm.solution)
+            );
+            assert_eq!(
+                sh.stats.propagations, bm.stats.propagations,
+                "{alg} on {name}: propagation counts diverge between reprs"
+            );
+            assert_eq!(
+                sh.stats.cycle_searches, bm.stats.cycle_searches,
+                "{alg} on {name}: cycle-search counts diverge between reprs"
+            );
+            assert_eq!(
+                sh.stats.nodes_collapsed, bm.stats.nodes_collapsed,
+                "{alg} on {name}: collapse counts diverge between reprs"
+            );
+        }
+    }
+}
+
+/// The BDD representation supports the Table 5 solvers; its solutions must
+/// match the bitmap reference too (counters are not comparable: BDD set
+/// operations have different fast paths).
+#[test]
+fn bdd_matches_bitmap_solutions() {
+    for (name, program) in workloads() {
+        for alg in Algorithm::TABLE5 {
+            let config = SolverConfig::new(alg);
+            let bm = solve::<BitmapPts>(&program, &config);
+            let bdd = solve::<BddPts>(&program, &config);
+            assert!(
+                bdd.solution.equiv(&bm.solution),
+                "{alg} bdd differs from bitmap on {name} at {:?}",
+                bdd.solution.first_difference(&bm.solution)
+            );
+        }
+    }
+}
+
+/// The shared representation reports its cache telemetry through
+/// `SolverStats`; the bitmap one must not.
+#[test]
+fn shared_populates_repr_cache_stats() {
+    let program = WorkloadSpec::tiny(7).generate();
+    let config = SolverConfig::new(Algorithm::LcdHcd);
+    let sh = solve::<SharedPts>(&program, &config);
+    assert!(sh.stats.distinct_sets > 0);
+    assert!(sh.stats.intern_misses >= sh.stats.distinct_sets - 1);
+    let bm = solve::<BitmapPts>(&program, &config);
+    assert_eq!(bm.stats.distinct_sets, 0);
+    assert_eq!(bm.stats.intern_hits + bm.stats.intern_misses, 0);
+}
