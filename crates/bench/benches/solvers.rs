@@ -2,7 +2,7 @@
 //! cells as statistically sampled microbenchmarks).
 
 use ant_constraints::ovs;
-use ant_core::{solve, Algorithm, BddPts, BitmapPts, SolverConfig};
+use ant_core::{solve_dyn, Algorithm, PtsKind, SolverConfig};
 use ant_frontend::suite;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -17,7 +17,7 @@ fn bench_solvers(c: &mut Criterion) {
             continue; // BLQ has its own group with fewer samples
         }
         group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, &alg| {
-            b.iter(|| solve::<BitmapPts>(&program, &SolverConfig::new(alg)))
+            b.iter(|| solve_dyn(&program, &SolverConfig::new(alg), PtsKind::Bitmap))
         });
     }
     group.finish();
@@ -26,7 +26,7 @@ fn bench_solvers(c: &mut Criterion) {
     group.sample_size(10);
     for alg in [Algorithm::Ht, Algorithm::Lcd, Algorithm::LcdHcd] {
         group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, &alg| {
-            b.iter(|| solve::<BddPts>(&program, &SolverConfig::new(alg)))
+            b.iter(|| solve_dyn(&program, &SolverConfig::new(alg), PtsKind::Bdd))
         });
     }
     group.finish();
@@ -35,7 +35,7 @@ fn bench_solvers(c: &mut Criterion) {
     group.sample_size(10);
     for alg in [Algorithm::Blq, Algorithm::BlqHcd] {
         group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, &alg| {
-            b.iter(|| solve::<BitmapPts>(&program, &SolverConfig::new(alg)))
+            b.iter(|| solve_dyn(&program, &SolverConfig::new(alg), PtsKind::Bitmap))
         });
     }
     group.finish();

@@ -12,7 +12,7 @@
 use ant_bench::render::{secs, table};
 use ant_bench::runner::{prepare_suite, repeats_from_env};
 use ant_common::worklist::WorklistKind;
-use ant_core::{solve, Algorithm, BitmapPts, SolverConfig};
+use ant_core::{solve_dyn, Algorithm, PtsKind, SolverConfig};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "gimp".to_owned());
@@ -37,7 +37,7 @@ fn main() {
             };
             let mut best = f64::INFINITY;
             for _ in 0..repeats {
-                let out = solve::<BitmapPts>(&bench.program, &config);
+                let out = solve_dyn(&bench.program, &config, PtsKind::Bitmap);
                 best = best.min(out.stats.solve_time.as_secs_f64());
             }
             cells.push(secs(best));
@@ -56,7 +56,7 @@ fn main() {
         Algorithm::LcdDiff,
         Algorithm::LcdHcd,
     ] {
-        let out = solve::<BitmapPts>(&bench.program, &SolverConfig::new(alg));
+        let out = solve_dyn(&bench.program, &SolverConfig::new(alg), PtsKind::Bitmap);
         rows.push((
             alg.name().to_owned(),
             vec![

@@ -7,11 +7,16 @@
 
 use ant_bench::render::{geomean, ratio, table};
 use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite};
-use ant_core::{Algorithm, BitmapPts};
+use ant_core::{Algorithm, PtsKind};
 
 fn main() {
     let benches = prepare_suite();
-    let results = run_suite::<BitmapPts>(&benches, &Algorithm::MAIN, repeats_from_env());
+    let results = run_suite(
+        &benches,
+        &Algorithm::MAIN,
+        repeats_from_env(),
+        PtsKind::Bitmap,
+    );
     let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
     let rows: Vec<(String, Vec<String>)> = Algorithm::MAIN
         .iter()

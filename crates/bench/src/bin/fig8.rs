@@ -7,7 +7,7 @@
 
 use ant_bench::render::{geomean, ratio, table};
 use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite};
-use ant_core::{Algorithm, BitmapPts};
+use ant_core::{Algorithm, PtsKind};
 
 fn main() {
     let benches = prepare_suite();
@@ -18,7 +18,7 @@ fn main() {
         (Algorithm::Lcd, Algorithm::LcdHcd),
     ];
     let algs: Vec<Algorithm> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
-    let results = run_suite::<BitmapPts>(&benches, &algs, repeats_from_env());
+    let results = run_suite(&benches, &algs, repeats_from_env(), PtsKind::Bitmap);
     let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
     let rows: Vec<(String, Vec<String>)> = pairs
         .iter()

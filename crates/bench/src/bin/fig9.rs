@@ -8,15 +8,15 @@
 
 use ant_bench::render::{geomean, ratio, table};
 use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite};
-use ant_core::{Algorithm, BddPts, BitmapPts};
+use ant_core::{Algorithm, PtsKind};
 
 fn main() {
     let benches = prepare_suite();
     let repeats = repeats_from_env();
     eprintln!("bitmap sweep:");
-    let bitmap = run_suite::<BitmapPts>(&benches, &Algorithm::TABLE5, repeats);
+    let bitmap = run_suite(&benches, &Algorithm::TABLE5, repeats, PtsKind::Bitmap);
     eprintln!("bdd sweep:");
-    let bdd = run_suite::<BddPts>(&benches, &Algorithm::TABLE5, repeats);
+    let bdd = run_suite(&benches, &Algorithm::TABLE5, repeats, PtsKind::Bdd);
     let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
     let mut rows = Vec::new();
     let mut avgs = Vec::new();

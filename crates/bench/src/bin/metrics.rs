@@ -9,7 +9,7 @@
 
 use ant_bench::render::table;
 use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite};
-use ant_core::{Algorithm, BitmapPts};
+use ant_core::{Algorithm, PtsKind};
 
 fn main() {
     let benches = prepare_suite();
@@ -22,7 +22,7 @@ fn main() {
         Algorithm::PkhHcd,
         Algorithm::LcdHcd,
     ];
-    let results = run_suite::<BitmapPts>(&benches, &algs, repeats_from_env());
+    let results = run_suite(&benches, &algs, repeats_from_env(), PtsKind::Bitmap);
     let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
 
     for (title, pick) in [

@@ -1,0 +1,175 @@
+//! BSP engine scaling: wall time per thread count × solver ×
+//! representation over the bundled workload suite, written to
+//! `BENCH_par.json`.
+//!
+//! Runs are *interleaved* best-of-N (default 5, `ANT_BENCH_REPEATS`): the
+//! outer loop is the repetition, the inner loops visit every
+//! (benchmark, algorithm, repr, threads) cell once per repetition, so slow
+//! drift (thermal, allocator state) hits all cells equally. Every cell's
+//! counters are asserted identical to the 1-thread run of the same cell —
+//! the BSP engine may only change wall time.
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin par_bench
+//! ```
+
+use ant_bench::runner::{prepare_suite, repeats_from_env, PreparedBench};
+use ant_core::{solve_dyn, Algorithm, PtsKind, SolverConfig, SolverStats};
+use std::fmt::Write as _;
+
+const ALGORITHMS: [Algorithm; 3] = [Algorithm::Lcd, Algorithm::LcdHcd, Algorithm::Pkh];
+const REPRS: [PtsKind; 2] = [PtsKind::Bitmap, PtsKind::Shared];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Best-so-far for one (bench, algorithm, repr, threads) cell.
+#[derive(Clone, Copy)]
+struct Cell {
+    seconds: f64,
+}
+
+impl Default for Cell {
+    fn default() -> Self {
+        Cell {
+            seconds: f64::INFINITY,
+        }
+    }
+}
+
+/// The §5.3 counters that must be thread-count-invariant.
+fn counters(s: &SolverStats) -> [u64; 6] {
+    [
+        s.nodes_processed,
+        s.propagations,
+        s.edges_added,
+        s.cycle_searches,
+        s.cycles_found,
+        s.nodes_collapsed,
+    ]
+}
+
+fn run_once(
+    bench: &PreparedBench,
+    alg: Algorithm,
+    pts: PtsKind,
+    threads: usize,
+    cell: &mut Cell,
+) -> [u64; 6] {
+    let config = SolverConfig::new(alg).with_threads(threads);
+    let out = solve_dyn(&bench.program, &config, pts);
+    cell.seconds = cell.seconds.min(out.stats.solve_time.as_secs_f64());
+    counters(&out.stats)
+}
+
+fn main() {
+    let benches = prepare_suite();
+    let repeats = {
+        let r = repeats_from_env();
+        if std::env::var("ANT_BENCH_REPEATS").is_err() && std::env::var("ANT_REPEATS").is_err() {
+            5
+        } else {
+            r
+        }
+    };
+
+    // cells[bench][alg][repr][threads]
+    let mut cells =
+        vec![[[[Cell::default(); THREADS.len()]; REPRS.len()]; ALGORITHMS.len()]; benches.len()];
+    for rep in 0..repeats {
+        eprintln!("pass {}/{repeats}", rep + 1);
+        for (bi, bench) in benches.iter().enumerate() {
+            for (ai, &alg) in ALGORITHMS.iter().enumerate() {
+                for (ri, &repr) in REPRS.iter().enumerate() {
+                    let mut reference = None;
+                    for (ti, &threads) in THREADS.iter().enumerate() {
+                        let c = run_once(bench, alg, repr, threads, &mut cells[bi][ai][ri][ti]);
+                        match &reference {
+                            None => reference = Some(c),
+                            Some(r) => assert_eq!(
+                                *r,
+                                c,
+                                "{} {} {} diverged at {threads} threads",
+                                bench.name,
+                                alg.name(),
+                                repr.name()
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
+    let _ = writeln!(json, "  \"results\": [");
+    let mut first = true;
+    for (bi, bench) in benches.iter().enumerate() {
+        for (ai, &alg) in ALGORITHMS.iter().enumerate() {
+            for (ri, &repr) in REPRS.iter().enumerate() {
+                for (ti, &threads) in THREADS.iter().enumerate() {
+                    if !first {
+                        let _ = writeln!(json, ",");
+                    }
+                    first = false;
+                    let _ = write!(
+                        json,
+                        "    {{\"bench\": \"{}\", \"algorithm\": \"{}\", \"repr\": \"{}\", \
+                         \"threads\": {threads}, \"seconds\": {:.6}}}",
+                        bench.name,
+                        alg.name(),
+                        repr.name(),
+                        cells[bi][ai][ri][ti].seconds
+                    );
+                }
+            }
+        }
+    }
+    let _ = writeln!(json, "\n  ],");
+
+    // Acceptance summary: LCD+HCD over bitmaps on the largest benchmark,
+    // speedup of 4 threads against 1.
+    let largest = benches
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, b)| b.reduced.total())
+        .map(|(i, _)| i)
+        .expect("suite is non-empty");
+    let lcd_hcd = ALGORITHMS
+        .iter()
+        .position(|&a| a == Algorithm::LcdHcd)
+        .expect("LCD+HCD is benchmarked");
+    let t1 = cells[largest][lcd_hcd][0][0].seconds;
+    let t4 = cells[largest][lcd_hcd][0][2].seconds;
+    let speedup = t1 / t4;
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
+    let _ = writeln!(json, "  \"summary\": {{");
+    let _ = writeln!(
+        json,
+        "    \"largest_bench\": \"{}\",\n    \"available_parallelism\": {hw},\n    \
+         \"lcd_hcd_bitmap_t1_seconds\": {t1:.6},\n    \
+         \"lcd_hcd_bitmap_t4_seconds\": {t4:.6},\n    \"lcd_hcd_bitmap_t4_speedup\": \
+         {speedup:.3}",
+        benches[largest].name
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write("BENCH_par.json", &json).expect("write BENCH_par.json");
+    eprintln!("wrote BENCH_par.json");
+    println!(
+        "LCD+HCD/bitmap on {}: 1 thread {t1:.3}s, 4 threads {t4:.3}s ({speedup:.2}x)",
+        benches[largest].name
+    );
+    if hw < 4 {
+        println!(
+            "note: only {hw} hardware thread(s) available — the worker phase is clamped \
+             to the hardware, so parity (~1.0x) is the expected ceiling here"
+        );
+    }
+    if speedup >= 1.0 {
+        println!("acceptance: PASS (4 threads no slower than 1 on the largest workload)");
+    } else {
+        println!("acceptance: CHECK (4 threads must beat 1 thread wall-clock)");
+    }
+}

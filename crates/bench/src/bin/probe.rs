@@ -4,7 +4,7 @@
 //! cargo run --release -p ant-bench --bin probe -- LCD+HCD wine [bdd]
 //! ```
 use ant_bench::runner::prepare_suite;
-use ant_core::{solve, Algorithm, BddPts, BitmapPts, SolverConfig};
+use ant_core::{solve_dyn, Algorithm, PtsKind, SolverConfig};
 
 fn main() {
     let alg_name = std::env::args().nth(1).unwrap_or_else(|| "HT".into());
@@ -21,9 +21,9 @@ fn main() {
         if use_bdd { "bdd" } else { "bitmap" }
     );
     let stats = if use_bdd {
-        solve::<BddPts>(&b.program, &SolverConfig::new(alg)).stats
+        solve_dyn(&b.program, &SolverConfig::new(alg), PtsKind::Bdd).stats
     } else {
-        solve::<BitmapPts>(&b.program, &SolverConfig::new(alg)).stats
+        solve_dyn(&b.program, &SolverConfig::new(alg), PtsKind::Bitmap).stats
     };
     println!(
         "{} on {}: {:.3}s",

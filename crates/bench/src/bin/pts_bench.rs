@@ -13,7 +13,7 @@
 //! ```
 
 use ant_bench::runner::{prepare_suite, repeats_from_env, PreparedBench};
-use ant_core::{solve, Algorithm, BitmapPts, PtsRepr, SharedPts, SolverConfig};
+use ant_core::{solve_dyn, Algorithm, PtsKind, SolverConfig};
 use ant_frontend::suite::scale_from_env;
 use std::fmt::Write as _;
 
@@ -23,7 +23,7 @@ const ALGORITHMS: [Algorithm; 4] = [
     Algorithm::LcdHcd,
     Algorithm::Ht,
 ];
-const REPRS: [&str; 2] = [BitmapPts::NAME, SharedPts::NAME];
+const REPRS: [PtsKind; 2] = [PtsKind::Bitmap, PtsKind::Shared];
 
 /// Best-so-far for one (bench, algorithm, repr) cell.
 #[derive(Clone, Copy)]
@@ -41,8 +41,8 @@ impl Default for Cell {
     }
 }
 
-fn run_once<P: PtsRepr>(bench: &PreparedBench, alg: Algorithm, cell: &mut Cell) {
-    let out = solve::<P>(&bench.program, &SolverConfig::new(alg));
+fn run_once(bench: &PreparedBench, alg: Algorithm, pts: PtsKind, cell: &mut Cell) {
+    let out = solve_dyn(&bench.program, &SolverConfig::new(alg), pts);
     let secs = out.stats.solve_time.as_secs_f64();
     if secs < cell.seconds {
         cell.seconds = secs;
@@ -71,8 +71,9 @@ fn main() {
         eprintln!("pass {}/{repeats}", rep + 1);
         for (bi, bench) in benches.iter().enumerate() {
             for (ai, &alg) in ALGORITHMS.iter().enumerate() {
-                run_once::<BitmapPts>(bench, alg, &mut cells[bi][ai][0]);
-                run_once::<SharedPts>(bench, alg, &mut cells[bi][ai][1]);
+                for (ri, &repr) in REPRS.iter().enumerate() {
+                    run_once(bench, alg, repr, &mut cells[bi][ai][ri]);
+                }
             }
         }
     }
@@ -93,10 +94,11 @@ fn main() {
                 first = false;
                 let _ = write!(
                     json,
-                    "    {{\"bench\": \"{}\", \"algorithm\": \"{}\", \"repr\": \"{repr}\", \
+                    "    {{\"bench\": \"{}\", \"algorithm\": \"{}\", \"repr\": \"{}\", \
                      \"seconds\": {:.6}, \"pts_bytes\": {}}}",
                     bench.name,
                     alg.name(),
+                    repr.name(),
                     c.seconds,
                     c.pts_bytes
                 );

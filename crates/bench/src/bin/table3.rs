@@ -12,7 +12,7 @@
 
 use ant_bench::render::{secs, table};
 use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite, PreparedBench, SuiteResults};
-use ant_core::{Algorithm, BitmapPts, SharedPts};
+use ant_core::{Algorithm, PtsKind};
 
 fn time_rows(benches: &[PreparedBench], results: &SuiteResults) -> Vec<(String, Vec<String>)> {
     Algorithm::TABLE3
@@ -34,7 +34,7 @@ fn main() {
     let repeats = repeats_from_env();
     let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
 
-    let bitmap = run_suite::<BitmapPts>(&benches, &Algorithm::TABLE3, repeats);
+    let bitmap = run_suite(&benches, &Algorithm::TABLE3, repeats, PtsKind::Bitmap);
     let mut rows = vec![(
         "HCD-Offline".to_owned(),
         benches
@@ -46,7 +46,7 @@ fn main() {
     println!("Table 3: performance (seconds), bitmap points-to sets\n");
     println!("{}", table("Algorithm", &columns, &rows));
 
-    let shared = run_suite::<SharedPts>(&benches, &Algorithm::TABLE3, repeats);
+    let shared = run_suite(&benches, &Algorithm::TABLE3, repeats, PtsKind::Shared);
     println!("Table 3b: performance (seconds), shared (interned) points-to sets\n");
     println!(
         "{}",

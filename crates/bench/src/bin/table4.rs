@@ -17,7 +17,7 @@
 
 use ant_bench::render::{mib, table};
 use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite, PreparedBench, SuiteResults};
-use ant_core::{Algorithm, BitmapPts, SharedPts};
+use ant_core::{Algorithm, PtsKind};
 
 fn mem_rows(benches: &[PreparedBench], results: &SuiteResults) -> Vec<(String, Vec<String>)> {
     Algorithm::TABLE3
@@ -39,14 +39,14 @@ fn main() {
     let repeats = repeats_from_env();
     let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
 
-    let bitmap = run_suite::<BitmapPts>(&benches, &Algorithm::TABLE3, repeats);
+    let bitmap = run_suite(&benches, &Algorithm::TABLE3, repeats, PtsKind::Bitmap);
     println!("Table 4: memory consumption (MiB), bitmap points-to sets\n");
     println!(
         "{}",
         table("Algorithm", &columns, &mem_rows(&benches, &bitmap))
     );
 
-    let shared = run_suite::<SharedPts>(&benches, &Algorithm::TABLE3, repeats);
+    let shared = run_suite(&benches, &Algorithm::TABLE3, repeats, PtsKind::Shared);
     println!("Table 4b: memory consumption (MiB), shared (interned) points-to sets\n");
     println!(
         "{}",

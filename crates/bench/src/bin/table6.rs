@@ -6,11 +6,16 @@
 
 use ant_bench::render::{mib, table};
 use ant_bench::runner::{prepare_suite, repeats_from_env, run_suite};
-use ant_core::{Algorithm, BddPts};
+use ant_core::{Algorithm, PtsKind};
 
 fn main() {
     let benches = prepare_suite();
-    let results = run_suite::<BddPts>(&benches, &Algorithm::TABLE5, repeats_from_env());
+    let results = run_suite(
+        &benches,
+        &Algorithm::TABLE5,
+        repeats_from_env(),
+        PtsKind::Bdd,
+    );
     let columns: Vec<&str> = benches.iter().map(|b| b.name.as_str()).collect();
     let rows: Vec<(String, Vec<String>)> = Algorithm::TABLE5
         .iter()

@@ -3,7 +3,7 @@
 use ant_common::SolverStats;
 use ant_constraints::hcd::HcdOffline;
 use ant_constraints::{ConstraintStats, Program};
-use ant_core::{solve, Algorithm, PtsRepr, SolverConfig};
+use ant_core::{solve_dyn, Algorithm, PtsKind, SolverConfig};
 use ant_frontend::suite::{default_suite, scale_from_env};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -106,12 +106,13 @@ pub fn parse_repeats(bench: Option<&str>, legacy: Option<&str>) -> (usize, Optio
     }
 }
 
-/// Runs one algorithm on one prepared benchmark, best of `repeats`.
-pub fn run_one<P: PtsRepr>(bench: &PreparedBench, alg: Algorithm, repeats: usize) -> BenchResult {
+/// Runs one algorithm on one prepared benchmark, best of `repeats`, with
+/// the given points-to representation.
+pub fn run_one(bench: &PreparedBench, alg: Algorithm, repeats: usize, pts: PtsKind) -> BenchResult {
     let config = SolverConfig::new(alg);
     let mut best: Option<SolverStats> = None;
     for _ in 0..repeats.max(1) {
-        let out = solve::<P>(&bench.program, &config);
+        let out = solve_dyn(&bench.program, &config, pts);
         if best
             .as_ref()
             .is_none_or(|b| out.stats.solve_time < b.solve_time)
@@ -160,16 +161,17 @@ impl SuiteResults {
 }
 
 /// Runs `algorithms` over every prepared benchmark.
-pub fn run_suite<P: PtsRepr>(
+pub fn run_suite(
     benches: &[PreparedBench],
     algorithms: &[Algorithm],
     repeats: usize,
+    pts: PtsKind,
 ) -> SuiteResults {
     let mut out = SuiteResults::default();
     for bench in benches {
         for &alg in algorithms {
             eprintln!("  [{}] {} ...", bench.name, alg.name());
-            out.insert(run_one::<P>(bench, alg, repeats));
+            out.insert(run_one(bench, alg, repeats, pts));
         }
     }
     out
@@ -178,7 +180,6 @@ pub fn run_suite<P: PtsRepr>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ant_core::BitmapPts;
     use ant_frontend::workload::WorkloadSpec;
 
     fn tiny_bench() -> PreparedBench {
@@ -200,7 +201,7 @@ mod tests {
     #[test]
     fn run_one_produces_stats() {
         let b = tiny_bench();
-        let r = run_one::<BitmapPts>(&b, Algorithm::LcdHcd, 2);
+        let r = run_one(&b, Algorithm::LcdHcd, 2, PtsKind::Bitmap);
         assert_eq!(r.bench, "tiny");
         assert!(r.stats.nodes_processed > 0);
     }
@@ -208,10 +209,11 @@ mod tests {
     #[test]
     fn suite_results_lookup() {
         let b = tiny_bench();
-        let rs = run_suite::<BitmapPts>(
+        let rs = run_suite(
             std::slice::from_ref(&b),
             &[Algorithm::Lcd, Algorithm::Hcd],
             1,
+            PtsKind::Bitmap,
         );
         assert!(rs.get(Algorithm::Lcd, "tiny").is_some());
         assert!(rs.get(Algorithm::Ht, "tiny").is_none());

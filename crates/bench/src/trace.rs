@@ -28,6 +28,10 @@ pub struct SolverTrace {
     /// The last `repr_cache` record, if the solver ran with a shared
     /// (interned) points-to representation.
     pub repr_cache: Option<ant_common::ReprCacheStats>,
+    /// BSP rounds: `(round count, total hints, total hint hits, total
+    /// worker microseconds)`, summed over `round_summary` records. All
+    /// zeros for single-threaded runs.
+    pub rounds: (u64, u64, u64, u64),
 }
 
 /// A parsed trace: solver sections in first-appearance order (events
@@ -122,8 +126,16 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                     distinct_sets: field("distinct_sets"),
                 });
             }
+            "round_summary" => {
+                let field = |k: &str| record.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+                agg.rounds.0 += 1;
+                agg.rounds.1 += field("hints");
+                agg.rounds.2 += field("hint_hits");
+                agg.rounds.3 += field("worker_micros");
+            }
             // `solver_start` opens the section (handled above);
-            // `phase_start` only matters through its matching `phase_end`.
+            // `phase_start` only matters through its matching `phase_end`;
+            // `shard_utilization` detail is summed into `round_summary`.
             _ => {}
         }
     }
@@ -199,6 +211,14 @@ pub fn render(summary: &TraceSummary) -> String {
                 100.0 * cs.memo_hit_rate()
             ));
         }
+        let (rounds, hints, hint_hits, worker_micros) = agg.rounds;
+        if rounds > 0 {
+            out.push_str(&format!(
+                "bsp rounds: {rounds} | hints used {hint_hits}/{hints} | \
+                 worker time {:.3}s\n",
+                worker_micros as f64 / 1e6
+            ));
+        }
     }
     out
 }
@@ -216,13 +236,15 @@ mod tests {
 {\"t\": 0.7, \"event\": \"graph_mutation\", \"solver\": \"LCD+HCD\", \"edges_added\": 2}
 {\"t\": 0.8, \"event\": \"progress\", \"solver\": \"LCD+HCD\", \"worklist\": 0, \"nodes\": 9, \"propagations\": 12, \"pts_bytes\": 2097152}
 {\"t\": 0.85, \"event\": \"repr_cache\", \"solver\": \"LCD+HCD\", \"intern_hits\": 30, \"intern_misses\": 10, \"memo_hits\": 75, \"memo_misses\": 25, \"distinct_sets\": 11}
+{\"t\": 0.86, \"event\": \"shard_utilization\", \"solver\": \"LCD+HCD\", \"round\": 2, \"shard\": 0, \"nodes\": 64, \"busy_micros\": 400}
+{\"t\": 0.87, \"event\": \"round_summary\", \"solver\": \"LCD+HCD\", \"round\": 2, \"nodes\": 128, \"shards\": 2, \"hints\": 50, \"hint_hits\": 45, \"worker_micros\": 800}
 {\"t\": 0.9, \"event\": \"phase_end\", \"solver\": \"LCD+HCD\", \"phase\": \"solve\", \"seconds\": 0.5}
 ";
 
     #[test]
     fn summarize_aggregates_per_solver() {
         let s = summarize(SAMPLE).unwrap();
-        assert_eq!(s.records, 9);
+        assert_eq!(s.records, 11);
         assert_eq!(s.solvers.len(), 2);
         let (pre_name, pre) = &s.solvers[0];
         assert!(pre_name.is_empty());
@@ -239,13 +261,15 @@ mod tests {
         assert_eq!(cs.memo_misses, 25);
         assert_eq!(cs.distinct_sets, 11);
         assert!(pre.repr_cache.is_none());
+        assert_eq!(lcd.rounds, (1, 50, 45, 800));
+        assert_eq!(pre.rounds, (0, 0, 0, 0));
     }
 
     #[test]
     fn render_mentions_phases_and_counters() {
         let s = summarize(SAMPLE).unwrap();
         let text = render(&s);
-        assert!(text.contains("9 trace records"));
+        assert!(text.contains("11 trace records"));
         assert!(text.contains("(pre-solve)"));
         assert!(text.contains("solver: LCD+HCD"));
         assert!(text.contains("parse"));
@@ -256,6 +280,7 @@ mod tests {
         assert!(text.contains("pts 2.0 MiB"));
         assert!(text.contains("repr cache: 11 distinct sets"));
         assert!(text.contains("intern hit rate 75.0%"));
+        assert!(text.contains("bsp rounds: 1 | hints used 45/50"));
     }
 
     #[test]

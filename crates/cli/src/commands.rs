@@ -1,31 +1,46 @@
 //! The `ant` subcommands.
 
-use crate::opts::Opts;
+use crate::opts::{flag_help, Opts};
 use ant_common::VarId;
 use ant_constraints::{ovs, parse_program, Program};
 use ant_core::obs::{FanOut, Obs, Phase, PhaseTimer, ProgressPrinter, TraceWriter};
 use ant_core::{
-    solve as run_solver, solve_with_observer, Algorithm, BddPts, BitmapPts, SharedPts, Solution,
-    SolveOutput, SolverConfig,
+    solve_dyn, solve_dyn_with_observer, Algorithm, PtsKind, Solution, SolveOutput, SolverConfig,
 };
 use ant_frontend::suite;
 use std::fs::File;
 use std::io;
 
-pub const USAGE: &str = "\
+const USAGE_HEAD: &str = "\
 ant — inclusion-based pointer analysis (Hardekopf & Lin, PLDI 2007)
 
 USAGE:
   ant compile <file.c> [-o out.consts]
   ant solve   <file.c|file.consts> [--algorithm NAME] [--pts bitmap|shared|bdd]
-              [--worklist fifo|lifo|lrf|divided-lrf] [--no-ovs] [--stats]
-              [--trace-out trace.jsonl] [--progress] [--progress-every N]
+              [--worklist fifo|lifo|lrf|divided-lrf] [--threads N] [--no-ovs]
+              [--stats] [--trace-out trace.jsonl] [--progress] [--progress-every N]
   ant query   <file> --pointer NAME | --alias NAME NAME
   ant gen     <benchmark> [--scale S] [-o out.consts]
   ant compare <file>
 
 ALGORITHMS: Basic HT PKH BLQ LCD HCD HT+HCD PKH+HCD BLQ+HCD LCD+HCD PKH03 LCD-DP
 BENCHMARKS: emacs ghostscript gimp insight wine linux";
+
+/// The full help text: the usage header plus the flag table rendered from
+/// [`crate::opts::FLAGS`].
+pub fn usage() -> String {
+    format!("{USAGE_HEAD}\n\n{}", flag_help())
+}
+
+/// Parses `args`; `Ok(None)` means `--help` was requested and printed.
+fn parse_opts(args: &[String]) -> Result<Option<Opts>, String> {
+    let opts = Opts::parse(args)?;
+    if opts.has("--help") {
+        println!("{}", usage());
+        return Ok(None);
+    }
+    Ok(Some(opts))
+}
 
 /// Loads a program from a `.c` source or a constraint file.
 fn load(path: &str) -> Result<Program, String> {
@@ -41,32 +56,72 @@ fn load(path: &str) -> Result<Program, String> {
     }
 }
 
-fn config_from(opts: &Opts) -> Result<SolverConfig, String> {
-    let algorithm = match opts.value("--algorithm") {
-        None => Algorithm::LcdHcd,
-        Some(name) => {
-            Algorithm::parse(name).ok_or_else(|| format!("unknown algorithm `{name}`"))?
-        }
-    };
-    let worklist = match opts.value("--worklist") {
-        None => ant_common::worklist::WorklistKind::DividedLrf,
-        Some("fifo") => ant_common::worklist::WorklistKind::Fifo,
-        Some("lifo") => ant_common::worklist::WorklistKind::Lifo,
-        Some("lrf") => ant_common::worklist::WorklistKind::Lrf,
-        Some("divided-lrf") => ant_common::worklist::WorklistKind::DividedLrf,
-        Some(other) => return Err(format!("unknown worklist `{other}`")),
-    };
-    let progress_every = match opts.value("--progress-every") {
-        None => SolverConfig::DEFAULT_PROGRESS_EVERY,
-        Some(n) => n
-            .parse::<u32>()
-            .map_err(|_| format!("bad --progress-every `{n}` (want a non-negative integer)"))?,
-    };
-    Ok(SolverConfig {
-        algorithm,
-        worklist,
-        progress_every,
-    })
+/// Typed CLI configuration, parsed exactly once per invocation from the
+/// flag table — the commands below never re-inspect raw flags.
+pub struct CliConfig {
+    /// Algorithm, worklist, snapshot cadence and thread count.
+    pub solver: SolverConfig,
+    /// Points-to set representation (runtime-dispatched).
+    pub pts: PtsKind,
+    /// Skip offline variable substitution.
+    pub no_ovs: bool,
+    /// Print the solver's counters after solving.
+    pub stats: bool,
+    /// Live progress snapshots on stderr.
+    pub progress: bool,
+    /// JSONL telemetry trace destination.
+    pub trace_out: Option<String>,
+}
+
+impl CliConfig {
+    fn from_opts(opts: &Opts) -> Result<CliConfig, String> {
+        let algorithm = match opts.value("--algorithm") {
+            None => Algorithm::LcdHcd,
+            Some(name) => {
+                Algorithm::parse(name).ok_or_else(|| format!("unknown algorithm `{name}`"))?
+            }
+        };
+        let worklist = match opts.value("--worklist") {
+            None => ant_common::worklist::WorklistKind::DividedLrf,
+            Some("fifo") => ant_common::worklist::WorklistKind::Fifo,
+            Some("lifo") => ant_common::worklist::WorklistKind::Lifo,
+            Some("lrf") => ant_common::worklist::WorklistKind::Lrf,
+            Some("divided-lrf") => ant_common::worklist::WorklistKind::DividedLrf,
+            Some(other) => return Err(format!("unknown worklist `{other}`")),
+        };
+        let progress_every = match opts.value("--progress-every") {
+            None => SolverConfig::DEFAULT_PROGRESS_EVERY,
+            Some(n) => n
+                .parse::<u32>()
+                .map_err(|_| format!("bad --progress-every `{n}` (want a non-negative integer)"))?,
+        };
+        let threads = match opts.value("--threads") {
+            None => ant_core::threads_from_env(),
+            Some(n) => n
+                .parse::<usize>()
+                .ok()
+                .filter(|&t| t >= 1)
+                .ok_or_else(|| format!("bad --threads `{n}` (want a positive integer)"))?,
+        };
+        let pts = match opts.value("--pts") {
+            None => PtsKind::Bitmap,
+            Some(name) => PtsKind::parse(name)
+                .ok_or_else(|| format!("unknown points-to representation `{name}`"))?,
+        };
+        Ok(CliConfig {
+            solver: SolverConfig {
+                algorithm,
+                worklist,
+                progress_every,
+                threads,
+            },
+            pts,
+            no_ovs: opts.has("--no-ovs"),
+            stats: opts.has("--stats"),
+            progress: opts.has("--progress"),
+            trace_out: opts.value("--trace-out").map(str::to_owned),
+        })
+    }
 }
 
 /// Observer stack assembled from `--trace-out` / `--progress`.
@@ -77,15 +132,15 @@ struct Telemetry {
 
 impl Telemetry {
     /// `Ok(None)` when no telemetry flag is present.
-    fn from_opts(opts: &Opts) -> Result<Option<Telemetry>, String> {
-        let trace = match opts.value("--trace-out") {
+    fn from_config(cfg: &CliConfig) -> Result<Option<Telemetry>, String> {
+        let trace = match &cfg.trace_out {
             None => None,
             Some(path) => {
                 let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-                Some((path.to_owned(), TraceWriter::new(file)))
+                Some((path.clone(), TraceWriter::new(file)))
             }
         };
-        let progress = opts.has("--progress").then(ProgressPrinter::stderr);
+        let progress = cfg.progress.then(ProgressPrinter::stderr);
         if trace.is_none() && progress.is_none() {
             return Ok(None);
         }
@@ -124,9 +179,11 @@ fn obs_over<'a>(fan: &'a mut Option<FanOut<'_>>) -> Obs<'a> {
     }
 }
 
-fn run(input: &str, opts: &Opts) -> Result<(Program, SolveOutput, Option<ovs::OvsResult>), String> {
-    let config = config_from(opts)?;
-    let mut telemetry = Telemetry::from_opts(opts)?;
+fn run(
+    input: &str,
+    cfg: &CliConfig,
+) -> Result<(Program, SolveOutput, Option<ovs::OvsResult>), String> {
+    let mut telemetry = Telemetry::from_config(cfg)?;
     let result = {
         let mut fan = telemetry.as_mut().map(Telemetry::fan);
 
@@ -140,25 +197,16 @@ fn run(input: &str, opts: &Opts) -> Result<(Program, SolveOutput, Option<ovs::Ov
             loaded?
         };
 
-        let reduced = if opts.has("--no-ovs") {
+        let reduced = if cfg.no_ovs {
             None
         } else {
             let mut obs = obs_over(&mut fan);
             Some(ovs::substitute_with_obs(&program, &mut obs))
         };
         let target = reduced.as_ref().map(|r| &r.program).unwrap_or(&program);
-        let out = match (opts.value("--pts"), &mut fan) {
-            (None | Some("bitmap"), None) => run_solver::<BitmapPts>(target, &config),
-            (None | Some("bitmap"), Some(fan)) => {
-                solve_with_observer::<BitmapPts>(target, &config, &mut *fan)
-            }
-            (Some("shared"), None) => run_solver::<SharedPts>(target, &config),
-            (Some("shared"), Some(fan)) => {
-                solve_with_observer::<SharedPts>(target, &config, &mut *fan)
-            }
-            (Some("bdd"), None) => run_solver::<BddPts>(target, &config),
-            (Some("bdd"), Some(fan)) => solve_with_observer::<BddPts>(target, &config, &mut *fan),
-            (Some(other), _) => return Err(format!("unknown points-to representation `{other}`")),
+        let out = match &mut fan {
+            None => solve_dyn(target, &cfg.solver, cfg.pts),
+            Some(fan) => solve_dyn_with_observer(target, &cfg.solver, cfg.pts, &mut *fan),
         };
         (program, out, reduced)
     };
@@ -185,7 +233,9 @@ fn print_pts(program: &Program, solution: &Solution, v: VarId) {
 }
 
 pub fn compile(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args)?;
+    let Some(opts) = parse_opts(args)? else {
+        return Ok(());
+    };
     let [input] = opts.positional.as_slice() else {
         return Err("compile takes exactly one input file".into());
     };
@@ -210,11 +260,14 @@ pub fn compile(args: &[String]) -> Result<(), String> {
 }
 
 pub fn solve(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args)?;
+    let Some(opts) = parse_opts(args)? else {
+        return Ok(());
+    };
+    let cfg = CliConfig::from_opts(&opts)?;
     let [input] = opts.positional.as_slice() else {
         return Err("solve takes exactly one input file".into());
     };
-    let (program, out, reduced) = run(input, &opts)?;
+    let (program, out, reduced) = run(input, &cfg)?;
     let solution = expanded(&out, &reduced);
     if let Some(r) = &reduced {
         eprintln!(
@@ -227,10 +280,10 @@ pub fn solve(args: &[String]) -> Result<(), String> {
     }
     eprintln!(
         "solved with {} in {:.3}ms",
-        config_from(&opts)?.algorithm,
+        cfg.solver.algorithm,
         out.stats.solve_time.as_secs_f64() * 1000.0
     );
-    if opts.has("--stats") {
+    if cfg.stats {
         eprintln!("{}", out.stats);
     }
     for v in program.vars() {
@@ -242,11 +295,14 @@ pub fn solve(args: &[String]) -> Result<(), String> {
 }
 
 pub fn query(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args)?;
+    let Some(opts) = parse_opts(args)? else {
+        return Ok(());
+    };
+    let cfg = CliConfig::from_opts(&opts)?;
     let [input, rest @ ..] = opts.positional.as_slice() else {
         return Err("query takes an input file".into());
     };
-    let (program, out, reduced) = run(input, &opts)?;
+    let (program, out, reduced) = run(input, &cfg)?;
     let solution = expanded(&out, &reduced);
     if let Some(name) = opts.value("--pointer") {
         let v = program
@@ -272,7 +328,9 @@ pub fn query(args: &[String]) -> Result<(), String> {
 }
 
 pub fn gen(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args)?;
+    let Some(opts) = parse_opts(args)? else {
+        return Ok(());
+    };
     let [name] = opts.positional.as_slice() else {
         return Err("gen takes one benchmark name".into());
     };
@@ -295,7 +353,10 @@ pub fn gen(args: &[String]) -> Result<(), String> {
 }
 
 pub fn compare(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args)?;
+    let Some(opts) = parse_opts(args)? else {
+        return Ok(());
+    };
+    let cfg = CliConfig::from_opts(&opts)?;
     let [input] = opts.positional.as_slice() else {
         return Err("compare takes exactly one input file".into());
     };
@@ -307,7 +368,9 @@ pub fn compare(args: &[String]) -> Result<(), String> {
     );
     let mut reference: Option<Solution> = None;
     for alg in Algorithm::ALL {
-        let out = run_solver::<BitmapPts>(&reduced.program, &SolverConfig::new(alg));
+        let mut config = cfg.solver;
+        config.algorithm = alg;
+        let out = solve_dyn(&reduced.program, &config, cfg.pts);
         println!(
             "{:<8} {:>10.2} {:>10} {:>10} {:>12}",
             alg.name(),
@@ -430,6 +493,8 @@ mod tests {
             "--algorithm",
             "lcd-hcd",
             "--no-ovs",
+            "--threads",
+            "4",
             "--trace-out",
             &trace,
             "--progress-every",
@@ -473,6 +538,23 @@ mod tests {
                         assert!(r[key].as_u64().is_some(), "repr_cache carries {key}");
                     }
                 }
+                "round_summary" => {
+                    for key in [
+                        "round",
+                        "nodes",
+                        "shards",
+                        "hints",
+                        "hint_hits",
+                        "worker_micros",
+                    ] {
+                        assert!(r[key].as_u64().is_some(), "round_summary carries {key}");
+                    }
+                }
+                "shard_utilization" => {
+                    for key in ["round", "shard", "nodes", "busy_micros"] {
+                        assert!(r[key].as_u64().is_some(), "shard_utilization carries {key}");
+                    }
+                }
                 "solver_start" => {}
                 other => panic!("unknown event kind `{other}`"),
             }
@@ -486,6 +568,7 @@ mod tests {
         assert_eq!(count("solver_start"), 1);
         assert!(count("progress") >= 1, "at least one snapshot per run");
         assert!(count("cycle_collapsed") >= 1, "HCD collapsed the cycle");
+        assert!(count("round_summary") >= 1, "BSP rounds leave summaries");
         assert_eq!(count("phase_start"), count("phase_end"), "spans balance");
         let phases: Vec<_> = records
             .iter()
@@ -508,5 +591,44 @@ mod tests {
         let c = write_temp("t5.c", "int x;");
         assert!(solve(&s(&[&c, "--algorithm", "WAT"])).is_err());
         assert!(solve(&s(&[&c, "--pts", "rope"])).is_err());
+        assert!(solve(&s(&[&c, "--threads", "0"])).is_err());
+        assert!(solve(&s(&[&c, "--threads", "many"])).is_err());
+        let err = solve(&s(&[&c, "--fast"])).unwrap_err();
+        assert!(err.contains("unknown flag `--fast`"));
+    }
+
+    #[test]
+    fn help_flag_short_circuits_every_command() {
+        for cmd in [compile, solve, query, gen, compare] {
+            cmd(&s(&["--help"])).unwrap();
+        }
+        assert!(usage().contains("--threads N"));
+    }
+
+    #[test]
+    fn threads_flag_parses_into_the_solver_config() {
+        let opts = Opts::parse(&s(&["f.c", "--threads", "4", "--pts", "shared"])).unwrap();
+        let cfg = CliConfig::from_opts(&opts).unwrap();
+        assert_eq!(cfg.solver.threads, 4);
+        assert_eq!(cfg.pts, PtsKind::Shared);
+        let opts = Opts::parse(&s(&["f.c"])).unwrap();
+        let cfg = CliConfig::from_opts(&opts).unwrap();
+        assert_eq!(cfg.pts, PtsKind::Bitmap);
+        assert!(cfg.solver.threads >= 1);
+    }
+
+    /// `--threads 4` prints the same points-to sets as `--threads 1` — the
+    /// BSP engine is user-invisible apart from speed.
+    #[test]
+    fn parallel_solve_matches_sequential_output() {
+        let c = write_temp(
+            "t8.c",
+            "int x; int *p; int *q; int **a;\n\
+             void main() { a = &p; p = &x; q = *a; *a = q; }",
+        );
+        for alg in ["lcd", "lcd-hcd", "pkh"] {
+            solve(&s(&[&c, "--algorithm", alg, "--threads", "1"])).unwrap();
+            solve(&s(&[&c, "--algorithm", alg, "--threads", "4"])).unwrap();
+        }
     }
 }

@@ -18,7 +18,7 @@ mod opts;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("{}", commands::USAGE);
+        eprintln!("{}", commands::usage());
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
@@ -28,10 +28,13 @@ fn main() -> ExitCode {
         "gen" => commands::gen(rest),
         "compare" => commands::compare(rest),
         "help" | "--help" | "-h" => {
-            println!("{}", commands::USAGE);
+            println!("{}", commands::usage());
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
+        other => Err(format!(
+            "unknown command `{other}`\n\n{}",
+            commands::usage()
+        )),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -1,4 +1,106 @@
 //! Tiny hand-rolled option parsing (no external dependencies).
+//!
+//! Every flag the CLI accepts lives in one table, [`FLAGS`]; parsing
+//! consults it for arity and unknown-flag rejection, and the `--help`
+//! output is generated from the same rows, so the two can never drift.
+
+/// One row of the flag table.
+pub struct FlagSpec {
+    /// The flag as typed, e.g. `--algorithm`.
+    pub name: &'static str,
+    /// The value's metavariable for valued flags; `None` for booleans.
+    pub value: Option<&'static str>,
+    /// One-line description shown by `--help`.
+    pub help: &'static str,
+}
+
+/// The single source of truth for the CLI's flags.
+pub const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "-o",
+        value: Some("FILE"),
+        help: "write output to FILE instead of stdout",
+    },
+    FlagSpec {
+        name: "--algorithm",
+        value: Some("NAME"),
+        help: "solver algorithm (default LCD+HCD)",
+    },
+    FlagSpec {
+        name: "--pts",
+        value: Some("REPR"),
+        help: "points-to representation: bitmap|shared|bdd",
+    },
+    FlagSpec {
+        name: "--worklist",
+        value: Some("KIND"),
+        help: "worklist strategy: fifo|lifo|lrf|divided-lrf",
+    },
+    FlagSpec {
+        name: "--threads",
+        value: Some("N"),
+        help: "solver threads; N >= 2 runs the BSP engine (default ANT_THREADS or 1)",
+    },
+    FlagSpec {
+        name: "--no-ovs",
+        value: None,
+        help: "skip offline variable substitution",
+    },
+    FlagSpec {
+        name: "--stats",
+        value: None,
+        help: "print the solver's counters and memory accounting",
+    },
+    FlagSpec {
+        name: "--progress",
+        value: None,
+        help: "live progress snapshots on stderr",
+    },
+    FlagSpec {
+        name: "--progress-every",
+        value: Some("N"),
+        help: "snapshot cadence in worklist pops (0 = final only)",
+    },
+    FlagSpec {
+        name: "--trace-out",
+        value: Some("FILE"),
+        help: "write a JSONL telemetry trace to FILE",
+    },
+    FlagSpec {
+        name: "--scale",
+        value: Some("S"),
+        help: "workload scale factor for `gen`",
+    },
+    FlagSpec {
+        name: "--pointer",
+        value: Some("NAME"),
+        help: "query: print one variable's points-to set",
+    },
+    FlagSpec {
+        name: "--alias",
+        value: None,
+        help: "query: may-alias of the two named variables",
+    },
+    FlagSpec {
+        name: "--help",
+        value: None,
+        help: "print this help",
+    },
+];
+
+/// Renders the flag table as the `FLAGS:` section of `--help`.
+pub fn flag_help() -> String {
+    let mut out = String::from("FLAGS:\n");
+    for f in FLAGS {
+        let head = match f.value {
+            Some(v) => format!("{} {}", f.name, v),
+            None => f.name.to_string(),
+        };
+        out.push_str(&format!("  {head:<22} {}\n", f.help));
+    }
+    out.pop(); // trailing newline
+    out
+}
 
 /// Parsed command line: positional arguments plus `--flag [value]` options.
 #[derive(Debug, Default)]
@@ -7,35 +109,28 @@ pub struct Opts {
     flags: Vec<(String, Option<String>)>,
 }
 
-/// Options that take a value (everything else is boolean).
-const VALUED: &[&str] = &[
-    "-o",
-    "--algorithm",
-    "--pts",
-    "--scale",
-    "--seed",
-    "--pointer",
-    "--worklist",
-    "--trace-out",
-    "--progress-every",
-];
-
 impl Opts {
-    /// Parses `args`.
+    /// Parses `args` against [`FLAGS`].
     ///
     /// # Errors
     ///
-    /// Returns a message when a valued flag is missing its value.
+    /// Returns a message when a flag is not in the table or a valued flag
+    /// is missing its value.
     pub fn parse(args: &[String]) -> Result<Opts, String> {
         let mut out = Opts::default();
         let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
             if a.starts_with('-') {
-                if VALUED.contains(&a.as_str()) {
+                let name = if a == "-h" { "--help" } else { a.as_str() };
+                let spec = FLAGS
+                    .iter()
+                    .find(|f| f.name == name)
+                    .ok_or_else(|| format!("unknown flag `{a}` (try --help)"))?;
+                if spec.value.is_some() {
                     let v = it.next().ok_or_else(|| format!("flag {a} needs a value"))?;
-                    out.flags.push((a.clone(), Some(v.clone())));
+                    out.flags.push((name.to_owned(), Some(v.clone())));
                 } else {
-                    out.flags.push((a.clone(), None));
+                    out.flags.push((name.to_owned(), None));
                 }
             } else {
                 out.positional.push(a.clone());
@@ -52,8 +147,7 @@ impl Opts {
             .and_then(|(_, v)| v.as_deref())
     }
 
-    /// All values of the (repeatable) flag `name` — used by `--alias a b`
-    /// style flags via positionals instead; kept for symmetry.
+    /// Whether the flag `name` was passed at all.
     pub fn has(&self, name: &str) -> bool {
         self.flags.iter().any(|(f, _)| f == name)
     }
@@ -80,5 +174,28 @@ mod tests {
     fn missing_value_is_an_error() {
         let err = Opts::parse(&s(&["--algorithm"])).unwrap_err();
         assert!(err.contains("needs a value"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = Opts::parse(&s(&["a.c", "--frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown flag `--frobnicate`"));
+        let err = Opts::parse(&s(&["--threds", "4"])).unwrap_err();
+        assert!(err.contains("unknown flag"));
+    }
+
+    #[test]
+    fn short_help_aliases_long() {
+        let o = Opts::parse(&s(&["-h"])).unwrap();
+        assert!(o.has("--help"));
+    }
+
+    #[test]
+    fn help_text_covers_every_flag() {
+        let text = flag_help();
+        for f in FLAGS {
+            assert!(text.contains(f.name), "--help must mention {}", f.name);
+        }
+        assert!(text.contains("--threads N"));
     }
 }

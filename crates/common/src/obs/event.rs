@@ -126,6 +126,37 @@ pub enum SolveEvent {
     /// representation, emitted once at the end of a solve. Absent for
     /// representations without shared caches.
     ReprCache(crate::stats::ReprCacheStats),
+    /// One bulk-synchronous round of the parallel propagation engine
+    /// finished: the round's batch was snapshotted, hint workers ran, and
+    /// the deterministic sequential merge applied every node.
+    RoundSummary {
+        /// 1-based round number within the current solve.
+        round: u64,
+        /// Nodes in this round's batch.
+        nodes: u64,
+        /// Worker shards spawned for the hint phase (0 when the round ran
+        /// purely sequentially).
+        shards: u32,
+        /// Delta/equality hints the workers produced.
+        hints: u64,
+        /// Hints that were still valid — and therefore consumed — during
+        /// the sequential merge.
+        hint_hits: u64,
+        /// Wall time of the parallel worker phase, in microseconds.
+        worker_micros: u64,
+    },
+    /// Per-shard utilization of one BSP round's worker phase, emitted once
+    /// per shard just before the round's [`SolveEvent::RoundSummary`].
+    ShardUtilization {
+        /// 1-based round number within the current solve.
+        round: u64,
+        /// 0-based shard index within the round.
+        shard: u32,
+        /// Nodes assigned to this shard.
+        nodes: u64,
+        /// Busy wall time of the shard's worker thread, in microseconds.
+        busy_micros: u64,
+    },
 }
 
 #[cfg(test)]

@@ -24,6 +24,8 @@ use super::observer::Observer;
 /// | `cycle_collapsed` | `members`                                           |
 /// | `graph_mutation`  | `edges_added`                                       |
 /// | `repr_cache`      | `intern_hits`, `intern_misses`, `memo_hits`, `memo_misses`, `distinct_sets` |
+/// | `round_summary`   | `round`, `nodes`, `shards`, `hints`, `hint_hits`, `worker_micros` |
+/// | `shard_utilization` | `round`, `shard`, `nodes`, `busy_micros`          |
 pub struct TraceWriter<W: Write> {
     out: W,
     epoch: Instant,
@@ -100,6 +102,36 @@ impl<W: Write> TraceWriter<W> {
                 o.uint_field("memo_hits", s.memo_hits);
                 o.uint_field("memo_misses", s.memo_misses);
                 o.uint_field("distinct_sets", s.distinct_sets);
+            }
+            SolveEvent::RoundSummary {
+                round,
+                nodes,
+                shards,
+                hints,
+                hint_hits,
+                worker_micros,
+            } => {
+                o.str_field("event", "round_summary");
+                o.str_field("solver", self.solver);
+                o.uint_field("round", *round);
+                o.uint_field("nodes", *nodes);
+                o.uint_field("shards", *shards as u64);
+                o.uint_field("hints", *hints);
+                o.uint_field("hint_hits", *hint_hits);
+                o.uint_field("worker_micros", *worker_micros);
+            }
+            SolveEvent::ShardUtilization {
+                round,
+                shard,
+                nodes,
+                busy_micros,
+            } => {
+                o.str_field("event", "shard_utilization");
+                o.str_field("solver", self.solver);
+                o.uint_field("round", *round);
+                o.uint_field("shard", *shard as u64);
+                o.uint_field("nodes", *nodes);
+                o.uint_field("busy_micros", *busy_micros);
             }
         }
         o.finish()
@@ -185,8 +217,26 @@ impl<W: Write> Observer for ProgressPrinter<W> {
                     100.0 * s.memo_hit_rate(),
                 )
             }
-            // Cycle and mutation events are too frequent for a terminal.
-            SolveEvent::CycleCollapsed { .. } | SolveEvent::GraphMutation { .. } => Ok(()),
+            SolveEvent::RoundSummary {
+                round,
+                nodes,
+                shards,
+                hints,
+                hint_hits,
+                worker_micros,
+            } => {
+                writeln!(
+                    self.out,
+                    "[{tag}] round {round}: {nodes} nodes | {shards} shards | \
+                     {hint_hits}/{hints} hints used | workers {:.1}ms",
+                    *worker_micros as f64 / 1000.0
+                )
+            }
+            // Cycle, mutation and per-shard events are too frequent for a
+            // terminal; shard detail stays available in the JSONL trace.
+            SolveEvent::CycleCollapsed { .. }
+            | SolveEvent::GraphMutation { .. }
+            | SolveEvent::ShardUtilization { .. } => Ok(()),
         };
     }
 }
@@ -218,6 +268,20 @@ mod tests {
             memo_misses: 25,
             distinct_sets: 11,
         }));
+        observer.on_event(&SolveEvent::ShardUtilization {
+            round: 4,
+            shard: 1,
+            nodes: 128,
+            busy_micros: 250,
+        });
+        observer.on_event(&SolveEvent::RoundSummary {
+            round: 4,
+            nodes: 256,
+            shards: 2,
+            hints: 90,
+            hint_hits: 81,
+            worker_micros: 500,
+        });
         observer.on_event(&SolveEvent::PhaseEnd {
             phase: Phase::Solve,
             duration: Duration::from_millis(1500),
@@ -231,7 +295,7 @@ mod tests {
         assert!(w.error().is_none());
         let text = String::from_utf8(w.into_inner()).unwrap();
         let lines: Vec<_> = text.lines().collect();
-        assert_eq!(lines.len(), 7);
+        assert_eq!(lines.len(), 9);
         let maps: Vec<_> = lines.iter().map(|l| parse_object(l).unwrap()).collect();
         for m in &maps {
             assert!(m["t"].as_f64().unwrap() >= 0.0);
@@ -249,7 +313,16 @@ mod tests {
         assert_eq!(maps[5]["intern_hits"].as_u64(), Some(30));
         assert_eq!(maps[5]["memo_misses"].as_u64(), Some(25));
         assert_eq!(maps[5]["distinct_sets"].as_u64(), Some(11));
-        assert!((maps[6]["seconds"].as_f64().unwrap() - 1.5).abs() < 1e-9);
+        assert_eq!(maps[6]["event"].as_str(), Some("shard_utilization"));
+        assert_eq!(maps[6]["round"].as_u64(), Some(4));
+        assert_eq!(maps[6]["shard"].as_u64(), Some(1));
+        assert_eq!(maps[6]["busy_micros"].as_u64(), Some(250));
+        assert_eq!(maps[7]["event"].as_str(), Some("round_summary"));
+        assert_eq!(maps[7]["nodes"].as_u64(), Some(256));
+        assert_eq!(maps[7]["shards"].as_u64(), Some(2));
+        assert_eq!(maps[7]["hints"].as_u64(), Some(90));
+        assert_eq!(maps[7]["hint_hits"].as_u64(), Some(81));
+        assert!((maps[8]["seconds"].as_f64().unwrap() - 1.5).abs() < 1e-9);
     }
 
     #[test]
@@ -263,7 +336,9 @@ mod tests {
         assert!(text.contains("done in 1.500s"));
         assert!(text.contains("repr cache: 11 distinct sets"));
         assert!(text.contains("intern hit rate 75.0%"));
+        assert!(text.contains("round 4: 256 nodes | 2 shards | 81/90 hints used"));
         // Chatty events are suppressed.
         assert!(!text.contains("members"));
+        assert!(!text.contains("busy"));
     }
 }

@@ -1,0 +1,433 @@
+//! The bulk-synchronous parallel (BSP) propagation engine.
+//!
+//! Each *round* snapshots the pending worklist, lets per-thread worker
+//! shards precompute propagation answers against the frozen state, then
+//! applies every node in a deterministic sequential merge. The result —
+//! solution *and* §5.3 counters — is bit-identical to the sequential
+//! divided-worklist solvers, because the round schedule reproduces the
+//! [`DividedLrf`] pop order exactly and the workers' output is advisory.
+//!
+//! # Schedule equivalence
+//!
+//! The sequential [`DividedLrf`] pops its *current* section in ascending
+//! `(last_fired, id)` order, sends pushes to *next*, ignores pushes of
+//! still-queued nodes, and swaps sections when *current* drains. A round
+//! here is one section: the pending batch is sorted by `(last_fired, id)`
+//! (ties break by id, exactly like the sequential binary heap), each node
+//! clears its queued flag and stamps `last_fired` as it is processed, and
+//! pushes land in the next round's batch. Keys in the sequential heap are
+//! frozen at refill time — `last_fired` of a queued node never changes
+//! until it is popped — so sorting once per round is the same order.
+//!
+//! # Why the merge is sequential
+//!
+//! Cycle collapses rewrite the union-find, and every later step of the
+//! round observes the rewritten graph: which representative a node
+//! resolves to, which edges are self-edges, which `done`-marker deltas
+//! remain. Replaying collapses in any order other than the sequential
+//! solver's would change the §5.3 counters (and potentially the collapse
+//! structure), so collapses — and all state mutation — stay on the merge
+//! thread. What parallelizes is the read-only half of propagation: set
+//! differences and LCD's equality probes, precomputed as version-stamped
+//! [hints](crate::state::RoundHint) the merge consumes only while still
+//! provably current. Hints can therefore accelerate a round but never
+//! alter its outcome.
+//!
+//! # PKH sweeps
+//!
+//! The sequential PKH solver checks `swaps() != swept_at` before every
+//! pop, and the lazy refill inside `pop` bumps `swaps` at the *first* pop
+//! of a section. Replayed against round positions that becomes: a
+//! *boundary* sweep before the batch is snapshotted (firing on round 1 and
+//! after single-node rounds, whose collapse pushes precede the refill and
+//! so join the new batch), a `swaps` bump at position 0 standing in for
+//! the refill, and a plain test at every later position (catching that
+//! bump before the second pop — the once-per-section sweep). [`run`]
+//! reproduces that state machine literally.
+//!
+//! [`DividedLrf`]: ant_common::worklist::DividedLrf
+
+use crate::pts::PtsRepr;
+use crate::state::{OnlineState, RoundHint};
+use ant_common::fx::FxHashSet;
+use ant_common::obs::{Obs, SolveEvent};
+use ant_common::worklist::Worklist;
+use ant_common::VarId;
+use ant_constraints::hcd::HcdOffline;
+use ant_constraints::Program;
+use std::time::{Duration, Instant};
+
+use super::worklist_solvers::{basic_step, lcd_step, pkh_sweep};
+
+/// Which worklist-solver body each round replays.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Family {
+    /// Figure 1, optionally with the HCD step (Basic / HCD).
+    Basic,
+    /// Figure 2, optionally with the HCD step (LCD / LCD+HCD).
+    Lcd,
+    /// Figure 1 plus periodic whole-graph sweeps (PKH / PKH+HCD).
+    Pkh,
+}
+
+/// Minimum nodes per worker shard; below `2 ×` this a round runs purely
+/// sequentially (thread spawn would cost more than the hints save).
+const MIN_SHARD_NODES: usize = 48;
+
+/// Worker threads the hint phase may actually spawn for a configured
+/// thread count: never more than the hardware offers. Hints are advisory,
+/// so clamping changes nothing but wall time — on a single-core host the
+/// worker phase is skipped entirely rather than paying per-round spawns
+/// that cannot run concurrently.
+fn worker_budget(threads: usize) -> usize {
+    #[cfg(test)]
+    {
+        let forced = tests::FORCE_WORKERS.load(std::sync::atomic::Ordering::Relaxed);
+        if forced > 0 {
+            return threads.min(forced);
+        }
+    }
+    threads.min(std::thread::available_parallelism().map_or(1, usize::from))
+}
+
+/// The round accumulator: the BSP engine's stand-in for the divided
+/// worklist's *next* section. Pushes deduplicate through the same queued
+/// flags as the sequential worklist; nodes of the in-flight batch keep
+/// their flag until processed, so re-pushes of not-yet-reached nodes are
+/// ignored exactly as they are for nodes still sitting in *current*.
+struct RoundQueue {
+    pending: Vec<VarId>,
+    queued: Vec<bool>,
+    last_fired: Vec<u64>,
+    clock: u64,
+}
+
+impl RoundQueue {
+    fn new(n: usize) -> Self {
+        RoundQueue {
+            pending: Vec::new(),
+            queued: vec![false; n],
+            last_fired: vec![0; n],
+            clock: 1,
+        }
+    }
+}
+
+impl Worklist for RoundQueue {
+    fn push(&mut self, n: VarId) {
+        let q = &mut self.queued[n.index()];
+        if !*q {
+            *q = true;
+            self.pending.push(n);
+        }
+    }
+
+    fn pop(&mut self) -> Option<VarId> {
+        // The engine drains whole batches itself; solver bodies only push.
+        debug_assert!(false, "RoundQueue is never popped");
+        None
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Per-shard worker accounting for `ShardUtilization` events.
+struct ShardStat {
+    nodes: usize,
+    busy: Duration,
+}
+
+/// One worker's output: hints keyed by canonical `(src, dst)` pair, plus
+/// its accounting.
+type ShardOutput<P> = (Vec<((u32, u32), RoundHint<P>)>, ShardStat);
+
+/// Runs `family` to fixpoint with BSP rounds. Behaviourally identical to
+/// the corresponding sequential solver over [`DividedLrf`]
+/// (`ant_common::worklist::DividedLrf`); `threads ≥ 2` is assumed (the
+/// dispatcher routes `threads == 1` to the sequential solvers).
+pub(crate) fn run<'o, P: PtsRepr>(
+    program: &Program,
+    family: Family,
+    hcd: Option<&HcdOffline>,
+    obs: Obs<'o>,
+    threads: usize,
+) -> OnlineState<'o, P> {
+    let mut st = OnlineState::<P>::new(program);
+    st.obs = obs;
+    if let Some(h) = hcd {
+        st.install_hcd(h);
+    }
+    let use_hcd = hcd.is_some();
+    let mut rq = RoundQueue::new(st.n);
+    st.seed_worklist(&mut rq);
+
+    // LCD's triggered-edge set R persists across rounds, like across pops.
+    let mut triggered: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut triggered_epoch = st.stats.nodes_collapsed;
+    // PKH sweep state machine (see module docs).
+    let mut swaps = 0u64;
+    let mut swept_at = u64::MAX;
+
+    let mut round: u64 = 0;
+    let mut batch: Vec<VarId> = Vec::new();
+    while !rq.pending.is_empty() {
+        round += 1;
+        // A sweep firing at a section boundary (round 1, or the round after
+        // a single-node round) runs before the sequential refill, so its
+        // collapse pushes land in *next* and join this round's batch —
+        // replay it before snapshotting.
+        if family == Family::Pkh && swaps != swept_at {
+            swept_at = swaps;
+            pkh_sweep(&mut st, &mut rq);
+        }
+        batch.clear();
+        std::mem::swap(&mut batch, &mut rq.pending);
+        batch.sort_unstable_by_key(|&v| (rq.last_fired[v.index()], v.as_u32()));
+
+        let (hints, shard_stats, worker_time) = hint_phase(&mut st, &batch, threads);
+        st.hint_hits = 0;
+
+        for (i, &popped) in batch.iter().enumerate() {
+            if family == Family::Pkh {
+                if i == 0 {
+                    // The refill that produced this batch bumped the swap
+                    // counter; the mid-section sweep check below sees it
+                    // from the second position on, exactly like the
+                    // sequential check-before-every-pop.
+                    swaps += 1;
+                } else if swaps != swept_at {
+                    swept_at = swaps;
+                    pkh_sweep(&mut st, &mut rq);
+                }
+            }
+            rq.queued[popped.index()] = false;
+            rq.last_fired[popped.index()] = rq.clock;
+            rq.clock += 1;
+            st.stats.nodes_processed += 1;
+            let in_batch = batch.len() - i - 1;
+            st.tick_progress(|| in_batch + rq.pending.len());
+            match family {
+                Family::Lcd => lcd_step(
+                    &mut st,
+                    popped,
+                    use_hcd,
+                    &mut rq,
+                    &mut triggered,
+                    &mut triggered_epoch,
+                ),
+                Family::Basic | Family::Pkh => basic_step(&mut st, popped, use_hcd, &mut rq),
+            }
+        }
+
+        let hint_hits = st.hint_hits;
+        st.round_hints.clear();
+        if st.obs.enabled() {
+            for (si, s) in shard_stats.iter().enumerate() {
+                st.obs.emit(&SolveEvent::ShardUtilization {
+                    round,
+                    shard: si as u32,
+                    nodes: s.nodes as u64,
+                    busy_micros: s.busy.as_micros() as u64,
+                });
+            }
+            st.obs.emit(&SolveEvent::RoundSummary {
+                round,
+                nodes: batch.len() as u64,
+                shards: shard_stats.len() as u32,
+                hints: hints as u64,
+                hint_hits,
+                worker_micros: worker_time.as_micros() as u64,
+            });
+        }
+    }
+
+    if family == Family::Lcd {
+        // Same accounting as the sequential LCD solver.
+        st.stats.aux_bytes += triggered.capacity() * (8 + 8);
+    }
+    st
+}
+
+/// The parallel half of a round: splits `batch` into contiguous shards of
+/// the sorted order and, on scoped threads, computes one [`RoundHint`] per
+/// canonical out-edge of each node against the frozen pre-round state.
+/// Returns `(hints produced, per-shard stats, wall time)` and leaves the
+/// hints in `st.round_hints`.
+///
+/// Skipped (returning empties) when the representation cannot compute set
+/// operations without its context, or when the batch is too small to pay
+/// for thread spawns.
+fn hint_phase<P: PtsRepr>(
+    st: &mut OnlineState<'_, P>,
+    batch: &[VarId],
+    threads: usize,
+) -> (usize, Vec<ShardStat>, Duration) {
+    let shards = worker_budget(threads).min(batch.len() / MIN_SHARD_NODES);
+    if !P::PAR_HINTS || shards < 2 {
+        return (0, Vec::new(), Duration::ZERO);
+    }
+    let t0 = Instant::now();
+    let chunk = batch.len().div_ceil(shards);
+    // Borrow the individual fields, not the state: `OnlineState` itself is
+    // not `Sync` (it holds the observer), but the graph snapshot is.
+    let uf = &st.uf;
+    let pts = &st.pts;
+    let succs = &st.succs;
+    let vers = &st.pts_ver;
+    let results: Vec<ShardOutput<P>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = batch
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    let t = Instant::now();
+                    let mut out = Vec::new();
+                    let mut targets: Vec<u32> = Vec::new();
+                    for &popped in part {
+                        let n = uf.find_no_compress(popped);
+                        let n_raw = n.as_u32();
+                        let src = &pts[n.index()];
+                        // The same canonical target set the merge will
+                        // propagate along (if no collapse intervenes).
+                        targets.clear();
+                        targets.extend(
+                            succs[n.index()]
+                                .iter()
+                                .map(|w| uf.find_no_compress(VarId::from_u32(w)).as_u32()),
+                        );
+                        targets.sort_unstable();
+                        targets.dedup();
+                        for &z in &targets {
+                            if z == n_raw {
+                                continue;
+                            }
+                            let dst = &pts[z as usize];
+                            let Some((delta, eq)) = P::frozen_delta(src, dst) else {
+                                continue;
+                            };
+                            out.push((
+                                (n_raw, z),
+                                RoundHint {
+                                    src_ver: vers[n.index()],
+                                    dst_ver: vers[z as usize],
+                                    eq,
+                                    delta,
+                                },
+                            ));
+                        }
+                    }
+                    let stat = ShardStat {
+                        nodes: part.len(),
+                        busy: t.elapsed(),
+                    };
+                    (out, stat)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("hint worker panicked"))
+            .collect()
+    });
+    let mut shard_stats = Vec::with_capacity(results.len());
+    let mut count = 0;
+    st.round_hints.clear();
+    st.round_hints
+        .reserve(results.iter().map(|(h, _)| h.len()).sum());
+    for (hints, stat) in results {
+        count += hints.len();
+        st.round_hints.extend(hints);
+        shard_stats.push(stat);
+    }
+    (count, shard_stats, t0.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::worklist_solvers::{basic, lcd, pkh};
+    use crate::pts::{BitmapPts, SharedPts};
+    use crate::verify::assert_sound;
+    use crate::Solution;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Overrides [`worker_budget`]'s hardware clamp so the worker phase —
+    /// shard spawning, hint production, version validation — is exercised
+    /// by these tests even on single-core CI hosts.
+    pub(super) static FORCE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+    fn force_workers(n: usize) {
+        FORCE_WORKERS.store(n, Ordering::Relaxed);
+    }
+    use ant_common::worklist::WorklistKind;
+    use ant_frontend::workload::WorkloadSpec;
+
+    /// The nine behavioural §5.3 counters (no durations, no byte sizes —
+    /// those legitimately vary with wall clock and allocation history).
+    fn counters(st: &ant_common::SolverStats) -> [u64; 9] {
+        [
+            st.nodes_processed,
+            st.propagations,
+            st.propagations_changed,
+            st.edges_added,
+            st.complex_iters,
+            st.cycle_searches,
+            st.nodes_searched,
+            st.cycles_found,
+            st.nodes_collapsed,
+        ]
+    }
+
+    #[test]
+    fn rounds_replay_the_divided_lrf_schedule_exactly() {
+        force_workers(4);
+        let program = WorkloadSpec::tiny(7).generate();
+        let hcd = HcdOffline::analyze(&program);
+        for h in [None, Some(&hcd)] {
+            for (fam, seq) in [
+                (Family::Basic, basic::<BitmapPts> as fn(_, _, _, _) -> _),
+                (Family::Lcd, lcd::<BitmapPts>),
+                (Family::Pkh, pkh::<BitmapPts>),
+            ] {
+                let mut s = seq(&program, WorklistKind::DividedLrf, h, Obs::none());
+                let mut p = run::<BitmapPts>(&program, fam, h, Obs::none(), 4);
+                assert_eq!(
+                    counters(&s.stats),
+                    counters(&p.stats),
+                    "counter divergence (hcd={})",
+                    h.is_some()
+                );
+                let ss = Solution::from_state(&mut s);
+                let ps = Solution::from_state(&mut p);
+                assert_sound(&program, &ps);
+                assert!(
+                    ss.equiv(&ps),
+                    "solution divergence at {:?}",
+                    ss.first_difference(&ps)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn context_bound_reprs_skip_the_worker_phase_but_still_match() {
+        let program = WorkloadSpec::tiny(3).generate();
+        let mut s = lcd::<SharedPts>(&program, WorklistKind::DividedLrf, None, Obs::none());
+        let mut p = run::<SharedPts>(&program, Family::Lcd, None, Obs::none(), 4);
+        assert_eq!(counters(&s.stats), counters(&p.stats));
+        assert!(Solution::from_state(&mut s).equiv(&Solution::from_state(&mut p)));
+    }
+
+    #[test]
+    fn empty_program_yields_no_rounds() {
+        let program = ant_constraints::ProgramBuilder::new().finish();
+        let mut st = run::<BitmapPts>(&program, Family::Basic, None, Obs::none(), 4);
+        assert_eq!(st.stats.nodes_processed, 0);
+        assert_eq!(Solution::from_state(&mut st).num_vars(), 0);
+    }
+}

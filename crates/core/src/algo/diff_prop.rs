@@ -134,9 +134,10 @@ mod tests {
     fn agrees_with_basic_on_workloads() {
         for seed in [2u64, 77] {
             let program = WorkloadSpec::tiny(seed).generate();
-            let reference = crate::solve::<BitmapPts>(
+            let reference = crate::solve_dyn(
                 &program,
                 &crate::SolverConfig::new(crate::Algorithm::Basic),
+                crate::PtsKind::Bitmap,
             );
             for h in [false, true] {
                 let hcd = h.then(|| HcdOffline::analyze(&program));

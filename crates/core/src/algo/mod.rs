@@ -1,6 +1,7 @@
-//! Solver selection and the top-level [`solve`] entry point.
+//! Solver selection and the top-level [`solve_dyn`] entry point.
 
 mod blq;
+mod bsp;
 mod diff_prop;
 mod ht;
 mod pkh03;
@@ -9,7 +10,7 @@ mod worklist_solvers;
 
 pub use steensgaard::{steensgaard, steensgaard_with_observer};
 
-use crate::pts::PtsRepr;
+use crate::pts::{BddPts, BitmapPts, PtsKind, PtsRepr, SharedPts};
 use crate::{Solution, SolverStats};
 use ant_common::obs::{Obs, Observer, Phase, PhaseTimer, ProgressSnapshot, SolveEvent};
 use ant_common::worklist::WorklistKind;
@@ -180,7 +181,8 @@ impl fmt::Display for Algorithm {
     }
 }
 
-/// Solver configuration: which algorithm and which worklist strategy.
+/// Solver configuration: which algorithm, which worklist strategy, and how
+/// many solver threads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SolverConfig {
     /// Algorithm to run.
@@ -188,24 +190,55 @@ pub struct SolverConfig {
     /// Worklist strategy for the worklist-driven solvers (the paper's
     /// default is LRF over a divided worklist).
     pub worklist: WorklistKind,
-    /// With an observer attached ([`solve_with_observer`]): emit a progress
-    /// snapshot every this many worklist pops (rounds/passes for the
-    /// solvers without a worklist). `0` disables periodic snapshots; one
-    /// final snapshot is emitted regardless. Ignored by plain [`solve`].
+    /// With an observer attached ([`solve_dyn_with_observer`]): emit a
+    /// progress snapshot every this many worklist pops (rounds/passes for
+    /// the solvers without a worklist). `0` disables periodic snapshots;
+    /// one final snapshot is emitted regardless. Ignored by observer-less
+    /// solves.
     pub progress_every: u32,
+    /// Solver threads. `1` (the default) runs the classic sequential
+    /// solvers; `≥ 2` routes the worklist family (Basic/HCD, LCD/LCD+HCD,
+    /// PKH/PKH+HCD over the divided worklist) through the BSP round engine,
+    /// whose solution and §5.3 counters are bit-identical to the sequential
+    /// run. The other solvers ignore this and run sequentially. Values are
+    /// treated as `max(threads, 1)`; the engine's worker phase additionally
+    /// never spawns more threads than the hardware offers.
+    pub threads: usize,
 }
 
 impl SolverConfig {
     /// Snapshot cadence used when none is configured explicitly.
     pub const DEFAULT_PROGRESS_EVERY: u32 = 1024;
 
-    /// Configuration with the paper's default worklist.
+    /// Configuration with the paper's default worklist and the thread count
+    /// from [`threads_from_env`].
     pub fn new(algorithm: Algorithm) -> Self {
         SolverConfig {
             algorithm,
             worklist: WorklistKind::DividedLrf,
             progress_every: Self::DEFAULT_PROGRESS_EVERY,
+            threads: threads_from_env(),
         }
+    }
+
+    /// Returns this configuration with the given thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// The default solver thread count: `ANT_THREADS` when set to a positive
+/// integer (clamped to 256), else `1`. Lets test suites and CI exercise the
+/// parallel engine across every existing call site without touching each
+/// configuration.
+pub fn threads_from_env() -> usize {
+    match std::env::var("ANT_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(t) if t >= 1 => t.min(256),
+            _ => 1,
+        },
+        Err(_) => 1,
     }
 }
 
@@ -218,8 +251,9 @@ pub struct SolveOutput {
     pub stats: SolverStats,
 }
 
-/// Solves `program` with the configured algorithm, generic over the
-/// points-to representation `P` (bitmaps for Tables 3–4, BDDs for 5–6).
+/// Solves `program` with the configured algorithm and the points-to
+/// representation selected at runtime by `pts` (bitmaps for Tables 3–4,
+/// BDDs for 5–6, shared/interned sets for the copy-on-write ablation).
 ///
 /// The HCD offline time is reported in `stats.offline_time` and — following
 /// the paper — *not* included in `stats.solve_time`.
@@ -227,28 +261,65 @@ pub struct SolveOutput {
 /// # Example
 ///
 /// ```
-/// use ant_core::{solve, Algorithm, BitmapPts, SolverConfig};
+/// use ant_core::{solve_dyn, Algorithm, PtsKind, SolverConfig};
 /// use ant_constraints::parse_program;
 ///
 /// let program = parse_program("p = &x\nq = p\n").unwrap();
-/// let out = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::LcdHcd));
+/// let out = solve_dyn(
+///     &program,
+///     &SolverConfig::new(Algorithm::LcdHcd),
+///     PtsKind::Bitmap,
+/// );
 /// let q = program.var_by_name("q").unwrap();
 /// let x = program.var_by_name("x").unwrap();
 /// assert!(out.solution.may_point_to(q, x));
 /// ```
+pub fn solve_dyn(program: &Program, config: &SolverConfig, pts: PtsKind) -> SolveOutput {
+    match pts {
+        PtsKind::Bitmap => solve_impl::<BitmapPts>(program, config, Obs::none()),
+        PtsKind::Shared => solve_impl::<SharedPts>(program, config, Obs::none()),
+        PtsKind::Bdd => solve_impl::<BddPts>(program, config, Obs::none()),
+    }
+}
+
+/// [`solve_dyn`] with telemetry: every event of the run — solver start,
+/// phase spans (offline HCD, online solve), periodic progress snapshots,
+/// BSP round summaries, cycle collapses and constraint-graph growth — is
+/// delivered to `observer`. The snapshot cadence comes from
+/// [`SolverConfig::progress_every`].
+///
+/// Observed runs additionally fill the per-phase durations of
+/// [`SolverStats`] (`complex_time`, `propagate_time`, `cycle_time`), which
+/// plain [`solve_dyn`] leaves zero to keep the un-instrumented hot path
+/// free of clock reads.
+pub fn solve_dyn_with_observer(
+    program: &Program,
+    config: &SolverConfig,
+    pts: PtsKind,
+    observer: &mut dyn Observer,
+) -> SolveOutput {
+    let obs = Obs::new(observer, config.progress_every);
+    match pts {
+        PtsKind::Bitmap => solve_impl::<BitmapPts>(program, config, obs),
+        PtsKind::Shared => solve_impl::<SharedPts>(program, config, obs),
+        PtsKind::Bdd => solve_impl::<BddPts>(program, config, obs),
+    }
+}
+
+/// Turbofish predecessor of [`solve_dyn`].
+#[deprecated(
+    note = "use solve_dyn (or the facade's AnalysisBuilder); the points-to \
+                     representation is now selected at runtime via PtsKind"
+)]
 pub fn solve<P: PtsRepr>(program: &Program, config: &SolverConfig) -> SolveOutput {
     solve_impl::<P>(program, config, Obs::none())
 }
 
-/// [`solve`] with telemetry: every event of the run — solver start, phase
-/// spans (offline HCD, online solve), periodic progress snapshots, cycle
-/// collapses and constraint-graph growth — is delivered to `observer`.
-/// The snapshot cadence comes from [`SolverConfig::progress_every`].
-///
-/// Observed runs additionally fill the per-phase durations of
-/// [`SolverStats`] (`complex_time`, `propagate_time`, `cycle_time`), which
-/// plain [`solve`] leaves zero to keep the un-instrumented hot path free of
-/// clock reads.
+/// Turbofish predecessor of [`solve_dyn_with_observer`].
+#[deprecated(
+    note = "use solve_dyn_with_observer (or the facade's AnalysisBuilder); the \
+                     points-to representation is now selected at runtime via PtsKind"
+)]
 pub fn solve_with_observer<P: PtsRepr>(
     program: &Program,
     config: &SolverConfig,
@@ -274,11 +345,31 @@ fn solve_impl<P: PtsRepr>(
     });
     let hcd_ref = hcd.as_ref();
     let wk = config.worklist;
+    // The BSP round engine replays the divided-LRF schedule exactly, so it
+    // only substitutes for solvers running that worklist (PKH ignores the
+    // worklist kind entirely and always qualifies).
+    let par = config.threads >= 2;
+    let par_lrf = par && wk == WorklistKind::DividedLrf;
     timer.start(Phase::Solve, &mut obs);
     let start = Instant::now();
     // The worklist solvers take the observer by value (it lives in their
     // state); `finish` closes the Solve span through the returned state.
     let (solution, mut stats) = match config.algorithm {
+        Algorithm::Basic | Algorithm::Hcd if par_lrf => finish(
+            bsp::run::<P>(program, bsp::Family::Basic, hcd_ref, obs, config.threads),
+            start,
+            &mut timer,
+        ),
+        Algorithm::Lcd | Algorithm::LcdHcd if par_lrf => finish(
+            bsp::run::<P>(program, bsp::Family::Lcd, hcd_ref, obs, config.threads),
+            start,
+            &mut timer,
+        ),
+        Algorithm::Pkh | Algorithm::PkhHcd if par => finish(
+            bsp::run::<P>(program, bsp::Family::Pkh, hcd_ref, obs, config.threads),
+            start,
+            &mut timer,
+        ),
         Algorithm::Basic | Algorithm::Hcd => finish(
             worklist_solvers::basic::<P>(program, wk, hcd_ref, obs),
             start,
@@ -352,7 +443,6 @@ fn finish<P: PtsRepr>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pts::{BddPts, BitmapPts};
     use crate::verify::assert_sound;
     use ant_constraints::ProgramBuilder;
 
@@ -381,10 +471,14 @@ mod tests {
     #[test]
     fn every_algorithm_same_solution_bitmap() {
         let program = medley();
-        let reference = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Basic));
+        let reference = solve_dyn(
+            &program,
+            &SolverConfig::new(Algorithm::Basic),
+            PtsKind::Bitmap,
+        );
         assert_sound(&program, &reference.solution);
         for alg in Algorithm::ALL {
-            let out = solve::<BitmapPts>(&program, &SolverConfig::new(alg));
+            let out = solve_dyn(&program, &SolverConfig::new(alg), PtsKind::Bitmap);
             assert!(
                 out.solution.equiv(&reference.solution),
                 "{alg} differs at {:?}",
@@ -396,9 +490,13 @@ mod tests {
     #[test]
     fn every_algorithm_same_solution_bdd() {
         let program = medley();
-        let reference = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Basic));
+        let reference = solve_dyn(
+            &program,
+            &SolverConfig::new(Algorithm::Basic),
+            PtsKind::Bitmap,
+        );
         for alg in Algorithm::TABLE5 {
-            let out = solve::<BddPts>(&program, &SolverConfig::new(alg));
+            let out = solve_dyn(&program, &SolverConfig::new(alg), PtsKind::Bdd);
             assert!(
                 out.solution.equiv(&reference.solution),
                 "{alg} (bdd pts) differs at {:?}",
@@ -410,12 +508,41 @@ mod tests {
     #[test]
     fn hcd_runs_record_offline_time() {
         let program = medley();
-        let out = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::LcdHcd));
+        let out = solve_dyn(
+            &program,
+            &SolverConfig::new(Algorithm::LcdHcd),
+            PtsKind::Bitmap,
+        );
         // Offline time may be tiny but the analysis ran; nodes collapsed or
         // pairs existed. Just confirm the field is populated when HCD ran.
         assert!(out.stats.offline_time >= std::time::Duration::ZERO);
-        let plain = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Lcd));
+        let plain = solve_dyn(
+            &program,
+            &SolverConfig::new(Algorithm::Lcd),
+            PtsKind::Bitmap,
+        );
         assert_eq!(plain.stats.offline_time, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn parallel_config_routes_through_bsp_and_matches() {
+        let program = medley();
+        for alg in [Algorithm::Lcd, Algorithm::LcdHcd, Algorithm::Pkh] {
+            let seq = solve_dyn(
+                &program,
+                &SolverConfig::new(alg).with_threads(1),
+                PtsKind::Bitmap,
+            );
+            let par = solve_dyn(
+                &program,
+                &SolverConfig::new(alg).with_threads(4),
+                PtsKind::Bitmap,
+            );
+            assert!(par.solution.equiv(&seq.solution), "{alg} diverged");
+            assert_eq!(par.stats.nodes_processed, seq.stats.nodes_processed);
+            assert_eq!(par.stats.propagations, seq.stats.propagations);
+            assert_eq!(par.stats.cycles_found, seq.stats.cycles_found);
+        }
     }
 
     #[test]

@@ -207,8 +207,11 @@ mod tests {
         let program = WorkloadSpec::tiny(5).generate();
         let mut st = pkh03::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none());
         let sol = Solution::from_state(&mut st);
-        let reference =
-            crate::solve::<BitmapPts>(&program, &crate::SolverConfig::new(crate::Algorithm::Basic));
+        let reference = crate::solve_dyn(
+            &program,
+            &crate::SolverConfig::new(crate::Algorithm::Basic),
+            crate::PtsKind::Bitmap,
+        );
         assert!(
             sol.equiv(&reference.solution),
             "PKH03 differs at {:?}",

@@ -200,9 +200,8 @@ fn steensgaard_impl(program: &Program, mut obs: Obs<'_>) -> crate::SolveOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pts::BitmapPts;
     use crate::verify::check_soundness;
-    use crate::{solve, Algorithm, SolverConfig};
+    use crate::{solve_dyn, Algorithm, PtsKind, SolverConfig};
     use ant_constraints::ProgramBuilder;
 
     #[test]
@@ -223,7 +222,11 @@ mod tests {
         // The hallmark imprecision: q also "points to" x.
         assert!(out.solution.may_point_to(q, x));
         // Andersen keeps them separate.
-        let andersen = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Lcd));
+        let andersen = solve_dyn(
+            &program,
+            &SolverConfig::new(Algorithm::Lcd),
+            PtsKind::Bitmap,
+        );
         assert!(!andersen.solution.may_point_to(q, x));
     }
 
@@ -237,7 +240,11 @@ mod tests {
                 check_soundness(&program, &coarse.solution).is_empty(),
                 "Steensgaard must satisfy the inclusion constraints"
             );
-            let exact = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Lcd));
+            let exact = solve_dyn(
+                &program,
+                &SolverConfig::new(Algorithm::Lcd),
+                PtsKind::Bitmap,
+            );
             assert!(
                 coarse.solution.subsumes(&exact.solution),
                 "Steensgaard must over-approximate Andersen (seed {seed})"

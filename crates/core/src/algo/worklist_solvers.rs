@@ -10,6 +10,25 @@ use ant_common::VarId;
 use ant_constraints::hcd::HcdOffline;
 use ant_constraints::Program;
 
+/// The Figure 1 worklist body for one popped node: the optional HCD
+/// collapse step, complex-constraint resolution, then propagation along
+/// every outgoing edge. Shared verbatim by the sequential solvers below
+/// and the BSP round engine, which is what keeps the two schedules
+/// behaviourally identical.
+pub(crate) fn basic_step<P: PtsRepr>(
+    st: &mut OnlineState<'_, P>,
+    popped: VarId,
+    use_hcd: bool,
+    wl: &mut dyn Worklist,
+) {
+    let mut n = st.find(popped);
+    if use_hcd {
+        n = st.hcd_step(n, wl);
+    }
+    st.process_complex(n, wl);
+    st.propagate_all(n, wl);
+}
+
 /// Figure 1 (no cycle detection), optionally extended with the Hybrid Cycle
 /// Detection step of Figure 5 (`hcd = Some(..)` turns Basic into the paper's
 /// standalone HCD solver).
@@ -27,14 +46,9 @@ pub(crate) fn basic<'o, P: PtsRepr>(
     let mut wl = wk.build(st.n);
     st.seed_worklist(wl.as_mut());
     while let Some(popped) = wl.pop() {
-        let mut n = st.find(popped);
         st.stats.nodes_processed += 1;
         st.tick_progress(|| wl.len());
-        if hcd.is_some() {
-            n = st.hcd_step(n, wl.as_mut());
-        }
-        st.process_complex(n, wl.as_mut());
-        st.propagate_all(n, wl.as_mut());
+        basic_step(&mut st, popped, hcd.is_some(), wl.as_mut());
     }
     st
 }
@@ -64,50 +78,71 @@ pub(crate) fn lcd<'o, P: PtsRepr>(
     let mut triggered_epoch = st.stats.nodes_collapsed;
 
     while let Some(popped) = wl.pop() {
-        let mut n = st.find(popped);
         st.stats.nodes_processed += 1;
         st.tick_progress(|| wl.len());
-        if hcd.is_some() {
-            n = st.hcd_step(n, wl.as_mut());
-        }
-        st.process_complex(n, wl.as_mut());
-        canonicalize_triggered(&mut st, &mut triggered, &mut triggered_epoch);
-        let mut targets = st.take_succ_scratch();
-        st.canonical_succs_into(n, &mut targets);
-        for &z_raw in &targets {
-            // Cycle collapses during this loop can merge both endpoints.
-            let n_now = st.find(n);
-            let mut z = st.find(VarId::from_u32(z_raw));
-            if z == n_now {
-                continue;
-            }
-            let edge = (n_now.as_u32(), z.as_u32());
-            let eq = st.pts[z.index()].set_eq(&st.ctx, &st.pts[n_now.index()]);
-            if eq {
-                if triggered.contains(&edge) {
-                    // Equal sets make the propagation a guaranteed no-op.
-                    continue;
-                }
-                // Identical points-to sets: the tell-tale effect of a cycle.
-                st.stats.cycle_searches += 1;
-                let search = st.cycle_search(&[z]);
-                st.collapse_sccs(&search, wl.as_mut());
-                triggered.insert(edge);
-                z = st.find(z);
-                let n2 = st.find(n_now);
-                if z == n2 || st.pts[z.index()].set_eq(&st.ctx, &st.pts[n2.index()]) {
-                    continue;
-                }
-            }
-            let src = st.find(n_now);
-            if st.propagate(src, z) {
-                wl.push(z);
-            }
-        }
-        st.put_succ_scratch(targets);
+        lcd_step(
+            &mut st,
+            popped,
+            hcd.is_some(),
+            wl.as_mut(),
+            &mut triggered,
+            &mut triggered_epoch,
+        );
     }
     st.stats.aux_bytes += triggered.capacity() * (8 + 8);
     st
+}
+
+/// The Figure 2 worklist body for one popped node: the Figure 1 steps plus
+/// LCD's per-edge equality probe and lazy cycle search. Shared verbatim by
+/// [`lcd`] and the BSP round engine.
+pub(crate) fn lcd_step<P: PtsRepr>(
+    st: &mut OnlineState<'_, P>,
+    popped: VarId,
+    use_hcd: bool,
+    wl: &mut dyn Worklist,
+    triggered: &mut FxHashSet<(u32, u32)>,
+    triggered_epoch: &mut u64,
+) {
+    let mut n = st.find(popped);
+    if use_hcd {
+        n = st.hcd_step(n, wl);
+    }
+    st.process_complex(n, wl);
+    canonicalize_triggered(st, triggered, triggered_epoch);
+    let mut targets = st.take_succ_scratch();
+    st.canonical_succs_into(n, &mut targets);
+    for &z_raw in &targets {
+        // Cycle collapses during this loop can merge both endpoints.
+        let n_now = st.find(n);
+        let mut z = st.find(VarId::from_u32(z_raw));
+        if z == n_now {
+            continue;
+        }
+        let edge = (n_now.as_u32(), z.as_u32());
+        let eq = st.set_eq_hinted(n_now, z);
+        if eq {
+            if triggered.contains(&edge) {
+                // Equal sets make the propagation a guaranteed no-op.
+                continue;
+            }
+            // Identical points-to sets: the tell-tale effect of a cycle.
+            st.stats.cycle_searches += 1;
+            let search = st.cycle_search(&[z]);
+            st.collapse_sccs(&search, wl);
+            triggered.insert(edge);
+            z = st.find(z);
+            let n2 = st.find(n_now);
+            if z == n2 || st.set_eq_hinted(n2, z) {
+                continue;
+            }
+        }
+        let src = st.find(n_now);
+        if st.propagate(src, z) {
+            wl.push(z);
+        }
+    }
+    st.put_succ_scratch(targets);
 }
 
 /// Re-canonicalizes LCD's triggered-edge keys (`R` in Figure 2) through the
@@ -168,21 +203,23 @@ pub(crate) fn pkh<'o, P: PtsRepr>(
         if wl.swaps() != swept_at {
             // Periodic sweep: collapse every cycle currently in the graph.
             swept_at = wl.swaps();
-            let reps = st.reps();
-            let search = st.cycle_search(&reps);
-            st.collapse_sccs(&search, &mut wl);
+            pkh_sweep(&mut st, &mut wl);
         }
         let Some(popped) = wl.pop() else { break };
-        let mut n = st.find(popped);
         st.stats.nodes_processed += 1;
         st.tick_progress(|| wl.len());
-        if hcd.is_some() {
-            n = st.hcd_step(n, &mut wl);
-        }
-        st.process_complex(n, &mut wl);
-        st.propagate_all(n, &mut wl);
+        basic_step(&mut st, popped, hcd.is_some(), &mut wl);
     }
     st
+}
+
+/// The PKH sweep trigger: a full-graph Tarjan pass collapsing every cycle
+/// currently in the constraint graph. Shared by [`pkh`] and the BSP round
+/// engine.
+pub(crate) fn pkh_sweep<P: PtsRepr>(st: &mut OnlineState<'_, P>, wl: &mut dyn Worklist) {
+    let reps = st.reps();
+    let search = st.cycle_search(&reps);
+    st.collapse_sccs(&search, wl);
 }
 
 #[cfg(test)]

@@ -25,7 +25,7 @@ pub struct CallSite {
 /// # Example
 ///
 /// ```
-/// use ant_core::{clients, solve, Algorithm, BitmapPts, SolverConfig};
+/// use ant_core::{clients, solve_dyn, Algorithm, PtsKind, SolverConfig};
 /// use ant_constraints::ProgramBuilder;
 ///
 /// let mut b = ProgramBuilder::new();
@@ -35,7 +35,7 @@ pub struct CallSite {
 /// b.addr_of(fp, f);
 /// b.load_offset(r, fp, 1); // r = fp(...)
 /// let program = b.finish();
-/// let out = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Lcd));
+/// let out = solve_dyn(&program, &SolverConfig::new(Algorithm::Lcd), PtsKind::Bitmap);
 /// let cg = clients::indirect_calls(&program, &out.solution);
 /// assert_eq!(cg.len(), 1);
 /// assert_eq!(cg[0].targets, vec![f]);
@@ -114,8 +114,7 @@ pub fn indirectly_accessed(program: &Program, solution: &Solution) -> Vec<VarId>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pts::BitmapPts;
-    use crate::{solve, Algorithm, SolverConfig};
+    use crate::{solve_dyn, Algorithm, PtsKind, SolverConfig};
     use ant_constraints::ProgramBuilder;
 
     fn setup() -> (Program, Solution) {
@@ -135,7 +134,12 @@ mod tests {
         b.load(r, p); // r = *p
         b.load_offset(r, fp, 1); // r = fp(..)
         let program = b.finish();
-        let solution = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Lcd)).solution;
+        let solution = solve_dyn(
+            &program,
+            &SolverConfig::new(Algorithm::Lcd),
+            PtsKind::Bitmap,
+        )
+        .solution;
         (program, solution)
     }
 

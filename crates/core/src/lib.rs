@@ -20,13 +20,17 @@
 //!   (Pearce–Kelly–Hankin), [`Algorithm::Blq`] (Berndl et al., BDD-based)
 //!   and the naive [`Algorithm::Basic`] of Figure 1.
 //!
-//! Solvers are generic over the points-to representation ([`BitmapPts`] or
-//! [`BddPts`]), reproducing the §5.4 representation study.
+//! Solvers are generic over the points-to representation — selected at
+//! runtime via [`PtsKind`] ([`BitmapPts`], [`SharedPts`] or [`BddPts`]),
+//! reproducing the §5.4 representation study — and the worklist family can
+//! run on multiple threads ([`SolverConfig::threads`]) through a
+//! bulk-synchronous round engine that reproduces the sequential solution
+//! and counters bit for bit.
 //!
 //! # Example
 //!
 //! ```
-//! use ant_core::{solve, Algorithm, BitmapPts, SolverConfig};
+//! use ant_core::{solve_dyn, Algorithm, PtsKind, SolverConfig};
 //! use ant_constraints::parse_program;
 //!
 //! let program = parse_program(
@@ -35,7 +39,8 @@
 //!      *p = q\n\
 //!      r = *p\n",
 //! )?;
-//! let out = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::LcdHcd));
+//! let config = SolverConfig::new(Algorithm::LcdHcd);
+//! let out = solve_dyn(&program, &config, PtsKind::Bitmap);
 //! let r = program.var_by_name("r").unwrap();
 //! let y = program.var_by_name("y").unwrap();
 //! assert!(out.solution.may_point_to(r, y));
@@ -52,11 +57,13 @@ mod solution;
 mod state;
 pub mod verify;
 
+#[allow(deprecated)]
+pub use algo::{solve, solve_with_observer};
 pub use algo::{
-    solve, solve_with_observer, steensgaard, steensgaard_with_observer, Algorithm, SolveOutput,
-    SolverConfig,
+    solve_dyn, solve_dyn_with_observer, steensgaard, steensgaard_with_observer, threads_from_env,
+    Algorithm, SolveOutput, SolverConfig,
 };
 pub use ant_common::obs;
 pub use ant_common::{SolverStats, VarId};
-pub use pts::{BddPts, BddPtsCtx, BitmapPts, PtsRepr, SharedPts};
+pub use pts::{BddPts, BddPtsCtx, BitmapPts, PtsKind, PtsRepr, SharedPts};
 pub use solution::Solution;

@@ -14,7 +14,11 @@ use ant_common::{PtsInterner, ReprCacheStats, SetId, SparseBitmap};
 ///
 /// Representation-wide state (e.g. the shared BDD manager) lives in the
 /// associated `Ctx`, created once per solver run.
-pub trait PtsRepr: Default + Clone {
+///
+/// `Send + Sync` lets the BSP engine's hint workers read frozen sets from
+/// scoped threads; every representation here is plain data (or an index
+/// into context the workers never touch), so the bounds cost nothing.
+pub trait PtsRepr: Default + Clone + Send + Sync {
     /// Shared representation context (`()` for bitmaps, the BDD manager and
     /// location domain for BDDs).
     type Ctx;
@@ -84,6 +88,24 @@ pub trait PtsRepr: Default + Clone {
     {
     }
 
+    /// Computes `(src − dst, src == dst)` **without** the shared context,
+    /// for the BSP engine's parallel hint phase: workers hold only `&self`
+    /// references into a frozen snapshot and therefore cannot thread a
+    /// `&mut Ctx` through. Returns `None` when the representation's set
+    /// operations need the context (interned and BDD sets), in which case
+    /// the engine skips the worker phase and the round runs as a pure
+    /// sequential merge.
+    fn frozen_delta(_src: &Self, _dst: &Self) -> Option<(Self, bool)>
+    where
+        Self: Sized,
+    {
+        None
+    }
+
+    /// Whether [`frozen_delta`](Self::frozen_delta) is implemented — gates
+    /// spawning hint workers at all.
+    const PAR_HINTS: bool = false;
+
     /// Short name for reports: `"bitmap"`, `"shared"` or `"bdd"`.
     const NAME: &'static str;
 }
@@ -146,6 +168,16 @@ impl PtsRepr for BitmapPts {
     fn ctx_bytes(_ctx: &()) -> usize {
         0
     }
+
+    fn frozen_delta(src: &Self, dst: &Self) -> Option<(Self, bool)> {
+        let mut d = src.0.clone();
+        d.subtract(&dst.0);
+        // `src − dst` empty ⇔ src ⊆ dst; equal iff additionally dst ⊆ src.
+        let eq = d.is_empty() && dst.0.subset_of(&src.0);
+        Some((BitmapPts(d), eq))
+    }
+
+    const PAR_HINTS: bool = true;
 
     const NAME: &'static str = "bitmap";
 }
@@ -355,6 +387,50 @@ impl PtsRepr for BddPts {
     const NAME: &'static str = "bdd";
 }
 
+/// Runtime-selectable points-to representation, for callers that pick the
+/// representation from configuration rather than at the type level (the
+/// CLI's `--pts` flag, the facade's `AnalysisBuilder`).
+///
+/// Dispatching through `PtsKind` instantiates the same generic solvers as
+/// naming a [`PtsRepr`] type by hand — the choice just moves from a
+/// turbofish to a value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PtsKind {
+    /// GCC-style sparse bitmaps ([`BitmapPts`]) — the paper's default.
+    #[default]
+    Bitmap,
+    /// Hash-consed copy-on-write sets ([`SharedPts`]).
+    Shared,
+    /// Per-variable BDDs ([`BddPts`], §5.4).
+    Bdd,
+}
+
+impl PtsKind {
+    /// Every representation, in declaration order.
+    pub const ALL: [PtsKind; 3] = [PtsKind::Bitmap, PtsKind::Shared, PtsKind::Bdd];
+
+    /// Stable machine-readable name, matching each representation's
+    /// [`PtsRepr::NAME`].
+    pub fn name(self) -> &'static str {
+        match self {
+            PtsKind::Bitmap => BitmapPts::NAME,
+            PtsKind::Shared => SharedPts::NAME,
+            PtsKind::Bdd => BddPts::NAME,
+        }
+    }
+
+    /// Parses the [`PtsKind::name`] spelling back into a kind.
+    pub fn parse(s: &str) -> Option<PtsKind> {
+        PtsKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+impl std::fmt::Display for PtsKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +519,42 @@ mod tests {
         assert!(SharedPts::ctx_bytes(&ctx) > 0);
         // Default reprs report no cache statistics.
         assert!(BitmapPts::ctx_stats(&()).is_none());
+    }
+
+    #[test]
+    fn pts_kind_names_roundtrip() {
+        for k in PtsKind::ALL {
+            assert_eq!(PtsKind::parse(k.name()), Some(k));
+            assert_eq!(k.to_string(), k.name());
+        }
+        assert_eq!(PtsKind::parse("bogus"), None);
+        assert_eq!(PtsKind::default(), PtsKind::Bitmap);
+    }
+
+    #[test]
+    fn frozen_delta_matches_live_ops() {
+        let mut a = BitmapPts::default();
+        let mut b = BitmapPts::default();
+        for loc in [1u32, 5, 900] {
+            a.insert(&mut (), loc);
+        }
+        b.insert(&mut (), 5);
+        let (delta, eq) = BitmapPts::frozen_delta(&a, &b).expect("bitmaps hint");
+        assert_eq!(delta.to_vec(&()), vec![1, 900]);
+        assert!(!eq);
+        // Applying the delta is the same as a live union.
+        let mut via_delta = b.clone();
+        via_delta.union_from(&mut (), &delta);
+        let mut via_union = b.clone();
+        via_union.union_from(&mut (), &a);
+        assert!(via_delta.set_eq(&(), &via_union));
+        let (empty, eq) = BitmapPts::frozen_delta(&a, &via_delta).expect("bitmaps hint");
+        assert!(empty.is_empty(&()));
+        assert!(eq);
+        // Context-bound representations opt out.
+        const { assert!(!SharedPts::PAR_HINTS) };
+        const { assert!(!BddPts::PAR_HINTS) };
+        assert!(SharedPts::frozen_delta(&SharedPts::default(), &SharedPts::default()).is_none());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! constant factors; the collapse behaviour is identical).
 
 use crate::pts::PtsRepr;
+use ant_common::fx::FxHashMap;
 use ant_common::obs::{Obs, ProgressSnapshot, SolveEvent};
 use ant_common::worklist::Worklist;
 use ant_common::{SolverStats, SparseBitmap, UnionFind, VarId};
@@ -20,6 +21,24 @@ use std::time::Instant;
 /// For a load list entry on node `n`: `other ⊇ *(n)+offset`.
 /// For a store list entry on node `n`: `*(n)+offset ⊇ other`.
 pub(crate) type ComplexRef = (VarId, u32);
+
+/// A precomputed answer for one `src → dst` edge, produced by the BSP
+/// engine's parallel worker phase against a frozen snapshot of the round.
+///
+/// Both halves are *hints*: the sequential merge consumes them only when
+/// the version stamps prove the snapshot is still current, so they can
+/// never change the solution or the §5.3 counters — only skip redundant
+/// set walks.
+pub(crate) struct RoundHint<P> {
+    /// `pts_ver[src]` at snapshot time.
+    pub src_ver: u32,
+    /// `pts_ver[dst]` at snapshot time.
+    pub dst_ver: u32,
+    /// Whether `pts(src) == pts(dst)` held in the snapshot (LCD's probe).
+    pub eq: bool,
+    /// `pts(src) − pts(dst)` in the snapshot.
+    pub delta: P,
+}
 
 /// Mutable solver state shared by the Basic, LCD, HCD and PKH solvers (and
 /// used by HT for its post-pass).
@@ -54,6 +73,16 @@ pub(crate) struct OnlineState<'o, P: PtsRepr> {
     /// Telemetry handle; [`Obs::none`] by default. Event emission and the
     /// per-phase clock reads are gated on `obs.enabled()`.
     pub obs: Obs<'o>,
+    /// Per node: bumped whenever `pts[i]` changes content. Only consulted
+    /// to validate [`RoundHint`]s, so staleness outside the BSP-covered
+    /// mutation paths (propagation and collapsing) is harmless.
+    pub(crate) pts_ver: Vec<u32>,
+    /// The current BSP round's `(src, dst) → hint` table. Always empty in
+    /// sequential solves, so the classic paths pay one `is_empty` branch.
+    pub(crate) round_hints: FxHashMap<(u32, u32), RoundHint<P>>,
+    /// Hints consumed this round (telemetry only; reported through
+    /// `SolveEvent::RoundSummary`, never through [`SolverStats`]).
+    pub(crate) hint_hits: u64,
     /// Scratch buffer reused by [`canonical_succs_into`]
     /// (Self::canonical_succs_into) across worklist pops, so the hot loop
     /// of every solver is allocation-free. Borrowed via
@@ -133,6 +162,9 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
             hcd_targets: vec![Vec::new(); n],
             stats: SolverStats::new(),
             obs: Obs::none(),
+            pts_ver: vec![0; n],
+            round_hints: FxHashMap::default(),
+            hint_hits: 0,
             scratch_succs: Vec::new(),
             t_epoch: vec![0; n],
             t_index: vec![0; n],
@@ -218,7 +250,9 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
             (false, false) => intersect(&mut self.ctx, hw, &hl),
         };
         let lp = std::mem::take(&mut self.pts[l.index()]);
-        self.pts[w.index()].union_from(&mut self.ctx, &lp);
+        if self.pts[w.index()].union_from(&mut self.ctx, &lp) {
+            self.pts_ver[w.index()] = self.pts_ver[w.index()].wrapping_add(1);
+        }
         let ls = std::mem::take(&mut self.succs[l.index()]);
         self.succs[w.index()].union_with(&ls);
         let ll = std::mem::take(&mut self.loads[l.index()]);
@@ -307,13 +341,61 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
     fn propagate_inner(&mut self, src: VarId, dst: VarId) -> bool {
         debug_assert_ne!(src, dst);
         self.stats.propagations += 1;
-        let s = std::mem::take(&mut self.pts[src.index()]);
-        let changed = self.pts[dst.index()].union_from(&mut self.ctx, &s);
-        self.pts[src.index()] = s;
+        let changed = match self.take_hint_delta(src, dst) {
+            // `dst ∪= (src − dst)` computed at snapshot time equals
+            // `dst ∪= src` now: src is unchanged (version-checked) and dst
+            // only grew since the snapshot, so the union — and whether it
+            // changes dst — is identical. The delta is just smaller.
+            Some(delta) => {
+                self.hint_hits += 1;
+                self.pts[dst.index()].union_from(&mut self.ctx, &delta)
+            }
+            None => {
+                let s = std::mem::take(&mut self.pts[src.index()]);
+                let changed = self.pts[dst.index()].union_from(&mut self.ctx, &s);
+                self.pts[src.index()] = s;
+                changed
+            }
+        };
         if changed {
             self.stats.propagations_changed += 1;
+            self.pts_ver[dst.index()] = self.pts_ver[dst.index()].wrapping_add(1);
         }
         changed
+    }
+
+    /// Removes and returns the round's delta hint for the edge
+    /// `src → dst`, if one exists and `pts(src)` is unchanged since the
+    /// snapshot. The destination's version is deliberately *not* checked:
+    /// points-to sets only grow, so a grown dst makes the snapshot delta an
+    /// over-approximation of the true delta that still unions to the same
+    /// result. Invalid entries are dropped too — versions only advance, so
+    /// a stale hint can never become valid again.
+    #[inline]
+    fn take_hint_delta(&mut self, src: VarId, dst: VarId) -> Option<P> {
+        if self.round_hints.is_empty() {
+            return None;
+        }
+        let h = self.round_hints.remove(&(src.as_u32(), dst.as_u32()))?;
+        (self.pts_ver[src.index()] == h.src_ver).then_some(h.delta)
+    }
+
+    /// `pts(src) == pts(dst)` — LCD's per-edge probe — answered from the
+    /// round's precomputed hint when **both** endpoints are unchanged since
+    /// the snapshot, else computed live. Exactly equivalent to calling
+    /// [`PtsRepr::set_eq`] directly.
+    #[inline]
+    pub fn set_eq_hinted(&mut self, src: VarId, dst: VarId) -> bool {
+        if !self.round_hints.is_empty() {
+            if let Some(h) = self.round_hints.get(&(src.as_u32(), dst.as_u32())) {
+                if self.pts_ver[src.index()] == h.src_ver && self.pts_ver[dst.index()] == h.dst_ver
+                {
+                    self.hint_hits += 1;
+                    return h.eq;
+                }
+            }
+        }
+        self.pts[dst.index()].set_eq(&self.ctx, &self.pts[src.index()])
     }
 
     /// Resolves the complex constraints attached to `n` (step 1 of the

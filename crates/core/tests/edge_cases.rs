@@ -2,13 +2,17 @@
 //! handle identically.
 
 use ant_constraints::{Program, ProgramBuilder};
-use ant_core::{solve, Algorithm, BitmapPts, SolverConfig, VarId};
+use ant_core::{solve_dyn, Algorithm, PtsKind, SolverConfig, VarId};
 
 fn all_agree(program: &Program) -> ant_core::Solution {
-    let reference = solve::<BitmapPts>(program, &SolverConfig::new(Algorithm::Basic));
+    let reference = solve_dyn(
+        program,
+        &SolverConfig::new(Algorithm::Basic),
+        PtsKind::Bitmap,
+    );
     ant_core::verify::assert_sound(program, &reference.solution);
     for alg in Algorithm::ALL {
-        let out = solve::<BitmapPts>(program, &SolverConfig::new(alg));
+        let out = solve_dyn(program, &SolverConfig::new(alg), PtsKind::Bitmap);
         assert!(
             out.solution.equiv(&reference.solution),
             "{alg} differs at {:?}",

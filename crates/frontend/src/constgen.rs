@@ -454,9 +454,10 @@ mod tests {
     /// Convenience: solve with the basic algorithm and check a points-to
     /// relationship by variable names.
     fn solve(out: &GenOutput) -> ant_core::Solution {
-        ant_core::solve::<ant_core::BitmapPts>(
+        ant_core::solve_dyn(
             &out.program,
             &ant_core::SolverConfig::new(ant_core::Algorithm::Basic),
+            ant_core::PtsKind::Bitmap,
         )
         .solution
     }

@@ -71,9 +71,10 @@ proptest! {
         // The generated program solves without issue under every algorithm
         // (smoke: just one fast one here; full equivalence lives in the
         // root integration tests).
-        let solved = ant_core::solve::<ant_core::BitmapPts>(
+        let solved = ant_core::solve_dyn(
             p,
             &ant_core::SolverConfig::new(ant_core::Algorithm::LcdHcd),
+        ant_core::PtsKind::Bitmap,
         );
         prop_assert!(ant_core::verify::check_soundness(p, &solved.solution).is_empty());
     }
@@ -87,9 +88,10 @@ fn qsort_callback_reaches_comparator() {
          void main() { table[0] = &x; qsort(table, 8, 8, cmp); }",
     )
     .unwrap();
-    let solved = ant_core::solve::<ant_core::BitmapPts>(
+    let solved = ant_core::solve_dyn(
         &out.program,
         &ant_core::SolverConfig::new(ant_core::Algorithm::LcdHcd),
+        ant_core::PtsKind::Bitmap,
     );
     let a_param = out.program.var_by_name("cmp#2").unwrap();
     let table = out.program.var_by_name("table").unwrap();

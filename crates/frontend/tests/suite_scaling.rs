@@ -62,11 +62,15 @@ fn reduction_lands_in_paper_band() {
 
 #[test]
 fn every_benchmark_solves_quickly_at_tiny_scale() {
-    use ant_core::{solve, Algorithm, BitmapPts, SolverConfig};
+    use ant_core::{solve_dyn, Algorithm, PtsKind, SolverConfig};
     for b in suite(0.005) {
         let program = b.program();
         let reduced = ant_constraints::ovs::substitute(&program).program;
-        let out = solve::<BitmapPts>(&reduced, &SolverConfig::new(Algorithm::LcdHcd));
+        let out = solve_dyn(
+            &reduced,
+            &SolverConfig::new(Algorithm::LcdHcd),
+            PtsKind::Bitmap,
+        );
         ant_core::verify::assert_sound(&reduced, &out.solution);
         assert!(out.stats.nodes_processed > 0);
     }

@@ -7,9 +7,7 @@
 //! q = p' > /tmp/t.consts && cargo run --example analyze_file -- /tmp/t.consts
 //! ```
 
-use ant_grasshopper::{
-    analyze_program, parse_program, Algorithm, BitmapPts, Program, SolverConfig, VarId,
-};
+use ant_grasshopper::{parse_program, Algorithm, Analysis, Program, VarId};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -59,7 +57,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let analysis = analyze_program::<BitmapPts>(&program, &SolverConfig::new(algorithm));
+    let analysis = Analysis::builder().algorithm(algorithm).analyze(&program);
     println!(
         "# {} vars, {} constraints ({:.0}% removed by OVS), solved by {} in {:.3}ms",
         program.num_vars(),

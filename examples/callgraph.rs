@@ -6,7 +6,7 @@
 //! cargo run --example callgraph
 //! ```
 
-use ant_grasshopper::{analyze_c, Algorithm, ConstraintKind, SolverConfig, VarId};
+use ant_grasshopper::{Algorithm, Analysis, ConstraintKind, VarId};
 
 const SOURCE: &str = r#"
 int *alloc_small(int n)  { return malloc(n); }
@@ -31,7 +31,10 @@ int *use(int n) {
 "#;
 
 fn main() {
-    let analysis = analyze_c(SOURCE, &SolverConfig::new(Algorithm::LcdHcd)).expect("parses");
+    let analysis = Analysis::builder()
+        .algorithm(Algorithm::LcdHcd)
+        .analyze_c(SOURCE)
+        .expect("parses");
     let program = &analysis.program;
 
     // Indirect call sites are exactly the offset-1 load constraints (the

@@ -8,7 +8,7 @@
 
 use ant_grasshopper::constraints::ovs;
 use ant_grasshopper::frontend::suite;
-use ant_grasshopper::{solve, Algorithm, BitmapPts, SolverConfig};
+use ant_grasshopper::{solve_dyn, Algorithm, PtsKind, SolverConfig};
 
 fn main() {
     let which = std::env::args()
@@ -35,7 +35,7 @@ fn main() {
     );
     let mut reference = None;
     for alg in Algorithm::ALL {
-        let out = solve::<BitmapPts>(&reduced.program, &SolverConfig::new(alg));
+        let out = solve_dyn(&reduced.program, &SolverConfig::new(alg), PtsKind::Bitmap);
         println!(
             "{:<8} {:>9.2} {:>10} {:>10} {:>12} {:>10.1}",
             alg.name(),

@@ -8,7 +8,7 @@
 
 use ant_grasshopper::frontend::suite;
 use ant_grasshopper::solver::steensgaard;
-use ant_grasshopper::{solve, Algorithm, BitmapPts, SolverConfig};
+use ant_grasshopper::{solve_dyn, Algorithm, PtsKind, SolverConfig};
 
 fn main() {
     let scale: f64 = std::env::args()
@@ -21,7 +21,11 @@ fn main() {
     );
     for bench in suite::suite(scale) {
         let program = ant_grasshopper::constraints::ovs::substitute(&bench.program()).program;
-        let exact = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::LcdHcd));
+        let exact = solve_dyn(
+            &program,
+            &SolverConfig::new(Algorithm::LcdHcd),
+            PtsKind::Bitmap,
+        );
         let coarse = steensgaard(&program);
         assert!(
             coarse.solution.subsumes(&exact.solution),

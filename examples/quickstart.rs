@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use ant_grasshopper::{analyze_c, Algorithm, SolverConfig};
+use ant_grasshopper::{Algorithm, Analysis, SolverConfig};
 
 const SOURCE: &str = r#"
 int x;
@@ -29,7 +29,10 @@ void main() {
 
 fn main() {
     let config = SolverConfig::new(Algorithm::LcdHcd);
-    let analysis = analyze_c(SOURCE, &config).expect("source parses");
+    let analysis = Analysis::builder()
+        .config(config)
+        .analyze_c(SOURCE)
+        .expect("source parses");
 
     println!(
         "analyzed with {} in {:.3} ms\n",

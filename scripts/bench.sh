@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Representation benchmark: wall time + pts_bytes per solver × repr over
-# the bundled suite, interleaved best-of-20, written to BENCH_pts.json.
+# Benchmarks:
+#   pts_bench — wall time + pts_bytes per solver × repr, BENCH_pts.json
+#   par_bench — BSP scaling: threads {1,2,4,8} × solver × repr, BENCH_par.json
 # Usage: scripts/bench.sh            (honours ANT_SCALE, ANT_BENCH_REPEATS)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo run --release -p ant-bench --bin pts_bench
+cargo run --release -p ant-bench --bin par_bench

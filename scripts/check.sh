@@ -17,6 +17,9 @@ cargo test --workspace -q
 echo "==> cross-representation differential test"
 cargo test --test pts_repr_differential -q
 
+echo "==> full test suite under the BSP engine (ANT_THREADS=4)"
+ANT_THREADS=4 cargo test --workspace -q
+
 if [[ "${1:-}" == "--bench" ]]; then
   echo "==> scripts/bench.sh"
   scripts/bench.sh

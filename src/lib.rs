@@ -15,18 +15,24 @@
 //! # Quick start
 //!
 //! ```
-//! use ant_grasshopper::{analyze_c, Algorithm, SolverConfig};
+//! use ant_grasshopper::{Algorithm, Analysis};
 //!
-//! let analysis = analyze_c(
-//!     "int x; int *p; int **pp;\n\
-//!      void main() { p = &x; pp = &p; **pp = x; }",
-//!     &SolverConfig::new(Algorithm::LcdHcd),
-//! )?;
+//! let analysis = Analysis::builder()
+//!     .algorithm(Algorithm::LcdHcd)
+//!     .analyze_c(
+//!         "int x; int *p; int **pp;\n\
+//!          void main() { p = &x; pp = &p; **pp = x; }",
+//!     )?;
 //! let p = analysis.program.var_by_name("p").unwrap();
 //! let x = analysis.program.var_by_name("x").unwrap();
 //! assert!(analysis.solution.may_point_to(p, x));
 //! # Ok::<(), ant_grasshopper::FrontendError>(())
 //! ```
+//!
+//! The builder selects everything at runtime: the algorithm, the points-to
+//! representation ([`PtsKind`]), the worklist strategy, the solver thread
+//! count (the BSP engine reproduces the sequential result bit for bit) and
+//! an optional telemetry observer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,14 +43,19 @@ pub use ant_constraints as constraints;
 pub use ant_core as solver;
 pub use ant_frontend as frontend;
 
+pub use ant_common::worklist::WorklistKind;
 pub use ant_common::{SolverStats, VarId};
 pub use ant_constraints::ovs::OvsStats;
 pub use ant_constraints::{parse_program, Constraint, ConstraintKind, Program, ProgramBuilder};
+#[allow(deprecated)]
+pub use ant_core::solve;
 pub use ant_core::{
-    solve, Algorithm, BddPts, BitmapPts, PtsRepr, SharedPts, Solution, SolverConfig,
+    solve_dyn, solve_dyn_with_observer, threads_from_env, Algorithm, BddPts, BitmapPts, PtsKind,
+    PtsRepr, SharedPts, Solution, SolveOutput, SolverConfig,
 };
 pub use ant_frontend::{compile_c, FrontendError};
 
+use ant_common::obs::{Obs, Observer};
 use std::time::Duration;
 
 /// Result of the full pipeline on a constraint program.
@@ -60,11 +71,156 @@ pub struct Analysis {
     pub ovs_time: Duration,
 }
 
-/// Runs the paper's full pipeline on a constraint program: offline variable
-/// substitution, then the configured solver, then expansion of the solution
-/// back to the original variables.
+impl Analysis {
+    /// Starts configuring a pipeline run. See [`AnalysisBuilder`].
+    pub fn builder() -> AnalysisBuilder<'static> {
+        AnalysisBuilder {
+            config: SolverConfig::new(Algorithm::LcdHcd),
+            pts: PtsKind::Bitmap,
+            observer: None,
+        }
+    }
+}
+
+/// Configures and runs the paper's full pipeline: offline variable
+/// substitution, the selected solver, then expansion of the solution back
+/// to the original variables. Every choice is made at runtime — no
+/// turbofish.
+///
+/// ```
+/// use ant_grasshopper::{parse_program, Algorithm, Analysis, PtsKind};
+///
+/// let program = parse_program("p = &x\nq = p\n")?;
+/// let analysis = Analysis::builder()
+///     .algorithm(Algorithm::LcdHcd)
+///     .pts(PtsKind::Shared)
+///     .threads(4)
+///     .analyze(&program);
+/// let q = program.var_by_name("q").unwrap();
+/// let x = program.var_by_name("x").unwrap();
+/// assert!(analysis.solution.may_point_to(q, x));
+/// # Ok::<(), ant_grasshopper::constraints::ParseProgramError>(())
+/// ```
+pub struct AnalysisBuilder<'o> {
+    config: SolverConfig,
+    pts: PtsKind,
+    observer: Option<&'o mut dyn Observer>,
+}
+
+impl<'o> AnalysisBuilder<'o> {
+    /// Selects the solver algorithm (default: [`Algorithm::LcdHcd`], the
+    /// paper's fastest configuration).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.config.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the points-to set representation (default:
+    /// [`PtsKind::Bitmap`]).
+    pub fn pts(mut self, pts: PtsKind) -> Self {
+        self.pts = pts;
+        self
+    }
+
+    /// Selects the worklist strategy (default: the paper's divided LRF).
+    pub fn worklist(mut self, worklist: WorklistKind) -> Self {
+        self.config.worklist = worklist;
+        self
+    }
+
+    /// Sets the solver thread count (default: [`threads_from_env`], i.e.
+    /// `ANT_THREADS` or 1). With `threads ≥ 2` the worklist solvers run on
+    /// the BSP round engine, which is bit-identical to the sequential run;
+    /// the worker phase is further clamped to the hardware's available
+    /// parallelism.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Sets the progress-snapshot cadence for observed runs (default:
+    /// [`SolverConfig::DEFAULT_PROGRESS_EVERY`]).
+    pub fn progress_every(mut self, every: u32) -> Self {
+        self.config.progress_every = every;
+        self
+    }
+
+    /// Replaces the entire solver configuration at once.
+    pub fn config(mut self, config: SolverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a telemetry observer: OVS, offline-HCD and solve phases,
+    /// progress snapshots, BSP round summaries and cycle collapses are all
+    /// delivered to it.
+    pub fn observer(self, observer: &mut dyn Observer) -> AnalysisBuilder<'_> {
+        AnalysisBuilder {
+            config: self.config,
+            pts: self.pts,
+            observer: Some(observer),
+        }
+    }
+
+    /// Runs the pipeline on a constraint program.
+    pub fn analyze(self, program: &Program) -> Analysis {
+        let AnalysisBuilder {
+            config,
+            pts,
+            observer,
+        } = self;
+        match observer {
+            None => {
+                let reduced = ant_constraints::ovs::substitute(program);
+                let out = solve_dyn(&reduced.program, &config, pts);
+                Analysis {
+                    solution: out.solution.expand_ovs(&reduced),
+                    stats: out.stats,
+                    ovs: reduced.stats,
+                    ovs_time: reduced.elapsed,
+                }
+            }
+            Some(o) => {
+                let reduced = {
+                    let mut obs = Obs::new(&mut *o, config.progress_every);
+                    ant_constraints::ovs::substitute_with_obs(program, &mut obs)
+                };
+                let out = solve_dyn_with_observer(&reduced.program, &config, pts, o);
+                Analysis {
+                    solution: out.solution.expand_ovs(&reduced),
+                    stats: out.stats,
+                    ovs: reduced.stats,
+                    ovs_time: reduced.elapsed,
+                }
+            }
+        }
+    }
+
+    /// Compiles mini-C source and runs the pipeline on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError`] if the source does not parse.
+    pub fn analyze_c(self, src: &str) -> Result<CAnalysis, FrontendError> {
+        let generated = ant_frontend::compile_c(src)?;
+        let analysis = self.analyze(&generated.program);
+        Ok(CAnalysis {
+            program: generated.program,
+            solution: analysis.solution,
+            stats: analysis.stats,
+            warnings: generated.warnings,
+        })
+    }
+}
+
+/// Turbofish predecessor of [`Analysis::builder`].
+#[deprecated(
+    note = "use Analysis::builder(); the points-to representation is now selected \
+                     at runtime via PtsKind"
+)]
 pub fn analyze_program<P: PtsRepr>(program: &Program, config: &SolverConfig) -> Analysis {
     let reduced = ant_constraints::ovs::substitute(program);
+    #[allow(deprecated)]
     let out = ant_core::solve::<P>(&reduced.program, config);
     Analysis {
         solution: out.solution.expand_ovs(&reduced),
@@ -88,19 +244,9 @@ pub struct CAnalysis {
     pub warnings: Vec<String>,
 }
 
-/// Compiles mini-C source and runs the full pipeline with sparse-bitmap
-/// points-to sets.
-///
-/// # Errors
-///
-/// Returns [`FrontendError`] if the source does not parse.
+/// Turbofish-era predecessor of [`Analysis::builder`]'s
+/// [`analyze_c`](AnalysisBuilder::analyze_c).
+#[deprecated(note = "use Analysis::builder().config(*config).analyze_c(src)")]
 pub fn analyze_c(src: &str, config: &SolverConfig) -> Result<CAnalysis, FrontendError> {
-    let generated = ant_frontend::compile_c(src)?;
-    let analysis = analyze_program::<BitmapPts>(&generated.program, config);
-    Ok(CAnalysis {
-        program: generated.program,
-        solution: analysis.solution,
-        stats: analysis.stats,
-        warnings: generated.warnings,
-    })
+    Analysis::builder().config(*config).analyze_c(src)
 }

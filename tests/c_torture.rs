@@ -1,10 +1,13 @@
 //! Mini-C front-end torture tests: each case states a precise points-to
 //! fact the generated constraints must (or must not) imply.
 
-use ant_grasshopper::{analyze_c, Algorithm, CAnalysis, SolverConfig};
+use ant_grasshopper::{Algorithm, Analysis, CAnalysis, SolverConfig};
 
 fn analyze(src: &str) -> CAnalysis {
-    analyze_c(src, &SolverConfig::new(Algorithm::LcdHcd)).expect("source parses")
+    Analysis::builder()
+        .algorithm(Algorithm::LcdHcd)
+        .analyze_c(src)
+        .expect("source parses")
 }
 
 fn pts(a: &CAnalysis, p: &str) -> Vec<String> {
@@ -205,14 +208,16 @@ fn every_solver_agrees_on_torture_programs() {
                  r = f(head);\n\
                }";
     let generated = ant_grasshopper::compile_c(src).unwrap();
-    let reference = ant_grasshopper::solve::<ant_grasshopper::BitmapPts>(
+    let reference = ant_grasshopper::solve_dyn(
         &generated.program,
         &SolverConfig::new(Algorithm::Basic),
+        ant_grasshopper::PtsKind::Bitmap,
     );
     for alg in Algorithm::ALL {
-        let out = ant_grasshopper::solve::<ant_grasshopper::BitmapPts>(
+        let out = ant_grasshopper::solve_dyn(
             &generated.program,
             &SolverConfig::new(alg),
+            ant_grasshopper::PtsKind::Bitmap,
         );
         assert!(
             out.solution.equiv(&reference.solution),

@@ -4,9 +4,7 @@
 
 use ant_grasshopper::frontend::workload::WorkloadSpec;
 use ant_grasshopper::solver::verify::assert_sound;
-use ant_grasshopper::{
-    analyze_program, solve, Algorithm, BddPts, BitmapPts, Program, SolverConfig,
-};
+use ant_grasshopper::{solve_dyn, Algorithm, Analysis, Program, PtsKind, SolverConfig};
 
 fn workloads() -> Vec<(String, Program)> {
     let mut out = Vec::new();
@@ -31,10 +29,14 @@ fn workloads() -> Vec<(String, Program)> {
 #[test]
 fn all_algorithms_agree_bitmap() {
     for (name, program) in workloads() {
-        let reference = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Basic));
+        let reference = solve_dyn(
+            &program,
+            &SolverConfig::new(Algorithm::Basic),
+            PtsKind::Bitmap,
+        );
         assert_sound(&program, &reference.solution);
         for alg in Algorithm::ALL {
-            let out = solve::<BitmapPts>(&program, &SolverConfig::new(alg));
+            let out = solve_dyn(&program, &SolverConfig::new(alg), PtsKind::Bitmap);
             assert!(
                 out.solution.equiv(&reference.solution),
                 "{alg} differs from Basic on {name} at {:?}",
@@ -47,9 +49,13 @@ fn all_algorithms_agree_bitmap() {
 #[test]
 fn all_algorithms_agree_bdd_pts() {
     for (name, program) in workloads() {
-        let reference = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Basic));
+        let reference = solve_dyn(
+            &program,
+            &SolverConfig::new(Algorithm::Basic),
+            PtsKind::Bitmap,
+        );
         for alg in Algorithm::TABLE5 {
-            let out = solve::<BddPts>(&program, &SolverConfig::new(alg));
+            let out = solve_dyn(&program, &SolverConfig::new(alg), PtsKind::Bdd);
             assert!(
                 out.solution.equiv(&reference.solution),
                 "{alg} (BDD pts) differs from Basic on {name} at {:?}",
@@ -62,9 +68,14 @@ fn all_algorithms_agree_bdd_pts() {
 #[test]
 fn ovs_preserves_the_solution() {
     for (name, program) in workloads() {
-        let direct = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Lcd));
-        let pipelined =
-            analyze_program::<BitmapPts>(&program, &SolverConfig::new(Algorithm::LcdHcd));
+        let direct = solve_dyn(
+            &program,
+            &SolverConfig::new(Algorithm::Lcd),
+            PtsKind::Bitmap,
+        );
+        let pipelined = Analysis::builder()
+            .algorithm(Algorithm::LcdHcd)
+            .analyze(&program);
         assert!(
             pipelined.solution.equiv(&direct.solution),
             "OVS changed the solution on {name} at {:?}",
@@ -78,15 +89,20 @@ fn ovs_preserves_the_solution() {
 fn every_worklist_strategy_agrees() {
     use ant_grasshopper::common::worklist::WorklistKind;
     let (_, program) = workloads().pop().expect("non-empty");
-    let reference = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Basic));
+    let reference = solve_dyn(
+        &program,
+        &SolverConfig::new(Algorithm::Basic),
+        PtsKind::Bitmap,
+    );
     for wk in WorklistKind::ALL {
         for alg in [Algorithm::Lcd, Algorithm::Hcd, Algorithm::LcdHcd] {
-            let out = solve::<BitmapPts>(
+            let out = solve_dyn(
                 &program,
                 &SolverConfig {
                     worklist: wk,
                     ..SolverConfig::new(alg)
                 },
+                PtsKind::Bitmap,
             );
             assert!(
                 out.solution.equiv(&reference.solution),
@@ -101,14 +117,18 @@ fn suite_benchmarks_solve_equivalently_at_small_scale() {
     for bench in ant_grasshopper::frontend::suite::suite(0.005) {
         let program = bench.program();
         let reduced = ant_grasshopper::constraints::ovs::substitute(&program);
-        let reference = solve::<BitmapPts>(&reduced.program, &SolverConfig::new(Algorithm::Ht));
+        let reference = solve_dyn(
+            &reduced.program,
+            &SolverConfig::new(Algorithm::Ht),
+            PtsKind::Bitmap,
+        );
         for alg in [
             Algorithm::Lcd,
             Algorithm::Hcd,
             Algorithm::LcdHcd,
             Algorithm::Pkh,
         ] {
-            let out = solve::<BitmapPts>(&reduced.program, &SolverConfig::new(alg));
+            let out = solve_dyn(&reduced.program, &SolverConfig::new(alg), PtsKind::Bitmap);
             assert!(
                 out.solution.equiv(&reference.solution),
                 "{alg} differs on {}",

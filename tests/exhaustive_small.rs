@@ -5,7 +5,7 @@
 //! of sampling it.
 
 use ant_grasshopper::solver::verify::check_soundness;
-use ant_grasshopper::{solve, Algorithm, BitmapPts, Program, ProgramBuilder, SolverConfig};
+use ant_grasshopper::{solve_dyn, Algorithm, Program, ProgramBuilder, PtsKind, SolverConfig};
 
 const NVARS: usize = 3;
 
@@ -64,13 +64,17 @@ fn every_two_constraint_program() {
     for (i, &a) in atoms.iter().enumerate() {
         for &b in &atoms[i..] {
             let program = build(&[a, b]);
-            let reference = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Basic));
+            let reference = solve_dyn(
+                &program,
+                &SolverConfig::new(Algorithm::Basic),
+                PtsKind::Bitmap,
+            );
             assert!(
                 check_soundness(&program, &reference.solution).is_empty(),
                 "Basic unsound on {a:?},{b:?}"
             );
             for alg in EXACT {
-                let out = solve::<BitmapPts>(&program, &SolverConfig::new(alg));
+                let out = solve_dyn(&program, &SolverConfig::new(alg), PtsKind::Bitmap);
                 assert!(
                     out.solution.equiv(&reference.solution),
                     "{alg} differs on {a:?},{b:?} at {:?}",
@@ -78,7 +82,7 @@ fn every_two_constraint_program() {
                 );
             }
             for alg in HCD_FAMILY {
-                let out = solve::<BitmapPts>(&program, &SolverConfig::new(alg));
+                let out = solve_dyn(&program, &SolverConfig::new(alg), PtsKind::Bitmap);
                 assert!(
                     check_soundness(&program, &out.solution).is_empty(),
                     "{alg} unsound on {a:?},{b:?}"
@@ -108,16 +112,20 @@ fn three_constraint_programs_with_a_base() {
         // Thin the scope: skip symmetric duplicates by ordering.
         for &b in &atoms[i..] {
             let program = build(&[first, a, b]);
-            let reference = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Basic));
+            let reference = solve_dyn(
+                &program,
+                &SolverConfig::new(Algorithm::Basic),
+                PtsKind::Bitmap,
+            );
             for alg in [Algorithm::Lcd, Algorithm::Ht, Algorithm::LcdDiff] {
-                let out = solve::<BitmapPts>(&program, &SolverConfig::new(alg));
+                let out = solve_dyn(&program, &SolverConfig::new(alg), PtsKind::Bitmap);
                 assert!(
                     out.solution.equiv(&reference.solution),
                     "{alg} differs on base,{a:?},{b:?}"
                 );
             }
             for alg in [Algorithm::LcdHcd, Algorithm::BlqHcd] {
-                let out = solve::<BitmapPts>(&program, &SolverConfig::new(alg));
+                let out = solve_dyn(&program, &SolverConfig::new(alg), PtsKind::Bitmap);
                 assert!(
                     check_soundness(&program, &out.solution).is_empty(),
                     "{alg} unsound on base,{a:?},{b:?}"

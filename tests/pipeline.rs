@@ -1,9 +1,7 @@
 //! End-to-end pipeline tests: mini-C source → constraints → text format →
 //! OVS → every solver → expanded solution.
 
-use ant_grasshopper::{
-    analyze_c, analyze_program, compile_c, parse_program, Algorithm, BitmapPts, SolverConfig, VarId,
-};
+use ant_grasshopper::{compile_c, parse_program, Algorithm, Analysis, VarId};
 
 const LINKED_LIST: &str = r#"
 struct node { struct node *next; int *payload; };
@@ -38,7 +36,10 @@ void main() {
 
 #[test]
 fn linked_list_flows_through_fields_and_calls() {
-    let a = analyze_c(LINKED_LIST, &SolverConfig::new(Algorithm::LcdHcd)).unwrap();
+    let a = Analysis::builder()
+        .algorithm(Algorithm::LcdHcd)
+        .analyze_c(LINKED_LIST)
+        .unwrap();
     let head = a.program.var_by_name("head").unwrap();
     let pool = a.program.var_by_name("pool").unwrap();
     assert!(
@@ -64,8 +65,12 @@ fn c_and_constraint_file_pipelines_match() {
     let text = generated.program.to_text();
     let reparsed = parse_program(&text).unwrap();
     assert_eq!(generated.program.stats(), reparsed.stats());
-    let a1 = analyze_program::<BitmapPts>(&generated.program, &SolverConfig::new(Algorithm::Lcd));
-    let a2 = analyze_program::<BitmapPts>(&reparsed, &SolverConfig::new(Algorithm::Lcd));
+    let a1 = Analysis::builder()
+        .algorithm(Algorithm::Lcd)
+        .analyze(&generated.program);
+    let a2 = Analysis::builder()
+        .algorithm(Algorithm::Lcd)
+        .analyze(&reparsed);
     // Variable numbering differs (the parser interns by first appearance),
     // so compare points-to sets by *name*.
     let names = |p: &ant_grasshopper::Program, sol: &ant_grasshopper::Solution, v| {
@@ -96,10 +101,13 @@ fn c_and_constraint_file_pipelines_match() {
 #[test]
 fn every_algorithm_on_c_program() {
     let generated = compile_c(LINKED_LIST).unwrap();
-    let reference =
-        analyze_program::<BitmapPts>(&generated.program, &SolverConfig::new(Algorithm::Basic));
+    let reference = Analysis::builder()
+        .algorithm(Algorithm::Basic)
+        .analyze(&generated.program);
     for alg in Algorithm::ALL {
-        let out = analyze_program::<BitmapPts>(&generated.program, &SolverConfig::new(alg));
+        let out = Analysis::builder()
+            .algorithm(alg)
+            .analyze(&generated.program);
         assert!(
             out.solution.equiv(&reference.solution),
             "{alg} differs at {:?}",
@@ -110,13 +118,14 @@ fn every_algorithm_on_c_program() {
 
 #[test]
 fn recursive_functions_terminate_and_flow() {
-    let a = analyze_c(
-        "int *walk(int *p) { return walk(p); }\n\
-         int x; int *r;\n\
-         void main() { r = walk(&x); }",
-        &SolverConfig::new(Algorithm::LcdHcd),
-    )
-    .unwrap();
+    let a = Analysis::builder()
+        .algorithm(Algorithm::LcdHcd)
+        .analyze_c(
+            "int *walk(int *p) { return walk(p); }\n\
+             int x; int *r;\n\
+             void main() { r = walk(&x); }",
+        )
+        .unwrap();
     let r = a.program.var_by_name("r").unwrap();
     let x = a.program.var_by_name("x").unwrap();
     // walk never produces anything but its own recursive result, which is
@@ -128,17 +137,18 @@ fn recursive_functions_terminate_and_flow() {
 
 #[test]
 fn mutual_recursion_through_function_pointers() {
-    let a = analyze_c(
-        "int x; int c;\n\
-         int *even(int *p);\n\
-         int *odd(int *p) { if (c) return p; return even(p); }\n\
-         int *even(int *p) { return odd(p); }\n\
-         int *(*hook)(int *);\n\
-         int *r;\n\
-         void main() { hook = even; r = hook(&x); }",
-        &SolverConfig::new(Algorithm::LcdHcd),
-    )
-    .unwrap();
+    let a = Analysis::builder()
+        .algorithm(Algorithm::LcdHcd)
+        .analyze_c(
+            "int x; int c;\n\
+             int *even(int *p);\n\
+             int *odd(int *p) { if (c) return p; return even(p); }\n\
+             int *even(int *p) { return odd(p); }\n\
+             int *(*hook)(int *);\n\
+             int *r;\n\
+             void main() { hook = even; r = hook(&x); }",
+        )
+        .unwrap();
     let r = a.program.var_by_name("r").unwrap();
     let x = a.program.var_by_name("x").unwrap();
     assert!(a.solution.may_point_to(r, x));
@@ -146,17 +156,19 @@ fn mutual_recursion_through_function_pointers() {
 
 #[test]
 fn warnings_surface_unknown_externals() {
-    let a = analyze_c(
-        "void main() { mystery_function(); }",
-        &SolverConfig::new(Algorithm::Lcd),
-    )
-    .unwrap();
+    let a = Analysis::builder()
+        .algorithm(Algorithm::Lcd)
+        .analyze_c("void main() { mystery_function(); }")
+        .unwrap();
     assert!(a.warnings.iter().any(|w| w.contains("mystery_function")));
 }
 
 #[test]
 fn solution_queries_are_consistent() {
-    let a = analyze_c(LINKED_LIST, &SolverConfig::new(Algorithm::Ht)).unwrap();
+    let a = Analysis::builder()
+        .algorithm(Algorithm::Ht)
+        .analyze_c(LINKED_LIST)
+        .unwrap();
     for v in a.program.vars() {
         for &l in a.solution.points_to(v) {
             assert!(a.solution.may_point_to(v, VarId::from_u32(l)));

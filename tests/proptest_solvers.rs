@@ -11,7 +11,7 @@
 
 use ant_grasshopper::solver::verify::check_soundness;
 use ant_grasshopper::{
-    solve, Algorithm, BitmapPts, Constraint, Program, ProgramBuilder, SolverConfig, VarId,
+    solve_dyn, Algorithm, Constraint, Program, ProgramBuilder, PtsKind, SolverConfig, VarId,
 };
 use proptest::prelude::*;
 
@@ -74,10 +74,10 @@ proptest! {
     #[test]
     fn exact_solvers_agree_on_arbitrary_programs(raw in raw_constraints(NVARS, 60)) {
         let program = build_program(&raw, NVARS, false);
-        let reference = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Basic));
+        let reference = solve_dyn(&program, &SolverConfig::new(Algorithm::Basic), PtsKind::Bitmap);
         prop_assert!(check_soundness(&program, &reference.solution).is_empty());
         for alg in [Algorithm::Ht, Algorithm::Pkh, Algorithm::Blq, Algorithm::Lcd] {
-            let out = solve::<BitmapPts>(&program, &SolverConfig::new(alg));
+            let out = solve_dyn(&program, &SolverConfig::new(alg), PtsKind::Bitmap);
             prop_assert!(
                 out.solution.equiv(&reference.solution),
                 "{} differs at {:?}", alg, out.solution.first_difference(&reference.solution)
@@ -89,9 +89,9 @@ proptest! {
     fn hcd_is_exact_on_wellformed_and_sound_always(raw in raw_constraints(NVARS, 60)) {
         // Well-formed: exactness.
         let wf = build_program(&raw, NVARS, true);
-        let reference = solve::<BitmapPts>(&wf, &SolverConfig::new(Algorithm::Basic));
+        let reference = solve_dyn(&wf, &SolverConfig::new(Algorithm::Basic), PtsKind::Bitmap);
         for alg in [Algorithm::Hcd, Algorithm::HtHcd, Algorithm::PkhHcd, Algorithm::LcdHcd, Algorithm::BlqHcd] {
-            let out = solve::<BitmapPts>(&wf, &SolverConfig::new(alg));
+            let out = solve_dyn(&wf, &SolverConfig::new(alg), PtsKind::Bitmap);
             prop_assert!(
                 out.solution.equiv(&reference.solution),
                 "{} differs on well-formed input at {:?}",
@@ -100,9 +100,9 @@ proptest! {
         }
         // Adversarial: soundness and over-approximation.
         let adv = build_program(&raw, NVARS, false);
-        let exact = solve::<BitmapPts>(&adv, &SolverConfig::new(Algorithm::Basic));
+        let exact = solve_dyn(&adv, &SolverConfig::new(Algorithm::Basic), PtsKind::Bitmap);
         for alg in [Algorithm::Hcd, Algorithm::LcdHcd] {
-            let out = solve::<BitmapPts>(&adv, &SolverConfig::new(alg));
+            let out = solve_dyn(&adv, &SolverConfig::new(alg), PtsKind::Bitmap);
             prop_assert!(check_soundness(&adv, &out.solution).is_empty(), "{} unsound", alg);
             prop_assert!(
                 out.solution.subsumes(&exact.solution),
@@ -114,9 +114,9 @@ proptest! {
     #[test]
     fn ovs_preserves_solutions(raw in raw_constraints(NVARS, 60)) {
         let program = build_program(&raw, NVARS, false);
-        let direct = solve::<BitmapPts>(&program, &SolverConfig::new(Algorithm::Basic));
+        let direct = solve_dyn(&program, &SolverConfig::new(Algorithm::Basic), PtsKind::Bitmap);
         let reduced = ant_grasshopper::constraints::ovs::substitute(&program);
-        let out = solve::<BitmapPts>(&reduced.program, &SolverConfig::new(Algorithm::Lcd));
+        let out = solve_dyn(&reduced.program, &SolverConfig::new(Algorithm::Lcd), PtsKind::Bitmap);
         let expanded = out.solution.expand_ovs(&reduced);
         prop_assert!(
             expanded.equiv(&direct.solution),

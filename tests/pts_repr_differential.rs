@@ -6,9 +6,7 @@
 //! propagations and cycle searches.
 
 use ant_grasshopper::frontend::workload::WorkloadSpec;
-use ant_grasshopper::{
-    compile_c, solve, Algorithm, BddPts, BitmapPts, Program, SharedPts, SolverConfig,
-};
+use ant_grasshopper::{compile_c, solve_dyn, Algorithm, Program, PtsKind, SolverConfig};
 
 fn workloads() -> Vec<(String, Program)> {
     let mut out = Vec::new();
@@ -31,8 +29,8 @@ fn shared_matches_bitmap_solutions_and_counters() {
     for (name, program) in workloads() {
         for alg in Algorithm::ALL {
             let config = SolverConfig::new(alg);
-            let bm = solve::<BitmapPts>(&program, &config);
-            let sh = solve::<SharedPts>(&program, &config);
+            let bm = solve_dyn(&program, &config, PtsKind::Bitmap);
+            let sh = solve_dyn(&program, &config, PtsKind::Shared);
             assert!(
                 sh.solution.equiv(&bm.solution),
                 "{alg} shared differs from bitmap on {name} at {:?}",
@@ -62,8 +60,8 @@ fn bdd_matches_bitmap_solutions() {
     for (name, program) in workloads() {
         for alg in Algorithm::TABLE5 {
             let config = SolverConfig::new(alg);
-            let bm = solve::<BitmapPts>(&program, &config);
-            let bdd = solve::<BddPts>(&program, &config);
+            let bm = solve_dyn(&program, &config, PtsKind::Bitmap);
+            let bdd = solve_dyn(&program, &config, PtsKind::Bdd);
             assert!(
                 bdd.solution.equiv(&bm.solution),
                 "{alg} bdd differs from bitmap on {name} at {:?}",
@@ -79,10 +77,10 @@ fn bdd_matches_bitmap_solutions() {
 fn shared_populates_repr_cache_stats() {
     let program = WorkloadSpec::tiny(7).generate();
     let config = SolverConfig::new(Algorithm::LcdHcd);
-    let sh = solve::<SharedPts>(&program, &config);
+    let sh = solve_dyn(&program, &config, PtsKind::Shared);
     assert!(sh.stats.distinct_sets > 0);
     assert!(sh.stats.intern_misses >= sh.stats.distinct_sets - 1);
-    let bm = solve::<BitmapPts>(&program, &config);
+    let bm = solve_dyn(&program, &config, PtsKind::Bitmap);
     assert_eq!(bm.stats.distinct_sets, 0);
     assert_eq!(bm.stats.intern_hits + bm.stats.intern_misses, 0);
 }

@@ -1,12 +1,15 @@
 //! End-to-end analysis of the realistic sample programs in `testdata/`.
 
 use ant_grasshopper::solver::clients;
-use ant_grasshopper::{analyze_c, solve, Algorithm, BitmapPts, CAnalysis, SolverConfig, VarId};
+use ant_grasshopper::{solve_dyn, Algorithm, Analysis, CAnalysis, PtsKind, SolverConfig, VarId};
 
 fn analyze_file(name: &str) -> CAnalysis {
     let path = format!("{}/testdata/{name}", env!("CARGO_MANIFEST_DIR"));
     let src = std::fs::read_to_string(&path).expect("sample exists");
-    analyze_c(&src, &SolverConfig::new(Algorithm::LcdHcd)).expect("sample parses")
+    Analysis::builder()
+        .algorithm(Algorithm::LcdHcd)
+        .analyze_c(&src)
+        .expect("sample parses")
 }
 
 fn pts_names(a: &CAnalysis, var: &str) -> Vec<String> {
@@ -103,11 +106,14 @@ fn samples_agree_across_all_algorithms() {
         let path = format!("{}/testdata/{name}", env!("CARGO_MANIFEST_DIR"));
         let src = std::fs::read_to_string(&path).unwrap();
         let generated = ant_grasshopper::compile_c(&src).unwrap();
-        let reference =
-            solve::<BitmapPts>(&generated.program, &SolverConfig::new(Algorithm::Basic));
+        let reference = solve_dyn(
+            &generated.program,
+            &SolverConfig::new(Algorithm::Basic),
+            PtsKind::Bitmap,
+        );
         ant_grasshopper::solver::verify::assert_sound(&generated.program, &reference.solution);
         for alg in Algorithm::ALL {
-            let out = solve::<BitmapPts>(&generated.program, &SolverConfig::new(alg));
+            let out = solve_dyn(&generated.program, &SolverConfig::new(alg), PtsKind::Bitmap);
             assert!(
                 out.solution.equiv(&reference.solution),
                 "{alg} differs on {name} at {:?}",

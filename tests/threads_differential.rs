@@ -1,0 +1,152 @@
+//! Thread-count differential testing: the BSP engine is a *scheduling*
+//! change, not an algorithmic one, so any thread count must reproduce the
+//! sequential run bit for bit — the same solution *and* the same §5.3
+//! behavioural counters (the worker phase may only precompute hints, never
+//! change what the merge does).
+
+use ant_grasshopper::frontend::workload::WorkloadSpec;
+use ant_grasshopper::{
+    compile_c, solve_dyn, Algorithm, Program, PtsKind, SolveOutput, SolverConfig,
+};
+use proptest::prelude::*;
+
+/// The counters that must be invariant under the thread count. Timing and
+/// memory high-water marks may differ; behaviour may not.
+fn counters(out: &SolveOutput) -> [u64; 9] {
+    let s = &out.stats;
+    [
+        s.nodes_processed,
+        s.propagations,
+        s.propagations_changed,
+        s.edges_added,
+        s.complex_iters,
+        s.cycle_searches,
+        s.nodes_searched,
+        s.cycles_found,
+        s.nodes_collapsed,
+    ]
+}
+
+fn workloads() -> Vec<(String, Program)> {
+    let mut out = Vec::new();
+    for seed in [3u64, 17] {
+        out.push((format!("tiny-{seed}"), WorkloadSpec::tiny(seed).generate()));
+    }
+    for name in ["hashtable.c", "interp.c"] {
+        let path = format!("{}/testdata/{name}", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let generated = compile_c(&text).unwrap();
+        out.push((name.to_owned(), generated.program));
+    }
+    out
+}
+
+fn assert_thread_invariant(name: &str, program: &Program, pts: PtsKind, algorithms: &[Algorithm]) {
+    for &alg in algorithms {
+        let reference = solve_dyn(program, &SolverConfig::new(alg).with_threads(1), pts);
+        for threads in [2, 4] {
+            let out = solve_dyn(program, &SolverConfig::new(alg).with_threads(threads), pts);
+            assert!(
+                out.solution.equiv(&reference.solution),
+                "{name}/{alg}/{pts}: {threads}-thread solution differs at {:?}",
+                out.solution.first_difference(&reference.solution)
+            );
+            assert_eq!(
+                counters(&out),
+                counters(&reference),
+                "{name}/{alg}/{pts}: {threads}-thread counters differ"
+            );
+        }
+    }
+}
+
+#[test]
+fn bitmap_runs_are_thread_count_invariant() {
+    for (name, program) in workloads() {
+        assert_thread_invariant(&name, &program, PtsKind::Bitmap, &Algorithm::ALL);
+    }
+}
+
+#[test]
+fn shared_runs_are_thread_count_invariant() {
+    for (name, program) in workloads() {
+        assert_thread_invariant(&name, &program, PtsKind::Shared, &Algorithm::ALL);
+    }
+}
+
+#[test]
+fn bdd_runs_are_thread_count_invariant() {
+    // BDD solving is the slow representation; the tiny workloads already
+    // drive every BSP code path (the engine never sees the representation,
+    // only the hints, and BddPts opts out of the worker phase).
+    for (name, program) in workloads().into_iter().take(2) {
+        assert_thread_invariant(&name, &program, PtsKind::Bdd, &Algorithm::ALL);
+    }
+}
+
+// The BSP-routed solvers (worklist family + PKH) on random programs: 1
+// thread vs 4 threads, counters included.
+mod random_programs {
+    use super::*;
+    use ant_grasshopper::ProgramBuilder;
+
+    #[derive(Clone, Debug)]
+    pub struct RawConstraint {
+        kind: u8,
+        lhs: usize,
+        rhs: usize,
+    }
+
+    const NVARS: usize = 24;
+
+    fn raw_constraints() -> impl Strategy<Value = Vec<RawConstraint>> {
+        prop::collection::vec(
+            (0u8..4, 0..NVARS, 0..NVARS).prop_map(|(kind, lhs, rhs)| RawConstraint {
+                kind,
+                lhs,
+                rhs,
+            }),
+            1..60,
+        )
+    }
+
+    fn build_program(raw: &[RawConstraint]) -> Program {
+        let mut b = ProgramBuilder::new();
+        let vars: Vec<_> = (0..NVARS).map(|i| b.var(&format!("v{i}"))).collect();
+        for c in raw {
+            let (l, r) = (vars[c.lhs], vars[c.rhs]);
+            match c.kind {
+                0 => b.addr_of(l, r),
+                1 => b.copy(l, r),
+                2 => b.load(l, r),
+                _ => b.store(l, r),
+            }
+        }
+        b.finish()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn four_threads_replay_one_thread_exactly(raw in raw_constraints()) {
+            let program = build_program(&raw);
+            for alg in [
+                Algorithm::Basic,
+                Algorithm::Lcd,
+                Algorithm::Hcd,
+                Algorithm::LcdHcd,
+                Algorithm::Pkh,
+                Algorithm::PkhHcd,
+            ] {
+                let seq = solve_dyn(&program, &SolverConfig::new(alg).with_threads(1), PtsKind::Bitmap);
+                let par = solve_dyn(&program, &SolverConfig::new(alg).with_threads(4), PtsKind::Bitmap);
+                prop_assert!(
+                    par.solution.equiv(&seq.solution),
+                    "{} diverged at {:?}", alg, par.solution.first_difference(&seq.solution)
+                );
+                prop_assert_eq!(counters(&par), counters(&seq), "{} counters diverged", alg);
+            }
+        }
+    }
+}
