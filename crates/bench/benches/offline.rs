@@ -3,7 +3,7 @@
 //! of Table 3, which the paper reports is essentially negligible).
 
 use ant_constraints::hcd::HcdOffline;
-use ant_constraints::ovs;
+use ant_constraints::pipeline::{OvsPass, PassPipeline};
 use ant_frontend::suite;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -12,11 +12,19 @@ fn bench_offline(c: &mut Criterion) {
     for name in ["emacs", "wine"] {
         let program = suite::benchmark(name, 0.03).expect("benchmark").program();
         group.bench_with_input(BenchmarkId::new("ovs", name), &program, |b, p| {
-            b.iter(|| ovs::substitute(p).stats.constraints_after)
+            b.iter(|| {
+                PassPipeline::empty()
+                    .push(OvsPass)
+                    .run(p)
+                    .constraints_after()
+            })
         });
-        let reduced = ovs::substitute(&program).program;
+        let reduced = PassPipeline::empty().push(OvsPass).run(&program).program;
         group.bench_with_input(BenchmarkId::new("hcd_offline", name), &reduced, |b, p| {
             b.iter(|| HcdOffline::analyze(p).num_pairs())
+        });
+        group.bench_with_input(BenchmarkId::new("full_pipeline", name), &program, |b, p| {
+            b.iter(|| PassPipeline::full().run(p).constraints_after())
         });
     }
     group.finish();

@@ -1,7 +1,7 @@
 //! Criterion benchmarks: one per solver on a mid-size workload (Table 3's
 //! cells as statistically sampled microbenchmarks).
 
-use ant_constraints::ovs;
+use ant_constraints::pipeline::PassPipeline;
 use ant_core::{solve_dyn, Algorithm, PtsKind, SolverConfig};
 use ant_frontend::suite;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_solvers(c: &mut Criterion) {
     // A small fixed scale keeps criterion's many iterations affordable.
     let bench = suite::benchmark("emacs", 0.02).expect("emacs exists");
-    let program = ovs::substitute(&bench.program()).program;
+    let program = PassPipeline::standard().run(&bench.program()).program;
 
     let mut group = c.benchmark_group("solve/emacs@0.02/bitmap");
     for alg in Algorithm::ALL {

@@ -1,16 +1,19 @@
 //! Shared benchmark runner.
 
 use ant_common::SolverStats;
-use ant_constraints::hcd::HcdOffline;
+use ant_constraints::pipeline::{PassPipeline, PassSummary};
 use ant_constraints::{ConstraintStats, Program};
 use ant_core::{solve_dyn, Algorithm, PtsKind, SolverConfig};
 use ant_frontend::suite::{default_suite, scale_from_env};
 use std::collections::HashMap;
 use std::time::Duration;
 
-/// A benchmark after constraint generation and OVS pre-processing — the
+/// A benchmark after constraint generation and offline preprocessing — the
 /// exact input the paper's solvers receive ("the results reported are for
 /// these reduced constraint files").
+///
+/// All reduction bookkeeping comes from one [`PassPipeline::full`] run;
+/// the per-pass breakdown is kept in [`PreparedBench::passes`].
 #[derive(Clone, Debug)]
 pub struct PreparedBench {
     /// Benchmark name (paper's Table 2 rows).
@@ -19,15 +22,36 @@ pub struct PreparedBench {
     pub loc: usize,
     /// Constraint counts before reduction.
     pub original: ConstraintStats,
-    /// Constraint counts after offline variable substitution.
+    /// Constraint counts after the offline pass pipeline.
     pub reduced: ConstraintStats,
-    /// OVS pre-processing time.
+    /// Per-pass reduction summaries from the pipeline run.
+    pub passes: Vec<PassSummary>,
+    /// OVS pre-processing time (the pipeline's `ovs` pass).
     pub ovs_time: Duration,
     /// HCD offline analysis time on the reduced program (Table 3's
-    /// "HCD-Offline" row).
+    /// "HCD-Offline" row; the pipeline's `hcd` pass).
     pub hcd_offline_time: Duration,
     /// The reduced program handed to every solver.
     pub program: Program,
+}
+
+/// Runs the full offline pipeline on one generated program.
+fn prepare_one(name: String, loc: usize, program: Program) -> PreparedBench {
+    let original = program.stats();
+    let prepared = PassPipeline::full().run(&program);
+    PreparedBench {
+        name,
+        loc,
+        original,
+        reduced: prepared.program.stats(),
+        ovs_time: prepared
+            .summary("ovs")
+            .map(|s| s.elapsed)
+            .unwrap_or_default(),
+        hcd_offline_time: prepared.hcd.as_ref().map(|h| h.elapsed).unwrap_or_default(),
+        passes: prepared.summaries,
+        program: prepared.program,
+    }
 }
 
 /// Prepares the whole suite at the `ANT_SCALE` environment scale.
@@ -35,21 +59,7 @@ pub fn prepare_suite() -> Vec<PreparedBench> {
     let _ = scale_from_env();
     default_suite()
         .into_iter()
-        .map(|b| {
-            let program = b.program();
-            let original = program.stats();
-            let ovs = ant_constraints::ovs::substitute(&program);
-            let hcd = HcdOffline::analyze(&ovs.program);
-            PreparedBench {
-                name: b.name().to_owned(),
-                loc: b.spec.loc,
-                original,
-                reduced: ovs.program.stats(),
-                ovs_time: ovs.elapsed,
-                hcd_offline_time: hcd.elapsed,
-                program: ovs.program,
-            }
-        })
+        .map(|b| prepare_one(b.name().to_owned(), b.spec.loc, b.program()))
         .collect()
 }
 
@@ -183,19 +193,7 @@ mod tests {
     use ant_frontend::workload::WorkloadSpec;
 
     fn tiny_bench() -> PreparedBench {
-        let program = WorkloadSpec::tiny(1).generate();
-        let original = program.stats();
-        let ovs = ant_constraints::ovs::substitute(&program);
-        let hcd = HcdOffline::analyze(&ovs.program);
-        PreparedBench {
-            name: "tiny".into(),
-            loc: 1000,
-            original,
-            reduced: ovs.program.stats(),
-            ovs_time: ovs.elapsed,
-            hcd_offline_time: hcd.elapsed,
-            program: ovs.program,
-        }
+        prepare_one("tiny".into(), 1000, WorkloadSpec::tiny(1).generate())
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub struct SolverTrace {
     /// worker microseconds)`, summed over `round_summary` records. All
     /// zeros for single-threaded runs.
     pub rounds: (u64, u64, u64, u64),
+    /// Offline pass summaries in trace order: `(pass, constraints before,
+    /// constraints after, vars merged, microseconds)`.
+    pub passes: Vec<(String, u64, u64, u64, u64)>,
 }
 
 /// A parsed trace: solver sections in first-appearance order (events
@@ -133,6 +136,21 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                 agg.rounds.2 += field("hint_hits");
                 agg.rounds.3 += field("worker_micros");
             }
+            "pass_summary" => {
+                let field = |k: &str| record.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+                let pass = record
+                    .get("pass")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?")
+                    .to_owned();
+                agg.passes.push((
+                    pass,
+                    field("constraints_before"),
+                    field("constraints_after"),
+                    field("vars_merged"),
+                    field("micros"),
+                ));
+            }
             // `solver_start` opens the section (handled above);
             // `phase_start` only matters through its matching `phase_end`;
             // `shard_utilization` detail is summed into `round_summary`.
@@ -185,6 +203,18 @@ pub fn render(summary: &TraceSummary) -> String {
         } else {
             out.push_str(&table("phase", &["spans", "seconds", "share"], &rows));
         }
+        for (pass, before, after, merged, micros) in &agg.passes {
+            let cut = if *before > 0 {
+                100.0 * (before - after.min(before)) as f64 / *before as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "offline pass {pass}: {before} -> {after} constraints \
+                 ({cut:.1}% cut) | {merged} vars merged | {:.1}ms\n",
+                *micros as f64 / 1000.0
+            ));
+        }
         if agg.cycles.0 > 0 {
             out.push_str(&format!(
                 "cycles collapsed: {} (removing {} nodes)\n",
@@ -229,6 +259,7 @@ mod tests {
 
     const SAMPLE: &str = "\
 {\"t\": 0.0, \"event\": \"phase_end\", \"solver\": \"\", \"phase\": \"parse\", \"seconds\": 0.25}
+{\"t\": 0.2, \"event\": \"pass_summary\", \"solver\": \"\", \"pass\": \"ovs\", \"constraints_before\": 200, \"constraints_after\": 50, \"vars_merged\": 60, \"micros\": 1200}
 {\"t\": 0.3, \"event\": \"solver_start\", \"solver\": \"LCD+HCD\"}
 {\"t\": 0.4, \"event\": \"phase_start\", \"solver\": \"LCD+HCD\", \"phase\": \"solve\"}
 {\"t\": 0.5, \"event\": \"progress\", \"solver\": \"LCD+HCD\", \"worklist\": 10, \"nodes\": 5, \"propagations\": 7, \"pts_bytes\": 1048576}
@@ -244,11 +275,12 @@ mod tests {
     #[test]
     fn summarize_aggregates_per_solver() {
         let s = summarize(SAMPLE).unwrap();
-        assert_eq!(s.records, 11);
+        assert_eq!(s.records, 12);
         assert_eq!(s.solvers.len(), 2);
         let (pre_name, pre) = &s.solvers[0];
         assert!(pre_name.is_empty());
         assert_eq!(pre.phases["parse"], (1, 0.25));
+        assert_eq!(pre.passes, vec![("ovs".to_owned(), 200, 50, 60, 1200)]);
         let (name, lcd) = &s.solvers[1];
         assert_eq!(name, "LCD+HCD");
         assert_eq!(lcd.phases["solve"].0, 1);
@@ -269,7 +301,8 @@ mod tests {
     fn render_mentions_phases_and_counters() {
         let s = summarize(SAMPLE).unwrap();
         let text = render(&s);
-        assert!(text.contains("11 trace records"));
+        assert!(text.contains("12 trace records"));
+        assert!(text.contains("offline pass ovs: 200 -> 50 constraints (75.0% cut)"));
         assert!(text.contains("(pre-solve)"));
         assert!(text.contains("solver: LCD+HCD"));
         assert!(text.contains("parse"));

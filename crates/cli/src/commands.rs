@@ -2,10 +2,12 @@
 
 use crate::opts::{flag_help, Opts};
 use ant_common::VarId;
-use ant_constraints::{ovs, parse_program, Program};
+use ant_constraints::pipeline::{PassPipeline, Prepared};
+use ant_constraints::{parse_program, Program};
 use ant_core::obs::{FanOut, Obs, Phase, PhaseTimer, ProgressPrinter, TraceWriter};
 use ant_core::{
-    solve_dyn, solve_dyn_with_observer, Algorithm, PtsKind, Solution, SolveOutput, SolverConfig,
+    solve_prepared, solve_prepared_with_observer, Algorithm, PtsKind, Solution, SolveOutput,
+    SolverConfig,
 };
 use ant_frontend::suite;
 use std::fs::File;
@@ -17,8 +19,9 @@ ant — inclusion-based pointer analysis (Hardekopf & Lin, PLDI 2007)
 USAGE:
   ant compile <file.c> [-o out.consts]
   ant solve   <file.c|file.consts> [--algorithm NAME] [--pts bitmap|shared|bdd]
-              [--worklist fifo|lifo|lrf|divided-lrf] [--threads N] [--no-ovs]
-              [--stats] [--trace-out trace.jsonl] [--progress] [--progress-every N]
+              [--worklist fifo|lifo|lrf|divided-lrf] [--threads N]
+              [--passes normalize,ovs,hcd | --no-ovs] [--stats]
+              [--trace-out trace.jsonl] [--progress] [--progress-every N]
   ant query   <file> --pointer NAME | --alias NAME NAME
   ant gen     <benchmark> [--scale S] [-o out.consts]
   ant compare <file>
@@ -58,13 +61,14 @@ fn load(path: &str) -> Result<Program, String> {
 
 /// Typed CLI configuration, parsed exactly once per invocation from the
 /// flag table — the commands below never re-inspect raw flags.
+#[derive(Debug)]
 pub struct CliConfig {
     /// Algorithm, worklist, snapshot cadence and thread count.
     pub solver: SolverConfig,
     /// Points-to set representation (runtime-dispatched).
     pub pts: PtsKind,
-    /// Skip offline variable substitution.
-    pub no_ovs: bool,
+    /// The offline pass pipeline run before the solver.
+    pub passes: PassPipeline,
     /// Print the solver's counters after solving.
     pub stats: bool,
     /// Live progress snapshots on stderr.
@@ -108,6 +112,18 @@ impl CliConfig {
             Some(name) => PtsKind::parse(name)
                 .ok_or_else(|| format!("unknown points-to representation `{name}`"))?,
         };
+        let passes = match (opts.value("--passes"), opts.has("--no-ovs")) {
+            (Some(_), true) => {
+                return Err(
+                    "--passes and --no-ovs are mutually exclusive (--no-ovs means \
+                     --passes none)"
+                        .into(),
+                )
+            }
+            (Some(spec), false) => PassPipeline::parse(spec).map_err(|e| e.to_string())?,
+            (None, true) => PassPipeline::empty(),
+            (None, false) => PassPipeline::standard(),
+        };
         Ok(CliConfig {
             solver: SolverConfig {
                 algorithm,
@@ -116,7 +132,7 @@ impl CliConfig {
                 threads,
             },
             pts,
-            no_ovs: opts.has("--no-ovs"),
+            passes,
             stats: opts.has("--stats"),
             progress: opts.has("--progress"),
             trace_out: opts.value("--trace-out").map(str::to_owned),
@@ -179,10 +195,7 @@ fn obs_over<'a>(fan: &'a mut Option<FanOut<'_>>) -> Obs<'a> {
     }
 }
 
-fn run(
-    input: &str,
-    cfg: &CliConfig,
-) -> Result<(Program, SolveOutput, Option<ovs::OvsResult>), String> {
+fn run(input: &str, cfg: &CliConfig) -> Result<(Program, SolveOutput, Prepared), String> {
     let mut telemetry = Telemetry::from_config(cfg)?;
     let result = {
         let mut fan = telemetry.as_mut().map(Telemetry::fan);
@@ -197,30 +210,20 @@ fn run(
             loaded?
         };
 
-        let reduced = if cfg.no_ovs {
-            None
-        } else {
+        let prepared = {
             let mut obs = obs_over(&mut fan);
-            Some(ovs::substitute_with_obs(&program, &mut obs))
+            cfg.passes.run_with_obs(&program, &mut obs)
         };
-        let target = reduced.as_ref().map(|r| &r.program).unwrap_or(&program);
         let out = match &mut fan {
-            None => solve_dyn(target, &cfg.solver, cfg.pts),
-            Some(fan) => solve_dyn_with_observer(target, &cfg.solver, cfg.pts, &mut *fan),
+            None => solve_prepared(&prepared, &cfg.solver, cfg.pts),
+            Some(fan) => solve_prepared_with_observer(&prepared, &cfg.solver, cfg.pts, &mut *fan),
         };
-        (program, out, reduced)
+        (program, out, prepared)
     };
     if let Some(telemetry) = telemetry {
         telemetry.finish()?;
     }
     Ok(result)
-}
-
-fn expanded(out: &SolveOutput, reduced: &Option<ovs::OvsResult>) -> Solution {
-    match reduced {
-        Some(r) => out.solution.expand_ovs(r),
-        None => out.solution.clone(),
-    }
 }
 
 fn print_pts(program: &Program, solution: &Solution, v: VarId) {
@@ -267,15 +270,16 @@ pub fn solve(args: &[String]) -> Result<(), String> {
     let [input] = opts.positional.as_slice() else {
         return Err("solve takes exactly one input file".into());
     };
-    let (program, out, reduced) = run(input, &cfg)?;
-    let solution = expanded(&out, &reduced);
-    if let Some(r) = &reduced {
+    let (program, out, prepared) = run(input, &cfg)?;
+    let solution = out.solution;
+    for s in &prepared.summaries {
         eprintln!(
-            "OVS: {} -> {} constraints ({:.0}% removed) in {:.3}ms",
-            r.stats.constraints_before,
-            r.stats.constraints_after,
-            r.stats.reduction_percent(),
-            r.elapsed.as_secs_f64() * 1000.0
+            "pass {}: {} -> {} constraints ({:.0}% removed) in {:.3}ms",
+            s.pass,
+            s.constraints_before,
+            s.constraints_after,
+            s.reduction_percent(),
+            s.elapsed.as_secs_f64() * 1000.0
         );
     }
     eprintln!(
@@ -302,8 +306,8 @@ pub fn query(args: &[String]) -> Result<(), String> {
     let [input, rest @ ..] = opts.positional.as_slice() else {
         return Err("query takes an input file".into());
     };
-    let (program, out, reduced) = run(input, &cfg)?;
-    let solution = expanded(&out, &reduced);
+    let (program, out, _prepared) = run(input, &cfg)?;
+    let solution = out.solution;
     if let Some(name) = opts.value("--pointer") {
         let v = program
             .var_by_name(name)
@@ -361,7 +365,7 @@ pub fn compare(args: &[String]) -> Result<(), String> {
         return Err("compare takes exactly one input file".into());
     };
     let program = load(input)?;
-    let reduced = ovs::substitute(&program);
+    let prepared = cfg.passes.run(&program);
     println!(
         "{:<8} {:>10} {:>10} {:>10} {:>12}",
         "algo", "time(ms)", "collapsed", "searched", "propagations"
@@ -370,7 +374,7 @@ pub fn compare(args: &[String]) -> Result<(), String> {
     for alg in Algorithm::ALL {
         let mut config = cfg.solver;
         config.algorithm = alg;
-        let out = solve_dyn(&reduced.program, &config, cfg.pts);
+        let out = solve_prepared(&prepared, &config, cfg.pts);
         println!(
             "{:<8} {:>10.2} {:>10} {:>10} {:>12}",
             alg.name(),
@@ -379,7 +383,7 @@ pub fn compare(args: &[String]) -> Result<(), String> {
             out.stats.nodes_searched,
             out.stats.propagations
         );
-        let solution = out.solution.expand_ovs(&reduced);
+        let solution = out.solution;
         match &reference {
             None => reference = Some(solution),
             Some(r) => {
@@ -555,6 +559,17 @@ mod tests {
                         assert!(r[key].as_u64().is_some(), "shard_utilization carries {key}");
                     }
                 }
+                "pass_summary" => {
+                    assert!(r["pass"].as_str().is_some());
+                    for key in [
+                        "constraints_before",
+                        "constraints_after",
+                        "vars_merged",
+                        "micros",
+                    ] {
+                        assert!(r[key].as_u64().is_some(), "pass_summary carries {key}");
+                    }
+                }
                 "solver_start" => {}
                 other => panic!("unknown event kind `{other}`"),
             }
@@ -615,6 +630,69 @@ mod tests {
         let cfg = CliConfig::from_opts(&opts).unwrap();
         assert_eq!(cfg.pts, PtsKind::Bitmap);
         assert!(cfg.solver.threads >= 1);
+    }
+
+    #[test]
+    fn passes_flag_parses_into_a_pipeline() {
+        let opts = Opts::parse(&s(&["f.c", "--passes", "normalize,ovs,hcd"])).unwrap();
+        let cfg = CliConfig::from_opts(&opts).unwrap();
+        assert_eq!(cfg.passes.names(), vec!["normalize", "ovs", "hcd"]);
+
+        // Default is the standard pipeline.
+        let opts = Opts::parse(&s(&["f.c"])).unwrap();
+        let cfg = CliConfig::from_opts(&opts).unwrap();
+        assert_eq!(cfg.passes.names(), vec!["normalize", "ovs"]);
+
+        // `--no-ovs` and `--passes none` both mean "no preprocessing".
+        for args in [&["f.c", "--no-ovs"][..], &["f.c", "--passes", "none"][..]] {
+            let opts = Opts::parse(&s(args)).unwrap();
+            let cfg = CliConfig::from_opts(&opts).unwrap();
+            assert!(cfg.passes.is_empty());
+        }
+
+        let opts = Opts::parse(&s(&["f.c", "--passes", "ovs", "--no-ovs"])).unwrap();
+        let err = CliConfig::from_opts(&opts).unwrap_err();
+        assert!(err.contains("mutually exclusive"));
+
+        let opts = Opts::parse(&s(&["f.c", "--passes", "frobnicate"])).unwrap();
+        let err = CliConfig::from_opts(&opts).unwrap_err();
+        assert!(err.contains("frobnicate"));
+
+        let opts = Opts::parse(&s(&["f.c", "--passes", "hcd,ovs"])).unwrap();
+        let err = CliConfig::from_opts(&opts).unwrap_err();
+        assert!(err.contains("hcd must be last"));
+    }
+
+    /// Every pass subset prints the same points-to sets, and traces carry
+    /// one `pass_summary` record per pass run.
+    #[test]
+    fn pass_subsets_agree_and_trace_summaries() {
+        use ant_core::obs::parse_object;
+        let c = write_temp(
+            "t9.c",
+            "int x; int *p; int *q; int **a;\n\
+             void main() { a = &p; p = &x; q = *a; *a = q; }",
+        );
+        for spec in ["none", "normalize", "ovs", "normalize,ovs,hcd"] {
+            solve(&s(&[&c, "--passes", spec])).unwrap();
+        }
+        let trace = write_temp("t9.jsonl", "");
+        solve(&s(&[
+            &c,
+            "--passes",
+            "normalize,ovs,hcd",
+            "--trace-out",
+            &trace,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let passes: Vec<String> = text
+            .lines()
+            .map(|l| parse_object(l).unwrap())
+            .filter(|r| r["event"].as_str() == Some("pass_summary"))
+            .map(|r| r["pass"].as_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(passes, vec!["normalize", "ovs", "hcd"]);
     }
 
     /// `--threads 4` prints the same points-to sets as `--threads 1` — the

@@ -42,9 +42,14 @@ pub const FLAGS: &[FlagSpec] = &[
         help: "solver threads; N >= 2 runs the BSP engine (default ANT_THREADS or 1)",
     },
     FlagSpec {
+        name: "--passes",
+        value: Some("LIST"),
+        help: "offline passes, comma-separated: normalize,ovs,hcd or none (default normalize,ovs)",
+    },
+    FlagSpec {
         name: "--no-ovs",
         value: None,
-        help: "skip offline variable substitution",
+        help: "skip all offline preprocessing (alias for --passes none)",
     },
     FlagSpec {
         name: "--stats",

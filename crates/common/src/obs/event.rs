@@ -15,29 +15,33 @@ use std::time::Duration;
 pub enum Phase {
     /// Reading and parsing the input program into constraints.
     Parse = 0,
+    /// Constraint normalization (canonicalization, duplicate and self-copy
+    /// elimination) in the offline pass pipeline.
+    OfflineNormalize = 1,
     /// Offline variable substitution (Rountev & Chandra).
-    OfflineOvs = 1,
+    OfflineOvs = 2,
     /// The HCD offline pass over the (ref-augmented) constraint graph.
-    OfflineHcd = 2,
+    OfflineHcd = 3,
     /// SCC detection inside the offline passes.
-    OfflineScc = 3,
+    OfflineScc = 4,
     /// The online worklist solve as a whole.
-    Solve = 4,
+    Solve = 5,
     /// Complex-constraint resolution (loads/stores adding edges).
-    Complex = 5,
+    Complex = 6,
     /// Points-to propagation across constraint edges.
-    Propagate = 6,
+    Propagate = 7,
     /// Online cycle detection (LCD/PKH searches, HT queries).
-    CycleSearch = 7,
+    CycleSearch = 8,
 }
 
 impl Phase {
     /// Number of distinct phases (for fixed-size per-phase tables).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every phase, in declaration order.
     pub const ALL: [Phase; Phase::COUNT] = [
         Phase::Parse,
+        Phase::OfflineNormalize,
         Phase::OfflineOvs,
         Phase::OfflineHcd,
         Phase::OfflineScc,
@@ -51,6 +55,7 @@ impl Phase {
     pub fn name(self) -> &'static str {
         match self {
             Phase::Parse => "parse",
+            Phase::OfflineNormalize => "offline_normalize",
             Phase::OfflineOvs => "offline_ovs",
             Phase::OfflineHcd => "offline_hcd",
             Phase::OfflineScc => "offline_scc",
@@ -156,6 +161,22 @@ pub enum SolveEvent {
         nodes: u64,
         /// Busy wall time of the shard's worker thread, in microseconds.
         busy_micros: u64,
+    },
+    /// One offline pass of the preprocessing pipeline finished, with its
+    /// constraint-reduction bookkeeping. Emitted once per pass, after the
+    /// pass's phase span closes.
+    PassSummary {
+        /// Stable pass name (e.g. `"normalize"`, `"ovs"`, `"hcd"`).
+        pass: &'static str,
+        /// Constraints entering the pass.
+        constraints_before: u64,
+        /// Constraints leaving the pass.
+        constraints_after: u64,
+        /// Variables the pass merged into a representative other than
+        /// themselves.
+        vars_merged: u64,
+        /// Wall time of the pass, in microseconds.
+        micros: u64,
     },
 }
 

@@ -26,6 +26,7 @@ use super::observer::Observer;
 /// | `repr_cache`      | `intern_hits`, `intern_misses`, `memo_hits`, `memo_misses`, `distinct_sets` |
 /// | `round_summary`   | `round`, `nodes`, `shards`, `hints`, `hint_hits`, `worker_micros` |
 /// | `shard_utilization` | `round`, `shard`, `nodes`, `busy_micros`          |
+/// | `pass_summary`    | `pass`, `constraints_before`, `constraints_after`, `vars_merged`, `micros` |
 pub struct TraceWriter<W: Write> {
     out: W,
     epoch: Instant,
@@ -133,6 +134,21 @@ impl<W: Write> TraceWriter<W> {
                 o.uint_field("nodes", *nodes);
                 o.uint_field("busy_micros", *busy_micros);
             }
+            SolveEvent::PassSummary {
+                pass,
+                constraints_before,
+                constraints_after,
+                vars_merged,
+                micros,
+            } => {
+                o.str_field("event", "pass_summary");
+                o.str_field("solver", self.solver);
+                o.str_field("pass", pass);
+                o.uint_field("constraints_before", *constraints_before);
+                o.uint_field("constraints_after", *constraints_after);
+                o.uint_field("vars_merged", *vars_merged);
+                o.uint_field("micros", *micros);
+            }
         }
         o.finish()
     }
@@ -232,6 +248,25 @@ impl<W: Write> Observer for ProgressPrinter<W> {
                     *worker_micros as f64 / 1000.0
                 )
             }
+            SolveEvent::PassSummary {
+                pass,
+                constraints_before,
+                constraints_after,
+                vars_merged,
+                micros,
+            } => {
+                let reduction = if *constraints_before == 0 {
+                    0.0
+                } else {
+                    100.0 * (1.0 - *constraints_after as f64 / *constraints_before as f64)
+                };
+                writeln!(
+                    self.out,
+                    "[{tag}] pass {pass}: {constraints_before} -> {constraints_after} \
+                     constraints ({reduction:.1}% cut) | {vars_merged} vars merged | {:.1}ms",
+                    *micros as f64 / 1000.0
+                )
+            }
             // Cycle, mutation and per-shard events are too frequent for a
             // terminal; shard detail stays available in the JSONL trace.
             SolveEvent::CycleCollapsed { .. }
@@ -282,6 +317,13 @@ mod tests {
             hint_hits: 81,
             worker_micros: 500,
         });
+        observer.on_event(&SolveEvent::PassSummary {
+            pass: "ovs",
+            constraints_before: 200,
+            constraints_after: 50,
+            vars_merged: 60,
+            micros: 1200,
+        });
         observer.on_event(&SolveEvent::PhaseEnd {
             phase: Phase::Solve,
             duration: Duration::from_millis(1500),
@@ -295,7 +337,7 @@ mod tests {
         assert!(w.error().is_none());
         let text = String::from_utf8(w.into_inner()).unwrap();
         let lines: Vec<_> = text.lines().collect();
-        assert_eq!(lines.len(), 9);
+        assert_eq!(lines.len(), 10);
         let maps: Vec<_> = lines.iter().map(|l| parse_object(l).unwrap()).collect();
         for m in &maps {
             assert!(m["t"].as_f64().unwrap() >= 0.0);
@@ -322,7 +364,13 @@ mod tests {
         assert_eq!(maps[7]["shards"].as_u64(), Some(2));
         assert_eq!(maps[7]["hints"].as_u64(), Some(90));
         assert_eq!(maps[7]["hint_hits"].as_u64(), Some(81));
-        assert!((maps[8]["seconds"].as_f64().unwrap() - 1.5).abs() < 1e-9);
+        assert_eq!(maps[8]["event"].as_str(), Some("pass_summary"));
+        assert_eq!(maps[8]["pass"].as_str(), Some("ovs"));
+        assert_eq!(maps[8]["constraints_before"].as_u64(), Some(200));
+        assert_eq!(maps[8]["constraints_after"].as_u64(), Some(50));
+        assert_eq!(maps[8]["vars_merged"].as_u64(), Some(60));
+        assert_eq!(maps[8]["micros"].as_u64(), Some(1200));
+        assert!((maps[9]["seconds"].as_f64().unwrap() - 1.5).abs() < 1e-9);
     }
 
     #[test]
@@ -337,6 +385,7 @@ mod tests {
         assert!(text.contains("repr cache: 11 distinct sets"));
         assert!(text.contains("intern hit rate 75.0%"));
         assert!(text.contains("round 4: 256 nodes | 2 shards | 81/90 hints used"));
+        assert!(text.contains("pass ovs: 200 -> 50 constraints (75.0% cut) | 60 vars merged"));
         // Chatty events are suppressed.
         assert!(!text.contains("members"));
         assert!(!text.contains("busy"));

@@ -226,6 +226,68 @@ impl Program {
         p
     }
 
+    /// Checks the structural invariants every offline pass must preserve:
+    /// variable ids in range, a sane offset-limit table (every limit ≥ 1,
+    /// function blocks fully inside the variable space), no address-of
+    /// constraint carrying an offset, and every load/store offset
+    /// addressable by at least one function block.
+    ///
+    /// The pass pipeline calls this between stages under
+    /// `debug_assertions`; release builds skip it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vars();
+        if self.offset_limit.len() != n {
+            return Err(format!(
+                "offset-limit table has {} entries for {n} variables",
+                self.offset_limit.len()
+            ));
+        }
+        let mut max_limit = 1u32;
+        for (i, &limit) in self.offset_limit.iter().enumerate() {
+            if limit < 1 {
+                return Err(format!("variable v{i} has offset_limit 0"));
+            }
+            if i + limit as usize > n {
+                return Err(format!(
+                    "function block at v{i} (offset_limit {limit}) overruns the \
+                     variable space of {n}"
+                ));
+            }
+            max_limit = max_limit.max(limit);
+        }
+        for (i, c) in self.constraints.iter().enumerate() {
+            if c.lhs.index() >= n || c.rhs.index() >= n {
+                return Err(format!(
+                    "constraint #{i} `{c}` references a variable outside 0..{n}"
+                ));
+            }
+            match c.kind {
+                ConstraintKind::AddrOf | ConstraintKind::Copy => {
+                    if c.offset != 0 {
+                        return Err(format!(
+                            "constraint #{i} `{c}` is a {:?} with non-zero offset {}",
+                            c.kind, c.offset
+                        ));
+                    }
+                }
+                ConstraintKind::Load | ConstraintKind::Store => {
+                    if c.offset >= max_limit {
+                        return Err(format!(
+                            "constraint #{i} `{c}` has offset {} but the largest \
+                             function block only spans {max_limit} slots",
+                            c.offset
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Serializes to the text format accepted by
     /// [`parse_program`](crate::parse_program).
     pub fn to_text(&self) -> String {

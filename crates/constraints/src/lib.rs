@@ -23,6 +23,11 @@
 //!   solver that everything in `pts(a)` can be preemptively collapsed with
 //!   `b`.
 //!
+//! The [`pipeline`] module composes these (plus a normalize/dedup pass)
+//! into an ordered [`pipeline::PassPipeline`] accumulating one
+//! [`pipeline::SolutionMapping`], so a solution of the preprocessed program
+//! expands back to the original variables in a single step.
+//!
 //! Indirect function calls follow Pearce et al.: the parameters of a
 //! function variable `f` are numbered contiguously after `f`, and call
 //! constraints carry an offset `k` resolved as `t + k` for each
@@ -36,6 +41,7 @@ mod ir;
 pub mod offline;
 pub mod ovs;
 mod parse;
+pub mod pipeline;
 pub mod scc;
 
 pub use ir::{Constraint, ConstraintKind, ConstraintStats, Program, ProgramBuilder};

@@ -61,7 +61,7 @@ impl OvsStats {
 pub struct OvsResult {
     /// The reduced program (same variable space, fewer constraints).
     pub program: Program,
-    subst: Vec<VarId>,
+    pub(crate) subst: Vec<VarId>,
     /// Wall-clock time of the substitution.
     pub elapsed: Duration,
     /// Reduction statistics.

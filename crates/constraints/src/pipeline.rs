@@ -1,0 +1,715 @@
+//! The offline pass pipeline: composable constraint preprocessing with a
+//! single solution-mapping layer.
+//!
+//! The paper preprocesses every constraint file with Offline Variable
+//! Substitution (§5.1) and runs the HCD offline analysis (§4.2) before the
+//! HCD-enhanced solvers. Both are *passes* over a [`Program`]: they may
+//! rewrite the constraint list, rename variables onto representatives, or
+//! attach metadata the online solver consumes. This module makes that
+//! structure explicit:
+//!
+//! * [`Pass`] — one offline transformation;
+//! * [`PassPipeline`] — an ordered list of passes, run front to back;
+//! * [`SolutionMapping`] — the *composition* of every rename the pipeline
+//!   performed, so one [`expand`] recovers the solution over the original
+//!   variables no matter how many passes ran;
+//! * [`Prepared`] — the pipeline's output: the final program, the composed
+//!   mapping, optional HCD metadata and one [`PassSummary`] per pass.
+//!
+//! # Composition law
+//!
+//! Every renaming pass guarantees `pts_in(v) = pts_out(p(v))` for its
+//! rename map `p`: the points-to set of `v` under the input program equals
+//! the set of `p(v)` under the rewritten program. Renames therefore compose
+//! by *chaining through the current representative*: if pass `p` runs
+//! before pass `q`, the combined map is `v ↦ q(p(v))`, which
+//! [`SolutionMapping::compose`] implements as `rep[v] = next[rep[v]]`.
+//! Locations are never renamed (an OVS invariant), so the mapping only
+//! redirects whose *set* answers a query, never the set's elements.
+//!
+//! # Pass ordering
+//!
+//! Passes run in the order given. One rule is enforced: the HCD pass
+//! attaches a pair table speaking about the *exact* program it analyzed, so
+//! no rewriting pass may run after it ([`PassPipeline::parse`] rejects such
+//! specs; [`PassPipeline::run`] panics on hand-built violations). The
+//! standard order is `normalize, ovs` — cheap syntactic cleanup first, then
+//! pointer-equivalence substitution — with `hcd` appended when the solver
+//! wants the offline pair table precomputed.
+//!
+//! [`expand`]: SolutionMapping::rep_of
+
+use crate::hcd::HcdOffline;
+use crate::ovs;
+use crate::{Constraint, ConstraintKind, Program};
+use ant_common::fx::FxHashSet;
+use ant_common::obs::{Obs, Phase, PhaseTimer, SolveEvent};
+use ant_common::VarId;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A var → representative map composing every rename the pipeline made:
+/// the solved points-to set of `rep_of(v)` (over the final program) is the
+/// points-to set of `v` over the original program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SolutionMapping {
+    rep: Vec<VarId>,
+}
+
+impl SolutionMapping {
+    /// The identity mapping over `num_vars` variables.
+    pub fn identity(num_vars: usize) -> Self {
+        SolutionMapping {
+            rep: (0..num_vars).map(VarId::new).collect(),
+        }
+    }
+
+    /// Wraps an explicit representative table (`rep[v]` answers for `v`).
+    pub fn from_reps(rep: Vec<VarId>) -> Self {
+        SolutionMapping { rep }
+    }
+
+    /// The representative whose solved points-to set equals `v`'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn rep_of(&self, v: VarId) -> VarId {
+        self.rep[v.index()]
+    }
+
+    /// Number of variables the mapping covers.
+    pub fn num_vars(&self) -> usize {
+        self.rep.len()
+    }
+
+    /// Is this the identity (no variable was renamed)?
+    pub fn is_identity(&self) -> bool {
+        self.rep.iter().enumerate().all(|(i, r)| r.index() == i)
+    }
+
+    /// Composes a later rename on top: afterwards
+    /// `rep_of(v) = next[old_rep_of(v)]`. This is the mapping composition
+    /// law — `next` speaks about the program the *previous* passes
+    /// produced, so it is applied to the current representative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next` covers fewer variables than the mapping (passes
+    /// never shrink the variable space).
+    pub fn compose(&mut self, next: &[VarId]) {
+        assert!(
+            next.len() >= self.rep.len(),
+            "rename map covers {} of {} variables",
+            next.len(),
+            self.rep.len()
+        );
+        for r in &mut self.rep {
+            *r = next[r.index()];
+        }
+    }
+}
+
+/// Constraint-reduction bookkeeping for one executed pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PassSummary {
+    /// Stable pass name ([`Pass::name`]).
+    pub pass: &'static str,
+    /// Constraints entering the pass.
+    pub constraints_before: usize,
+    /// Constraints leaving the pass.
+    pub constraints_after: usize,
+    /// Variables the pass merged into a representative other than
+    /// themselves.
+    pub vars_merged: usize,
+    /// Wall time of the pass.
+    pub elapsed: Duration,
+}
+
+impl PassSummary {
+    /// Fraction of constraints this pass eliminated, in percent.
+    pub fn reduction_percent(&self) -> f64 {
+        if self.constraints_before == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.constraints_after as f64 / self.constraints_before as f64)
+        }
+    }
+}
+
+/// What one pass produced. Every field is optional so passes only pay for
+/// what they change: a pure-metadata pass (HCD) returns the program
+/// untouched, a pure-rewrite pass (normalize) returns no rename map.
+pub struct PassOutcome {
+    /// The rewritten program, or `None` when the pass left it unchanged.
+    pub program: Option<Program>,
+    /// The rename map this pass applied (`map[v]` = new representative of
+    /// `v`, over the *input* program's variable space), or `None` for the
+    /// identity.
+    pub renames: Option<Vec<VarId>>,
+    /// HCD offline metadata to attach to the pipeline result, consumed by
+    /// the HCD-enhanced solvers.
+    pub hcd: Option<HcdOffline>,
+    /// Variables merged into a representative other than themselves.
+    pub vars_merged: usize,
+}
+
+/// One offline preprocessing pass.
+///
+/// Implementations must preserve the variable space (ids and offset-limit
+/// table) and the solution: for the returned rename map `p` (identity if
+/// absent), the solved `pts` of `p(v)` over the output program must equal
+/// the solved `pts` of `v` over the input program.
+pub trait Pass {
+    /// Stable machine-readable name (`--passes` spelling, trace field).
+    fn name(&self) -> &'static str;
+
+    /// Does this pass rewrite the program (constraints or renames)? A pass
+    /// answering `false` (e.g. [`HcdPass`]) may run after HCD metadata has
+    /// been attached; rewriting passes may not, since they would invalidate
+    /// the pair table.
+    fn rewrites(&self) -> bool {
+        true
+    }
+
+    /// Runs the pass. Telemetry (the pass's phase span) goes through `obs`.
+    fn run(&self, program: &Program, obs: &mut Obs<'_>) -> PassOutcome;
+}
+
+/// MDE-inspired constraint normalization: canonicalize each constraint
+/// (offsets are meaningful only on loads/stores and are cleared elsewhere),
+/// drop self-copies (`a = a` is a no-op) and eliminate exact duplicates,
+/// keeping the first occurrence so constraint order stays stable.
+///
+/// Purely syntactic — no variable is renamed — so it composes with any
+/// later pass and makes their duplicate handling cheaper.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NormalizePass;
+
+impl Pass for NormalizePass {
+    fn name(&self) -> &'static str {
+        "normalize"
+    }
+
+    fn run(&self, program: &Program, obs: &mut Obs<'_>) -> PassOutcome {
+        let mut timer = PhaseTimer::new();
+        timer.start(Phase::OfflineNormalize, obs);
+        let constraints = program.constraints();
+        let mut seen: FxHashSet<Constraint> = FxHashSet::default();
+        seen.reserve(constraints.len());
+        let mut out: Vec<Constraint> = Vec::with_capacity(constraints.len());
+        for c in constraints {
+            let canon = match c.kind {
+                ConstraintKind::AddrOf | ConstraintKind::Copy => Constraint { offset: 0, ..*c },
+                ConstraintKind::Load | ConstraintKind::Store => *c,
+            };
+            if canon.kind == ConstraintKind::Copy && canon.lhs == canon.rhs {
+                continue;
+            }
+            if seen.insert(canon) {
+                out.push(canon);
+            }
+        }
+        timer.stop(obs);
+        PassOutcome {
+            program: (out.len() != constraints.len()).then(|| program.with_constraints(out)),
+            renames: None,
+            hcd: None,
+            vars_merged: 0,
+        }
+    }
+}
+
+/// Offline Variable Substitution ([`ovs::substitute`]) as a pipeline pass:
+/// merges pointer-equivalent variables onto representatives and rewrites
+/// the constraints, contributing its substitution map to the pipeline's
+/// [`SolutionMapping`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OvsPass;
+
+impl Pass for OvsPass {
+    fn name(&self) -> &'static str {
+        "ovs"
+    }
+
+    fn run(&self, program: &Program, obs: &mut Obs<'_>) -> PassOutcome {
+        let r = ovs::substitute_with_obs(program, obs);
+        PassOutcome {
+            vars_merged: r.stats.vars_merged,
+            program: Some(r.program),
+            renames: Some(r.subst),
+            hcd: None,
+        }
+    }
+}
+
+/// The HCD offline analysis ([`HcdOffline`]) as a pipeline pass: computes
+/// the `(a, b)` pair table and static unions for the program as it stands
+/// and attaches them as pipeline metadata ([`Prepared::hcd`]). The program
+/// itself is untouched, but because the pair table binds to the analyzed
+/// program, no rewriting pass may run afterwards — this pass must be last.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HcdPass;
+
+impl Pass for HcdPass {
+    fn name(&self) -> &'static str {
+        "hcd"
+    }
+
+    fn rewrites(&self) -> bool {
+        false
+    }
+
+    fn run(&self, program: &Program, obs: &mut Obs<'_>) -> PassOutcome {
+        let mut timer = PhaseTimer::new();
+        timer.start(Phase::OfflineHcd, obs);
+        let h = HcdOffline::analyze_with_obs(program, obs);
+        timer.stop(obs);
+        PassOutcome {
+            program: None,
+            renames: None,
+            hcd: Some(h),
+            vars_merged: 0,
+        }
+    }
+}
+
+/// Everything the pipeline produced: feed [`Prepared::program`] (plus
+/// [`Prepared::hcd`]) to a solver, then expand its solution with
+/// [`Prepared::mapping`] — exactly one expansion, however many passes ran.
+#[derive(Clone, Debug)]
+pub struct Prepared {
+    /// The preprocessed program all passes agreed on.
+    pub program: Program,
+    /// The composed rename map back to the original variables.
+    pub mapping: SolutionMapping,
+    /// HCD offline metadata, when an [`HcdPass`] ran.
+    pub hcd: Option<HcdOffline>,
+    /// One summary per executed pass, in execution order.
+    pub summaries: Vec<PassSummary>,
+    /// Wall time of the whole pipeline.
+    pub elapsed: Duration,
+}
+
+impl Prepared {
+    /// A no-pass preparation of `program`: identity mapping, no metadata.
+    pub fn identity(program: &Program) -> Prepared {
+        Prepared {
+            mapping: SolutionMapping::identity(program.num_vars()),
+            program: program.clone(),
+            hcd: None,
+            summaries: Vec::new(),
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Constraints entering the first pass (the original program's count);
+    /// equals the final count when no pass ran.
+    pub fn constraints_before(&self) -> usize {
+        self.summaries
+            .first()
+            .map(|s| s.constraints_before)
+            .unwrap_or_else(|| self.program.constraints().len())
+    }
+
+    /// Constraints leaving the last pass.
+    pub fn constraints_after(&self) -> usize {
+        self.program.constraints().len()
+    }
+
+    /// Fraction of constraints the whole pipeline eliminated, in percent
+    /// (the paper's §5.1 reports 60–77% for OVS alone).
+    pub fn reduction_percent(&self) -> f64 {
+        let before = self.constraints_before();
+        if before == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.constraints_after() as f64 / before as f64)
+        }
+    }
+
+    /// The summary of the named pass, if it ran.
+    pub fn summary(&self, pass: &str) -> Option<&PassSummary> {
+        self.summaries.iter().find(|s| s.pass == pass)
+    }
+
+    /// Variables merged across all passes.
+    pub fn vars_merged(&self) -> usize {
+        self.summaries.iter().map(|s| s.vars_merged).sum()
+    }
+}
+
+/// A malformed `--passes` specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassParseError(String);
+
+impl fmt::Display for PassParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for PassParseError {}
+
+/// An ordered list of offline passes, run front to back over a [`Program`]
+/// while composing every rename into one [`SolutionMapping`].
+///
+/// ```
+/// use ant_constraints::pipeline::PassPipeline;
+/// use ant_constraints::parse_program;
+///
+/// let program = parse_program("p = &x\nq = p\nq = p\n")?;
+/// let prepared = PassPipeline::standard().run(&program);
+/// assert!(prepared.constraints_after() < prepared.constraints_before());
+/// // One expansion, regardless of how many passes renamed variables:
+/// let q = program.var_by_name("q").unwrap();
+/// let rep = prepared.mapping.rep_of(q);
+/// # let _ = rep;
+/// # Ok::<(), ant_constraints::ParseProgramError>(())
+/// ```
+#[derive(Default)]
+pub struct PassPipeline {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassPipeline {
+    /// A pipeline with no passes: the program goes to the solver verbatim
+    /// and the mapping is the identity.
+    pub fn empty() -> Self {
+        PassPipeline { passes: Vec::new() }
+    }
+
+    /// The default preprocessing of the paper's runs: `normalize, ovs`.
+    pub fn standard() -> Self {
+        PassPipeline::empty().push(NormalizePass).push(OvsPass)
+    }
+
+    /// The full offline stack: `normalize, ovs, hcd`. The solver consumes
+    /// the attached HCD metadata instead of recomputing it.
+    pub fn full() -> Self {
+        PassPipeline::standard().push(HcdPass)
+    }
+
+    /// Appends a pass.
+    pub fn push(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Number of passes.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Is the pipeline empty?
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// The pass names, in execution order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Parses a comma-separated pass list (the CLI's `--passes` syntax):
+    /// any order of `normalize`, `ovs` and `hcd`, or `none` (equivalently
+    /// the empty string) for no preprocessing.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown pass names and any spec where a rewriting pass
+    /// follows `hcd` (the pair table would go stale).
+    pub fn parse(spec: &str) -> Result<Self, PassParseError> {
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "none" {
+            return Ok(PassPipeline::empty());
+        }
+        let mut pipeline = PassPipeline::empty();
+        let mut hcd_seen = false;
+        for name in spec.split(',') {
+            let name = name.trim();
+            let pass: Box<dyn Pass> = match name {
+                "normalize" => Box::new(NormalizePass),
+                "ovs" => Box::new(OvsPass),
+                "hcd" => Box::new(HcdPass),
+                "" => {
+                    return Err(PassParseError(format!(
+                        "empty pass name in `{spec}` (expected a comma-separated \
+                         list of normalize, ovs, hcd)"
+                    )))
+                }
+                other => {
+                    return Err(PassParseError(format!(
+                        "unknown pass `{other}` (expected normalize, ovs, hcd or none)"
+                    )))
+                }
+            };
+            if hcd_seen && pass.rewrites() {
+                return Err(PassParseError(format!(
+                    "pass `{name}` cannot run after hcd: the HCD pair table \
+                     describes the program it analyzed, so hcd must be last"
+                )));
+            }
+            hcd_seen |= name == "hcd";
+            pipeline.passes.push(pass);
+        }
+        Ok(pipeline)
+    }
+
+    /// Runs every pass over `program`.
+    pub fn run(&self, program: &Program) -> Prepared {
+        self.run_with_obs(program, &mut Obs::none())
+    }
+
+    /// [`run`](Self::run) with telemetry: each pass opens its own phase
+    /// span and is followed by one [`SolveEvent::PassSummary`]. Under
+    /// `debug_assertions` the program is checked against
+    /// [`Program::validate`] before the first pass and after every pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rewriting pass runs after HCD metadata was attached, or
+    /// (under `debug_assertions`) if a pass breaks a program invariant.
+    pub fn run_with_obs(&self, program: &Program, obs: &mut Obs<'_>) -> Prepared {
+        let start = Instant::now();
+        debug_validate(program, "pipeline input");
+        let mut prepared = Prepared::identity(program);
+        for pass in &self.passes {
+            assert!(
+                prepared.hcd.is_none() || !pass.rewrites(),
+                "pass `{}` would rewrite the program after hcd attached its \
+                 pair table; order hcd last",
+                pass.name()
+            );
+            let before = prepared.program.constraints().len();
+            let pass_start = Instant::now();
+            let outcome = pass.run(&prepared.program, obs);
+            let elapsed = pass_start.elapsed();
+            if let Some(renames) = &outcome.renames {
+                prepared.mapping.compose(renames);
+            }
+            if let Some(next) = outcome.program {
+                prepared.program = next;
+            }
+            if let Some(h) = outcome.hcd {
+                prepared.hcd = Some(h);
+            }
+            debug_validate(&prepared.program, pass.name());
+            let summary = PassSummary {
+                pass: pass.name(),
+                constraints_before: before,
+                constraints_after: prepared.program.constraints().len(),
+                vars_merged: outcome.vars_merged,
+                elapsed,
+            };
+            obs.emit(&SolveEvent::PassSummary {
+                pass: summary.pass,
+                constraints_before: summary.constraints_before as u64,
+                constraints_after: summary.constraints_after as u64,
+                vars_merged: summary.vars_merged as u64,
+                micros: summary.elapsed.as_micros() as u64,
+            });
+            prepared.summaries.push(summary);
+        }
+        prepared.elapsed = start.elapsed();
+        prepared
+    }
+}
+
+impl fmt::Debug for PassPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("PassPipeline").field(&self.names()).finish()
+    }
+}
+
+fn debug_validate(program: &Program, stage: &str) {
+    if cfg!(debug_assertions) {
+        if let Err(e) = program.validate() {
+            panic!("invalid program after {stage}: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    fn sample() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        let a = pb.var("a");
+        let b = pb.var("b");
+        pb.addr_of(p, x);
+        pb.copy(a, p);
+        pb.copy(a, p); // duplicate
+        pb.copy(b, b); // self-copy
+        pb.copy(b, a);
+        pb.load(x, p);
+        pb.store(p, a);
+        pb.finish()
+    }
+
+    #[test]
+    fn mapping_identity_and_compose() {
+        let mut m = SolutionMapping::identity(4);
+        assert!(m.is_identity());
+        assert_eq!(m.num_vars(), 4);
+        // First rename: 2 → 1, 3 → 1.
+        let first: Vec<VarId> = [0usize, 1, 1, 1].iter().map(|&i| VarId::new(i)).collect();
+        m.compose(&first);
+        assert!(!m.is_identity());
+        assert_eq!(m.rep_of(VarId::new(3)), VarId::new(1));
+        // Second rename, over the renamed space: 1 → 0.
+        let second: Vec<VarId> = [0usize, 0, 2, 3].iter().map(|&i| VarId::new(i)).collect();
+        m.compose(&second);
+        // Composition law: rep(v) = second(first(v)).
+        assert_eq!(m.rep_of(VarId::new(3)), VarId::new(0));
+        assert_eq!(m.rep_of(VarId::new(2)), VarId::new(0));
+        assert_eq!(m.rep_of(VarId::new(0)), VarId::new(0));
+    }
+
+    #[test]
+    fn normalize_drops_duplicates_and_self_copies() {
+        let program = sample();
+        let prepared = PassPipeline::empty().push(NormalizePass).run(&program);
+        assert_eq!(prepared.constraints_before(), 7);
+        assert_eq!(prepared.constraints_after(), 5);
+        assert!(prepared.mapping.is_identity());
+        assert!(prepared.hcd.is_none());
+        let s = prepared.summary("normalize").expect("normalize ran");
+        assert_eq!(s.vars_merged, 0);
+        assert!(s.reduction_percent() > 0.0);
+        // Order-stable: surviving constraints keep their relative order.
+        let kinds: Vec<_> = prepared
+            .program
+            .constraints()
+            .iter()
+            .map(|c| c.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ConstraintKind::AddrOf,
+                ConstraintKind::Copy,
+                ConstraintKind::Copy,
+                ConstraintKind::Load,
+                ConstraintKind::Store,
+            ]
+        );
+    }
+
+    #[test]
+    fn normalize_on_clean_program_leaves_it_unchanged() {
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        pb.addr_of(p, x);
+        let program = pb.finish();
+        let prepared = PassPipeline::empty().push(NormalizePass).run(&program);
+        assert_eq!(prepared.program, program);
+    }
+
+    #[test]
+    fn standard_pipeline_matches_direct_ovs() {
+        let program = sample();
+        let direct = ovs::substitute(&program);
+        let prepared = PassPipeline::standard().run(&program);
+        assert_eq!(prepared.program.constraints(), direct.program.constraints());
+        for v in program.vars() {
+            assert_eq!(prepared.mapping.rep_of(v), direct.rep_of(v));
+        }
+        assert_eq!(prepared.vars_merged(), direct.stats.vars_merged);
+    }
+
+    #[test]
+    fn full_pipeline_attaches_hcd_metadata() {
+        // Figure 3's example grows a (a, b) pair offline.
+        let mut pb = ProgramBuilder::new();
+        let a = pb.var("a");
+        let b = pb.var("b");
+        let c = pb.var("c");
+        let d = pb.var("d");
+        pb.addr_of(a, c);
+        pb.copy(d, c);
+        pb.load(b, a);
+        pb.store(a, b);
+        let program = pb.finish();
+        let prepared = PassPipeline::full().run(&program);
+        let hcd = prepared.hcd.as_ref().expect("hcd metadata attached");
+        // OVS may have renamed; the pair table speaks about the reduced
+        // program, which kept a and b intact here (both indirect).
+        assert_eq!(hcd.num_pairs(), 1);
+        assert_eq!(prepared.summaries.len(), 3);
+        assert_eq!(prepared.summaries[2].pass, "hcd");
+        assert_eq!(
+            prepared.summaries[2].constraints_before,
+            prepared.summaries[2].constraints_after
+        );
+    }
+
+    #[test]
+    fn parse_specs() {
+        assert!(PassPipeline::parse("").unwrap().is_empty());
+        assert!(PassPipeline::parse("none").unwrap().is_empty());
+        assert_eq!(
+            PassPipeline::parse("normalize,ovs,hcd").unwrap().names(),
+            vec!["normalize", "ovs", "hcd"]
+        );
+        assert_eq!(
+            PassPipeline::parse(" ovs , hcd ").unwrap().names(),
+            vec!["ovs", "hcd"]
+        );
+        assert!(PassPipeline::parse("hvn").is_err());
+        assert!(PassPipeline::parse("ovs,,hcd").is_err());
+        // hcd must be last: a rewriting pass after it goes stale.
+        let err = PassPipeline::parse("hcd,ovs").unwrap_err();
+        assert!(err.to_string().contains("hcd must be last"));
+        // A second hcd after hcd is pointless but sound (no rewrite).
+        assert!(PassPipeline::parse("hcd,hcd").is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "order hcd last")]
+    fn run_rejects_rewrites_after_hcd() {
+        let program = sample();
+        PassPipeline::empty()
+            .push(HcdPass)
+            .push(OvsPass)
+            .run(&program);
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let program = sample();
+        let prepared = PassPipeline::empty().run(&program);
+        assert_eq!(prepared.program, program);
+        assert!(prepared.mapping.is_identity());
+        assert!(prepared.summaries.is_empty());
+        assert_eq!(prepared.constraints_before(), prepared.constraints_after());
+        assert_eq!(prepared.reduction_percent(), 0.0);
+    }
+
+    #[test]
+    fn pass_summary_events_are_emitted() {
+        use ant_common::obs::Observer;
+
+        #[derive(Default)]
+        struct Collect(Vec<&'static str>);
+        impl Observer for Collect {
+            fn on_event(&mut self, event: &SolveEvent) {
+                if let SolveEvent::PassSummary { pass, .. } = event {
+                    self.0.push(pass);
+                }
+            }
+        }
+        let program = sample();
+        let mut collect = Collect::default();
+        {
+            let mut obs = Obs::new(&mut collect, 0);
+            PassPipeline::full().run_with_obs(&program, &mut obs);
+        }
+        assert_eq!(collect.0, vec!["normalize", "ovs", "hcd"]);
+    }
+}

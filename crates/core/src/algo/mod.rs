@@ -15,6 +15,7 @@ use crate::{Solution, SolverStats};
 use ant_common::obs::{Obs, Observer, Phase, PhaseTimer, ProgressSnapshot, SolveEvent};
 use ant_common::worklist::WorklistKind;
 use ant_constraints::hcd::HcdOffline;
+use ant_constraints::pipeline::Prepared;
 use ant_constraints::Program;
 use std::fmt;
 use std::time::Instant;
@@ -275,11 +276,7 @@ pub struct SolveOutput {
 /// assert!(out.solution.may_point_to(q, x));
 /// ```
 pub fn solve_dyn(program: &Program, config: &SolverConfig, pts: PtsKind) -> SolveOutput {
-    match pts {
-        PtsKind::Bitmap => solve_impl::<BitmapPts>(program, config, Obs::none()),
-        PtsKind::Shared => solve_impl::<SharedPts>(program, config, Obs::none()),
-        PtsKind::Bdd => solve_impl::<BddPts>(program, config, Obs::none()),
-    }
+    solve_dyn_impl(program, config, pts, None, |_| Obs::none())
 }
 
 /// [`solve_dyn`] with telemetry: every event of the run — solver start,
@@ -298,11 +295,75 @@ pub fn solve_dyn_with_observer(
     pts: PtsKind,
     observer: &mut dyn Observer,
 ) -> SolveOutput {
-    let obs = Obs::new(observer, config.progress_every);
+    solve_dyn_impl(program, config, pts, None, |every| {
+        Obs::new(observer, every)
+    })
+}
+
+/// Solves a pipeline-preprocessed program ([`PassPipeline::run`]) and
+/// expands the solution back to the original variables through the
+/// pipeline's composed [`SolutionMapping`] — the one place expansion
+/// happens.
+///
+/// When the pipeline attached HCD offline metadata (an
+/// [`HcdPass`](ant_constraints::pipeline::HcdPass) ran) and the configured
+/// algorithm uses HCD, the solver consumes that pair table instead of
+/// recomputing it; `stats.offline_time` then reports the pipeline pass's
+/// elapsed time. Solvers that don't use HCD ignore the metadata, keeping
+/// each algorithm's identity intact.
+///
+/// `stats.solve_time` covers the online solve only — expansion and
+/// preprocessing are excluded, matching the paper's timing discipline.
+///
+/// [`PassPipeline::run`]: ant_constraints::pipeline::PassPipeline::run
+/// [`SolutionMapping`]: ant_constraints::pipeline::SolutionMapping
+pub fn solve_prepared(prepared: &Prepared, config: &SolverConfig, pts: PtsKind) -> SolveOutput {
+    let out = solve_dyn_impl(
+        &prepared.program,
+        config,
+        pts,
+        prepared.hcd.as_ref(),
+        |_| Obs::none(),
+    );
+    expand_prepared(out, prepared)
+}
+
+/// [`solve_prepared`] with telemetry (see [`solve_dyn_with_observer`]).
+pub fn solve_prepared_with_observer(
+    prepared: &Prepared,
+    config: &SolverConfig,
+    pts: PtsKind,
+    observer: &mut dyn Observer,
+) -> SolveOutput {
+    let out = solve_dyn_impl(
+        &prepared.program,
+        config,
+        pts,
+        prepared.hcd.as_ref(),
+        |every| Obs::new(observer, every),
+    );
+    expand_prepared(out, prepared)
+}
+
+fn expand_prepared(mut out: SolveOutput, prepared: &Prepared) -> SolveOutput {
+    if !prepared.mapping.is_identity() {
+        out.solution = out.solution.expand(&prepared.mapping);
+    }
+    out
+}
+
+fn solve_dyn_impl<'o>(
+    program: &Program,
+    config: &SolverConfig,
+    pts: PtsKind,
+    hcd_override: Option<&HcdOffline>,
+    make_obs: impl FnOnce(u32) -> Obs<'o>,
+) -> SolveOutput {
+    let obs = make_obs(config.progress_every);
     match pts {
-        PtsKind::Bitmap => solve_impl::<BitmapPts>(program, config, obs),
-        PtsKind::Shared => solve_impl::<SharedPts>(program, config, obs),
-        PtsKind::Bdd => solve_impl::<BddPts>(program, config, obs),
+        PtsKind::Bitmap => solve_impl::<BitmapPts>(program, config, obs, hcd_override),
+        PtsKind::Shared => solve_impl::<SharedPts>(program, config, obs, hcd_override),
+        PtsKind::Bdd => solve_impl::<BddPts>(program, config, obs, hcd_override),
     }
 }
 
@@ -312,7 +373,7 @@ pub fn solve_dyn_with_observer(
                      representation is now selected at runtime via PtsKind"
 )]
 pub fn solve<P: PtsRepr>(program: &Program, config: &SolverConfig) -> SolveOutput {
-    solve_impl::<P>(program, config, Obs::none())
+    solve_impl::<P>(program, config, Obs::none(), None)
 }
 
 /// Turbofish predecessor of [`solve_dyn_with_observer`].
@@ -325,25 +386,40 @@ pub fn solve_with_observer<P: PtsRepr>(
     config: &SolverConfig,
     observer: &mut dyn Observer,
 ) -> SolveOutput {
-    solve_impl::<P>(program, config, Obs::new(observer, config.progress_every))
+    solve_impl::<P>(
+        program,
+        config,
+        Obs::new(observer, config.progress_every),
+        None,
+    )
 }
 
 fn solve_impl<P: PtsRepr>(
     program: &Program,
     config: &SolverConfig,
     mut obs: Obs<'_>,
+    hcd_override: Option<&HcdOffline>,
 ) -> SolveOutput {
     obs.emit(&SolveEvent::SolverStart {
         name: config.algorithm.name(),
     });
     let mut timer = PhaseTimer::new();
-    let hcd = config.algorithm.uses_hcd().then(|| {
+    // HCD-enhanced configurations need the offline pair table: use the
+    // pipeline-attached one when present, otherwise compute it here. Other
+    // algorithms ignore any attached metadata so their identity (counters,
+    // collapse behaviour) is unchanged by how the program was prepared.
+    let computed = (config.algorithm.uses_hcd() && hcd_override.is_none()).then(|| {
         timer.start(Phase::OfflineHcd, &mut obs);
         let h = HcdOffline::analyze_with_obs(program, &mut obs);
         timer.stop(&mut obs);
         h
     });
-    let hcd_ref = hcd.as_ref();
+    let hcd = config
+        .algorithm
+        .uses_hcd()
+        .then(|| hcd_override.or(computed.as_ref()))
+        .flatten();
+    let hcd_ref = hcd;
     let wk = config.worklist;
     // The BSP round engine replays the divided-LRF schedule exactly, so it
     // only substitutes for solvers running that worklist (PKH ignores the
@@ -413,7 +489,7 @@ fn solve_impl<P: PtsRepr>(
             (solution, stats)
         }
     };
-    if let Some(h) = &hcd {
+    if let Some(h) = hcd {
         stats.offline_time = h.elapsed;
     }
     SolveOutput { solution, stats }
@@ -542,6 +618,37 @@ mod tests {
             assert_eq!(par.stats.nodes_processed, seq.stats.nodes_processed);
             assert_eq!(par.stats.propagations, seq.stats.propagations);
             assert_eq!(par.stats.cycles_found, seq.stats.cycles_found);
+        }
+    }
+
+    #[test]
+    fn solve_prepared_expands_to_the_original_solution() {
+        use ant_constraints::pipeline::PassPipeline;
+        let program = medley();
+        let reference = solve_dyn(
+            &program,
+            &SolverConfig::new(Algorithm::Basic),
+            PtsKind::Bitmap,
+        );
+        let prepared = PassPipeline::full().run(&program);
+        assert!(prepared.hcd.is_some());
+        for alg in [Algorithm::Lcd, Algorithm::LcdHcd, Algorithm::Ht] {
+            let out = solve_prepared(&prepared, &SolverConfig::new(alg), PtsKind::Bitmap);
+            assert!(
+                out.solution.equiv(&reference.solution),
+                "{alg} (prepared) differs at {:?}",
+                out.solution.first_difference(&reference.solution)
+            );
+            if alg.uses_hcd() {
+                // The solver consumed the pipeline's pair table instead of
+                // recomputing it.
+                assert_eq!(
+                    out.stats.offline_time,
+                    prepared.hcd.as_ref().unwrap().elapsed
+                );
+            } else {
+                assert_eq!(out.stats.offline_time, std::time::Duration::ZERO);
+            }
         }
     }
 

@@ -98,12 +98,13 @@ impl Solution {
             })
     }
 
-    /// Composes with an offline-variable-substitution map: the solution of
-    /// the reduced program, re-expanded to answer queries about original
-    /// variables.
-    pub fn expand_ovs(&self, ovs: &ant_constraints::ovs::OvsResult) -> Solution {
+    /// Composes with the pass pipeline's solution mapping: the solution of
+    /// the preprocessed program, re-expanded to answer queries about
+    /// original variables. One call suffices no matter how many renaming
+    /// passes ran — the mapping already composes them.
+    pub fn expand(&self, mapping: &ant_constraints::pipeline::SolutionMapping) -> Solution {
         let pts = (0..self.pts.len())
-            .map(|i| self.pts[ovs.rep_of(VarId::new(i)).index()].clone())
+            .map(|i| self.pts[mapping.rep_of(VarId::new(i)).index()].clone())
             .collect();
         Solution { pts }
     }

@@ -374,10 +374,11 @@ mod tests {
         let pf = fat.generate();
         assert!(pf.stats().total() > 3 * pl.stats().total());
         // OVS removes most of the padding.
-        let rl = ant_constraints::ovs::substitute(&pl);
-        let rf = ant_constraints::ovs::substitute(&pf);
-        let lean_red = rl.stats.reduction_percent();
-        let fat_red = rf.stats.reduction_percent();
+        use ant_constraints::pipeline::{OvsPass, PassPipeline};
+        let rl = PassPipeline::empty().push(OvsPass).run(&pl);
+        let rf = PassPipeline::empty().push(OvsPass).run(&pf);
+        let lean_red = rl.reduction_percent();
+        let fat_red = rf.reduction_percent();
         assert!(fat_red > 55.0, "fat reduction only {fat_red:.0}%");
         assert!(fat_red > lean_red);
     }

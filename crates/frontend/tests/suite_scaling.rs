@@ -48,10 +48,11 @@ fn deterministic_across_calls_and_scales() {
 
 #[test]
 fn reduction_lands_in_paper_band() {
+    use ant_constraints::pipeline::{OvsPass, PassPipeline};
     for b in suite(0.03) {
         let program = b.program();
-        let r = ant_constraints::ovs::substitute(&program);
-        let pct = r.stats.reduction_percent();
+        let r = PassPipeline::empty().push(OvsPass).run(&program);
+        let pct = r.reduction_percent();
         assert!(
             (55.0..=85.0).contains(&pct),
             "{}: OVS reduced {pct:.0}% (paper band 60-77%)",
@@ -62,16 +63,19 @@ fn reduction_lands_in_paper_band() {
 
 #[test]
 fn every_benchmark_solves_quickly_at_tiny_scale() {
-    use ant_core::{solve_dyn, Algorithm, PtsKind, SolverConfig};
+    use ant_constraints::pipeline::PassPipeline;
+    use ant_core::{solve_prepared, Algorithm, PtsKind, SolverConfig};
     for b in suite(0.005) {
         let program = b.program();
-        let reduced = ant_constraints::ovs::substitute(&program).program;
-        let out = solve_dyn(
-            &reduced,
+        let prepared = PassPipeline::standard().run(&program);
+        let out = solve_prepared(
+            &prepared,
             &SolverConfig::new(Algorithm::LcdHcd),
             PtsKind::Bitmap,
         );
-        ant_core::verify::assert_sound(&reduced, &out.solution);
+        // `solve_prepared` hands back the expanded solution, so soundness
+        // is checked against the *original* program.
+        ant_core::verify::assert_sound(&program, &out.solution);
         assert!(out.stats.nodes_processed > 0);
     }
 }

@@ -59,10 +59,10 @@ fn main() -> ExitCode {
 
     let analysis = Analysis::builder().algorithm(algorithm).analyze(&program);
     println!(
-        "# {} vars, {} constraints ({:.0}% removed by OVS), solved by {} in {:.3}ms",
+        "# {} vars, {} constraints ({:.0}% removed offline), solved by {} in {:.3}ms",
         program.num_vars(),
         program.stats().total(),
-        analysis.ovs.reduction_percent(),
+        analysis.reduction_percent(),
         algorithm,
         analysis.stats.solve_time.as_secs_f64() * 1000.0
     );

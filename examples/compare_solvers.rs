@@ -6,9 +6,8 @@
 //! cargo run --release --example compare_solvers [benchmark] [scale]
 //! ```
 
-use ant_grasshopper::constraints::ovs;
 use ant_grasshopper::frontend::suite;
-use ant_grasshopper::{solve_dyn, Algorithm, PtsKind, SolverConfig};
+use ant_grasshopper::{solve_prepared, Algorithm, PassPipeline, PtsKind, SolverConfig};
 
 fn main() {
     let which = std::env::args()
@@ -20,13 +19,14 @@ fn main() {
         .unwrap_or(0.02);
     let bench = suite::benchmark(&which, scale).expect("benchmark name");
     let program = bench.program();
-    let reduced = ovs::substitute(&program);
+    let prepared = PassPipeline::standard().run(&program);
     println!(
-        "benchmark `{}` at scale {scale}: {} constraints, {} after OVS ({:.0}% reduction)\n",
+        "benchmark `{}` at scale {scale}: {} constraints, {} after offline passes \
+         ({:.0}% reduction)\n",
         which,
-        program.stats().total(),
-        reduced.program.stats().total(),
-        reduced.stats.reduction_percent(),
+        prepared.constraints_before(),
+        prepared.constraints_after(),
+        prepared.reduction_percent(),
     );
 
     println!(
@@ -35,7 +35,7 @@ fn main() {
     );
     let mut reference = None;
     for alg in Algorithm::ALL {
-        let out = solve_dyn(&reduced.program, &SolverConfig::new(alg), PtsKind::Bitmap);
+        let out = solve_prepared(&prepared, &SolverConfig::new(alg), PtsKind::Bitmap);
         println!(
             "{:<8} {:>9.2} {:>10} {:>10} {:>12} {:>10.1}",
             alg.name(),
@@ -45,7 +45,7 @@ fn main() {
             out.stats.propagations,
             out.stats.total_mib(),
         );
-        let solution = out.solution.expand_ovs(&reduced);
+        let solution = out.solution;
         match &reference {
             None => reference = Some(solution),
             Some(r) => assert!(

@@ -20,7 +20,9 @@ fn main() {
         "benchmark", "andersen |pts|", "steens |pts|", "blowup", "andersen ms", "steens ms"
     );
     for bench in suite::suite(scale) {
-        let program = ant_grasshopper::constraints::ovs::substitute(&bench.program()).program;
+        let program = ant_grasshopper::PassPipeline::standard()
+            .run(&bench.program())
+            .program;
         let exact = solve_dyn(
             &program,
             &SolverConfig::new(Algorithm::LcdHcd),

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Benchmarks:
-#   pts_bench — wall time + pts_bytes per solver × repr, BENCH_pts.json
-#   par_bench — BSP scaling: threads {1,2,4,8} × solver × repr, BENCH_par.json
+#   pts_bench  — wall time + pts_bytes per solver × repr, BENCH_pts.json
+#   par_bench  — BSP scaling: threads {1,2,4,8} × solver × repr, BENCH_par.json
+#   pass_bench — offline pass subsets vs the paper's 60-77% band, BENCH_passes.json
 # Usage: scripts/bench.sh            (honours ANT_SCALE, ANT_BENCH_REPEATS)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo run --release -p ant-bench --bin pts_bench
 cargo run --release -p ant-bench --bin par_bench
+cargo run --release -p ant-bench --bin pass_bench

@@ -17,6 +17,9 @@ cargo test --workspace -q
 echo "==> cross-representation differential test"
 cargo test --test pts_repr_differential -q
 
+echo "==> pass-pipeline differential test"
+cargo test --test pipeline_differential -q
+
 echo "==> full test suite under the BSP engine (ANT_THREADS=4)"
 ANT_THREADS=4 cargo test --workspace -q
 

@@ -9,8 +9,10 @@
 //! table and figure of the paper's evaluation.
 //!
 //! This facade crate re-exports the workspace and offers the end-to-end
-//! pipeline the paper uses: constraint generation → offline variable
-//! substitution → online solving → solution expansion.
+//! pipeline the paper uses: constraint generation → the offline pass
+//! pipeline (normalize, offline variable substitution, optionally the HCD
+//! offline analysis) → online solving → a single solution expansion
+//! through the pipeline's composed [`SolutionMapping`].
 //!
 //! # Quick start
 //!
@@ -46,12 +48,16 @@ pub use ant_frontend as frontend;
 pub use ant_common::worklist::WorklistKind;
 pub use ant_common::{SolverStats, VarId};
 pub use ant_constraints::ovs::OvsStats;
+pub use ant_constraints::pipeline::{
+    HcdPass, NormalizePass, OvsPass, Pass, PassPipeline, PassSummary, Prepared, SolutionMapping,
+};
 pub use ant_constraints::{parse_program, Constraint, ConstraintKind, Program, ProgramBuilder};
 #[allow(deprecated)]
 pub use ant_core::solve;
 pub use ant_core::{
-    solve_dyn, solve_dyn_with_observer, threads_from_env, Algorithm, BddPts, BitmapPts, PtsKind,
-    PtsRepr, SharedPts, Solution, SolveOutput, SolverConfig,
+    solve_dyn, solve_dyn_with_observer, solve_prepared, solve_prepared_with_observer,
+    threads_from_env, Algorithm, BddPts, BitmapPts, PtsKind, PtsRepr, SharedPts, Solution,
+    SolveOutput, SolverConfig,
 };
 pub use ant_frontend::{compile_c, FrontendError};
 
@@ -65,10 +71,10 @@ pub struct Analysis {
     pub solution: Solution,
     /// Online solver statistics (§5.3 counters, memory, time).
     pub stats: SolverStats,
-    /// Offline variable substitution statistics.
-    pub ovs: OvsStats,
-    /// Wall-clock time of the OVS pre-pass.
-    pub ovs_time: Duration,
+    /// One summary per offline pass that ran, in execution order.
+    pub passes: Vec<PassSummary>,
+    /// Wall-clock time of the whole offline pass pipeline.
+    pub prepare_time: Duration,
 }
 
 impl Analysis {
@@ -77,7 +83,33 @@ impl Analysis {
         AnalysisBuilder {
             config: SolverConfig::new(Algorithm::LcdHcd),
             pts: PtsKind::Bitmap,
+            passes: PassPipeline::standard(),
             observer: None,
+        }
+    }
+
+    /// Constraints entering the first offline pass (the original program's
+    /// count when any pass ran; `0` with an empty pipeline).
+    pub fn constraints_before(&self) -> usize {
+        self.passes
+            .first()
+            .map(|s| s.constraints_before)
+            .unwrap_or(0)
+    }
+
+    /// Constraints leaving the last offline pass.
+    pub fn constraints_after(&self) -> usize {
+        self.passes.last().map(|s| s.constraints_after).unwrap_or(0)
+    }
+
+    /// Fraction of constraints the offline pipeline eliminated, in percent
+    /// (§5.1 reports 60–77% for OVS alone).
+    pub fn reduction_percent(&self) -> f64 {
+        let before = self.constraints_before();
+        if before == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.constraints_after() as f64 / before as f64)
         }
     }
 }
@@ -104,6 +136,7 @@ impl Analysis {
 pub struct AnalysisBuilder<'o> {
     config: SolverConfig,
     pts: PtsKind,
+    passes: PassPipeline,
     observer: Option<&'o mut dyn Observer>,
 }
 
@@ -151,46 +184,60 @@ impl<'o> AnalysisBuilder<'o> {
         self
     }
 
-    /// Attaches a telemetry observer: OVS, offline-HCD and solve phases,
-    /// progress snapshots, BSP round summaries and cycle collapses are all
-    /// delivered to it.
+    /// Replaces the offline pass pipeline (default:
+    /// [`PassPipeline::standard`], i.e. `normalize, ovs`). Pass
+    /// [`PassPipeline::empty`] to solve the program verbatim, or
+    /// [`PassPipeline::full`] to also precompute the HCD pair table the
+    /// HCD-enhanced solvers consume.
+    pub fn passes(mut self, passes: PassPipeline) -> Self {
+        self.passes = passes;
+        self
+    }
+
+    /// Attaches a telemetry observer: every offline pass (with its
+    /// [`PassSummary`]), the solve phases, progress snapshots, BSP round
+    /// summaries and cycle collapses are all delivered to it.
     pub fn observer(self, observer: &mut dyn Observer) -> AnalysisBuilder<'_> {
         AnalysisBuilder {
             config: self.config,
             pts: self.pts,
+            passes: self.passes,
             observer: Some(observer),
         }
     }
 
-    /// Runs the pipeline on a constraint program.
+    /// Runs the pipeline on a constraint program: the offline passes, the
+    /// selected solver, then one expansion of the solution back to the
+    /// original variables through the pipeline's composed mapping.
     pub fn analyze(self, program: &Program) -> Analysis {
         let AnalysisBuilder {
             config,
             pts,
+            passes,
             observer,
         } = self;
         match observer {
             None => {
-                let reduced = ant_constraints::ovs::substitute(program);
-                let out = solve_dyn(&reduced.program, &config, pts);
+                let prepared = passes.run(program);
+                let out = solve_prepared(&prepared, &config, pts);
                 Analysis {
-                    solution: out.solution.expand_ovs(&reduced),
+                    solution: out.solution,
                     stats: out.stats,
-                    ovs: reduced.stats,
-                    ovs_time: reduced.elapsed,
+                    passes: prepared.summaries,
+                    prepare_time: prepared.elapsed,
                 }
             }
             Some(o) => {
-                let reduced = {
+                let prepared = {
                     let mut obs = Obs::new(&mut *o, config.progress_every);
-                    ant_constraints::ovs::substitute_with_obs(program, &mut obs)
+                    passes.run_with_obs(program, &mut obs)
                 };
-                let out = solve_dyn_with_observer(&reduced.program, &config, pts, o);
+                let out = solve_prepared_with_observer(&prepared, &config, pts, o);
                 Analysis {
-                    solution: out.solution.expand_ovs(&reduced),
+                    solution: out.solution,
                     stats: out.stats,
-                    ovs: reduced.stats,
-                    ovs_time: reduced.elapsed,
+                    passes: prepared.summaries,
+                    prepare_time: prepared.elapsed,
                 }
             }
         }
@@ -219,14 +266,14 @@ impl<'o> AnalysisBuilder<'o> {
                      at runtime via PtsKind"
 )]
 pub fn analyze_program<P: PtsRepr>(program: &Program, config: &SolverConfig) -> Analysis {
-    let reduced = ant_constraints::ovs::substitute(program);
+    let prepared = PassPipeline::standard().run(program);
     #[allow(deprecated)]
-    let out = ant_core::solve::<P>(&reduced.program, config);
+    let out = ant_core::solve::<P>(&prepared.program, config);
     Analysis {
-        solution: out.solution.expand_ovs(&reduced),
+        solution: out.solution.expand(&prepared.mapping),
         stats: out.stats,
-        ovs: reduced.stats,
-        ovs_time: reduced.elapsed,
+        passes: prepared.summaries,
+        prepare_time: prepared.elapsed,
     }
 }
 

@@ -81,7 +81,7 @@ fn ovs_preserves_the_solution() {
             "OVS changed the solution on {name} at {:?}",
             pipelined.solution.first_difference(&direct.solution)
         );
-        assert!(pipelined.ovs.constraints_after < pipelined.ovs.constraints_before);
+        assert!(pipelined.constraints_after() < pipelined.constraints_before());
     }
 }
 
@@ -116,9 +116,9 @@ fn every_worklist_strategy_agrees() {
 fn suite_benchmarks_solve_equivalently_at_small_scale() {
     for bench in ant_grasshopper::frontend::suite::suite(0.005) {
         let program = bench.program();
-        let reduced = ant_grasshopper::constraints::ovs::substitute(&program);
-        let reference = solve_dyn(
-            &reduced.program,
+        let prepared = ant_grasshopper::PassPipeline::standard().run(&program);
+        let reference = ant_grasshopper::solve_prepared(
+            &prepared,
             &SolverConfig::new(Algorithm::Ht),
             PtsKind::Bitmap,
         );
@@ -128,7 +128,11 @@ fn suite_benchmarks_solve_equivalently_at_small_scale() {
             Algorithm::LcdHcd,
             Algorithm::Pkh,
         ] {
-            let out = solve_dyn(&reduced.program, &SolverConfig::new(alg), PtsKind::Bitmap);
+            let out = ant_grasshopper::solve_prepared(
+                &prepared,
+                &SolverConfig::new(alg),
+                PtsKind::Bitmap,
+            );
             assert!(
                 out.solution.equiv(&reference.solution),
                 "{alg} differs on {}",

@@ -1,0 +1,208 @@
+//! Pass-pipeline differential testing: offline preprocessing is a
+//! *solution-preserving* rewrite, so every pass subset must produce the
+//! identical expanded solution for every solver, points-to representation,
+//! and thread count. The reference is the empty pipeline (the solver sees
+//! the program verbatim) with the Basic worklist solver on bitmaps.
+
+use ant_grasshopper::frontend::workload::WorkloadSpec;
+use ant_grasshopper::{
+    compile_c, solve_dyn, solve_prepared, Algorithm, HcdPass, NormalizePass, OvsPass, PassPipeline,
+    Program, PtsKind, Solution, SolverConfig,
+};
+use proptest::prelude::*;
+
+/// Every subset the CLI's `--passes` flag exposes, plus the empty one.
+fn subsets() -> Vec<(&'static str, PassPipeline)> {
+    vec![
+        ("none", PassPipeline::empty()),
+        ("normalize", PassPipeline::empty().push(NormalizePass)),
+        ("ovs", PassPipeline::empty().push(OvsPass)),
+        (
+            "normalize,ovs,hcd",
+            PassPipeline::empty()
+                .push(NormalizePass)
+                .push(OvsPass)
+                .push(HcdPass),
+        ),
+    ]
+}
+
+fn workloads() -> Vec<(String, Program)> {
+    let mut out = Vec::new();
+    for seed in [3u64, 17] {
+        out.push((format!("tiny-{seed}"), WorkloadSpec::tiny(seed).generate()));
+    }
+    for name in ["hashtable.c", "interp.c"] {
+        let path = format!("{}/testdata/{name}", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let generated = compile_c(&text).unwrap();
+        out.push((name.to_owned(), generated.program));
+    }
+    out
+}
+
+fn reference(program: &Program) -> Solution {
+    solve_dyn(
+        program,
+        &SolverConfig::new(Algorithm::Basic),
+        PtsKind::Bitmap,
+    )
+    .solution
+}
+
+/// Runs every subset × algorithm on one representation and checks the
+/// expanded solutions against the reference.
+fn assert_pipeline_invariant(
+    name: &str,
+    program: &Program,
+    reference: &Solution,
+    pts: PtsKind,
+    threads: usize,
+    algorithms: &[Algorithm],
+) {
+    for (spec, pipeline) in subsets() {
+        let prepared = pipeline.run(program);
+        for &alg in algorithms {
+            let out = solve_prepared(
+                &prepared,
+                &SolverConfig::new(alg).with_threads(threads),
+                pts,
+            );
+            assert_eq!(
+                out.solution.num_vars(),
+                program.num_vars(),
+                "{name}/{spec}/{alg}/{pts}: expansion must cover the original vars"
+            );
+            assert!(
+                out.solution.equiv(reference),
+                "{name}/{spec}/{alg}/{pts}/threads={threads}: solution differs at {:?}",
+                out.solution.first_difference(reference)
+            );
+        }
+    }
+}
+
+#[test]
+fn bitmap_runs_are_pass_subset_invariant() {
+    for (name, program) in workloads() {
+        let r = reference(&program);
+        assert_pipeline_invariant(&name, &program, &r, PtsKind::Bitmap, 1, &Algorithm::ALL);
+    }
+}
+
+#[test]
+fn parallel_bitmap_runs_are_pass_subset_invariant() {
+    for (name, program) in workloads() {
+        let r = reference(&program);
+        assert_pipeline_invariant(&name, &program, &r, PtsKind::Bitmap, 4, &Algorithm::ALL);
+    }
+}
+
+#[test]
+fn shared_runs_are_pass_subset_invariant() {
+    for (name, program) in workloads() {
+        let r = reference(&program);
+        assert_pipeline_invariant(&name, &program, &r, PtsKind::Shared, 1, &Algorithm::ALL);
+    }
+}
+
+#[test]
+fn bdd_runs_are_pass_subset_invariant() {
+    // BDD solving is the slow representation; the tiny workloads already
+    // exercise every pipeline × solver combination.
+    for (name, program) in workloads().into_iter().take(2) {
+        let r = reference(&program);
+        assert_pipeline_invariant(&name, &program, &r, PtsKind::Bdd, 1, &Algorithm::ALL);
+    }
+}
+
+// Random *well-formed* programs (every dereferenced pointer is seeded, as
+// real frontends guarantee): the HCD-based solvers are exact there, so the
+// full cross-product must still agree bit for bit.
+mod random_programs {
+    use super::*;
+    use ant_grasshopper::{ProgramBuilder, VarId};
+
+    #[derive(Clone, Debug)]
+    pub struct RawConstraint {
+        kind: u8,
+        lhs: usize,
+        rhs: usize,
+    }
+
+    const NVARS: usize = 24;
+
+    fn raw_constraints() -> impl Strategy<Value = Vec<RawConstraint>> {
+        prop::collection::vec(
+            (0u8..4, 0..NVARS, 0..NVARS).prop_map(|(kind, lhs, rhs)| RawConstraint {
+                kind,
+                lhs,
+                rhs,
+            }),
+            1..60,
+        )
+    }
+
+    fn build_program(raw: &[RawConstraint]) -> Program {
+        let mut b = ProgramBuilder::new();
+        let vars: Vec<VarId> = (0..NVARS).map(|i| b.var(&format!("v{i}"))).collect();
+        let mut seeded = [false; NVARS];
+        for c in raw {
+            if c.kind == 0 {
+                seeded[c.lhs] = true;
+            }
+        }
+        for c in raw {
+            let (l, r) = (vars[c.lhs], vars[c.rhs]);
+            match c.kind {
+                0 => b.addr_of(l, r),
+                1 => b.copy(l, r),
+                2 => {
+                    if !seeded[c.rhs] {
+                        seeded[c.rhs] = true;
+                        b.addr_of(r, vars[(c.rhs + 1) % NVARS]);
+                    }
+                    b.load(l, r);
+                }
+                _ => {
+                    if !seeded[c.lhs] {
+                        seeded[c.lhs] = true;
+                        b.addr_of(l, vars[(c.lhs + 1) % NVARS]);
+                    }
+                    b.store(l, r);
+                }
+            }
+        }
+        b.finish()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn every_subset_replays_the_reference(raw in raw_constraints()) {
+            let program = build_program(&raw);
+            let reference = super::reference(&program);
+            for (spec, pipeline) in subsets() {
+                let prepared = pipeline.run(&program);
+                for alg in [
+                    Algorithm::Basic,
+                    Algorithm::Ht,
+                    Algorithm::Pkh,
+                    Algorithm::Lcd,
+                    Algorithm::Hcd,
+                    Algorithm::LcdHcd,
+                ] {
+                    let out = solve_prepared(
+                        &prepared, &SolverConfig::new(alg), PtsKind::Bitmap,
+                    );
+                    prop_assert!(
+                        out.solution.equiv(&reference),
+                        "{}/{} differs at {:?}",
+                        spec, alg, out.solution.first_difference(&reference)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -115,13 +115,14 @@ proptest! {
     fn ovs_preserves_solutions(raw in raw_constraints(NVARS, 60)) {
         let program = build_program(&raw, NVARS, false);
         let direct = solve_dyn(&program, &SolverConfig::new(Algorithm::Basic), PtsKind::Bitmap);
-        let reduced = ant_grasshopper::constraints::ovs::substitute(&program);
-        let out = solve_dyn(&reduced.program, &SolverConfig::new(Algorithm::Lcd), PtsKind::Bitmap);
-        let expanded = out.solution.expand_ovs(&reduced);
+        let prepared = ant_grasshopper::PassPipeline::standard().run(&program);
+        let out = ant_grasshopper::solve_prepared(
+            &prepared, &SolverConfig::new(Algorithm::Lcd), PtsKind::Bitmap,
+        );
         prop_assert!(
-            expanded.equiv(&direct.solution),
-            "OVS changed the solution at {:?}",
-            expanded.first_difference(&direct.solution)
+            out.solution.equiv(&direct.solution),
+            "the pass pipeline changed the solution at {:?}",
+            out.solution.first_difference(&direct.solution)
         );
     }
 
