@@ -1,0 +1,157 @@
+//! Provenance-overhead benchmark: the LCD+HCD/bitmap config solved three
+//! ways over the bundled workload suite, written to `BENCH_obs.json` in
+//! the stable `name/config/median/best` schema:
+//!
+//! * `seed` — the plain solve path, exactly what the pre-provenance
+//!   binary executed (no recorder field is touched).
+//! * `prov-off` — the same entry point with the recorder *absent*: the
+//!   shipped default, whose only extra cost is one null-pointer branch
+//!   per insertion site. The acceptance gate compares this to `seed`.
+//! * `prov-on` — the full derivation recorder attached
+//!   ([`solve_dyn_recorded`]), for the record; this config is allowed to
+//!   cost whatever explanation fidelity costs.
+//!
+//! Runs are interleaved (the outer loop is the repetition) so slow drift
+//! hits all three configs equally.
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin obs_bench            # measure
+//! cargo run --release -p ant-bench --bin obs_bench -- --gate  # CI gate
+//! ```
+//!
+//! With `--gate` the process exits nonzero when the `prov-off` median
+//! regresses more than 2% against the `seed` median summed over the
+//! suite — the observer-overhead budget the recorder must stay inside.
+
+use ant_bench::runner::{prepare_suite, repeats_from_env};
+use ant_bench::schema::{median, render_bench_json, BenchRecord};
+use ant_core::{solve_dyn, solve_dyn_recorded, Algorithm, PtsKind, SolverConfig};
+use std::process::ExitCode;
+
+const GATE_THRESHOLD_PERCENT: f64 = 2.0;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Config {
+    Seed,
+    Off,
+    On,
+}
+
+impl Config {
+    const ALL: [Config; 3] = [Config::Seed, Config::Off, Config::On];
+
+    fn name(self) -> &'static str {
+        match self {
+            Config::Seed => "seed",
+            Config::Off => "prov-off",
+            Config::On => "prov-on",
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let gate = std::env::args().any(|a| a == "--gate");
+    let benches = prepare_suite();
+    let repeats = {
+        let r = repeats_from_env();
+        if std::env::var("ANT_BENCH_REPEATS").is_err() && std::env::var("ANT_REPEATS").is_err() {
+            9
+        } else {
+            r
+        }
+    };
+    let config = SolverConfig::new(Algorithm::LcdHcd);
+
+    let mut records: Vec<BenchRecord> = benches
+        .iter()
+        .flat_map(|b| {
+            Config::ALL
+                .iter()
+                .map(|c| BenchRecord::new(b.name.clone(), c.name()))
+        })
+        .collect();
+    for rep in 0..repeats {
+        eprintln!("pass {}/{repeats}", rep + 1);
+        for (bi, bench) in benches.iter().enumerate() {
+            for (ci, &cfg) in Config::ALL.iter().enumerate() {
+                let stats = match cfg {
+                    Config::Seed | Config::Off => {
+                        solve_dyn(&bench.program, &config, PtsKind::Bitmap).stats
+                    }
+                    Config::On => {
+                        solve_dyn_recorded(&bench.program, &config, PtsKind::Bitmap)
+                            .0
+                            .stats
+                    }
+                };
+                records[bi * Config::ALL.len() + ci]
+                    .samples
+                    .push(stats.solve_time.as_secs_f64());
+            }
+        }
+    }
+
+    // Suite-level medians per config: median of per-benchmark medians is
+    // noise-prone at small scales, so gate on the summed medians instead.
+    let total = |cfg: Config| -> f64 {
+        records
+            .iter()
+            .filter(|r| r.config == cfg.name())
+            .map(|r| r.median())
+            .sum()
+    };
+    let (seed, off, on) = (total(Config::Seed), total(Config::Off), total(Config::On));
+    let off_overhead = 100.0 * (off / seed - 1.0);
+    let on_overhead = 100.0 * (on / seed - 1.0);
+
+    let scale = ant_frontend::suite::scale_from_env();
+    let json = render_bench_json(
+        &[
+            ("scale", format!("{scale}")),
+            ("repeats", format!("{repeats}")),
+            ("algorithm", "\"lcd+hcd\"".into()),
+            ("repr", "\"bitmap\"".into()),
+        ],
+        &records,
+        &[
+            ("seed_median_seconds", format!("{seed:.6}")),
+            ("prov_off_median_seconds", format!("{off:.6}")),
+            ("prov_on_median_seconds", format!("{on:.6}")),
+            ("prov_off_overhead_percent", format!("{off_overhead:.2}")),
+            ("prov_on_overhead_percent", format!("{on_overhead:.2}")),
+            (
+                "gate_threshold_percent",
+                format!("{GATE_THRESHOLD_PERCENT:.1}"),
+            ),
+        ],
+    );
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    eprintln!("wrote BENCH_obs.json");
+
+    println!(
+        "LCD+HCD/bitmap suite medians: seed {seed:.4}s | recorder-off {off:.4}s \
+         ({off_overhead:+.2}%) | recorder-on {on:.4}s ({on_overhead:+.2}%)"
+    );
+    // Keep `median` exercised on the raw pooled samples too, so the
+    // summary can't silently diverge from the per-record schema values.
+    debug_assert!((median(&records[0].samples) - records[0].median()).abs() < 1e-12);
+
+    if off_overhead <= GATE_THRESHOLD_PERCENT {
+        println!(
+            "acceptance: PASS (recorder-off within {GATE_THRESHOLD_PERCENT}% of the seed path)"
+        );
+        ExitCode::SUCCESS
+    } else if gate {
+        println!(
+            "acceptance: FAIL (recorder-off is {off_overhead:.2}% over seed, \
+             budget {GATE_THRESHOLD_PERCENT}%)"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "acceptance: CHECK (recorder-off must stay within \
+             {GATE_THRESHOLD_PERCENT}% of the seed path; rerun with --gate to enforce)"
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -1,6 +1,8 @@
 //! BSP engine scaling: wall time per thread count × solver ×
 //! representation over the bundled workload suite, written to
-//! `BENCH_par.json`.
+//! `BENCH_par.json` in the stable `name/config/median/best` schema
+//! (see `ant_bench::schema`; the thread count is part of `config`,
+//! e.g. `"lcd+hcd/bitmap/t4"`).
 //!
 //! Runs are *interleaved* best-of-N (default 5, `ANT_BENCH_REPEATS`): the
 //! outer loop is the repetition, the inner loops visit every
@@ -14,26 +16,12 @@
 //! ```
 
 use ant_bench::runner::{prepare_suite, repeats_from_env, PreparedBench};
+use ant_bench::schema::{render_bench_json, BenchRecord};
 use ant_core::{solve_dyn, Algorithm, PtsKind, SolverConfig, SolverStats};
-use std::fmt::Write as _;
 
 const ALGORITHMS: [Algorithm; 3] = [Algorithm::Lcd, Algorithm::LcdHcd, Algorithm::Pkh];
 const REPRS: [PtsKind; 2] = [PtsKind::Bitmap, PtsKind::Shared];
 const THREADS: [usize; 4] = [1, 2, 4, 8];
-
-/// Best-so-far for one (bench, algorithm, repr, threads) cell.
-#[derive(Clone, Copy)]
-struct Cell {
-    seconds: f64,
-}
-
-impl Default for Cell {
-    fn default() -> Self {
-        Cell {
-            seconds: f64::INFINITY,
-        }
-    }
-}
 
 /// The §5.3 counters that must be thread-count-invariant.
 fn counters(s: &SolverStats) -> [u64; 6] {
@@ -52,11 +40,11 @@ fn run_once(
     alg: Algorithm,
     pts: PtsKind,
     threads: usize,
-    cell: &mut Cell,
+    record: &mut BenchRecord,
 ) -> [u64; 6] {
     let config = SolverConfig::new(alg).with_threads(threads);
     let out = solve_dyn(&bench.program, &config, pts);
-    cell.seconds = cell.seconds.min(out.stats.solve_time.as_secs_f64());
+    record.samples.push(out.stats.solve_time.as_secs_f64());
     counters(&out.stats)
 }
 
@@ -71,9 +59,25 @@ fn main() {
         }
     };
 
-    // cells[bench][alg][repr][threads]
-    let mut cells =
-        vec![[[[Cell::default(); THREADS.len()]; REPRS.len()]; ALGORITHMS.len()]; benches.len()];
+    // records[bench × alg × repr × threads]
+    let mut records: Vec<BenchRecord> = benches
+        .iter()
+        .flat_map(|b| {
+            ALGORITHMS.iter().flat_map(|alg| {
+                REPRS.iter().flat_map(|repr| {
+                    THREADS.iter().map(|t| {
+                        BenchRecord::new(
+                            b.name.clone(),
+                            format!("{}/{}/t{t}", alg.name(), repr.name()),
+                        )
+                    })
+                })
+            })
+        })
+        .collect();
+    let cell = |bi: usize, ai: usize, ri: usize, ti: usize| {
+        ((bi * ALGORITHMS.len() + ai) * REPRS.len() + ri) * THREADS.len() + ti
+    };
     for rep in 0..repeats {
         eprintln!("pass {}/{repeats}", rep + 1);
         for (bi, bench) in benches.iter().enumerate() {
@@ -81,7 +85,13 @@ fn main() {
                 for (ri, &repr) in REPRS.iter().enumerate() {
                     let mut reference = None;
                     for (ti, &threads) in THREADS.iter().enumerate() {
-                        let c = run_once(bench, alg, repr, threads, &mut cells[bi][ai][ri][ti]);
+                        let c = run_once(
+                            bench,
+                            alg,
+                            repr,
+                            threads,
+                            &mut records[cell(bi, ai, ri, ti)],
+                        );
                         match &reference {
                             None => reference = Some(c),
                             Some(r) => assert_eq!(
@@ -99,36 +109,8 @@ fn main() {
         }
     }
 
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"repeats\": {repeats},");
-    let _ = writeln!(json, "  \"results\": [");
-    let mut first = true;
-    for (bi, bench) in benches.iter().enumerate() {
-        for (ai, &alg) in ALGORITHMS.iter().enumerate() {
-            for (ri, &repr) in REPRS.iter().enumerate() {
-                for (ti, &threads) in THREADS.iter().enumerate() {
-                    if !first {
-                        let _ = writeln!(json, ",");
-                    }
-                    first = false;
-                    let _ = write!(
-                        json,
-                        "    {{\"bench\": \"{}\", \"algorithm\": \"{}\", \"repr\": \"{}\", \
-                         \"threads\": {threads}, \"seconds\": {:.6}}}",
-                        bench.name,
-                        alg.name(),
-                        repr.name(),
-                        cells[bi][ai][ri][ti].seconds
-                    );
-                }
-            }
-        }
-    }
-    let _ = writeln!(json, "\n  ],");
-
     // Acceptance summary: LCD+HCD over bitmaps on the largest benchmark,
-    // speedup of 4 threads against 1.
+    // speedup of 4 threads against 1 (best-of-N, as the paper reports).
     let largest = benches
         .iter()
         .enumerate()
@@ -139,21 +121,21 @@ fn main() {
         .iter()
         .position(|&a| a == Algorithm::LcdHcd)
         .expect("LCD+HCD is benchmarked");
-    let t1 = cells[largest][lcd_hcd][0][0].seconds;
-    let t4 = cells[largest][lcd_hcd][0][2].seconds;
+    let t1 = records[cell(largest, lcd_hcd, 0, 0)].best();
+    let t4 = records[cell(largest, lcd_hcd, 0, 2)].best();
     let speedup = t1 / t4;
     let hw = std::thread::available_parallelism().map_or(1, usize::from);
-    let _ = writeln!(json, "  \"summary\": {{");
-    let _ = writeln!(
-        json,
-        "    \"largest_bench\": \"{}\",\n    \"available_parallelism\": {hw},\n    \
-         \"lcd_hcd_bitmap_t1_seconds\": {t1:.6},\n    \
-         \"lcd_hcd_bitmap_t4_seconds\": {t4:.6},\n    \"lcd_hcd_bitmap_t4_speedup\": \
-         {speedup:.3}",
-        benches[largest].name
+    let json = render_bench_json(
+        &[("repeats", format!("{repeats}"))],
+        &records,
+        &[
+            ("largest_bench", format!("\"{}\"", benches[largest].name)),
+            ("available_parallelism", format!("{hw}")),
+            ("lcd_hcd_bitmap_t1_seconds", format!("{t1:.6}")),
+            ("lcd_hcd_bitmap_t4_seconds", format!("{t4:.6}")),
+            ("lcd_hcd_bitmap_t4_speedup", format!("{speedup:.3}")),
+        ],
     );
-    let _ = writeln!(json, "  }}");
-    let _ = writeln!(json, "}}");
 
     std::fs::write("BENCH_par.json", &json).expect("write BENCH_par.json");
     eprintln!("wrote BENCH_par.json");

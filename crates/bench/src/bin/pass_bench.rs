@@ -1,5 +1,7 @@
 //! Offline pass-pipeline shoot-out: constraint reduction and preprocessing
-//! time per benchmark × pass subset, written to `BENCH_passes.json`.
+//! time per benchmark × pass subset, written to `BENCH_passes.json` in
+//! the stable `name/config/median/best` schema (see `ant_bench::schema`;
+//! the subset is part of `config`, e.g. `"passes:normalize,ovs"`).
 //!
 //! The paper reports that offline variable substitution removes 60–77% of
 //! the constraints (Table 2); the acceptance summary checks the `ovs`
@@ -9,10 +11,10 @@
 //! cargo run --release -p ant-bench --bin pass_bench
 //! ```
 
+use ant_bench::schema::{render_bench_json, BenchRecord};
 use ant_constraints::pipeline::{HcdPass, NormalizePass, OvsPass, PassPipeline, Prepared};
 use ant_constraints::Program;
 use ant_frontend::suite::{default_suite, scale_from_env};
-use std::fmt::Write as _;
 
 /// The subsets benchmarked, by the `--passes` spellings users type.
 const SUBSETS: [&str; 4] = ["normalize", "ovs", "normalize,ovs", "normalize,ovs,hcd"];
@@ -33,34 +35,44 @@ fn pipeline_for(spec: &str) -> PassPipeline {
 }
 
 struct Row {
-    bench: String,
+    record: BenchRecord,
     subset: &'static str,
     before: usize,
     after: usize,
     reduction: f64,
     hcd_pairs: usize,
-    micros: u128,
 }
 
 fn measure(bench: &str, subset: &'static str, program: &Program, repeats: usize) -> Row {
-    let mut best: Option<(u128, Prepared)> = None;
+    let mut record = BenchRecord::new(bench, format!("passes:{subset}"));
+    let mut last: Option<Prepared> = None;
     for _ in 0..repeats.max(1) {
         let prepared = pipeline_for(subset).run(program);
-        let micros = prepared.elapsed.as_micros();
-        if best.as_ref().is_none_or(|(b, _)| micros < *b) {
-            best = Some((micros, prepared));
-        }
+        record.samples.push(prepared.elapsed.as_secs_f64());
+        last = Some(prepared);
     }
-    let (micros, prepared) = best.expect("at least one run");
-    Row {
-        bench: bench.to_owned(),
+    let prepared = last.expect("at least one run");
+    let mut row = Row {
+        record,
         subset,
         before: prepared.constraints_before(),
         after: prepared.constraints_after(),
         reduction: prepared.reduction_percent(),
         hcd_pairs: prepared.hcd.as_ref().map_or(0, |h| h.num_pairs()),
-        micros,
-    }
+    };
+    row.record
+        .extra
+        .push(("constraints_before", format!("{}", row.before)));
+    row.record
+        .extra
+        .push(("constraints_after", format!("{}", row.after)));
+    row.record
+        .extra
+        .push(("reduction_percent", format!("{:.2}", row.reduction)));
+    row.record
+        .extra
+        .push(("hcd_pairs", format!("{}", row.hcd_pairs)));
+    row
 }
 
 fn main() {
@@ -74,24 +86,6 @@ fn main() {
         }
     }
 
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"scale\": {scale},");
-    let _ = writeln!(json, "  \"repeats\": {repeats},");
-    let _ = writeln!(json, "  \"paper_ovs_band_percent\": [60.0, 77.0],");
-    let _ = writeln!(json, "  \"results\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let sep = if i + 1 == rows.len() { "" } else { "," };
-        let _ = writeln!(
-            json,
-            "    {{\"bench\": \"{}\", \"passes\": \"{}\", \"constraints_before\": {}, \
-             \"constraints_after\": {}, \"reduction_percent\": {:.2}, \"hcd_pairs\": {}, \
-             \"micros\": {}}}{sep}",
-            r.bench, r.subset, r.before, r.after, r.reduction, r.hcd_pairs, r.micros
-        );
-    }
-    let _ = writeln!(json, "  ],");
-
     // Acceptance: the `ovs` subset against the paper's Table 2 band.
     let ovs_rows: Vec<&Row> = rows.iter().filter(|r| r.subset == "ovs").collect();
     let min = ovs_rows
@@ -103,15 +97,20 @@ fn main() {
         .map(|r| r.reduction)
         .fold(f64::MIN, f64::max);
     let mean = ovs_rows.iter().map(|r| r.reduction).sum::<f64>() / ovs_rows.len().max(1) as f64;
-    let _ = writeln!(json, "  \"summary\": {{");
-    let _ = writeln!(
-        json,
-        "    \"ovs_reduction_min_percent\": {min:.2},\n    \
-         \"ovs_reduction_mean_percent\": {mean:.2},\n    \
-         \"ovs_reduction_max_percent\": {max:.2}"
+    let records: Vec<BenchRecord> = rows.iter().map(|r| r.record.clone()).collect();
+    let json = render_bench_json(
+        &[
+            ("scale", format!("{scale}")),
+            ("repeats", format!("{repeats}")),
+            ("paper_ovs_band_percent", "[60.0, 77.0]".into()),
+        ],
+        &records,
+        &[
+            ("ovs_reduction_min_percent", format!("{min:.2}")),
+            ("ovs_reduction_mean_percent", format!("{mean:.2}")),
+            ("ovs_reduction_max_percent", format!("{max:.2}")),
+        ],
     );
-    let _ = writeln!(json, "  }}");
-    let _ = writeln!(json, "}}");
 
     std::fs::write("BENCH_passes.json", &json).expect("write BENCH_passes.json");
     eprintln!("wrote BENCH_passes.json");
@@ -123,13 +122,13 @@ fn main() {
     for r in &rows {
         println!(
             "{:<12} {:<20} {:>10} {:>10} {:>9.1}% {:>10} {:>10.2}",
-            r.bench,
+            r.record.name,
             r.subset,
             r.before,
             r.after,
             r.reduction,
             r.hcd_pairs,
-            r.micros as f64 / 1000.0
+            r.record.best() * 1000.0
         );
     }
     println!("\nOVS reduction across the suite: {min:.1}%..{max:.1}% (mean {mean:.1}%)");

@@ -1,8 +1,9 @@
 //! Representation shoot-out: wall time and points-to bytes per
 //! solver × representation over the bundled workload suite, written to
-//! `BENCH_pts.json`.
+//! `BENCH_pts.json` in the stable `name/config/median/best` schema
+//! (see `ant_bench::schema`).
 //!
-//! Runs are *interleaved* best-of-N (default 20, `ANT_BENCH_REPEATS`):
+//! Runs are *interleaved* (default 20 repetitions, `ANT_BENCH_REPEATS`):
 //! the outer loop is the repetition, the inner loops visit every
 //! (benchmark, algorithm, representation) cell once per repetition, so
 //! slow drift (thermal, allocator state) hits all cells equally instead of
@@ -12,10 +13,10 @@
 //! cargo run --release -p ant-bench --bin pts_bench
 //! ```
 
-use ant_bench::runner::{prepare_suite, repeats_from_env, PreparedBench};
+use ant_bench::runner::{prepare_suite, repeats_from_env};
+use ant_bench::schema::{render_bench_json, BenchRecord};
 use ant_core::{solve_dyn, Algorithm, PtsKind, SolverConfig};
 use ant_frontend::suite::scale_from_env;
-use std::fmt::Write as _;
 
 const ALGORITHMS: [Algorithm; 4] = [
     Algorithm::Lcd,
@@ -24,32 +25,6 @@ const ALGORITHMS: [Algorithm; 4] = [
     Algorithm::Ht,
 ];
 const REPRS: [PtsKind; 2] = [PtsKind::Bitmap, PtsKind::Shared];
-
-/// Best-so-far for one (bench, algorithm, repr) cell.
-#[derive(Clone, Copy)]
-struct Cell {
-    seconds: f64,
-    pts_bytes: usize,
-}
-
-impl Default for Cell {
-    fn default() -> Self {
-        Cell {
-            seconds: f64::INFINITY,
-            pts_bytes: usize::MAX,
-        }
-    }
-}
-
-fn run_once(bench: &PreparedBench, alg: Algorithm, pts: PtsKind, cell: &mut Cell) {
-    let out = solve_dyn(&bench.program, &SolverConfig::new(alg), pts);
-    let secs = out.stats.solve_time.as_secs_f64();
-    if secs < cell.seconds {
-        cell.seconds = secs;
-    }
-    // pts_bytes is deterministic per cell; keep the min for symmetry.
-    cell.pts_bytes = cell.pts_bytes.min(out.stats.pts_bytes);
-}
 
 fn main() {
     let benches = prepare_suite();
@@ -65,78 +40,76 @@ fn main() {
     };
     let scale = scale_from_env();
 
-    // cells[bench][alg][repr]
-    let mut cells = vec![[[Cell::default(); REPRS.len()]; ALGORITHMS.len()]; benches.len()];
+    // records[bench × alg × repr], plus the deterministic pts_bytes per cell.
+    let mut records: Vec<BenchRecord> = benches
+        .iter()
+        .flat_map(|b| {
+            ALGORITHMS.iter().flat_map(|alg| {
+                REPRS.iter().map(|repr| {
+                    BenchRecord::new(b.name.clone(), format!("{}/{}", alg.name(), repr.name()))
+                })
+            })
+        })
+        .collect();
+    let cell = |bi: usize, ai: usize, ri: usize| {
+        bi * ALGORITHMS.len() * REPRS.len() + ai * REPRS.len() + ri
+    };
+    let mut pts_bytes = vec![usize::MAX; records.len()];
     for rep in 0..repeats {
         eprintln!("pass {}/{repeats}", rep + 1);
         for (bi, bench) in benches.iter().enumerate() {
             for (ai, &alg) in ALGORITHMS.iter().enumerate() {
                 for (ri, &repr) in REPRS.iter().enumerate() {
-                    run_once(bench, alg, repr, &mut cells[bi][ai][ri]);
+                    let out = solve_dyn(&bench.program, &SolverConfig::new(alg), repr);
+                    let i = cell(bi, ai, ri);
+                    records[i].samples.push(out.stats.solve_time.as_secs_f64());
+                    // pts_bytes is deterministic per cell; keep the min for symmetry.
+                    pts_bytes[i] = pts_bytes[i].min(out.stats.pts_bytes);
                 }
             }
         }
     }
-
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"scale\": {scale},");
-    let _ = writeln!(json, "  \"repeats\": {repeats},");
-    let _ = writeln!(json, "  \"results\": [");
-    let mut first = true;
-    for (bi, bench) in benches.iter().enumerate() {
-        for (ai, &alg) in ALGORITHMS.iter().enumerate() {
-            for (ri, repr) in REPRS.iter().enumerate() {
-                let c = &cells[bi][ai][ri];
-                if !first {
-                    let _ = writeln!(json, ",");
-                }
-                first = false;
-                let _ = write!(
-                    json,
-                    "    {{\"bench\": \"{}\", \"algorithm\": \"{}\", \"repr\": \"{}\", \
-                     \"seconds\": {:.6}, \"pts_bytes\": {}}}",
-                    bench.name,
-                    alg.name(),
-                    repr.name(),
-                    c.seconds,
-                    c.pts_bytes
-                );
-            }
-        }
+    for (r, &bytes) in records.iter_mut().zip(&pts_bytes) {
+        r.extra.push(("pts_bytes", format!("{bytes}")));
     }
-    let _ = writeln!(json, "\n  ],");
 
-    // Acceptance summary: LCD+HCD totals across the suite per repr.
+    // Acceptance summary: LCD+HCD best-time totals across the suite per repr.
     let lcd_hcd = ALGORITHMS
         .iter()
         .position(|&a| a == Algorithm::LcdHcd)
         .expect("LCD+HCD is benchmarked");
     let mut totals = [[0.0f64, 0.0f64]; 2]; // [repr][seconds, bytes]
-    for row in &cells {
+    for bi in 0..benches.len() {
         for (ri, t) in totals.iter_mut().enumerate() {
-            t[0] += row[lcd_hcd][ri].seconds;
-            t[1] += row[lcd_hcd][ri].pts_bytes as f64;
+            let i = cell(bi, lcd_hcd, ri);
+            t[0] += records[i].best();
+            t[1] += pts_bytes[i] as f64;
         }
     }
     let bytes_reduction = 100.0 * (1.0 - totals[1][1] / totals[0][1]);
-    let _ = writeln!(json, "  \"summary\": {{");
-    let _ = writeln!(
-        json,
-        "    \"lcd_hcd_bitmap_seconds\": {:.6},\n    \"lcd_hcd_shared_seconds\": {:.6},",
-        totals[0][0], totals[1][0]
+    let json = render_bench_json(
+        &[
+            ("scale", format!("{scale}")),
+            ("repeats", format!("{repeats}")),
+        ],
+        &records,
+        &[
+            ("lcd_hcd_bitmap_seconds", format!("{:.6}", totals[0][0])),
+            ("lcd_hcd_shared_seconds", format!("{:.6}", totals[1][0])),
+            (
+                "lcd_hcd_bitmap_pts_bytes",
+                format!("{}", totals[0][1] as u64),
+            ),
+            (
+                "lcd_hcd_shared_pts_bytes",
+                format!("{}", totals[1][1] as u64),
+            ),
+            (
+                "lcd_hcd_pts_bytes_reduction_percent",
+                format!("{bytes_reduction:.1}"),
+            ),
+        ],
     );
-    let _ = writeln!(
-        json,
-        "    \"lcd_hcd_bitmap_pts_bytes\": {},\n    \"lcd_hcd_shared_pts_bytes\": {},",
-        totals[0][1] as u64, totals[1][1] as u64
-    );
-    let _ = writeln!(
-        json,
-        "    \"lcd_hcd_pts_bytes_reduction_percent\": {bytes_reduction:.1}"
-    );
-    let _ = writeln!(json, "  }}");
-    let _ = writeln!(json, "}}");
 
     std::fs::write("BENCH_pts.json", &json).expect("write BENCH_pts.json");
     eprintln!("wrote BENCH_pts.json");

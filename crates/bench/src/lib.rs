@@ -11,6 +11,7 @@
 
 pub mod render;
 pub mod runner;
+pub mod schema;
 pub mod trace;
 
 pub use runner::{run_suite, BenchResult, SuiteResults};

@@ -1,0 +1,160 @@
+//! The stable machine-readable schema every `BENCH_*.json` file uses.
+//!
+//! One JSON object per measured cell with four guaranteed keys —
+//! `name` (benchmark), `config` (the measured configuration as one
+//! string), `median` and `best` (seconds over the run's repetitions) —
+//! so results stay comparable across PRs regardless of which binary
+//! produced them. Cells may carry extra keys after the guaranteed four;
+//! consumers must ignore keys they don't know.
+//!
+//! ```text
+//! {
+//!   "scale": 0.05,
+//!   "repeats": 5,
+//!   "results": [
+//!     {"name": "emacs", "config": "lcd+hcd/bitmap", "median": 0.021, "best": 0.019, ...},
+//!     ...
+//!   ],
+//!   "summary": { ... }
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+/// One measured cell: a benchmark under one configuration, with every
+/// repetition's wall time.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Benchmark name (`"emacs"`, `"wine"` ...).
+    pub name: String,
+    /// The configuration as one stable string, e.g. `"lcd+hcd/bitmap"`,
+    /// `"lcd+hcd/bitmap/t4"`, `"passes:normalize,ovs"` or `"prov-on"`.
+    pub config: String,
+    /// Wall-clock seconds, one sample per repetition, in run order.
+    pub samples: Vec<f64>,
+    /// Extra fields appended after the guaranteed keys; values are
+    /// pre-rendered JSON (callers quote strings themselves).
+    pub extra: Vec<(&'static str, String)>,
+}
+
+impl BenchRecord {
+    /// A record with no samples yet.
+    pub fn new(name: impl Into<String>, config: impl Into<String>) -> Self {
+        BenchRecord {
+            name: name.into(),
+            config: config.into(),
+            samples: Vec::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Median of the samples (mean of the central pair for even counts);
+    /// `NaN` when empty.
+    pub fn median(&self) -> f64 {
+        median(&self.samples)
+    }
+
+    /// Fastest sample; `NaN` when empty.
+    pub fn best(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NAN, f64::min)
+    }
+}
+
+/// Median of `samples` without mutating the caller's order.
+pub fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("times are not NaN"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Renders a whole `BENCH_*.json` document in the stable schema.
+///
+/// `preamble` and `summary` are `(key, pre-rendered JSON value)` pairs
+/// emitted before `results` and inside the trailing `summary` object
+/// respectively.
+pub fn render_bench_json(
+    preamble: &[(&str, String)],
+    records: &[BenchRecord],
+    summary: &[(&str, String)],
+) -> String {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    for (k, v) in preamble {
+        let _ = writeln!(json, "  \"{k}\": {v},");
+    }
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"config\": \"{}\", \"median\": {:.6}, \"best\": {:.6}",
+            r.name,
+            r.config,
+            r.median(),
+            r.best()
+        );
+        for (k, v) in &r.extra {
+            let _ = write!(json, ", \"{k}\": {v}");
+        }
+        let _ = writeln!(json, "}}{sep}");
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"summary\": {{");
+    for (i, (k, v)) in summary.iter().enumerate() {
+        let sep = if i + 1 == summary.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{k}\": {v}{sep}");
+    }
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ant_core::obs::parse_object;
+
+    #[test]
+    fn median_and_best() {
+        let mut r = BenchRecord::new("emacs", "lcd+hcd/bitmap");
+        r.samples = vec![3.0, 1.0, 2.0];
+        assert_eq!(r.median(), 2.0);
+        assert_eq!(r.best(), 1.0);
+        r.samples = vec![4.0, 1.0, 2.0, 3.0];
+        assert_eq!(r.median(), 2.5);
+        assert!(BenchRecord::new("x", "y").median().is_nan());
+    }
+
+    #[test]
+    fn every_result_line_carries_the_four_stable_keys() {
+        let mut r = BenchRecord::new("emacs", "prov-on");
+        r.samples = vec![0.5, 0.25];
+        r.extra.push(("pts_bytes", "1024".into()));
+        let json = render_bench_json(
+            &[("scale", "0.05".into()), ("repeats", "2".into())],
+            &[r],
+            &[("overhead_percent", "1.5".into())],
+        );
+        // Each result is one flat JSON object per line, parseable by the
+        // same parser the trace tooling uses.
+        let line = json
+            .lines()
+            .find(|l| l.trim_start().starts_with("{\"name\""))
+            .expect("one result line");
+        let obj = parse_object(line.trim().trim_end_matches(',')).unwrap();
+        assert_eq!(obj["name"].as_str(), Some("emacs"));
+        assert_eq!(obj["config"].as_str(), Some("prov-on"));
+        assert_eq!(obj["median"].as_f64(), Some(0.375));
+        assert_eq!(obj["best"].as_f64(), Some(0.25));
+        assert_eq!(obj["pts_bytes"].as_u64(), Some(1024));
+        assert!(json.contains("\"overhead_percent\": 1.5"));
+    }
+}

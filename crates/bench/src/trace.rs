@@ -35,6 +35,15 @@ pub struct SolverTrace {
     /// Offline pass summaries in trace order: `(pass, constraints before,
     /// constraints after, vars merged, microseconds)`.
     pub passes: Vec<(String, u64, u64, u64, u64)>,
+    /// Cost-metrics counters from the recorder's final `metrics` flush:
+    /// `(name, value)` in trace order.
+    pub metric_counters: Vec<(String, u64)>,
+    /// Metrics histograms: `(name, sample count, "bucket:count ..."
+    /// encoding — bucket i covers values in `[2^(i-1), 2^i)`)`.
+    pub metric_hists: Vec<(String, u64, String)>,
+    /// Top-K hotspot tables from per-variable series: `(series name,
+    /// "var:value ..." entries, largest first)`.
+    pub hotspots: Vec<(String, String)>,
 }
 
 /// A parsed trace: solver sections in first-appearance order (events
@@ -151,6 +160,33 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                     field("micros"),
                 ));
             }
+            "metrics" => {
+                let name = || {
+                    record
+                        .get("name")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("?")
+                        .to_owned()
+                };
+                let field = |k: &str| record.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+                let text = |k: &str| {
+                    record
+                        .get(k)
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("")
+                        .to_owned()
+                };
+                match record.get("kind").and_then(|v| v.as_str()) {
+                    Some("counter") => agg.metric_counters.push((name(), field("value"))),
+                    Some("hist") => {
+                        agg.metric_hists
+                            .push((name(), field("count"), text("buckets")));
+                    }
+                    Some("top") => agg.hotspots.push((name(), text("entries"))),
+                    // The `summary` line only carries section sizes.
+                    _ => {}
+                }
+            }
             // `solver_start` opens the section (handled above);
             // `phase_start` only matters through its matching `phase_end`;
             // `shard_utilization` detail is summed into `round_summary`.
@@ -249,6 +285,36 @@ pub fn render(summary: &TraceSummary) -> String {
                 worker_micros as f64 / 1e6
             ));
         }
+        if !agg.metric_counters.is_empty() {
+            let parts: Vec<String> = agg
+                .metric_counters
+                .iter()
+                .map(|(name, value)| format!("{name} {value}"))
+                .collect();
+            out.push_str(&format!("cost counters: {}\n", parts.join(" | ")));
+        }
+        for (name, count, buckets) in &agg.metric_hists {
+            out.push_str(&format!(
+                "hist {name}: {count} samples | log2 buckets {buckets}\n"
+            ));
+        }
+        for (name, entries) in &agg.hotspots {
+            let rows: Vec<(String, Vec<String>)> = entries
+                .split_whitespace()
+                .enumerate()
+                .filter_map(|(rank, e)| {
+                    let (var, value) = e.split_once(':')?;
+                    Some((
+                        format!("{}", rank + 1),
+                        vec![format!("v{var}"), value.to_owned()],
+                    ))
+                })
+                .collect();
+            if !rows.is_empty() {
+                out.push_str(&format!("hotspots: {name}\n"));
+                out.push_str(&table("#", &["variable", name], &rows));
+            }
+        }
     }
     out
 }
@@ -269,13 +335,18 @@ mod tests {
 {\"t\": 0.85, \"event\": \"repr_cache\", \"solver\": \"LCD+HCD\", \"intern_hits\": 30, \"intern_misses\": 10, \"memo_hits\": 75, \"memo_misses\": 25, \"distinct_sets\": 11}
 {\"t\": 0.86, \"event\": \"shard_utilization\", \"solver\": \"LCD+HCD\", \"round\": 2, \"shard\": 0, \"nodes\": 64, \"busy_micros\": 400}
 {\"t\": 0.87, \"event\": \"round_summary\", \"solver\": \"LCD+HCD\", \"round\": 2, \"nodes\": 128, \"shards\": 2, \"hints\": 50, \"hint_hits\": 45, \"worker_micros\": 800}
+{\"t\": 0.88, \"event\": \"metrics\", \"solver\": \"LCD+HCD\", \"kind\": \"summary\", \"counters\": 2, \"hists\": 1, \"tops\": 1}
+{\"t\": 0.88, \"event\": \"metrics\", \"solver\": \"LCD+HCD\", \"kind\": \"counter\", \"name\": \"worklist_pops\", \"value\": 42}
+{\"t\": 0.88, \"event\": \"metrics\", \"solver\": \"LCD+HCD\", \"kind\": \"counter\", \"name\": \"pts_bytes\", \"value\": 4096}
+{\"t\": 0.88, \"event\": \"metrics\", \"solver\": \"LCD+HCD\", \"kind\": \"hist\", \"name\": \"propagation_delta\", \"count\": 12, \"buckets\": \"0:3 2:9\"}
+{\"t\": 0.88, \"event\": \"metrics\", \"solver\": \"LCD+HCD\", \"kind\": \"top\", \"name\": \"pops_per_var\", \"entries\": \"7:19 3:11 9:2\"}
 {\"t\": 0.9, \"event\": \"phase_end\", \"solver\": \"LCD+HCD\", \"phase\": \"solve\", \"seconds\": 0.5}
 ";
 
     #[test]
     fn summarize_aggregates_per_solver() {
         let s = summarize(SAMPLE).unwrap();
-        assert_eq!(s.records, 12);
+        assert_eq!(s.records, 17);
         assert_eq!(s.solvers.len(), 2);
         let (pre_name, pre) = &s.solvers[0];
         assert!(pre_name.is_empty());
@@ -295,13 +366,29 @@ mod tests {
         assert!(pre.repr_cache.is_none());
         assert_eq!(lcd.rounds, (1, 50, 45, 800));
         assert_eq!(pre.rounds, (0, 0, 0, 0));
+        assert_eq!(
+            lcd.metric_counters,
+            vec![
+                ("worklist_pops".to_owned(), 42),
+                ("pts_bytes".to_owned(), 4096)
+            ]
+        );
+        assert_eq!(
+            lcd.metric_hists,
+            vec![("propagation_delta".to_owned(), 12, "0:3 2:9".to_owned())]
+        );
+        assert_eq!(
+            lcd.hotspots,
+            vec![("pops_per_var".to_owned(), "7:19 3:11 9:2".to_owned())]
+        );
+        assert!(pre.hotspots.is_empty());
     }
 
     #[test]
     fn render_mentions_phases_and_counters() {
         let s = summarize(SAMPLE).unwrap();
         let text = render(&s);
-        assert!(text.contains("12 trace records"));
+        assert!(text.contains("17 trace records"));
         assert!(text.contains("offline pass ovs: 200 -> 50 constraints (75.0% cut)"));
         assert!(text.contains("(pre-solve)"));
         assert!(text.contains("solver: LCD+HCD"));
@@ -314,6 +401,13 @@ mod tests {
         assert!(text.contains("repr cache: 11 distinct sets"));
         assert!(text.contains("intern hit rate 75.0%"));
         assert!(text.contains("bsp rounds: 1 | hints used 45/50"));
+        assert!(text.contains("cost counters: worklist_pops 42 | pts_bytes 4096"));
+        assert!(text.contains("hist propagation_delta: 12 samples | log2 buckets 0:3 2:9"));
+        assert!(text.contains("hotspots: pops_per_var"));
+        assert!(
+            text.contains("v7"),
+            "top entry renders its variable id:\n{text}"
+        );
     }
 
     #[test]

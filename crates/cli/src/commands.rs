@@ -4,10 +4,12 @@ use crate::opts::{flag_help, Opts};
 use ant_common::VarId;
 use ant_constraints::pipeline::{PassPipeline, Prepared};
 use ant_constraints::{parse_program, Program};
+use ant_core::obs::prov::ProvRecorder;
 use ant_core::obs::{FanOut, Obs, Phase, PhaseTimer, ProgressPrinter, TraceWriter};
+use ant_core::provenance::Explainer;
 use ant_core::{
-    solve_prepared, solve_prepared_with_observer, Algorithm, PtsKind, Solution, SolveOutput,
-    SolverConfig,
+    solve_prepared, solve_prepared_recorded, solve_prepared_recorded_with_observer,
+    solve_prepared_with_observer, Algorithm, PtsKind, Solution, SolveOutput, SolverConfig,
 };
 use ant_frontend::suite;
 use std::fs::File;
@@ -23,6 +25,8 @@ USAGE:
               [--passes normalize,ovs,hcd | --no-ovs] [--stats]
               [--trace-out trace.jsonl] [--progress] [--progress-every N]
   ant query   <file> --pointer NAME | --alias NAME NAME
+  ant explain <file> <ptr> <obj>            why does ptr point to obj?
+  ant explain-edge <file> <src> <dst>       why is there a copy edge src -> dst?
   ant gen     <benchmark> [--scale S] [-o out.consts]
   ant compare <file>
 
@@ -75,6 +79,8 @@ pub struct CliConfig {
     pub progress: bool,
     /// JSONL telemetry trace destination.
     pub trace_out: Option<String>,
+    /// Attach the derivation recorder (provenance arenas + cost metrics).
+    pub record: bool,
 }
 
 impl CliConfig {
@@ -136,6 +142,7 @@ impl CliConfig {
             stats: opts.has("--stats"),
             progress: opts.has("--progress"),
             trace_out: opts.value("--trace-out").map(str::to_owned),
+            record: opts.has("--record"),
         })
     }
 }
@@ -195,7 +202,9 @@ fn obs_over<'a>(fan: &'a mut Option<FanOut<'_>>) -> Obs<'a> {
     }
 }
 
-fn run(input: &str, cfg: &CliConfig) -> Result<(Program, SolveOutput, Prepared), String> {
+type RunOutput = (Program, SolveOutput, Prepared, Option<ProvRecorder>);
+
+fn run(input: &str, cfg: &CliConfig) -> Result<RunOutput, String> {
     let mut telemetry = Telemetry::from_config(cfg)?;
     let result = {
         let mut fan = telemetry.as_mut().map(Telemetry::fan);
@@ -214,11 +223,27 @@ fn run(input: &str, cfg: &CliConfig) -> Result<(Program, SolveOutput, Prepared),
             let mut obs = obs_over(&mut fan);
             cfg.passes.run_with_obs(&program, &mut obs)
         };
-        let out = match &mut fan {
-            None => solve_prepared(&prepared, &cfg.solver, cfg.pts),
-            Some(fan) => solve_prepared_with_observer(&prepared, &cfg.solver, cfg.pts, &mut *fan),
+        let (out, prov) = match (&mut fan, cfg.record) {
+            (None, false) => (solve_prepared(&prepared, &cfg.solver, cfg.pts), None),
+            (None, true) => {
+                let (out, prov) = solve_prepared_recorded(&prepared, &cfg.solver, cfg.pts);
+                (out, Some(prov))
+            }
+            (Some(fan), false) => (
+                solve_prepared_with_observer(&prepared, &cfg.solver, cfg.pts, &mut *fan),
+                None,
+            ),
+            (Some(fan), true) => {
+                let (out, prov) = solve_prepared_recorded_with_observer(
+                    &prepared,
+                    &cfg.solver,
+                    cfg.pts,
+                    &mut *fan,
+                );
+                (out, Some(prov))
+            }
         };
-        (program, out, prepared)
+        (program, out, prepared, prov)
     };
     if let Some(telemetry) = telemetry {
         telemetry.finish()?;
@@ -270,7 +295,7 @@ pub fn solve(args: &[String]) -> Result<(), String> {
     let [input] = opts.positional.as_slice() else {
         return Err("solve takes exactly one input file".into());
     };
-    let (program, out, prepared) = run(input, &cfg)?;
+    let (program, out, prepared, _) = run(input, &cfg)?;
     let solution = out.solution;
     for s in &prepared.summaries {
         eprintln!(
@@ -306,7 +331,7 @@ pub fn query(args: &[String]) -> Result<(), String> {
     let [input, rest @ ..] = opts.positional.as_slice() else {
         return Err("query takes an input file".into());
     };
-    let (program, out, _prepared) = run(input, &cfg)?;
+    let (program, out, _prepared, _) = run(input, &cfg)?;
     let solution = out.solution;
     if let Some(name) = opts.value("--pointer") {
         let v = program
@@ -329,6 +354,80 @@ pub fn query(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     Err("query needs --pointer NAME or --alias A B".into())
+}
+
+/// Solves with the derivation recorder attached and returns everything an
+/// explanation needs. Shared by `explain` and `explain-edge`.
+fn run_recorded(
+    input: &str,
+    opts: &Opts,
+) -> Result<(Program, SolveOutput, Prepared, ProvRecorder), String> {
+    let mut cfg = CliConfig::from_opts(opts)?;
+    cfg.record = true;
+    let (program, out, prepared, prov) = run(input, &cfg)?;
+    let prov = prov.expect("record flag forced on");
+    Ok((program, out, prepared, prov))
+}
+
+fn named_var(program: &Program, name: &str) -> Result<VarId, String> {
+    program
+        .var_by_name(name)
+        .ok_or_else(|| format!("no variable named `{name}`"))
+}
+
+/// The rendered derivation chain for `obj ∈ pts(ptr)`, in original
+/// variable names — the workhorse behind `ant explain`, separated so
+/// tests can assert on the chain itself.
+fn explain_lines(input: &str, ptr: &str, obj: &str, opts: &Opts) -> Result<Vec<String>, String> {
+    let (program, out, prepared, prov) = run_recorded(input, opts)?;
+    let vp = named_var(&program, ptr)?;
+    let vo = named_var(&program, obj)?;
+    if !out.solution.may_point_to(vp, vo) {
+        return Err(format!("{obj} ∉ pts({ptr}) — nothing to explain"));
+    }
+    let mut ex = Explainer::new(&prov, program.num_vars()).with_mapping(&prepared.mapping);
+    let steps = ex
+        .explain(vp, vo)
+        .ok_or_else(|| format!("no recorded derivation for {obj} ∈ pts({ptr})"))?;
+    Ok(steps.iter().map(|s| s.render(&program)).collect())
+}
+
+pub fn explain(args: &[String]) -> Result<(), String> {
+    let Some(opts) = parse_opts(args)? else {
+        return Ok(());
+    };
+    let [input, ptr, obj] = opts.positional.as_slice() else {
+        return Err(
+            "explain takes an input file and two variable names: ant explain f.c p x".into(),
+        );
+    };
+    let lines = explain_lines(input, ptr, obj, &opts)?;
+    println!("why {obj} ∈ pts({ptr}):");
+    for line in &lines {
+        println!("  {line}");
+    }
+    Ok(())
+}
+
+pub fn explain_edge(args: &[String]) -> Result<(), String> {
+    let Some(opts) = parse_opts(args)? else {
+        return Ok(());
+    };
+    let [input, a, b] = opts.positional.as_slice() else {
+        return Err(
+            "explain-edge takes an input file and two variable names: ant explain-edge f.c a b"
+                .into(),
+        );
+    };
+    let (program, _out, prepared, prov) = run_recorded(input, &opts)?;
+    let va = named_var(&program, a)?;
+    let vb = named_var(&program, b)?;
+    let mut ex = Explainer::new(&prov, program.num_vars()).with_mapping(&prepared.mapping);
+    let explanation = ex
+        .explain_edge(va, vb)
+        .ok_or_else(|| format!("no recorded copy edge {a} → {b}"))?;
+    println!("{}", explanation.render(&program));
+    Ok(())
 }
 
 pub fn gen(args: &[String]) -> Result<(), String> {
@@ -468,6 +567,46 @@ mod tests {
         assert!(gen(&s(&["nope"])).is_err());
     }
 
+    /// Acceptance: `ant explain` produces a derivation chain in *original*
+    /// variable names that terminates at a base `&` constraint — both on
+    /// the raw program and after the full offline pipeline (whose merges
+    /// must be composed back through the solution mapping).
+    #[test]
+    fn explain_terminates_at_address_of_under_any_pass_subset() {
+        let c = write_temp(
+            "t8.c",
+            "int x; int *p; int *q; int *r; int **a;\n\
+             void main() { a = &p; p = &x; q = *a; *a = q; r = q; }",
+        );
+        for passes in ["none", "normalize,ovs,hcd"] {
+            let opts = Opts::parse(&s(&[&c, "--passes", passes])).unwrap();
+            let lines = explain_lines(&c, "r", "x", &opts)
+                .unwrap_or_else(|e| panic!("explain with --passes {passes}: {e}"));
+            assert!(!lines.is_empty());
+            let last = lines.last().unwrap();
+            assert!(
+                last.contains("base constraint") && last.contains("&x"),
+                "--passes {passes}: chain must end at the AddressOf fact, got `{last}`"
+            );
+            for name in ["r", "x"] {
+                assert!(
+                    lines.iter().any(|l| l.contains(name)),
+                    "--passes {passes}: chain renders original names ({name}): {lines:?}"
+                );
+            }
+        }
+        // The CLI entry points drive the same path end to end.
+        explain(&s(&[&c, "r", "x", "--passes", "normalize,ovs,hcd"])).unwrap();
+        // OVS merges the q/r equivalence class, so probe the copy edge on
+        // the unpreprocessed graph where `r = q` survives as an edge.
+        explain_edge(&s(&[&c, "q", "r", "--passes", "none"])).unwrap();
+        assert!(
+            explain(&s(&[&c, "x", "r"])).is_err(),
+            "x does not point to r"
+        );
+        assert!(explain(&s(&[&c, "r"])).is_err(), "missing positional");
+    }
+
     #[test]
     fn compare_agrees_on_small_input() {
         let c = write_temp(
@@ -499,6 +638,7 @@ mod tests {
             "--no-ovs",
             "--threads",
             "4",
+            "--record",
             "--trace-out",
             &trace,
             "--progress-every",
@@ -571,6 +711,29 @@ mod tests {
                     }
                 }
                 "solver_start" => {}
+                "metrics" => {
+                    let kind = r["kind"].as_str().expect("metrics lines carry kind");
+                    match kind {
+                        "summary" => {
+                            for key in ["counters", "hists", "tops"] {
+                                assert!(r[key].as_u64().is_some(), "summary carries {key}");
+                            }
+                        }
+                        "counter" => {
+                            assert!(r["name"].as_str().is_some());
+                            assert!(r["value"].as_u64().is_some());
+                        }
+                        "hist" => {
+                            assert!(r["name"].as_str().is_some());
+                            assert!(r["buckets"].as_str().is_some());
+                        }
+                        "top" => {
+                            assert!(r["name"].as_str().is_some());
+                            assert!(r["entries"].as_str().is_some());
+                        }
+                        other => panic!("unknown metrics kind `{other}`"),
+                    }
+                }
                 other => panic!("unknown event kind `{other}`"),
             }
         }
@@ -584,6 +747,13 @@ mod tests {
         assert!(count("progress") >= 1, "at least one snapshot per run");
         assert!(count("cycle_collapsed") >= 1, "HCD collapsed the cycle");
         assert!(count("round_summary") >= 1, "BSP rounds leave summaries");
+        assert!(
+            records
+                .iter()
+                .any(|r| r["event"].as_str() == Some("metrics")
+                    && r["kind"].as_str() == Some("summary")),
+            "recorded runs flush a metrics summary"
+        );
         assert_eq!(count("phase_start"), count("phase_end"), "spans balance");
         let phases: Vec<_> = records
             .iter()
@@ -614,7 +784,7 @@ mod tests {
 
     #[test]
     fn help_flag_short_circuits_every_command() {
-        for cmd in [compile, solve, query, gen, compare] {
+        for cmd in [compile, solve, query, explain, explain_edge, gen, compare] {
             cmd(&s(&["--help"])).unwrap();
         }
         assert!(usage().contains("--threads N"));

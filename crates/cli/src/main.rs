@@ -6,6 +6,8 @@
 //! ant solve prog.consts --stats            # constraint files work too
 //! ant query prog.c --pointer p             # one variable's set
 //! ant query prog.c --alias p q             # may-alias question
+//! ant explain prog.c p x                   # why does p point to x?
+//! ant explain-edge prog.c a b              # why is there an edge a → b?
 //! ant gen wine --scale 0.05 -o wine.consts # synthetic workload to a file
 //! ant compare prog.c                       # run every algorithm, verify agreement
 //! ```
@@ -25,6 +27,8 @@ fn main() -> ExitCode {
         "compile" => commands::compile(rest),
         "solve" => commands::solve(rest),
         "query" => commands::query(rest),
+        "explain" => commands::explain(rest),
+        "explain-edge" => commands::explain_edge(rest),
         "gen" => commands::gen(rest),
         "compare" => commands::compare(rest),
         "help" | "--help" | "-h" => {

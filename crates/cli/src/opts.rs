@@ -52,6 +52,11 @@ pub const FLAGS: &[FlagSpec] = &[
         help: "skip all offline preprocessing (alias for --passes none)",
     },
     FlagSpec {
+        name: "--record",
+        value: None,
+        help: "record derivation provenance + cost metrics (implied by explain)",
+    },
+    FlagSpec {
         name: "--stats",
         value: None,
         help: "print the solver's counters and memory accounting",

@@ -37,6 +37,18 @@ impl<T: HeapBytes> HeapBytes for Option<T> {
     }
 }
 
+impl<T: HeapBytes> HeapBytes for Box<T> {
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<T>() + T::heap_bytes(self)
+    }
+}
+
+impl HeapBytes for crate::obs::ProvRecorder {
+    fn heap_bytes(&self) -> usize {
+        crate::obs::ProvRecorder::heap_bytes(self)
+    }
+}
+
 /// Heap bytes of a vector of plain (non-owning) elements.
 pub fn vec_bytes<T>(v: &[T]) -> usize {
     std::mem::size_of_val(v)
@@ -66,5 +78,13 @@ mod tests {
     fn plain_vec_bytes() {
         let v: Vec<u32> = vec![0; 16];
         assert_eq!(vec_bytes(&v), 64);
+    }
+
+    #[test]
+    fn boxed_recorder_accounts_arena_bytes() {
+        let mut p = crate::obs::ProvRecorder::new();
+        p.record_tuple(1, 2, crate::obs::Reason::AddrOf);
+        let boxed = Box::new(p);
+        assert!(boxed.heap_bytes() >= std::mem::size_of::<crate::obs::ProvRecorder>());
     }
 }

@@ -95,7 +95,7 @@ pub struct ProgressSnapshot {
 /// One telemetry event, delivered to [`Observer::on_event`].
 ///
 /// [`Observer::on_event`]: crate::obs::Observer::on_event
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SolveEvent {
     /// A solver run begins; subsequent events belong to `name` until the
     /// next `SolverStart`.
@@ -178,6 +178,11 @@ pub enum SolveEvent {
         /// Wall time of the pass, in microseconds.
         micros: u64,
     },
+    /// The final metrics flush of a recorded solve: the counters,
+    /// histograms and top-K cost tables accumulated by the run's
+    /// `MetricsRegistry`. Emitted once, just before the solve phase
+    /// closes, and only when provenance recording was enabled.
+    Metrics(crate::obs::metrics::MetricsSnapshot),
 }
 
 #[cfg(test)]

@@ -1,0 +1,322 @@
+//! The metrics registry: monotonic counters, log2-bucket histograms and
+//! dense per-id series that attribute solver cost to individual variables
+//! and constraints.
+//!
+//! A [`MetricsRegistry`] is carried by the provenance recorder (see
+//! [`prov`](super::prov)) and flushed once at the end of a solve as a
+//! [`SolveEvent::Metrics`](super::SolveEvent::Metrics) record holding a
+//! [`MetricsSnapshot`]: the counters, every histogram, and a top-K table
+//! per series (hottest variables, fattest sets, most-retriggered
+//! constraints). Everything is flat vectors — no per-observation
+//! allocation once a named slot exists.
+
+/// A histogram with log2-spaced buckets: bucket 0 counts the value `0`,
+/// bucket `i ≥ 1` counts values in `[2^(i-1), 2^i)`. 33 buckets cover the
+/// full `u32` range (and saturate for larger values).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; Histogram::BUCKETS],
+}
+
+impl Histogram {
+    /// Number of buckets (value 0 plus one per power of two up to `2^32`).
+    pub const BUCKETS: usize = 33;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; Histogram::BUCKETS],
+        }
+    }
+
+    /// The bucket index a value lands in.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros() as usize).min(Histogram::BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive lower bound of bucket `i`.
+    pub fn bucket_low(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Counts one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The per-bucket counts.
+    pub fn buckets(&self) -> &[u64; Histogram::BUCKETS] {
+        &self.buckets
+    }
+
+    /// Compact `bucket:count` encoding of the non-empty buckets (the trace
+    /// format's flat-string representation, e.g. `"0:3 2:17"`).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(&format!("{i}:{c}"));
+            }
+        }
+        out
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// One top-K table of a [`MetricsSnapshot`]: the series name and its
+/// largest entries as `(id, value)`, descending by value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopEntries {
+    /// The series this table ranks (e.g. `"worklist_pops"`).
+    pub name: &'static str,
+    /// `(id, value)` pairs, largest value first. Ids are variable (or
+    /// constraint-pivot) indices into the solved program.
+    pub entries: Vec<(u32, u64)>,
+}
+
+/// The flushed form of a [`MetricsRegistry`], carried by
+/// [`SolveEvent::Metrics`](super::SolveEvent::Metrics).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, in registration order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Histograms: explicitly observed ones plus one derived per series
+    /// (the distribution of the series' values).
+    pub hists: Vec<(&'static str, Histogram)>,
+    /// One top-K table per series.
+    pub tops: Vec<TopEntries>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The top-K table of a series, if present.
+    pub fn top(&self, name: &str) -> Option<&TopEntries> {
+        self.tops.iter().find(|t| t.name == name)
+    }
+}
+
+/// Monotonic counters, histograms and dense per-id series, addressed by
+/// static names. Lookup is a linear scan over a handful of slots, so the
+/// registry adds no hashing to instrumented paths.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(&'static str, u64)>,
+    hists: Vec<(&'static str, Histogram)>,
+    series: Vec<(&'static str, Vec<u64>)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero first.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += delta,
+            None => self.counters.push((name, delta)),
+        }
+    }
+
+    /// Sets the named counter to `value` (used for end-of-run gauges such
+    /// as byte totals; still monotone per run since it is written once).
+    pub fn set(&mut self, name: &'static str, value: u64) {
+        match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v = value,
+            None => self.counters.push((name, value)),
+        }
+    }
+
+    /// The current value of a counter (zero when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        match self.hists.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, h)) => h.observe(value),
+            None => {
+                let mut h = Histogram::new();
+                h.observe(value);
+                self.hists.push((name, h));
+            }
+        }
+    }
+
+    /// Adds `delta` to entry `id` of the named dense series (growing it
+    /// with zeros as needed).
+    pub fn series_add(&mut self, name: &'static str, id: u32, delta: u64) {
+        let v = match self.series.iter_mut().position(|(n, _)| *n == name) {
+            Some(i) => &mut self.series[i].1,
+            None => {
+                self.series.push((name, Vec::new()));
+                &mut self.series.last_mut().expect("just pushed").1
+            }
+        };
+        let idx = id as usize;
+        if v.len() <= idx {
+            v.resize(idx + 1, 0);
+        }
+        v[idx] += delta;
+    }
+
+    /// Sets entry `id` of the named series to `value`.
+    pub fn series_set(&mut self, name: &'static str, id: u32, value: u64) {
+        self.series_add(name, id, 0);
+        let v = &mut self
+            .series
+            .iter_mut()
+            .find(|(n, _)| *n == name)
+            .expect("series exists")
+            .1;
+        v[id as usize] = value;
+    }
+
+    /// One entry of a series (zero when absent or out of range).
+    pub fn series_get(&self, name: &str, id: u32) -> u64 {
+        self.series
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| v.get(id as usize).copied())
+            .unwrap_or(0)
+    }
+
+    /// Heap bytes owned by the registry's tables.
+    pub fn heap_bytes(&self) -> usize {
+        self.counters.capacity() * std::mem::size_of::<(&str, u64)>()
+            + self.hists.capacity() * std::mem::size_of::<(&str, Histogram)>()
+            + self
+                .series
+                .iter()
+                .map(|(_, v)| v.capacity() * std::mem::size_of::<u64>())
+                .sum::<usize>()
+    }
+
+    /// Flushes the registry: counters verbatim, the explicit histograms
+    /// plus one derived histogram per series (distribution of its values),
+    /// and a top-`k` table per series (largest first, zeros excluded).
+    pub fn snapshot(&self, k: usize) -> MetricsSnapshot {
+        let mut hists = self.hists.clone();
+        let mut tops = Vec::with_capacity(self.series.len());
+        for (name, values) in &self.series {
+            let mut h = Histogram::new();
+            for &v in values {
+                h.observe(v);
+            }
+            hists.push((name, h));
+            let mut ranked: Vec<(u32, u64)> = values
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v > 0)
+                .map(|(i, &v)| (i as u32, v))
+                .collect();
+            ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            ranked.truncate(k);
+            tops.push(TopEntries {
+                name,
+                entries: ranked,
+            });
+        }
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            hists,
+            tops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1 << 20), 21);
+        assert_eq!(Histogram::bucket_of(u64::MAX), Histogram::BUCKETS - 1);
+        assert_eq!(Histogram::bucket_low(0), 0);
+        assert_eq!(Histogram::bucket_low(1), 1);
+        assert_eq!(Histogram::bucket_low(3), 4);
+    }
+
+    #[test]
+    fn histogram_encodes_non_empty_buckets() {
+        let mut h = Histogram::new();
+        h.observe(0);
+        h.observe(0);
+        h.observe(5);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.encode(), "0:2 3:1");
+    }
+
+    #[test]
+    fn counters_and_series() {
+        let mut m = MetricsRegistry::new();
+        m.add("pops", 3);
+        m.add("pops", 2);
+        m.set("bytes", 100);
+        assert_eq!(m.counter("pops"), 5);
+        assert_eq!(m.counter("bytes"), 100);
+        assert_eq!(m.counter("missing"), 0);
+        m.series_add("per_var", 4, 10);
+        m.series_add("per_var", 1, 7);
+        m.series_add("per_var", 4, 1);
+        assert_eq!(m.series_get("per_var", 4), 11);
+        assert_eq!(m.series_get("per_var", 0), 0);
+        m.observe("delta", 3);
+        let snap = m.snapshot(5);
+        assert_eq!(snap.counter("pops"), Some(5));
+        let top = snap.top("per_var").expect("table exists");
+        assert_eq!(top.entries, vec![(4, 11), (1, 7)]);
+        // Derived histogram for the series plus the explicit one.
+        assert_eq!(snap.hists.len(), 2);
+        assert!(m.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn snapshot_truncates_to_k_and_breaks_ties_by_id() {
+        let mut m = MetricsRegistry::new();
+        for i in 0..10u32 {
+            m.series_add("s", i, 5);
+        }
+        let snap = m.snapshot(3);
+        assert_eq!(snap.top("s").unwrap().entries, vec![(0, 5), (1, 5), (2, 5)]);
+    }
+}

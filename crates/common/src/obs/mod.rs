@@ -21,15 +21,25 @@
 //! The JSON layer ([`JsonObject`], [`parse_object`]) is hand-rolled for
 //! the flat one-object-per-line trace schema, keeping the workspace free
 //! of serialization crates.
+//!
+//! Two optional introspection layers sit on top of the event model:
+//! [`prov`] records *why* each points-to tuple and copy edge was derived
+//! (flat arenas, consumed by `ant_core::provenance`), and [`metrics`]
+//! attributes solver cost to individual variables and constraints,
+//! flushed once per recorded solve as [`SolveEvent::Metrics`].
 
 mod event;
 mod json;
+pub mod metrics;
 mod observer;
+pub mod prov;
 mod sink;
 mod timer;
 
 pub use event::{Phase, ProgressSnapshot, SolveEvent};
 pub use json::{escape_into, parse_object, JsonObject, JsonValue};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, TopEntries};
 pub use observer::{FanOut, NoopObserver, Obs, Observer};
+pub use prov::{ProvRecord, ProvRecorder, Reason};
 pub use sink::{ProgressPrinter, TraceWriter};
 pub use timer::PhaseTimer;

@@ -166,7 +166,7 @@ mod tests {
 
     impl Observer for Recorder {
         fn on_event(&mut self, event: &SolveEvent) {
-            self.events.push(*event);
+            self.events.push(event.clone());
         }
     }
 

@@ -1,0 +1,181 @@
+//! The provenance recorder: flat arenas remembering, for every points-to
+//! tuple and every copy edge the online solver derives, the constraint or
+//! propagation step that *first* derived it.
+//!
+//! Three arenas of [`ProvRecord`] (`(target, source, Reason)`), keyed by
+//! insertion order — no per-tuple allocation beyond the arena growth:
+//!
+//! * **tuples** — `target` is the variable, `source` the location; the
+//!   reason says whether the tuple is a base `AddressOf` fact or was
+//!   propagated along an edge from another variable.
+//! * **edges** — `target` is the edge destination, `source` the edge
+//!   source, always in *constraint direction* (`source ⊆ target`); the
+//!   reason is the originating `Copy` constraint or the complex
+//!   (load/store) constraint instance that added the edge online.
+//! * **merges** — `target` is the variable collapsed away (the loser),
+//!   `source` the surviving representative, in merge order. Offline
+//!   collapses (OVS) are *not* recorded here; they are reconstructed from
+//!   the pass pipeline's `SolutionMapping` at explanation time.
+//!
+//! Because every insertion into the solver's sets appends a record, the
+//! *first* record for a fact (scanning in insertion order, identifying
+//! variables up to the recorded merges) is a valid derivation whose
+//! premises were recorded strictly earlier — so chains found by
+//! first-record lookup always terminate at `AddressOf` facts. The
+//! explainer that exploits this lives in `ant_core::provenance`.
+//!
+//! The recorder also owns the run's [`MetricsRegistry`], so a single
+//! `Option<Box<ProvRecorder>>` test gates all recording.
+
+use super::metrics::MetricsRegistry;
+use crate::mem::vec_bytes;
+
+/// Why a fact (points-to tuple or graph edge) holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reason {
+    /// Base fact: an `AddressOf` constraint `target ⊇ {source}`.
+    AddrOf,
+    /// The tuple was copied into `target` by a propagation along the edge
+    /// from the named variable.
+    PropagatedFrom(u32),
+    /// The edge comes verbatim from a `Copy` constraint of the solved
+    /// program.
+    CopyConstraint,
+    /// The edge was added by a load constraint `target = *pivot` (plus
+    /// offset) when `loc` entered `pts(pivot)`; `source` of the record is
+    /// the variable `loc` resolved to.
+    LoadEdge {
+        /// The dereferenced pointer of the load constraint.
+        pivot: u32,
+        /// The location whose membership in `pts(pivot)` fired the edge.
+        loc: u32,
+    },
+    /// The edge was added by a store constraint `*pivot = source` (plus
+    /// offset) when `loc` entered `pts(pivot)`.
+    StoreEdge {
+        /// The dereferenced pointer of the store constraint.
+        pivot: u32,
+        /// The location whose membership in `pts(pivot)` fired the edge.
+        loc: u32,
+    },
+    /// `target` was collapsed into `source` by online cycle detection
+    /// (LCD, HCD, or a solver's own cycle elimination).
+    MergedWith,
+}
+
+/// One derivation record: `(target, source, Reason)`. The meaning of the
+/// two ids depends on the arena — see the module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProvRecord {
+    /// Tuple arena: the variable. Edge arena: the edge destination.
+    /// Merge arena: the collapsed (losing) variable.
+    pub target: u32,
+    /// Tuple arena: the location. Edge arena: the edge source. Merge
+    /// arena: the surviving representative.
+    pub source: u32,
+    /// The step that derived the fact.
+    pub reason: Reason,
+}
+
+/// The derivation recorder threaded through the online solvers, plus the
+/// run's metrics registry. Construct with [`ProvRecorder::new`], hand to a
+/// `solve_*_recorded` entry point, and query the returned recorder through
+/// `ant_core::provenance::Explainer`.
+#[derive(Clone, Debug, Default)]
+pub struct ProvRecorder {
+    /// Points-to tuple derivations, in insertion order.
+    pub tuples: Vec<ProvRecord>,
+    /// Copy-edge derivations (constraint direction), in insertion order.
+    pub edges: Vec<ProvRecord>,
+    /// Online collapses as `(loser, winner)` records, in merge order.
+    pub merges: Vec<ProvRecord>,
+    /// Counters, histograms and per-variable cost series for the run.
+    pub metrics: MetricsRegistry,
+}
+
+impl ProvRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        ProvRecorder::default()
+    }
+
+    /// Records the first derivation of tuple `loc ∈ pts(var)`.
+    #[inline]
+    pub fn record_tuple(&mut self, var: u32, loc: u32, reason: Reason) {
+        self.tuples.push(ProvRecord {
+            target: var,
+            source: loc,
+            reason,
+        });
+    }
+
+    /// Records the first derivation of the constraint-direction edge
+    /// `src → dst` (i.e. `pts(src) ⊆ pts(dst)`).
+    #[inline]
+    pub fn record_edge(&mut self, src: u32, dst: u32, reason: Reason) {
+        self.edges.push(ProvRecord {
+            target: dst,
+            source: src,
+            reason,
+        });
+    }
+
+    /// Records the online collapse of `loser` into `winner`.
+    #[inline]
+    pub fn record_merge(&mut self, loser: u32, winner: u32) {
+        self.merges.push(ProvRecord {
+            target: loser,
+            source: winner,
+            reason: Reason::MergedWith,
+        });
+    }
+
+    /// Total records across the three arenas.
+    pub fn len(&self) -> usize {
+        self.tuples.len() + self.edges.len() + self.merges.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Heap bytes owned by the arenas and the metrics registry.
+    pub fn heap_bytes(&self) -> usize {
+        vec_bytes(&self.tuples)
+            + vec_bytes(&self.edges)
+            + vec_bytes(&self.merges)
+            + self.metrics.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arenas_preserve_insertion_order() {
+        let mut p = ProvRecorder::new();
+        assert!(p.is_empty());
+        p.record_tuple(1, 9, Reason::AddrOf);
+        p.record_tuple(2, 9, Reason::PropagatedFrom(1));
+        p.record_edge(1, 2, Reason::CopyConstraint);
+        p.record_edge(3, 4, Reason::LoadEdge { pivot: 2, loc: 9 });
+        p.record_merge(5, 3);
+        assert_eq!(p.len(), 5);
+        assert_eq!(
+            p.tuples[0],
+            ProvRecord {
+                target: 1,
+                source: 9,
+                reason: Reason::AddrOf
+            }
+        );
+        assert_eq!(p.tuples[1].reason, Reason::PropagatedFrom(1));
+        assert_eq!(p.edges[1].reason, Reason::LoadEdge { pivot: 2, loc: 9 });
+        assert_eq!(p.merges[0].target, 5);
+        assert_eq!(p.merges[0].source, 3);
+        assert_eq!(p.merges[0].reason, Reason::MergedWith);
+        assert!(p.heap_bytes() > 0);
+    }
+}

@@ -4,8 +4,9 @@
 use std::io::{self, Write};
 use std::time::Instant;
 
-use super::event::SolveEvent;
+use super::event::{Phase, ProgressSnapshot, SolveEvent};
 use super::json::JsonObject;
+use super::metrics::MetricsSnapshot;
 use super::observer::Observer;
 
 /// Writes one flat JSON object per event (JSON Lines).
@@ -27,6 +28,15 @@ use super::observer::Observer;
 /// | `round_summary`   | `round`, `nodes`, `shards`, `hints`, `hint_hits`, `worker_micros` |
 /// | `shard_utilization` | `round`, `shard`, `nodes`, `busy_micros`          |
 /// | `pass_summary`    | `pass`, `constraints_before`, `constraints_after`, `vars_merged`, `micros` |
+/// | `metrics`         | see below                                           |
+///
+/// A [`SolveEvent::Metrics`] flush expands into *several* flat lines (the
+/// parser deliberately rejects nested values): first a `kind="summary"`
+/// line with `counters`/`hists`/`tops` cardinalities, then one
+/// `kind="counter"` line per counter (`name`, `value`), one `kind="hist"`
+/// line per histogram (`name`, `count`, `buckets` as a `"bucket:count ..."`
+/// string), and one `kind="top"` line per top-K table (`name`, `entries`
+/// as an `"id:value ..."` string, largest first).
 pub struct TraceWriter<W: Write> {
     out: W,
     epoch: Instant,
@@ -58,6 +68,9 @@ impl<W: Write> TraceWriter<W> {
     }
 
     fn record(&mut self, event: &SolveEvent) -> String {
+        if let SolveEvent::Metrics(snap) = event {
+            return self.record_metrics(snap);
+        }
         let mut o = JsonObject::new();
         o.float_field("t", self.epoch.elapsed().as_secs_f64());
         match event {
@@ -149,8 +162,56 @@ impl<W: Write> TraceWriter<W> {
                 o.uint_field("vars_merged", *vars_merged);
                 o.uint_field("micros", *micros);
             }
+            // Handled by the early return above.
+            SolveEvent::Metrics(_) => unreachable!("metrics records are multi-line"),
         }
         o.finish()
+    }
+
+    fn record_metrics(&mut self, snap: &MetricsSnapshot) -> String {
+        let t = self.epoch.elapsed().as_secs_f64();
+        let head = |kind: &str| {
+            let mut o = JsonObject::new();
+            o.float_field("t", t);
+            o.str_field("event", "metrics");
+            o.str_field("solver", self.solver);
+            o.str_field("kind", kind);
+            o
+        };
+        let mut lines =
+            Vec::with_capacity(1 + snap.counters.len() + snap.hists.len() + snap.tops.len());
+        let mut o = head("summary");
+        o.uint_field("counters", snap.counters.len() as u64);
+        o.uint_field("hists", snap.hists.len() as u64);
+        o.uint_field("tops", snap.tops.len() as u64);
+        lines.push(o.finish());
+        for &(name, value) in &snap.counters {
+            let mut o = head("counter");
+            o.str_field("name", name);
+            o.uint_field("value", value);
+            lines.push(o.finish());
+        }
+        for (name, hist) in &snap.hists {
+            let mut o = head("hist");
+            o.str_field("name", name);
+            o.uint_field("count", hist.count());
+            o.str_field("buckets", &hist.encode());
+            lines.push(o.finish());
+        }
+        for top in &snap.tops {
+            let mut o = head("top");
+            o.str_field("name", top.name);
+            let mut entries = String::new();
+            for &(id, value) in &top.entries {
+                if !entries.is_empty() {
+                    entries.push(' ');
+                }
+                entries.push_str(&format!("{id}:{value}"));
+            }
+            o.str_field("entries", &entries);
+            lines.push(o.finish());
+        }
+        lines.join("\n")
     }
 }
 
@@ -168,9 +229,15 @@ impl<W: Write> Observer for TraceWriter<W> {
 
 /// Prints human-readable progress lines — phase transitions and periodic
 /// snapshots — meant for a terminal (stderr) while a long solve runs.
+///
+/// Every line is flushed as it is written (progress that sits in a
+/// buffer is no progress at all), and the end of the solve phase always
+/// prints a final summary line from the latest snapshot — even when the
+/// solve finished before the first `--progress-every` interval.
 pub struct ProgressPrinter<W: Write> {
     out: W,
     solver: &'static str,
+    last: ProgressSnapshot,
 }
 
 impl ProgressPrinter<io::Stderr> {
@@ -183,7 +250,11 @@ impl ProgressPrinter<io::Stderr> {
 impl<W: Write> ProgressPrinter<W> {
     /// Wraps an arbitrary writer (used by tests).
     pub fn new(out: W) -> Self {
-        ProgressPrinter { out, solver: "" }
+        ProgressPrinter {
+            out,
+            solver: "",
+            last: ProgressSnapshot::default(),
+        }
     }
 
     fn tag(&self) -> &'static str {
@@ -193,12 +264,36 @@ impl<W: Write> ProgressPrinter<W> {
             self.solver
         }
     }
+
+    fn print_metrics(&mut self, tag: &'static str, snap: &MetricsSnapshot) -> io::Result<()> {
+        writeln!(
+            self.out,
+            "[{tag}] metrics: {} counters | {} histograms | {} hotspot tables",
+            snap.counters.len(),
+            snap.hists.len(),
+            snap.tops.len()
+        )?;
+        for top in &snap.tops {
+            if top.entries.is_empty() {
+                continue;
+            }
+            let mut s = String::new();
+            for &(id, value) in top.entries.iter().take(3) {
+                if !s.is_empty() {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("v{id}={value}"));
+            }
+            writeln!(self.out, "[{tag}]   hottest {}: {s}", top.name)?;
+        }
+        Ok(())
+    }
 }
 
 impl<W: Write> Observer for ProgressPrinter<W> {
     fn on_event(&mut self, event: &SolveEvent) {
         let tag = self.tag();
-        let _ = match event {
+        let result = match event {
             SolveEvent::SolverStart { name } => {
                 self.solver = name;
                 writeln!(self.out, "[{name}] start")
@@ -207,14 +302,28 @@ impl<W: Write> Observer for ProgressPrinter<W> {
                 writeln!(self.out, "[{tag}] {} ...", phase.name())
             }
             SolveEvent::PhaseEnd { phase, duration } => {
-                writeln!(
+                let mut r = writeln!(
                     self.out,
                     "[{tag}] {} done in {:.3}s",
                     phase.name(),
                     duration.as_secs_f64()
-                )
+                );
+                // Always leave a final summary for the solve, even when it
+                // finished before the first progress interval fired.
+                if r.is_ok() && *phase == Phase::Solve {
+                    let s = self.last;
+                    r = writeln!(
+                        self.out,
+                        "[{tag}] summary: nodes {} | propagations {} | pts {:.1} MiB",
+                        s.nodes_processed,
+                        s.propagations,
+                        s.pts_bytes as f64 / (1024.0 * 1024.0)
+                    );
+                }
+                r
             }
             SolveEvent::Progress(s) => {
+                self.last = *s;
                 writeln!(
                     self.out,
                     "[{tag}] worklist {} | nodes {} | propagations {} | pts {:.1} MiB",
@@ -267,12 +376,15 @@ impl<W: Write> Observer for ProgressPrinter<W> {
                     *micros as f64 / 1000.0
                 )
             }
+            SolveEvent::Metrics(snap) => self.print_metrics(tag, snap),
             // Cycle, mutation and per-shard events are too frequent for a
             // terminal; shard detail stays available in the JSONL trace.
             SolveEvent::CycleCollapsed { .. }
             | SolveEvent::GraphMutation { .. }
             | SolveEvent::ShardUtilization { .. } => Ok(()),
         };
+        // Progress sitting in a buffer is no progress at all.
+        let _ = result.and_then(|()| self.out.flush());
     }
 }
 
@@ -386,8 +498,74 @@ mod tests {
         assert!(text.contains("intern hit rate 75.0%"));
         assert!(text.contains("round 4: 256 nodes | 2 shards | 81/90 hints used"));
         assert!(text.contains("pass ovs: 200 -> 50 constraints (75.0% cut) | 60 vars merged"));
+        // The solve phase always closes with a summary of the last snapshot.
+        assert!(text.contains("[lcd] summary: nodes 40 | propagations 99 | pts 1.0 MiB"));
         // Chatty events are suppressed.
         assert!(!text.contains("members"));
         assert!(!text.contains("busy"));
+    }
+
+    #[test]
+    fn progress_printer_summarizes_even_without_progress_lines() {
+        let mut p = ProgressPrinter::new(Vec::new());
+        p.on_event(&SolveEvent::SolverStart { name: "lcd" });
+        p.on_event(&SolveEvent::PhaseEnd {
+            phase: Phase::Solve,
+            duration: Duration::from_millis(2),
+        });
+        let text = String::from_utf8(p.out).unwrap();
+        assert!(text.contains("[lcd] summary: nodes 0 | propagations 0"));
+    }
+
+    fn sample_metrics() -> SolveEvent {
+        let mut m = crate::obs::MetricsRegistry::new();
+        m.add("worklist_pops", 40);
+        m.observe("propagation_delta", 3);
+        m.series_add("pops_per_var", 2, 30);
+        m.series_add("pops_per_var", 5, 10);
+        SolveEvent::Metrics(m.snapshot(8))
+    }
+
+    #[test]
+    fn trace_writer_expands_metrics_into_flat_lines() {
+        let mut w = TraceWriter::new(Vec::new());
+        w.on_event(&SolveEvent::SolverStart { name: "lcd" });
+        w.on_event(&sample_metrics());
+        assert!(w.error().is_none());
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        let maps: Vec<_> = text
+            .lines()
+            .skip(1)
+            .map(|l| parse_object(l).unwrap())
+            .collect();
+        // Summary + 1 counter + 2 hists (explicit + derived) + 1 top.
+        assert_eq!(maps.len(), 5);
+        for m in &maps {
+            assert_eq!(m["event"].as_str(), Some("metrics"));
+            assert_eq!(m["solver"].as_str(), Some("lcd"));
+        }
+        assert_eq!(maps[0]["kind"].as_str(), Some("summary"));
+        assert_eq!(maps[0]["counters"].as_u64(), Some(1));
+        assert_eq!(maps[0]["hists"].as_u64(), Some(2));
+        assert_eq!(maps[0]["tops"].as_u64(), Some(1));
+        assert_eq!(maps[1]["kind"].as_str(), Some("counter"));
+        assert_eq!(maps[1]["name"].as_str(), Some("worklist_pops"));
+        assert_eq!(maps[1]["value"].as_u64(), Some(40));
+        assert_eq!(maps[2]["kind"].as_str(), Some("hist"));
+        assert_eq!(maps[2]["name"].as_str(), Some("propagation_delta"));
+        assert_eq!(maps[2]["buckets"].as_str(), Some("2:1"));
+        assert_eq!(maps[4]["kind"].as_str(), Some("top"));
+        assert_eq!(maps[4]["name"].as_str(), Some("pops_per_var"));
+        assert_eq!(maps[4]["entries"].as_str(), Some("2:30 5:10"));
+    }
+
+    #[test]
+    fn progress_printer_renders_metrics_hotspots() {
+        let mut p = ProgressPrinter::new(Vec::new());
+        p.on_event(&SolveEvent::SolverStart { name: "lcd" });
+        p.on_event(&sample_metrics());
+        let text = String::from_utf8(p.out).unwrap();
+        assert!(text.contains("[lcd] metrics: 1 counters | 2 histograms | 1 hotspot tables"));
+        assert!(text.contains("[lcd]   hottest pops_per_var: v2=30, v5=10"));
     }
 }

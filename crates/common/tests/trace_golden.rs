@@ -1,0 +1,148 @@
+//! Golden-file test for the JSONL trace format.
+//!
+//! A fixed event sequence is serialized through [`TraceWriter`] and
+//! compared line by line against the checked-in fixture
+//! `tests/fixtures/trace_golden.jsonl`. Timestamps and span durations are
+//! wall-clock dependent, so the `t` and `seconds` fields are normalized to
+//! `0.000000` on both sides before comparison — everything else (field
+//! names, field order, value formatting, the multi-line metrics
+//! expansion) must match byte for byte. Renaming an event or a field
+//! breaks this test, which is the point: `trace_report` and any external
+//! trace consumer parse these exact strings.
+//!
+//! To regenerate the fixture after an *intentional* schema change:
+//!
+//! ```text
+//! TRACE_GOLDEN_REGENERATE=1 cargo test -p ant-common --test trace_golden
+//! ```
+
+use ant_common::obs::metrics::MetricsRegistry;
+use ant_common::obs::{Observer, Phase, ProgressSnapshot, SolveEvent, TraceWriter};
+use ant_common::ReprCacheStats;
+use std::time::Duration;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/trace_golden.jsonl"
+);
+
+/// Every event kind the schema defines, once, with distinctive values.
+fn fixed_events() -> Vec<SolveEvent> {
+    let mut reg = MetricsRegistry::new();
+    reg.add("worklist_pops", 42);
+    reg.add("pts_bytes", 4096);
+    reg.observe("propagation_delta", 1);
+    reg.observe("propagation_delta", 7);
+    reg.series_add("pops_per_var", 3, 19);
+    reg.series_add("pops_per_var", 9, 2);
+    vec![
+        SolveEvent::PhaseStart {
+            phase: Phase::Parse,
+        },
+        SolveEvent::PhaseEnd {
+            phase: Phase::Parse,
+            duration: Duration::from_micros(1500),
+        },
+        SolveEvent::PassSummary {
+            pass: "ovs",
+            constraints_before: 200,
+            constraints_after: 50,
+            vars_merged: 60,
+            micros: 1200,
+        },
+        SolveEvent::SolverStart { name: "lcd+hcd" },
+        SolveEvent::PhaseStart {
+            phase: Phase::Solve,
+        },
+        SolveEvent::Progress(ProgressSnapshot {
+            worklist_len: 10,
+            nodes_processed: 5,
+            propagations: 7,
+            pts_bytes: 1 << 20,
+        }),
+        SolveEvent::CycleCollapsed { members: 3 },
+        SolveEvent::GraphMutation { edges_added: 2 },
+        SolveEvent::ShardUtilization {
+            round: 2,
+            shard: 0,
+            nodes: 64,
+            busy_micros: 400,
+        },
+        SolveEvent::RoundSummary {
+            round: 2,
+            nodes: 128,
+            shards: 2,
+            hints: 50,
+            hint_hits: 45,
+            worker_micros: 800,
+        },
+        SolveEvent::ReprCache(ReprCacheStats {
+            intern_hits: 30,
+            intern_misses: 10,
+            memo_hits: 75,
+            memo_misses: 25,
+            distinct_sets: 11,
+        }),
+        SolveEvent::Metrics(reg.snapshot(10)),
+        SolveEvent::PhaseEnd {
+            phase: Phase::Solve,
+            duration: Duration::from_micros(2500),
+        },
+    ]
+}
+
+/// Replaces the wall-clock dependent `"t":X` and `"seconds":X` values with
+/// `0.000000` so runs are comparable.
+fn normalize(text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        let mut line = line.to_owned();
+        for key in ["\"t\":", "\"seconds\":"] {
+            if let Some(start) = line.find(key) {
+                let vstart = start + key.len();
+                let vend = line[vstart..]
+                    .find([',', '}'])
+                    .map(|i| vstart + i)
+                    .unwrap_or(line.len());
+                line.replace_range(vstart..vend, "0.000000");
+            }
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn trace_format_matches_checked_in_fixture() {
+    let mut writer = TraceWriter::new(Vec::new());
+    for event in fixed_events() {
+        writer.on_event(&event);
+    }
+    let emitted = String::from_utf8(writer.into_inner()).unwrap();
+    let emitted = normalize(&emitted);
+
+    if std::env::var("TRACE_GOLDEN_REGENERATE").is_ok() {
+        std::fs::write(FIXTURE, &emitted).unwrap();
+        return;
+    }
+
+    let golden = normalize(&std::fs::read_to_string(FIXTURE).unwrap_or_else(|e| {
+        panic!("missing fixture {FIXTURE}: {e}; run with TRACE_GOLDEN_REGENERATE=1 to create")
+    }));
+    for (i, (got, want)) in emitted.lines().zip(golden.lines()).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "trace line {} drifted from the golden fixture — if the schema \
+             change is intentional, regenerate with TRACE_GOLDEN_REGENERATE=1 \
+             and update every trace consumer",
+            i + 1
+        );
+    }
+    assert_eq!(
+        emitted.lines().count(),
+        golden.lines().count(),
+        "line count drifted from the golden fixture"
+    );
+}

@@ -88,6 +88,17 @@ impl SolutionMapping {
         self.rep.iter().enumerate().all(|(i, r)| r.index() == i)
     }
 
+    /// Did some pass rename `v` away? When true, a derivation explainer
+    /// must surface the `v ≡ rep_of(v)` hop before walking solver-side
+    /// provenance records, which only speak about representatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn was_merged(&self, v: VarId) -> bool {
+        self.rep_of(v) != v
+    }
+
     /// Composes a later rename on top: afterwards
     /// `rep_of(v) = next[old_rep_of(v)]`. This is the mapping composition
     /// law — `next` speaks about the program the *previous* passes

@@ -16,6 +16,7 @@
 
 use crate::Solution;
 use ant_bdd::{Bdd, BddManager, CubeId, Domain};
+use ant_common::obs::prov::{ProvRecorder, Reason};
 use ant_common::obs::{Obs, ProgressSnapshot, SolveEvent};
 use ant_common::{SolverStats, UnionFind, VarId};
 use ant_constraints::hcd::HcdOffline;
@@ -48,10 +49,16 @@ struct Blq<'p, 'a, 'o> {
     /// Borrowed (not owned): the driver emits the final snapshot and closes
     /// the Solve phase span after this solver returns.
     obs: &'a mut Obs<'o>,
+    /// Optional derivation recorder. BLQ has no per-tuple insertion sites —
+    /// whole relations change at once — so recording enumerates each round's
+    /// delta and attributes every new tuple/edge by membership probes
+    /// against the frozen relations. Extra BDD operations never touch the
+    /// §5.3 counters, so recorded runs stay counter-identical.
+    prov: Option<Box<ProvRecorder>>,
 }
 
 impl<'p, 'a, 'o> Blq<'p, 'a, 'o> {
-    fn new(program: &'p Program, obs: &'a mut Obs<'o>) -> Self {
+    fn new(program: &'p Program, obs: &'a mut Obs<'o>, prov: Option<Box<ProvRecorder>>) -> Self {
         let n = program.num_vars().max(2) as u64;
         let mut m = BddManager::new();
         let mut doms = m.new_interleaved_domains(&[n, n, n]).into_iter();
@@ -78,6 +85,7 @@ impl<'p, 'a, 'o> Blq<'p, 'a, 'o> {
             uf: UnionFind::new(program.num_vars().max(1)),
             stats: SolverStats::new(),
             obs,
+            prov,
         }
     }
 
@@ -107,6 +115,19 @@ impl<'p, 'a, 'o> Blq<'p, 'a, 'o> {
     }
 
     fn load_constraints(&mut self) {
+        if let Some(p) = self.prov.as_mut() {
+            for c in self.program.constraints() {
+                match c.kind {
+                    ConstraintKind::AddrOf => {
+                        p.record_tuple(c.lhs.as_u32(), c.rhs.as_u32(), Reason::AddrOf);
+                    }
+                    ConstraintKind::Copy if c.lhs != c.rhs => {
+                        p.record_edge(c.rhs.as_u32(), c.lhs.as_u32(), Reason::CopyConstraint);
+                    }
+                    _ => {}
+                }
+            }
+        }
         for c in self.program.constraints().to_vec() {
             match (c.kind, c.offset) {
                 (ConstraintKind::AddrOf, _) => {
@@ -158,6 +179,19 @@ impl<'p, 'a, 'o> Blq<'p, 'a, 'o> {
     }
 
     fn propagate_inner(&mut self, frontier: Bdd) {
+        // Frontier tuples enter `P` directly, not through the closure loop
+        // below; the genuinely new ones (rows that flowed over freshly
+        // added complex edges) must be recorded here, attributed to a
+        // predecessor whose *existing* row supplied the location. On the
+        // initial call `P` is empty, so nothing matches and the base
+        // tuples keep their `AddrOf` records from `load_constraints`.
+        if self.prov.is_some() {
+            let fresh = self.m.diff(frontier, self.p_rel);
+            if !fresh.is_zero() {
+                let prior = self.p_rel;
+                self.record_new_tuples(fresh, prior);
+            }
+        }
         let mut delta = frontier;
         self.p_rel = self.m.or(self.p_rel, delta);
         while !delta.is_zero() {
@@ -170,6 +204,9 @@ impl<'p, 'a, 'o> Blq<'p, 'a, 'o> {
                 break;
             }
             self.stats.propagations_changed += 1;
+            if self.prov.is_some() {
+                self.record_new_tuples(new, delta);
+            }
             self.p_rel = self.m.or(self.p_rel, new);
             delta = new;
         }
@@ -179,6 +216,131 @@ impl<'p, 'a, 'o> Blq<'p, 'a, 'o> {
     fn row(&mut self, x: VarId) -> Bdd {
         let vx = self.m.domain_value(&self.dv, x.as_u32() as u64);
         self.m.relprod(self.p_rel, vx, self.cube_v)
+    }
+
+    /// Enumerates the tuples of `new` (all absent from `p_rel`) and records
+    /// each as propagated from some predecessor whose `delta` row held the
+    /// location. The probes are read-only BDD operations, so counters and
+    /// the fixpoint itself are unaffected.
+    fn record_new_tuples(&mut self, new: Bdd, delta: Bdd) {
+        let mut records: Vec<(u32, u32, Reason)> = Vec::new();
+        let cube_l = self.m.domain_cube(&self.dl);
+        let target_col = self.m.exists(new, cube_l);
+        let targets = self.m.domain_values(target_col, &self.dv);
+        for w in targets {
+            let vw = self.m.domain_value(&self.dv, w);
+            let row = self.m.relprod(new, vw, self.cube_v);
+            let locs = self.m.domain_values(row, &self.dl);
+            let ww = self.m.domain_value(&self.dw, w);
+            let preds_bdd = self.m.relprod(self.e_rel, ww, self.cube_w);
+            let preds = self.m.domain_values(preds_bdd, &self.dv);
+            for loc in locs {
+                let src = preds.iter().copied().find(|&v| {
+                    let t = self.m.tuple(&[(&self.dv, v), (&self.dl, loc)]);
+                    !self.m.and(delta, t).is_zero()
+                });
+                if let Some(v) = src {
+                    records.push((w as u32, loc as u32, Reason::PropagatedFrom(v as u32)));
+                }
+            }
+        }
+        let p = self.prov.as_mut().expect("caller checked");
+        let n = records.len() as u64;
+        for (w, loc, r) in records {
+            p.record_tuple(w, loc, r);
+        }
+        p.metrics.observe("propagation_delta", n);
+    }
+
+    /// Enumerates `new_edges` and attributes each to the complex constraint
+    /// relation that implies it under the current `P`.
+    fn record_new_edges(&mut self, new_edges: Bdd) {
+        let mut records: Vec<(u32, u32, Reason)> = Vec::new();
+        let src_col = self.m.exists(new_edges, self.cube_w);
+        let srcs = self.m.domain_values(src_col, &self.dv);
+        for sv in srcs {
+            let vs = self.m.domain_value(&self.dv, sv);
+            let drow = self.m.relprod(new_edges, vs, self.cube_v);
+            for dv in self.m.domain_values(drow, &self.dw) {
+                let reason = self.edge_reason(sv, dv).unwrap_or(Reason::CopyConstraint);
+                records.push((sv as u32, dv as u32, reason));
+            }
+        }
+        let p = self.prov.as_mut().expect("caller checked");
+        for (s, d, r) in records {
+            p.record_edge(s, d, r);
+        }
+    }
+
+    /// Finds one justification for the complex-constraint edge `s → d`:
+    /// a load/store relation row plus a points-to member that maps to one
+    /// endpoint through `loc2node` (offset 0) or `Add_k` (offset k).
+    fn edge_reason(&mut self, s: u64, d: u64) -> Option<Reason> {
+        let wd = self.m.domain_value(&self.dw, d);
+        let ws = self.m.domain_value(&self.dw, s);
+        // 0-offset loads: (ptr, d) ∈ L, o ∈ pts(ptr), node(o) = s.
+        let ptrs_bdd = self.m.relprod(self.load_rel, wd, self.cube_w);
+        for ptr in self.m.domain_values(ptrs_bdd, &self.dv) {
+            let prow = self.row(VarId::from_u32(ptr as u32));
+            for o in self.m.domain_values(prow, &self.dl) {
+                let t = self.m.tuple(&[(&self.dl, o), (&self.dv, s)]);
+                if !self.m.and(self.loc2node, t).is_zero() {
+                    return Some(Reason::LoadEdge {
+                        pivot: ptr as u32,
+                        loc: o as u32,
+                    });
+                }
+            }
+        }
+        // 0-offset stores: (ptr, s) ∈ S, o ∈ pts(ptr), node(o) = d.
+        let ptrs_bdd = self.m.relprod(self.store_rel, ws, self.cube_w);
+        for ptr in self.m.domain_values(ptrs_bdd, &self.dv) {
+            let prow = self.row(VarId::from_u32(ptr as u32));
+            for o in self.m.domain_values(prow, &self.dl) {
+                let t = self.m.tuple(&[(&self.dl, o), (&self.dv, d)]);
+                if !self.m.and(self.loc2node, t).is_zero() {
+                    return Some(Reason::StoreEdge {
+                        pivot: ptr as u32,
+                        loc: o as u32,
+                    });
+                }
+            }
+        }
+        // Offset variants: Add_k maps the member t to the node of t + k.
+        for i in 0..self.offsets.len() {
+            let (_, l_k, s_k, add) = self.offsets[i];
+            if !l_k.is_zero() {
+                let ptrs_bdd = self.m.relprod(l_k, wd, self.cube_w);
+                for ptr in self.m.domain_values(ptrs_bdd, &self.dv) {
+                    let prow = self.row(VarId::from_u32(ptr as u32));
+                    for t in self.m.domain_values(prow, &self.dl) {
+                        let tup = self.m.tuple(&[(&self.dl, t), (&self.dv, s)]);
+                        if !self.m.and(add, tup).is_zero() {
+                            return Some(Reason::LoadEdge {
+                                pivot: ptr as u32,
+                                loc: t as u32,
+                            });
+                        }
+                    }
+                }
+            }
+            if !s_k.is_zero() {
+                let ptrs_bdd = self.m.relprod(s_k, ws, self.cube_w);
+                for ptr in self.m.domain_values(ptrs_bdd, &self.dv) {
+                    let prow = self.row(VarId::from_u32(ptr as u32));
+                    for t in self.m.domain_values(prow, &self.dl) {
+                        let tup = self.m.tuple(&[(&self.dl, t), (&self.dv, d)]);
+                        if !self.m.and(add, tup).is_zero() {
+                            return Some(Reason::StoreEdge {
+                                pivot: ptr as u32,
+                                loc: t as u32,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// Materializes all edges implied by the complex constraints under the
@@ -260,6 +422,9 @@ impl<'p, 'a, 'o> Blq<'p, 'a, 'o> {
                     let l = if w == rv { rb } else { rv };
                     merges.push((l, w));
                     self.stats.nodes_collapsed += 1;
+                    if let Some(p) = self.prov.as_mut() {
+                        p.record_merge(l.as_u32(), w.as_u32());
+                    }
                 }
             }
         }
@@ -331,7 +496,10 @@ impl<'p, 'a, 'o> Blq<'p, 'a, 'o> {
         self.m.rename(c2, &self.dl, &self.dw) // (dv, dw)
     }
 
-    fn solve(mut self, hcd: Option<&HcdOffline>) -> (Solution, SolverStats) {
+    fn solve(
+        mut self,
+        hcd: Option<&HcdOffline>,
+    ) -> (Solution, SolverStats, Option<Box<ProvRecorder>>) {
         self.load_constraints();
         // The base tuples are the first frontier.
         let base = self.p_rel;
@@ -355,6 +523,9 @@ impl<'p, 'a, 'o> Blq<'p, 'a, 'o> {
             let edges = self.complex_edges();
             let new_edges = self.m.diff(edges, self.e_rel);
             if !new_edges.is_zero() {
+                if self.prov.is_some() {
+                    self.record_new_edges(new_edges);
+                }
                 self.e_rel = self.m.or(self.e_rel, new_edges);
                 self.stats.edges_added += 1;
                 self.obs.emit(&SolveEvent::GraphMutation { edges_added: 1 });
@@ -395,7 +566,7 @@ impl<'p, 'a, 'o> Blq<'p, 'a, 'o> {
         }
         self.stats.pts_bytes = self.m.heap_bytes();
         self.stats.aux_bytes = self.uf.heap_bytes();
-        (Solution::from_sets(sets), self.stats)
+        (Solution::from_sets(sets), self.stats, self.prov)
     }
 }
 
@@ -404,8 +575,9 @@ pub(crate) fn blq(
     program: &Program,
     hcd: Option<&HcdOffline>,
     obs: &mut Obs<'_>,
-) -> (Solution, SolverStats) {
-    Blq::new(program, obs).solve(hcd)
+    prov: Option<Box<ProvRecorder>>,
+) -> (Solution, SolverStats, Option<Box<ProvRecorder>>) {
+    Blq::new(program, obs, prov).solve(hcd)
 }
 
 #[cfg(test)]
@@ -433,7 +605,7 @@ mod tests {
     #[test]
     fn blq_solves_loads_and_stores() {
         let program = program_with_cycle();
-        let (sol, stats) = blq(&program, None, &mut Obs::none());
+        let (sol, stats, _) = blq(&program, None, &mut Obs::none(), None);
         assert_sound(&program, &sol);
         let r = program.var_by_name("r").unwrap();
         let y = program.var_by_name("y").unwrap();
@@ -446,9 +618,9 @@ mod tests {
     #[test]
     fn blq_hcd_agrees_with_plain() {
         let program = program_with_cycle();
-        let (s1, _) = blq(&program, None, &mut Obs::none());
+        let (s1, _, _) = blq(&program, None, &mut Obs::none(), None);
         let hcd = HcdOffline::analyze(&program);
-        let (s2, st2) = blq(&program, Some(&hcd), &mut Obs::none());
+        let (s2, st2, _) = blq(&program, Some(&hcd), &mut Obs::none(), None);
         assert_sound(&program, &s2);
         assert!(s1.equiv(&s2), "diff at {:?}", s1.first_difference(&s2));
         let _ = st2;
@@ -468,7 +640,7 @@ mod tests {
         pb.store_offset(fp, q, 2);
         pb.load_offset(r, fp, 1);
         let program = pb.finish();
-        let (sol, _) = blq(&program, None, &mut Obs::none());
+        let (sol, _, _) = blq(&program, None, &mut Obs::none(), None);
         assert_sound(&program, &sol);
         assert!(sol.may_point_to(r, x));
     }
@@ -476,7 +648,7 @@ mod tests {
     #[test]
     fn empty_program_is_fine() {
         let program = ProgramBuilder::new().finish();
-        let (sol, _) = blq(&program, None, &mut Obs::none());
+        let (sol, _, _) = blq(&program, None, &mut Obs::none(), None);
         assert_eq!(sol.num_vars(), 0);
     }
 
@@ -496,7 +668,7 @@ mod tests {
         pb.load(r, p);
         pb.load(s, r);
         let program = pb.finish();
-        let (sol, _) = blq(&program, None, &mut Obs::none());
+        let (sol, _, _) = blq(&program, None, &mut Obs::none(), None);
         assert_sound(&program, &sol);
         assert!(sol.may_point_to(r, x));
     }

@@ -50,6 +50,7 @@
 use crate::pts::PtsRepr;
 use crate::state::{OnlineState, RoundHint};
 use ant_common::fx::FxHashSet;
+use ant_common::obs::prov::ProvRecorder;
 use ant_common::obs::{Obs, SolveEvent};
 use ant_common::worklist::Worklist;
 use ant_common::VarId;
@@ -157,9 +158,13 @@ pub(crate) fn run<'o, P: PtsRepr>(
     hcd: Option<&HcdOffline>,
     obs: Obs<'o>,
     threads: usize,
+    prov: Option<Box<ProvRecorder>>,
 ) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
     st.obs = obs;
+    if let Some(p) = prov {
+        st.install_prov(program, p);
+    }
     if let Some(h) = hcd {
         st.install_hcd(h);
     }
@@ -210,6 +215,7 @@ pub(crate) fn run<'o, P: PtsRepr>(
             rq.last_fired[popped.index()] = rq.clock;
             rq.clock += 1;
             st.stats.nodes_processed += 1;
+            st.note_pop(popped);
             let in_batch = batch.len() - i - 1;
             st.tick_progress(|| in_batch + rq.pending.len());
             match family {
@@ -390,12 +396,12 @@ mod tests {
         let hcd = HcdOffline::analyze(&program);
         for h in [None, Some(&hcd)] {
             for (fam, seq) in [
-                (Family::Basic, basic::<BitmapPts> as fn(_, _, _, _) -> _),
+                (Family::Basic, basic::<BitmapPts> as fn(_, _, _, _, _) -> _),
                 (Family::Lcd, lcd::<BitmapPts>),
                 (Family::Pkh, pkh::<BitmapPts>),
             ] {
-                let mut s = seq(&program, WorklistKind::DividedLrf, h, Obs::none());
-                let mut p = run::<BitmapPts>(&program, fam, h, Obs::none(), 4);
+                let mut s = seq(&program, WorklistKind::DividedLrf, h, Obs::none(), None);
+                let mut p = run::<BitmapPts>(&program, fam, h, Obs::none(), 4, None);
                 assert_eq!(
                     counters(&s.stats),
                     counters(&p.stats),
@@ -417,8 +423,8 @@ mod tests {
     #[test]
     fn context_bound_reprs_skip_the_worker_phase_but_still_match() {
         let program = WorkloadSpec::tiny(3).generate();
-        let mut s = lcd::<SharedPts>(&program, WorklistKind::DividedLrf, None, Obs::none());
-        let mut p = run::<SharedPts>(&program, Family::Lcd, None, Obs::none(), 4);
+        let mut s = lcd::<SharedPts>(&program, WorklistKind::DividedLrf, None, Obs::none(), None);
+        let mut p = run::<SharedPts>(&program, Family::Lcd, None, Obs::none(), 4, None);
         assert_eq!(counters(&s.stats), counters(&p.stats));
         assert!(Solution::from_state(&mut s).equiv(&Solution::from_state(&mut p)));
     }
@@ -426,7 +432,7 @@ mod tests {
     #[test]
     fn empty_program_yields_no_rounds() {
         let program = ant_constraints::ProgramBuilder::new().finish();
-        let mut st = run::<BitmapPts>(&program, Family::Basic, None, Obs::none(), 4);
+        let mut st = run::<BitmapPts>(&program, Family::Basic, None, Obs::none(), 4, None);
         assert_eq!(st.stats.nodes_processed, 0);
         assert_eq!(Solution::from_state(&mut st).num_vars(), 0);
     }

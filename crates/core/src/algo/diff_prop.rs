@@ -11,6 +11,7 @@
 use crate::pts::PtsRepr;
 use crate::state::OnlineState;
 use ant_common::fx::FxHashSet;
+use ant_common::obs::prov::ProvRecorder;
 use ant_common::obs::Obs;
 use ant_common::worklist::WorklistKind;
 use ant_common::VarId;
@@ -28,9 +29,13 @@ pub(crate) fn lcd_diff<'o, P: PtsRepr>(
     wk: WorklistKind,
     hcd: Option<&HcdOffline>,
     obs: Obs<'o>,
+    prov: Option<Box<ProvRecorder>>,
 ) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
     st.obs = obs;
+    if let Some(p) = prov {
+        st.install_prov(program, p);
+    }
     if let Some(h) = hcd {
         st.install_hcd(h);
     }
@@ -52,6 +57,7 @@ pub(crate) fn lcd_diff<'o, P: PtsRepr>(
     while let Some(popped) = wl.pop() {
         let mut n = st.find(popped);
         st.stats.nodes_processed += 1;
+        st.note_pop(popped);
         st.tick_progress(|| wl.len());
         if hcd.is_some() {
             n = st.hcd_step(n, wl.as_mut());
@@ -103,7 +109,7 @@ pub(crate) fn lcd_diff<'o, P: PtsRepr>(
             }
             // Push only the delta.
             st.stats.propagations += 1;
-            if st.pts[z.index()].union_from(&mut st.ctx, &delta) {
+            if st.union_delta_from(z, &delta, n_now) {
                 st.stats.propagations_changed += 1;
                 wl.push(z);
             }
@@ -146,6 +152,7 @@ mod tests {
                     WorklistKind::DividedLrf,
                     hcd.as_ref(),
                     Obs::none(),
+                    None,
                 );
                 let sol = Solution::from_state(&mut st);
                 assert_sound(&program, &sol);

@@ -11,6 +11,7 @@
 
 use crate::pts::PtsRepr;
 use crate::state::OnlineState;
+use ant_common::obs::prov::{ProvRecorder, Reason};
 use ant_common::obs::{Obs, SolveEvent};
 use ant_common::worklist::{Fifo, Worklist};
 use ant_common::VarId;
@@ -50,9 +51,13 @@ pub(crate) fn ht<'o, P: PtsRepr>(
     program: &Program,
     hcd: Option<&HcdOffline>,
     obs: Obs<'o>,
+    prov: Option<Box<ProvRecorder>>,
 ) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
     st.obs = obs;
+    if let Some(p) = prov {
+        st.install_prov(program, p);
+    }
     // Reverse the edge direction: succs[x] becomes the predecessor set of x.
     let mut preds = vec![ant_common::SparseBitmap::new(); st.n];
     for (i, s) in st.succs.iter().enumerate() {
@@ -96,7 +101,18 @@ pub(crate) fn ht<'o, P: PtsRepr>(
                 let t = st.find(VarId::from_u32(v + k));
                 if t != a_r {
                     // Pre-transitive edge t → a, stored reversed.
-                    st.insert_edge(a_r, t);
+                    if st.insert_edge(a_r, t) {
+                        // Recorded in constraint direction regardless of
+                        // the reversed storage.
+                        st.note_edge(
+                            t,
+                            a_r,
+                            Reason::LoadEdge {
+                                pivot: b_r.as_u32(),
+                                loc: v,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -112,7 +128,16 @@ pub(crate) fn ht<'o, P: PtsRepr>(
                 let t = st.find(VarId::from_u32(v + k));
                 if t != b_r {
                     // Edge b → t, stored reversed.
-                    st.insert_edge(t, b_r);
+                    if st.insert_edge(t, b_r) {
+                        st.note_edge(
+                            b_r,
+                            t,
+                            Reason::StoreEdge {
+                                pivot: a_r.as_u32(),
+                                loc: v,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -255,7 +280,7 @@ mod tests {
 
     fn solve(program: &Program, use_hcd: bool) -> (Solution, OnlineState<'static, BitmapPts>) {
         let hcd = use_hcd.then(|| HcdOffline::analyze(program));
-        let mut st = ht::<BitmapPts>(program, hcd.as_ref(), Obs::none());
+        let mut st = ht::<BitmapPts>(program, hcd.as_ref(), Obs::none(), None);
         (Solution::from_state(&mut st), st)
     }
 

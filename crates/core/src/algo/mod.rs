@@ -12,6 +12,7 @@ pub use steensgaard::{steensgaard, steensgaard_with_observer};
 
 use crate::pts::{BddPts, BitmapPts, PtsKind, PtsRepr, SharedPts};
 use crate::{Solution, SolverStats};
+use ant_common::obs::prov::ProvRecorder;
 use ant_common::obs::{Obs, Observer, Phase, PhaseTimer, ProgressSnapshot, SolveEvent};
 use ant_common::worklist::WorklistKind;
 use ant_constraints::hcd::HcdOffline;
@@ -276,7 +277,29 @@ pub struct SolveOutput {
 /// assert!(out.solution.may_point_to(q, x));
 /// ```
 pub fn solve_dyn(program: &Program, config: &SolverConfig, pts: PtsKind) -> SolveOutput {
-    solve_dyn_impl(program, config, pts, None, |_| Obs::none())
+    solve_dyn_impl(program, config, pts, None, None, |_| Obs::none()).0
+}
+
+/// [`solve_dyn`] with the derivation recorder attached: returns the
+/// [`ProvRecorder`] whose arenas explain every points-to tuple and copy
+/// edge of the run (feed it to
+/// [`Explainer`](crate::provenance::Explainer)). Recording costs extra
+/// memory and time; the solution and the §5.3 counters are bit-identical
+/// to the unrecorded run.
+pub fn solve_dyn_recorded(
+    program: &Program,
+    config: &SolverConfig,
+    pts: PtsKind,
+) -> (SolveOutput, ProvRecorder) {
+    let (out, prov) = solve_dyn_impl(
+        program,
+        config,
+        pts,
+        None,
+        Some(Box::new(ProvRecorder::new())),
+        |_| Obs::none(),
+    );
+    (out, *prov.expect("recorded solve returns its recorder"))
 }
 
 /// [`solve_dyn`] with telemetry: every event of the run — solver start,
@@ -295,9 +318,10 @@ pub fn solve_dyn_with_observer(
     pts: PtsKind,
     observer: &mut dyn Observer,
 ) -> SolveOutput {
-    solve_dyn_impl(program, config, pts, None, |every| {
+    solve_dyn_impl(program, config, pts, None, None, |every| {
         Obs::new(observer, every)
     })
+    .0
 }
 
 /// Solves a pipeline-preprocessed program ([`PassPipeline::run`]) and
@@ -318,14 +342,63 @@ pub fn solve_dyn_with_observer(
 /// [`PassPipeline::run`]: ant_constraints::pipeline::PassPipeline::run
 /// [`SolutionMapping`]: ant_constraints::pipeline::SolutionMapping
 pub fn solve_prepared(prepared: &Prepared, config: &SolverConfig, pts: PtsKind) -> SolveOutput {
-    let out = solve_dyn_impl(
+    let (out, _) = solve_dyn_impl(
         &prepared.program,
         config,
         pts,
         prepared.hcd.as_ref(),
+        None,
         |_| Obs::none(),
     );
     expand_prepared(out, prepared)
+}
+
+/// [`solve_prepared`] with the derivation recorder attached (see
+/// [`solve_dyn_recorded`]). The recorder speaks the *preprocessed*
+/// variable id space; compose it with the pipeline's
+/// [`SolutionMapping`](ant_constraints::pipeline::SolutionMapping) via
+/// [`Explainer::with_mapping`](crate::provenance::Explainer::with_mapping)
+/// to explain facts in original variable names.
+pub fn solve_prepared_recorded(
+    prepared: &Prepared,
+    config: &SolverConfig,
+    pts: PtsKind,
+) -> (SolveOutput, ProvRecorder) {
+    let (out, prov) = solve_dyn_impl(
+        &prepared.program,
+        config,
+        pts,
+        prepared.hcd.as_ref(),
+        Some(Box::new(ProvRecorder::new())),
+        |_| Obs::none(),
+    );
+    (
+        expand_prepared(out, prepared),
+        *prov.expect("recorded solve returns its recorder"),
+    )
+}
+
+/// [`solve_prepared_recorded`] with telemetry: the run's events — including
+/// the final [`SolveEvent::Metrics`] flush of the recorder's cost
+/// attribution — go to `observer`.
+pub fn solve_prepared_recorded_with_observer(
+    prepared: &Prepared,
+    config: &SolverConfig,
+    pts: PtsKind,
+    observer: &mut dyn Observer,
+) -> (SolveOutput, ProvRecorder) {
+    let (out, prov) = solve_dyn_impl(
+        &prepared.program,
+        config,
+        pts,
+        prepared.hcd.as_ref(),
+        Some(Box::new(ProvRecorder::new())),
+        |every| Obs::new(observer, every),
+    );
+    (
+        expand_prepared(out, prepared),
+        *prov.expect("recorded solve returns its recorder"),
+    )
 }
 
 /// [`solve_prepared`] with telemetry (see [`solve_dyn_with_observer`]).
@@ -335,11 +408,12 @@ pub fn solve_prepared_with_observer(
     pts: PtsKind,
     observer: &mut dyn Observer,
 ) -> SolveOutput {
-    let out = solve_dyn_impl(
+    let (out, _) = solve_dyn_impl(
         &prepared.program,
         config,
         pts,
         prepared.hcd.as_ref(),
+        None,
         |every| Obs::new(observer, every),
     );
     expand_prepared(out, prepared)
@@ -357,13 +431,14 @@ fn solve_dyn_impl<'o>(
     config: &SolverConfig,
     pts: PtsKind,
     hcd_override: Option<&HcdOffline>,
+    prov: Option<Box<ProvRecorder>>,
     make_obs: impl FnOnce(u32) -> Obs<'o>,
-) -> SolveOutput {
+) -> (SolveOutput, Option<Box<ProvRecorder>>) {
     let obs = make_obs(config.progress_every);
     match pts {
-        PtsKind::Bitmap => solve_impl::<BitmapPts>(program, config, obs, hcd_override),
-        PtsKind::Shared => solve_impl::<SharedPts>(program, config, obs, hcd_override),
-        PtsKind::Bdd => solve_impl::<BddPts>(program, config, obs, hcd_override),
+        PtsKind::Bitmap => solve_impl::<BitmapPts>(program, config, obs, hcd_override, prov),
+        PtsKind::Shared => solve_impl::<SharedPts>(program, config, obs, hcd_override, prov),
+        PtsKind::Bdd => solve_impl::<BddPts>(program, config, obs, hcd_override, prov),
     }
 }
 
@@ -373,7 +448,7 @@ fn solve_dyn_impl<'o>(
                      representation is now selected at runtime via PtsKind"
 )]
 pub fn solve<P: PtsRepr>(program: &Program, config: &SolverConfig) -> SolveOutput {
-    solve_impl::<P>(program, config, Obs::none(), None)
+    solve_impl::<P>(program, config, Obs::none(), None, None).0
 }
 
 /// Turbofish predecessor of [`solve_dyn_with_observer`].
@@ -391,7 +466,9 @@ pub fn solve_with_observer<P: PtsRepr>(
         config,
         Obs::new(observer, config.progress_every),
         None,
+        None,
     )
+    .0
 }
 
 fn solve_impl<P: PtsRepr>(
@@ -399,7 +476,8 @@ fn solve_impl<P: PtsRepr>(
     config: &SolverConfig,
     mut obs: Obs<'_>,
     hcd_override: Option<&HcdOffline>,
-) -> SolveOutput {
+    prov: Option<Box<ProvRecorder>>,
+) -> (SolveOutput, Option<Box<ProvRecorder>>) {
     obs.emit(&SolveEvent::SolverStart {
         name: config.algorithm.name(),
     });
@@ -430,53 +508,84 @@ fn solve_impl<P: PtsRepr>(
     let start = Instant::now();
     // The worklist solvers take the observer by value (it lives in their
     // state); `finish` closes the Solve span through the returned state.
-    let (solution, mut stats) = match config.algorithm {
+    let (solution, mut stats, prov_out) = match config.algorithm {
         Algorithm::Basic | Algorithm::Hcd if par_lrf => finish(
-            bsp::run::<P>(program, bsp::Family::Basic, hcd_ref, obs, config.threads),
+            bsp::run::<P>(
+                program,
+                bsp::Family::Basic,
+                hcd_ref,
+                obs,
+                config.threads,
+                prov,
+            ),
             start,
             &mut timer,
         ),
         Algorithm::Lcd | Algorithm::LcdHcd if par_lrf => finish(
-            bsp::run::<P>(program, bsp::Family::Lcd, hcd_ref, obs, config.threads),
+            bsp::run::<P>(
+                program,
+                bsp::Family::Lcd,
+                hcd_ref,
+                obs,
+                config.threads,
+                prov,
+            ),
             start,
             &mut timer,
         ),
         Algorithm::Pkh | Algorithm::PkhHcd if par => finish(
-            bsp::run::<P>(program, bsp::Family::Pkh, hcd_ref, obs, config.threads),
+            bsp::run::<P>(
+                program,
+                bsp::Family::Pkh,
+                hcd_ref,
+                obs,
+                config.threads,
+                prov,
+            ),
             start,
             &mut timer,
         ),
         Algorithm::Basic | Algorithm::Hcd => finish(
-            worklist_solvers::basic::<P>(program, wk, hcd_ref, obs),
+            worklist_solvers::basic::<P>(program, wk, hcd_ref, obs, prov),
             start,
             &mut timer,
         ),
         Algorithm::Lcd | Algorithm::LcdHcd => finish(
-            worklist_solvers::lcd::<P>(program, wk, hcd_ref, obs),
+            worklist_solvers::lcd::<P>(program, wk, hcd_ref, obs, prov),
             start,
             &mut timer,
         ),
         Algorithm::Pkh | Algorithm::PkhHcd => finish(
-            worklist_solvers::pkh::<P>(program, wk, hcd_ref, obs),
+            worklist_solvers::pkh::<P>(program, wk, hcd_ref, obs, prov),
             start,
             &mut timer,
         ),
         Algorithm::Ht | Algorithm::HtHcd => {
-            finish(ht::ht::<P>(program, hcd_ref, obs), start, &mut timer)
+            finish(ht::ht::<P>(program, hcd_ref, obs, prov), start, &mut timer)
         }
         Algorithm::Pkh03 => finish(
-            pkh03::pkh03::<P>(program, wk, hcd_ref, obs),
+            pkh03::pkh03::<P>(program, wk, hcd_ref, obs, prov),
             start,
             &mut timer,
         ),
         Algorithm::LcdDiff => finish(
-            diff_prop::lcd_diff::<P>(program, wk, hcd_ref, obs),
+            diff_prop::lcd_diff::<P>(program, wk, hcd_ref, obs, prov),
             start,
             &mut timer,
         ),
         Algorithm::Blq | Algorithm::BlqHcd => {
-            let (solution, mut stats) = blq::blq(program, hcd_ref, &mut obs);
+            let (solution, mut stats, mut prov_out) = blq::blq(program, hcd_ref, &mut obs, prov);
             stats.solve_time = start.elapsed();
+            if let Some(p) = prov_out.as_mut() {
+                // The fattest-set table and repr byte counters (mirrors
+                // `finish` for the state-based solvers).
+                for (v, len) in solution.set_sizes() {
+                    if len > 0 {
+                        p.metrics.series_set("pts_len", v.as_u32(), len as u64);
+                    }
+                }
+                p.metrics.set("pts_bytes", stats.pts_bytes as u64);
+            }
             if obs.enabled() {
                 obs.emit(&SolveEvent::Progress(ProgressSnapshot {
                     worklist_len: 0,
@@ -484,24 +593,50 @@ fn solve_impl<P: PtsRepr>(
                     propagations: stats.propagations,
                     pts_bytes: stats.pts_bytes,
                 }));
+                if let Some(p) = prov_out.as_ref() {
+                    obs.emit(&SolveEvent::Metrics(p.metrics.snapshot(HOTSPOT_K)));
+                }
             }
             timer.stop(&mut obs);
-            (solution, stats)
+            (solution, stats, prov_out)
         }
     };
     if let Some(h) = hcd {
         stats.offline_time = h.elapsed;
     }
-    SolveOutput { solution, stats }
+    (SolveOutput { solution, stats }, prov_out)
 }
+
+/// Entries per hotspot table in the final metrics snapshot.
+const HOTSPOT_K: usize = 10;
 
 fn finish<P: PtsRepr>(
     mut st: crate::state::OnlineState<'_, P>,
     start: Instant,
     timer: &mut PhaseTimer,
-) -> (Solution, SolverStats) {
+) -> (Solution, SolverStats, Option<Box<ProvRecorder>>) {
     st.stats.solve_time = start.elapsed();
     st.finalize_bytes();
+    if st.prov.is_some() {
+        // Final cost attribution: set sizes per representative (`len`, not
+        // bytes — shared and BDD sets own no per-set heap), plus the
+        // memo/byte counters finalize_bytes just filled in.
+        let sizes: Vec<(u32, u64)> = st
+            .reps()
+            .iter()
+            .map(|&r| (r.as_u32(), st.pts[r.index()].len(&st.ctx) as u64))
+            .filter(|&(_, l)| l > 0)
+            .collect();
+        let stats = &st.stats;
+        if let Some(p) = st.prov.as_mut() {
+            for (id, len) in sizes {
+                p.metrics.series_set("pts_len", id, len);
+            }
+            p.metrics.set("memo_hits", stats.memo_hits);
+            p.metrics.set("memo_misses", stats.memo_misses);
+            p.metrics.set("pts_bytes", stats.pts_bytes as u64);
+        }
+    }
     if st.obs.enabled() {
         // Final snapshot: even a solve too small to hit the cadence leaves
         // one progress record in the trace.
@@ -510,10 +645,18 @@ fn finish<P: PtsRepr>(
         if let Some(cs) = P::ctx_stats(&st.ctx) {
             st.obs.emit(&SolveEvent::ReprCache(cs));
         }
+        let metrics = st
+            .prov
+            .as_ref()
+            .map(|p| SolveEvent::Metrics(p.metrics.snapshot(HOTSPOT_K)));
+        if let Some(ev) = metrics {
+            st.obs.emit(&ev);
+        }
     }
     timer.stop(&mut st.obs);
     let solution = Solution::from_state(&mut st);
-    (solution, st.stats)
+    let prov = st.take_prov();
+    (solution, st.stats, prov)
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@
 
 use crate::pts::PtsRepr;
 use crate::state::OnlineState;
+use ant_common::obs::prov::ProvRecorder;
 use ant_common::obs::{Obs, SolveEvent};
 use ant_common::worklist::WorklistKind;
 use ant_common::VarId;
@@ -113,9 +114,13 @@ pub(crate) fn pkh03<'o, P: PtsRepr>(
     wk: WorklistKind,
     hcd: Option<&HcdOffline>,
     obs: Obs<'o>,
+    prov: Option<Box<ProvRecorder>>,
 ) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
     st.obs = obs;
+    if let Some(p) = prov {
+        st.install_prov(program, p);
+    }
     if let Some(h) = hcd {
         st.install_hcd(h);
     }
@@ -125,6 +130,7 @@ pub(crate) fn pkh03<'o, P: PtsRepr>(
     while let Some(popped) = wl.pop() {
         let mut n = st.find(popped);
         st.stats.nodes_processed += 1;
+        st.note_pop(popped);
         st.tick_progress(|| wl.len());
         if hcd.is_some() {
             n = st.hcd_step(n, wl.as_mut());
@@ -193,7 +199,8 @@ mod tests {
         pb.copy(x, y);
         pb.copy(y, x);
         let program = pb.finish();
-        let mut st = pkh03::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none());
+        let mut st =
+            pkh03::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none(), None);
         let sol = Solution::from_state(&mut st);
         assert_sound(&program, &sol);
         let r = program.var_by_name("r").unwrap();
@@ -205,7 +212,8 @@ mod tests {
     fn agrees_with_basic_on_workload() {
         use ant_frontend::workload::WorkloadSpec;
         let program = WorkloadSpec::tiny(5).generate();
-        let mut st = pkh03::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none());
+        let mut st =
+            pkh03::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none(), None);
         let sol = Solution::from_state(&mut st);
         let reference = crate::solve_dyn(
             &program,

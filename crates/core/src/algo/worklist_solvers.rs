@@ -4,6 +4,7 @@
 use crate::pts::PtsRepr;
 use crate::state::OnlineState;
 use ant_common::fx::FxHashSet;
+use ant_common::obs::prov::ProvRecorder;
 use ant_common::obs::Obs;
 use ant_common::worklist::{DividedLrf, Worklist, WorklistKind};
 use ant_common::VarId;
@@ -37,9 +38,13 @@ pub(crate) fn basic<'o, P: PtsRepr>(
     wk: WorklistKind,
     hcd: Option<&HcdOffline>,
     obs: Obs<'o>,
+    prov: Option<Box<ProvRecorder>>,
 ) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
     st.obs = obs;
+    if let Some(p) = prov {
+        st.install_prov(program, p);
+    }
     if let Some(h) = hcd {
         st.install_hcd(h);
     }
@@ -47,6 +52,7 @@ pub(crate) fn basic<'o, P: PtsRepr>(
     st.seed_worklist(wl.as_mut());
     while let Some(popped) = wl.pop() {
         st.stats.nodes_processed += 1;
+        st.note_pop(popped);
         st.tick_progress(|| wl.len());
         basic_step(&mut st, popped, hcd.is_some(), wl.as_mut());
     }
@@ -65,9 +71,13 @@ pub(crate) fn lcd<'o, P: PtsRepr>(
     wk: WorklistKind,
     hcd: Option<&HcdOffline>,
     obs: Obs<'o>,
+    prov: Option<Box<ProvRecorder>>,
 ) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
     st.obs = obs;
+    if let Some(p) = prov {
+        st.install_prov(program, p);
+    }
     if let Some(h) = hcd {
         st.install_hcd(h);
     }
@@ -79,6 +89,7 @@ pub(crate) fn lcd<'o, P: PtsRepr>(
 
     while let Some(popped) = wl.pop() {
         st.stats.nodes_processed += 1;
+        st.note_pop(popped);
         st.tick_progress(|| wl.len());
         lcd_step(
             &mut st,
@@ -189,9 +200,13 @@ pub(crate) fn pkh<'o, P: PtsRepr>(
     _wk: WorklistKind,
     hcd: Option<&HcdOffline>,
     obs: Obs<'o>,
+    prov: Option<Box<ProvRecorder>>,
 ) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
     st.obs = obs;
+    if let Some(p) = prov {
+        st.install_prov(program, p);
+    }
     if let Some(h) = hcd {
         st.install_hcd(h);
     }
@@ -207,6 +222,7 @@ pub(crate) fn pkh<'o, P: PtsRepr>(
         }
         let Some(popped) = wl.pop() else { break };
         st.stats.nodes_processed += 1;
+        st.note_pop(popped);
         st.tick_progress(|| wl.len());
         basic_step(&mut st, popped, hcd.is_some(), &mut wl);
     }
@@ -253,11 +269,11 @@ mod tests {
         let wk = WorklistKind::DividedLrf;
         let mut outs = Vec::new();
         for h in [None, Some(&hcd)] {
-            let mut s1 = basic::<BitmapPts>(program, wk, h, Obs::none());
+            let mut s1 = basic::<BitmapPts>(program, wk, h, Obs::none(), None);
             outs.push(Solution::from_state(&mut s1));
-            let mut s2 = lcd::<BitmapPts>(program, wk, h, Obs::none());
+            let mut s2 = lcd::<BitmapPts>(program, wk, h, Obs::none(), None);
             outs.push(Solution::from_state(&mut s2));
-            let mut s3 = pkh::<BitmapPts>(program, wk, h, Obs::none());
+            let mut s3 = pkh::<BitmapPts>(program, wk, h, Obs::none(), None);
             outs.push(Solution::from_state(&mut s3));
         }
         outs
@@ -284,7 +300,7 @@ mod tests {
     #[test]
     fn lcd_collapses_the_static_cycle() {
         let program = cyclic_program();
-        let st = lcd::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none());
+        let st = lcd::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none(), None);
         assert!(st.stats.nodes_collapsed >= 1, "x↔y cycle should collapse");
         assert!(st.stats.cycle_searches >= 1);
     }
@@ -293,7 +309,13 @@ mod tests {
     fn hcd_collapses_without_searching() {
         let program = cyclic_program();
         let hcd = HcdOffline::analyze(&program);
-        let st = basic::<BitmapPts>(&program, WorklistKind::DividedLrf, Some(&hcd), Obs::none());
+        let st = basic::<BitmapPts>(
+            &program,
+            WorklistKind::DividedLrf,
+            Some(&hcd),
+            Obs::none(),
+            None,
+        );
         assert_eq!(st.stats.nodes_searched, 0, "HCD never traverses the graph");
     }
 
@@ -302,7 +324,7 @@ mod tests {
         let program = cyclic_program();
         let mut reference = None;
         for wk in WorklistKind::ALL {
-            let mut st = lcd::<BitmapPts>(&program, wk, None, Obs::none());
+            let mut st = lcd::<BitmapPts>(&program, wk, None, Obs::none(), None);
             let sol = Solution::from_state(&mut st);
             assert_sound(&program, &sol);
             if let Some(r) = &reference {
@@ -351,7 +373,7 @@ mod tests {
     fn lcd_cycle_search_count_has_no_post_collapse_duplicates() {
         use ant_frontend::workload::WorkloadSpec;
         let program = WorkloadSpec::tiny(1).generate();
-        let st = lcd::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none());
+        let st = lcd::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none(), None);
         assert_eq!(st.stats.cycle_searches, 245);
         assert!(
             st.stats.nodes_collapsed > 0,
@@ -362,7 +384,7 @@ mod tests {
     #[test]
     fn empty_program() {
         let program = ProgramBuilder::new().finish();
-        let mut st = basic::<BitmapPts>(&program, WorklistKind::Fifo, None, Obs::none());
+        let mut st = basic::<BitmapPts>(&program, WorklistKind::Fifo, None, Obs::none(), None);
         let sol = Solution::from_state(&mut st);
         assert_eq!(sol.num_vars(), 0);
     }
@@ -383,7 +405,7 @@ mod tests {
         pb.load_offset(r, fp, 1); // r = return slot
         let program = pb.finish();
         for solver in [basic::<BitmapPts>, lcd::<BitmapPts>, pkh::<BitmapPts>] {
-            let mut st = solver(&program, WorklistKind::DividedLrf, None, Obs::none());
+            let mut st = solver(&program, WorklistKind::DividedLrf, None, Obs::none(), None);
             let sol = Solution::from_state(&mut st);
             assert_sound(&program, &sol);
             assert!(

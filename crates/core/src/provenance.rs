@@ -1,0 +1,569 @@
+//! Turning [`ProvRecorder`] arenas into human-readable derivations.
+//!
+//! The recorder guarantees that every insertion into a points-to set (and
+//! every added copy edge) appended one record, so the *earliest* record for
+//! a fact — identifying variables up to the recorded merges — is a valid
+//! derivation whose premises were recorded strictly earlier. [`Explainer`]
+//! indexes the arenas by first occurrence and follows those earliest
+//! records backwards; each hop lands on a strictly smaller arena index, so
+//! every chain terminates at a base [`Reason::AddrOf`] fact.
+//!
+//! Offline variable collapses (OVS and friends) never reach the recorder:
+//! the solver only ever saw the preprocessed program. They are composed
+//! back in through the pass pipeline's [`SolutionMapping`], shown as
+//! [`Step::OfflineMerged`] hops, so explanations speak the *original*
+//! variable names.
+
+use ant_common::fx::FxHashMap;
+use ant_common::obs::prov::{ProvRecorder, Reason};
+use ant_common::VarId;
+use ant_constraints::pipeline::SolutionMapping;
+use ant_constraints::{ConstraintKind, Program};
+
+/// One hop of a derivation chain, ordered from the queried fact back to
+/// the base constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// The queried variable was merged away by an *offline* pass (OVS);
+    /// the chain continues at its representative.
+    OfflineMerged {
+        /// The original variable.
+        var: VarId,
+        /// Its representative in the preprocessed program.
+        rep: VarId,
+    },
+    /// The variable was collapsed into a cycle by *online* cycle
+    /// detection; the fact was first derived by another cycle member.
+    MergedInto {
+        /// The variable whose set the query asked about.
+        var: VarId,
+        /// The cycle member that first derived the fact.
+        rep: VarId,
+    },
+    /// The location was propagated along the copy edge `from → to`.
+    PropagatedFrom {
+        /// Edge source (constraint direction: `pts(from) ⊆ pts(to)`).
+        from: VarId,
+        /// Edge destination.
+        to: VarId,
+        /// The location that flowed.
+        loc: VarId,
+    },
+    /// The base fact: an `AddressOf` constraint `var = &loc`.
+    AddrOf {
+        /// The constraint's left-hand side.
+        var: VarId,
+        /// The taken location.
+        loc: VarId,
+    },
+}
+
+impl Step {
+    /// Renders the step with the program's variable names.
+    pub fn render(&self, program: &Program) -> String {
+        let n = |v: VarId| program.var_name(v).to_string();
+        match *self {
+            Step::OfflineMerged { var, rep } => {
+                format!("{} ≡ {}  (merged by an offline pass)", n(var), n(rep))
+            }
+            Step::MergedInto { var, rep } => {
+                format!("{} ≡ {}  (collapsed into one cycle online)", n(var), n(rep))
+            }
+            Step::PropagatedFrom { from, to, loc } => {
+                format!(
+                    "{} ∈ pts({})  — propagated along {} → {}",
+                    n(loc),
+                    n(to),
+                    n(from),
+                    n(to)
+                )
+            }
+            Step::AddrOf { var, loc } => {
+                format!(
+                    "{} ∈ pts({})  — base constraint {} = &{}",
+                    n(loc),
+                    n(var),
+                    n(var),
+                    n(loc)
+                )
+            }
+        }
+    }
+}
+
+/// Why a copy edge exists, for [`Explainer::explain_edge`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeOrigin {
+    /// A `Copy` constraint of the program.
+    Copy {
+        /// Edge source.
+        src: VarId,
+        /// Edge destination.
+        dst: VarId,
+    },
+    /// Added online by a load constraint `dst = *pivot` when `loc`
+    /// entered `pts(pivot)`.
+    Load {
+        /// Edge source (the node `loc` resolved to).
+        src: VarId,
+        /// Edge destination.
+        dst: VarId,
+        /// The dereferenced pointer.
+        pivot: VarId,
+        /// The points-to member that fired the edge.
+        loc: VarId,
+    },
+    /// Added online by a store constraint `*pivot = src` when `loc`
+    /// entered `pts(pivot)`.
+    Store {
+        /// Edge source.
+        src: VarId,
+        /// Edge destination (the node `loc` resolved to).
+        dst: VarId,
+        /// The dereferenced pointer.
+        pivot: VarId,
+        /// The points-to member that fired the edge.
+        loc: VarId,
+    },
+}
+
+/// A copy edge's derivation: where it came from and — for complex-
+/// constraint edges — why the pivot pointed at the triggering location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeExplanation {
+    /// The constraint that created the edge.
+    pub origin: EdgeOrigin,
+    /// For [`EdgeOrigin::Load`]/[`EdgeOrigin::Store`]: the derivation of
+    /// `loc ∈ pts(pivot)`. Empty for plain copy edges.
+    pub pivot_chain: Vec<Step>,
+}
+
+impl EdgeExplanation {
+    /// Renders the explanation as indented lines.
+    pub fn render(&self, program: &Program) -> String {
+        let n = |v: VarId| program.var_name(v).to_string();
+        let mut out = match self.origin {
+            EdgeOrigin::Copy { src, dst } => {
+                format!(
+                    "edge {} → {}  — copy constraint {} = {}",
+                    n(src),
+                    n(dst),
+                    n(dst),
+                    n(src)
+                )
+            }
+            EdgeOrigin::Load {
+                src,
+                dst,
+                pivot,
+                loc,
+            } => format!(
+                "edge {} → {}  — load {} = *{} fired when {} ∈ pts({})",
+                n(src),
+                n(dst),
+                n(dst),
+                n(pivot),
+                n(loc),
+                n(pivot)
+            ),
+            EdgeOrigin::Store {
+                src,
+                dst,
+                pivot,
+                loc,
+            } => format!(
+                "edge {} → {}  — store *{} = {} fired when {} ∈ pts({})",
+                n(src),
+                n(dst),
+                n(pivot),
+                n(src),
+                n(loc),
+                n(pivot)
+            ),
+        };
+        for step in &self.pivot_chain {
+            out.push_str("\n  ");
+            out.push_str(&step.render(program));
+        }
+        out
+    }
+}
+
+/// Answers "why does `v` point to `loc`?" and "why is there an edge
+/// `a → b`?" against a finished recorder.
+///
+/// Build with [`Explainer::new`]; when the solve ran on a
+/// pipeline-preprocessed program, attach the pipeline's composed mapping
+/// with [`Explainer::with_mapping`] so queries accept *original* variable
+/// ids.
+pub struct Explainer<'a> {
+    prov: &'a ProvRecorder,
+    mapping: Option<&'a SolutionMapping>,
+    /// Union-find over the recorded online merges (flat parent array).
+    parent: Vec<u32>,
+    /// `(final class of var, loc) → earliest tuple-record index`.
+    tuple_idx: FxHashMap<(u32, u32), usize>,
+    /// `(final class of src, final class of dst) → earliest edge index`.
+    edge_idx: FxHashMap<(u32, u32), usize>,
+}
+
+impl<'a> Explainer<'a> {
+    /// Indexes the recorder's arenas for a program with `num_vars`
+    /// variables.
+    pub fn new(prov: &'a ProvRecorder, num_vars: usize) -> Self {
+        let max_id = prov
+            .tuples
+            .iter()
+            .chain(&prov.edges)
+            .chain(&prov.merges)
+            .map(|r| r.target.max(r.source))
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        let n = num_vars.max(max_id);
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        for m in &prov.merges {
+            let l = find(&mut parent, m.target);
+            let w = find(&mut parent, m.source);
+            if l != w {
+                parent[l as usize] = w;
+            }
+        }
+        let mut ex = Explainer {
+            prov,
+            mapping: None,
+            parent,
+            tuple_idx: FxHashMap::default(),
+            edge_idx: FxHashMap::default(),
+        };
+        for (i, r) in prov.tuples.iter().enumerate() {
+            let key = (find(&mut ex.parent, r.target), r.source);
+            ex.tuple_idx.entry(key).or_insert(i);
+        }
+        for (i, r) in prov.edges.iter().enumerate() {
+            let key = (
+                find(&mut ex.parent, r.source),
+                find(&mut ex.parent, r.target),
+            );
+            ex.edge_idx.entry(key).or_insert(i);
+        }
+        ex
+    }
+
+    /// Composes the pass pipeline's solution mapping in front of every
+    /// query, so callers pass original (pre-pass) variable ids.
+    pub fn with_mapping(mut self, mapping: &'a SolutionMapping) -> Self {
+        self.mapping = Some(mapping);
+        self
+    }
+
+    fn class(&mut self, v: u32) -> u32 {
+        find(&mut self.parent, v)
+    }
+
+    /// The derivation of `loc ∈ pts(v)`, from the queried fact back to a
+    /// base `AddressOf` constraint. `None` when the fact was never
+    /// recorded (i.e. does not hold, or the solve was not recorded).
+    pub fn explain(&mut self, v: VarId, loc: VarId) -> Option<Vec<Step>> {
+        let mut steps = Vec::new();
+        let mut cur = v;
+        if let Some(m) = self.mapping {
+            if m.was_merged(cur) {
+                let rep = m.rep_of(cur);
+                steps.push(Step::OfflineMerged { var: cur, rep });
+                cur = rep;
+            }
+        }
+        // Fuel bounds the walk even if a recorder violated the
+        // first-record invariant; a well-formed chain visits each tuple
+        // record at most once.
+        let mut fuel = self.prov.tuples.len() + 1;
+        loop {
+            if fuel == 0 {
+                return None;
+            }
+            fuel -= 1;
+            let cls = self.class(cur.as_u32());
+            let idx = *self.tuple_idx.get(&(cls, loc.as_u32()))?;
+            let rec = self.prov.tuples[idx];
+            if rec.target != cur.as_u32() {
+                let rep = VarId::from_u32(rec.target);
+                steps.push(Step::MergedInto { var: cur, rep });
+                cur = rep;
+            }
+            match rec.reason {
+                Reason::AddrOf => {
+                    steps.push(Step::AddrOf { var: cur, loc });
+                    return Some(steps);
+                }
+                Reason::PropagatedFrom(src) => {
+                    let from = VarId::from_u32(src);
+                    steps.push(Step::PropagatedFrom { from, to: cur, loc });
+                    cur = from;
+                }
+                // Tuple records only ever carry the two reasons above.
+                _ => return None,
+            }
+        }
+    }
+
+    /// The derivation of the copy edge `a → b` (constraint direction).
+    /// For complex-constraint edges the pivot's own points-to fact is
+    /// explained recursively.
+    pub fn explain_edge(&mut self, a: VarId, b: VarId) -> Option<EdgeExplanation> {
+        let (mut a, mut b) = (a, b);
+        if let Some(m) = self.mapping {
+            a = m.rep_of(a);
+            b = m.rep_of(b);
+        }
+        let key = (self.class(a.as_u32()), self.class(b.as_u32()));
+        let idx = *self.edge_idx.get(&key)?;
+        let rec = self.prov.edges[idx];
+        let (src, dst) = (VarId::from_u32(rec.source), VarId::from_u32(rec.target));
+        let (origin, pivot_loc) = match rec.reason {
+            Reason::CopyConstraint => (EdgeOrigin::Copy { src, dst }, None),
+            Reason::LoadEdge { pivot, loc } => (
+                EdgeOrigin::Load {
+                    src,
+                    dst,
+                    pivot: VarId::from_u32(pivot),
+                    loc: VarId::from_u32(loc),
+                },
+                Some((pivot, loc)),
+            ),
+            Reason::StoreEdge { pivot, loc } => (
+                EdgeOrigin::Store {
+                    src,
+                    dst,
+                    pivot: VarId::from_u32(pivot),
+                    loc: VarId::from_u32(loc),
+                },
+                Some((pivot, loc)),
+            ),
+            // Edge records only ever carry the three reasons above.
+            _ => return None,
+        };
+        let pivot_chain = match pivot_loc {
+            // The pivot id is already in the solved id space: bypass the
+            // offline mapping by explaining without it, then restore.
+            Some((pivot, loc)) => {
+                let mapping = self.mapping.take();
+                let chain = self
+                    .explain(VarId::from_u32(pivot), VarId::from_u32(loc))
+                    .unwrap_or_default();
+                self.mapping = mapping;
+                chain
+            }
+            None => Vec::new(),
+        };
+        Some(EdgeExplanation {
+            origin,
+            pivot_chain,
+        })
+    }
+
+    /// Replays `steps` (as returned by [`Explainer::explain`] for
+    /// `loc ∈ pts(start)`) against the program and the recorded arenas:
+    /// every hop must be justified — offline merges by the mapping, online
+    /// merges by the merge arena, propagations by a recorded edge between
+    /// the two classes, and the terminal `AddrOf` by a real constraint.
+    pub fn validate(
+        &mut self,
+        program: &Program,
+        start: VarId,
+        loc: VarId,
+        steps: &[Step],
+    ) -> bool {
+        let mut cur = start;
+        let mut terminated = false;
+        for step in steps {
+            if terminated {
+                return false;
+            }
+            match *step {
+                Step::OfflineMerged { var, rep } => {
+                    if var != cur || self.mapping.is_none_or(|m| m.rep_of(var) != rep) {
+                        return false;
+                    }
+                    cur = rep;
+                }
+                Step::MergedInto { var, rep } => {
+                    if var != cur || self.class(var.as_u32()) != self.class(rep.as_u32()) {
+                        return false;
+                    }
+                    cur = rep;
+                }
+                Step::PropagatedFrom { from, to, loc: l } => {
+                    if l != loc || to != cur {
+                        return false;
+                    }
+                    let key = (self.class(from.as_u32()), self.class(to.as_u32()));
+                    if !self.edge_idx.contains_key(&key) {
+                        return false;
+                    }
+                    cur = from;
+                }
+                Step::AddrOf { var, loc: l } => {
+                    if l != loc || var != cur {
+                        return false;
+                    }
+                    let real = program
+                        .constraints()
+                        .iter()
+                        .any(|c| c.kind == ConstraintKind::AddrOf && c.lhs == var && c.rhs == loc);
+                    if !real {
+                        return false;
+                    }
+                    terminated = true;
+                }
+            }
+        }
+        terminated
+    }
+}
+
+/// Iterative union-find lookup with full path compression.
+fn find(parent: &mut [u32], v: u32) -> u32 {
+    let mut root = v;
+    while parent[root as usize] != root {
+        root = parent[root as usize];
+    }
+    let mut cur = v;
+    while parent[cur as usize] != root {
+        let next = parent[cur as usize];
+        parent[cur as usize] = root;
+        cur = next;
+    }
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{solve_dyn_recorded, Algorithm, SolverConfig};
+    use crate::pts::PtsKind;
+    use ant_constraints::ProgramBuilder;
+
+    fn chain_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let q = pb.var("q");
+        let r = pb.var("r");
+        let x = pb.var("x");
+        pb.addr_of(p, x);
+        pb.copy(q, p);
+        pb.copy(r, q);
+        pb.finish()
+    }
+
+    #[test]
+    fn copy_chain_explains_back_to_addr_of() {
+        let program = chain_program();
+        let (out, prov) = solve_dyn_recorded(
+            &program,
+            &SolverConfig::new(Algorithm::Lcd),
+            PtsKind::Bitmap,
+        );
+        let r = program.var_by_name("r").unwrap();
+        let x = program.var_by_name("x").unwrap();
+        assert!(out.solution.may_point_to(r, x));
+        let mut ex = Explainer::new(&prov, program.num_vars());
+        let steps = ex.explain(r, x).expect("recorded fact explains");
+        assert!(matches!(steps.last(), Some(Step::AddrOf { .. })));
+        assert!(
+            steps
+                .iter()
+                .filter(|s| matches!(s, Step::PropagatedFrom { .. }))
+                .count()
+                >= 2,
+            "two copy hops expected: {steps:?}"
+        );
+        assert!(ex.validate(&program, r, x, &steps));
+        // Unknown facts yield None.
+        let p = program.var_by_name("p").unwrap();
+        assert_eq!(ex.explain(x, p), None);
+    }
+
+    #[test]
+    fn load_store_edges_explain_their_pivot() {
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let h = pb.var("h");
+        let q = pb.var("q");
+        let x = pb.var("x");
+        let r = pb.var("r");
+        pb.addr_of(p, h);
+        pb.store(p, q); // *p = q  ⇒  edge q → h
+        pb.addr_of(q, x);
+        pb.load(r, p); // r = *p  ⇒  edge h → r
+        let program = pb.finish();
+        let (out, prov) = solve_dyn_recorded(
+            &program,
+            &SolverConfig::new(Algorithm::Lcd),
+            PtsKind::Bitmap,
+        );
+        assert!(out.solution.may_point_to(r, x));
+        let mut ex = Explainer::new(&prov, program.num_vars());
+        let e = ex.explain_edge(q, h).expect("store edge recorded");
+        assert!(
+            matches!(e.origin, EdgeOrigin::Store { pivot, .. } if pivot == p),
+            "{e:?}"
+        );
+        assert!(
+            !e.pivot_chain.is_empty(),
+            "pivot fact h ∈ pts(p) explained: {e:?}"
+        );
+        let e = ex.explain_edge(h, r).expect("load edge recorded");
+        assert!(matches!(e.origin, EdgeOrigin::Load { pivot, .. } if pivot == p));
+        // And the full fact chains through the store edge.
+        let steps = ex.explain(r, x).expect("r points to x");
+        assert!(ex.validate(&program, r, x, &steps));
+        // Renders with real names, no panics.
+        for s in &steps {
+            assert!(!s.render(&program).is_empty());
+        }
+    }
+
+    #[test]
+    fn cycle_collapse_shows_merge_hops() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.var("a");
+        let b = pb.var("b");
+        let x = pb.var("x");
+        pb.addr_of(a, x);
+        pb.copy(a, b);
+        pb.copy(b, a); // a ↔ b cycle
+        let program = pb.finish();
+        let (out, prov) = solve_dyn_recorded(
+            &program,
+            &SolverConfig::new(Algorithm::LcdHcd),
+            PtsKind::Bitmap,
+        );
+        assert!(out.solution.may_point_to(b, x));
+        let mut ex = Explainer::new(&prov, program.num_vars());
+        let steps = ex.explain(b, x).expect("collapsed fact explains");
+        assert!(matches!(steps.last(), Some(Step::AddrOf { .. })));
+        assert!(ex.validate(&program, b, x, &steps));
+    }
+
+    #[test]
+    fn every_algorithm_explains_every_fact() {
+        let program = chain_program();
+        for alg in Algorithm::ALL {
+            let (out, prov) =
+                solve_dyn_recorded(&program, &SolverConfig::new(alg), PtsKind::Bitmap);
+            let mut ex = Explainer::new(&prov, program.num_vars());
+            for (v, _) in out.solution.set_sizes() {
+                for &l in out.solution.points_to(v) {
+                    let loc = VarId::from_u32(l);
+                    let steps = ex
+                        .explain(v, loc)
+                        .unwrap_or_else(|| panic!("{alg}: no chain for ({v:?}, {loc:?})"));
+                    assert!(
+                        ex.validate(&program, v, loc, &steps),
+                        "{alg}: invalid chain {steps:?}"
+                    );
+                }
+            }
+        }
+    }
+}

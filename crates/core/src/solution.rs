@@ -79,6 +79,15 @@ impl Solution {
         self.pts.iter().map(Vec::len).sum()
     }
 
+    /// Per-variable set sizes, in variable order (feeds the metrics
+    /// registry's fattest-set hotspot table).
+    pub fn set_sizes(&self) -> impl Iterator<Item = (VarId, usize)> + '_ {
+        self.pts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (VarId::new(i), s.len()))
+    }
+
     /// Pointwise equality with another solution.
     pub fn equiv(&self, other: &Solution) -> bool {
         self.pts == other.pts

@@ -10,6 +10,7 @@
 
 use crate::pts::PtsRepr;
 use ant_common::fx::FxHashMap;
+use ant_common::obs::prov::{ProvRecorder, Reason};
 use ant_common::obs::{Obs, ProgressSnapshot, SolveEvent};
 use ant_common::worklist::Worklist;
 use ant_common::{SolverStats, SparseBitmap, UnionFind, VarId};
@@ -73,6 +74,12 @@ pub(crate) struct OnlineState<'o, P: PtsRepr> {
     /// Telemetry handle; [`Obs::none`] by default. Event emission and the
     /// per-phase clock reads are gated on `obs.enabled()`.
     pub obs: Obs<'o>,
+    /// Optional derivation recorder (see [`install_prov`]
+    /// (Self::install_prov)); `None` by default, so every recording site
+    /// costs one pointer-null test. When set, each first insertion into a
+    /// points-to set, each added edge and each collapse appends one record
+    /// to the recorder's flat arenas.
+    pub(crate) prov: Option<Box<ProvRecorder>>,
     /// Per node: bumped whenever `pts[i]` changes content. Only consulted
     /// to validate [`RoundHint`]s, so staleness outside the BSP-covered
     /// mutation paths (propagation and collapsing) is harmless.
@@ -162,6 +169,7 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
             hcd_targets: vec![Vec::new(); n],
             stats: SolverStats::new(),
             obs: Obs::none(),
+            prov: None,
             pts_ver: vec![0; n],
             round_hints: FxHashMap::default(),
             hint_hits: 0,
@@ -171,6 +179,57 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
             t_low: vec![0; n],
             t_on_stack: vec![false; n],
             t_cur_epoch: 0,
+        }
+    }
+
+    /// Installs the derivation recorder and seeds it with the base facts of
+    /// the solved program: one `AddrOf` tuple record per base constraint
+    /// and one `CopyConstraint` edge record per simple constraint (matching
+    /// what [`new`](Self::new) put into the initial graph).
+    ///
+    /// Must be called **before** [`install_hcd`](Self::install_hcd) so that
+    /// HCD's static unions land in the merge arena.
+    pub fn install_prov(&mut self, program: &Program, mut prov: Box<ProvRecorder>) {
+        for c in program.constraints() {
+            match c.kind {
+                ConstraintKind::AddrOf => {
+                    prov.record_tuple(c.lhs.as_u32(), c.rhs.as_u32(), Reason::AddrOf);
+                }
+                ConstraintKind::Copy => {
+                    if c.lhs != c.rhs {
+                        prov.record_edge(c.rhs.as_u32(), c.lhs.as_u32(), Reason::CopyConstraint);
+                    }
+                }
+                ConstraintKind::Load | ConstraintKind::Store => {}
+            }
+        }
+        self.prov = Some(prov);
+    }
+
+    /// Takes the recorder back out (end of a recorded solve).
+    pub fn take_prov(&mut self) -> Option<Box<ProvRecorder>> {
+        self.prov.take()
+    }
+
+    /// Records the derivation of the constraint-direction edge `src → dst`
+    /// when recording is on — for solvers whose edge insertion does not go
+    /// through [`apply_complex_lists`](Self::apply_complex_lists) or
+    /// [`process_complex`](Self::process_complex) (HT stores edges
+    /// reversed, so its call sites translate orientation themselves).
+    #[inline]
+    pub fn note_edge(&mut self, src: VarId, dst: VarId, reason: Reason) {
+        if let Some(p) = self.prov.as_deref_mut() {
+            p.record_edge(src.as_u32(), dst.as_u32(), reason);
+        }
+    }
+
+    /// Counts one worklist pop of `v` against the per-variable cost series
+    /// when recording is on.
+    #[inline]
+    pub fn note_pop(&mut self, v: VarId) {
+        if let Some(p) = self.prov.as_deref_mut() {
+            p.metrics.add("worklist_pops", 1);
+            p.metrics.series_add("pops_per_var", v.as_u32(), 1);
         }
     }
 
@@ -216,6 +275,9 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
         let w = self.uf.union(ra, rb);
         let l = if w == ra { rb } else { ra };
         self.stats.nodes_collapsed += 1;
+        if let Some(p) = self.prov.as_deref_mut() {
+            p.record_merge(l.as_u32(), w.as_u32());
+        }
         // Reconcile the complex-constraint progress of the two sides first:
         // each side's constraint list must see the locations the *other*
         // side has already processed (and it hasn't). Afterwards every
@@ -290,6 +352,14 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
                 }
                 let t = self.find(VarId::from_u32(v + k));
                 if t != a_r && self.insert_edge(t, a_r) {
+                    self.note_edge(
+                        t,
+                        a_r,
+                        Reason::LoadEdge {
+                            pivot: node.as_u32(),
+                            loc: v,
+                        },
+                    );
                     wl.push(t);
                 }
             }
@@ -305,6 +375,14 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
                 }
                 let t = self.find(VarId::from_u32(v + k));
                 if t != b_r && self.insert_edge(b_r, t) {
+                    self.note_edge(
+                        b_r,
+                        t,
+                        Reason::StoreEdge {
+                            pivot: node.as_u32(),
+                            loc: v,
+                        },
+                    );
                     wl.push(b_r);
                 }
             }
@@ -340,6 +418,9 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
 
     fn propagate_inner(&mut self, src: VarId, dst: VarId) -> bool {
         debug_assert_ne!(src, dst);
+        if self.prov.is_some() {
+            return self.propagate_recorded(src, dst);
+        }
         self.stats.propagations += 1;
         let changed = match self.take_hint_delta(src, dst) {
             // `dst ∪= (src − dst)` computed at snapshot time equals
@@ -360,6 +441,51 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
         if changed {
             self.stats.propagations_changed += 1;
             self.pts_ver[dst.index()] = self.pts_ver[dst.index()].wrapping_add(1);
+        }
+        changed
+    }
+
+    /// The recording variant of [`propagate_inner`](Self::propagate_inner):
+    /// computes the actual delta first so each newly inserted location gets
+    /// one `PropagatedFrom` record. Counter-identical to the plain path
+    /// (BSP delta hints are skipped, but hints never influence the §5.3
+    /// counters — only `hint_hits`, which is round telemetry).
+    fn propagate_recorded(&mut self, src: VarId, dst: VarId) -> bool {
+        self.stats.propagations += 1;
+        let s = std::mem::take(&mut self.pts[src.index()]);
+        let new_locs = s.minus_to_vec(&mut self.ctx, &self.pts[dst.index()]);
+        let changed = self.pts[dst.index()].union_from(&mut self.ctx, &s);
+        self.pts[src.index()] = s;
+        debug_assert_eq!(changed, !new_locs.is_empty());
+        let p = self.prov.as_deref_mut().expect("recording enabled");
+        p.metrics
+            .observe("propagation_delta", new_locs.len() as u64);
+        for &loc in &new_locs {
+            p.record_tuple(dst.as_u32(), loc, Reason::PropagatedFrom(src.as_u32()));
+        }
+        if changed {
+            self.stats.propagations_changed += 1;
+            self.pts_ver[dst.index()] = self.pts_ver[dst.index()].wrapping_add(1);
+        }
+        changed
+    }
+
+    /// Unions `delta` into `pts(dst)` directly — the difference-propagation
+    /// solver's one union site that bypasses [`propagate`](Self::propagate)
+    /// — attributing each newly inserted location to `from` when recording.
+    /// The §5.3 counters stay at the call site, exactly as before.
+    pub fn union_delta_from(&mut self, dst: VarId, delta: &P, from: VarId) -> bool {
+        if self.prov.is_none() {
+            return self.pts[dst.index()].union_from(&mut self.ctx, delta);
+        }
+        let new_locs = delta.minus_to_vec(&mut self.ctx, &self.pts[dst.index()]);
+        let changed = self.pts[dst.index()].union_from(&mut self.ctx, delta);
+        debug_assert_eq!(changed, !new_locs.is_empty());
+        let p = self.prov.as_deref_mut().expect("recording enabled");
+        p.metrics
+            .observe("propagation_delta", new_locs.len() as u64);
+        for &loc in &new_locs {
+            p.record_tuple(dst.as_u32(), loc, Reason::PropagatedFrom(from.as_u32()));
         }
         changed
     }
@@ -432,6 +558,10 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
             return;
         }
         self.done[n.index()] = self.pts[n.index()].clone();
+        if let Some(p) = self.prov.as_deref_mut() {
+            // One retrigger = one delta-resolution round of n's constraints.
+            p.metrics.series_add("constraint_retriggers", n.as_u32(), 1);
+        }
         // Canonicalize the lists through the union-find: entries that
         // differed before a collapse are duplicates afterwards.
         let mut loads = std::mem::take(&mut self.loads[n.index()]);
@@ -449,6 +579,14 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
                 }
                 let t = self.find(VarId::from_u32(v + k));
                 if t != a_r && self.insert_edge(t, a_r) {
+                    self.note_edge(
+                        t,
+                        a_r,
+                        Reason::LoadEdge {
+                            pivot: n.as_u32(),
+                            loc: v,
+                        },
+                    );
                     wl.push(t);
                 }
             }
@@ -469,6 +607,14 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
                 }
                 let t = self.find(VarId::from_u32(v + k));
                 if t != b_r && self.insert_edge(b_r, t) {
+                    self.note_edge(
+                        b_r,
+                        t,
+                        Reason::StoreEdge {
+                            pivot: n.as_u32(),
+                            loc: v,
+                        },
+                    );
                     wl.push(b_r);
                 }
             }

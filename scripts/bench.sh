@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Benchmarks:
+# Benchmarks — every BENCH_*.json uses the stable schema of
+# ant_bench::schema: one JSON object per (benchmark, config) cell with
+# `name`/`config`/`median`/`best` keys, so files are comparable across PRs.
 #   pts_bench  — wall time + pts_bytes per solver × repr, BENCH_pts.json
 #   par_bench  — BSP scaling: threads {1,2,4,8} × solver × repr, BENCH_par.json
 #   pass_bench — offline pass subsets vs the paper's 60-77% band, BENCH_passes.json
+#   obs_bench  — provenance recorder overhead (seed / off / on), BENCH_obs.json
 # Usage: scripts/bench.sh            (honours ANT_SCALE, ANT_BENCH_REPEATS)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,3 +13,4 @@ cd "$(dirname "$0")/.."
 cargo run --release -p ant-bench --bin pts_bench
 cargo run --release -p ant-bench --bin par_bench
 cargo run --release -p ant-bench --bin pass_bench
+cargo run --release -p ant-bench --bin obs_bench

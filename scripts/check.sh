@@ -23,6 +23,13 @@ cargo test --test pipeline_differential -q
 echo "==> full test suite under the BSP engine (ANT_THREADS=4)"
 ANT_THREADS=4 cargo test --workspace -q
 
+echo "==> provenance differential test"
+cargo test --test provenance_differential -q
+
+echo "==> provenance-overhead gate (recorder-off within 2% of the seed path)"
+ANT_SCALE="${ANT_GATE_SCALE:-0.01}" ANT_BENCH_REPEATS="${ANT_GATE_REPEATS:-7}" \
+  cargo run --release -q -p ant-bench --bin obs_bench -- --gate
+
 if [[ "${1:-}" == "--bench" ]]; then
   echo "==> scripts/bench.sh"
   scripts/bench.sh

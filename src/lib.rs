@@ -52,10 +52,12 @@ pub use ant_constraints::pipeline::{
     HcdPass, NormalizePass, OvsPass, Pass, PassPipeline, PassSummary, Prepared, SolutionMapping,
 };
 pub use ant_constraints::{parse_program, Constraint, ConstraintKind, Program, ProgramBuilder};
+pub use ant_core::provenance::{EdgeExplanation, EdgeOrigin, Explainer, Step};
 #[allow(deprecated)]
 pub use ant_core::solve;
 pub use ant_core::{
-    solve_dyn, solve_dyn_with_observer, solve_prepared, solve_prepared_with_observer,
+    solve_dyn, solve_dyn_recorded, solve_dyn_with_observer, solve_prepared,
+    solve_prepared_recorded, solve_prepared_recorded_with_observer, solve_prepared_with_observer,
     threads_from_env, Algorithm, BddPts, BitmapPts, PtsKind, PtsRepr, SharedPts, Solution,
     SolveOutput, SolverConfig,
 };

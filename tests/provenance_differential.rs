@@ -1,0 +1,212 @@
+//! Provenance differential testing: the derivation recorder is an
+//! *observer*, not a participant — attaching it must not change anything
+//! the solver computes. For every solver family × points-to
+//! representation × pass subset, the recorded run must reproduce the
+//! unrecorded run bit for bit: the same expanded solution *and* the same
+//! §5.3 behavioural counters (the recorder may only cost wall time and
+//! memory).
+//!
+//! On top of that, the recorder's output must be *true*: a property test
+//! explains every fact of the solution and replays the chain through
+//! [`Explainer::validate`] — each step's reason has to be a real
+//! constraint, a recorded edge between the two classes, or a merge the
+//! pass pipeline / online collapse actually performed.
+
+use ant_grasshopper::frontend::workload::WorkloadSpec;
+use ant_grasshopper::{
+    compile_c, solve_prepared, solve_prepared_recorded, Algorithm, Explainer, HcdPass,
+    NormalizePass, OvsPass, PassPipeline, Program, PtsKind, SolveOutput, SolverConfig, VarId,
+};
+use proptest::prelude::*;
+
+/// The §5.3 counters that must be recorder-invariant.
+fn counters(out: &SolveOutput) -> [u64; 9] {
+    let s = &out.stats;
+    [
+        s.nodes_processed,
+        s.propagations,
+        s.propagations_changed,
+        s.edges_added,
+        s.complex_iters,
+        s.cycle_searches,
+        s.nodes_searched,
+        s.cycles_found,
+        s.nodes_collapsed,
+    ]
+}
+
+/// Every subset the CLI's `--passes` flag exposes, plus the empty one.
+fn subsets() -> Vec<(&'static str, PassPipeline)> {
+    vec![
+        ("none", PassPipeline::empty()),
+        ("normalize,ovs", PassPipeline::standard()),
+        (
+            "normalize,ovs,hcd",
+            PassPipeline::empty()
+                .push(NormalizePass)
+                .push(OvsPass)
+                .push(HcdPass),
+        ),
+    ]
+}
+
+fn workloads() -> Vec<(String, Program)> {
+    let mut out = Vec::new();
+    for seed in [5u64, 23] {
+        out.push((format!("tiny-{seed}"), WorkloadSpec::tiny(seed).generate()));
+    }
+    let path = format!("{}/testdata/hashtable.c", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap();
+    out.push(("hashtable.c".to_owned(), compile_c(&text).unwrap().program));
+    out
+}
+
+/// Recorder-on vs recorder-off over one representation.
+fn assert_recorder_invariant(name: &str, program: &Program, pts: PtsKind) {
+    for (spec, pipeline) in subsets() {
+        let prepared = pipeline.run(program);
+        for alg in Algorithm::ALL {
+            let config = SolverConfig::new(alg);
+            let plain = solve_prepared(&prepared, &config, pts);
+            let (recorded, prov) = solve_prepared_recorded(&prepared, &config, pts);
+            assert!(
+                recorded.solution.equiv(&plain.solution),
+                "{name}/{spec}/{alg}/{pts}: recording changed the solution at {:?}",
+                recorded.solution.first_difference(&plain.solution)
+            );
+            assert_eq!(
+                counters(&recorded),
+                counters(&plain),
+                "{name}/{spec}/{alg}/{pts}: recording changed the §5.3 counters"
+            );
+            assert!(
+                !prov.is_empty() || plain.solution.total_pts_size() == 0,
+                "{name}/{spec}/{alg}/{pts}: non-empty solution left no records"
+            );
+        }
+    }
+}
+
+#[test]
+fn bitmap_runs_are_recorder_invariant() {
+    for (name, program) in workloads() {
+        assert_recorder_invariant(&name, &program, PtsKind::Bitmap);
+    }
+}
+
+#[test]
+fn shared_runs_are_recorder_invariant() {
+    for (name, program) in workloads() {
+        assert_recorder_invariant(&name, &program, PtsKind::Shared);
+    }
+}
+
+#[test]
+fn bdd_runs_are_recorder_invariant() {
+    // One workload keeps the BDD sweep (12 algorithms × 3 subsets × 2
+    // runs) affordable; the representation is exercised across all
+    // algorithms either way.
+    let (name, program) = &workloads()[0];
+    assert_recorder_invariant(name, program, PtsKind::Bdd);
+}
+
+// ---------------------------------------------------------------------------
+// Chain replay: every explained fact must validate against the program.
+
+#[derive(Clone, Debug)]
+struct RawConstraint {
+    kind: u8,
+    lhs: usize,
+    rhs: usize,
+}
+
+fn raw_constraints(max_vars: usize, max_cs: usize) -> impl Strategy<Value = Vec<RawConstraint>> {
+    prop::collection::vec(
+        (0u8..4, 0..max_vars, 0..max_vars).prop_map(|(kind, lhs, rhs)| RawConstraint {
+            kind,
+            lhs,
+            rhs,
+        }),
+        1..max_cs,
+    )
+}
+
+/// Builds a well-formed program (every dereferenced pointer is seeded) —
+/// the regime where all algorithms compute the exact Andersen solution.
+fn build_program(raw: &[RawConstraint], nvars: usize) -> Program {
+    let mut b = ant_grasshopper::ProgramBuilder::new();
+    let vars: Vec<VarId> = (0..nvars).map(|i| b.var(&format!("v{i}"))).collect();
+    let mut seeded = vec![false; nvars];
+    for c in raw {
+        if c.kind == 0 {
+            seeded[c.lhs] = true;
+        }
+    }
+    for c in raw {
+        let (l, r) = (vars[c.lhs], vars[c.rhs]);
+        match c.kind {
+            0 => b.addr_of(l, r),
+            1 => b.copy(l, r),
+            2 => {
+                if !seeded[c.rhs] {
+                    seeded[c.rhs] = true;
+                    b.addr_of(r, vars[(c.rhs + 1) % nvars]);
+                }
+                b.load(l, r);
+            }
+            _ => {
+                if !seeded[c.lhs] {
+                    seeded[c.lhs] = true;
+                    b.addr_of(l, vars[(c.lhs + 1) % nvars]);
+                }
+                b.store(l, r);
+            }
+        }
+    }
+    b.finish()
+}
+
+/// Explains every fact the solve derived and replays each chain.
+fn assert_chains_replay(program: &Program, alg: Algorithm, pipeline: PassPipeline) {
+    let prepared = pipeline.run(program);
+    let (out, prov) = solve_prepared_recorded(&prepared, &SolverConfig::new(alg), PtsKind::Bitmap);
+    let mut ex = Explainer::new(&prov, program.num_vars()).with_mapping(&prepared.mapping);
+    for v in 0..program.num_vars() as u32 {
+        let v = VarId::from_u32(v);
+        for &l in out.solution.points_to(v).iter() {
+            let loc = VarId::from_u32(l);
+            let steps = ex
+                .explain(v, loc)
+                .unwrap_or_else(|| panic!("{alg}: no chain for {l} ∈ pts({v:?})"));
+            // Replay against the program the solver actually saw (ids are
+            // preserved by every pass, only representatives change); the
+            // explainer's mapping justifies the leading OfflineMerged hop.
+            assert!(
+                ex.validate(&prepared.program, v, loc, &steps[..]),
+                "{alg}: chain for {l} ∈ pts({v:?}) does not replay: {steps:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random well-formed programs: every algorithm family's chains
+    /// replay, with and without the offline pipeline in front.
+    #[test]
+    fn explained_chains_replay_to_valid_derivations(
+        raw in raw_constraints(10, 24),
+        alg_idx in 0..Algorithm::ALL.len(),
+        pipeline_sel in 0u8..2,
+    ) {
+        let program = build_program(&raw, 10);
+        let alg = Algorithm::ALL[alg_idx];
+        let pipeline = if pipeline_sel == 1 {
+            PassPipeline::standard().push(HcdPass)
+        } else {
+            PassPipeline::empty()
+        };
+        assert_chains_replay(&program, alg, pipeline);
+    }
+}
