@@ -1,0 +1,152 @@
+//! Propagation-mode shoot-out: full-set vs difference propagation
+//! (`--prop diff`) on the paper's fastest configuration (LCD+HCD over
+//! bitmaps), across the six bundled workloads, written to
+//! `BENCH_prop.json` in the stable `name/config/median/best` schema.
+//!
+//! Both modes produce bit-identical solutions and §5.3 counters (enforced
+//! by `tests/prop_differential.rs`); what this bench records is the cost:
+//! wall time per mode, plus the `propagated_bytes` counter showing how
+//! many set-bytes each mode actually pushed along constraint edges.
+//!
+//! Runs at scale 0.3 by default (`ANT_SCALE` overrides) — large enough
+//! that redundant re-propagation dominates — with interleaved repetitions
+//! like `pts_bench`. The acceptance summary reports the worst-case time
+//! regression of diff mode and its byte reduction on the two largest
+//! workloads (wine, linux).
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin prop_bench
+//! ```
+
+use ant_bench::runner::{prepare_suite, repeats_from_env};
+use ant_bench::schema::{render_bench_json, BenchRecord};
+use ant_core::{solve_dyn, Algorithm, PropMode, PtsKind, SolverConfig};
+use ant_frontend::suite::scale_from_env;
+
+fn main() {
+    if std::env::var("ANT_SCALE").is_err() {
+        // The issue's acceptance bar: all six workloads at scale >= 0.3.
+        std::env::set_var("ANT_SCALE", "0.3");
+    }
+    let benches = prepare_suite();
+    let repeats = {
+        let r = repeats_from_env();
+        if std::env::var("ANT_BENCH_REPEATS").is_err() && std::env::var("ANT_REPEATS").is_err() {
+            5
+        } else {
+            r
+        }
+    };
+    let scale = scale_from_env();
+
+    let mut records: Vec<BenchRecord> = benches
+        .iter()
+        .flat_map(|b| {
+            PropMode::ALL.map(|prop| {
+                BenchRecord::new(
+                    b.name.clone(),
+                    format!(
+                        "{}/{}/{prop}",
+                        Algorithm::LcdHcd.name(),
+                        PtsKind::Bitmap.name()
+                    ),
+                )
+            })
+        })
+        .collect();
+    let cell = |bi: usize, pi: usize| bi * PropMode::ALL.len() + pi;
+    let mut sent_bytes = vec![u64::MAX; records.len()];
+    let mut full_equiv_bytes = vec![u64::MAX; records.len()];
+    for rep in 0..repeats {
+        eprintln!("pass {}/{repeats}", rep + 1);
+        for (bi, bench) in benches.iter().enumerate() {
+            for (pi, &prop) in PropMode::ALL.iter().enumerate() {
+                let config = SolverConfig::new(Algorithm::LcdHcd).with_prop(prop);
+                let out = solve_dyn(&bench.program, &config, PtsKind::Bitmap);
+                let i = cell(bi, pi);
+                records[i].samples.push(out.stats.solve_time.as_secs_f64());
+                // Byte counters are deterministic per cell.
+                sent_bytes[i] = sent_bytes[i].min(out.stats.propagated_bytes);
+                full_equiv_bytes[i] = full_equiv_bytes[i].min(out.stats.propagated_full_bytes);
+            }
+        }
+    }
+    for (r, (&sent, &full)) in records
+        .iter_mut()
+        .zip(sent_bytes.iter().zip(&full_equiv_bytes))
+    {
+        r.extra.push(("propagated_bytes", format!("{sent}")));
+        r.extra.push(("propagated_full_bytes", format!("{full}")));
+    }
+
+    // Acceptance: diff regresses no workload by > 2% (median vs median)
+    // and cuts propagated bytes on the two largest workloads.
+    let mut worst_regression = f64::NEG_INFINITY;
+    let mut worst_name = String::new();
+    let mut per_bench_summary: Vec<(&'static str, String)> = Vec::new();
+    let mut big_two_reduced = true;
+    for (bi, bench) in benches.iter().enumerate() {
+        let full_i = cell(bi, 0);
+        let diff_i = cell(bi, 1);
+        let full_t = records[full_i].median();
+        let diff_t = records[diff_i].median();
+        let regression = 100.0 * (diff_t / full_t - 1.0);
+        if regression > worst_regression {
+            worst_regression = regression;
+            worst_name = bench.name.clone();
+        }
+        let bytes_saved =
+            100.0 * (1.0 - sent_bytes[diff_i] as f64 / (sent_bytes[full_i] as f64).max(1.0));
+        if matches!(bench.name.as_str(), "wine" | "linux")
+            && sent_bytes[diff_i] >= sent_bytes[full_i]
+        {
+            big_two_reduced = false;
+        }
+        println!(
+            "{:<12} full {:>8.3}s  diff {:>8.3}s  ({regression:+.1}% time, {bytes_saved:.1}% fewer propagated bytes)",
+            bench.name, full_t, diff_t,
+        );
+        per_bench_summary.push((
+            // Leaked once per workload per run: six short strings.
+            Box::leak(format!("{}_diff_time_delta_percent", bench.name).into_boxed_str()),
+            format!("{regression:.2}"),
+        ));
+    }
+    let pass = worst_regression <= 2.0 && big_two_reduced;
+    let mut summary = vec![
+        (
+            "config",
+            format!(
+                "\"{}/{}\"",
+                Algorithm::LcdHcd.name(),
+                PtsKind::Bitmap.name()
+            ),
+        ),
+        ("worst_regression_percent", format!("{worst_regression:.2}")),
+        ("worst_regression_bench", format!("\"{worst_name}\"")),
+        ("wine_linux_bytes_reduced", format!("{big_two_reduced}")),
+        ("accepted", format!("{pass}")),
+    ];
+    summary.extend(per_bench_summary);
+    let json = render_bench_json(
+        &[
+            ("scale", format!("{scale}")),
+            ("repeats", format!("{repeats}")),
+        ],
+        &records,
+        &summary,
+    );
+    std::fs::write("BENCH_prop.json", &json).expect("write BENCH_prop.json");
+    eprintln!("wrote BENCH_prop.json");
+    if pass {
+        println!(
+            "acceptance: PASS (worst time delta {worst_regression:+.1}% on {worst_name}, \
+             wine+linux bytes reduced)"
+        );
+    } else {
+        println!(
+            "acceptance: CHECK (worst time delta {worst_regression:+.1}% on {worst_name}, \
+             wine+linux bytes reduced: {big_two_reduced})"
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Validates every `BENCH_*.json` in the working directory against the
+//! stable schema of `ant_bench::schema`: a `results` array whose entries
+//! are flat one-line JSON objects carrying at least
+//! `name`/`config`/`median`/`best`, plus a trailing `summary` object.
+//! Exits non-zero (failing `scripts/bench.sh`) on the first violation, so
+//! a bench binary that drifts from the schema cannot silently ship
+//! incomparable numbers.
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin schema_check
+//! ```
+
+use ant_core::obs::parse_object;
+
+fn check_file(path: &str, text: &str) -> Result<usize, String> {
+    if !text.contains("\"results\"") {
+        return Err(format!("{path}: missing a \"results\" array"));
+    }
+    if !text.contains("\"summary\"") {
+        return Err(format!("{path}: missing the trailing \"summary\" object"));
+    }
+    let mut results = 0;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with("{\"name\"") {
+            continue;
+        }
+        let obj = parse_object(trimmed.trim_end_matches(','))
+            .map_err(|e| format!("{path}: unparseable result line ({e}): {trimmed}"))?;
+        for key in ["name", "config"] {
+            if obj.get(key).and_then(|v| v.as_str()).is_none() {
+                return Err(format!(
+                    "{path}: result missing string \"{key}\": {trimmed}"
+                ));
+            }
+        }
+        for key in ["median", "best"] {
+            if obj.get(key).and_then(|v| v.as_f64()).is_none() {
+                return Err(format!(
+                    "{path}: result missing number \"{key}\": {trimmed}"
+                ));
+            }
+        }
+        results += 1;
+    }
+    if results == 0 {
+        return Err(format!("{path}: no result lines found"));
+    }
+    Ok(results)
+}
+
+fn main() {
+    let mut files: Vec<String> = std::fs::read_dir(".")
+        .expect("read working directory")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        eprintln!("schema_check: no BENCH_*.json files in the working directory");
+        std::process::exit(1);
+    }
+    let mut failed = false;
+    for f in &files {
+        let text = std::fs::read_to_string(f).expect("read bench file");
+        match check_file(f, &text) {
+            Ok(n) => println!("{f}: OK ({n} results)"),
+            Err(e) => {
+                eprintln!("schema_check: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ant_bench::schema::{render_bench_json, BenchRecord};
+
+    #[test]
+    fn accepts_schema_output_and_rejects_drift() {
+        let mut r = BenchRecord::new("emacs", "lcd+hcd/bitmap/full");
+        r.samples = vec![0.5, 0.25];
+        let good = render_bench_json(
+            &[("scale", "0.3".into())],
+            &[r],
+            &[("accepted", "true".into())],
+        );
+        assert_eq!(check_file("good.json", &good), Ok(1));
+        assert!(check_file("bad.json", "{}").is_err());
+        let noname = good.replace("\"name\"", "\"nom\"");
+        assert!(check_file("noname.json", &noname).is_err());
+    }
+}

@@ -293,6 +293,30 @@ pub fn render(summary: &TraceSummary) -> String {
                 .collect();
             out.push_str(&format!("cost counters: {}\n", parts.join(" | ")));
         }
+        // Full-vs-diff propagation volume, from the recorder's counters:
+        // bytes the run actually pushed along edges vs the full-set
+        // equivalent for the same edge visits (equal under `--prop full`).
+        let counter = |key: &str| {
+            agg.metric_counters
+                .iter()
+                .find(|(n, _)| n == key)
+                .map(|&(_, v)| v)
+        };
+        if let (Some(sent), Some(full)) = (
+            counter("propagated_bytes"),
+            counter("propagated_full_bytes"),
+        ) {
+            if full > 0 {
+                let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
+                out.push_str(&format!(
+                    "propagation bytes: sent {:.1} MiB | full-set equivalent {:.1} MiB \
+                     ({:.1}% saved by delta sends)\n",
+                    mib(sent),
+                    mib(full),
+                    100.0 * (1.0 - sent as f64 / full as f64)
+                ));
+            }
+        }
         for (name, count, buckets) in &agg.metric_hists {
             out.push_str(&format!(
                 "hist {name}: {count} samples | log2 buckets {buckets}\n"
@@ -338,6 +362,8 @@ mod tests {
 {\"t\": 0.88, \"event\": \"metrics\", \"solver\": \"LCD+HCD\", \"kind\": \"summary\", \"counters\": 2, \"hists\": 1, \"tops\": 1}
 {\"t\": 0.88, \"event\": \"metrics\", \"solver\": \"LCD+HCD\", \"kind\": \"counter\", \"name\": \"worklist_pops\", \"value\": 42}
 {\"t\": 0.88, \"event\": \"metrics\", \"solver\": \"LCD+HCD\", \"kind\": \"counter\", \"name\": \"pts_bytes\", \"value\": 4096}
+{\"t\": 0.88, \"event\": \"metrics\", \"solver\": \"LCD+HCD\", \"kind\": \"counter\", \"name\": \"propagated_bytes\", \"value\": 1048576}
+{\"t\": 0.88, \"event\": \"metrics\", \"solver\": \"LCD+HCD\", \"kind\": \"counter\", \"name\": \"propagated_full_bytes\", \"value\": 4194304}
 {\"t\": 0.88, \"event\": \"metrics\", \"solver\": \"LCD+HCD\", \"kind\": \"hist\", \"name\": \"propagation_delta\", \"count\": 12, \"buckets\": \"0:3 2:9\"}
 {\"t\": 0.88, \"event\": \"metrics\", \"solver\": \"LCD+HCD\", \"kind\": \"top\", \"name\": \"pops_per_var\", \"entries\": \"7:19 3:11 9:2\"}
 {\"t\": 0.9, \"event\": \"phase_end\", \"solver\": \"LCD+HCD\", \"phase\": \"solve\", \"seconds\": 0.5}
@@ -346,7 +372,7 @@ mod tests {
     #[test]
     fn summarize_aggregates_per_solver() {
         let s = summarize(SAMPLE).unwrap();
-        assert_eq!(s.records, 17);
+        assert_eq!(s.records, 19);
         assert_eq!(s.solvers.len(), 2);
         let (pre_name, pre) = &s.solvers[0];
         assert!(pre_name.is_empty());
@@ -370,7 +396,9 @@ mod tests {
             lcd.metric_counters,
             vec![
                 ("worklist_pops".to_owned(), 42),
-                ("pts_bytes".to_owned(), 4096)
+                ("pts_bytes".to_owned(), 4096),
+                ("propagated_bytes".to_owned(), 1 << 20),
+                ("propagated_full_bytes".to_owned(), 4 << 20),
             ]
         );
         assert_eq!(
@@ -388,7 +416,7 @@ mod tests {
     fn render_mentions_phases_and_counters() {
         let s = summarize(SAMPLE).unwrap();
         let text = render(&s);
-        assert!(text.contains("17 trace records"));
+        assert!(text.contains("19 trace records"));
         assert!(text.contains("offline pass ovs: 200 -> 50 constraints (75.0% cut)"));
         assert!(text.contains("(pre-solve)"));
         assert!(text.contains("solver: LCD+HCD"));
@@ -402,6 +430,9 @@ mod tests {
         assert!(text.contains("intern hit rate 75.0%"));
         assert!(text.contains("bsp rounds: 1 | hints used 45/50"));
         assert!(text.contains("cost counters: worklist_pops 42 | pts_bytes 4096"));
+        assert!(text.contains(
+            "propagation bytes: sent 1.0 MiB | full-set equivalent 4.0 MiB (75.0% saved by delta sends)"
+        ));
         assert!(text.contains("hist propagation_delta: 12 samples | log2 buckets 0:3 2:9"));
         assert!(text.contains("hotspots: pops_per_var"));
         assert!(

@@ -9,7 +9,8 @@ use ant_core::obs::{FanOut, Obs, Phase, PhaseTimer, ProgressPrinter, TraceWriter
 use ant_core::provenance::Explainer;
 use ant_core::{
     solve_prepared, solve_prepared_recorded, solve_prepared_recorded_with_observer,
-    solve_prepared_with_observer, Algorithm, PtsKind, Solution, SolveOutput, SolverConfig,
+    solve_prepared_with_observer, Algorithm, PropMode, PtsKind, Solution, SolveOutput,
+    SolverConfig,
 };
 use ant_frontend::suite;
 use std::fs::File;
@@ -21,7 +22,7 @@ ant — inclusion-based pointer analysis (Hardekopf & Lin, PLDI 2007)
 USAGE:
   ant compile <file.c> [-o out.consts]
   ant solve   <file.c|file.consts> [--algorithm NAME] [--pts bitmap|shared|bdd]
-              [--worklist fifo|lifo|lrf|divided-lrf] [--threads N]
+              [--worklist fifo|lifo|lrf|divided-lrf] [--prop full|diff] [--threads N]
               [--passes normalize,ovs,hcd | --no-ovs] [--stats]
               [--trace-out trace.jsonl] [--progress] [--progress-every N]
   ant query   <file> --pointer NAME | --alias NAME NAME
@@ -118,6 +119,12 @@ impl CliConfig {
             Some(name) => PtsKind::parse(name)
                 .ok_or_else(|| format!("unknown points-to representation `{name}`"))?,
         };
+        let prop = match opts.value("--prop") {
+            None => PropMode::Full,
+            Some(name) => {
+                PropMode::parse(name).ok_or_else(|| format!("unknown propagation mode `{name}`"))?
+            }
+        };
         let passes = match (opts.value("--passes"), opts.has("--no-ovs")) {
             (Some(_), true) => {
                 return Err(
@@ -136,6 +143,7 @@ impl CliConfig {
                 worklist,
                 progress_every,
                 threads,
+                prop,
             },
             pts,
             passes,
@@ -778,6 +786,7 @@ mod tests {
         assert!(solve(&s(&[&c, "--pts", "rope"])).is_err());
         assert!(solve(&s(&[&c, "--threads", "0"])).is_err());
         assert!(solve(&s(&[&c, "--threads", "many"])).is_err());
+        assert!(solve(&s(&[&c, "--prop", "wat"])).is_err());
         let err = solve(&s(&[&c, "--fast"])).unwrap_err();
         assert!(err.contains("unknown flag `--fast`"));
     }
@@ -788,6 +797,7 @@ mod tests {
             cmd(&s(&["--help"])).unwrap();
         }
         assert!(usage().contains("--threads N"));
+        assert!(usage().contains("--prop MODE"));
     }
 
     #[test]
@@ -800,6 +810,10 @@ mod tests {
         let cfg = CliConfig::from_opts(&opts).unwrap();
         assert_eq!(cfg.pts, PtsKind::Bitmap);
         assert!(cfg.solver.threads >= 1);
+        assert_eq!(cfg.solver.prop, PropMode::Full);
+        let opts = Opts::parse(&s(&["f.c", "--prop", "diff"])).unwrap();
+        let cfg = CliConfig::from_opts(&opts).unwrap();
+        assert_eq!(cfg.solver.prop, PropMode::Diff);
     }
 
     #[test]

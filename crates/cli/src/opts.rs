@@ -37,6 +37,11 @@ pub const FLAGS: &[FlagSpec] = &[
         help: "worklist strategy: fifo|lifo|lrf|divided-lrf",
     },
     FlagSpec {
+        name: "--prop",
+        value: Some("MODE"),
+        help: "propagation mode: full|diff (diff pushes only pts - sent; default full)",
+    },
+    FlagSpec {
         name: "--threads",
         value: Some("N"),
         help: "solver threads; N >= 2 runs the BSP engine (default ANT_THREADS or 1)",
@@ -207,5 +212,6 @@ mod tests {
             assert!(text.contains(f.name), "--help must mention {}", f.name);
         }
         assert!(text.contains("--threads N"));
+        assert!(text.contains("--prop MODE"));
     }
 }

@@ -33,6 +33,15 @@ pub struct SolverStats {
     pub complex_iters: u64,
     /// Nodes popped from the worklist.
     pub nodes_processed: u64,
+    /// Bytes actually pushed along constraint edges: the source set's heap
+    /// bytes per propagation under full propagation, the delta's heap bytes
+    /// under difference propagation (`--prop diff`). Representations that
+    /// report zero `heap_bytes` per set (shared, BDD) leave this zero.
+    pub propagated_bytes: u64,
+    /// Bytes a *full-set* propagation would have pushed for the same edge
+    /// visits — the baseline `propagated_bytes` is compared against. Equal
+    /// to `propagated_bytes` under full propagation.
+    pub propagated_full_bytes: u64,
     /// Intern-table lookups that found the set already stored (shared
     /// representations only; zero otherwise).
     pub intern_hits: u64,
@@ -98,6 +107,8 @@ impl AddAssign<&SolverStats> for SolverStats {
             edges_added,
             complex_iters,
             nodes_processed,
+            propagated_bytes,
+            propagated_full_bytes,
             intern_hits,
             intern_misses,
             memo_hits,
@@ -121,6 +132,8 @@ impl AddAssign<&SolverStats> for SolverStats {
         self.edges_added += edges_added;
         self.complex_iters += complex_iters;
         self.nodes_processed += nodes_processed;
+        self.propagated_bytes += propagated_bytes;
+        self.propagated_full_bytes += propagated_full_bytes;
         self.intern_hits += intern_hits;
         self.intern_misses += intern_misses;
         self.memo_hits += memo_hits;
@@ -163,6 +176,17 @@ impl fmt::Display for SolverStats {
             self.solve_time.as_secs_f64(),
             self.offline_time.as_secs_f64(),
         )?;
+        if self.propagated_full_bytes > 0 {
+            let saved =
+                self.propagated_full_bytes - self.propagated_bytes.min(self.propagated_full_bytes);
+            writeln!(
+                f,
+                "propagation bytes: sent {:.1} MiB | full-set equivalent {:.1} MiB ({:.1}% saved)",
+                self.propagated_bytes as f64 / (1024.0 * 1024.0),
+                self.propagated_full_bytes as f64 / (1024.0 * 1024.0),
+                100.0 * saved as f64 / self.propagated_full_bytes as f64,
+            )?;
+        }
         if self.distinct_sets > 0 {
             writeln!(
                 f,
@@ -303,6 +327,8 @@ mod tests {
             edges_added: 7,
             complex_iters: 8,
             nodes_processed: 9,
+            propagated_bytes: 23,
+            propagated_full_bytes: 24,
             intern_hits: 18,
             intern_misses: 19,
             memo_hits: 20,
@@ -329,6 +355,8 @@ mod tests {
             edges_added,
             complex_iters,
             nodes_processed,
+            propagated_bytes,
+            propagated_full_bytes,
             intern_hits,
             intern_misses,
             memo_hits,
@@ -352,6 +380,8 @@ mod tests {
         assert_eq!(edges_added, 14);
         assert_eq!(complex_iters, 16);
         assert_eq!(nodes_processed, 18);
+        assert_eq!(propagated_bytes, 46);
+        assert_eq!(propagated_full_bytes, 48);
         assert_eq!(intern_hits, 36);
         assert_eq!(intern_misses, 38);
         assert_eq!(memo_hits, 40);

@@ -59,6 +59,7 @@ use ant_constraints::Program;
 use std::time::{Duration, Instant};
 
 use super::worklist_solvers::{basic_step, lcd_step, pkh_sweep};
+use super::PropMode;
 
 /// Which worklist-solver body each round replays.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -159,6 +160,7 @@ pub(crate) fn run<'o, P: PtsRepr>(
     obs: Obs<'o>,
     threads: usize,
     prov: Option<Box<ProvRecorder>>,
+    prop: PropMode,
 ) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
     st.obs = obs;
@@ -168,6 +170,7 @@ pub(crate) fn run<'o, P: PtsRepr>(
     if let Some(h) = hcd {
         st.install_hcd(h);
     }
+    st.set_prop(prop);
     let use_hcd = hcd.is_some();
     let mut rq = RoundQueue::new(st.n);
     st.seed_worklist(&mut rq);
@@ -396,26 +399,38 @@ mod tests {
         let hcd = HcdOffline::analyze(&program);
         for h in [None, Some(&hcd)] {
             for (fam, seq) in [
-                (Family::Basic, basic::<BitmapPts> as fn(_, _, _, _, _) -> _),
+                (
+                    Family::Basic,
+                    basic::<BitmapPts> as fn(_, _, _, _, _, _) -> _,
+                ),
                 (Family::Lcd, lcd::<BitmapPts>),
                 (Family::Pkh, pkh::<BitmapPts>),
             ] {
-                let mut s = seq(&program, WorklistKind::DividedLrf, h, Obs::none(), None);
-                let mut p = run::<BitmapPts>(&program, fam, h, Obs::none(), 4, None);
-                assert_eq!(
-                    counters(&s.stats),
-                    counters(&p.stats),
-                    "counter divergence (hcd={})",
-                    h.is_some()
-                );
-                let ss = Solution::from_state(&mut s);
-                let ps = Solution::from_state(&mut p);
-                assert_sound(&program, &ps);
-                assert!(
-                    ss.equiv(&ps),
-                    "solution divergence at {:?}",
-                    ss.first_difference(&ps)
-                );
+                for prop in PropMode::ALL {
+                    let mut s = seq(
+                        &program,
+                        WorklistKind::DividedLrf,
+                        h,
+                        Obs::none(),
+                        None,
+                        prop,
+                    );
+                    let mut p = run::<BitmapPts>(&program, fam, h, Obs::none(), 4, None, prop);
+                    assert_eq!(
+                        counters(&s.stats),
+                        counters(&p.stats),
+                        "counter divergence (hcd={}, prop={prop})",
+                        h.is_some()
+                    );
+                    let ss = Solution::from_state(&mut s);
+                    let ps = Solution::from_state(&mut p);
+                    assert_sound(&program, &ps);
+                    assert!(
+                        ss.equiv(&ps),
+                        "solution divergence at {:?}",
+                        ss.first_difference(&ps)
+                    );
+                }
             }
         }
     }
@@ -423,16 +438,33 @@ mod tests {
     #[test]
     fn context_bound_reprs_skip_the_worker_phase_but_still_match() {
         let program = WorkloadSpec::tiny(3).generate();
-        let mut s = lcd::<SharedPts>(&program, WorklistKind::DividedLrf, None, Obs::none(), None);
-        let mut p = run::<SharedPts>(&program, Family::Lcd, None, Obs::none(), 4, None);
-        assert_eq!(counters(&s.stats), counters(&p.stats));
-        assert!(Solution::from_state(&mut s).equiv(&Solution::from_state(&mut p)));
+        for prop in PropMode::ALL {
+            let mut s = lcd::<SharedPts>(
+                &program,
+                WorklistKind::DividedLrf,
+                None,
+                Obs::none(),
+                None,
+                prop,
+            );
+            let mut p = run::<SharedPts>(&program, Family::Lcd, None, Obs::none(), 4, None, prop);
+            assert_eq!(counters(&s.stats), counters(&p.stats), "prop={prop}");
+            assert!(Solution::from_state(&mut s).equiv(&Solution::from_state(&mut p)));
+        }
     }
 
     #[test]
     fn empty_program_yields_no_rounds() {
         let program = ant_constraints::ProgramBuilder::new().finish();
-        let mut st = run::<BitmapPts>(&program, Family::Basic, None, Obs::none(), 4, None);
+        let mut st = run::<BitmapPts>(
+            &program,
+            Family::Basic,
+            None,
+            Obs::none(),
+            4,
+            None,
+            PropMode::Full,
+        );
         assert_eq!(st.stats.nodes_processed, 0);
         assert_eq!(Solution::from_state(&mut st).num_vars(), 0);
     }

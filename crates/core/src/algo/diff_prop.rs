@@ -7,23 +7,25 @@
 //! all propagate full sets; `Algorithm::LcdDiff` lets the trade-off be
 //! measured: smaller unions per propagation, at the cost of one extra set
 //! per node and reconciliation on every collapse.
+//!
+//! The machinery itself — per-node `sent` markers, `delta = pts − sent`
+//! once per pop, epoch-gated collapse invalidation — now lives in
+//! [`OnlineState`](crate::state::OnlineState) as [`PropMode::Diff`], where
+//! *every* state-based solver can use it (`--prop diff`). `LcdDiff` is
+//! exactly LCD under that mode, so this module is a one-line wrapper; it
+//! survives as the named ablation so Table 5 keeps its LCD-DP row.
 
+use crate::algo::PropMode;
 use crate::pts::PtsRepr;
 use crate::state::OnlineState;
-use ant_common::fx::FxHashSet;
 use ant_common::obs::prov::ProvRecorder;
 use ant_common::obs::Obs;
 use ant_common::worklist::WorklistKind;
-use ant_common::VarId;
 use ant_constraints::hcd::HcdOffline;
 use ant_constraints::Program;
 
-/// LCD with difference propagation. The per-node `sent` marker records the
-/// part of the points-to set already pushed to *all* current successors;
-/// each pop pushes only `pts − sent`. Cycle collapses intersect the two
-/// markers (a safe under-approximation: the merged node simply re-sends),
-/// and newly added edges reset the source's marker so the full set reaches
-/// the new target.
+/// LCD with difference propagation: [`super::worklist_solvers::lcd`] under
+/// [`PropMode::Diff`].
 pub(crate) fn lcd_diff<'o, P: PtsRepr>(
     program: &Program,
     wk: WorklistKind,
@@ -31,101 +33,7 @@ pub(crate) fn lcd_diff<'o, P: PtsRepr>(
     obs: Obs<'o>,
     prov: Option<Box<ProvRecorder>>,
 ) -> OnlineState<'o, P> {
-    let mut st = OnlineState::<P>::new(program);
-    st.obs = obs;
-    if let Some(p) = prov {
-        st.install_prov(program, p);
-    }
-    if let Some(h) = hcd {
-        st.install_hcd(h);
-    }
-    let mut wl = wk.build(st.n);
-    st.seed_worklist(wl.as_mut());
-    let mut triggered: FxHashSet<(u32, u32)> = FxHashSet::default();
-    let mut triggered_epoch = st.stats.nodes_collapsed;
-    // sent[n]: subset of pts(n) already propagated to every successor of n.
-    let mut sent: Vec<P> = vec![P::default(); st.n];
-    // Successor count when `sent[n]` was last valid: any growth means a new
-    // target exists that has seen nothing (new edges can be added by *any*
-    // node's complex-constraint processing, not just n's own). Collapses
-    // can restructure successor sets without changing the count, so any
-    // intervening collapse also invalidates the marker (checked lazily via
-    // the global collapse counter).
-    let mut seen_degree: Vec<usize> = vec![0; st.n];
-    let mut seen_collapse: Vec<u64> = vec![u64::MAX; st.n];
-
-    while let Some(popped) = wl.pop() {
-        let mut n = st.find(popped);
-        st.stats.nodes_processed += 1;
-        st.note_pop(popped);
-        st.tick_progress(|| wl.len());
-        if hcd.is_some() {
-            n = st.hcd_step(n, wl.as_mut());
-        }
-        st.process_complex(n, wl.as_mut());
-        super::worklist_solvers::canonicalize_triggered(
-            &mut st,
-            &mut triggered,
-            &mut triggered_epoch,
-        );
-        let n = st.find(n);
-        let mut targets = st.take_succ_scratch();
-        st.canonical_succs_into(n, &mut targets);
-        if targets.len() != seen_degree[n.index()]
-            || seen_collapse[n.index()] != st.stats.nodes_collapsed
-        {
-            // Gained (or restructured) successors: re-send everything.
-            sent[n.index()] = P::default();
-            seen_degree[n.index()] = targets.len();
-            seen_collapse[n.index()] = st.stats.nodes_collapsed;
-        }
-        let delta = st.pts[n.index()].minus(&mut st.ctx, &sent[n.index()]);
-        if delta.is_empty(&st.ctx) {
-            st.put_succ_scratch(targets);
-            continue;
-        }
-        let mut any_collapse = false;
-        for &z_raw in &targets {
-            let n_now = st.find(n);
-            let mut z = st.find(VarId::from_u32(z_raw));
-            if z == n_now {
-                continue;
-            }
-            let edge = (n_now.as_u32(), z.as_u32());
-            // LCD's trigger still compares full sets.
-            if st.pts[z.index()].set_eq(&st.ctx, &st.pts[n_now.index()]) {
-                if triggered.contains(&edge) {
-                    continue;
-                }
-                st.stats.cycle_searches += 1;
-                let search = st.cycle_search(&[z]);
-                any_collapse |= st.collapse_sccs(&search, wl.as_mut()) > 0;
-                triggered.insert(edge);
-                z = st.find(z);
-                let n2 = st.find(n_now);
-                if z == n2 || st.pts[z.index()].set_eq(&st.ctx, &st.pts[n2.index()]) {
-                    continue;
-                }
-            }
-            // Push only the delta.
-            st.stats.propagations += 1;
-            if st.union_delta_from(z, &delta, n_now) {
-                st.stats.propagations_changed += 1;
-                wl.push(z);
-            }
-        }
-        st.put_succ_scratch(targets);
-        let n_final = st.find(n);
-        if n_final == n && !any_collapse {
-            // The delta has now reached every successor.
-            sent[n.index()].union_from(&mut st.ctx, &delta);
-        } else {
-            // The node merged mid-loop: re-send everything next pop.
-            sent[n_final.index()] = P::default();
-            wl.push(n_final);
-        }
-    }
-    st
+    super::worklist_solvers::lcd(program, wk, hcd, obs, prov, PropMode::Diff)
 }
 
 #[cfg(test)]
@@ -163,5 +71,66 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The ablation must behave exactly like full-propagation LCD on every
+    /// §5.3 counter — difference propagation changes *how much* each union
+    /// moves, never the solver's trajectory — while measurably sending
+    /// fewer bytes.
+    #[test]
+    fn counters_match_full_propagation_lcd_exactly() {
+        let program = WorkloadSpec::tiny(9).generate();
+        let full = super::super::worklist_solvers::lcd::<BitmapPts>(
+            &program,
+            WorklistKind::DividedLrf,
+            None,
+            Obs::none(),
+            None,
+            PropMode::Full,
+        );
+        let diff =
+            lcd_diff::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none(), None);
+        assert_eq!(diff.stats.nodes_processed, full.stats.nodes_processed);
+        assert_eq!(diff.stats.propagations, full.stats.propagations);
+        assert_eq!(
+            diff.stats.propagations_changed,
+            full.stats.propagations_changed
+        );
+        assert_eq!(diff.stats.edges_added, full.stats.edges_added);
+        assert_eq!(diff.stats.complex_iters, full.stats.complex_iters);
+        assert_eq!(diff.stats.cycle_searches, full.stats.cycle_searches);
+        assert_eq!(diff.stats.nodes_searched, full.stats.nodes_searched);
+        assert_eq!(diff.stats.cycles_found, full.stats.cycles_found);
+        assert_eq!(diff.stats.nodes_collapsed, full.stats.nodes_collapsed);
+        assert_eq!(
+            diff.stats.propagated_full_bytes,
+            full.stats.propagated_full_bytes
+        );
+        assert!(
+            diff.stats.propagated_bytes < full.stats.propagated_bytes,
+            "delta sends must beat full sends on a collapse-heavy workload \
+             ({} vs {})",
+            diff.stats.propagated_bytes,
+            full.stats.propagated_bytes
+        );
+        // Satellite regression: the diff machinery's memory (the `sent`
+        // sets, their target lists, the epochs) reaches `aux_bytes`. The
+        // accounting runs at finalization, so compare full solves.
+        let full = crate::solve_dyn(
+            &program,
+            &crate::SolverConfig::new(crate::Algorithm::Lcd),
+            crate::PtsKind::Bitmap,
+        );
+        let diff = crate::solve_dyn(
+            &program,
+            &crate::SolverConfig::new(crate::Algorithm::LcdDiff),
+            crate::PtsKind::Bitmap,
+        );
+        assert!(
+            diff.stats.aux_bytes > full.stats.aux_bytes,
+            "diff-mode bookkeeping must be accounted ({} vs {})",
+            diff.stats.aux_bytes,
+            full.stats.aux_bytes
+        );
     }
 }

@@ -183,6 +183,53 @@ impl fmt::Display for Algorithm {
     }
 }
 
+/// How points-to sets travel along constraint edges.
+///
+/// Either mode produces the identical solution *and* identical §5.3
+/// behavioural counters at any thread count — difference propagation only
+/// changes how many bytes each propagation walks
+/// (`SolverStats::propagated_bytes` records the difference).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PropMode {
+    /// Push the whole `pts(src)` along every edge on every pop (the
+    /// paper's solvers).
+    #[default]
+    Full,
+    /// Difference propagation (Pearce–Kelly–Hankin, SCAM 2003): per-node
+    /// `sent` markers; each pop pushes only `pts − sent` to successors
+    /// that already received the rest, with a full send for successors
+    /// added since the last pop and an epoch-gated reset after collapses.
+    Diff,
+}
+
+impl PropMode {
+    /// Both modes, full first.
+    pub const ALL: [PropMode; 2] = [PropMode::Full, PropMode::Diff];
+
+    /// The CLI name (`full` / `diff`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PropMode::Full => "full",
+            PropMode::Diff => "diff",
+        }
+    }
+
+    /// Parses a CLI name, case-insensitively.
+    pub fn parse(s: &str) -> Option<PropMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "full" => Some(PropMode::Full),
+            "diff" => Some(PropMode::Diff),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PropMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Solver configuration: which algorithm, which worklist strategy, and how
 /// many solver threads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -199,13 +246,18 @@ pub struct SolverConfig {
     /// solves.
     pub progress_every: u32,
     /// Solver threads. `1` (the default) runs the classic sequential
-    /// solvers; `≥ 2` routes the worklist family (Basic/HCD, LCD/LCD+HCD,
-    /// PKH/PKH+HCD over the divided worklist) through the BSP round engine,
+    /// solvers; `≥ 2` routes the worklist family (Basic/HCD,
+    /// LCD/LCD+HCD/LCD-DP, PKH/PKH+HCD over the divided worklist) through
+    /// the BSP round engine,
     /// whose solution and §5.3 counters are bit-identical to the sequential
     /// run. The other solvers ignore this and run sequentially. Values are
     /// treated as `max(threads, 1)`; the engine's worker phase additionally
     /// never spawns more threads than the hardware offers.
     pub threads: usize,
+    /// Propagation mode for the state-based solvers (default
+    /// [`PropMode::Full`]). [`Algorithm::LcdDiff`] always runs diff;
+    /// HT and BLQ have no per-edge propagation loop and ignore this.
+    pub prop: PropMode,
 }
 
 impl SolverConfig {
@@ -220,12 +272,19 @@ impl SolverConfig {
             worklist: WorklistKind::DividedLrf,
             progress_every: Self::DEFAULT_PROGRESS_EVERY,
             threads: threads_from_env(),
+            prop: PropMode::Full,
         }
     }
 
     /// Returns this configuration with the given thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Returns this configuration with the given propagation mode.
+    pub fn with_prop(mut self, prop: PropMode) -> Self {
+        self.prop = prop;
         self
     }
 }
@@ -499,6 +558,12 @@ fn solve_impl<P: PtsRepr>(
         .flatten();
     let hcd_ref = hcd;
     let wk = config.worklist;
+    // The LCD-DP ablation *is* LCD under difference propagation.
+    let prop = if config.algorithm == Algorithm::LcdDiff {
+        PropMode::Diff
+    } else {
+        config.prop
+    };
     // The BSP round engine replays the divided-LRF schedule exactly, so it
     // only substitutes for solvers running that worklist (PKH ignores the
     // worklist kind entirely and always qualifies).
@@ -517,11 +582,12 @@ fn solve_impl<P: PtsRepr>(
                 obs,
                 config.threads,
                 prov,
+                prop,
             ),
             start,
             &mut timer,
         ),
-        Algorithm::Lcd | Algorithm::LcdHcd if par_lrf => finish(
+        Algorithm::Lcd | Algorithm::LcdHcd | Algorithm::LcdDiff if par_lrf => finish(
             bsp::run::<P>(
                 program,
                 bsp::Family::Lcd,
@@ -529,6 +595,7 @@ fn solve_impl<P: PtsRepr>(
                 obs,
                 config.threads,
                 prov,
+                prop,
             ),
             start,
             &mut timer,
@@ -541,22 +608,23 @@ fn solve_impl<P: PtsRepr>(
                 obs,
                 config.threads,
                 prov,
+                prop,
             ),
             start,
             &mut timer,
         ),
         Algorithm::Basic | Algorithm::Hcd => finish(
-            worklist_solvers::basic::<P>(program, wk, hcd_ref, obs, prov),
+            worklist_solvers::basic::<P>(program, wk, hcd_ref, obs, prov, prop),
             start,
             &mut timer,
         ),
         Algorithm::Lcd | Algorithm::LcdHcd => finish(
-            worklist_solvers::lcd::<P>(program, wk, hcd_ref, obs, prov),
+            worklist_solvers::lcd::<P>(program, wk, hcd_ref, obs, prov, prop),
             start,
             &mut timer,
         ),
         Algorithm::Pkh | Algorithm::PkhHcd => finish(
-            worklist_solvers::pkh::<P>(program, wk, hcd_ref, obs, prov),
+            worklist_solvers::pkh::<P>(program, wk, hcd_ref, obs, prov, prop),
             start,
             &mut timer,
         ),
@@ -564,7 +632,7 @@ fn solve_impl<P: PtsRepr>(
             finish(ht::ht::<P>(program, hcd_ref, obs, prov), start, &mut timer)
         }
         Algorithm::Pkh03 => finish(
-            pkh03::pkh03::<P>(program, wk, hcd_ref, obs, prov),
+            pkh03::pkh03::<P>(program, wk, hcd_ref, obs, prov, prop),
             start,
             &mut timer,
         ),
@@ -635,6 +703,9 @@ fn finish<P: PtsRepr>(
             p.metrics.set("memo_hits", stats.memo_hits);
             p.metrics.set("memo_misses", stats.memo_misses);
             p.metrics.set("pts_bytes", stats.pts_bytes as u64);
+            p.metrics.set("propagated_bytes", stats.propagated_bytes);
+            p.metrics
+                .set("propagated_full_bytes", stats.propagated_full_bytes);
         }
     }
     if st.obs.enabled() {
@@ -792,6 +863,113 @@ mod tests {
             } else {
                 assert_eq!(out.stats.offline_time, std::time::Duration::ZERO);
             }
+        }
+    }
+
+    #[test]
+    fn prop_mode_names_parse_and_default() {
+        for prop in PropMode::ALL {
+            assert_eq!(PropMode::parse(prop.name()), Some(prop));
+        }
+        assert_eq!(PropMode::parse("DIFF"), Some(PropMode::Diff));
+        assert_eq!(PropMode::parse("nope"), None);
+        assert_eq!(PropMode::default(), PropMode::Full);
+        assert_eq!(SolverConfig::new(Algorithm::Lcd).prop, PropMode::Full);
+    }
+
+    /// Difference propagation is observationally identical to full
+    /// propagation — same solution, same §5.3 counters, sequentially and
+    /// on the BSP engine — while never pushing *more* bytes.
+    #[test]
+    fn diff_prop_matches_full_solution_and_counters() {
+        let program = medley();
+        for alg in [
+            Algorithm::Basic,
+            Algorithm::Lcd,
+            Algorithm::LcdHcd,
+            Algorithm::Pkh,
+            Algorithm::Pkh03,
+        ] {
+            for threads in [1, 4] {
+                let base = SolverConfig::new(alg).with_threads(threads);
+                let full = solve_dyn(&program, &base, PtsKind::Bitmap);
+                let diff = solve_dyn(&program, &base.with_prop(PropMode::Diff), PtsKind::Bitmap);
+                assert!(
+                    diff.solution.equiv(&full.solution),
+                    "{alg} t{threads}: diff solution diverged at {:?}",
+                    diff.solution.first_difference(&full.solution)
+                );
+                for (name, d, f) in [
+                    (
+                        "nodes_processed",
+                        diff.stats.nodes_processed,
+                        full.stats.nodes_processed,
+                    ),
+                    (
+                        "propagations",
+                        diff.stats.propagations,
+                        full.stats.propagations,
+                    ),
+                    (
+                        "propagations_changed",
+                        diff.stats.propagations_changed,
+                        full.stats.propagations_changed,
+                    ),
+                    (
+                        "cycle_searches",
+                        diff.stats.cycle_searches,
+                        full.stats.cycle_searches,
+                    ),
+                    (
+                        "cycles_found",
+                        diff.stats.cycles_found,
+                        full.stats.cycles_found,
+                    ),
+                    (
+                        "nodes_collapsed",
+                        diff.stats.nodes_collapsed,
+                        full.stats.nodes_collapsed,
+                    ),
+                ] {
+                    assert_eq!(d, f, "{alg} t{threads}: {name} diverged");
+                }
+                // Full mode sends whole sets; diff sends at most that.
+                assert_eq!(
+                    full.stats.propagated_bytes,
+                    full.stats.propagated_full_bytes
+                );
+                assert!(diff.stats.propagated_bytes <= diff.stats.propagated_full_bytes);
+                assert_eq!(
+                    diff.stats.propagated_full_bytes, full.stats.propagated_full_bytes,
+                    "{alg} t{threads}: the full-set baseline must match across modes"
+                );
+            }
+        }
+    }
+
+    /// The LCD-DP ablation is LCD under `PropMode::Diff`: identical output
+    /// and counters, including through the BSP engine (which previously
+    /// did not serve LCD-DP at all).
+    #[test]
+    fn lcd_diff_is_lcd_with_diff_prop() {
+        let program = medley();
+        for threads in [1, 4] {
+            let dp = solve_dyn(
+                &program,
+                &SolverConfig::new(Algorithm::LcdDiff).with_threads(threads),
+                PtsKind::Bitmap,
+            );
+            let lcd = solve_dyn(
+                &program,
+                &SolverConfig::new(Algorithm::Lcd)
+                    .with_threads(threads)
+                    .with_prop(PropMode::Diff),
+                PtsKind::Bitmap,
+            );
+            assert!(dp.solution.equiv(&lcd.solution));
+            assert_eq!(dp.stats.propagations, lcd.stats.propagations);
+            assert_eq!(dp.stats.propagated_bytes, lcd.stats.propagated_bytes);
+            assert_eq!(dp.stats.cycle_searches, lcd.stats.cycle_searches);
         }
     }
 

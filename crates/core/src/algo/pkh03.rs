@@ -115,6 +115,7 @@ pub(crate) fn pkh03<'o, P: PtsRepr>(
     hcd: Option<&HcdOffline>,
     obs: Obs<'o>,
     prov: Option<Box<ProvRecorder>>,
+    prop: super::PropMode,
 ) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
     st.obs = obs;
@@ -124,6 +125,7 @@ pub(crate) fn pkh03<'o, P: PtsRepr>(
     if let Some(h) = hcd {
         st.install_hcd(h);
     }
+    st.set_prop(prop);
     let mut order = Order::new(st.n);
     let mut wl = wk.build(st.n);
     st.seed_worklist(wl.as_mut());
@@ -199,8 +201,14 @@ mod tests {
         pb.copy(x, y);
         pb.copy(y, x);
         let program = pb.finish();
-        let mut st =
-            pkh03::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none(), None);
+        let mut st = pkh03::<BitmapPts>(
+            &program,
+            WorklistKind::DividedLrf,
+            None,
+            Obs::none(),
+            None,
+            super::super::PropMode::Full,
+        );
         let sol = Solution::from_state(&mut st);
         assert_sound(&program, &sol);
         let r = program.var_by_name("r").unwrap();
@@ -212,8 +220,14 @@ mod tests {
     fn agrees_with_basic_on_workload() {
         use ant_frontend::workload::WorkloadSpec;
         let program = WorkloadSpec::tiny(5).generate();
-        let mut st =
-            pkh03::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none(), None);
+        let mut st = pkh03::<BitmapPts>(
+            &program,
+            WorklistKind::DividedLrf,
+            None,
+            Obs::none(),
+            None,
+            super::super::PropMode::Full,
+        );
         let sol = Solution::from_state(&mut st);
         let reference = crate::solve_dyn(
             &program,

@@ -1,6 +1,7 @@
 //! The worklist-driven solvers: Basic (Figure 1), HCD (Figure 5),
 //! LCD (Figure 2), and PKH (periodic sweeps).
 
+use crate::algo::PropMode;
 use crate::pts::PtsRepr;
 use crate::state::OnlineState;
 use ant_common::fx::FxHashSet;
@@ -39,6 +40,7 @@ pub(crate) fn basic<'o, P: PtsRepr>(
     hcd: Option<&HcdOffline>,
     obs: Obs<'o>,
     prov: Option<Box<ProvRecorder>>,
+    prop: PropMode,
 ) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
     st.obs = obs;
@@ -48,6 +50,7 @@ pub(crate) fn basic<'o, P: PtsRepr>(
     if let Some(h) = hcd {
         st.install_hcd(h);
     }
+    st.set_prop(prop);
     let mut wl = wk.build(st.n);
     st.seed_worklist(wl.as_mut());
     while let Some(popped) = wl.pop() {
@@ -72,6 +75,7 @@ pub(crate) fn lcd<'o, P: PtsRepr>(
     hcd: Option<&HcdOffline>,
     obs: Obs<'o>,
     prov: Option<Box<ProvRecorder>>,
+    prop: PropMode,
 ) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
     st.obs = obs;
@@ -81,6 +85,7 @@ pub(crate) fn lcd<'o, P: PtsRepr>(
     if let Some(h) = hcd {
         st.install_hcd(h);
     }
+    st.set_prop(prop);
     let mut wl = wk.build(st.n);
     st.seed_worklist(wl.as_mut());
     // R: edges that have already triggered a cycle search.
@@ -123,6 +128,8 @@ pub(crate) fn lcd_step<P: PtsRepr>(
     canonicalize_triggered(st, triggered, triggered_epoch);
     let mut targets = st.take_succ_scratch();
     st.canonical_succs_into(n, &mut targets);
+    let rep = st.find(n);
+    let mut plan = st.begin_pop_delta(rep);
     for &z_raw in &targets {
         // Cycle collapses during this loop can merge both endpoints.
         let n_now = st.find(n);
@@ -149,10 +156,12 @@ pub(crate) fn lcd_step<P: PtsRepr>(
             }
         }
         let src = st.find(n_now);
-        if st.propagate(src, z) {
+        if st.propagate_edge(src, z, &mut plan) {
             wl.push(z);
         }
     }
+    let rep_final = st.find(n);
+    st.finish_pop_delta(rep_final, &targets, plan);
     st.put_succ_scratch(targets);
 }
 
@@ -201,6 +210,7 @@ pub(crate) fn pkh<'o, P: PtsRepr>(
     hcd: Option<&HcdOffline>,
     obs: Obs<'o>,
     prov: Option<Box<ProvRecorder>>,
+    prop: PropMode,
 ) -> OnlineState<'o, P> {
     let mut st = OnlineState::<P>::new(program);
     st.obs = obs;
@@ -210,6 +220,7 @@ pub(crate) fn pkh<'o, P: PtsRepr>(
     if let Some(h) = hcd {
         st.install_hcd(h);
     }
+    st.set_prop(prop);
     // PKH owns a concrete divided worklist so it can observe section swaps.
     let mut wl = DividedLrf::new(st.n);
     st.seed_worklist(&mut wl);
@@ -269,12 +280,14 @@ mod tests {
         let wk = WorklistKind::DividedLrf;
         let mut outs = Vec::new();
         for h in [None, Some(&hcd)] {
-            let mut s1 = basic::<BitmapPts>(program, wk, h, Obs::none(), None);
-            outs.push(Solution::from_state(&mut s1));
-            let mut s2 = lcd::<BitmapPts>(program, wk, h, Obs::none(), None);
-            outs.push(Solution::from_state(&mut s2));
-            let mut s3 = pkh::<BitmapPts>(program, wk, h, Obs::none(), None);
-            outs.push(Solution::from_state(&mut s3));
+            for prop in PropMode::ALL {
+                let mut s1 = basic::<BitmapPts>(program, wk, h, Obs::none(), None, prop);
+                outs.push(Solution::from_state(&mut s1));
+                let mut s2 = lcd::<BitmapPts>(program, wk, h, Obs::none(), None, prop);
+                outs.push(Solution::from_state(&mut s2));
+                let mut s3 = pkh::<BitmapPts>(program, wk, h, Obs::none(), None, prop);
+                outs.push(Solution::from_state(&mut s3));
+            }
         }
         outs
     }
@@ -300,7 +313,14 @@ mod tests {
     #[test]
     fn lcd_collapses_the_static_cycle() {
         let program = cyclic_program();
-        let st = lcd::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none(), None);
+        let st = lcd::<BitmapPts>(
+            &program,
+            WorklistKind::DividedLrf,
+            None,
+            Obs::none(),
+            None,
+            PropMode::Full,
+        );
         assert!(st.stats.nodes_collapsed >= 1, "x↔y cycle should collapse");
         assert!(st.stats.cycle_searches >= 1);
     }
@@ -315,6 +335,7 @@ mod tests {
             Some(&hcd),
             Obs::none(),
             None,
+            PropMode::Full,
         );
         assert_eq!(st.stats.nodes_searched, 0, "HCD never traverses the graph");
     }
@@ -324,7 +345,7 @@ mod tests {
         let program = cyclic_program();
         let mut reference = None;
         for wk in WorklistKind::ALL {
-            let mut st = lcd::<BitmapPts>(&program, wk, None, Obs::none(), None);
+            let mut st = lcd::<BitmapPts>(&program, wk, None, Obs::none(), None, PropMode::Full);
             let sol = Solution::from_state(&mut st);
             assert_sound(&program, &sol);
             if let Some(r) = &reference {
@@ -373,18 +394,34 @@ mod tests {
     fn lcd_cycle_search_count_has_no_post_collapse_duplicates() {
         use ant_frontend::workload::WorkloadSpec;
         let program = WorkloadSpec::tiny(1).generate();
-        let st = lcd::<BitmapPts>(&program, WorklistKind::DividedLrf, None, Obs::none(), None);
-        assert_eq!(st.stats.cycle_searches, 245);
-        assert!(
-            st.stats.nodes_collapsed > 0,
-            "workload must exercise collapses"
-        );
+        for prop in PropMode::ALL {
+            let st = lcd::<BitmapPts>(
+                &program,
+                WorklistKind::DividedLrf,
+                None,
+                Obs::none(),
+                None,
+                prop,
+            );
+            assert_eq!(st.stats.cycle_searches, 245, "prop={prop}");
+            assert!(
+                st.stats.nodes_collapsed > 0,
+                "workload must exercise collapses"
+            );
+        }
     }
 
     #[test]
     fn empty_program() {
         let program = ProgramBuilder::new().finish();
-        let mut st = basic::<BitmapPts>(&program, WorklistKind::Fifo, None, Obs::none(), None);
+        let mut st = basic::<BitmapPts>(
+            &program,
+            WorklistKind::Fifo,
+            None,
+            Obs::none(),
+            None,
+            PropMode::Full,
+        );
         let sol = Solution::from_state(&mut st);
         assert_eq!(sol.num_vars(), 0);
     }
@@ -405,7 +442,14 @@ mod tests {
         pb.load_offset(r, fp, 1); // r = return slot
         let program = pb.finish();
         for solver in [basic::<BitmapPts>, lcd::<BitmapPts>, pkh::<BitmapPts>] {
-            let mut st = solver(&program, WorklistKind::DividedLrf, None, Obs::none(), None);
+            let mut st = solver(
+                &program,
+                WorklistKind::DividedLrf,
+                None,
+                Obs::none(),
+                None,
+                PropMode::Full,
+            );
             let sol = Solution::from_state(&mut st);
             assert_sound(&program, &sol);
             assert!(

@@ -63,7 +63,8 @@ pub use algo::{solve, solve_with_observer};
 pub use algo::{
     solve_dyn, solve_dyn_recorded, solve_dyn_with_observer, solve_prepared,
     solve_prepared_recorded, solve_prepared_recorded_with_observer, solve_prepared_with_observer,
-    steensgaard, steensgaard_with_observer, threads_from_env, Algorithm, SolveOutput, SolverConfig,
+    steensgaard, steensgaard_with_observer, threads_from_env, Algorithm, PropMode, SolveOutput,
+    SolverConfig,
 };
 pub use ant_common::obs;
 pub use ant_common::{SolverStats, VarId};

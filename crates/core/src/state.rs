@@ -8,6 +8,7 @@
 //! an iterative Tarjan-style SCC search (Nuutila's refinements affect only
 //! constant factors; the collapse behaviour is identical).
 
+use crate::algo::PropMode;
 use crate::pts::PtsRepr;
 use ant_common::fx::FxHashMap;
 use ant_common::obs::prov::{ProvRecorder, Reason};
@@ -39,6 +40,56 @@ pub(crate) struct RoundHint<P> {
     pub eq: bool,
     /// `pts(src) − pts(dst)` in the snapshot.
     pub delta: P,
+}
+
+/// Difference-propagation bookkeeping (Pearce–Kelly–Hankin, SCAM 2003),
+/// allocated only under [`PropMode::Diff`]: per node, the part of its
+/// points-to set already delivered to its successors.
+///
+/// Invariant (whenever `epoch[n]` matches `stats.nodes_collapsed`):
+/// `sent[n] ⊆ pts(z)` for every `z ∈ sent_to[n]`. Collapses redirect edges
+/// and merge points-to sets wholesale, so rather than reconciling markers
+/// at merge time the whole slot is invalidated by the epoch and rebuilt
+/// lazily on the node's next pop — the same epoch discipline LCD's
+/// `canonicalize_triggered` uses.
+struct DiffState<P> {
+    /// Locations already sent to every successor in `sent_to`.
+    sent: Vec<P>,
+    /// Successor representatives `sent` was delivered to, sorted ascending.
+    sent_to: Vec<Vec<u32>>,
+    /// `stats.nodes_collapsed` when the slot was last valid; `u64::MAX`
+    /// initially so the first pop of each node starts from nothing.
+    epoch: Vec<u64>,
+}
+
+/// One worklist pop's propagation plan under [`PropMode::Diff`]: the delta
+/// `pts(n) − sent[n]` computed once, plus the successors that already hold
+/// `sent[n]` (only the delta needs to travel to those; successors that
+/// appeared since the last pop get a full send).
+///
+/// Owned by the pop loop (no borrows of the state), created by
+/// [`OnlineState::begin_pop_delta`], consumed per edge by
+/// [`OnlineState::propagate_edge`] and committed by
+/// [`OnlineState::finish_pop_delta`].
+pub(crate) struct DiffPlan<P> {
+    /// The popped node the plan was built for.
+    src: VarId,
+    /// `stats.nodes_collapsed` at plan time; any mid-loop collapse
+    /// invalidates the plan (remaining edges fall back to full sends and
+    /// the markers are not committed).
+    epoch: u64,
+    /// Whether the delta is empty — an empty delta cannot change any
+    /// already-seen successor, so the union walk is skipped outright.
+    empty: bool,
+    /// `heap_bytes` of the delta, counted per edge into
+    /// `stats.propagated_bytes`.
+    delta_bytes: u64,
+    /// `pts(src) − sent[src]` at plan time.
+    delta: P,
+    /// The `sent_to` list, taken for the duration of the pop.
+    known: Vec<u32>,
+    /// Merge cursor into `known` (targets arrive sorted ascending).
+    cursor: usize,
 }
 
 /// Mutable solver state shared by the Basic, LCD, HCD and PKH solvers (and
@@ -97,6 +148,16 @@ pub(crate) struct OnlineState<'o, P: PtsRepr> {
     /// [`put_succ_scratch`](Self::put_succ_scratch) because callers mutate
     /// the state while iterating the targets.
     scratch_succs: Vec<u32>,
+    /// Difference-propagation markers; `None` under [`PropMode::Full`], so
+    /// the classic paths pay one null test per pop.
+    diff: Option<DiffState<P>>,
+    /// Per node: `stats.nodes_collapsed` when
+    /// [`canonical_succs_into`](Self::canonical_succs_into) last rebuilt
+    /// its successor bitmap. While no collapse intervenes the stored bitmap
+    /// stays canonical (edge inserts only add representative ids distinct
+    /// from the owner), so repeat pops skip the find-filter-sort rebuild.
+    /// `u64::MAX` = never rebuilt.
+    succ_canon: Vec<u64>,
     // Reusable Tarjan buffers (epoch-stamped so repeated searches are cheap).
     t_epoch: Vec<u32>,
     t_index: Vec<u32>,
@@ -174,6 +235,8 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
             round_hints: FxHashMap::default(),
             hint_hits: 0,
             scratch_succs: Vec::new(),
+            diff: None,
+            succ_canon: vec![u64::MAX; n],
             t_epoch: vec![0; n],
             t_index: vec![0; n],
             t_low: vec![0; n],
@@ -249,6 +312,20 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
     #[inline]
     pub fn find(&mut self, v: VarId) -> VarId {
         self.uf.find(v)
+    }
+
+    /// Selects the propagation mode. [`PropMode::Diff`] allocates the
+    /// per-node difference-propagation markers; [`PropMode::Full`] (the
+    /// default) frees them. Must be called before the solve loop starts.
+    pub fn set_prop(&mut self, prop: PropMode) {
+        self.diff = match prop {
+            PropMode::Full => None,
+            PropMode::Diff => Some(DiffState {
+                sent: vec![P::default(); self.n],
+                sent_to: vec![Vec::new(); self.n],
+                epoch: vec![u64::MAX; self.n],
+            }),
+        };
     }
 
     /// Seeds `wl` with every representative that has a non-empty points-to
@@ -422,6 +499,9 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
             return self.propagate_recorded(src, dst);
         }
         self.stats.propagations += 1;
+        let full_bytes = self.pts[src.index()].heap_bytes() as u64;
+        self.stats.propagated_bytes += full_bytes;
+        self.stats.propagated_full_bytes += full_bytes;
         let changed = match self.take_hint_delta(src, dst) {
             // `dst ∪= (src − dst)` computed at snapshot time equals
             // `dst ∪= src` now: src is unchanged (version-checked) and dst
@@ -452,6 +532,9 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
     /// counters — only `hint_hits`, which is round telemetry).
     fn propagate_recorded(&mut self, src: VarId, dst: VarId) -> bool {
         self.stats.propagations += 1;
+        let full_bytes = self.pts[src.index()].heap_bytes() as u64;
+        self.stats.propagated_bytes += full_bytes;
+        self.stats.propagated_full_bytes += full_bytes;
         let s = std::mem::take(&mut self.pts[src.index()]);
         let new_locs = s.minus_to_vec(&mut self.ctx, &self.pts[dst.index()]);
         let changed = self.pts[dst.index()].union_from(&mut self.ctx, &s);
@@ -488,6 +571,138 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
             p.record_tuple(dst.as_u32(), loc, Reason::PropagatedFrom(from.as_u32()));
         }
         changed
+    }
+
+    /// Starts one pop's difference propagation for `n`: `None` under
+    /// [`PropMode::Full`], else the pop's [`DiffPlan`] with
+    /// `delta = pts(n) − sent[n]` computed exactly once. A stale slot
+    /// (collapse since the node's markers were built) is reset wholesale
+    /// first — the lazy half of the collapse reconciliation.
+    ///
+    /// On shared representations the `minus` goes through the interner's
+    /// memo cache, so repeat pops of an unchanged node answer in O(1).
+    pub fn begin_pop_delta(&mut self, n: VarId) -> Option<DiffPlan<P>> {
+        let epoch_now = self.stats.nodes_collapsed;
+        let d = self.diff.as_mut()?;
+        let i = n.index();
+        if d.epoch[i] != epoch_now {
+            d.sent[i] = P::default();
+            d.sent_to[i].clear();
+            d.epoch[i] = epoch_now;
+        }
+        let known = std::mem::take(&mut d.sent_to[i]);
+        let sent = std::mem::take(&mut d.sent[i]);
+        let delta = self.pts[i].minus(&mut self.ctx, &sent);
+        self.diff.as_mut().expect("still in diff mode").sent[i] = sent;
+        let empty = delta.is_empty(&self.ctx);
+        let delta_bytes = delta.heap_bytes() as u64;
+        Some(DiffPlan {
+            src: n,
+            epoch: epoch_now,
+            empty,
+            delta_bytes,
+            delta,
+            known,
+            cursor: 0,
+        })
+    }
+
+    /// One edge of a pop loop: [`propagate`](Self::propagate) under
+    /// [`PropMode::Full`] (`plan` is `None`); under [`PropMode::Diff`],
+    /// pushes only the plan's delta to successors that already hold
+    /// `sent[src]` and falls back to a full send for successors that
+    /// appeared since the last pop — the generalized "invalidate only the
+    /// *new* targets on degree growth". A mid-loop collapse (epoch
+    /// mismatch) also falls back to full sends, which is counter-identical
+    /// because the commit is skipped too.
+    ///
+    /// Returns whether `pts(dst)` grew — bit-identical to the full-mode
+    /// answer: `sent[src] ⊆ pts(dst)` for known targets, so
+    /// `pts(src) − pts(dst) = delta − pts(dst)` and the union's change bit
+    /// is the same.
+    #[inline]
+    pub fn propagate_edge(
+        &mut self,
+        src: VarId,
+        dst: VarId,
+        plan: &mut Option<DiffPlan<P>>,
+    ) -> bool {
+        let Some(p) = plan else {
+            return self.propagate(src, dst);
+        };
+        if p.src != src || p.epoch != self.stats.nodes_collapsed {
+            return self.propagate(src, dst);
+        }
+        let dst_raw = dst.as_u32();
+        while p.cursor < p.known.len() && p.known[p.cursor] < dst_raw {
+            p.cursor += 1;
+        }
+        if p.cursor < p.known.len() && p.known[p.cursor] == dst_raw {
+            self.propagate_known(dst, p)
+        } else {
+            self.propagate(src, dst)
+        }
+    }
+
+    /// Delta-only propagation to an already-seen successor. Counts one
+    /// §5.3 propagation exactly like [`propagate`](Self::propagate); with
+    /// an observer attached the wall time lands in `propagate_time`.
+    #[inline]
+    fn propagate_known(&mut self, dst: VarId, plan: &DiffPlan<P>) -> bool {
+        if !self.obs.enabled() {
+            return self.propagate_known_inner(dst, plan);
+        }
+        let t0 = Instant::now();
+        let changed = self.propagate_known_inner(dst, plan);
+        self.stats.propagate_time += t0.elapsed();
+        changed
+    }
+
+    fn propagate_known_inner(&mut self, dst: VarId, plan: &DiffPlan<P>) -> bool {
+        self.stats.propagations += 1;
+        self.stats.propagated_bytes += plan.delta_bytes;
+        self.stats.propagated_full_bytes += self.pts[plan.src.index()].heap_bytes() as u64;
+        // An empty delta cannot grow a successor that already holds `sent`
+        // — skip the union walk entirely. With the recorder attached the
+        // union still runs so the `propagation_delta` histogram observes
+        // the same (empty) delta full mode would.
+        let changed = if plan.empty && self.prov.is_none() {
+            false
+        } else {
+            self.union_delta_from(dst, &plan.delta, plan.src)
+        };
+        if changed {
+            self.stats.propagations_changed += 1;
+            self.pts_ver[dst.index()] = self.pts_ver[dst.index()].wrapping_add(1);
+        }
+        changed
+    }
+
+    /// Ends one pop's difference propagation: commits `delta` into
+    /// `sent[n]` and records `targets` as the delivered successor list —
+    /// but only when no collapse intervened since
+    /// [`begin_pop_delta`](Self::begin_pop_delta) (otherwise the slot is
+    /// left stale; its epoch already mismatches and the next pop resets
+    /// it). Targets the caller skipped propagation for because their sets
+    /// compare equal (LCD's probe) are safe to commit: equality implies
+    /// they contain the delta.
+    pub fn finish_pop_delta(&mut self, n: VarId, targets: &[u32], plan: Option<DiffPlan<P>>) {
+        let Some(mut p) = plan else { return };
+        let valid = p.src == n && p.epoch == self.stats.nodes_collapsed;
+        let i = n.index();
+        p.known.clear();
+        if !valid {
+            // Return the buffer for its capacity; the epoch gate in
+            // `begin_pop_delta` discards the rest of the slot.
+            self.diff.as_mut().expect("plan implies diff mode").sent_to[i] = p.known;
+            return;
+        }
+        p.known.extend_from_slice(targets);
+        let d = self.diff.as_mut().expect("plan implies diff mode");
+        d.sent_to[i] = p.known;
+        let mut sent = std::mem::take(&mut d.sent[i]);
+        sent.union_from(&mut self.ctx, &p.delta);
+        self.diff.as_mut().expect("diff mode").sent[i] = sent;
     }
 
     /// Removes and returns the round's delta hint for the edge
@@ -641,6 +856,13 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
     /// allocate nothing.
     pub fn canonical_succs_into(&mut self, n: VarId, out: &mut Vec<u32>) {
         out.clear();
+        if self.succ_canon[n.index()] == self.stats.nodes_collapsed {
+            // No collapse since the last rebuild: the stored bitmap is
+            // still canonical (edge inserts only ever add representative
+            // ids distinct from the owner, in sorted order).
+            out.extend(self.succs[n.index()].iter());
+            return;
+        }
         // Take the bitmap so it can be refilled in place (clearing keeps
         // its element storage) while `self.uf` is borrowed for finds.
         let mut bm = std::mem::take(&mut self.succs[n.index()]);
@@ -663,6 +885,7 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
             bm.insert(z);
         }
         self.succs[n.index()] = bm;
+        self.succ_canon[n.index()] = self.stats.nodes_collapsed;
     }
 
     /// Borrows the successor scratch buffer (empty Vec if already taken).
@@ -684,12 +907,14 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
     pub fn propagate_all(&mut self, n: VarId, wl: &mut dyn Worklist) {
         let mut targets = self.take_succ_scratch();
         self.canonical_succs_into(n, &mut targets);
+        let mut plan = self.begin_pop_delta(n);
         for &z_raw in &targets {
             let z = VarId::from_u32(z_raw);
-            if self.propagate(n, z) {
+            if self.propagate_edge(n, z, &mut plan) {
                 wl.push(z);
             }
         }
+        self.finish_pop_delta(n, &targets, plan);
         self.put_succ_scratch(targets);
     }
 
@@ -919,6 +1144,18 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
     /// Records final memory consumption (and, for shared representations,
     /// the cache statistics) into the statistics.
     pub fn finalize_bytes(&mut self) {
+        // Account (then drop) the difference-propagation markers before
+        // compaction: their `sent` handles must not be retained, and on
+        // plain representations their bytes belong in the memory tables.
+        let mut diff_bytes = self.succ_canon.capacity() * std::mem::size_of::<u64>();
+        if let Some(d) = self.diff.take() {
+            diff_bytes += d.sent.iter().map(P::heap_bytes).sum::<usize>()
+                + d.sent_to
+                    .iter()
+                    .map(|v| v.capacity() * std::mem::size_of::<u32>())
+                    .sum::<usize>()
+                + d.epoch.capacity() * std::mem::size_of::<u64>();
+        }
         // Shared representations drop intermediate sets first: a monotone
         // solve interns one set per growth step, and what should count (and
         // be retained) is only the storage backing the final solution. The
@@ -950,7 +1187,10 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
                 .chain(self.stores.iter())
                 .map(|v| v.capacity() * std::mem::size_of::<ComplexRef>())
                 .sum::<usize>();
-        self.stats.aux_bytes = self.uf.heap_bytes() + self.n * (4 * 4 + 1); // Tarjan buffers
+        // `+=`: solvers account their own auxiliary structures (LCD's
+        // triggered set, the BSP round queue) before finalization runs.
+        self.stats.aux_bytes += self.uf.heap_bytes() + self.n * (4 * 4 + 1) // Tarjan buffers
+            + diff_bytes;
     }
 }
 

@@ -6,6 +6,8 @@
 #   par_bench  — BSP scaling: threads {1,2,4,8} × solver × repr, BENCH_par.json
 #   pass_bench — offline pass subsets vs the paper's 60-77% band, BENCH_passes.json
 #   obs_bench  — provenance recorder overhead (seed / off / on), BENCH_obs.json
+#   prop_bench — full vs diff propagation across the six workloads, BENCH_prop.json
+# Every produced file is then validated against the schema by schema_check.
 # Usage: scripts/bench.sh            (honours ANT_SCALE, ANT_BENCH_REPEATS)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,3 +16,6 @@ cargo run --release -p ant-bench --bin pts_bench
 cargo run --release -p ant-bench --bin par_bench
 cargo run --release -p ant-bench --bin pass_bench
 cargo run --release -p ant-bench --bin obs_bench
+cargo run --release -p ant-bench --bin prop_bench
+
+cargo run --release -p ant-bench --bin schema_check

@@ -20,6 +20,9 @@ cargo test --test pts_repr_differential -q
 echo "==> pass-pipeline differential test"
 cargo test --test pipeline_differential -q
 
+echo "==> propagation-mode differential test (full vs diff)"
+cargo test --test prop_differential -q
+
 echo "==> full test suite under the BSP engine (ANT_THREADS=4)"
 ANT_THREADS=4 cargo test --workspace -q
 

@@ -58,8 +58,8 @@ pub use ant_core::solve;
 pub use ant_core::{
     solve_dyn, solve_dyn_recorded, solve_dyn_with_observer, solve_prepared,
     solve_prepared_recorded, solve_prepared_recorded_with_observer, solve_prepared_with_observer,
-    threads_from_env, Algorithm, BddPts, BitmapPts, PtsKind, PtsRepr, SharedPts, Solution,
-    SolveOutput, SolverConfig,
+    threads_from_env, Algorithm, BddPts, BitmapPts, PropMode, PtsKind, PtsRepr, SharedPts,
+    Solution, SolveOutput, SolverConfig,
 };
 pub use ant_frontend::{compile_c, FrontendError};
 
@@ -160,6 +160,14 @@ impl<'o> AnalysisBuilder<'o> {
     /// Selects the worklist strategy (default: the paper's divided LRF).
     pub fn worklist(mut self, worklist: WorklistKind) -> Self {
         self.config.worklist = worklist;
+        self
+    }
+
+    /// Selects the propagation mode (default: [`PropMode::Full`]).
+    /// [`PropMode::Diff`] pushes only `pts − sent` along each edge —
+    /// bit-identical solution and §5.3 counters, fewer bytes moved.
+    pub fn prop(mut self, prop: PropMode) -> Self {
+        self.config.prop = prop;
         self
     }
 

@@ -1,0 +1,153 @@
+//! Differential testing of the propagation modes: `--prop diff` pushes
+//! only `pts − sent` along each edge, but every solver decision — pushes,
+//! equality probes, cycle searches, collapses — depends only on set
+//! *contents*, so diff mode must be bit-identical to full propagation:
+//! same solution and same behavioural §5.3 counters, for every algorithm,
+//! every representation, and any thread count. Only the propagated-bytes
+//! measurement counters may (and should) differ.
+
+use ant_grasshopper::frontend::workload::WorkloadSpec;
+use ant_grasshopper::{
+    compile_c, solve_dyn, Algorithm, Program, ProgramBuilder, PropMode, PtsKind, SolverConfig,
+    VarId,
+};
+use proptest::prelude::*;
+
+fn workloads() -> Vec<(String, Program)> {
+    let mut out = Vec::new();
+    for seed in [1u64, 42] {
+        out.push((format!("tiny-{seed}"), WorkloadSpec::tiny(seed).generate()));
+    }
+    let path = format!("{}/testdata/hashtable.c", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap();
+    out.push(("hashtable.c".to_owned(), compile_c(&text).unwrap().program));
+    out
+}
+
+/// The nine behavioural §5.3 counters (`propagated_bytes` and durations
+/// excluded: those measure *how*, not *what*).
+fn counters(st: &ant_grasshopper::SolverStats) -> [u64; 9] {
+    [
+        st.nodes_processed,
+        st.propagations,
+        st.propagations_changed,
+        st.edges_added,
+        st.complex_iters,
+        st.cycle_searches,
+        st.nodes_searched,
+        st.cycles_found,
+        st.nodes_collapsed,
+    ]
+}
+
+fn assert_modes_identical(
+    name: &str,
+    program: &Program,
+    alg: Algorithm,
+    pts: PtsKind,
+    threads: usize,
+) {
+    let base = SolverConfig::new(alg).with_threads(threads);
+    let full = solve_dyn(program, &base, pts);
+    let diff = solve_dyn(program, &base.with_prop(PropMode::Diff), pts);
+    assert!(
+        diff.solution.equiv(&full.solution),
+        "{alg}/{pts:?}/t{threads} on {name}: diff solution differs at {:?}",
+        diff.solution.first_difference(&full.solution)
+    );
+    assert_eq!(
+        counters(&diff.stats),
+        counters(&full.stats),
+        "{alg}/{pts:?}/t{threads} on {name}: behavioural counters diverge"
+    );
+    assert!(
+        diff.stats.propagated_bytes <= diff.stats.propagated_full_bytes,
+        "{alg}/{pts:?}/t{threads} on {name}: delta sends exceed full-set sends"
+    );
+}
+
+/// Every algorithm, bitmap and shared representations, sequential and BSP.
+#[test]
+fn diff_mode_is_bit_identical_to_full() {
+    for (name, program) in workloads() {
+        for alg in Algorithm::ALL {
+            for pts in [PtsKind::Bitmap, PtsKind::Shared] {
+                for threads in [1, 4] {
+                    assert_modes_identical(&name, &program, alg, pts, threads);
+                }
+            }
+        }
+    }
+}
+
+/// The BDD representation serves the Table 5 solvers; diff mode must be
+/// bit-identical there too.
+#[test]
+fn diff_mode_is_bit_identical_to_full_on_bdd() {
+    for (name, program) in workloads() {
+        for alg in Algorithm::TABLE5 {
+            assert_modes_identical(&name, &program, alg, PtsKind::Bdd, 1);
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct RawConstraint {
+    kind: u8,
+    lhs: usize,
+    rhs: usize,
+}
+
+fn raw_constraints(max_vars: usize, max_cs: usize) -> impl Strategy<Value = Vec<RawConstraint>> {
+    prop::collection::vec(
+        (0u8..4, 0..max_vars, 0..max_vars).prop_map(|(kind, lhs, rhs)| RawConstraint {
+            kind,
+            lhs,
+            rhs,
+        }),
+        1..max_cs,
+    )
+}
+
+fn build_program(raw: &[RawConstraint], nvars: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let vars: Vec<VarId> = (0..nvars).map(|i| b.var(&format!("v{i}"))).collect();
+    for c in raw {
+        let (l, r) = (vars[c.lhs], vars[c.rhs]);
+        match c.kind {
+            0 => b.addr_of(l, r),
+            1 => b.copy(l, r),
+            2 => b.load(l, r),
+            _ => b.store(l, r),
+        }
+    }
+    b.finish()
+}
+
+const NVARS: usize = 24;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary constraint programs: the cycle-detecting solvers stay
+    /// bit-identical between propagation modes (the interesting cases are
+    /// mid-solve collapses, which generated programs hit constantly).
+    #[test]
+    fn diff_mode_matches_full_on_generated_programs(raw in raw_constraints(NVARS, 60)) {
+        let program = build_program(&raw, NVARS);
+        for alg in [Algorithm::Basic, Algorithm::Lcd, Algorithm::LcdHcd, Algorithm::Pkh] {
+            let base = SolverConfig::new(alg);
+            let full = solve_dyn(&program, &base, PtsKind::Bitmap);
+            let diff = solve_dyn(&program, &base.with_prop(PropMode::Diff), PtsKind::Bitmap);
+            prop_assert!(
+                diff.solution.equiv(&full.solution),
+                "{} diff solution differs at {:?}",
+                alg, diff.solution.first_difference(&full.solution)
+            );
+            prop_assert_eq!(
+                counters(&diff.stats), counters(&full.stats),
+                "{} counters diverge between propagation modes", alg
+            );
+        }
+    }
+}
