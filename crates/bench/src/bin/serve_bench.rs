@@ -1,0 +1,231 @@
+//! Serve-protocol throughput and latency: an [`AnalysisSession`] loaded
+//! with the linux workload answers 10k-query streams, timed end to end at
+//! fan-out widths 1 and 4. Two streams are measured:
+//!
+//! * `mixed10k` — the robustness stream: points-to, may-alias, resolve and
+//!   stats requests interleaved with deliberately malformed lines and
+//!   unknown variables. Stats requests are barriers, so this stream also
+//!   exercises batch fragmentation.
+//! * `bulk10k` — the scaling stream: read-only queries only, which the
+//!   session fans out over scoped threads in one run. Whether `t4` beats
+//!   `t1` depends on the cores actually available; the preamble records
+//!   `cores` so the cells stay interpretable on pinned containers.
+//!
+//! Written to `BENCH_serve.json` in the stable `name/config/median/best`
+//! schema with `p50_micros`, `p99_micros`, `qps` and `errors` extras per
+//! cell. The acceptance criterion mirrors the session's design contract:
+//! every request — including the malformed ones — gets exactly one
+//! envelope and the session never dies; the p50 per-request latency lands
+//! in the summary.
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin serve_bench
+//! ```
+
+use ant_bench::runner::repeats_from_env;
+use ant_bench::schema::{median, render_bench_json, BenchRecord};
+use ant_core::session::{AnalysisSession, SessionOptions};
+use ant_core::{Algorithm, SolverConfig};
+use ant_frontend::suite;
+
+const QUERIES: usize = 10_000;
+const THREADS: [usize; 2] = [1, 4];
+
+/// Deterministic linear-congruential stream, so every repetition and both
+/// fan-out widths answer the identical query mix.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// The robustness mix: ~58% points-to, ~20% may-alias, ~10% resolve,
+/// ~4% stats (a barrier op), ~4% unknown vars, ~4% malformed lines.
+fn mixed_stream(names: &[&str]) -> Vec<String> {
+    let mut rng = Lcg(0x5eed);
+    (0..QUERIES)
+        .map(|i| {
+            let name = names[rng.next() as usize % names.len()];
+            match rng.next() % 100 {
+                0..=57 => format!(r#"{{"op":"points_to","var":"{name}","id":{i}}}"#),
+                58..=77 => {
+                    let other = names[rng.next() as usize % names.len()];
+                    format!(r#"{{"op":"may_alias","a":"{name}","b":"{other}","id":{i}}}"#)
+                }
+                78..=87 => format!(r#"{{"op":"resolve","var":"{name}","id":{i}}}"#),
+                88..=91 => format!(r#"{{"op":"stats","id":{i}}}"#),
+                92..=95 => format!(r#"{{"op":"points_to","var":"__no_such_var__","id":{i}}}"#),
+                _ => format!("{{malformed line {i}"),
+            }
+        })
+        .collect()
+}
+
+/// The scaling mix: read-only queries only, one uninterrupted batch.
+fn bulk_stream(names: &[&str]) -> Vec<String> {
+    let mut rng = Lcg(0xb01d);
+    (0..QUERIES)
+        .map(|i| {
+            let name = names[rng.next() as usize % names.len()];
+            if rng.next().is_multiple_of(4) {
+                let other = names[rng.next() as usize % names.len()];
+                format!(r#"{{"op":"may_alias","a":"{name}","b":"{other}","id":{i}}}"#)
+            } else {
+                format!(r#"{{"op":"points_to","var":"{name}","id":{i}}}"#)
+            }
+        })
+        .collect()
+}
+
+struct Measured {
+    elapsed: f64,
+    p50: f64,
+    p99: f64,
+    errors: usize,
+}
+
+/// Loads a fresh session, warms the solve, then times the stream.
+fn run_stream(
+    program: &ant_constraints::Program,
+    threads: usize,
+    lines: &[&str],
+    warm: &str,
+) -> Measured {
+    let mut opts = SessionOptions::new(SolverConfig::new(Algorithm::LcdHcd));
+    opts.threads = threads;
+    let mut session = AnalysisSession::new(opts).expect("session options are valid");
+    session
+        .load_program(program.clone())
+        .expect("linux workload loads");
+    // Warm the solve outside the timed window: the stream measures query
+    // answering, not the one-time solve.
+    assert!(session.handle_line(warm).ok);
+
+    let start = std::time::Instant::now();
+    let replies = session.handle_lines(lines);
+    let elapsed = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        replies.len(),
+        lines.len(),
+        "every request gets exactly one envelope"
+    );
+    let errors = replies.iter().filter(|r| !r.ok).count();
+    let mut lat: Vec<f64> = replies.iter().map(|r| r.micros as f64).collect();
+    lat.sort_by(f64::total_cmp);
+    Measured {
+        elapsed,
+        p50: median(&lat),
+        p99: lat[(lat.len() * 99) / 100 - 1],
+        errors,
+    }
+}
+
+fn main() {
+    let repeats = repeats_from_env();
+    let bench = suite::benchmark("linux", suite::scale_from_env()).expect("linux workload exists");
+    let program = bench.program();
+    eprintln!("linux workload: {}", program.stats());
+
+    let names: Vec<String> = program
+        .vars()
+        .map(|v| program.var_name(v).to_owned())
+        .collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let warm = format!(r#"{{"op":"points_to","var":"{}"}}"#, name_refs[0]);
+    let streams: [(&str, Vec<String>); 2] = [
+        ("mixed10k", mixed_stream(&name_refs)),
+        ("bulk10k", bulk_stream(&name_refs)),
+    ];
+
+    // records[stream × threads]
+    let mut records: Vec<BenchRecord> = streams
+        .iter()
+        .flat_map(|(stream, _)| {
+            THREADS
+                .iter()
+                .map(move |t| BenchRecord::new("linux", format!("serve/{stream}/t{t}")))
+        })
+        .collect();
+    let cell = |si: usize, ti: usize| si * THREADS.len() + ti;
+    let mut p50 = vec![0.0f64; records.len()];
+
+    for rep in 0..repeats {
+        eprintln!("pass {}/{repeats}", rep + 1);
+        for (si, (stream, lines)) in streams.iter().enumerate() {
+            let line_refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+            for (ti, &threads) in THREADS.iter().enumerate() {
+                let m = run_stream(&program, threads, &line_refs, &warm);
+                if *stream == "mixed10k" {
+                    assert!(
+                        m.errors > 0 && m.errors < QUERIES / 2,
+                        "the malformed/unknown slices error, the rest answer"
+                    );
+                } else {
+                    assert_eq!(m.errors, 0, "the bulk stream is all-valid");
+                }
+                let r = &mut records[cell(si, ti)];
+                r.samples.push(m.elapsed);
+                // Last repetition wins: extras carry one representative value.
+                r.extra = vec![
+                    ("p50_micros", format!("{:.1}", m.p50)),
+                    ("p99_micros", format!("{:.1}", m.p99)),
+                    ("qps", format!("{:.0}", QUERIES as f64 / m.elapsed)),
+                    ("errors", format!("{}", m.errors)),
+                ];
+                p50[cell(si, ti)] = m.p50;
+            }
+        }
+    }
+
+    let qps_best = |i: usize| QUERIES as f64 / records[i].best();
+    let json = render_bench_json(
+        &[
+            ("repeats", format!("{repeats}")),
+            ("queries", format!("{QUERIES}")),
+            (
+                "cores",
+                format!(
+                    "{}",
+                    std::thread::available_parallelism().map_or(1, usize::from)
+                ),
+            ),
+        ],
+        &records,
+        &[
+            ("workload", "\"linux\"".to_owned()),
+            ("mixed_p50_micros_t1", format!("{:.1}", p50[cell(0, 0)])),
+            ("mixed_qps_best_t1", format!("{:.0}", qps_best(cell(0, 0)))),
+            ("mixed_qps_best_t4", format!("{:.0}", qps_best(cell(0, 1)))),
+            ("bulk_qps_best_t1", format!("{:.0}", qps_best(cell(1, 0)))),
+            ("bulk_qps_best_t4", format!("{:.0}", qps_best(cell(1, 1)))),
+            (
+                "bulk_t4_speedup",
+                format!(
+                    "{:.3}",
+                    records[cell(1, 0)].best() / records[cell(1, 1)].best()
+                ),
+            ),
+        ],
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    eprintln!("wrote BENCH_serve.json");
+    for (si, (stream, _)) in streams.iter().enumerate() {
+        for (ti, &t) in THREADS.iter().enumerate() {
+            let i = cell(si, ti);
+            println!(
+                "{stream}/t{t}: best {:.3}s ({:.0} qps), p50 {:.1}us",
+                records[i].best(),
+                qps_best(i),
+                p50[i]
+            );
+        }
+    }
+    println!("acceptance: PASS (10k mixed queries, one envelope each, session survived)");
+}

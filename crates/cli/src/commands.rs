@@ -1,12 +1,15 @@
 //! The `ant` subcommands.
 
 use crate::opts::{flag_help, Opts};
-use ant_common::VarId;
+use ant_common::{AntError, QueryErrorKind, VarId};
 use ant_constraints::pipeline::{PassPipeline, Prepared};
 use ant_constraints::{parse_program, Program};
 use ant_core::obs::prov::ProvRecorder;
-use ant_core::obs::{FanOut, Obs, Phase, PhaseTimer, ProgressPrinter, TraceWriter};
+use ant_core::obs::{
+    FanOut, Obs, Observer, Phase, PhaseTimer, ProgressPrinter, SolveEvent, TraceWriter,
+};
 use ant_core::provenance::Explainer;
+use ant_core::session::{AnalysisSession, SessionOptions};
 use ant_core::{
     solve_prepared, solve_prepared_recorded, solve_prepared_recorded_with_observer,
     solve_prepared_with_observer, Algorithm, PropMode, PtsKind, Solution, SolveOutput,
@@ -15,6 +18,7 @@ use ant_core::{
 use ant_frontend::suite;
 use std::fs::File;
 use std::io;
+use std::io::{BufRead, Write};
 
 const USAGE_HEAD: &str = "\
 ant — inclusion-based pointer analysis (Hardekopf & Lin, PLDI 2007)
@@ -30,6 +34,9 @@ USAGE:
   ant explain-edge <file> <src> <dst>       why is there a copy edge src -> dst?
   ant gen     <benchmark> [--scale S] [-o out.consts]
   ant compare <file>
+  ant serve   [file.c|file.consts] [--socket PATH] [--deadline-ms N] [--record]
+              JSONL query service: one request object per line on stdin
+              (or the socket), one typed response envelope per line back
 
 ALGORITHMS: Basic HT PKH BLQ LCD HCD HT+HCD PKH+HCD BLQ+HCD LCD+HCD PKH03 LCD-DP
 BENCHMARKS: emacs ghostscript gimp insight wine linux";
@@ -41,7 +48,7 @@ pub fn usage() -> String {
 }
 
 /// Parses `args`; `Ok(None)` means `--help` was requested and printed.
-fn parse_opts(args: &[String]) -> Result<Option<Opts>, String> {
+fn parse_opts(args: &[String]) -> Result<Option<Opts>, AntError> {
     let opts = Opts::parse(args)?;
     if opts.has("--help") {
         println!("{}", usage());
@@ -51,16 +58,18 @@ fn parse_opts(args: &[String]) -> Result<Option<Opts>, String> {
 }
 
 /// Loads a program from a `.c` source or a constraint file.
-fn load(path: &str) -> Result<Program, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+fn load(path: &str) -> Result<Program, AntError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| AntError::io(format!("cannot read {path}: {e}")).with_source(e))?;
     if path.ends_with(".c") {
-        let out = ant_frontend::compile_c(&text).map_err(|e| format!("{path}: {e}"))?;
+        let out = ant_frontend::compile_c(&text)
+            .map_err(|e| AntError::parse(format!("{path}: {e}")).with_source(e))?;
         for w in &out.warnings {
             eprintln!("warning: {w}");
         }
         Ok(out.program)
     } else {
-        parse_program(&text).map_err(|e| format!("{path}: {e}"))
+        parse_program(&text).map_err(|e| AntError::parse(format!("{path}: {e}")).with_source(e))
     }
 }
 
@@ -85,12 +94,11 @@ pub struct CliConfig {
 }
 
 impl CliConfig {
-    fn from_opts(opts: &Opts) -> Result<CliConfig, String> {
+    fn from_opts(opts: &Opts) -> Result<CliConfig, AntError> {
         let algorithm = match opts.value("--algorithm") {
             None => Algorithm::LcdHcd,
-            Some(name) => {
-                Algorithm::parse(name).ok_or_else(|| format!("unknown algorithm `{name}`"))?
-            }
+            Some(name) => Algorithm::parse(name)
+                .ok_or_else(|| AntError::usage(format!("unknown algorithm `{name}`")))?,
         };
         let worklist = match opts.value("--worklist") {
             None => ant_common::worklist::WorklistKind::DividedLrf,
@@ -98,42 +106,41 @@ impl CliConfig {
             Some("lifo") => ant_common::worklist::WorklistKind::Lifo,
             Some("lrf") => ant_common::worklist::WorklistKind::Lrf,
             Some("divided-lrf") => ant_common::worklist::WorklistKind::DividedLrf,
-            Some(other) => return Err(format!("unknown worklist `{other}`")),
+            Some(other) => return Err(AntError::usage(format!("unknown worklist `{other}`"))),
         };
         let progress_every = match opts.value("--progress-every") {
             None => SolverConfig::DEFAULT_PROGRESS_EVERY,
-            Some(n) => n
-                .parse::<u32>()
-                .map_err(|_| format!("bad --progress-every `{n}` (want a non-negative integer)"))?,
+            Some(n) => n.parse::<u32>().map_err(|_| {
+                AntError::usage(format!(
+                    "bad --progress-every `{n}` (want a non-negative integer)"
+                ))
+            })?,
         };
         let threads = match opts.value("--threads") {
             None => ant_core::threads_from_env(),
-            Some(n) => n
-                .parse::<usize>()
-                .ok()
-                .filter(|&t| t >= 1)
-                .ok_or_else(|| format!("bad --threads `{n}` (want a positive integer)"))?,
+            Some(n) => n.parse::<usize>().ok().filter(|&t| t >= 1).ok_or_else(|| {
+                AntError::usage(format!("bad --threads `{n}` (want a positive integer)"))
+            })?,
         };
         let pts = match opts.value("--pts") {
             None => PtsKind::Bitmap,
-            Some(name) => PtsKind::parse(name)
-                .ok_or_else(|| format!("unknown points-to representation `{name}`"))?,
+            Some(name) => PtsKind::parse(name).ok_or_else(|| {
+                AntError::usage(format!("unknown points-to representation `{name}`"))
+            })?,
         };
         let prop = match opts.value("--prop") {
             None => PropMode::Full,
-            Some(name) => {
-                PropMode::parse(name).ok_or_else(|| format!("unknown propagation mode `{name}`"))?
-            }
+            Some(name) => PropMode::parse(name)
+                .ok_or_else(|| AntError::usage(format!("unknown propagation mode `{name}`")))?,
         };
         let passes = match (opts.value("--passes"), opts.has("--no-ovs")) {
             (Some(_), true) => {
-                return Err(
+                return Err(AntError::usage(
                     "--passes and --no-ovs are mutually exclusive (--no-ovs means \
-                     --passes none)"
-                        .into(),
-                )
+                     --passes none)",
+                ))
             }
-            (Some(spec), false) => PassPipeline::parse(spec).map_err(|e| e.to_string())?,
+            (Some(spec), false) => PassPipeline::parse(spec)?,
             (None, true) => PassPipeline::empty(),
             (None, false) => PassPipeline::standard(),
         };
@@ -163,11 +170,13 @@ struct Telemetry {
 
 impl Telemetry {
     /// `Ok(None)` when no telemetry flag is present.
-    fn from_config(cfg: &CliConfig) -> Result<Option<Telemetry>, String> {
+    fn from_config(cfg: &CliConfig) -> Result<Option<Telemetry>, AntError> {
         let trace = match &cfg.trace_out {
             None => None,
             Some(path) => {
-                let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+                let file = File::create(path).map_err(|e| {
+                    AntError::io(format!("cannot create {path}: {e}")).with_source(e)
+                })?;
                 Some((path.clone(), TraceWriter::new(file)))
             }
         };
@@ -190,10 +199,10 @@ impl Telemetry {
     }
 
     /// Flushes the trace file and surfaces any write error.
-    fn finish(self) -> Result<(), String> {
+    fn finish(self) -> Result<(), AntError> {
         if let Some((path, writer)) = self.trace {
             if let Some(e) = writer.error() {
-                return Err(format!("failed writing {path}: {e}"));
+                return Err(AntError::io(format!("failed writing {path}: {e}")));
             }
             writer.into_inner();
             eprintln!("trace written to {path}");
@@ -212,7 +221,7 @@ fn obs_over<'a>(fan: &'a mut Option<FanOut<'_>>) -> Obs<'a> {
 
 type RunOutput = (Program, SolveOutput, Prepared, Option<ProvRecorder>);
 
-fn run(input: &str, cfg: &CliConfig) -> Result<RunOutput, String> {
+fn run(input: &str, cfg: &CliConfig) -> Result<RunOutput, AntError> {
     let mut telemetry = Telemetry::from_config(cfg)?;
     let result = {
         let mut fan = telemetry.as_mut().map(Telemetry::fan);
@@ -268,21 +277,22 @@ fn print_pts(program: &Program, solution: &Solution, v: VarId) {
     println!("pts({}) = {{{}}}", program.var_name(v), names.join(", "));
 }
 
-pub fn compile(args: &[String]) -> Result<(), String> {
+pub fn compile(args: &[String]) -> Result<(), AntError> {
     let Some(opts) = parse_opts(args)? else {
         return Ok(());
     };
     let [input] = opts.positional.as_slice() else {
-        return Err("compile takes exactly one input file".into());
+        return Err(AntError::usage("compile takes exactly one input file"));
     };
     if !input.ends_with(".c") {
-        return Err("compile expects a .c file".into());
+        return Err(AntError::usage("compile expects a .c file"));
     }
     let program = load(input)?;
     let text = program.to_text();
     match opts.value("-o") {
         Some(path) => {
-            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::fs::write(path, text)
+                .map_err(|e| AntError::io(format!("cannot write {path}: {e}")).with_source(e))?;
             eprintln!(
                 "{}: {} variables, {}",
                 path,
@@ -295,13 +305,13 @@ pub fn compile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-pub fn solve(args: &[String]) -> Result<(), String> {
+pub fn solve(args: &[String]) -> Result<(), AntError> {
     let Some(opts) = parse_opts(args)? else {
         return Ok(());
     };
     let cfg = CliConfig::from_opts(&opts)?;
     let [input] = opts.positional.as_slice() else {
-        return Err("solve takes exactly one input file".into());
+        return Err(AntError::usage("solve takes exactly one input file"));
     };
     let (program, out, prepared, _) = run(input, &cfg)?;
     let solution = out.solution;
@@ -331,37 +341,34 @@ pub fn solve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-pub fn query(args: &[String]) -> Result<(), String> {
+pub fn query(args: &[String]) -> Result<(), AntError> {
     let Some(opts) = parse_opts(args)? else {
         return Ok(());
     };
     let cfg = CliConfig::from_opts(&opts)?;
     let [input, rest @ ..] = opts.positional.as_slice() else {
-        return Err("query takes an input file".into());
+        return Err(AntError::usage("query takes an input file"));
     };
     let (program, out, _prepared, _) = run(input, &cfg)?;
     let solution = out.solution;
     if let Some(name) = opts.value("--pointer") {
-        let v = program
-            .var_by_name(name)
-            .ok_or_else(|| format!("no variable named `{name}`"))?;
-        print_pts(&program, &solution, v);
+        let names = solution.points_to_names(&program, name)?;
+        println!("pts({name}) = {{{}}}", names.join(", "));
         return Ok(());
     }
     if opts.has("--alias") {
         let [a, b] = rest else {
-            return Err("--alias takes two variable names: ant query f --alias a b".into());
+            return Err(AntError::usage(
+                "--alias takes two variable names: ant query f --alias a b",
+            ));
         };
-        let va = program
-            .var_by_name(a)
-            .ok_or_else(|| format!("no variable named `{a}`"))?;
-        let vb = program
-            .var_by_name(b)
-            .ok_or_else(|| format!("no variable named `{b}`"))?;
-        println!("may_alias({a}, {b}) = {}", solution.may_alias(va, vb));
+        println!(
+            "may_alias({a}, {b}) = {}",
+            solution.may_alias_names(&program, a, b)?
+        );
         return Ok(());
     }
-    Err("query needs --pointer NAME or --alias A B".into())
+    Err(AntError::usage("query needs --pointer NAME or --alias A B"))
 }
 
 /// Solves with the derivation recorder attached and returns everything an
@@ -369,7 +376,7 @@ pub fn query(args: &[String]) -> Result<(), String> {
 fn run_recorded(
     input: &str,
     opts: &Opts,
-) -> Result<(Program, SolveOutput, Prepared, ProvRecorder), String> {
+) -> Result<(Program, SolveOutput, Prepared, ProvRecorder), AntError> {
     let mut cfg = CliConfig::from_opts(opts)?;
     cfg.record = true;
     let (program, out, prepared, prov) = run(input, &cfg)?;
@@ -377,37 +384,46 @@ fn run_recorded(
     Ok((program, out, prepared, prov))
 }
 
-fn named_var(program: &Program, name: &str) -> Result<VarId, String> {
-    program
-        .var_by_name(name)
-        .ok_or_else(|| format!("no variable named `{name}`"))
+fn named_var(program: &Program, name: &str) -> Result<VarId, AntError> {
+    program.var_by_name(name).ok_or_else(|| {
+        AntError::query(
+            QueryErrorKind::UnknownVar,
+            format!("no variable named `{name}`"),
+        )
+    })
 }
 
 /// The rendered derivation chain for `obj ∈ pts(ptr)`, in original
 /// variable names — the workhorse behind `ant explain`, separated so
 /// tests can assert on the chain itself.
-fn explain_lines(input: &str, ptr: &str, obj: &str, opts: &Opts) -> Result<Vec<String>, String> {
+fn explain_lines(input: &str, ptr: &str, obj: &str, opts: &Opts) -> Result<Vec<String>, AntError> {
     let (program, out, prepared, prov) = run_recorded(input, opts)?;
     let vp = named_var(&program, ptr)?;
     let vo = named_var(&program, obj)?;
     if !out.solution.may_point_to(vp, vo) {
-        return Err(format!("{obj} ∉ pts({ptr}) — nothing to explain"));
+        return Err(AntError::query(
+            QueryErrorKind::NotFound,
+            format!("{obj} ∉ pts({ptr}) — nothing to explain"),
+        ));
     }
     let mut ex = Explainer::new(&prov, program.num_vars()).with_mapping(&prepared.mapping);
-    let steps = ex
-        .explain(vp, vo)
-        .ok_or_else(|| format!("no recorded derivation for {obj} ∈ pts({ptr})"))?;
+    let steps = ex.explain(vp, vo).ok_or_else(|| {
+        AntError::query(
+            QueryErrorKind::NotFound,
+            format!("no recorded derivation for {obj} ∈ pts({ptr})"),
+        )
+    })?;
     Ok(steps.iter().map(|s| s.render(&program)).collect())
 }
 
-pub fn explain(args: &[String]) -> Result<(), String> {
+pub fn explain(args: &[String]) -> Result<(), AntError> {
     let Some(opts) = parse_opts(args)? else {
         return Ok(());
     };
     let [input, ptr, obj] = opts.positional.as_slice() else {
-        return Err(
-            "explain takes an input file and two variable names: ant explain f.c p x".into(),
-        );
+        return Err(AntError::usage(
+            "explain takes an input file and two variable names: ant explain f.c p x",
+        ));
     };
     let lines = explain_lines(input, ptr, obj, &opts)?;
     println!("why {obj} ∈ pts({ptr}):");
@@ -417,59 +433,62 @@ pub fn explain(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-pub fn explain_edge(args: &[String]) -> Result<(), String> {
+pub fn explain_edge(args: &[String]) -> Result<(), AntError> {
     let Some(opts) = parse_opts(args)? else {
         return Ok(());
     };
     let [input, a, b] = opts.positional.as_slice() else {
-        return Err(
-            "explain-edge takes an input file and two variable names: ant explain-edge f.c a b"
-                .into(),
-        );
+        return Err(AntError::usage(
+            "explain-edge takes an input file and two variable names: ant explain-edge f.c a b",
+        ));
     };
     let (program, _out, prepared, prov) = run_recorded(input, &opts)?;
     let va = named_var(&program, a)?;
     let vb = named_var(&program, b)?;
     let mut ex = Explainer::new(&prov, program.num_vars()).with_mapping(&prepared.mapping);
-    let explanation = ex
-        .explain_edge(va, vb)
-        .ok_or_else(|| format!("no recorded copy edge {a} → {b}"))?;
+    let explanation = ex.explain_edge(va, vb).ok_or_else(|| {
+        AntError::query(
+            QueryErrorKind::NotFound,
+            format!("no recorded copy edge {a} → {b}"),
+        )
+    })?;
     println!("{}", explanation.render(&program));
     Ok(())
 }
 
-pub fn gen(args: &[String]) -> Result<(), String> {
+pub fn gen(args: &[String]) -> Result<(), AntError> {
     let Some(opts) = parse_opts(args)? else {
         return Ok(());
     };
     let [name] = opts.positional.as_slice() else {
-        return Err("gen takes one benchmark name".into());
+        return Err(AntError::usage("gen takes one benchmark name"));
     };
     let scale: f64 = match opts.value("--scale") {
         None => suite::DEFAULT_SCALE,
-        Some(s) => s.parse().map_err(|_| format!("bad scale `{s}`"))?,
+        Some(s) => s
+            .parse()
+            .map_err(|_| AntError::usage(format!("bad scale `{s}`")))?,
     };
-    let bench =
-        suite::benchmark(name, scale).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let bench = suite::benchmark(name, scale)
+        .ok_or_else(|| AntError::usage(format!("unknown benchmark `{name}`")))?;
     let program = bench.program();
     eprintln!("{name}@{scale}: {}", program.stats());
     let text = program.to_text();
     match opts.value("-o") {
-        Some(path) => {
-            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?
-        }
+        Some(path) => std::fs::write(path, text)
+            .map_err(|e| AntError::io(format!("cannot write {path}: {e}")).with_source(e))?,
         None => print!("{text}"),
     }
     Ok(())
 }
 
-pub fn compare(args: &[String]) -> Result<(), String> {
+pub fn compare(args: &[String]) -> Result<(), AntError> {
     let Some(opts) = parse_opts(args)? else {
         return Ok(());
     };
     let cfg = CliConfig::from_opts(&opts)?;
     let [input] = opts.positional.as_slice() else {
-        return Err("compare takes exactly one input file".into());
+        return Err(AntError::usage("compare takes exactly one input file"));
     };
     let program = load(input)?;
     let prepared = cfg.passes.run(&program);
@@ -495,13 +514,182 @@ pub fn compare(args: &[String]) -> Result<(), String> {
             None => reference = Some(solution),
             Some(r) => {
                 if !solution.equiv(r) {
-                    return Err(format!("{} disagrees with the reference solution", alg));
+                    return Err(AntError::solver(format!(
+                        "{alg} disagrees with the reference solution"
+                    )));
                 }
             }
         }
     }
     println!("all algorithms agree ✓");
     Ok(())
+}
+
+/// The `ant serve` session loop: a long-lived [`AnalysisSession`] answering
+/// JSONL requests on stdin/stdout (or a Unix socket with `--socket`), one
+/// typed response envelope per line. The session solves lazily on the
+/// first query and caches solves by content key, so repeated loads of the
+/// same translation unit are free; malformed or failing requests get
+/// error envelopes and never terminate the process.
+pub fn serve(args: &[String]) -> Result<(), AntError> {
+    let Some(opts) = parse_opts(args)? else {
+        return Ok(());
+    };
+    let cfg = CliConfig::from_opts(&opts)?;
+    let deadline_ms = match opts.value("--deadline-ms") {
+        None => None,
+        Some(n) => Some(n.parse::<u64>().map_err(|_| {
+            AntError::usage(format!(
+                "bad --deadline-ms `{n}` (want a non-negative integer)"
+            ))
+        })?),
+    };
+    let mut session_opts = SessionOptions::new(cfg.solver);
+    session_opts.pts = cfg.pts;
+    session_opts.passes = if cfg.passes.is_empty() {
+        "none".to_string()
+    } else {
+        cfg.passes.names().join(",")
+    };
+    session_opts.record = cfg.record;
+    session_opts.deadline_ms = deadline_ms;
+    session_opts.threads = cfg.solver.threads;
+    let mut session = AnalysisSession::new(session_opts)?;
+    // The positional file is pre-loaded before serving; `.c` sources are
+    // compiled here (the protocol's `load` op only accepts constraint
+    // programs, so the CLI is where C enters a session).
+    match opts.positional.as_slice() {
+        [] => {}
+        [input] => {
+            let program = load(input)?;
+            eprintln!("loaded {input}: {}", program.stats());
+            session.load_program(program)?;
+        }
+        _ => return Err(AntError::usage("serve takes at most one input file")),
+    }
+    let mut telemetry = Telemetry::from_config(&cfg)?;
+    let mut metrics = ant_core::obs::MetricsRegistry::new();
+    {
+        let mut fan = telemetry.as_mut().map(Telemetry::fan);
+        match opts.value("--socket") {
+            None => {
+                let stdin = io::stdin();
+                let stdout = io::stdout();
+                serve_loop(
+                    &mut session,
+                    stdin.lock(),
+                    stdout.lock(),
+                    &mut fan,
+                    &mut metrics,
+                )?;
+            }
+            Some(path) => serve_socket(&mut session, path, &mut fan, &mut metrics)?,
+        }
+        // One metrics summary per serve run, so traces carry the request,
+        // error and latency aggregates next to the per-request events.
+        if let Some(fan) = &mut fan {
+            if fan.enabled() {
+                fan.on_event(&SolveEvent::Metrics(metrics.snapshot(8)));
+            }
+        }
+    }
+    let (solves, cache_hits) = session.solve_counters();
+    eprintln!(
+        "served {} requests ({} errors), {solves} solves, {cache_hits} cache hits",
+        metrics.counter("serve.requests"),
+        metrics.counter("serve.errors"),
+    );
+    if let Some(telemetry) = telemetry {
+        telemetry.finish()?;
+    }
+    Ok(())
+}
+
+/// Answers request lines from `reader` on `session`, writing one envelope
+/// line per request to `writer` (flushed per line, so pipe clients see
+/// answers promptly). Every reply is mirrored as a
+/// [`SolveEvent::Query`] to the telemetry fan-out and aggregated into
+/// `metrics`. Returns `Ok(true)` when a `shutdown` request ended the
+/// loop, `Ok(false)` on EOF.
+fn serve_loop(
+    session: &mut AnalysisSession,
+    reader: impl BufRead,
+    mut writer: impl Write,
+    fan: &mut Option<FanOut<'_>>,
+    metrics: &mut ant_core::obs::MetricsRegistry,
+) -> Result<bool, AntError> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = session.handle_line(&line);
+        writeln!(writer, "{}", reply.json)?;
+        writer.flush()?;
+        metrics.add("serve.requests", 1);
+        if !reply.ok {
+            metrics.add("serve.errors", 1);
+        }
+        metrics.observe("serve.latency_micros", reply.micros);
+        if let Some(fan) = fan {
+            if fan.enabled() {
+                fan.on_event(&SolveEvent::Query {
+                    op: reply.op,
+                    ok: reply.ok,
+                    micros: reply.micros,
+                });
+            }
+        }
+        if reply.shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Serves connections on a Unix socket, one client at a time. A dropped
+/// connection only ends that client; a `shutdown` request stops the
+/// server (and removes the socket file).
+#[cfg(unix)]
+fn serve_socket(
+    session: &mut AnalysisSession,
+    path: &str,
+    fan: &mut Option<FanOut<'_>>,
+    metrics: &mut ant_core::obs::MetricsRegistry,
+) -> Result<(), AntError> {
+    use std::os::unix::net::UnixListener;
+    if std::fs::metadata(path).is_ok() {
+        std::fs::remove_file(path).map_err(|e| {
+            AntError::io(format!("cannot replace stale socket {path}: {e}")).with_source(e)
+        })?;
+    }
+    let listener = UnixListener::bind(path)
+        .map_err(|e| AntError::io(format!("cannot bind {path}: {e}")).with_source(e))?;
+    eprintln!("serving on {path}");
+    for conn in listener.incoming() {
+        let conn = conn?;
+        let reader = io::BufReader::new(conn.try_clone()?);
+        match serve_loop(session, reader, conn, fan, metrics) {
+            Ok(true) => break,
+            Ok(false) => {}
+            // A client vanishing mid-reply must not kill the daemon.
+            Err(e) => eprintln!("connection dropped: {e}"),
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_socket(
+    _session: &mut AnalysisSession,
+    _path: &str,
+    _fan: &mut Option<FanOut<'_>>,
+    _metrics: &mut ant_core::obs::MetricsRegistry,
+) -> Result<(), AntError> {
+    Err(AntError::usage(
+        "--socket is only supported on Unix platforms",
+    ))
 }
 
 #[cfg(test)]
@@ -788,16 +976,122 @@ mod tests {
         assert!(solve(&s(&[&c, "--threads", "many"])).is_err());
         assert!(solve(&s(&[&c, "--prop", "wat"])).is_err());
         let err = solve(&s(&[&c, "--fast"])).unwrap_err();
-        assert!(err.contains("unknown flag `--fast`"));
+        assert!(err.message().contains("unknown flag `--fast`"));
+    }
+
+    /// Every failure class maps to its own exit code through
+    /// [`AntError::kind`] — the contract scripted callers rely on.
+    #[test]
+    fn error_kinds_are_typed_for_exit_codes() {
+        use ant_common::AntErrorKind;
+        let c = write_temp("t10.c", "int x; int *p; void main() { p = &x; }");
+        let kind = |r: Result<(), AntError>| r.unwrap_err().kind();
+        assert_eq!(kind(solve(&s(&["--pts", "rope", &c]))), AntErrorKind::Usage);
+        assert_eq!(kind(solve(&s(&["/nonexistent.consts"]))), AntErrorKind::Io);
+        let bad = write_temp("t10.consts", "p = &&&");
+        assert_eq!(kind(solve(&s(&[&bad]))), AntErrorKind::Parse);
+        assert_eq!(
+            kind(solve(&s(&[&c, "--passes", "hcd,ovs"]))),
+            AntErrorKind::Pipeline
+        );
+        assert_eq!(
+            kind(query(&s(&[&c, "--pointer", "nope"]))),
+            AntErrorKind::Query(QueryErrorKind::UnknownVar)
+        );
+        assert_eq!(
+            kind(explain(&s(&[&c, "x", "p"]))),
+            AntErrorKind::Query(QueryErrorKind::NotFound)
+        );
     }
 
     #[test]
     fn help_flag_short_circuits_every_command() {
-        for cmd in [compile, solve, query, explain, explain_edge, gen, compare] {
+        for cmd in [
+            compile,
+            solve,
+            query,
+            explain,
+            explain_edge,
+            gen,
+            compare,
+            serve,
+        ] {
             cmd(&s(&["--help"])).unwrap();
         }
         assert!(usage().contains("--threads N"));
         assert!(usage().contains("--prop MODE"));
+        assert!(usage().contains("ant serve"));
+        assert!(usage().contains("--socket PATH"));
+        assert!(usage().contains("--deadline-ms N"));
+    }
+
+    #[test]
+    fn serve_rejects_bad_invocations() {
+        let c = write_temp("t11.c", "int x;");
+        let err = serve(&s(&[&c, &c])).unwrap_err();
+        assert!(err.message().contains("at most one input file"));
+        let err = serve(&s(&["--deadline-ms", "soon"])).unwrap_err();
+        assert_eq!(err.kind(), ant_common::AntErrorKind::Usage);
+        assert!(serve(&s(&["/nonexistent/f.consts"])).is_err());
+    }
+
+    /// End-to-end over a real Unix socket: load a compiled program at
+    /// startup, answer queries (including a malformed line that must not
+    /// kill the server), shut down cleanly, and remove the socket file.
+    #[cfg(unix)]
+    #[test]
+    fn serve_answers_over_a_unix_socket() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::os::unix::net::UnixStream;
+        let c = write_temp(
+            "t12.c",
+            "int x; int *p; int *q; void main() { p = &x; q = p; }",
+        );
+        let sock = std::env::temp_dir()
+            .join("ant-cli-tests")
+            .join("t12.sock")
+            .to_string_lossy()
+            .into_owned();
+        let args = s(&[&c, "--socket", &sock, "--record"]);
+        let server = std::thread::spawn(move || serve(&args));
+        let mut conn = None;
+        for _ in 0..200 {
+            match UnixStream::connect(&sock) {
+                Ok(c) => {
+                    conn = Some(c);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        }
+        let conn = conn.expect("server came up");
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut writer = conn;
+        let mut ask = |line: &str| {
+            writeln!(writer, "{line}").unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            reply
+        };
+        let reply = ask(r#"{"op":"points_to","var":"q","id":1}"#);
+        assert!(reply.contains(r#""ok":true"#), "got {reply}");
+        assert!(reply.contains(r#""pts":["x"]"#), "got {reply}");
+        let reply = ask("not json at all");
+        assert!(
+            reply.contains(r#""error":"malformed_request""#),
+            "got {reply}"
+        );
+        let reply = ask(r#"{"op":"may_alias","a":"p","b":"q"}"#);
+        assert!(reply.contains(r#""alias":true"#), "got {reply}");
+        let reply = ask(r#"{"op":"explain","var":"q","loc":"x"}"#);
+        assert!(reply.contains(r#""ok":true"#), "got {reply}");
+        let reply = ask(r#"{"op":"shutdown"}"#);
+        assert!(reply.contains(r#""ok":true"#), "got {reply}");
+        server.join().unwrap().unwrap();
+        assert!(
+            !std::path::Path::new(&sock).exists(),
+            "socket file removed on shutdown"
+        );
     }
 
     #[test]
@@ -836,15 +1130,15 @@ mod tests {
 
         let opts = Opts::parse(&s(&["f.c", "--passes", "ovs", "--no-ovs"])).unwrap();
         let err = CliConfig::from_opts(&opts).unwrap_err();
-        assert!(err.contains("mutually exclusive"));
+        assert!(err.message().contains("mutually exclusive"));
 
         let opts = Opts::parse(&s(&["f.c", "--passes", "frobnicate"])).unwrap();
         let err = CliConfig::from_opts(&opts).unwrap_err();
-        assert!(err.contains("frobnicate"));
+        assert!(err.message().contains("frobnicate"));
 
         let opts = Opts::parse(&s(&["f.c", "--passes", "hcd,ovs"])).unwrap();
         let err = CliConfig::from_opts(&opts).unwrap_err();
-        assert!(err.contains("hcd must be last"));
+        assert!(err.message().contains("hcd must be last"));
     }
 
     /// Every pass subset prints the same points-to sets, and traces carry

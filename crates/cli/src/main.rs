@@ -10,8 +10,14 @@
 //! ant explain-edge prog.c a b              # why is there an edge a → b?
 //! ant gen wine --scale 0.05 -o wine.consts # synthetic workload to a file
 //! ant compare prog.c                       # run every algorithm, verify agreement
+//! ant serve prog.consts                    # JSONL query session on stdin/stdout
 //! ```
+//!
+//! Failures exit with the [`AntErrorKind`](ant_common::AntErrorKind)'s
+//! code (usage 2, parse 3, pipeline 4, solver 5, query 6, io 7), so
+//! scripts can branch without parsing stderr.
 
+use ant_common::AntError;
 use std::process::ExitCode;
 
 mod commands;
@@ -21,7 +27,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{}", commands::usage());
-        return ExitCode::FAILURE;
+        return ExitCode::from(ant_common::AntErrorKind::Usage.exit_code());
     };
     let result = match cmd.as_str() {
         "compile" => commands::compile(rest),
@@ -31,20 +37,28 @@ fn main() -> ExitCode {
         "explain-edge" => commands::explain_edge(rest),
         "gen" => commands::gen(rest),
         "compare" => commands::compare(rest),
+        "serve" => commands::serve(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::usage());
             Ok(())
         }
-        other => Err(format!(
+        other => Err(AntError::usage(format!(
             "unknown command `{other}`\n\n{}",
             commands::usage()
-        )),
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            // The source chain, one frame per line, mirrors what the serve
+            // protocol reports in its error envelopes.
+            let mut source = std::error::Error::source(&e);
+            while let Some(s) = source {
+                eprintln!("  caused by: {s}");
+                source = s.source();
+            }
+            ExitCode::from(e.kind().exit_code())
         }
     }
 }

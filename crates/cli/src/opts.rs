@@ -4,6 +4,8 @@
 //! consults it for arity and unknown-flag rejection, and the `--help`
 //! output is generated from the same rows, so the two can never drift.
 
+use ant_common::AntError;
+
 /// One row of the flag table.
 pub struct FlagSpec {
     /// The flag as typed, e.g. `--algorithm`.
@@ -97,6 +99,16 @@ pub const FLAGS: &[FlagSpec] = &[
         help: "query: may-alias of the two named variables",
     },
     FlagSpec {
+        name: "--socket",
+        value: Some("PATH"),
+        help: "serve: listen on a Unix socket at PATH instead of stdin/stdout",
+    },
+    FlagSpec {
+        name: "--deadline-ms",
+        value: Some("N"),
+        help: "serve: per-request deadline; overruns get a deadline_exceeded envelope",
+    },
+    FlagSpec {
         name: "--help",
         value: None,
         help: "print this help",
@@ -129,9 +141,10 @@ impl Opts {
     ///
     /// # Errors
     ///
-    /// Returns a message when a flag is not in the table or a valued flag
-    /// is missing its value.
-    pub fn parse(args: &[String]) -> Result<Opts, String> {
+    /// Returns a [`AntErrorKind::Usage`](ant_common::AntErrorKind::Usage)
+    /// error when a flag is not in the table or a valued flag is missing
+    /// its value.
+    pub fn parse(args: &[String]) -> Result<Opts, AntError> {
         let mut out = Opts::default();
         let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
@@ -140,9 +153,11 @@ impl Opts {
                 let spec = FLAGS
                     .iter()
                     .find(|f| f.name == name)
-                    .ok_or_else(|| format!("unknown flag `{a}` (try --help)"))?;
+                    .ok_or_else(|| AntError::usage(format!("unknown flag `{a}` (try --help)")))?;
                 if spec.value.is_some() {
-                    let v = it.next().ok_or_else(|| format!("flag {a} needs a value"))?;
+                    let v = it
+                        .next()
+                        .ok_or_else(|| AntError::usage(format!("flag {a} needs a value")))?;
                     out.flags.push((name.to_owned(), Some(v.clone())));
                 } else {
                     out.flags.push((name.to_owned(), None));
@@ -188,15 +203,17 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         let err = Opts::parse(&s(&["--algorithm"])).unwrap_err();
-        assert!(err.contains("needs a value"));
+        assert_eq!(err.kind(), ant_common::AntErrorKind::Usage);
+        assert!(err.message().contains("needs a value"));
     }
 
     #[test]
     fn unknown_flags_are_rejected() {
         let err = Opts::parse(&s(&["a.c", "--frobnicate"])).unwrap_err();
-        assert!(err.contains("unknown flag `--frobnicate`"));
+        assert_eq!(err.kind(), ant_common::AntErrorKind::Usage);
+        assert!(err.message().contains("unknown flag `--frobnicate`"));
         let err = Opts::parse(&s(&["--threds", "4"])).unwrap_err();
-        assert!(err.contains("unknown flag"));
+        assert!(err.message().contains("unknown flag"));
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! The crate-wide typed error, [`AntError`].
+//!
+//! Every public entry point of the workspace that can fail — parsing a
+//! constraint file, assembling a pass pipeline, running a solver, or
+//! answering a query — reports an `AntError`. The error carries a
+//! machine-readable [`AntErrorKind`], a human-readable message, and an
+//! optional source error ([`std::error::Error::source`]), so callers can
+//! branch on the kind (the CLI maps each kind to a distinct exit code, the
+//! query service maps it to a typed wire envelope) while still printing a
+//! useful chain.
+
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong, at the granularity callers branch on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum AntErrorKind {
+    /// The invocation itself is malformed: unknown flag, missing argument,
+    /// mutually exclusive options.
+    Usage,
+    /// Input could not be parsed into a constraint program (constraint
+    /// files, mini-C sources).
+    Parse,
+    /// The offline pass pipeline was mis-assembled or violated an
+    /// invariant (e.g. a rewriting pass ordered after `hcd`).
+    Pipeline,
+    /// The online solver failed (internal panic caught at a service
+    /// boundary, impossible configuration).
+    Solver,
+    /// A query against a solution could not be answered; the
+    /// [`QueryErrorKind`] says why.
+    Query(QueryErrorKind),
+    /// An I/O failure (reading an input file, binding a socket).
+    Io,
+}
+
+/// The reasons a query can fail, mirrored one-to-one onto the serve
+/// protocol's `error` field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum QueryErrorKind {
+    /// The request line was not a well-formed protocol object.
+    MalformedRequest,
+    /// The request's `op` is not part of the protocol.
+    UnknownOp,
+    /// A named variable does not exist in the loaded program.
+    UnknownVar,
+    /// The queried fact does not hold (e.g. `explain` on `x ∉ pts(p)`).
+    NotFound,
+    /// The per-request deadline elapsed before the answer was ready.
+    DeadlineExceeded,
+    /// The query needs a recorded solve (`explain`) but provenance
+    /// recording is unavailable.
+    NoProvenance,
+}
+
+impl AntErrorKind {
+    /// Stable machine-readable name: the serve protocol's `error` field
+    /// and the vocabulary of scripted consumers.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            AntErrorKind::Usage => "usage",
+            AntErrorKind::Parse => "parse",
+            AntErrorKind::Pipeline => "pipeline",
+            AntErrorKind::Solver => "solver",
+            AntErrorKind::Io => "io",
+            AntErrorKind::Query(q) => match q {
+                QueryErrorKind::MalformedRequest => "malformed_request",
+                QueryErrorKind::UnknownOp => "unknown_op",
+                QueryErrorKind::UnknownVar => "unknown_var",
+                QueryErrorKind::NotFound => "not_found",
+                QueryErrorKind::DeadlineExceeded => "deadline_exceeded",
+                QueryErrorKind::NoProvenance => "no_provenance",
+            },
+        }
+    }
+
+    /// The process exit code the CLI uses for this kind. Distinct per
+    /// kind so scripts can branch without parsing stderr; `1` stays
+    /// reserved for unclassified failures.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            AntErrorKind::Usage => 2,
+            AntErrorKind::Parse => 3,
+            AntErrorKind::Pipeline => 4,
+            AntErrorKind::Solver => 5,
+            AntErrorKind::Query(_) => 6,
+            AntErrorKind::Io => 7,
+        }
+    }
+}
+
+/// The workspace-wide error: a kind, a message, and an optional source.
+///
+/// ```
+/// use ant_common::{AntError, AntErrorKind, QueryErrorKind};
+///
+/// let e = AntError::query(QueryErrorKind::UnknownVar, "no variable named `z`");
+/// assert_eq!(e.kind(), AntErrorKind::Query(QueryErrorKind::UnknownVar));
+/// assert_eq!(e.kind().wire_name(), "unknown_var");
+/// assert_eq!(e.kind().exit_code(), 6);
+/// assert_eq!(e.to_string(), "no variable named `z`");
+/// ```
+#[derive(Debug)]
+pub struct AntError {
+    kind: AntErrorKind,
+    message: String,
+    source: Option<Box<dyn Error + Send + Sync + 'static>>,
+}
+
+impl AntError {
+    /// An error of the given kind with no source.
+    pub fn new(kind: AntErrorKind, message: impl Into<String>) -> Self {
+        AntError {
+            kind,
+            message: message.into(),
+            source: None,
+        }
+    }
+
+    /// A [`AntErrorKind::Usage`] error.
+    pub fn usage(message: impl Into<String>) -> Self {
+        AntError::new(AntErrorKind::Usage, message)
+    }
+
+    /// A [`AntErrorKind::Parse`] error.
+    pub fn parse(message: impl Into<String>) -> Self {
+        AntError::new(AntErrorKind::Parse, message)
+    }
+
+    /// A [`AntErrorKind::Pipeline`] error.
+    pub fn pipeline(message: impl Into<String>) -> Self {
+        AntError::new(AntErrorKind::Pipeline, message)
+    }
+
+    /// A [`AntErrorKind::Solver`] error.
+    pub fn solver(message: impl Into<String>) -> Self {
+        AntError::new(AntErrorKind::Solver, message)
+    }
+
+    /// A [`AntErrorKind::Query`] error of the given query kind.
+    pub fn query(kind: QueryErrorKind, message: impl Into<String>) -> Self {
+        AntError::new(AntErrorKind::Query(kind), message)
+    }
+
+    /// An [`AntErrorKind::Io`] error.
+    pub fn io(message: impl Into<String>) -> Self {
+        AntError::new(AntErrorKind::Io, message)
+    }
+
+    /// Attaches the underlying error, reachable via
+    /// [`Error::source`](std::error::Error::source).
+    pub fn with_source(mut self, source: impl Error + Send + Sync + 'static) -> Self {
+        self.source = Some(Box::new(source));
+        self
+    }
+
+    /// The error's kind.
+    pub fn kind(&self) -> AntErrorKind {
+        self.kind
+    }
+
+    /// The human-readable message (without the source chain).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for AntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for AntError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.source.as_deref().map(|s| s as &(dyn Error + 'static))
+    }
+}
+
+impl From<std::io::Error> for AntError {
+    fn from(e: std::io::Error) -> Self {
+        AntError::io(e.to_string()).with_source(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_distinct_exit_codes_and_wire_names() {
+        let kinds = [
+            AntErrorKind::Usage,
+            AntErrorKind::Parse,
+            AntErrorKind::Pipeline,
+            AntErrorKind::Solver,
+            AntErrorKind::Query(QueryErrorKind::UnknownVar),
+            AntErrorKind::Io,
+        ];
+        let mut codes: Vec<u8> = kinds.iter().map(|k| k.exit_code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), kinds.len(), "exit codes collide");
+        assert!(!codes.contains(&0), "0 is success");
+        assert!(!codes.contains(&1), "1 is the unclassified failure");
+        let query_kinds = [
+            QueryErrorKind::MalformedRequest,
+            QueryErrorKind::UnknownOp,
+            QueryErrorKind::UnknownVar,
+            QueryErrorKind::NotFound,
+            QueryErrorKind::DeadlineExceeded,
+            QueryErrorKind::NoProvenance,
+        ];
+        let mut names: Vec<&str> = kinds.iter().map(|k| k.wire_name()).collect();
+        names.extend(
+            query_kinds
+                .iter()
+                .map(|&q| AntErrorKind::Query(q).wire_name()),
+        );
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len() + query_kinds.len() - 1);
+    }
+
+    #[test]
+    fn source_chain_is_reachable() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = AntError::io("cannot read f.consts").with_source(io);
+        assert_eq!(e.to_string(), "cannot read f.consts");
+        assert_eq!(e.source().unwrap().to_string(), "gone");
+        assert!(AntError::parse("x").source().is_none());
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod bitmap;
+mod error;
 pub mod fx;
 mod idx;
 mod intern;
@@ -45,6 +46,7 @@ mod union_find;
 pub mod worklist;
 
 pub use bitmap::SparseBitmap;
+pub use error::{AntError, AntErrorKind, QueryErrorKind};
 pub use idx::VarId;
 pub use intern::{InternStats, PtsInterner, SetId};
 pub use mem::{vec_bytes, HeapBytes};

@@ -178,6 +178,16 @@ pub enum SolveEvent {
         /// Wall time of the pass, in microseconds.
         micros: u64,
     },
+    /// One request answered by a query session (`ant serve`). Emitted per
+    /// request so traces can reconstruct per-op latency distributions.
+    Query {
+        /// Protocol operation name (e.g. `"points_to"`, `"may_alias"`).
+        op: &'static str,
+        /// Whether the request produced a success envelope.
+        ok: bool,
+        /// Wall time from receipt to answer, in microseconds.
+        micros: u64,
+    },
     /// The final metrics flush of a recorded solve: the counters,
     /// histograms and top-K cost tables accumulated by the run's
     /// `MetricsRegistry`. Emitted once, just before the solve phase

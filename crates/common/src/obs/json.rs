@@ -1,8 +1,11 @@
-//! Hand-rolled JSON support for the trace format: an escaping object
-//! builder for emission and a small flat-object parser for reading traces
-//! back (tests, `trace_report`). No external crates; the subset handled is
-//! exactly what the trace schema uses — one flat object per line with
-//! string, number, boolean and null values.
+//! Hand-rolled JSON support for the trace format and the serve protocol:
+//! an escaping object builder for emission and a small flat-object parser
+//! for reading lines back (tests, `trace_report`, `ant serve`). No
+//! external crates; the subset handled is exactly what those schemas use —
+//! one object per line with string, number, boolean and null values, plus
+//! single-level arrays of such scalars (points-to sets and derivation
+//! chains in serve responses). Nested objects and nested arrays remain
+//! rejected.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -78,6 +81,56 @@ impl JsonObject {
         self.buf.push_str(if v { "true" } else { "false" });
     }
 
+    /// Adds an array of strings (each element escaped).
+    pub fn str_list_field<I, S>(&mut self, k: &str, items: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.key(k);
+        self.buf.push('[');
+        for (i, item) in items.into_iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push('"');
+            escape_into(item.as_ref(), &mut self.buf);
+            self.buf.push('"');
+        }
+        self.buf.push(']');
+    }
+
+    /// Adds an array of unsigned integers.
+    pub fn uint_list_field<I>(&mut self, k: &str, items: I)
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        self.key(k);
+        self.buf.push('[');
+        for (i, item) in items.into_iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{item}");
+        }
+        self.buf.push(']');
+    }
+
+    /// No field added yet?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Splices every field of `other` into this object, in order (used to
+    /// wrap an op-specific payload in the serve response envelope).
+    pub fn extend(&mut self, other: &JsonObject) {
+        if other.buf.is_empty() {
+            return;
+        }
+        self.buf.push(if self.buf.is_empty() { '{' } else { ',' });
+        self.buf.push_str(&other.buf[1..]);
+    }
+
     /// Closes the object and returns its text (no trailing newline).
     pub fn finish(mut self) -> String {
         if self.buf.is_empty() {
@@ -88,7 +141,7 @@ impl JsonObject {
     }
 }
 
-/// A parsed JSON scalar value.
+/// A parsed JSON value: a scalar, or a single-level array of scalars.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JsonValue {
     /// A string.
@@ -99,6 +152,8 @@ pub enum JsonValue {
     Bool(bool),
     /// `null`.
     Null,
+    /// A flat array of scalar values (arrays never nest in our schemas).
+    Arr(Vec<JsonValue>),
 }
 
 impl JsonValue {
@@ -125,11 +180,34 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The boolean, if this is `true` or `false`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The elements as strings, if this is an array of strings (an empty
+    /// array qualifies).
+    pub fn as_str_arr(&self) -> Option<Vec<&str>> {
+        self.as_arr()?.iter().map(JsonValue::as_str).collect()
+    }
 }
 
-/// Parses one flat JSON object (`{"k": v, ...}` with scalar values) into a
-/// key → value map. Returns a human-readable error on malformed input or on
-/// nested arrays/objects, which the trace format never produces.
+/// Parses one flat JSON object (`{"k": v, ...}` with scalar or
+/// scalar-array values) into a key → value map. Returns a human-readable
+/// error on malformed input or on nested objects/nested arrays, which
+/// neither the trace format nor the serve protocol produces.
 pub fn parse_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
     let mut p = Parser {
         bytes: line.as_bytes(),
@@ -248,6 +326,28 @@ impl Parser<'_> {
 
     fn value(&mut self) -> Result<JsonValue, String> {
         match self.peek() {
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    if self.peek() == Some(b'[') {
+                        return Err("nested arrays are not part of the schema".into());
+                    }
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(JsonValue::Arr(items)),
+                        other => return Err(format!("expected ',' or ']', got {other:?}")),
+                    }
+                }
+            }
             Some(b'"') => Ok(JsonValue::Str(self.string()?)),
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
@@ -324,7 +424,33 @@ mod tests {
         assert!(parse_object(r#"{"a":}"#).is_err());
         assert!(parse_object(r#"{"a":1,}"#).is_err());
         assert!(parse_object(r#"{"a":1} extra"#).is_err());
-        assert!(parse_object(r#"{"a":[1]}"#).is_err());
+        assert!(parse_object(r#"{"a":{}}"#).is_err());
+        assert!(parse_object(r#"{"a":[[1]]}"#).is_err());
+        assert!(parse_object(r#"{"a":[1,]}"#).is_err());
+        assert!(parse_object(r#"{"a":[1"#).is_err());
         assert!(parse_object(r#"{"a":"unterminated}"#).is_err());
+    }
+
+    #[test]
+    fn list_fields_roundtrip() {
+        let mut o = JsonObject::new();
+        o.str_list_field("names", ["p", "a \"q\""]);
+        o.uint_list_field("ids", [0, 42]);
+        o.str_list_field("empty", std::iter::empty::<&str>());
+        let line = o.finish();
+        assert_eq!(line, r#"{"names":["p","a \"q\""],"ids":[0,42],"empty":[]}"#);
+        let map = parse_object(&line).unwrap();
+        assert_eq!(map["names"].as_str_arr(), Some(vec!["p", "a \"q\""]));
+        let ids: Vec<u64> = map["ids"]
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        assert_eq!(ids, vec![0, 42]);
+        assert_eq!(map["empty"].as_arr(), Some(&[][..]));
+        assert_eq!(map["ids"].as_str_arr(), None);
+        let spaced = parse_object(r#"{ "a" : [ 1 , "x" , null ] }"#).unwrap();
+        assert_eq!(spaced["a"].as_arr().unwrap().len(), 3);
     }
 }

@@ -28,6 +28,7 @@ use super::observer::Observer;
 /// | `round_summary`   | `round`, `nodes`, `shards`, `hints`, `hint_hits`, `worker_micros` |
 /// | `shard_utilization` | `round`, `shard`, `nodes`, `busy_micros`          |
 /// | `pass_summary`    | `pass`, `constraints_before`, `constraints_after`, `vars_merged`, `micros` |
+/// | `query`           | `op`, `ok`, `micros`                                |
 /// | `metrics`         | see below                                           |
 ///
 /// A [`SolveEvent::Metrics`] flush expands into *several* flat lines (the
@@ -160,6 +161,13 @@ impl<W: Write> TraceWriter<W> {
                 o.uint_field("constraints_before", *constraints_before);
                 o.uint_field("constraints_after", *constraints_after);
                 o.uint_field("vars_merged", *vars_merged);
+                o.uint_field("micros", *micros);
+            }
+            SolveEvent::Query { op, ok, micros } => {
+                o.str_field("event", "query");
+                o.str_field("solver", self.solver);
+                o.str_field("op", op);
+                o.bool_field("ok", *ok);
                 o.uint_field("micros", *micros);
             }
             // Handled by the early return above.
@@ -377,11 +385,12 @@ impl<W: Write> Observer for ProgressPrinter<W> {
                 )
             }
             SolveEvent::Metrics(snap) => self.print_metrics(tag, snap),
-            // Cycle, mutation and per-shard events are too frequent for a
-            // terminal; shard detail stays available in the JSONL trace.
+            // Cycle, mutation, per-shard and per-query events are too
+            // frequent for a terminal; the detail stays in the JSONL trace.
             SolveEvent::CycleCollapsed { .. }
             | SolveEvent::GraphMutation { .. }
-            | SolveEvent::ShardUtilization { .. } => Ok(()),
+            | SolveEvent::ShardUtilization { .. }
+            | SolveEvent::Query { .. } => Ok(()),
         };
         // Progress sitting in a buffer is no progress at all.
         let _ = result.and_then(|()| self.out.flush());
@@ -429,6 +438,11 @@ mod tests {
             hint_hits: 81,
             worker_micros: 500,
         });
+        observer.on_event(&SolveEvent::Query {
+            op: "points_to",
+            ok: true,
+            micros: 42,
+        });
         observer.on_event(&SolveEvent::PassSummary {
             pass: "ovs",
             constraints_before: 200,
@@ -449,7 +463,7 @@ mod tests {
         assert!(w.error().is_none());
         let text = String::from_utf8(w.into_inner()).unwrap();
         let lines: Vec<_> = text.lines().collect();
-        assert_eq!(lines.len(), 10);
+        assert_eq!(lines.len(), 11);
         let maps: Vec<_> = lines.iter().map(|l| parse_object(l).unwrap()).collect();
         for m in &maps {
             assert!(m["t"].as_f64().unwrap() >= 0.0);
@@ -476,13 +490,17 @@ mod tests {
         assert_eq!(maps[7]["shards"].as_u64(), Some(2));
         assert_eq!(maps[7]["hints"].as_u64(), Some(90));
         assert_eq!(maps[7]["hint_hits"].as_u64(), Some(81));
-        assert_eq!(maps[8]["event"].as_str(), Some("pass_summary"));
-        assert_eq!(maps[8]["pass"].as_str(), Some("ovs"));
-        assert_eq!(maps[8]["constraints_before"].as_u64(), Some(200));
-        assert_eq!(maps[8]["constraints_after"].as_u64(), Some(50));
-        assert_eq!(maps[8]["vars_merged"].as_u64(), Some(60));
-        assert_eq!(maps[8]["micros"].as_u64(), Some(1200));
-        assert!((maps[9]["seconds"].as_f64().unwrap() - 1.5).abs() < 1e-9);
+        assert_eq!(maps[8]["event"].as_str(), Some("query"));
+        assert_eq!(maps[8]["op"].as_str(), Some("points_to"));
+        assert_eq!(maps[8]["ok"], crate::obs::JsonValue::Bool(true));
+        assert_eq!(maps[8]["micros"].as_u64(), Some(42));
+        assert_eq!(maps[9]["event"].as_str(), Some("pass_summary"));
+        assert_eq!(maps[9]["pass"].as_str(), Some("ovs"));
+        assert_eq!(maps[9]["constraints_before"].as_u64(), Some(200));
+        assert_eq!(maps[9]["constraints_after"].as_u64(), Some(50));
+        assert_eq!(maps[9]["vars_merged"].as_u64(), Some(60));
+        assert_eq!(maps[9]["micros"].as_u64(), Some(1200));
+        assert!((maps[10]["seconds"].as_f64().unwrap() - 1.5).abs() < 1e-9);
     }
 
     #[test]

@@ -48,6 +48,12 @@ impl fmt::Display for ParseProgramError {
 
 impl Error for ParseProgramError {}
 
+impl From<ParseProgramError> for ant_common::AntError {
+    fn from(e: ParseProgramError) -> Self {
+        ant_common::AntError::parse(e.to_string()).with_source(e)
+    }
+}
+
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
         && s.chars()

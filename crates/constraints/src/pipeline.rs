@@ -99,6 +99,21 @@ impl SolutionMapping {
         self.rep_of(v) != v
     }
 
+    /// Resolves an *original* variable name to the final-program variable
+    /// whose solved points-to set answers for it: `rep_of(var_by_name(name))`.
+    /// This is the only name→id path clients of a solved [`Prepared`]
+    /// should use — it speaks the original program's names, never
+    /// post-OVS/HCD representatives. Returns `None` when no variable of
+    /// that name exists.
+    ///
+    /// `program` must be the *original* (pre-pipeline) program the mapping
+    /// was built from; the final program's name table may have dropped
+    /// merged variables.
+    pub fn resolve(&self, program: &Program, name: &str) -> Option<VarId> {
+        let v = program.var_by_name(name)?;
+        Some(self.rep_of(v))
+    }
+
     /// Composes a later rename on top: afterwards
     /// `rep_of(v) = next[old_rep_of(v)]`. This is the mapping composition
     /// law — `next` speaks about the program the *previous* passes
@@ -362,6 +377,12 @@ impl fmt::Display for PassParseError {
 
 impl std::error::Error for PassParseError {}
 
+impl From<PassParseError> for ant_common::AntError {
+    fn from(e: PassParseError) -> Self {
+        ant_common::AntError::pipeline(e.to_string()).with_source(e)
+    }
+}
+
 /// An ordered list of offline passes, run front to back over a [`Program`]
 /// while composing every rename into one [`SolutionMapping`].
 ///
@@ -472,6 +493,11 @@ impl PassPipeline {
         self.run_with_obs(program, &mut Obs::none())
     }
 
+    /// [`try_run_with_obs`](Self::try_run_with_obs) without telemetry.
+    pub fn try_run(&self, program: &Program) -> Result<Prepared, ant_common::AntError> {
+        self.try_run_with_obs(program, &mut Obs::none())
+    }
+
     /// [`run`](Self::run) with telemetry: each pass opens its own phase
     /// span and is followed by one [`SolveEvent::PassSummary`]. Under
     /// `debug_assertions` the program is checked against
@@ -481,17 +507,37 @@ impl PassPipeline {
     ///
     /// Panics if a rewriting pass runs after HCD metadata was attached, or
     /// (under `debug_assertions`) if a pass breaks a program invariant.
+    /// Service layers that must not die on a mis-assembled pipeline use
+    /// [`try_run_with_obs`](Self::try_run_with_obs) instead.
     pub fn run_with_obs(&self, program: &Program, obs: &mut Obs<'_>) -> Prepared {
+        match self.try_run_with_obs(program, obs) {
+            Ok(prepared) => prepared,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The fallible form of [`run_with_obs`](Self::run_with_obs): ordering
+    /// violations become an [`AntErrorKind::Pipeline`] error instead of a
+    /// panic, so long-lived callers (the query service) can answer with a
+    /// typed envelope.
+    ///
+    /// [`AntErrorKind::Pipeline`]: ant_common::AntErrorKind::Pipeline
+    pub fn try_run_with_obs(
+        &self,
+        program: &Program,
+        obs: &mut Obs<'_>,
+    ) -> Result<Prepared, ant_common::AntError> {
         let start = Instant::now();
         debug_validate(program, "pipeline input");
         let mut prepared = Prepared::identity(program);
         for pass in &self.passes {
-            assert!(
-                prepared.hcd.is_none() || !pass.rewrites(),
-                "pass `{}` would rewrite the program after hcd attached its \
-                 pair table; order hcd last",
-                pass.name()
-            );
+            if prepared.hcd.is_some() && pass.rewrites() {
+                return Err(ant_common::AntError::pipeline(format!(
+                    "pass `{}` would rewrite the program after hcd attached its \
+                     pair table; order hcd last",
+                    pass.name()
+                )));
+            }
             let before = prepared.program.constraints().len();
             let pass_start = Instant::now();
             let outcome = pass.run(&prepared.program, obs);
@@ -523,7 +569,7 @@ impl PassPipeline {
             prepared.summaries.push(summary);
         }
         prepared.elapsed = start.elapsed();
-        prepared
+        Ok(prepared)
     }
 }
 
@@ -700,6 +746,45 @@ mod tests {
         assert!(prepared.summaries.is_empty());
         assert_eq!(prepared.constraints_before(), prepared.constraints_after());
         assert_eq!(prepared.reduction_percent(), 0.0);
+    }
+
+    #[test]
+    fn resolve_speaks_original_names() {
+        let program = sample();
+        let prepared = PassPipeline::standard().run(&program);
+        for name in ["p", "x", "a", "b"] {
+            let v = program.var_by_name(name).unwrap();
+            assert_eq!(
+                prepared.mapping.resolve(&program, name),
+                Some(prepared.mapping.rep_of(v))
+            );
+        }
+        assert_eq!(prepared.mapping.resolve(&program, "nope"), None);
+    }
+
+    #[test]
+    fn try_run_reports_ordering_violations_as_errors() {
+        use ant_common::AntErrorKind;
+        let program = sample();
+        let err = PassPipeline::empty()
+            .push(HcdPass)
+            .push(OvsPass)
+            .try_run(&program)
+            .unwrap_err();
+        assert_eq!(err.kind(), AntErrorKind::Pipeline);
+        assert!(err.to_string().contains("order hcd last"));
+        let ok = PassPipeline::full().try_run(&program).unwrap();
+        assert!(ok.hcd.is_some());
+    }
+
+    #[test]
+    fn pass_errors_convert_to_ant_error() {
+        use ant_common::AntErrorKind;
+        let e: ant_common::AntError = PassPipeline::parse("hvn").unwrap_err().into();
+        assert_eq!(e.kind(), AntErrorKind::Pipeline);
+        let e: ant_common::AntError = crate::parse_program("p = ").unwrap_err().into();
+        assert_eq!(e.kind(), AntErrorKind::Parse);
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

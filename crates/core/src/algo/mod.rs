@@ -478,6 +478,44 @@ pub fn solve_prepared_with_observer(
     expand_prepared(out, prepared)
 }
 
+/// [`solve_prepared`] *without* the final expansion: the solution stays in
+/// the preprocessed program's variable space, one set per representative.
+/// Long-lived holders (the query service) answer name queries through
+/// [`SolutionMapping::resolve`] instead of materializing the expanded
+/// per-original-variable table — same answers, a fraction of the memory.
+///
+/// [`SolutionMapping::resolve`]: ant_constraints::pipeline::SolutionMapping::resolve
+pub fn solve_prepared_raw(prepared: &Prepared, config: &SolverConfig, pts: PtsKind) -> SolveOutput {
+    solve_dyn_impl(
+        &prepared.program,
+        config,
+        pts,
+        prepared.hcd.as_ref(),
+        None,
+        |_| Obs::none(),
+    )
+    .0
+}
+
+/// [`solve_prepared_raw`] with the derivation recorder attached (see
+/// [`solve_prepared_recorded`]). Both the solution and the recorder speak
+/// the preprocessed variable id space.
+pub fn solve_prepared_raw_recorded(
+    prepared: &Prepared,
+    config: &SolverConfig,
+    pts: PtsKind,
+) -> (SolveOutput, ProvRecorder) {
+    let (out, prov) = solve_dyn_impl(
+        &prepared.program,
+        config,
+        pts,
+        prepared.hcd.as_ref(),
+        Some(Box::new(ProvRecorder::new())),
+        |_| Obs::none(),
+    );
+    (out, *prov.expect("recorded solve returns its recorder"))
+}
+
 fn expand_prepared(mut out: SolveOutput, prepared: &Prepared) -> SolveOutput {
     if !prepared.mapping.is_identity() {
         out.solution = out.solution.expand(&prepared.mapping);
@@ -499,35 +537,6 @@ fn solve_dyn_impl<'o>(
         PtsKind::Shared => solve_impl::<SharedPts>(program, config, obs, hcd_override, prov),
         PtsKind::Bdd => solve_impl::<BddPts>(program, config, obs, hcd_override, prov),
     }
-}
-
-/// Turbofish predecessor of [`solve_dyn`].
-#[deprecated(
-    note = "use solve_dyn (or the facade's AnalysisBuilder); the points-to \
-                     representation is now selected at runtime via PtsKind"
-)]
-pub fn solve<P: PtsRepr>(program: &Program, config: &SolverConfig) -> SolveOutput {
-    solve_impl::<P>(program, config, Obs::none(), None, None).0
-}
-
-/// Turbofish predecessor of [`solve_dyn_with_observer`].
-#[deprecated(
-    note = "use solve_dyn_with_observer (or the facade's AnalysisBuilder); the \
-                     points-to representation is now selected at runtime via PtsKind"
-)]
-pub fn solve_with_observer<P: PtsRepr>(
-    program: &Program,
-    config: &SolverConfig,
-    observer: &mut dyn Observer,
-) -> SolveOutput {
-    solve_impl::<P>(
-        program,
-        config,
-        Obs::new(observer, config.progress_every),
-        None,
-        None,
-    )
-    .0
 }
 
 fn solve_impl<P: PtsRepr>(

@@ -54,19 +54,18 @@ mod algo;
 pub mod clients;
 pub mod provenance;
 mod pts;
+pub mod session;
 mod solution;
 mod state;
 pub mod verify;
 
-#[allow(deprecated)]
-pub use algo::{solve, solve_with_observer};
 pub use algo::{
-    solve_dyn, solve_dyn_recorded, solve_dyn_with_observer, solve_prepared,
-    solve_prepared_recorded, solve_prepared_recorded_with_observer, solve_prepared_with_observer,
-    steensgaard, steensgaard_with_observer, threads_from_env, Algorithm, PropMode, SolveOutput,
-    SolverConfig,
+    solve_dyn, solve_dyn_recorded, solve_dyn_with_observer, solve_prepared, solve_prepared_raw,
+    solve_prepared_raw_recorded, solve_prepared_recorded, solve_prepared_recorded_with_observer,
+    solve_prepared_with_observer, steensgaard, steensgaard_with_observer, threads_from_env,
+    Algorithm, PropMode, SolveOutput, SolverConfig,
 };
 pub use ant_common::obs;
-pub use ant_common::{SolverStats, VarId};
+pub use ant_common::{AntError, AntErrorKind, QueryErrorKind, SolverStats, VarId};
 pub use pts::{BddPts, BddPtsCtx, BitmapPts, PtsKind, PtsRepr, SharedPts};
 pub use solution::Solution;

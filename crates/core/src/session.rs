@@ -1,0 +1,972 @@
+//! Long-lived analysis sessions: the query service behind `ant serve`.
+//!
+//! The paper makes the *solve* cheap; this module makes the solved result
+//! cheap to **query**. An [`AnalysisSession`] owns a prepared program, a
+//! lazily-computed solution and (optionally) the provenance recorder, and
+//! answers a JSONL request/response protocol:
+//!
+//! * one request per line, a flat JSON object with an `"op"` field
+//!   (`points_to`, `may_alias`, `resolve`, `explain`, `stats`, `load`,
+//!   `shutdown`) and op-specific arguments, plus an optional `"id"` echoed
+//!   back verbatim;
+//! * one response per request, a flat JSON object with `"ok"` and a typed
+//!   error envelope on failure (`"error"` carries an
+//!   [`AntErrorKind::wire_name`], `"message"` the human-readable reason) —
+//!   a malformed or failing request never terminates the session;
+//! * every response carries `"micros"`, the wall time from receipt to
+//!   answer.
+//!
+//! Clients speak *original variable names*: every name is resolved through
+//! the composed [`SolutionMapping`], never a post-OVS/HCD id. The session
+//! keeps the solver's **raw** (unexpanded) solution and answers through
+//! [`SolutionMapping::resolve`] — the same answers the one-shot expanded
+//! solution gives, at a fraction of the memory.
+//!
+//! Solves are keyed by a content hash of program + solver configuration
+//! ([`AnalysisSession::content_key`]), so re-loading a translation unit
+//! the session has already solved reuses the cached solution.
+//! [`AnalysisSession::handle_lines`] fans independent read-only queries out
+//! over [`std::thread::scope`] against the immutable solution; requests
+//! that mutate the session (`load`, a query that triggers the first solve)
+//! act as barriers.
+//!
+//! [`AntErrorKind::wire_name`]: ant_common::AntErrorKind::wire_name
+//! [`SolutionMapping`]: ant_constraints::pipeline::SolutionMapping
+//! [`SolutionMapping::resolve`]: ant_constraints::pipeline::SolutionMapping::resolve
+
+use crate::provenance::Explainer;
+use crate::{
+    solve_prepared_raw, solve_prepared_raw_recorded, PtsKind, Solution, SolveOutput, SolverConfig,
+};
+use ant_common::fx::{FxHashMap, FxHasher};
+use ant_common::obs::prov::ProvRecorder;
+use ant_common::obs::{parse_object, JsonObject, JsonValue};
+use ant_common::{AntError, QueryErrorKind, VarId};
+use ant_constraints::pipeline::{PassPipeline, Prepared, SolutionMapping};
+use ant_constraints::{parse_program, Program};
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// How a session solves and answers: the solver configuration, points-to
+/// representation, offline pass list, and the per-request policy knobs.
+#[derive(Clone, Debug)]
+pub struct SessionOptions {
+    /// Solver configuration used for every solve.
+    pub config: SolverConfig,
+    /// Points-to representation used for every solve.
+    pub pts: PtsKind,
+    /// Offline pass list, in [`PassPipeline::parse`] syntax.
+    pub passes: String,
+    /// Record provenance on every solve, enabling the `explain` op.
+    pub record: bool,
+    /// Per-request deadline in milliseconds; a request whose answer took
+    /// longer gets a `deadline_exceeded` envelope instead. `None` disables
+    /// the check.
+    pub deadline_ms: Option<u64>,
+    /// Fan-out width for batches of read-only queries (`1` = sequential).
+    pub threads: usize,
+}
+
+impl SessionOptions {
+    /// Defaults: the given algorithm configuration, bitmap sets, the
+    /// standard `normalize,ovs` pipeline, no recording, no deadline,
+    /// sequential query handling.
+    pub fn new(config: SolverConfig) -> Self {
+        SessionOptions {
+            config,
+            pts: PtsKind::Bitmap,
+            passes: "normalize,ovs".to_string(),
+            record: false,
+            deadline_ms: None,
+            threads: 1,
+        }
+    }
+}
+
+/// One solved program, cached under its content key.
+struct CachedSolve {
+    output: SolveOutput,
+    prov: Option<ProvRecorder>,
+}
+
+/// The currently loaded translation unit.
+struct Loaded {
+    /// The *original* program — the name space clients speak.
+    program: Program,
+    /// Pipeline output: preprocessed program + composed mapping.
+    prepared: Prepared,
+    /// Hash index over original variable names (`Program::var_by_name` is
+    /// a linear scan; sessions answer thousands of name lookups).
+    names: FxHashMap<String, VarId>,
+    /// Content key of program + solver configuration.
+    key: u64,
+}
+
+/// Cached solves kept before the oldest is evicted.
+const SOLVE_CACHE_CAP: usize = 8;
+
+/// A long-lived query session: prepared program, lazily solved solution,
+/// optional provenance, and the JSONL protocol to query them.
+///
+/// ```
+/// use ant_core::session::{AnalysisSession, SessionOptions};
+/// use ant_core::{Algorithm, SolverConfig};
+///
+/// let opts = SessionOptions::new(SolverConfig::new(Algorithm::LcdHcd));
+/// let mut session = AnalysisSession::new(opts).unwrap();
+/// let reply = session.handle_line(r#"{"op":"load","text":"p = &x\nq = p\n"}"#);
+/// assert!(reply.ok);
+/// let reply = session.handle_line(r#"{"op":"points_to","var":"q"}"#);
+/// assert!(reply.json.contains(r#""pts":["x"]"#));
+/// ```
+pub struct AnalysisSession {
+    opts: SessionOptions,
+    loaded: Option<Loaded>,
+    cache: FxHashMap<u64, CachedSolve>,
+    /// Insertion order of `cache` keys, oldest first (eviction order).
+    cache_order: Vec<u64>,
+    /// Content key of the solve answering queries right now.
+    active: Option<u64>,
+    solves: u64,
+    cache_hits: u64,
+    requests: u64,
+    errors: u64,
+}
+
+/// One answered request: the response line plus the telemetry the serve
+/// loop forwards as a [`SolveEvent::Query`] event.
+///
+/// [`SolveEvent::Query`]: ant_common::obs::SolveEvent::Query
+#[derive(Clone, Debug)]
+pub struct Reply {
+    /// The response envelope, one line of JSON (no trailing newline).
+    pub json: String,
+    /// Stable op name (`"malformed"` when the request had none).
+    pub op: &'static str,
+    /// Whether this is a success envelope.
+    pub ok: bool,
+    /// Wall time from receipt to answer, in microseconds.
+    pub micros: u64,
+    /// The request asked the session to shut down.
+    pub shutdown: bool,
+}
+
+/// A parsed request: the echoed id plus the typed operation.
+struct Request {
+    id: Option<JsonValue>,
+    op: Op,
+}
+
+enum Op {
+    PointsTo {
+        var: String,
+    },
+    MayAlias {
+        a: String,
+        b: String,
+    },
+    Resolve {
+        var: String,
+    },
+    Explain {
+        var: String,
+        loc: String,
+    },
+    Stats,
+    Load {
+        path: Option<String>,
+        text: Option<String>,
+    },
+    Shutdown,
+}
+
+impl Op {
+    fn name(&self) -> &'static str {
+        match self {
+            Op::PointsTo { .. } => "points_to",
+            Op::MayAlias { .. } => "may_alias",
+            Op::Resolve { .. } => "resolve",
+            Op::Explain { .. } => "explain",
+            Op::Stats => "stats",
+            Op::Load { .. } => "load",
+            Op::Shutdown => "shutdown",
+        }
+    }
+
+    /// Can this op run concurrently against an immutable solved session?
+    fn read_only(&self) -> bool {
+        matches!(
+            self,
+            Op::PointsTo { .. } | Op::MayAlias { .. } | Op::Resolve { .. }
+        )
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> AntError {
+    AntError::query(QueryErrorKind::MalformedRequest, msg)
+}
+
+fn parse_request(line: &str) -> Result<Request, AntError> {
+    let map = parse_object(line).map_err(|e| malformed(format!("bad request JSON: {e}")))?;
+    let id = map.get("id").cloned();
+    if let Some(id) = &id {
+        if matches!(id, JsonValue::Arr(_)) {
+            return Err(malformed("request id must be a scalar"));
+        }
+    }
+    let op = map
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| malformed("request needs a string `op` field"))?;
+    let str_arg = |k: &str| -> Result<String, AntError> {
+        map.get(k)
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| malformed(format!("op `{op}` needs a string `{k}` field")))
+    };
+    let op = match op {
+        "points_to" => Op::PointsTo {
+            var: str_arg("var")?,
+        },
+        "may_alias" => Op::MayAlias {
+            a: str_arg("a")?,
+            b: str_arg("b")?,
+        },
+        "resolve" => Op::Resolve {
+            var: str_arg("var")?,
+        },
+        "explain" => Op::Explain {
+            var: str_arg("var")?,
+            loc: str_arg("loc")?,
+        },
+        "stats" => Op::Stats,
+        "load" => {
+            let path = map
+                .get("path")
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned);
+            let text = map
+                .get("text")
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned);
+            if path.is_none() && text.is_none() {
+                return Err(malformed("op `load` needs a `path` or `text` field"));
+            }
+            Op::Load { path, text }
+        }
+        "shutdown" => Op::Shutdown,
+        other => {
+            return Err(AntError::query(
+                QueryErrorKind::UnknownOp,
+                format!("unknown op `{other}`"),
+            ))
+        }
+    };
+    Ok(Request { id, op })
+}
+
+/// The success payload of one op, to be wrapped in an envelope.
+enum Payload {
+    Fields(JsonObject),
+    Shutdown,
+}
+
+/// Everything a read-only query needs, shareable across scoped threads.
+struct SessionView<'a> {
+    program: &'a Program,
+    mapping: &'a SolutionMapping,
+    names: &'a FxHashMap<String, VarId>,
+    solution: &'a Solution,
+}
+
+impl SessionView<'_> {
+    fn named(&self, name: &str) -> Result<VarId, AntError> {
+        self.names.get(name).copied().ok_or_else(|| {
+            AntError::query(
+                QueryErrorKind::UnknownVar,
+                format!("no variable named `{name}`"),
+            )
+        })
+    }
+
+    /// Answers a read-only op. The solution is *raw* (preprocessed space):
+    /// every lookup goes through `mapping.rep_of`, which by the pipeline's
+    /// composition law returns exactly the expanded solution's answer.
+    fn answer(&self, op: &Op) -> Result<JsonObject, AntError> {
+        let mut o = JsonObject::new();
+        match op {
+            Op::PointsTo { var } => {
+                let v = self.named(var)?;
+                let set = self.solution.points_to(self.mapping.rep_of(v));
+                o.str_field("var", var);
+                o.str_list_field(
+                    "pts",
+                    set.iter()
+                        .map(|&loc| self.program.var_name(VarId::new(loc as usize))),
+                );
+                o.uint_field("count", set.len() as u64);
+            }
+            Op::MayAlias { a, b } => {
+                let va = self.mapping.rep_of(self.named(a)?);
+                let vb = self.mapping.rep_of(self.named(b)?);
+                o.str_field("a", a);
+                o.str_field("b", b);
+                o.bool_field("alias", self.solution.may_alias(va, vb));
+            }
+            Op::Resolve { var } => {
+                let v = self.named(var)?;
+                o.str_field("var", var);
+                o.uint_field("var_id", v.as_u32() as u64);
+                o.uint_field("rep_id", self.mapping.rep_of(v).as_u32() as u64);
+                o.bool_field("merged", self.mapping.was_merged(v));
+            }
+            _ => unreachable!("answer() only serves read-only ops"),
+        }
+        Ok(o)
+    }
+}
+
+impl AnalysisSession {
+    /// A session with no program loaded yet.
+    ///
+    /// # Errors
+    ///
+    /// [`AntErrorKind::Pipeline`] when the pass spec does not parse.
+    pub fn new(opts: SessionOptions) -> Result<Self, AntError> {
+        PassPipeline::parse(&opts.passes)?;
+        Ok(AnalysisSession {
+            opts,
+            loaded: None,
+            cache: FxHashMap::default(),
+            cache_order: Vec::new(),
+            active: None,
+            solves: 0,
+            cache_hits: 0,
+            requests: 0,
+            errors: 0,
+        })
+    }
+
+    /// The content key a load of `program` would solve under: a hash of
+    /// the program's structure (constraints, variable space, offset
+    /// limits) and everything about the configuration that could change
+    /// the solve. Two loads with equal keys share one cached solution.
+    pub fn content_key(&self, program: &Program) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_usize(program.num_vars());
+        for &limit in program.offset_limits() {
+            h.write_u32(limit);
+        }
+        for c in program.constraints() {
+            c.hash(&mut h);
+        }
+        self.opts.config.algorithm.hash(&mut h);
+        self.opts.config.prop.hash(&mut h);
+        h.write(format!("{:?}", self.opts.config.worklist).as_bytes());
+        h.write_usize(self.opts.config.threads);
+        h.write(self.opts.pts.name().as_bytes());
+        h.write(self.opts.passes.as_bytes());
+        h.write_u8(self.opts.record as u8);
+        h.finish()
+    }
+
+    /// Loads a translation unit, replacing the current one: runs the
+    /// offline pass pipeline and builds the name index. The solve is lazy —
+    /// it happens on the first query that needs it (or never, if the same
+    /// content was solved before and is still cached).
+    ///
+    /// # Errors
+    ///
+    /// [`AntErrorKind::Pipeline`] when the pass pipeline fails.
+    pub fn load_program(&mut self, program: Program) -> Result<(), AntError> {
+        let pipeline = PassPipeline::parse(&self.opts.passes)?;
+        let prepared = pipeline.try_run(&program)?;
+        let names: FxHashMap<String, VarId> = program
+            .vars()
+            .map(|v| (program.var_name(v).to_owned(), v))
+            .collect();
+        let key = self.content_key(&program);
+        self.loaded = Some(Loaded {
+            program,
+            prepared,
+            names,
+            key,
+        });
+        self.active = None;
+        Ok(())
+    }
+
+    /// The original program of the current translation unit.
+    pub fn program(&self) -> Option<&Program> {
+        self.loaded.as_ref().map(|l| &l.program)
+    }
+
+    /// (solves, cache_hits) so far — the `stats` op's counters.
+    pub fn solve_counters(&self) -> (u64, u64) {
+        (self.solves, self.cache_hits)
+    }
+
+    fn loaded(&self) -> Result<&Loaded, AntError> {
+        self.loaded.as_ref().ok_or_else(|| {
+            AntError::query(
+                QueryErrorKind::NotFound,
+                "no program loaded (send a `load` request first)",
+            )
+        })
+    }
+
+    /// Solves the current program unless an equal-content solve is cached.
+    /// Solver panics are caught and reported as [`AntErrorKind::Solver`] —
+    /// the session survives.
+    fn ensure_solved(&mut self) -> Result<(), AntError> {
+        let key = self.loaded()?.key;
+        if self.active == Some(key) {
+            return Ok(());
+        }
+        if self.cache.contains_key(&key) {
+            self.cache_hits += 1;
+            self.active = Some(key);
+            return Ok(());
+        }
+        let loaded = self.loaded.as_ref().expect("checked above");
+        let (opts, prepared) = (&self.opts, &loaded.prepared);
+        let solved = catch_unwind(AssertUnwindSafe(|| {
+            if opts.record {
+                let (output, prov) = solve_prepared_raw_recorded(prepared, &opts.config, opts.pts);
+                CachedSolve {
+                    output,
+                    prov: Some(prov),
+                }
+            } else {
+                CachedSolve {
+                    output: solve_prepared_raw(prepared, &opts.config, opts.pts),
+                    prov: None,
+                }
+            }
+        }))
+        .map_err(|panic| {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("solver panicked");
+            AntError::solver(format!("solve failed: {msg}"))
+        })?;
+        self.solves += 1;
+        if self.cache_order.len() >= SOLVE_CACHE_CAP {
+            let evicted = self.cache_order.remove(0);
+            self.cache.remove(&evicted);
+        }
+        self.cache.insert(key, solved);
+        self.cache_order.push(key);
+        self.active = Some(key);
+        Ok(())
+    }
+
+    fn active_solve(&self) -> &CachedSolve {
+        let key = self.active.expect("ensure_solved ran");
+        self.cache.get(&key).expect("active solve is cached")
+    }
+
+    fn view(&self) -> SessionView<'_> {
+        let loaded = self.loaded.as_ref().expect("ensure_solved ran");
+        SessionView {
+            program: &loaded.program,
+            mapping: &loaded.prepared.mapping,
+            names: &loaded.names,
+            solution: &self.active_solve().output.solution,
+        }
+    }
+
+    /// Executes one parsed op, mutating the session as needed.
+    fn execute(&mut self, op: &Op) -> Result<Payload, AntError> {
+        match op {
+            Op::PointsTo { .. } | Op::MayAlias { .. } | Op::Resolve { .. } => {
+                self.ensure_solved()?;
+                Ok(Payload::Fields(self.view().answer(op)?))
+            }
+            Op::Explain { var, loc } => {
+                self.ensure_solved()?;
+                let loaded = self.loaded.as_ref().expect("ensure_solved ran");
+                let names = &loaded.names;
+                let named = |name: &str| -> Result<VarId, AntError> {
+                    names.get(name).copied().ok_or_else(|| {
+                        AntError::query(
+                            QueryErrorKind::UnknownVar,
+                            format!("no variable named `{name}`"),
+                        )
+                    })
+                };
+                let (v, l) = (named(var)?, named(loc)?);
+                let solve = self.active_solve();
+                let prov = solve.prov.as_ref().ok_or_else(|| {
+                    AntError::query(
+                        QueryErrorKind::NoProvenance,
+                        "session was not started with recording; explain is unavailable",
+                    )
+                })?;
+                let mut explainer = Explainer::new(prov, loaded.prepared.program.num_vars())
+                    .with_mapping(&loaded.prepared.mapping);
+                let steps = explainer.explain(v, l).ok_or_else(|| {
+                    AntError::query(
+                        QueryErrorKind::NotFound,
+                        format!("`{loc}` is not in the points-to set of `{var}`"),
+                    )
+                })?;
+                let mut o = JsonObject::new();
+                o.str_field("var", var);
+                o.str_field("loc", loc);
+                o.str_list_field("steps", steps.iter().map(|s| s.render(&loaded.program)));
+                Ok(Payload::Fields(o))
+            }
+            Op::Stats => {
+                let mut o = JsonObject::new();
+                o.str_field("algorithm", self.opts.config.algorithm.name());
+                o.str_field("pts", self.opts.pts.name());
+                o.str_field("passes", &self.opts.passes);
+                o.bool_field("record", self.opts.record);
+                o.uint_field("requests", self.requests);
+                o.uint_field("errors", self.errors);
+                o.uint_field("solves", self.solves);
+                o.uint_field("cache_hits", self.cache_hits);
+                o.bool_field("solved", self.active.is_some());
+                if let Some(loaded) = &self.loaded {
+                    o.uint_field("vars", loaded.program.num_vars() as u64);
+                    o.uint_field("constraints", loaded.program.constraints().len() as u64);
+                    o.uint_field(
+                        "constraints_prepared",
+                        loaded.prepared.program.constraints().len() as u64,
+                    );
+                }
+                if let Some(key) = self.active {
+                    let solve = self.cache.get(&key).expect("active solve is cached");
+                    o.uint_field(
+                        "total_pts_size",
+                        solve.output.solution.total_pts_size() as u64,
+                    );
+                    o.uint_field(
+                        "solve_micros",
+                        solve.output.stats.solve_time.as_micros() as u64,
+                    );
+                }
+                Ok(Payload::Fields(o))
+            }
+            Op::Load { path, text } => {
+                let text = match (path, text) {
+                    (_, Some(text)) => text.clone(),
+                    (Some(path), None) => {
+                        if path.ends_with(".c") {
+                            return Err(AntError::parse(
+                                "serve sessions load constraint files (.consts); \
+                                 compile C sources before starting the session",
+                            ));
+                        }
+                        std::fs::read_to_string(path)
+                            .map_err(|e| AntError::io(format!("cannot read {path}: {e}")))?
+                    }
+                    (None, None) => unreachable!("parse_request requires path or text"),
+                };
+                let program = parse_program(&text)?;
+                let mut o = JsonObject::new();
+                o.uint_field("vars", program.num_vars() as u64);
+                o.uint_field("constraints", program.constraints().len() as u64);
+                self.load_program(program)?;
+                let key = self.loaded.as_ref().expect("just loaded").key;
+                o.str_field("key", &format!("{key:016x}"));
+                o.bool_field("cached", self.cache.contains_key(&key));
+                Ok(Payload::Fields(o))
+            }
+            Op::Shutdown => Ok(Payload::Shutdown),
+        }
+    }
+
+    /// Handles one request line, sequentially. Never panics and never
+    /// returns an error — failures become typed error envelopes.
+    pub fn handle_line(&mut self, line: &str) -> Reply {
+        let start = Instant::now();
+        match parse_request(line) {
+            Ok(req) => {
+                let result = self.execute(&req.op);
+                self.finish(&req, result, start)
+            }
+            Err(e) => {
+                self.requests += 1;
+                self.errors += 1;
+                Reply {
+                    json: envelope(None, None, Err(&e), elapsed_micros(start)),
+                    op: "malformed",
+                    ok: false,
+                    micros: elapsed_micros(start),
+                    shutdown: false,
+                }
+            }
+        }
+    }
+
+    /// Handles a batch of request lines, in order. Maximal runs of
+    /// consecutive read-only queries (`points_to`, `may_alias`, `resolve`)
+    /// against an already-solved session fan out over
+    /// [`std::thread::scope`] with [`SessionOptions::threads`] workers;
+    /// unparseable lines ride along in the run (their error envelope needs
+    /// no session state), while everything else — including the query that
+    /// triggers the lazy solve — is a barrier. Reply order always matches
+    /// request order.
+    pub fn handle_lines(&mut self, lines: &[&str]) -> Vec<Reply> {
+        let mut replies: Vec<Reply> = Vec::with_capacity(lines.len());
+        let mut i = 0;
+        while i < lines.len() {
+            // Gather a run of requests that can share the read-only view.
+            let mut batch: Vec<(Instant, Result<Request, AntError>)> = Vec::new();
+            while i < lines.len() {
+                if self.active.is_none() || self.loaded.is_none() {
+                    break;
+                }
+                let start = Instant::now();
+                match parse_request(lines[i]) {
+                    Ok(req) if req.op.read_only() => {
+                        batch.push((start, Ok(req)));
+                        i += 1;
+                    }
+                    Err(e) => {
+                        batch.push((start, Err(e)));
+                        i += 1;
+                    }
+                    Ok(_) => break,
+                }
+            }
+            if !batch.is_empty() {
+                replies.extend(self.run_batch(batch));
+                continue;
+            }
+            replies.push(self.handle_line(lines[i]));
+            i += 1;
+            if replies.last().is_some_and(|r| r.shutdown) {
+                break;
+            }
+        }
+        replies
+    }
+
+    /// Smallest batch slice worth a spawned worker: below this, the
+    /// OS-thread spawn costs more than the queries it would answer.
+    const MIN_BATCH_PER_WORKER: usize = 256;
+
+    /// Fans a batch of read-only requests out over scoped threads.
+    fn run_batch(&mut self, batch: Vec<(Instant, Result<Request, AntError>)>) -> Vec<Reply> {
+        let view = self.view();
+        let deadline = self.opts.deadline_ms;
+        let workers = self
+            .opts
+            .threads
+            .max(1)
+            .min(batch.len().div_ceil(Self::MIN_BATCH_PER_WORKER));
+        let answer_one =
+            |view: &SessionView<'_>, start: Instant, req: &Result<Request, AntError>| -> Reply {
+                match req {
+                    Ok(req) => {
+                        let result = view.answer(&req.op).map(Payload::Fields);
+                        finish_reply(req, result, start, deadline)
+                    }
+                    Err(e) => Reply {
+                        json: envelope(None, None, Err(e), elapsed_micros(start)),
+                        op: "malformed",
+                        ok: false,
+                        micros: elapsed_micros(start),
+                        shutdown: false,
+                    },
+                }
+            };
+        let replies: Vec<Reply> = if workers <= 1 {
+            batch
+                .iter()
+                .map(|(start, req)| answer_one(&view, *start, req))
+                .collect()
+        } else {
+            // Chunk round-robin-free: contiguous slices keep reply order
+            // reconstruction trivial (chunks concatenate in order).
+            let chunk = batch.len().div_ceil(workers);
+            let mut out: Vec<Vec<Reply>> = Vec::new();
+            std::thread::scope(|s| {
+                let view = &view;
+                let handles: Vec<_> = batch
+                    .chunks(chunk)
+                    .map(|part| {
+                        s.spawn(move || {
+                            part.iter()
+                                .map(|(start, req)| answer_one(view, *start, req))
+                                .collect::<Vec<Reply>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    out.push(h.join().expect("query worker panicked"));
+                }
+            });
+            out.into_iter().flatten().collect()
+        };
+        self.requests += replies.len() as u64;
+        self.errors += replies.iter().filter(|r| !r.ok).count() as u64;
+        replies
+    }
+
+    /// Wraps an executed op's result into a reply and updates counters.
+    fn finish(
+        &mut self,
+        req: &Request,
+        result: Result<Payload, AntError>,
+        start: Instant,
+    ) -> Reply {
+        let reply = finish_reply(req, result, start, self.opts.deadline_ms);
+        self.requests += 1;
+        if !reply.ok {
+            self.errors += 1;
+        }
+        reply
+    }
+}
+
+fn elapsed_micros(start: Instant) -> u64 {
+    start.elapsed().as_micros() as u64
+}
+
+fn finish_reply(
+    req: &Request,
+    result: Result<Payload, AntError>,
+    start: Instant,
+    deadline_ms: Option<u64>,
+) -> Reply {
+    let micros = elapsed_micros(start);
+    // Post-hoc deadline on *query* ops: the answer exists, but it arrived
+    // too late to honor the caller's budget, so report it as such (a
+    // deadline of 0 deterministically trips, which the tests rely on).
+    // `load` and `shutdown` are bulk/administrative and exempt.
+    let deadline_applies = !matches!(req.op, Op::Load { .. } | Op::Shutdown);
+    let result = match result {
+        Ok(p) => match deadline_ms {
+            Some(d) if deadline_applies && micros > d.saturating_mul(1000) => Err(AntError::query(
+                QueryErrorKind::DeadlineExceeded,
+                format!("request took {micros}us, deadline {d}ms"),
+            )),
+            _ => Ok(p),
+        },
+        Err(e) => Err(e),
+    };
+    let op = req.op.name();
+    let shutdown = matches!(result, Ok(Payload::Shutdown));
+    let (ok, json) = match &result {
+        Ok(payload) => (
+            true,
+            envelope(req.id.as_ref(), Some(op), Ok(payload), micros),
+        ),
+        Err(e) => (false, envelope(req.id.as_ref(), Some(op), Err(e), micros)),
+    };
+    Reply {
+        json,
+        op,
+        ok,
+        micros,
+        shutdown,
+    }
+}
+
+/// Renders the response envelope: id echo, `ok`, op, payload fields or the
+/// typed error pair, and the request's latency.
+fn envelope(
+    id: Option<&JsonValue>,
+    op: Option<&str>,
+    result: Result<&Payload, &AntError>,
+    micros: u64,
+) -> String {
+    let mut o = JsonObject::new();
+    match id {
+        Some(JsonValue::Str(s)) => o.str_field("id", s),
+        Some(JsonValue::Num(n)) => {
+            if n.fract() == 0.0 && *n >= 0.0 {
+                o.uint_field("id", *n as u64);
+            } else {
+                o.float_field("id", *n);
+            }
+        }
+        Some(JsonValue::Bool(b)) => o.bool_field("id", *b),
+        _ => {}
+    }
+    o.bool_field("ok", result.is_ok());
+    if let Some(op) = op {
+        o.str_field("op", op);
+    }
+    match result {
+        Ok(Payload::Fields(fields)) => o.extend(fields),
+        Ok(Payload::Shutdown) => {}
+        Err(e) => {
+            o.str_field("error", e.kind().wire_name());
+            o.str_field("message", e.message());
+        }
+    }
+    o.uint_field("micros", micros);
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algorithm;
+
+    fn opts() -> SessionOptions {
+        SessionOptions::new(SolverConfig::new(Algorithm::LcdHcd))
+    }
+
+    fn loaded_session(opts: SessionOptions) -> AnalysisSession {
+        let mut s = AnalysisSession::new(opts).unwrap();
+        let r = s.handle_line(r#"{"op":"load","text":"p = &x\nq = p\nr = &y\n"}"#);
+        assert!(r.ok, "{}", r.json);
+        s
+    }
+
+    fn field<'a>(map: &'a std::collections::BTreeMap<String, JsonValue>, k: &str) -> &'a JsonValue {
+        map.get(k).unwrap_or_else(|| panic!("missing field {k}"))
+    }
+
+    #[test]
+    fn points_to_and_alias_roundtrip() {
+        let mut s = loaded_session(opts());
+        let r = s.handle_line(r#"{"id":7,"op":"points_to","var":"q"}"#);
+        assert!(r.ok && r.op == "points_to");
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "id").as_u64(), Some(7));
+        assert_eq!(field(&m, "pts").as_str_arr(), Some(vec!["x"]));
+        assert_eq!(field(&m, "count").as_u64(), Some(1));
+        let r = s.handle_line(r#"{"op":"may_alias","a":"p","b":"q"}"#);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "alias"), &JsonValue::Bool(true));
+        let r = s.handle_line(r#"{"op":"may_alias","a":"p","b":"r"}"#);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "alias"), &JsonValue::Bool(false));
+    }
+
+    #[test]
+    fn error_envelopes_are_typed_and_nonfatal() {
+        let mut s = loaded_session(opts());
+        for (line, wire) in [
+            ("this is not json", "malformed_request"),
+            (r#"{"op":"points_to"}"#, "malformed_request"),
+            (r#"{"op":"frobnicate"}"#, "unknown_op"),
+            (r#"{"op":"points_to","var":"zz"}"#, "unknown_var"),
+            (r#"{"op":"explain","var":"q","loc":"x"}"#, "no_provenance"),
+        ] {
+            let r = s.handle_line(line);
+            assert!(!r.ok, "{line} should fail");
+            let m = parse_object(&r.json).unwrap();
+            assert_eq!(field(&m, "error").as_str(), Some(wire), "line: {line}");
+            assert!(m.contains_key("message"));
+        }
+        // The session still answers after every failure.
+        let r = s.handle_line(r#"{"op":"points_to","var":"q"}"#);
+        assert!(r.ok);
+        let m = parse_object(&s.handle_line(r#"{"op":"stats"}"#).json).unwrap();
+        assert_eq!(field(&m, "errors").as_u64(), Some(5));
+    }
+
+    #[test]
+    fn resolve_exposes_mapping() {
+        let mut s = loaded_session(opts());
+        let r = s.handle_line(r#"{"op":"resolve","var":"q"}"#);
+        assert!(r.ok);
+        let m = parse_object(&r.json).unwrap();
+        assert!(m.contains_key("var_id") && m.contains_key("rep_id"));
+    }
+
+    #[test]
+    fn explain_walks_to_addr_of() {
+        let mut o = opts();
+        o.record = true;
+        let mut s = loaded_session(o);
+        let r = s.handle_line(r#"{"op":"explain","var":"q","loc":"x"}"#);
+        assert!(r.ok, "{}", r.json);
+        let m = parse_object(&r.json).unwrap();
+        let steps = field(&m, "steps").as_str_arr().unwrap();
+        assert!(!steps.is_empty());
+        // A fact that does not hold is typed not_found.
+        let r = s.handle_line(r#"{"op":"explain","var":"q","loc":"y"}"#);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "error").as_str(), Some("not_found"));
+    }
+
+    #[test]
+    fn reload_of_same_content_hits_the_cache() {
+        let mut s = loaded_session(opts());
+        assert!(s.handle_line(r#"{"op":"points_to","var":"q"}"#).ok);
+        assert_eq!(s.solve_counters(), (1, 0));
+        // Same text → same key → cached solve.
+        let r = s.handle_line(r#"{"op":"load","text":"p = &x\nq = p\nr = &y\n"}"#);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "cached"), &JsonValue::Bool(true));
+        assert!(s.handle_line(r#"{"op":"points_to","var":"q"}"#).ok);
+        assert_eq!(s.solve_counters(), (1, 1));
+        // Different text → fresh solve.
+        assert!(s.handle_line(r#"{"op":"load","text":"p = &y\n"}"#).ok);
+        assert!(s.handle_line(r#"{"op":"points_to","var":"p"}"#).ok);
+        assert_eq!(s.solve_counters(), (2, 1));
+    }
+
+    #[test]
+    fn deadline_zero_trips_deterministically() {
+        let mut o = opts();
+        o.deadline_ms = Some(0);
+        let mut s = loaded_session(o);
+        let r = s.handle_line(r#"{"op":"points_to","var":"q"}"#);
+        assert!(!r.ok);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "error").as_str(), Some("deadline_exceeded"));
+    }
+
+    #[test]
+    fn batched_reads_match_sequential_and_preserve_order() {
+        let mut o = opts();
+        o.threads = 4;
+        let mut s = loaded_session(o);
+        // Force the solve so the whole batch is read-only.
+        assert!(s.handle_line(r#"{"op":"stats"}"#).ok);
+        let lines: Vec<String> = (0..64)
+            .map(|i| match i % 3 {
+                0 => r#"{"op":"points_to","var":"q"}"#.to_string(),
+                1 => format!(r#"{{"id":{i},"op":"may_alias","a":"p","b":"q"}}"#),
+                _ => r#"{"op":"resolve","var":"r"}"#.to_string(),
+            })
+            .collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let batched = s.handle_lines(&refs);
+        let mut seq = loaded_session(opts());
+        assert!(seq.handle_line(r#"{"op":"stats"}"#).ok);
+        for (line, b) in refs.iter().zip(&batched) {
+            let r = seq.handle_line(line);
+            // Strip micros (timing differs); everything else is identical.
+            let strip = |j: &str| {
+                let mut m = parse_object(j).unwrap();
+                m.remove("micros");
+                format!("{m:?}")
+            };
+            assert_eq!(strip(&r.json), strip(&b.json));
+        }
+        let m = parse_object(&s.handle_line(r#"{"op":"stats"}"#).json).unwrap();
+        // load + stats + 64 batched; the counter is read before the final
+        // stats request itself is counted.
+        assert_eq!(field(&m, "requests").as_u64(), Some(66));
+    }
+
+    #[test]
+    fn shutdown_stops_the_batch() {
+        let mut s = loaded_session(opts());
+        let replies = s.handle_lines(&[r#"{"op":"shutdown"}"#, r#"{"op":"points_to","var":"q"}"#]);
+        assert_eq!(replies.len(), 1);
+        assert!(replies[0].shutdown);
+    }
+
+    #[test]
+    fn queries_before_load_are_typed() {
+        let mut s = AnalysisSession::new(opts()).unwrap();
+        let r = s.handle_line(r#"{"op":"points_to","var":"q"}"#);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "error").as_str(), Some("not_found"));
+    }
+}

@@ -3,7 +3,8 @@
 use crate::pts::PtsRepr;
 use crate::state::OnlineState;
 use ant_common::fx::FxHashMap;
-use ant_common::VarId;
+use ant_common::{AntError, QueryErrorKind, VarId};
+use ant_constraints::Program;
 
 /// A fully materialized points-to solution: for every variable, the sorted
 /// set of location ids it may point to.
@@ -72,6 +73,60 @@ impl Solution {
             }
         }
         false
+    }
+
+    /// The points-to set of the variable named `name`, as location *names*
+    /// — the stable query API. `program` supplies the name table and must
+    /// be the program this solution speaks about (for a pipeline run, the
+    /// *original* program and the expanded solution). Callers never touch
+    /// raw post-pass `VarId`s.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryErrorKind::UnknownVar`] when no variable is named `name`.
+    ///
+    /// ```
+    /// use ant_core::{solve_dyn, Algorithm, PtsKind, SolverConfig};
+    /// use ant_constraints::parse_program;
+    ///
+    /// let program = parse_program("p = &x\nq = p\n").unwrap();
+    /// let out = solve_dyn(&program, &SolverConfig::new(Algorithm::LcdHcd), PtsKind::Bitmap);
+    /// assert_eq!(out.solution.points_to_names(&program, "q").unwrap(), ["x"]);
+    /// assert!(out.solution.points_to_names(&program, "zz").is_err());
+    /// ```
+    pub fn points_to_names<'p>(
+        &self,
+        program: &'p Program,
+        name: &str,
+    ) -> Result<Vec<&'p str>, AntError> {
+        let v = self.named_var(program, name)?;
+        Ok(self
+            .points_to(v)
+            .iter()
+            .map(|&loc| program.var_name(VarId::new(loc as usize)))
+            .collect())
+    }
+
+    /// May the variables named `a` and `b` alias? The name-level form of
+    /// [`may_alias`](Self::may_alias); same contract as
+    /// [`points_to_names`](Self::points_to_names).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryErrorKind::UnknownVar`] when either name is unknown.
+    pub fn may_alias_names(&self, program: &Program, a: &str, b: &str) -> Result<bool, AntError> {
+        let va = self.named_var(program, a)?;
+        let vb = self.named_var(program, b)?;
+        Ok(self.may_alias(va, vb))
+    }
+
+    fn named_var(&self, program: &Program, name: &str) -> Result<VarId, AntError> {
+        program.var_by_name(name).ok_or_else(|| {
+            AntError::query(
+                QueryErrorKind::UnknownVar,
+                format!("no variable named `{name}`"),
+            )
+        })
     }
 
     /// Sum of all points-to set sizes (a standard precision metric).
@@ -163,6 +218,31 @@ mod tests {
         assert!(!a.subsumes(&c));
         assert_eq!(a.first_difference(&b), None);
         assert_eq!(a.first_difference(&c), Some(v(0)));
+    }
+
+    #[test]
+    fn name_level_queries() {
+        use ant_common::{AntErrorKind, QueryErrorKind};
+        use ant_constraints::ProgramBuilder;
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let q = pb.var("q");
+        let x = pb.var("x");
+        let _y = pb.var("y");
+        pb.addr_of(p, x);
+        pb.copy(q, p);
+        let program = pb.finish();
+        let mut pts = vec![Vec::new(); program.num_vars()];
+        pts[p.index()] = vec![x.as_u32()];
+        pts[q.index()] = vec![x.as_u32()];
+        let s = Solution::from_sets(pts);
+        assert_eq!(s.points_to_names(&program, "p").unwrap(), ["x"]);
+        assert_eq!(s.points_to_names(&program, "y").unwrap(), [] as [&str; 0]);
+        assert!(s.may_alias_names(&program, "p", "q").unwrap());
+        assert!(!s.may_alias_names(&program, "p", "y").unwrap());
+        let err = s.points_to_names(&program, "zz").unwrap_err();
+        assert_eq!(err.kind(), AntErrorKind::Query(QueryErrorKind::UnknownVar));
+        assert!(s.may_alias_names(&program, "p", "zz").is_err());
     }
 
     #[test]

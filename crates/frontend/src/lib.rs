@@ -45,6 +45,12 @@ impl std::fmt::Display for FrontendError {
 
 impl std::error::Error for FrontendError {}
 
+impl From<FrontendError> for ant_common::AntError {
+    fn from(e: FrontendError) -> Self {
+        ant_common::AntError::parse(e.to_string()).with_source(e)
+    }
+}
+
 /// Parses mini-C source and generates its inclusion constraints.
 ///
 /// # Errors

@@ -7,7 +7,7 @@
 //! q = p' > /tmp/t.consts && cargo run --example analyze_file -- /tmp/t.consts
 //! ```
 
-use ant_grasshopper::{parse_program, Algorithm, Analysis, Program, VarId};
+use ant_grasshopper::{parse_program, Algorithm, Analysis, Program};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -67,13 +67,13 @@ fn main() -> ExitCode {
         analysis.stats.solve_time.as_secs_f64() * 1000.0
     );
     for v in program.vars() {
-        let pts = analysis.solution.points_to(v);
-        if !pts.is_empty() {
-            let names: Vec<&str> = pts
-                .iter()
-                .map(|&l| program.var_name(VarId::from_u32(l)))
-                .collect();
-            println!("pts({}) = {{{}}}", program.var_name(v), names.join(", "));
+        let name = program.var_name(v);
+        let names = analysis
+            .solution
+            .points_to_names(&program, name)
+            .expect("every program variable resolves by name");
+        if !names.is_empty() {
+            println!("pts({name}) = {{{}}}", names.join(", "));
         }
     }
     ExitCode::SUCCESS

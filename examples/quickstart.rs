@@ -41,21 +41,16 @@ fn main() {
     );
 
     for name in ["p", "q", "pp", "select#1"] {
-        let v = analysis.program.var_by_name(name).expect("variable exists");
-        let pts: Vec<&str> = analysis
+        let pts = analysis
             .solution
-            .points_to(v)
-            .iter()
-            .map(|&l| {
-                analysis
-                    .program
-                    .var_name(ant_grasshopper::VarId::from_u32(l))
-            })
-            .collect();
+            .points_to_names(&analysis.program, name)
+            .expect("variable exists");
         println!("pts({name:9}) = {{{}}}", pts.join(", "));
     }
 
-    let p = analysis.program.var_by_name("p").unwrap();
-    let q = analysis.program.var_by_name("q").unwrap();
-    println!("\nmay_alias(p, q) = {}", analysis.solution.may_alias(p, q));
+    let alias = analysis
+        .solution
+        .may_alias_names(&analysis.program, "p", "q")
+        .expect("variables exist");
+    println!("\nmay_alias(p, q) = {alias}");
 }

@@ -29,6 +29,21 @@ ANT_THREADS=4 cargo test --workspace -q
 echo "==> provenance differential test"
 cargo test --test provenance_differential -q
 
+echo "==> session-vs-one-shot differential test"
+cargo test --test session_differential -q
+
+echo "==> ant serve smoke test (real child process over stdin/stdout)"
+cargo build --release -q -p ant-cli
+serve_out="$(printf '%s\n' \
+  '{"op":"points_to","var":"str_hash","id":1}' \
+  '{this is not json' \
+  '{"op":"shutdown"}' \
+  | target/release/ant serve testdata/hashtable.c)"
+echo "$serve_out" | grep -q '"ok":true.*"op":"points_to"' \
+  || { echo "serve smoke: missing points_to answer"; echo "$serve_out"; exit 1; }
+echo "$serve_out" | grep -q '"error":"malformed_request"' \
+  || { echo "serve smoke: malformed line not typed"; echo "$serve_out"; exit 1; }
+
 echo "==> provenance-overhead gate (recorder-off within 2% of the seed path)"
 ANT_SCALE="${ANT_GATE_SCALE:-0.01}" ANT_BENCH_REPEATS="${ANT_GATE_REPEATS:-7}" \
   cargo run --release -q -p ant-bench --bin obs_bench -- --gate

@@ -46,6 +46,7 @@ pub use ant_core as solver;
 pub use ant_frontend as frontend;
 
 pub use ant_common::worklist::WorklistKind;
+pub use ant_common::{AntError, AntErrorKind, QueryErrorKind};
 pub use ant_common::{SolverStats, VarId};
 pub use ant_constraints::ovs::OvsStats;
 pub use ant_constraints::pipeline::{
@@ -53,13 +54,12 @@ pub use ant_constraints::pipeline::{
 };
 pub use ant_constraints::{parse_program, Constraint, ConstraintKind, Program, ProgramBuilder};
 pub use ant_core::provenance::{EdgeExplanation, EdgeOrigin, Explainer, Step};
-#[allow(deprecated)]
-pub use ant_core::solve;
+pub use ant_core::session::{AnalysisSession, Reply, SessionOptions};
 pub use ant_core::{
-    solve_dyn, solve_dyn_recorded, solve_dyn_with_observer, solve_prepared,
-    solve_prepared_recorded, solve_prepared_recorded_with_observer, solve_prepared_with_observer,
-    threads_from_env, Algorithm, BddPts, BitmapPts, PropMode, PtsKind, PtsRepr, SharedPts,
-    Solution, SolveOutput, SolverConfig,
+    solve_dyn, solve_dyn_recorded, solve_dyn_with_observer, solve_prepared, solve_prepared_raw,
+    solve_prepared_raw_recorded, solve_prepared_recorded, solve_prepared_recorded_with_observer,
+    solve_prepared_with_observer, threads_from_env, Algorithm, BddPts, BitmapPts, PropMode,
+    PtsKind, PtsRepr, SharedPts, Solution, SolveOutput, SolverConfig,
 };
 pub use ant_frontend::{compile_c, FrontendError};
 
@@ -270,25 +270,8 @@ impl<'o> AnalysisBuilder<'o> {
     }
 }
 
-/// Turbofish predecessor of [`Analysis::builder`].
-#[deprecated(
-    note = "use Analysis::builder(); the points-to representation is now selected \
-                     at runtime via PtsKind"
-)]
-pub fn analyze_program<P: PtsRepr>(program: &Program, config: &SolverConfig) -> Analysis {
-    let prepared = PassPipeline::standard().run(program);
-    #[allow(deprecated)]
-    let out = ant_core::solve::<P>(&prepared.program, config);
-    Analysis {
-        solution: out.solution.expand(&prepared.mapping),
-        stats: out.stats,
-        passes: prepared.summaries,
-        prepare_time: prepared.elapsed,
-    }
-}
-
-/// Result of [`analyze_c`]: the analysis plus the generated program (for
-/// name-based queries).
+/// Result of [`AnalysisBuilder::analyze_c`]: the analysis plus the
+/// generated program (for name-based queries).
 #[derive(Clone, Debug)]
 pub struct CAnalysis {
     /// The constraint program generated from the source.
@@ -299,11 +282,4 @@ pub struct CAnalysis {
     pub stats: SolverStats,
     /// Front-end warnings (implicit declarations, unknown externals).
     pub warnings: Vec<String>,
-}
-
-/// Turbofish-era predecessor of [`Analysis::builder`]'s
-/// [`analyze_c`](AnalysisBuilder::analyze_c).
-#[deprecated(note = "use Analysis::builder().config(*config).analyze_c(src)")]
-pub fn analyze_c(src: &str, config: &SolverConfig) -> Result<CAnalysis, FrontendError> {
-    Analysis::builder().config(*config).analyze_c(src)
 }
