@@ -1,0 +1,174 @@
+//! Warm-start shoot-out: resuming a retained solver state over a small
+//! constraint delta vs re-solving the union program from scratch, across
+//! the bundled workloads, written to `BENCH_incr.json` in the stable
+//! `name/config/median/best` schema.
+//!
+//! For each workload the constraint list is split so the last 1%, 5% or
+//! 20% form the delta; the base prefix is solved once with
+//! `solve_dyn_resumable`, then `resume_dyn` re-enters the retained state
+//! over the full union. Resumed solutions are bit-identical to the
+//! scratch union solve (enforced by `tests/incremental_differential.rs`
+//! and re-checked here on the first repetition); what this bench records
+//! is the cost: the scratch union solve time vs the resume-step time
+//! (`stats.solve_time` covers only the most recent re-solve).
+//!
+//! The acceptance summary requires the warm start to beat scratch on
+//! every workload for deltas ≤ 5% under both LCD and PKH — the claim the
+//! resumable-state machinery exists to deliver.
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin incr_bench
+//! ```
+
+use ant_bench::runner::repeats_from_env;
+use ant_bench::schema::{render_bench_json, BenchRecord};
+use ant_constraints::pipeline::PassPipeline;
+use ant_constraints::Program;
+use ant_core::{resume_dyn, solve_dyn, solve_dyn_resumable, Algorithm, PtsKind, SolverConfig};
+use ant_frontend::suite::{default_suite, scale_from_env};
+
+const DELTAS: [usize; 3] = [1, 5, 20];
+const ALGS: [Algorithm; 2] = [Algorithm::Lcd, Algorithm::Pkh];
+const MODES: [&str; 2] = ["scratch", "resume"];
+
+fn main() {
+    if std::env::var("ANT_SCALE").is_err() {
+        std::env::set_var("ANT_SCALE", "0.05");
+    }
+    // The incremental lane of the session/CLI runs the normalize-only
+    // pipeline (OVS/HCD are not delta-stable), so that is the program
+    // space this bench splits and solves.
+    let normalize = PassPipeline::parse("normalize").expect("normalize is a valid pass");
+    let benches: Vec<(String, Program)> = default_suite()
+        .into_iter()
+        .map(|b| (b.name().to_owned(), normalize.run(&b.program()).program))
+        .collect();
+    let repeats = {
+        let r = repeats_from_env();
+        if std::env::var("ANT_BENCH_REPEATS").is_err() && std::env::var("ANT_REPEATS").is_err() {
+            3
+        } else {
+            r
+        }
+    };
+    let scale = scale_from_env();
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    for (name, program) in &benches {
+        for alg in ALGS {
+            for pct in DELTAS {
+                let n = program.constraints().len();
+                let delta_len = (n * pct) / 100;
+                for mode in MODES {
+                    let mut r = BenchRecord::new(
+                        name.clone(),
+                        format!("{}/bitmap/delta{pct}%/{mode}", alg.name()),
+                    );
+                    r.extra.push(("delta_constraints", format!("{delta_len}")));
+                    records.push(r);
+                }
+            }
+        }
+    }
+    // records are laid out (bench, alg, delta, mode) row-major.
+    let cell = |bi: usize, ai: usize, di: usize, mi: usize| {
+        ((bi * ALGS.len() + ai) * DELTAS.len() + di) * MODES.len() + mi
+    };
+
+    for rep in 0..repeats {
+        eprintln!("pass {}/{repeats}", rep + 1);
+        for (bi, (name, program)) in benches.iter().enumerate() {
+            for (ai, &alg) in ALGS.iter().enumerate() {
+                let cfg = SolverConfig::new(alg);
+                for (di, &pct) in DELTAS.iter().enumerate() {
+                    let n = program.constraints().len();
+                    let cut = n - (n * pct) / 100;
+                    let base = program.with_constraints(program.constraints()[..cut].to_vec());
+                    let scratch = solve_dyn(program, &cfg, PtsKind::Bitmap);
+                    let (_, state) = solve_dyn_resumable(&base, &cfg, PtsKind::Bitmap);
+                    let state = state.expect("lcd/pkh over bitmaps are resumable");
+                    let (resumed, _) = resume_dyn(state, program)
+                        .expect("the union extends its own constraint prefix");
+                    if rep == 0 {
+                        assert!(
+                            resumed.solution.equiv(&scratch.solution),
+                            "{name}/{alg}/delta{pct}%: resume diverged from scratch at {:?}",
+                            resumed.solution.first_difference(&scratch.solution)
+                        );
+                    }
+                    records[cell(bi, ai, di, 0)]
+                        .samples
+                        .push(scratch.stats.solve_time.as_secs_f64());
+                    records[cell(bi, ai, di, 1)]
+                        .samples
+                        .push(resumed.stats.solve_time.as_secs_f64());
+                }
+            }
+        }
+    }
+
+    // Acceptance: for every workload, resume beats scratch (median vs
+    // median) on both small deltas (1% and 5%) under both algorithms.
+    let mut accepted = true;
+    let mut worst_ratio = f64::NEG_INFINITY;
+    let mut worst_cell = String::new();
+    let mut summary: Vec<(&'static str, String)> = Vec::new();
+    for (ai, &alg) in ALGS.iter().enumerate() {
+        for (di, &pct) in DELTAS.iter().enumerate() {
+            let mut ratios: Vec<f64> = Vec::new();
+            for (bi, (name, _)) in benches.iter().enumerate() {
+                let scratch_t = records[cell(bi, ai, di, 0)].median();
+                let resume_t = records[cell(bi, ai, di, 1)].median();
+                let ratio = resume_t / scratch_t;
+                ratios.push(ratio);
+                if pct <= 5 {
+                    if ratio >= 1.0 {
+                        accepted = false;
+                    }
+                    if ratio > worst_ratio {
+                        worst_ratio = ratio;
+                        worst_cell = format!("{name}/{}/delta{pct}%", alg.name());
+                    }
+                }
+                println!(
+                    "{name:<12} {:<6} delta {pct:>2}%: scratch {scratch_t:>9.4}s  \
+                     resume {resume_t:>9.4}s  ({:.1}% of scratch)",
+                    alg.name(),
+                    100.0 * ratio
+                );
+            }
+            let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+            summary.push((
+                // Leaked once per (algorithm, delta) cell per run.
+                Box::leak(
+                    format!("{}_delta{pct}_resume_over_scratch", alg.name()).into_boxed_str(),
+                ),
+                format!("{geomean:.4}"),
+            ));
+        }
+    }
+    summary.push(("worst_small_delta_ratio", format!("{worst_ratio:.4}")));
+    summary.push(("worst_small_delta_cell", format!("\"{worst_cell}\"")));
+    summary.push(("accepted", format!("{accepted}")));
+    let json = render_bench_json(
+        &[
+            ("scale", format!("{scale}")),
+            ("repeats", format!("{repeats}")),
+        ],
+        &records,
+        &summary,
+    );
+    std::fs::write("BENCH_incr.json", &json).expect("write BENCH_incr.json");
+    eprintln!("wrote BENCH_incr.json");
+    if accepted {
+        println!(
+            "acceptance: PASS (warm start beats scratch on all <=5% deltas; \
+             worst ratio {worst_ratio:.2} on {worst_cell})"
+        );
+    } else {
+        println!(
+            "acceptance: CHECK (a <=5% delta cell did not beat scratch; \
+             worst ratio {worst_ratio:.2} on {worst_cell})"
+        );
+    }
+}

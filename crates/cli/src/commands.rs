@@ -11,9 +11,10 @@ use ant_core::obs::{
 use ant_core::provenance::Explainer;
 use ant_core::session::{AnalysisSession, SessionOptions};
 use ant_core::{
-    solve_prepared, solve_prepared_recorded, solve_prepared_recorded_with_observer,
-    solve_prepared_with_observer, Algorithm, PropMode, PtsKind, Solution, SolveOutput,
-    SolverConfig,
+    resume_dyn, resume_dyn_with_observer, resume_supported, solve_dyn_resumable,
+    solve_dyn_resumable_with_observer, solve_prepared, solve_prepared_recorded,
+    solve_prepared_recorded_with_observer, solve_prepared_with_observer, Algorithm, PropMode,
+    PtsKind, Solution, SolveOutput, SolverConfig,
 };
 use ant_frontend::suite;
 use std::fs::File;
@@ -29,6 +30,9 @@ USAGE:
               [--worklist fifo|lifo|lrf|divided-lrf] [--prop full|diff] [--threads N]
               [--passes normalize,ovs,hcd | --no-ovs] [--stats]
               [--trace-out trace.jsonl] [--progress] [--progress-every N]
+  ant solve   --base base.c --add delta.consts [--add more.consts ...]
+              incremental: solve the base once, then append each delta and
+              warm-start (resume) the retained solver state when possible
   ant query   <file> --pointer NAME | --alias NAME NAME
   ant explain <file> <ptr> <obj>            why does ptr point to obj?
   ant explain-edge <file> <src> <dst>       why is there a copy edge src -> dst?
@@ -309,6 +313,21 @@ pub fn solve(args: &[String]) -> Result<(), AntError> {
     let Some(opts) = parse_opts(args)? else {
         return Ok(());
     };
+    if opts.has("--base") || opts.has("--add") {
+        let Some(base) = opts.value("--base") else {
+            return Err(AntError::usage("--add needs --base FILE"));
+        };
+        let adds = opts.values("--add");
+        if adds.is_empty() {
+            return Err(AntError::usage("--base needs at least one --add FILE"));
+        }
+        if !opts.positional.is_empty() {
+            return Err(AntError::usage(
+                "--base/--add replace the positional input file",
+            ));
+        }
+        return solve_incremental(base, &adds, &opts);
+    }
     let cfg = CliConfig::from_opts(&opts)?;
     let [input] = opts.positional.as_slice() else {
         return Err(AntError::usage("solve takes exactly one input file"));
@@ -333,6 +352,168 @@ pub fn solve(args: &[String]) -> Result<(), AntError> {
     if cfg.stats {
         eprintln!("{}", out.stats);
     }
+    for v in program.vars() {
+        if !solution.points_to(v).is_empty() {
+            print_pts(&program, &solution, v);
+        }
+    }
+    Ok(())
+}
+
+/// The incremental lane of `ant solve`: solve `--base` once, then append
+/// each `--add` delta in command-line order, warm-starting from the
+/// retained solver state when the configuration supports it. The output is
+/// identical either way — a resumed solve is bit-identical to a
+/// from-scratch solve of the union program (monotonicity; see DESIGN.md
+/// §14) — so non-resumable configurations (HT, BLQ, the HCD variants, the
+/// BDD representation) fall back to explicit from-scratch union solves.
+fn solve_incremental(base_path: &str, adds: &[&str], opts: &Opts) -> Result<(), AntError> {
+    let mut cfg = CliConfig::from_opts(opts)?;
+    if cfg.record {
+        return Err(AntError::usage(
+            "--record is not supported with --base/--add (retained states do not carry \
+             provenance arenas); solve the union in one shot to record it",
+        ));
+    }
+    // Offline OVS/HCD equivalences are pinned to the program they were
+    // computed for (they are not delta-stable), so the incremental lane
+    // defaults to the normalize-only pipeline. An explicit --passes
+    // overrides this; non-delta-stable passes then re-run over each union
+    // and the warm start is skipped.
+    if opts.value("--passes").is_none() && !opts.has("--no-ovs") {
+        cfg.passes = PassPipeline::parse("normalize").expect("normalize is a valid pass");
+    }
+    if !resume_supported(&cfg.solver, cfg.pts) {
+        eprintln!(
+            "note: {}/{} does not retain resumable state; each --add re-solves from scratch",
+            cfg.solver.algorithm, cfg.pts
+        );
+    }
+    let mut telemetry = Telemetry::from_config(&cfg)?;
+    let (program, out, prepared) = {
+        let mut fan = telemetry.as_mut().map(Telemetry::fan);
+        let mut program = {
+            let mut obs = obs_over(&mut fan);
+            let mut timer = PhaseTimer::new();
+            timer.start(Phase::Parse, &mut obs);
+            let loaded = load(base_path);
+            timer.stop(&mut obs);
+            loaded?
+        };
+        let mut prepared = {
+            let mut obs = obs_over(&mut fan);
+            cfg.passes.run_with_obs(&program, &mut obs)
+        };
+        let (mut out, mut state) = match &mut fan {
+            Some(fan) => solve_dyn_resumable_with_observer(
+                &prepared.program,
+                &cfg.solver,
+                cfg.pts,
+                &mut *fan,
+            ),
+            None => solve_dyn_resumable(&prepared.program, &cfg.solver, cfg.pts),
+        };
+        eprintln!(
+            "base {base_path}: {}; solved with {} in {:.3}ms",
+            program.stats(),
+            cfg.solver.algorithm,
+            out.stats.solve_time.as_secs_f64() * 1000.0
+        );
+        for path in adds {
+            let addition = {
+                let mut obs = obs_over(&mut fan);
+                let mut timer = PhaseTimer::new();
+                timer.start(Phase::Parse, &mut obs);
+                let loaded = load(path);
+                timer.stop(&mut obs);
+                loaded?
+            };
+            let delta = program.delta_from(&addition).map_err(|e| {
+                AntError::parse(format!(
+                    "{path}: addition does not compose with the base: {e}"
+                ))
+            })?;
+            let union = program.append_delta(&delta);
+            let delta_prepared = cfg.passes.prepare_delta(&program, &prepared, &union);
+            let delta_lane = delta_prepared.is_some();
+            let next_prepared = match delta_prepared {
+                Some(p) => p,
+                None => {
+                    let mut obs = obs_over(&mut fan);
+                    cfg.passes.run_with_obs(&union, &mut obs)
+                }
+            };
+            let mut resumed = false;
+            let (next_out, next_state) = match (delta_lane, state.take()) {
+                (true, Some(st)) => {
+                    let r = match &mut fan {
+                        Some(fan) => {
+                            resume_dyn_with_observer(st, &next_prepared.program, &mut *fan)
+                        }
+                        None => resume_dyn(st, &next_prepared.program),
+                    };
+                    match r {
+                        Ok((o, s)) => {
+                            resumed = true;
+                            (o, Some(s))
+                        }
+                        Err(e) => {
+                            eprintln!("warning: resume rejected ({e}); re-solving from scratch");
+                            match &mut fan {
+                                Some(fan) => solve_dyn_resumable_with_observer(
+                                    &next_prepared.program,
+                                    &cfg.solver,
+                                    cfg.pts,
+                                    &mut *fan,
+                                ),
+                                None => solve_dyn_resumable(
+                                    &next_prepared.program,
+                                    &cfg.solver,
+                                    cfg.pts,
+                                ),
+                            }
+                        }
+                    }
+                }
+                _ => match &mut fan {
+                    Some(fan) => solve_dyn_resumable_with_observer(
+                        &next_prepared.program,
+                        &cfg.solver,
+                        cfg.pts,
+                        &mut *fan,
+                    ),
+                    None => solve_dyn_resumable(&next_prepared.program, &cfg.solver, cfg.pts),
+                },
+            };
+            eprintln!(
+                "add {path}: +{} vars, +{} constraints; {} in {:.3}ms",
+                delta.num_new_vars(),
+                delta.constraints().len(),
+                if resumed {
+                    "resumed"
+                } else {
+                    "re-solved from scratch"
+                },
+                next_out.stats.solve_time.as_secs_f64() * 1000.0
+            );
+            out = next_out;
+            state = next_state;
+            program = union;
+            prepared = next_prepared;
+        }
+        (program, out, prepared)
+    };
+    if let Some(telemetry) = telemetry {
+        telemetry.finish()?;
+    }
+    let mut out = out;
+    if !prepared.mapping.is_identity() {
+        out.solution = out.solution.expand(&prepared.mapping);
+    }
+    if cfg.stats {
+        eprintln!("{}", out.stats);
+    }
+    let solution = out.solution;
     for v in program.vars() {
         if !solution.points_to(v).is_empty() {
             print_pts(&program, &solution, v);
@@ -585,6 +766,11 @@ pub fn serve(args: &[String]) -> Result<(), AntError> {
             }
             Some(path) => serve_socket(&mut session, path, &mut fan, &mut metrics)?,
         }
+        // Fold the session's solve-cache counters into the registry so the
+        // metrics summary reports cache effectiveness alongside latencies.
+        let (cache_hits, cache_misses) = session.cache_counters();
+        metrics.add("serve.cache.hits", cache_hits);
+        metrics.add("serve.cache.misses", cache_misses);
         // One metrics summary per serve run, so traces carry the request,
         // error and latency aggregates next to the per-request events.
         if let Some(fan) = &mut fan {
@@ -593,9 +779,11 @@ pub fn serve(args: &[String]) -> Result<(), AntError> {
             }
         }
     }
-    let (solves, cache_hits) = session.solve_counters();
+    let (solves, _) = session.solve_counters();
+    let (cache_hits, cache_misses) = session.cache_counters();
     eprintln!(
-        "served {} requests ({} errors), {solves} solves, {cache_hits} cache hits",
+        "served {} requests ({} errors), {solves} solves, \
+         {cache_hits} cache hits, {cache_misses} cache misses",
         metrics.counter("serve.requests"),
         metrics.counter("serve.errors"),
     );
@@ -907,6 +1095,10 @@ mod tests {
                     }
                 }
                 "solver_start" => {}
+                "resume" => {
+                    assert!(r["new_vars"].as_u64().is_some());
+                    assert!(r["new_constraints"].as_u64().is_some());
+                }
                 "metrics" => {
                     let kind = r["kind"].as_str().expect("metrics lines carry kind");
                     match kind {
@@ -1085,6 +1277,16 @@ mod tests {
         assert!(reply.contains(r#""alias":true"#), "got {reply}");
         let reply = ask(r#"{"op":"explain","var":"q","loc":"x"}"#);
         assert!(reply.contains(r#""ok":true"#), "got {reply}");
+        // The incremental `add` op: this session's config (recorded, OVS in
+        // the pipeline) is not resumable, so the union is re-solved from
+        // scratch — explicitly reported via `resumed: false`.
+        let reply = ask(r#"{"op":"add","text":"w = q\n"}"#);
+        assert!(reply.contains(r#""ok":true"#), "got {reply}");
+        assert!(reply.contains(r#""resumed":false"#), "got {reply}");
+        let reply = ask(r#"{"op":"points_to","var":"w"}"#);
+        assert!(reply.contains(r#""pts":["x"]"#), "got {reply}");
+        let reply = ask(r#"{"op":"stats"}"#);
+        assert!(reply.contains(r#""cache_misses""#), "got {reply}");
         let reply = ask(r#"{"op":"shutdown"}"#);
         assert!(reply.contains(r#""ok":true"#), "got {reply}");
         server.join().unwrap().unwrap();
@@ -1092,6 +1294,95 @@ mod tests {
             !std::path::Path::new(&sock).exists(),
             "socket file removed on shutdown"
         );
+    }
+
+    /// `ant solve --base/--add` warm-starts the retained state: the trace
+    /// carries a `resume` event, two `solver_start` records (base solve +
+    /// resumed solve), and the printed solution is the union's. A
+    /// non-resumable algorithm runs the same lane without any resume event.
+    #[test]
+    fn incremental_solve_resumes_and_traces() {
+        use ant_core::obs::parse_object;
+        let base = write_temp("t14a.consts", "p = &x\nq = p\n");
+        let delta = write_temp("t14b.consts", "r = q\nt = &r\n");
+        let trace = write_temp("t14.jsonl", "");
+        solve(&s(&[
+            "--base",
+            &base,
+            "--add",
+            &delta,
+            "--algorithm",
+            "lcd",
+            "--trace-out",
+            &trace,
+            "--stats",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let events: Vec<String> = text
+            .lines()
+            .map(|l| {
+                parse_object(l).unwrap()["event"]
+                    .as_str()
+                    .unwrap()
+                    .to_owned()
+            })
+            .collect();
+        assert!(
+            events.iter().any(|e| e == "resume"),
+            "trace carries the resume event: {events:?}"
+        );
+        assert_eq!(events.iter().filter(|e| *e == "solver_start").count(), 2);
+        // Chained --add flags keep resuming off the latest union.
+        let more = write_temp("t14c.consts", "u = t\n");
+        solve(&s(&["--base", &base, "--add", &delta, "--add", &more])).unwrap();
+        // A non-resumable algorithm (HT) re-solves from scratch: no resume
+        // event, but the lane still completes.
+        let trace2 = write_temp("t14d.jsonl", "");
+        solve(&s(&[
+            "--base",
+            &base,
+            "--add",
+            &delta,
+            "--algorithm",
+            "ht",
+            "--trace-out",
+            &trace2,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&trace2).unwrap();
+        assert!(!text.contains("\"event\":\"resume\""), "HT never resumes");
+        // An explicit non-delta-stable pipeline also falls back cleanly.
+        solve(&s(&[
+            "--base",
+            &base,
+            "--add",
+            &delta,
+            "--algorithm",
+            "lcd",
+            "--passes",
+            "normalize,ovs",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn incremental_solve_rejects_bad_invocations() {
+        let base = write_temp("t15a.consts", "p = &x\n");
+        let delta = write_temp("t15b.consts", "q = p\n");
+        let err = solve(&s(&["--add", &delta])).unwrap_err();
+        assert!(err.message().contains("--add needs --base"));
+        let err = solve(&s(&["--base", &base])).unwrap_err();
+        assert!(err.message().contains("at least one --add"));
+        let err = solve(&s(&["x.c", "--base", &base, "--add", &delta])).unwrap_err();
+        assert!(err.message().contains("replace the positional"));
+        let err = solve(&s(&["--base", &base, "--add", &delta, "--record"])).unwrap_err();
+        assert!(err.message().contains("--record is not supported"));
+        // A delta that conflicts with the base is a typed parse error.
+        let clash = write_temp("t15c.consts", "fun p 4\n");
+        let err = solve(&s(&["--base", &base, "--add", &clash])).unwrap_err();
+        assert_eq!(err.kind(), ant_common::AntErrorKind::Parse);
+        assert!(err.message().contains("does not compose"));
     }
 
     #[test]

@@ -54,6 +54,16 @@ pub const FLAGS: &[FlagSpec] = &[
         help: "offline passes, comma-separated: normalize,ovs,hcd or none (default normalize,ovs)",
     },
     FlagSpec {
+        name: "--base",
+        value: Some("FILE"),
+        help: "solve: base program for incremental solving (use with --add)",
+    },
+    FlagSpec {
+        name: "--add",
+        value: Some("FILE"),
+        help: "solve: constraint delta appended to --base; repeatable, resumes when possible",
+    },
+    FlagSpec {
         name: "--no-ovs",
         value: None,
         help: "skip all offline preprocessing (alias for --passes none)",
@@ -177,6 +187,15 @@ impl Opts {
             .and_then(|(_, v)| v.as_deref())
     }
 
+    /// Every value of a repeatable flag `name`, in command-line order.
+    pub fn values(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(f, _)| f == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
+    }
+
     /// Whether the flag `name` was passed at all.
     pub fn has(&self, name: &str) -> bool {
         self.flags.iter().any(|(f, _)| f == name)
@@ -214,6 +233,14 @@ mod tests {
         assert!(err.message().contains("unknown flag `--frobnicate`"));
         let err = Opts::parse(&s(&["--threds", "4"])).unwrap_err();
         assert!(err.message().contains("unknown flag"));
+    }
+
+    #[test]
+    fn repeated_flags_collect_in_order() {
+        let o = Opts::parse(&s(&["--base", "a.ant", "--add", "b.ant", "--add", "c.ant"])).unwrap();
+        assert_eq!(o.value("--base"), Some("a.ant"));
+        assert_eq!(o.values("--add"), vec!["b.ant", "c.ant"]);
+        assert!(o.values("--base").len() == 1);
     }
 
     #[test]

@@ -193,6 +193,16 @@ pub enum SolveEvent {
     /// `MetricsRegistry`. Emitted once, just before the solve phase
     /// closes, and only when provenance recording was enabled.
     Metrics(crate::obs::metrics::MetricsSnapshot),
+    /// A warm-start resume: a retained solver fixpoint re-entered the solve
+    /// loop after a constraint delta was grafted onto its program. Emitted
+    /// once per resume, before the solver re-seeds its worklist, so traces
+    /// distinguish incremental re-solves from from-scratch runs.
+    Resume {
+        /// Variables the delta introduced beyond the retained state.
+        new_vars: u64,
+        /// Constraints appended beyond the retained state's program.
+        new_constraints: u64,
+    },
 }
 
 #[cfg(test)]

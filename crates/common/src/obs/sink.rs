@@ -29,6 +29,7 @@ use super::observer::Observer;
 /// | `shard_utilization` | `round`, `shard`, `nodes`, `busy_micros`          |
 /// | `pass_summary`    | `pass`, `constraints_before`, `constraints_after`, `vars_merged`, `micros` |
 /// | `query`           | `op`, `ok`, `micros`                                |
+/// | `resume`          | `new_vars`, `new_constraints`                       |
 /// | `metrics`         | see below                                           |
 ///
 /// A [`SolveEvent::Metrics`] flush expands into *several* flat lines (the
@@ -169,6 +170,15 @@ impl<W: Write> TraceWriter<W> {
                 o.str_field("op", op);
                 o.bool_field("ok", *ok);
                 o.uint_field("micros", *micros);
+            }
+            SolveEvent::Resume {
+                new_vars,
+                new_constraints,
+            } => {
+                o.str_field("event", "resume");
+                o.str_field("solver", self.solver);
+                o.uint_field("new_vars", *new_vars);
+                o.uint_field("new_constraints", *new_constraints);
             }
             // Handled by the early return above.
             SolveEvent::Metrics(_) => unreachable!("metrics records are multi-line"),
@@ -384,6 +394,15 @@ impl<W: Write> Observer for ProgressPrinter<W> {
                     *micros as f64 / 1000.0
                 )
             }
+            SolveEvent::Resume {
+                new_vars,
+                new_constraints,
+            } => {
+                writeln!(
+                    self.out,
+                    "[{tag}] resume: +{new_vars} vars | +{new_constraints} constraints"
+                )
+            }
             SolveEvent::Metrics(snap) => self.print_metrics(tag, snap),
             // Cycle, mutation, per-shard and per-query events are too
             // frequent for a terminal; the detail stays in the JSONL trace.
@@ -501,6 +520,29 @@ mod tests {
         assert_eq!(maps[9]["vars_merged"].as_u64(), Some(60));
         assert_eq!(maps[9]["micros"].as_u64(), Some(1200));
         assert!((maps[10]["seconds"].as_f64().unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resume_event_renders_in_both_sinks() {
+        let event = SolveEvent::Resume {
+            new_vars: 3,
+            new_constraints: 17,
+        };
+        let mut w = TraceWriter::new(Vec::new());
+        w.on_event(&SolveEvent::SolverStart { name: "pkh" });
+        w.on_event(&event);
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        let m = parse_object(text.lines().nth(1).unwrap()).unwrap();
+        assert_eq!(m["event"].as_str(), Some("resume"));
+        assert_eq!(m["solver"].as_str(), Some("pkh"));
+        assert_eq!(m["new_vars"].as_u64(), Some(3));
+        assert_eq!(m["new_constraints"].as_u64(), Some(17));
+
+        let mut p = ProgressPrinter::new(Vec::new());
+        p.on_event(&SolveEvent::SolverStart { name: "pkh" });
+        p.on_event(&event);
+        let text = String::from_utf8(p.out).unwrap();
+        assert!(text.contains("[pkh] resume: +3 vars | +17 constraints"));
     }
 
     #[test]

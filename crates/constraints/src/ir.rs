@@ -288,6 +288,112 @@ impl Program {
         Ok(())
     }
 
+    /// Computes the delta that grafts `addition` onto `self` by *name*:
+    /// variables of `addition` whose names already exist in `self` are
+    /// identified with the existing variable, fresh names become new
+    /// variables appended after `self`'s id space (in `addition`'s
+    /// declaration order), and `addition`'s constraints are rewritten into
+    /// the union id space. [`append_delta`](Self::append_delta) then builds
+    /// the union program.
+    ///
+    /// The construction is canonical: the union program depends only on the
+    /// two inputs, so two sessions that load the same base and add the same
+    /// translation unit produce byte-identical union programs (and therefore
+    /// share solve-cache entries keyed by content).
+    ///
+    /// # Errors
+    ///
+    /// Rejects merges that would change the meaning of either side: a shared
+    /// name whose declared `offset_limit` differs between base and addition
+    /// (a bare reference — `offset_limit` 1 in the addition — composes with
+    /// any base declaration; the union keeps the base's function block), a
+    /// function block torn apart by the name-level merge (its slots must
+    /// stay contiguous in the union id space), duplicate names within
+    /// `addition`, or a union that fails [`validate`](Self::validate).
+    pub fn delta_from(&self, addition: &Program) -> Result<ProgramDelta, String> {
+        use std::collections::HashMap;
+        let mut by_name: HashMap<&str, VarId> = HashMap::with_capacity(self.names.len());
+        for (i, n) in self.names.iter().enumerate() {
+            by_name.insert(n.as_str(), VarId::new(i));
+        }
+        let mut map: Vec<VarId> = Vec::with_capacity(addition.num_vars());
+        let mut new_names: Vec<String> = Vec::new();
+        let mut new_offset_limits: Vec<u32> = Vec::new();
+        let mut fresh: HashMap<&str, VarId> = HashMap::new();
+        for (i, name) in addition.names.iter().enumerate() {
+            let limit = addition.offset_limit[i];
+            if let Some(&v) = by_name.get(name.as_str()) {
+                // A bare reference (offset_limit 1) composes with whatever
+                // the base declared — the union keeps the base's function
+                // block. Explicit declarations must agree exactly.
+                if self.offset_limit[v.index()] != limit && limit != 1 {
+                    return Err(format!(
+                        "variable `{name}` has offset_limit {} in the base but \
+                         {limit} in the addition",
+                        self.offset_limit[v.index()]
+                    ));
+                }
+                map.push(v);
+            } else {
+                if fresh.contains_key(name.as_str()) {
+                    return Err(format!("addition declares `{name}` more than once"));
+                }
+                let v = VarId::new(self.num_vars() + new_names.len());
+                fresh.insert(name.as_str(), v);
+                new_names.push(name.clone());
+                new_offset_limits.push(limit);
+                map.push(v);
+            }
+        }
+        for (i, &limit) in addition.offset_limit.iter().enumerate() {
+            for k in 1..limit {
+                let slot = i + k as usize;
+                if slot >= map.len() || map[slot].as_u32() != map[i].as_u32() + k {
+                    return Err(format!(
+                        "function block at `{}` is not contiguous after the \
+                         name-level merge",
+                        addition.names[i]
+                    ));
+                }
+            }
+        }
+        let constraints = addition
+            .constraints
+            .iter()
+            .map(|c| Constraint {
+                kind: c.kind,
+                lhs: map[c.lhs.index()],
+                rhs: map[c.rhs.index()],
+                offset: c.offset,
+            })
+            .collect();
+        let delta = ProgramDelta {
+            new_names,
+            new_offset_limits,
+            constraints,
+        };
+        self.append_delta(&delta).validate()?;
+        Ok(delta)
+    }
+
+    /// Builds the union program: `self`'s variables and constraints first
+    /// (ids unchanged), then `delta`'s new variables and rewritten
+    /// constraints appended in order. Deterministic given the two inputs —
+    /// see [`delta_from`](Self::delta_from) for why that matters.
+    ///
+    /// Because `self` is a strict prefix of the result (both in the variable
+    /// table and the constraint list), a solver fixpoint for `self` is a
+    /// sound warm start for the union: inclusion constraints are monotone,
+    /// so re-running the solver from the old fixpoint plus the delta reaches
+    /// the union's (unique) least fixpoint.
+    pub fn append_delta(&self, delta: &ProgramDelta) -> Program {
+        let mut p = self.clone();
+        p.names.extend(delta.new_names.iter().cloned());
+        p.offset_limit.extend_from_slice(&delta.new_offset_limits);
+        p.constraints.extend_from_slice(&delta.constraints);
+        p
+    }
+
     /// Serializes to the text format accepted by
     /// [`parse_program`](crate::parse_program).
     pub fn to_text(&self) -> String {
@@ -314,6 +420,44 @@ impl Program {
             out.push('\n');
         }
         out
+    }
+}
+
+/// The difference between a base [`Program`] and a name-level union with a
+/// second program: the freshly introduced variables plus the addition's
+/// constraints rewritten into the union id space.
+///
+/// Produced by [`Program::delta_from`]; consumed by
+/// [`Program::append_delta`]. Existing base variables keep their ids, so
+/// any solver state or solution indexed by base `VarId`s remains valid in
+/// the union — the property the incremental (warm-start) solve path relies
+/// on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramDelta {
+    new_names: Vec<String>,
+    new_offset_limits: Vec<u32>,
+    constraints: Vec<Constraint>,
+}
+
+impl ProgramDelta {
+    /// Number of variables the delta introduces beyond the base.
+    pub fn num_new_vars(&self) -> usize {
+        self.new_names.len()
+    }
+
+    /// Names of the new variables, in union id order.
+    pub fn new_names(&self) -> &[String] {
+        &self.new_names
+    }
+
+    /// The addition's constraints, rewritten into the union id space.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// `true` when the delta adds neither variables nor constraints.
+    pub fn is_empty(&self) -> bool {
+        self.new_names.is_empty() && self.constraints.is_empty()
     }
 }
 
@@ -396,6 +540,14 @@ impl ProgramBuilder {
     /// Number of variables created so far.
     pub fn num_vars(&self) -> usize {
         self.names.len()
+    }
+
+    /// Whether `name` has already been interned (by [`var`](Self::var) or
+    /// [`function`](Self::function)). Callers accepting untrusted input use
+    /// this to reject a function re-declaration before
+    /// [`function`](Self::function) panics on it.
+    pub fn has_var(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
     }
 
     /// Adds `lhs = &rhs`.
@@ -525,6 +677,153 @@ mod tests {
         assert_eq!(p.var_by_name("hello"), Some(VarId::new(0)));
         assert_eq!(p.var_by_name("nope"), None);
         assert_eq!(p.var_name(VarId::new(0)), "hello");
+    }
+
+    #[test]
+    fn delta_merges_shared_names_and_appends_fresh() {
+        let mut b = ProgramBuilder::new();
+        let p = b.var("p");
+        let x = b.var("x");
+        b.addr_of(p, x);
+        let base = b.finish();
+
+        let mut a = ProgramBuilder::new();
+        let q = a.var("q"); // fresh
+        let p2 = a.var("p"); // shared
+        let z = a.var("z"); // fresh
+        a.copy(q, p2);
+        a.addr_of(p2, z);
+        let addition = a.finish();
+
+        let delta = base.delta_from(&addition).unwrap();
+        assert_eq!(delta.num_new_vars(), 2);
+        assert_eq!(delta.new_names(), ["q", "z"]);
+        assert_eq!(delta.constraints().len(), 2);
+        assert!(!delta.is_empty());
+
+        let union = base.append_delta(&delta);
+        assert_eq!(union.num_vars(), 4);
+        assert_eq!(union.var_by_name("q"), Some(VarId::new(2)));
+        assert_eq!(union.var_by_name("z"), Some(VarId::new(3)));
+        // q = p became v2 = v0; p = &z became v0 = &v3.
+        assert_eq!(
+            union.constraints()[1],
+            Constraint::copy(VarId::new(2), VarId::new(0))
+        );
+        assert_eq!(
+            union.constraints()[2],
+            Constraint::addr_of(VarId::new(0), VarId::new(3))
+        );
+        // The base is a strict prefix of the union.
+        assert_eq!(&union.constraints()[..1], base.constraints());
+        union.validate().unwrap();
+    }
+
+    #[test]
+    fn delta_is_canonical() {
+        let base = {
+            let mut b = ProgramBuilder::new();
+            let p = b.var("p");
+            let x = b.var("x");
+            b.addr_of(p, x);
+            b.finish()
+        };
+        let addition = {
+            let mut a = ProgramBuilder::new();
+            let q = a.var("q");
+            let p = a.var("p");
+            a.copy(q, p);
+            a.finish()
+        };
+        let u1 = base.append_delta(&base.delta_from(&addition).unwrap());
+        let u2 = base.append_delta(&base.delta_from(&addition).unwrap());
+        assert_eq!(u1, u2);
+    }
+
+    #[test]
+    fn delta_rejects_offset_limit_conflict() {
+        let base = {
+            let mut b = ProgramBuilder::new();
+            b.var("f");
+            b.finish()
+        };
+        let addition = {
+            let mut a = ProgramBuilder::new();
+            a.function("f", 3);
+            a.finish()
+        };
+        let err = base.delta_from(&addition).unwrap_err();
+        assert!(err.contains("offset_limit"), "{err}");
+    }
+
+    #[test]
+    fn delta_allows_bare_references_to_base_functions() {
+        // The addition copies out of a base *function* without re-declaring
+        // its arity; the parsed reference carries the default offset_limit 1
+        // and must compose, with the union keeping the base's block.
+        let base = {
+            let mut b = ProgramBuilder::new();
+            b.function("f", 3);
+            b.finish()
+        };
+        let addition = {
+            let mut a = ProgramBuilder::new();
+            let q = a.var("q");
+            let f = a.var("f");
+            a.copy(q, f);
+            a.finish()
+        };
+        let union = base.append_delta(&base.delta_from(&addition).unwrap());
+        assert_eq!(union.offset_limits()[0], 3);
+        assert_eq!(
+            union.constraints().last(),
+            Some(&Constraint::copy(VarId::new(3), VarId::new(0)))
+        );
+        union.validate().unwrap();
+    }
+
+    #[test]
+    fn delta_rejects_torn_function_block() {
+        // The base already owns the name of f's first slot, so the merge
+        // would scatter the block: f fresh, f#1 mapped to an old id.
+        let base = {
+            let mut b = ProgramBuilder::new();
+            b.var("f#1");
+            b.finish()
+        };
+        let addition = {
+            let mut a = ProgramBuilder::new();
+            a.function("f", 2);
+            a.finish()
+        };
+        let err = base.delta_from(&addition).unwrap_err();
+        assert!(err.contains("not contiguous"), "{err}");
+    }
+
+    #[test]
+    fn delta_rejects_duplicate_addition_names() {
+        let base = ProgramBuilder::new().finish();
+        let addition = Program {
+            names: vec!["a".into(), "a".into()],
+            offset_limit: vec![1, 1],
+            constraints: vec![],
+        };
+        let err = base.delta_from(&addition).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn empty_delta_roundtrips() {
+        let base = {
+            let mut b = ProgramBuilder::new();
+            let p = b.var("p");
+            let x = b.var("x");
+            b.addr_of(p, x);
+            b.finish()
+        };
+        let delta = base.delta_from(&ProgramBuilder::new().finish()).unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(base.append_delta(&delta), base);
     }
 
     #[test]

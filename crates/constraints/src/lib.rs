@@ -44,5 +44,5 @@ mod parse;
 pub mod pipeline;
 pub mod scc;
 
-pub use ir::{Constraint, ConstraintKind, ConstraintStats, Program, ProgramBuilder};
+pub use ir::{Constraint, ConstraintKind, ConstraintStats, Program, ProgramBuilder, ProgramDelta};
 pub use parse::{parse_program, ParseProgramError};

@@ -131,6 +131,13 @@ pub fn parse_program(text: &str) -> Result<Program, ParseProgramError> {
             if !is_ident(name) {
                 return Err(ParseProgramError::new(lineno, "bad function name"));
             }
+            if b.has_var(name) {
+                return Err(ParseProgramError::new(
+                    lineno,
+                    "function declared after its name was already used \
+                     (declare `fun` lines before referencing the name)",
+                ));
+            }
             b.function(name, slots);
             continue;
         }
@@ -240,6 +247,16 @@ mod tests {
         assert!(parse_program("fun f\n").is_err());
         assert!(parse_program("fun f 0\n").is_err());
         assert!(parse_program("a = *(b - 1)\n").is_err());
+    }
+
+    #[test]
+    fn rejects_function_declared_after_use() {
+        // A typed error, not the builder's panic — this text reaches the
+        // parser from untrusted session input (`serve` load/add).
+        let err = parse_program("q = &p\nfun p 2\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("already used"), "{err}");
+        assert!(parse_program("fun f 2\nfun f 2\n").is_err());
     }
 
     #[test]

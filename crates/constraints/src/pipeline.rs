@@ -488,6 +488,94 @@ impl PassPipeline {
         Ok(pipeline)
     }
 
+    /// Is every pass in this pipeline *delta-stable* — i.e. safe to apply
+    /// incrementally when constraints are appended to a program?
+    ///
+    /// Only `normalize` qualifies (the empty pipeline trivially does):
+    /// normalization is a per-constraint rewrite plus order-stable
+    /// deduplication, so normalizing a union equals the normalized base
+    /// plus the normalized, unseen delta suffix. OVS and HCD are *not*
+    /// delta-stable: their equivalences are global properties of the
+    /// constraint graph, and a single added constraint can invalidate a
+    /// merge they already committed to (see DESIGN.md §14 for the
+    /// counterexample).
+    pub fn delta_stable(&self) -> bool {
+        self.passes.iter().all(|p| p.name() == "normalize")
+    }
+
+    /// The incremental lane of the pipeline: prepares the union program
+    /// `base_program ++ delta` by reusing the base's prepared output
+    /// instead of re-running passes over the whole union.
+    ///
+    /// `base` must be `self`'s output for `base_program`, and `union` must
+    /// have `base_program`'s constraints as a strict prefix (the shape
+    /// [`Program::append_delta`] produces). The result is *identical* to
+    /// `self.run(union)` — program, mapping and summary counts — but costs
+    /// only O(|delta|) hashing instead of O(|union|).
+    ///
+    /// Returns `None` when the fast lane does not apply: a pass that is not
+    /// [`delta_stable`](Self::delta_stable), a base mapping that renamed
+    /// variables, or attached HCD metadata. Callers then fall back to
+    /// [`run`](Self::run) on the union.
+    pub fn prepare_delta(
+        &self,
+        base_program: &Program,
+        base: &Prepared,
+        union: &Program,
+    ) -> Option<Prepared> {
+        if !self.delta_stable() || !base.mapping.is_identity() || base.hcd.is_some() {
+            return None;
+        }
+        if self.is_empty() {
+            return Some(Prepared::identity(union));
+        }
+        let start = Instant::now();
+        let prefix = base_program.constraints().len();
+        debug_assert!(
+            union.constraints().len() >= prefix
+                && union.constraints()[..prefix] == *base_program.constraints(),
+            "union is not base ++ delta"
+        );
+        let mut seen: FxHashSet<Constraint> = base.program.constraints().iter().copied().collect();
+        let mut out: Vec<Constraint> = base.program.constraints().to_vec();
+        for c in &union.constraints()[prefix..] {
+            let canon = match c.kind {
+                ConstraintKind::AddrOf | ConstraintKind::Copy => Constraint { offset: 0, ..*c },
+                ConstraintKind::Load | ConstraintKind::Store => *c,
+            };
+            if canon.kind == ConstraintKind::Copy && canon.lhs == canon.rhs {
+                continue;
+            }
+            if seen.insert(canon) {
+                out.push(canon);
+            }
+        }
+        let after = out.len();
+        let program = union.with_constraints(out);
+        debug_validate(&program, "normalize (delta lane)");
+        let elapsed = start.elapsed();
+        let summaries = (0..self.passes.len())
+            .map(|i| PassSummary {
+                pass: "normalize",
+                constraints_before: if i == 0 {
+                    union.constraints().len()
+                } else {
+                    after
+                },
+                constraints_after: after,
+                vars_merged: 0,
+                elapsed: if i == 0 { elapsed } else { Duration::ZERO },
+            })
+            .collect();
+        Some(Prepared {
+            mapping: SolutionMapping::identity(union.num_vars()),
+            program,
+            hcd: None,
+            summaries,
+            elapsed,
+        })
+    }
+
     /// Runs every pass over `program`.
     pub fn run(&self, program: &Program) -> Prepared {
         self.run_with_obs(program, &mut Obs::none())
@@ -785,6 +873,76 @@ mod tests {
         let e: ant_common::AntError = crate::parse_program("p = ").unwrap_err().into();
         assert_eq!(e.kind(), AntErrorKind::Parse);
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn delta_stable_classification() {
+        assert!(PassPipeline::empty().delta_stable());
+        assert!(PassPipeline::empty().push(NormalizePass).delta_stable());
+        assert!(PassPipeline::parse("normalize,normalize")
+            .unwrap()
+            .delta_stable());
+        assert!(!PassPipeline::standard().delta_stable());
+        assert!(!PassPipeline::full().delta_stable());
+        assert!(!PassPipeline::empty().push(HcdPass).delta_stable());
+    }
+
+    #[test]
+    fn prepare_delta_matches_full_run() {
+        // base ++ delta where the delta repeats a base constraint, carries
+        // its own duplicate, a self-copy, and touches a fresh variable.
+        let base_program = sample();
+        let delta_addition = {
+            let mut pb = ProgramBuilder::new();
+            let p = pb.var("p");
+            let x = pb.var("x");
+            let z = pb.var("z"); // fresh in the union
+            pb.addr_of(p, x); // duplicate of a base constraint
+            pb.copy(z, p);
+            pb.copy(z, p); // duplicate within the delta
+            pb.copy(z, z); // self-copy
+            pb.store(p, z);
+            pb.finish()
+        };
+        let delta = base_program.delta_from(&delta_addition).unwrap();
+        let union = base_program.append_delta(&delta);
+
+        for pipeline in [
+            PassPipeline::empty(),
+            PassPipeline::empty().push(NormalizePass),
+            PassPipeline::parse("normalize,normalize").unwrap(),
+        ] {
+            let base = pipeline.run(&base_program);
+            let fast = pipeline
+                .prepare_delta(&base_program, &base, &union)
+                .expect("delta-stable lane applies");
+            let full = pipeline.run(&union);
+            assert_eq!(fast.program, full.program, "{:?}", pipeline.names());
+            assert_eq!(fast.mapping, full.mapping);
+            assert_eq!(fast.summaries.len(), full.summaries.len());
+            for (a, b) in fast.summaries.iter().zip(&full.summaries) {
+                assert_eq!(a.pass, b.pass);
+                assert_eq!(a.constraints_before, b.constraints_before);
+                assert_eq!(a.constraints_after, b.constraints_after);
+                assert_eq!(a.vars_merged, b.vars_merged);
+            }
+            assert!(fast.hcd.is_none());
+        }
+    }
+
+    #[test]
+    fn prepare_delta_declines_non_delta_stable_pipelines() {
+        let base_program = sample();
+        let union = base_program.clone();
+        let std_pipeline = PassPipeline::standard();
+        let base = std_pipeline.run(&base_program);
+        assert!(std_pipeline
+            .prepare_delta(&base_program, &base, &union)
+            .is_none());
+        // Even a delta-stable pipeline declines a base prepared elsewhere
+        // with renames attached.
+        let norm = PassPipeline::empty().push(NormalizePass);
+        assert!(norm.prepare_delta(&base_program, &base, &union).is_none());
     }
 
     #[test]

@@ -5,9 +5,14 @@ mod bsp;
 mod diff_prop;
 mod ht;
 mod pkh03;
+mod resume;
 mod steensgaard;
 mod worklist_solvers;
 
+pub use resume::{
+    resume_dyn, resume_dyn_with_observer, resume_supported, solve_dyn_resumable,
+    solve_dyn_resumable_with_observer, ResumableState,
+};
 pub use steensgaard::{steensgaard, steensgaard_with_observer};
 
 use crate::pts::{BddPts, BitmapPts, PtsKind, PtsRepr, SharedPts};

@@ -22,19 +22,19 @@ use crate::pts::PtsRepr;
 use crate::state::OnlineState;
 use ant_common::obs::prov::ProvRecorder;
 use ant_common::obs::{Obs, SolveEvent};
-use ant_common::worklist::WorklistKind;
+use ant_common::worklist::{Worklist, WorklistKind};
 use ant_common::VarId;
 use ant_constraints::hcd::HcdOffline;
 use ant_constraints::Program;
 
-struct Order {
+pub(crate) struct Order {
     /// `ord[node]` — a priority defining the pseudo-topological order.
     ord: Vec<u32>,
     next: u32,
 }
 
 impl Order {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         // Initial order: node id order (any order is a valid start; the
         // invariant is only maintained, not established, by insertions).
         Order {
@@ -42,12 +42,30 @@ impl Order {
             next: n as u32,
         }
     }
+
+    /// Extends the order for variables appended by a program delta: each
+    /// new node takes the next free priority above everything assigned so
+    /// far. [`restore_order`] only ever hands out values above the current
+    /// maximum, so priorities stay unique and any order over the new nodes
+    /// is a valid starting point (the invariant is maintained, never
+    /// established).
+    pub(crate) fn grow(&mut self, new_n: usize) {
+        while self.ord.len() < new_n {
+            self.ord.push(self.next);
+            self.next += 1;
+        }
+    }
+
+    /// Heap footprint, for retained-state accounting.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.ord.capacity() * std::mem::size_of::<u32>()
+    }
 }
 
 /// The affected-region discovery for one order-violating edge insertion.
 /// Returns the cycle members if `src` is reachable from `dst` within the
 /// region, otherwise applies the reordering.
-fn restore_order<P: PtsRepr>(
+pub(crate) fn restore_order<P: PtsRepr>(
     st: &mut OnlineState<P>,
     order: &mut Order,
     src: VarId,
@@ -129,17 +147,30 @@ pub(crate) fn pkh03<'o, P: PtsRepr>(
     let mut order = Order::new(st.n);
     let mut wl = wk.build(st.n);
     st.seed_worklist(wl.as_mut());
+    drive(&mut st, &mut order, wl.as_mut(), hcd.is_some());
+    st
+}
+
+/// The PKH'03 pop loop, factored out so the resumable solve path can
+/// re-enter it with a retained state, its surviving [`Order`] and a freshly
+/// seeded worklist.
+pub(crate) fn drive<P: PtsRepr>(
+    st: &mut OnlineState<P>,
+    order: &mut Order,
+    wl: &mut dyn Worklist,
+    use_hcd: bool,
+) {
     while let Some(popped) = wl.pop() {
         let mut n = st.find(popped);
         st.stats.nodes_processed += 1;
         st.note_pop(popped);
         st.tick_progress(|| wl.len());
-        if hcd.is_some() {
-            n = st.hcd_step(n, wl.as_mut());
+        if use_hcd {
+            n = st.hcd_step(n, wl);
         }
         // Complex constraints, checking the order on every edge insertion.
         let edges_before = st.stats.edges_added;
-        st.process_complex(n, wl.as_mut());
+        st.process_complex(n, wl);
         if st.stats.edges_added != edges_before {
             // At least one new edge: verify the order for all current
             // successors of the touched sources. (Per-edge bookkeeping is
@@ -157,10 +188,10 @@ pub(crate) fn pkh03<'o, P: PtsRepr>(
                 }
                 if order.ord[z.index()] < order.ord[n_cur.index()] {
                     st.stats.cycle_searches += 1;
-                    if let Some(members) = restore_order(&mut st, &mut order, n_cur, z) {
+                    if let Some(members) = restore_order(st, order, n_cur, z) {
                         let mut rep = VarId::from_u32(members[0]);
                         for &m in &members[1..] {
-                            rep = st.collapse_with(VarId::from_u32(m), rep, wl.as_mut());
+                            rep = st.collapse_with(VarId::from_u32(m), rep, wl);
                         }
                         st.stats.cycles_found += 1;
                         st.obs.emit(&SolveEvent::CycleCollapsed {
@@ -173,9 +204,8 @@ pub(crate) fn pkh03<'o, P: PtsRepr>(
             st.put_succ_scratch(targets);
         }
         let n = st.find(n);
-        st.propagate_all(n, wl.as_mut());
+        st.propagate_all(n, wl);
     }
-    st
 }
 
 #[cfg(test)]

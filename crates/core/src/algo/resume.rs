@@ -1,0 +1,720 @@
+//! Resumable solver states: warm-start re-solving after a constraint delta.
+//!
+//! Andersen-style analysis is monotone — constraints only ever *grow*
+//! points-to sets — so a solved fixpoint is always a sound starting point
+//! for any extension of its program, and the least fixpoint is unique. That
+//! pair of facts is the entire correctness story: graft the delta onto the
+//! retained state ([`OnlineState::apply_delta`]), seed the worklist with
+//! exactly the nodes the delta touched, and the same solve loop that
+//! produced the base fixpoint drives the state to the union program's
+//! fixpoint — bit-identical to a from-scratch solve of the union.
+//!
+//! ## What is retained
+//!
+//! A [`ResumableState`] keeps the whole [`OnlineState`] alive past
+//! [`Solution`] extraction — constraint graph, points-to sets, union-find,
+//! difference-propagation `sent` markers — plus the per-algorithm survivor
+//! structures: LCD's triggered-edge set `R` (an edge that already paid for
+//! a cycle search must not pay again after a resume) and PKH'03's dynamic
+//! topological [`Order`] (grown, never rebuilt, across deltas).
+//!
+//! ## Coverage and fallback
+//!
+//! Resume is supported for `basic`, `lcd` (and the `lcd-dp` ablation),
+//! `pkh` and `pkh03`, under both propagation modes and the bitmap/shared
+//! representations — the solvers whose state is a plain
+//! (graph, pts, union-find) triple. The rest fall back to a full re-solve,
+//! explicitly ([`resume_supported`] returns `false` and
+//! [`solve_dyn_resumable`] returns no state):
+//!
+//! - **HT** solves on a pre-transitive graph rebuilt per run; its cached
+//!   reachability memos are invalidated wholesale by any new edge.
+//! - **BLQ** keeps the whole relation in one BDD whose domain is sized to
+//!   the program; so does the **BDD points-to representation** under any
+//!   algorithm ([`PtsRepr::make_ctx`] fixes the variable domain at
+//!   `num_locs`, so a delta that adds locations cannot reuse the context).
+//! - **HCD-enhanced** configurations depend on the offline pair table,
+//!   and HCD's equivalences are not delta-stable: a new constraint can
+//!   create offline cycles the base table never saw.
+//!
+//! ## Determinism
+//!
+//! The resumable path always runs the *sequential* solver loops, whatever
+//! `SolverConfig::threads` says. The BSP engine's counters are
+//! bit-identical to the sequential schedule (pinned since the engine
+//! landed), so a resume under `threads: 4` reports the same §5.3 counters
+//! as under `threads: 1` — the incremental differential suite pins counter
+//! equality across representations, propagation modes *and* thread
+//! configurations. Counters accumulate across the state's lifetime (a
+//! resume continues the base run's tallies); `solve_time` covers only the
+//! most recent (re-)solve so warm-start latency is directly comparable to
+//! a from-scratch solve.
+
+use super::pkh03::{self, Order};
+use super::worklist_solvers::{basic_step, lcd_step, pkh_sweep};
+use super::{Algorithm, PropMode, SolveOutput, SolverConfig};
+use crate::pts::{BitmapPts, PtsKind, PtsRepr, SharedPts};
+use crate::state::OnlineState;
+use crate::Solution;
+use ant_common::fx::FxHashSet;
+use ant_common::obs::{Obs, Observer, Phase, PhaseTimer, SolveEvent};
+use ant_common::worklist::{DividedLrf, Worklist};
+use ant_common::{AntError, VarId};
+use ant_constraints::Program;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+/// Can `(config, pts)` produce a [`ResumableState`]? True for the
+/// worklist-family solvers (`basic`, `lcd`, `lcd-dp`, `pkh`, `pkh03`) over
+/// the bitmap and shared representations; everything else falls back to a
+/// full re-solve (see the module docs for why each is excluded).
+pub fn resume_supported(config: &SolverConfig, pts: PtsKind) -> bool {
+    matches!(
+        config.algorithm,
+        Algorithm::Basic | Algorithm::Lcd | Algorithm::LcdDiff | Algorithm::Pkh | Algorithm::Pkh03
+    ) && matches!(pts, PtsKind::Bitmap | PtsKind::Shared)
+}
+
+/// Fingerprint of a program prefix: the first `constraints` constraints and
+/// the first `vars` offset limits. [`resume_dyn`] recomputes this over the
+/// union program to verify it really extends the retained base — variable
+/// ids and constraint order must survive unchanged for the grafted state to
+/// mean anything.
+fn prefix_hash(program: &Program, vars: usize, constraints: usize) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    vars.hash(&mut h);
+    program.constraints()[..constraints].hash(&mut h);
+    program.offset_limits()[..vars].hash(&mut h);
+    h.finish()
+}
+
+/// A solver state plus the per-algorithm structures that must survive
+/// across resumes.
+struct Core<'o, P: PtsRepr> {
+    st: OnlineState<'o, P>,
+    /// LCD's `R`: edges that already triggered a cycle search.
+    triggered: FxHashSet<(u32, u32)>,
+    /// The collapse epoch `triggered` was last canonicalized at.
+    triggered_epoch: u64,
+    /// PKH'03's dynamic topological order, grown on resume.
+    order: Option<Order>,
+}
+
+fn unbind<P: PtsRepr>(core: Core<'_, P>) -> Core<'static, P> {
+    Core {
+        st: core.st.rebind_obs(Obs::none()),
+        triggered: core.triggered,
+        triggered_epoch: core.triggered_epoch,
+        order: core.order,
+    }
+}
+
+enum ResumableInner {
+    Bitmap(Core<'static, BitmapPts>),
+    Shared(Core<'static, SharedPts>),
+}
+
+/// A solved fixpoint that outlives its solve, ready to absorb constraint
+/// deltas: re-enter it with [`resume_dyn`] and a program that extends the
+/// one it solved. Produced by [`solve_dyn_resumable`].
+pub struct ResumableState {
+    inner: ResumableInner,
+    config: SolverConfig,
+    pts: PtsKind,
+    /// Variables of the program last solved (deltas may only append).
+    base_vars: usize,
+    /// Constraints of the program last solved (a strict prefix of any
+    /// resumable extension).
+    base_constraints: usize,
+    /// [`prefix_hash`] of the program last solved.
+    base_hash: u64,
+}
+
+impl ResumableState {
+    /// Variables of the program this state last solved.
+    pub fn num_vars(&self) -> usize {
+        self.base_vars
+    }
+
+    /// Constraints of the program this state last solved.
+    pub fn num_constraints(&self) -> usize {
+        self.base_constraints
+    }
+
+    /// The algorithm the state was solved with (resumes re-run the same).
+    pub fn algorithm(&self) -> Algorithm {
+        self.config.algorithm
+    }
+
+    /// The points-to representation the state holds.
+    pub fn pts_kind(&self) -> PtsKind {
+        self.pts
+    }
+
+    /// Retained heap footprint: the points-to, graph and auxiliary bytes of
+    /// the last finalization ([`OnlineState::finalize_bytes_retained`] runs
+    /// after every solve and resume, so this is current without another
+    /// walk). What a session pays to keep warm-start capability alive.
+    pub fn bytes(&self) -> usize {
+        let stats = match &self.inner {
+            ResumableInner::Bitmap(c) => &c.st.stats,
+            ResumableInner::Shared(c) => &c.st.stats,
+        };
+        stats.pts_bytes + stats.graph_bytes + stats.aux_bytes
+    }
+}
+
+impl std::fmt::Debug for ResumableState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResumableState")
+            .field("algorithm", &self.config.algorithm)
+            .field("pts", &self.pts)
+            .field("base_vars", &self.base_vars)
+            .field("base_constraints", &self.base_constraints)
+            .field("bytes", &self.bytes())
+            .finish()
+    }
+}
+
+/// Pushes the delta seeds (ascending, as [`OnlineState::apply_delta`]
+/// returns them) or performs the initial full seeding.
+fn seed<P: PtsRepr>(st: &mut OnlineState<'_, P>, wl: &mut dyn Worklist, delta: Option<&[VarId]>) {
+    match delta {
+        None => st.seed_worklist(wl),
+        Some(seeds) => {
+            for &s in seeds {
+                wl.push(s);
+            }
+        }
+    }
+}
+
+/// Runs the sequential solve loop for the resumable algorithm family,
+/// replicating `worklist_solvers` / `pkh03` exactly — same pop accounting,
+/// same step bodies — so base solves report the same §5.3 counters as the
+/// plain entry points and resumes stay deterministic across
+/// representations, propagation modes and thread configurations.
+fn drive_core<P: PtsRepr>(core: &mut Core<'_, P>, config: &SolverConfig, delta: Option<&[VarId]>) {
+    match config.algorithm {
+        Algorithm::Basic => {
+            let mut wl = config.worklist.build(core.st.n);
+            seed(&mut core.st, wl.as_mut(), delta);
+            while let Some(popped) = wl.pop() {
+                core.st.stats.nodes_processed += 1;
+                core.st.note_pop(popped);
+                core.st.tick_progress(|| wl.len());
+                basic_step(&mut core.st, popped, false, wl.as_mut());
+            }
+        }
+        Algorithm::Lcd | Algorithm::LcdDiff => {
+            let mut wl = config.worklist.build(core.st.n);
+            seed(&mut core.st, wl.as_mut(), delta);
+            while let Some(popped) = wl.pop() {
+                core.st.stats.nodes_processed += 1;
+                core.st.note_pop(popped);
+                core.st.tick_progress(|| wl.len());
+                lcd_step(
+                    &mut core.st,
+                    popped,
+                    false,
+                    wl.as_mut(),
+                    &mut core.triggered,
+                    &mut core.triggered_epoch,
+                );
+            }
+        }
+        Algorithm::Pkh => {
+            // PKH owns a concrete divided worklist to observe section
+            // swaps; `u64::MAX` forces a sweep before the first pop, on
+            // base solves and resumes alike.
+            let mut wl = DividedLrf::new(core.st.n);
+            seed(&mut core.st, &mut wl, delta);
+            let mut swept_at = u64::MAX;
+            while !wl.is_empty() {
+                if wl.swaps() != swept_at {
+                    swept_at = wl.swaps();
+                    pkh_sweep(&mut core.st, &mut wl);
+                }
+                let Some(popped) = wl.pop() else { break };
+                core.st.stats.nodes_processed += 1;
+                core.st.note_pop(popped);
+                core.st.tick_progress(|| wl.len());
+                basic_step(&mut core.st, popped, false, &mut wl);
+            }
+        }
+        Algorithm::Pkh03 => {
+            let n = core.st.n;
+            let order = core.order.get_or_insert_with(|| Order::new(n));
+            order.grow(n);
+            let mut wl = config.worklist.build(n);
+            seed(&mut core.st, wl.as_mut(), delta);
+            pkh03::drive(&mut core.st, order, wl.as_mut(), false);
+        }
+        alg => unreachable!("{alg} is gated out by resume_supported"),
+    }
+}
+
+/// The retained-state counterpart of `algo::finish`: stamp `solve_time`,
+/// account memory without tearing anything down, emit the final telemetry,
+/// and extract the solution while the state lives on.
+fn finish_retained<P: PtsRepr>(
+    core: &mut Core<'_, P>,
+    start: Instant,
+    timer: &mut PhaseTimer,
+) -> SolveOutput {
+    let extra_aux =
+        core.triggered.capacity() * (8 + 8) + core.order.as_ref().map_or(0, Order::heap_bytes);
+    let st = &mut core.st;
+    st.stats.solve_time = start.elapsed();
+    st.finalize_bytes_retained(extra_aux);
+    if st.obs.enabled() {
+        let snapshot = st.progress_snapshot(0);
+        st.obs.emit(&SolveEvent::Progress(snapshot));
+        if let Some(cs) = P::ctx_stats(&st.ctx) {
+            st.obs.emit(&SolveEvent::ReprCache(cs));
+        }
+    }
+    timer.stop(&mut st.obs);
+    let solution = Solution::from_state(st);
+    SolveOutput {
+        solution,
+        stats: st.stats.clone(),
+    }
+}
+
+fn base_solve<P: PtsRepr>(
+    program: &Program,
+    config: &SolverConfig,
+    obs: Obs<'_>,
+) -> (SolveOutput, Core<'static, P>) {
+    let mut obs = obs;
+    obs.emit(&SolveEvent::SolverStart {
+        name: config.algorithm.name(),
+    });
+    let mut timer = PhaseTimer::new();
+    timer.start(Phase::Solve, &mut obs);
+    let start = Instant::now();
+    let prop = if config.algorithm == Algorithm::LcdDiff {
+        PropMode::Diff
+    } else {
+        config.prop
+    };
+    let mut st = OnlineState::<P>::new(program);
+    st.obs = obs;
+    st.set_prop(prop);
+    let triggered_epoch = st.stats.nodes_collapsed;
+    let mut core = Core {
+        st,
+        triggered: FxHashSet::default(),
+        triggered_epoch,
+        order: None,
+    };
+    drive_core(&mut core, config, None);
+    let out = finish_retained(&mut core, start, &mut timer);
+    (out, unbind(core))
+}
+
+fn make_state(
+    inner: ResumableInner,
+    config: &SolverConfig,
+    pts: PtsKind,
+    program: &Program,
+) -> ResumableState {
+    ResumableState {
+        inner,
+        config: *config,
+        pts,
+        base_vars: program.num_vars(),
+        base_constraints: program.constraints().len(),
+        base_hash: prefix_hash(program, program.num_vars(), program.constraints().len()),
+    }
+}
+
+/// [`solve_dyn`](super::solve_dyn) returning, when the configuration
+/// supports it, a [`ResumableState`] that [`resume_dyn`] can re-enter after
+/// a constraint delta. Unsupported configurations (see
+/// [`resume_supported`]) solve exactly as [`solve_dyn`](super::solve_dyn)
+/// and return `None` — callers fall back to full re-solves, explicitly.
+///
+/// The supported configurations run the sequential solver loops regardless
+/// of `config.threads`; solution and §5.3 counters are bit-identical to
+/// the parallel schedule, so nothing observable changes.
+pub fn solve_dyn_resumable(
+    program: &Program,
+    config: &SolverConfig,
+    pts: PtsKind,
+) -> (SolveOutput, Option<ResumableState>) {
+    if !resume_supported(config, pts) {
+        return (super::solve_dyn(program, config, pts), None);
+    }
+    let (out, inner) = match pts {
+        PtsKind::Bitmap => {
+            let (out, core) = base_solve::<BitmapPts>(program, config, Obs::none());
+            (out, ResumableInner::Bitmap(core))
+        }
+        PtsKind::Shared => {
+            let (out, core) = base_solve::<SharedPts>(program, config, Obs::none());
+            (out, ResumableInner::Shared(core))
+        }
+        PtsKind::Bdd => unreachable!("gated by resume_supported"),
+    };
+    (out, Some(make_state(inner, config, pts, program)))
+}
+
+/// [`solve_dyn_resumable`] with telemetry (see
+/// [`solve_dyn_with_observer`](super::solve_dyn_with_observer)).
+pub fn solve_dyn_resumable_with_observer(
+    program: &Program,
+    config: &SolverConfig,
+    pts: PtsKind,
+    observer: &mut dyn Observer,
+) -> (SolveOutput, Option<ResumableState>) {
+    if !resume_supported(config, pts) {
+        return (
+            super::solve_dyn_with_observer(program, config, pts, observer),
+            None,
+        );
+    }
+    let obs = Obs::new(observer, config.progress_every);
+    let (out, inner) = match pts {
+        PtsKind::Bitmap => {
+            let (out, core) = base_solve::<BitmapPts>(program, config, obs);
+            (out, ResumableInner::Bitmap(core))
+        }
+        PtsKind::Shared => {
+            let (out, core) = base_solve::<SharedPts>(program, config, obs);
+            (out, ResumableInner::Shared(core))
+        }
+        PtsKind::Bdd => unreachable!("gated by resume_supported"),
+    };
+    (out, Some(make_state(inner, config, pts, program)))
+}
+
+fn resume_core<P: PtsRepr>(
+    core: Core<'static, P>,
+    union: &Program,
+    config: &SolverConfig,
+    base_constraints: usize,
+    obs: Obs<'_>,
+) -> (SolveOutput, Core<'static, P>) {
+    let mut obs = obs;
+    obs.emit(&SolveEvent::SolverStart {
+        name: config.algorithm.name(),
+    });
+    obs.emit(&SolveEvent::Resume {
+        new_vars: (union.num_vars() - core.st.n) as u64,
+        new_constraints: (union.constraints().len() - base_constraints) as u64,
+    });
+    let mut timer = PhaseTimer::new();
+    timer.start(Phase::Solve, &mut obs);
+    let start = Instant::now();
+    let mut core = Core {
+        st: core.st.rebind_obs(obs),
+        triggered: core.triggered,
+        triggered_epoch: core.triggered_epoch,
+        order: core.order,
+    };
+    let seeds = core.st.apply_delta(union, base_constraints);
+    drive_core(&mut core, config, Some(&seeds));
+    let out = finish_retained(&mut core, start, &mut timer);
+    (out, unbind(core))
+}
+
+fn resume_impl(
+    state: ResumableState,
+    union: &Program,
+    obs: Obs<'_>,
+) -> Result<(SolveOutput, ResumableState), AntError> {
+    if union.num_vars() < state.base_vars || union.constraints().len() < state.base_constraints {
+        return Err(AntError::solver(format!(
+            "resume requires a program extending the retained base \
+             ({} vars / {} constraints; got {} / {})",
+            state.base_vars,
+            state.base_constraints,
+            union.num_vars(),
+            union.constraints().len(),
+        )));
+    }
+    if prefix_hash(union, state.base_vars, state.base_constraints) != state.base_hash {
+        return Err(AntError::solver(
+            "resume requires a program extending the retained base \
+             (prefix fingerprint mismatch: variables or constraints of the \
+             solved program were reordered or rewritten, not appended to)",
+        ));
+    }
+    let config = state.config;
+    let pts = state.pts;
+    let (out, inner) = match state.inner {
+        ResumableInner::Bitmap(core) => {
+            let (out, core) = resume_core(core, union, &config, state.base_constraints, obs);
+            (out, ResumableInner::Bitmap(core))
+        }
+        ResumableInner::Shared(core) => {
+            let (out, core) = resume_core(core, union, &config, state.base_constraints, obs);
+            (out, ResumableInner::Shared(core))
+        }
+    };
+    Ok((out, make_state(inner, &config, pts, union)))
+}
+
+/// Re-enters a retained fixpoint on `union`, a program that extends the one
+/// the state solved: same variables (ids and offset limits unchanged), the
+/// solved constraint list as a prefix, new variables and constraints
+/// appended — exactly what
+/// [`Program::append_delta`](ant_constraints::Program::append_delta)
+/// produces. Returns the union solution (bit-identical to a from-scratch
+/// solve — monotonicity makes the old fixpoint a sound warm start and the
+/// least fixpoint is unique) and the state re-based onto `union`, ready for
+/// the next delta.
+///
+/// Fails with a typed [`AntError`] — consuming the state — when `union`
+/// does not extend the base; callers treat that as "fall back to a full
+/// re-solve". §5.3 counters accumulate across the state's lifetime;
+/// `stats.solve_time` covers only this resume.
+pub fn resume_dyn(
+    state: ResumableState,
+    union: &Program,
+) -> Result<(SolveOutput, ResumableState), AntError> {
+    resume_impl(state, union, Obs::none())
+}
+
+/// [`resume_dyn`] with telemetry: emits [`SolveEvent::Resume`] (after
+/// `SolverStart`, before the worklist is re-seeded) so traces distinguish
+/// incremental re-solves from from-scratch runs.
+pub fn resume_dyn_with_observer(
+    state: ResumableState,
+    union: &Program,
+    observer: &mut dyn Observer,
+) -> Result<(SolveOutput, ResumableState), AntError> {
+    let every = state.config.progress_every;
+    resume_impl(state, union, Obs::new(observer, every))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve_dyn;
+    use ant_constraints::ProgramBuilder;
+
+    /// The base program: a store/load pivot and a static cycle.
+    fn base_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let x = pb.var("x");
+        let y = pb.var("y");
+        let q = pb.var("q");
+        let r = pb.var("r");
+        pb.addr_of(p, x);
+        pb.addr_of(q, y);
+        pb.store(p, q);
+        pb.load(r, p);
+        pb.copy(x, y);
+        pb.copy(y, x);
+        pb.finish()
+    }
+
+    /// A delta reusing `p`/`r` and adding fresh variables, including a new
+    /// load on the existing pivot and a new cycle through a fresh node.
+    fn addition() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let p = pb.var("p");
+        let r = pb.var("r");
+        let s = pb.var("s");
+        let z = pb.var("z");
+        let w = pb.var("w");
+        pb.addr_of(s, z);
+        pb.store(s, p);
+        pb.load(w, s);
+        pb.load(w, p);
+        pb.copy(r, w);
+        pb.copy(w, r);
+        pb.finish()
+    }
+
+    fn union_program() -> (Program, Program) {
+        let base = base_program();
+        let delta = base.delta_from(&addition()).unwrap();
+        let union = base.append_delta(&delta);
+        (base, union)
+    }
+
+    const RESUMABLE: [Algorithm; 4] = [
+        Algorithm::Basic,
+        Algorithm::Lcd,
+        Algorithm::Pkh,
+        Algorithm::Pkh03,
+    ];
+
+    #[test]
+    fn resume_matches_scratch_union_solve() {
+        let (base, union) = union_program();
+        for alg in RESUMABLE {
+            for pts in [PtsKind::Bitmap, PtsKind::Shared] {
+                for prop in PropMode::ALL {
+                    let config = SolverConfig::new(alg).with_prop(prop);
+                    let scratch = solve_dyn(&union, &config, pts);
+                    let (base_out, state) = solve_dyn_resumable(&base, &config, pts);
+                    let state = state.expect("configuration is resumable");
+                    let base_scratch = solve_dyn(&base, &config, pts);
+                    assert!(
+                        base_out.solution.equiv(&base_scratch.solution),
+                        "{alg}/{pts:?}/{prop}: base solve diverged"
+                    );
+                    let (out, state) = resume_dyn(state, &union).expect("union extends base");
+                    assert!(
+                        out.solution.equiv(&scratch.solution),
+                        "{alg}/{pts:?}/{prop}: resumed solution differs at {:?}",
+                        out.solution.first_difference(&scratch.solution)
+                    );
+                    assert_eq!(state.num_vars(), union.num_vars());
+                    assert_eq!(state.num_constraints(), union.constraints().len());
+                    assert!(state.bytes() > 0, "retained footprint must be accounted");
+                }
+            }
+        }
+    }
+
+    /// The resume path's §5.3 counters are identical across
+    /// representations and propagation modes (the thread axis is exercised
+    /// by the integration suite; the sequential loops ignore it).
+    #[test]
+    fn resume_counters_invariant_across_configs() {
+        let (base, union) = union_program();
+        for alg in RESUMABLE {
+            let mut reference: Option<[u64; 5]> = None;
+            for pts in [PtsKind::Bitmap, PtsKind::Shared] {
+                for prop in PropMode::ALL {
+                    let config = SolverConfig::new(alg).with_prop(prop);
+                    let (_, state) = solve_dyn_resumable(&base, &config, pts);
+                    let (out, _) = resume_dyn(state.unwrap(), &union).unwrap();
+                    let got = [
+                        out.stats.nodes_processed,
+                        out.stats.propagations,
+                        out.stats.edges_added,
+                        out.stats.cycle_searches,
+                        out.stats.nodes_collapsed,
+                    ];
+                    match &reference {
+                        None => reference = Some(got),
+                        Some(want) => {
+                            assert_eq!(&got, want, "{alg}/{pts:?}/{prop}: counters diverged")
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chained_resumes_reach_the_final_union() {
+        let base = base_program();
+        let d1 = base.delta_from(&addition()).unwrap();
+        let mid = base.append_delta(&d1);
+        let mut pb = ProgramBuilder::new();
+        let w = pb.var("w");
+        let t = pb.var("t");
+        pb.addr_of(t, w);
+        pb.copy(w, t);
+        let d2 = mid.delta_from(&pb.finish()).unwrap();
+        let fin = mid.append_delta(&d2);
+        for alg in RESUMABLE {
+            let config = SolverConfig::new(alg);
+            let (_, state) = solve_dyn_resumable(&base, &config, PtsKind::Bitmap);
+            let (_, state) = resume_dyn(state.unwrap(), &mid).unwrap();
+            let (out, _) = resume_dyn(state, &fin).unwrap();
+            let scratch = solve_dyn(&fin, &config, PtsKind::Bitmap);
+            assert!(
+                out.solution.equiv(&scratch.solution),
+                "{alg}: chained resume differs at {:?}",
+                out.solution.first_difference(&scratch.solution)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_delta_resume_is_a_no_op() {
+        let base = base_program();
+        let config = SolverConfig::new(Algorithm::Lcd);
+        let (base_out, state) = solve_dyn_resumable(&base, &config, PtsKind::Bitmap);
+        let (out, _) = resume_dyn(state.unwrap(), &base).unwrap();
+        assert!(out.solution.equiv(&base_out.solution));
+        assert_eq!(out.stats.nodes_processed, base_out.stats.nodes_processed);
+    }
+
+    #[test]
+    fn unsupported_configs_fall_back_explicitly() {
+        let base = base_program();
+        for (alg, pts) in [
+            (Algorithm::Ht, PtsKind::Bitmap),
+            (Algorithm::Blq, PtsKind::Bitmap),
+            (Algorithm::LcdHcd, PtsKind::Bitmap),
+            (Algorithm::Hcd, PtsKind::Bitmap),
+            (Algorithm::Lcd, PtsKind::Bdd),
+        ] {
+            let config = SolverConfig::new(alg);
+            assert!(!resume_supported(&config, pts), "{alg}/{pts:?}");
+            let (out, state) = solve_dyn_resumable(&base, &config, pts);
+            assert!(state.is_none(), "{alg}/{pts:?} must not retain state");
+            let scratch = solve_dyn(&base, &config, pts);
+            assert!(out.solution.equiv(&scratch.solution));
+        }
+    }
+
+    #[test]
+    fn non_extending_program_is_a_typed_error() {
+        let (base, union) = union_program();
+        let config = SolverConfig::new(Algorithm::Lcd);
+        // Fewer variables than the base.
+        let (_, state) = solve_dyn_resumable(&union, &config, PtsKind::Bitmap);
+        assert!(resume_dyn(state.unwrap(), &base).is_err());
+        // Same shape, different constraints: fingerprint mismatch.
+        let mut pb = ProgramBuilder::new();
+        for name in ["p", "x", "y", "q", "r"] {
+            pb.var(name);
+        }
+        let rewritten = pb.finish();
+        let (_, state) = solve_dyn_resumable(&base, &config, PtsKind::Bitmap);
+        let err = resume_dyn(state.unwrap(), &rewritten).unwrap_err();
+        assert!(err.message().contains("extending the retained base"));
+    }
+
+    #[test]
+    fn resume_emits_the_resume_event() {
+        struct Rec(Vec<SolveEvent>);
+        impl Observer for Rec {
+            fn on_event(&mut self, event: &SolveEvent) {
+                self.0.push(event.clone());
+            }
+        }
+        let (base, union) = union_program();
+        let config = SolverConfig::new(Algorithm::Pkh03);
+        let mut obs = Rec(Vec::new());
+        let (_, state) =
+            solve_dyn_resumable_with_observer(&base, &config, PtsKind::Bitmap, &mut obs);
+        let before = obs
+            .0
+            .iter()
+            .filter(|e| matches!(e, SolveEvent::Resume { .. }))
+            .count();
+        assert_eq!(before, 0, "base solves never emit Resume");
+        let (_, _) = resume_dyn_with_observer(state.unwrap(), &union, &mut obs).unwrap();
+        let resumes: Vec<_> = obs
+            .0
+            .iter()
+            .filter_map(|e| match e {
+                SolveEvent::Resume {
+                    new_vars,
+                    new_constraints,
+                } => Some((*new_vars, *new_constraints)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            resumes,
+            vec![(
+                (union.num_vars() - base.num_vars()) as u64,
+                (union.constraints().len() - base.constraints().len()) as u64
+            )]
+        );
+    }
+}

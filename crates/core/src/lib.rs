@@ -60,10 +60,12 @@ mod state;
 pub mod verify;
 
 pub use algo::{
-    solve_dyn, solve_dyn_recorded, solve_dyn_with_observer, solve_prepared, solve_prepared_raw,
-    solve_prepared_raw_recorded, solve_prepared_recorded, solve_prepared_recorded_with_observer,
-    solve_prepared_with_observer, steensgaard, steensgaard_with_observer, threads_from_env,
-    Algorithm, PropMode, SolveOutput, SolverConfig,
+    resume_dyn, resume_dyn_with_observer, resume_supported, solve_dyn, solve_dyn_recorded,
+    solve_dyn_resumable, solve_dyn_resumable_with_observer, solve_dyn_with_observer,
+    solve_prepared, solve_prepared_raw, solve_prepared_raw_recorded, solve_prepared_recorded,
+    solve_prepared_recorded_with_observer, solve_prepared_with_observer, steensgaard,
+    steensgaard_with_observer, threads_from_env, Algorithm, PropMode, ResumableState, SolveOutput,
+    SolverConfig,
 };
 pub use ant_common::obs;
 pub use ant_common::{AntError, AntErrorKind, QueryErrorKind, SolverStats, VarId};

@@ -7,8 +7,8 @@
 //!
 //! * one request per line, a flat JSON object with an `"op"` field
 //!   (`points_to`, `may_alias`, `resolve`, `explain`, `stats`, `load`,
-//!   `shutdown`) and op-specific arguments, plus an optional `"id"` echoed
-//!   back verbatim;
+//!   `add`, `shutdown`) and op-specific arguments, plus an optional `"id"`
+//!   echoed back verbatim;
 //! * one response per request, a flat JSON object with `"ok"` and a typed
 //!   error envelope on failure (`"error"` carries an
 //!   [`AntErrorKind::wire_name`], `"message"` the human-readable reason) —
@@ -36,7 +36,8 @@
 
 use crate::provenance::Explainer;
 use crate::{
-    solve_prepared_raw, solve_prepared_raw_recorded, PtsKind, Solution, SolveOutput, SolverConfig,
+    resume_dyn, resume_supported, solve_dyn_resumable, solve_prepared_raw,
+    solve_prepared_raw_recorded, PtsKind, ResumableState, Solution, SolveOutput, SolverConfig,
 };
 use ant_common::fx::{FxHashMap, FxHasher};
 use ant_common::obs::prov::ProvRecorder;
@@ -128,8 +129,14 @@ pub struct AnalysisSession {
     cache_order: Vec<u64>,
     /// Content key of the solve answering queries right now.
     active: Option<u64>,
+    /// The warm-start state of the most recent resumable solve, keyed by
+    /// the content key of the program it solved. One slot: an `add` whose
+    /// base key matches resumes it (and re-keys the slot to the union);
+    /// anything else solves from scratch and replaces it.
+    retained: Option<(u64, ResumableState)>,
     solves: u64,
     cache_hits: u64,
+    cache_misses: u64,
     requests: u64,
     errors: u64,
 }
@@ -178,6 +185,10 @@ enum Op {
         path: Option<String>,
         text: Option<String>,
     },
+    Add {
+        path: Option<String>,
+        text: Option<String>,
+    },
     Shutdown,
 }
 
@@ -190,6 +201,7 @@ impl Op {
             Op::Explain { .. } => "explain",
             Op::Stats => "stats",
             Op::Load { .. } => "load",
+            Op::Add { .. } => "add",
             Op::Shutdown => "shutdown",
         }
     }
@@ -241,7 +253,7 @@ fn parse_request(line: &str) -> Result<Request, AntError> {
             loc: str_arg("loc")?,
         },
         "stats" => Op::Stats,
-        "load" => {
+        "load" | "add" => {
             let path = map
                 .get("path")
                 .and_then(JsonValue::as_str)
@@ -251,9 +263,15 @@ fn parse_request(line: &str) -> Result<Request, AntError> {
                 .and_then(JsonValue::as_str)
                 .map(str::to_owned);
             if path.is_none() && text.is_none() {
-                return Err(malformed("op `load` needs a `path` or `text` field"));
+                return Err(malformed(format!(
+                    "op `{op}` needs a `path` or `text` field"
+                )));
             }
-            Op::Load { path, text }
+            if op == "load" {
+                Op::Load { path, text }
+            } else {
+                Op::Add { path, text }
+            }
         }
         "shutdown" => Op::Shutdown,
         other => {
@@ -341,8 +359,10 @@ impl AnalysisSession {
             cache: FxHashMap::default(),
             cache_order: Vec::new(),
             active: None,
+            retained: None,
             solves: 0,
             cache_hits: 0,
+            cache_misses: 0,
             requests: 0,
             errors: 0,
         })
@@ -397,6 +417,130 @@ impl AnalysisSession {
         Ok(())
     }
 
+    /// Appends `addition` to the loaded translation unit: name-matched
+    /// merge into a `ProgramDelta`, union via [`Program::append_delta`],
+    /// then an **eager** solve of the union — resuming the retained
+    /// warm-start state when possible, solving from scratch otherwise
+    /// (non-resumable configuration, non-delta-stable pass pipeline, no
+    /// retained state for the base, or a failed resume). Returns the
+    /// reply payload, including `cache_hit` and `resumed`.
+    ///
+    /// ## Content-key lineage
+    ///
+    /// The union is keyed by [`content_key`](Self::content_key) exactly
+    /// like a direct load. `append_delta` is canonical — shared names keep
+    /// their base ids, fresh names append in declaration order, delta
+    /// constraints append in order — so `load(base)` + `add(delta)`
+    /// produces the *same key* as one `load` of the concatenated source,
+    /// and the two share a cache entry. A semantically equal union whose
+    /// text declares variables or constraints in a different order hashes
+    /// to a different key and is kept distinct — conservative but never
+    /// incorrect, since keys fingerprint exact structure, not semantics.
+    pub fn add_program(&mut self, addition: Program) -> Result<JsonObject, AntError> {
+        let loaded = self.loaded.as_ref().ok_or_else(|| {
+            AntError::query(
+                QueryErrorKind::NotFound,
+                "no program loaded (send a `load` request before `add`)",
+            )
+        })?;
+        let delta = loaded.program.delta_from(&addition).map_err(|e| {
+            AntError::parse(format!(
+                "addition does not compose with the loaded program: {e}"
+            ))
+        })?;
+        let union = loaded.program.append_delta(&delta);
+        let base_key = loaded.key;
+        let key = self.content_key(&union);
+        let pipeline = PassPipeline::parse(&self.opts.passes)?;
+        let loaded = self.loaded.as_ref().expect("checked above");
+        // The delta pipeline lane: when every pass is delta-stable
+        // (normalize-only), the union's prepared program extends the base's
+        // — the precondition for resuming the retained state.
+        let delta_prepared = pipeline.prepare_delta(&loaded.program, &loaded.prepared, &union);
+        let delta_lane = delta_prepared.is_some();
+        let prepared = match delta_prepared {
+            Some(p) => p,
+            None => pipeline.try_run(&union)?,
+        };
+        let cache_hit = self.cache.contains_key(&key);
+        let mut resumed = false;
+        if cache_hit {
+            self.cache_hits += 1;
+        } else {
+            self.cache_misses += 1;
+            let mut solved: Option<(CachedSolve, Option<ResumableState>)> = None;
+            if delta_lane
+                && self.retains_state()
+                && self.retained.as_ref().is_some_and(|(k, _)| *k == base_key)
+            {
+                let (_, state) = self.retained.take().expect("checked above");
+                // A failed resume (panic or typed mismatch) falls back to
+                // the from-scratch solve below; the state is spent either
+                // way.
+                if let Ok(Ok((output, state))) = run_solver(|| resume_dyn(state, &prepared.program))
+                {
+                    resumed = true;
+                    solved = Some((CachedSolve { output, prov: None }, Some(state)));
+                }
+            }
+            let (cached, state) = match solved {
+                Some(x) => x,
+                None => {
+                    let retains = self.retains_state();
+                    let (opts, prepared) = (&self.opts, &prepared);
+                    run_solver(|| {
+                        if opts.record {
+                            let (output, prov) =
+                                solve_prepared_raw_recorded(prepared, &opts.config, opts.pts);
+                            (
+                                CachedSolve {
+                                    output,
+                                    prov: Some(prov),
+                                },
+                                None,
+                            )
+                        } else if retains {
+                            let (output, state) =
+                                solve_dyn_resumable(&prepared.program, &opts.config, opts.pts);
+                            (CachedSolve { output, prov: None }, state)
+                        } else {
+                            (
+                                CachedSolve {
+                                    output: solve_prepared_raw(prepared, &opts.config, opts.pts),
+                                    prov: None,
+                                },
+                                None,
+                            )
+                        }
+                    })?
+                }
+            };
+            self.solves += 1;
+            self.insert_cache(key, cached);
+            self.retained = state.map(|s| (key, s));
+        }
+        let names: FxHashMap<String, VarId> = union
+            .vars()
+            .map(|v| (union.var_name(v).to_owned(), v))
+            .collect();
+        let mut o = JsonObject::new();
+        o.uint_field("vars", union.num_vars() as u64);
+        o.uint_field("constraints", union.constraints().len() as u64);
+        o.uint_field("new_vars", delta.num_new_vars() as u64);
+        o.uint_field("new_constraints", delta.constraints().len() as u64);
+        o.str_field("key", &format!("{key:016x}"));
+        o.bool_field("cache_hit", cache_hit);
+        o.bool_field("resumed", resumed);
+        self.loaded = Some(Loaded {
+            program: union,
+            prepared,
+            names,
+            key,
+        });
+        self.active = Some(key);
+        Ok(o)
+    }
+
     /// The original program of the current translation unit.
     pub fn program(&self) -> Option<&Program> {
         self.loaded.as_ref().map(|l| &l.program)
@@ -405,6 +549,21 @@ impl AnalysisSession {
     /// (solves, cache_hits) so far — the `stats` op's counters.
     pub fn solve_counters(&self) -> (u64, u64) {
         (self.solves, self.cache_hits)
+    }
+
+    /// (hits, misses) of the solve cache so far — every time a query or an
+    /// `add` needed a solution, did the FIFO cache have it? The serve loop
+    /// exports these as the `serve.cache.hits` / `serve.cache.misses`
+    /// metrics.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
+    }
+
+    /// Is this session's configuration able to retain warm-start states?
+    /// Requires a resumable (algorithm, representation) pair and no
+    /// provenance recording (the resumable path does not record).
+    fn retains_state(&self) -> bool {
+        !self.opts.record && resume_supported(&self.opts.config, self.opts.pts)
     }
 
     fn loaded(&self) -> Result<&Loaded, AntError> {
@@ -419,6 +578,12 @@ impl AnalysisSession {
     /// Solves the current program unless an equal-content solve is cached.
     /// Solver panics are caught and reported as [`AntErrorKind::Solver`] —
     /// the session survives.
+    ///
+    /// When the configuration is resumable ([`retains_state`]
+    /// (Self::retains_state)), the solve runs through
+    /// [`solve_dyn_resumable`] — same raw solution and §5.3 counters as
+    /// [`solve_prepared_raw`], sequential schedule — and the returned
+    /// warm-start state is kept so a later `add` can resume it.
     fn ensure_solved(&mut self) -> Result<(), AntError> {
         let key = self.loaded()?.key;
         if self.active == Some(key) {
@@ -429,39 +594,49 @@ impl AnalysisSession {
             self.active = Some(key);
             return Ok(());
         }
+        self.cache_misses += 1;
         let loaded = self.loaded.as_ref().expect("checked above");
+        let retains = self.retains_state();
         let (opts, prepared) = (&self.opts, &loaded.prepared);
-        let solved = catch_unwind(AssertUnwindSafe(|| {
+        let (solved, state) = run_solver(|| {
             if opts.record {
                 let (output, prov) = solve_prepared_raw_recorded(prepared, &opts.config, opts.pts);
-                CachedSolve {
-                    output,
-                    prov: Some(prov),
-                }
+                (
+                    CachedSolve {
+                        output,
+                        prov: Some(prov),
+                    },
+                    None,
+                )
+            } else if retains {
+                let (output, state) =
+                    solve_dyn_resumable(&prepared.program, &opts.config, opts.pts);
+                (CachedSolve { output, prov: None }, state)
             } else {
-                CachedSolve {
-                    output: solve_prepared_raw(prepared, &opts.config, opts.pts),
-                    prov: None,
-                }
+                (
+                    CachedSolve {
+                        output: solve_prepared_raw(prepared, &opts.config, opts.pts),
+                        prov: None,
+                    },
+                    None,
+                )
             }
-        }))
-        .map_err(|panic| {
-            let msg = panic
-                .downcast_ref::<String>()
-                .map(String::as_str)
-                .or_else(|| panic.downcast_ref::<&str>().copied())
-                .unwrap_or("solver panicked");
-            AntError::solver(format!("solve failed: {msg}"))
         })?;
         self.solves += 1;
+        self.insert_cache(key, solved);
+        self.retained = state.map(|s| (key, s));
+        self.active = Some(key);
+        Ok(())
+    }
+
+    /// FIFO insertion with eviction at [`SOLVE_CACHE_CAP`].
+    fn insert_cache(&mut self, key: u64, solved: CachedSolve) {
         if self.cache_order.len() >= SOLVE_CACHE_CAP {
             let evicted = self.cache_order.remove(0);
             self.cache.remove(&evicted);
         }
         self.cache.insert(key, solved);
         self.cache_order.push(key);
-        self.active = Some(key);
-        Ok(())
     }
 
     fn active_solve(&self) -> &CachedSolve {
@@ -530,6 +705,14 @@ impl AnalysisSession {
                 o.uint_field("errors", self.errors);
                 o.uint_field("solves", self.solves);
                 o.uint_field("cache_hits", self.cache_hits);
+                o.uint_field("cache_misses", self.cache_misses);
+                o.uint_field("cache_entries", self.cache.len() as u64);
+                o.uint_field("cache_capacity", SOLVE_CACHE_CAP as u64);
+                o.bool_field("retained", self.retained.is_some());
+                o.uint_field(
+                    "retained_bytes",
+                    self.retained.as_ref().map_or(0, |(_, s)| s.bytes()) as u64,
+                );
                 o.bool_field("solved", self.active.is_some());
                 if let Some(loaded) = &self.loaded {
                     o.uint_field("vars", loaded.program.num_vars() as u64);
@@ -553,20 +736,7 @@ impl AnalysisSession {
                 Ok(Payload::Fields(o))
             }
             Op::Load { path, text } => {
-                let text = match (path, text) {
-                    (_, Some(text)) => text.clone(),
-                    (Some(path), None) => {
-                        if path.ends_with(".c") {
-                            return Err(AntError::parse(
-                                "serve sessions load constraint files (.consts); \
-                                 compile C sources before starting the session",
-                            ));
-                        }
-                        std::fs::read_to_string(path)
-                            .map_err(|e| AntError::io(format!("cannot read {path}: {e}")))?
-                    }
-                    (None, None) => unreachable!("parse_request requires path or text"),
-                };
+                let text = read_source(path, text)?;
                 let program = parse_program(&text)?;
                 let mut o = JsonObject::new();
                 o.uint_field("vars", program.num_vars() as u64);
@@ -574,8 +744,15 @@ impl AnalysisSession {
                 self.load_program(program)?;
                 let key = self.loaded.as_ref().expect("just loaded").key;
                 o.str_field("key", &format!("{key:016x}"));
-                o.bool_field("cached", self.cache.contains_key(&key));
+                o.bool_field("cache_hit", self.cache.contains_key(&key));
+                // Loads are lazy; only `add` re-enters a retained state.
+                o.bool_field("resumed", false);
                 Ok(Payload::Fields(o))
+            }
+            Op::Add { path, text } => {
+                let text = read_source(path, text)?;
+                let addition = parse_program(&text)?;
+                Ok(Payload::Fields(self.add_program(addition)?))
             }
             Op::Shutdown => Ok(Payload::Shutdown),
         }
@@ -728,6 +905,38 @@ impl AnalysisSession {
 
 fn elapsed_micros(start: Instant) -> u64 {
     start.elapsed().as_micros() as u64
+}
+
+/// Runs a solve under `catch_unwind`, converting panics into typed solver
+/// errors so the session survives.
+fn run_solver<T>(f: impl FnOnce() -> T) -> Result<T, AntError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|panic| {
+        let msg = panic
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| panic.downcast_ref::<&str>().copied())
+            .unwrap_or("solver panicked");
+        AntError::solver(format!("solve failed: {msg}"))
+    })
+}
+
+/// Reads a `load`/`add` source: inline text wins, otherwise the path is
+/// read from disk (`.c` sources are rejected with a hint, as before).
+fn read_source(path: &Option<String>, text: &Option<String>) -> Result<String, AntError> {
+    match (path, text) {
+        (_, Some(text)) => Ok(text.clone()),
+        (Some(path), None) => {
+            if path.ends_with(".c") {
+                return Err(AntError::parse(
+                    "serve sessions load constraint files (.consts); \
+                     compile C sources before starting the session",
+                ));
+            }
+            std::fs::read_to_string(path)
+                .map_err(|e| AntError::io(format!("cannot read {path}: {e}")))
+        }
+        (None, None) => unreachable!("parse_request requires path or text"),
+    }
 }
 
 fn finish_reply(
@@ -900,7 +1109,8 @@ mod tests {
         // Same text → same key → cached solve.
         let r = s.handle_line(r#"{"op":"load","text":"p = &x\nq = p\nr = &y\n"}"#);
         let m = parse_object(&r.json).unwrap();
-        assert_eq!(field(&m, "cached"), &JsonValue::Bool(true));
+        assert_eq!(field(&m, "cache_hit"), &JsonValue::Bool(true));
+        assert_eq!(field(&m, "resumed"), &JsonValue::Bool(false));
         assert!(s.handle_line(r#"{"op":"points_to","var":"q"}"#).ok);
         assert_eq!(s.solve_counters(), (1, 1));
         // Different text → fresh solve.
@@ -968,5 +1178,114 @@ mod tests {
         let r = s.handle_line(r#"{"op":"points_to","var":"q"}"#);
         let m = parse_object(&r.json).unwrap();
         assert_eq!(field(&m, "error").as_str(), Some("not_found"));
+    }
+
+    /// A resumable configuration (`lcd`, normalize-only passes) answers an
+    /// `add` by warm-starting the retained state, and the resulting union
+    /// shares its cache entry with a direct load of the concatenated
+    /// source (content-key lineage).
+    #[test]
+    fn add_resumes_and_shares_the_union_cache_entry() {
+        let mut o = SessionOptions::new(SolverConfig::new(Algorithm::Lcd));
+        o.passes = "normalize".to_string();
+        let mut s = AnalysisSession::new(o).unwrap();
+        assert!(
+            s.handle_line(r#"{"op":"load","text":"p = &x\nq = p\n"}"#)
+                .ok
+        );
+        // Solve the base so there is a retained state to resume.
+        assert!(s.handle_line(r#"{"op":"points_to","var":"q"}"#).ok);
+        let r = s.handle_line(r#"{"op":"add","text":"r = q\nt = &r\n"}"#);
+        assert!(r.ok, "{}", r.json);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "cache_hit"), &JsonValue::Bool(false));
+        assert_eq!(field(&m, "resumed"), &JsonValue::Bool(true));
+        assert_eq!(field(&m, "new_vars").as_u64(), Some(2));
+        // The union answers like a fresh session over the whole source.
+        let r = s.handle_line(r#"{"op":"points_to","var":"r"}"#);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "pts").as_str_arr(), Some(vec!["x"]));
+        // Lineage: a direct load of the concatenated source hits the same
+        // cache entry the `add` populated.
+        let r = s.handle_line(r#"{"op":"load","text":"p = &x\nq = p\nr = q\nt = &r\n"}"#);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "cache_hit"), &JsonValue::Bool(true));
+        let (hits, misses) = s.cache_counters();
+        assert_eq!((hits, misses), (0, 2), "base miss + add miss, no hits yet");
+        let m = parse_object(&s.handle_line(r#"{"op":"stats"}"#).json).unwrap();
+        assert_eq!(field(&m, "cache_entries").as_u64(), Some(2));
+        assert_eq!(field(&m, "cache_capacity").as_u64(), Some(8));
+        assert_eq!(field(&m, "retained"), &JsonValue::Bool(true));
+        assert!(field(&m, "retained_bytes").as_u64().unwrap() > 0);
+    }
+
+    /// A non-resumable configuration (HCD algorithm, OVS in the pipeline)
+    /// still serves `add` — by a from-scratch union solve, explicitly
+    /// reported as `resumed: false`.
+    #[test]
+    fn add_without_delta_lane_falls_back_to_full_solve() {
+        let mut s = loaded_session(opts());
+        assert!(s.handle_line(r#"{"op":"points_to","var":"q"}"#).ok);
+        let r = s.handle_line(r#"{"op":"add","text":"w = q\n"}"#);
+        assert!(r.ok, "{}", r.json);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "cache_hit"), &JsonValue::Bool(false));
+        assert_eq!(field(&m, "resumed"), &JsonValue::Bool(false));
+        let r = s.handle_line(r#"{"op":"points_to","var":"w"}"#);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "pts").as_str_arr(), Some(vec!["x"]));
+    }
+
+    #[test]
+    fn add_errors_are_typed() {
+        // Before any load: not_found.
+        let mut s = AnalysisSession::new(opts()).unwrap();
+        let r = s.handle_line(r#"{"op":"add","text":"w = q\n"}"#);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "error").as_str(), Some("not_found"));
+        // A declaration conflicting with the base: parse.
+        let mut s = AnalysisSession::new(opts()).unwrap();
+        assert!(
+            s.handle_line(r#"{"op":"load","text":"fun f 3\np = &f\n"}"#)
+                .ok
+        );
+        let r = s.handle_line(r#"{"op":"add","text":"fun f 2\nq = &f\n"}"#);
+        assert!(!r.ok);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "error").as_str(), Some("parse"));
+        // Missing both source fields: malformed_request.
+        let r = s.handle_line(r#"{"op":"add"}"#);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "error").as_str(), Some("malformed_request"));
+        // The session survives and still answers.
+        assert!(s.handle_line(r#"{"op":"points_to","var":"p"}"#).ok);
+    }
+
+    /// Chained adds keep resuming: each re-keys the retained slot to the
+    /// union it just solved.
+    #[test]
+    fn chained_adds_keep_resuming() {
+        let mut o = SessionOptions::new(SolverConfig::new(Algorithm::Pkh));
+        o.passes = "normalize".to_string();
+        let mut s = AnalysisSession::new(o).unwrap();
+        assert!(
+            s.handle_line(r#"{"op":"load","text":"p = &x\nq = p\n"}"#)
+                .ok
+        );
+        assert!(s.handle_line(r#"{"op":"stats"}"#).ok); // no solve yet
+        let r = s.handle_line(r#"{"op":"add","text":"r = q\n"}"#);
+        let m = parse_object(&r.json).unwrap();
+        // First add: nothing solved yet, so no state to resume — the eager
+        // union solve creates one.
+        assert_eq!(field(&m, "resumed"), &JsonValue::Bool(false));
+        let r = s.handle_line(r#"{"op":"add","text":"t = r\n"}"#);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "resumed"), &JsonValue::Bool(true));
+        let r = s.handle_line(r#"{"op":"add","text":"u = t\nv = &u\n"}"#);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "resumed"), &JsonValue::Bool(true));
+        let r = s.handle_line(r#"{"op":"points_to","var":"u"}"#);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "pts").as_str_arr(), Some(vec!["x"]));
     }
 }

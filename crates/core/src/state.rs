@@ -1133,6 +1133,179 @@ impl<'o, P: PtsRepr> OnlineState<'o, P> {
         }
     }
 
+    /// Rebinds the telemetry observer, changing the state's lifetime
+    /// parameter. Used by the resumable solve path: a retained state is
+    /// stored with `Obs::none()` (`'static`), then re-bound to the caller's
+    /// observer for the duration of one resume and back afterwards.
+    pub fn rebind_obs<'b>(self, obs: Obs<'b>) -> OnlineState<'b, P> {
+        OnlineState {
+            n: self.n,
+            ctx: self.ctx,
+            uf: self.uf,
+            pts: self.pts,
+            succs: self.succs,
+            loads: self.loads,
+            stores: self.stores,
+            done: self.done,
+            hcd_done: self.hcd_done,
+            offset_limit: self.offset_limit,
+            hcd_targets: self.hcd_targets,
+            stats: self.stats,
+            obs,
+            prov: self.prov,
+            pts_ver: self.pts_ver,
+            round_hints: self.round_hints,
+            hint_hits: self.hint_hits,
+            scratch_succs: self.scratch_succs,
+            diff: self.diff,
+            succ_canon: self.succ_canon,
+            t_epoch: self.t_epoch,
+            t_index: self.t_index,
+            t_low: self.t_low,
+            t_on_stack: self.t_on_stack,
+            t_cur_epoch: self.t_cur_epoch,
+        }
+    }
+
+    /// Grafts a constraint delta onto a state already at its base fixpoint:
+    /// grows every per-node table to `union.num_vars()` and applies the
+    /// constraints appended after `base_constraints` exactly as
+    /// [`new`](Self::new) would have (base facts into `pts`, simple
+    /// constraints as raw edges — not counted in `edges_added`, matching
+    /// the initial-graph convention — complex constraints onto their
+    /// pivot's lists).
+    ///
+    /// `union` must extend the solved program: same variable prefix (the
+    /// resumable entry points verify this by hashing) and its constraint
+    /// list a strict prefix of `union`'s.
+    ///
+    /// Returns the sorted, deduplicated representatives the caller must
+    /// seed the fresh worklist with: every node the delta touched. The
+    /// base is at a fixpoint, so only these nodes can initiate change;
+    /// monotonicity then drives the re-solve to the union program's (unique)
+    /// least fixpoint. Complex pivots get their `done` marker reset, which
+    /// deterministically re-resolves *all* of the pivot's constraints
+    /// against its full points-to set — wasteful for the old entries but
+    /// identical across representations, propagation modes and thread
+    /// configurations, which is what the differential suite pins.
+    pub fn apply_delta(&mut self, union: &Program, base_constraints: usize) -> Vec<VarId> {
+        let new_n = union.num_vars();
+        debug_assert!(new_n >= self.n);
+        for _ in self.n..new_n {
+            self.uf.push();
+        }
+        self.pts.resize_with(new_n, P::default);
+        self.done.resize_with(new_n, P::default);
+        self.hcd_done.resize_with(new_n, P::default);
+        self.succs.resize_with(new_n, SparseBitmap::new);
+        self.loads.resize_with(new_n, Vec::new);
+        self.stores.resize_with(new_n, Vec::new);
+        self.hcd_targets.resize_with(new_n, Vec::new);
+        self.offset_limit
+            .extend_from_slice(&union.offset_limits()[self.n..]);
+        self.pts_ver.resize(new_n, 0);
+        self.succ_canon.resize(new_n, u64::MAX);
+        self.t_epoch.resize(new_n, 0);
+        self.t_index.resize(new_n, 0);
+        self.t_low.resize(new_n, 0);
+        self.t_on_stack.resize(new_n, false);
+        if let Some(d) = self.diff.as_mut() {
+            d.sent.resize_with(new_n, P::default);
+            d.sent_to.resize_with(new_n, Vec::new);
+            d.epoch.resize(new_n, u64::MAX);
+        }
+        self.n = new_n;
+
+        let mut seeds: Vec<VarId> = Vec::new();
+        for c in &union.constraints()[base_constraints..] {
+            match c.kind {
+                ConstraintKind::AddrOf => {
+                    let r = self.uf.find(c.lhs);
+                    if self.pts[r.index()].insert(&mut self.ctx, c.rhs.as_u32()) {
+                        self.pts_ver[r.index()] = self.pts_ver[r.index()].wrapping_add(1);
+                    }
+                    if let Some(p) = self.prov.as_deref_mut() {
+                        p.record_tuple(c.lhs.as_u32(), c.rhs.as_u32(), Reason::AddrOf);
+                    }
+                    seeds.push(r);
+                }
+                ConstraintKind::Copy => {
+                    let rl = self.uf.find(c.lhs);
+                    let rr = self.uf.find(c.rhs);
+                    if rl != rr {
+                        // A raw insert, like `new`: representative ids keep
+                        // any valid canonical-successor cache intact.
+                        self.succs[rr.index()].insert(rl.as_u32());
+                        if let Some(p) = self.prov.as_deref_mut() {
+                            p.record_edge(c.rhs.as_u32(), c.lhs.as_u32(), Reason::CopyConstraint);
+                        }
+                        seeds.push(rr);
+                    }
+                }
+                ConstraintKind::Load => {
+                    let r = self.uf.find(c.rhs);
+                    self.loads[r.index()].push((c.lhs, c.offset));
+                    self.done[r.index()] = P::default();
+                    seeds.push(r);
+                }
+                ConstraintKind::Store => {
+                    let r = self.uf.find(c.lhs);
+                    self.stores[r.index()].push((c.rhs, c.offset));
+                    self.done[r.index()] = P::default();
+                    seeds.push(r);
+                }
+            }
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        seeds
+    }
+
+    /// The retained-state variant of [`finalize_bytes`](Self::finalize_bytes):
+    /// records memory consumption *without* tearing anything down. The
+    /// difference-propagation markers stay live (they are accounted in
+    /// place) and no context compaction runs — a retained interner keeps
+    /// its intermediate sets until the state is finally discarded, so a
+    /// resumed solve may report more `pts_bytes` than a from-scratch one;
+    /// the behavioral §5.3 counters are unaffected. `extra_aux` carries the
+    /// solver driver's own structures (LCD's triggered set, PKH'03's
+    /// topological order). Every byte field is *assigned*, not accumulated,
+    /// so repeated finalization across resumes never double-counts.
+    pub fn finalize_bytes_retained(&mut self, extra_aux: usize) {
+        let mut diff_bytes = self.succ_canon.capacity() * std::mem::size_of::<u64>();
+        if let Some(d) = self.diff.as_ref() {
+            diff_bytes += d.sent.iter().map(P::heap_bytes).sum::<usize>()
+                + d.sent_to
+                    .iter()
+                    .map(|v| v.capacity() * std::mem::size_of::<u32>())
+                    .sum::<usize>()
+                + d.epoch.capacity() * std::mem::size_of::<u64>();
+        }
+        if let Some(cs) = P::ctx_stats(&self.ctx) {
+            self.stats.intern_hits = cs.intern_hits;
+            self.stats.intern_misses = cs.intern_misses;
+            self.stats.memo_hits = cs.memo_hits;
+            self.stats.memo_misses = cs.memo_misses;
+            self.stats.distinct_sets = cs.distinct_sets;
+        }
+        self.stats.pts_bytes = self.pts.iter().map(P::heap_bytes).sum::<usize>()
+            + self.done.iter().map(P::heap_bytes).sum::<usize>()
+            + self.hcd_done.iter().map(P::heap_bytes).sum::<usize>()
+            + P::ctx_bytes(&self.ctx);
+        self.stats.graph_bytes = self
+            .succs
+            .iter()
+            .map(SparseBitmap::heap_bytes)
+            .sum::<usize>()
+            + self
+                .loads
+                .iter()
+                .chain(self.stores.iter())
+                .map(|v| v.capacity() * std::mem::size_of::<ComplexRef>())
+                .sum::<usize>();
+        self.stats.aux_bytes = self.uf.heap_bytes() + self.n * (4 * 4 + 1) + diff_bytes + extra_aux;
+    }
+
     /// All current representative nodes.
     pub fn reps(&self) -> Vec<VarId> {
         (0..self.n)

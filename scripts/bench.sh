@@ -7,6 +7,7 @@
 #   pass_bench — offline pass subsets vs the paper's 60-77% band, BENCH_passes.json
 #   obs_bench  — provenance recorder overhead (seed / off / on), BENCH_obs.json
 #   prop_bench — full vs diff propagation across the six workloads, BENCH_prop.json
+#   incr_bench — warm-start resume vs scratch at 1/5/20% deltas, BENCH_incr.json
 #   serve_bench — session query p50/p99 + qps at fan-out 1 and 4, BENCH_serve.json
 # Every produced file is then validated against the schema by schema_check.
 # Usage: scripts/bench.sh            (honours ANT_SCALE, ANT_BENCH_REPEATS)
@@ -18,6 +19,7 @@ cargo run --release -p ant-bench --bin par_bench
 cargo run --release -p ant-bench --bin pass_bench
 cargo run --release -p ant-bench --bin obs_bench
 cargo run --release -p ant-bench --bin prop_bench
+cargo run --release -p ant-bench --bin incr_bench
 cargo run --release -p ant-bench --bin serve_bench
 
 cargo run --release -p ant-bench --bin schema_check

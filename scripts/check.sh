@@ -23,6 +23,9 @@ cargo test --test pipeline_differential -q
 echo "==> propagation-mode differential test (full vs diff)"
 cargo test --test prop_differential -q
 
+echo "==> incremental resume differential test (warm start vs scratch)"
+cargo test --test incremental_differential -q
+
 echo "==> full test suite under the BSP engine (ANT_THREADS=4)"
 ANT_THREADS=4 cargo test --workspace -q
 
@@ -37,12 +40,15 @@ cargo build --release -q -p ant-cli
 serve_out="$(printf '%s\n' \
   '{"op":"points_to","var":"str_hash","id":1}' \
   '{this is not json' \
+  '{"op":"add","text":"smoke_new = str_hash\n"}' \
   '{"op":"shutdown"}' \
   | target/release/ant serve testdata/hashtable.c)"
 echo "$serve_out" | grep -q '"ok":true.*"op":"points_to"' \
   || { echo "serve smoke: missing points_to answer"; echo "$serve_out"; exit 1; }
 echo "$serve_out" | grep -q '"error":"malformed_request"' \
   || { echo "serve smoke: malformed line not typed"; echo "$serve_out"; exit 1; }
+echo "$serve_out" | grep -q '"ok":true.*"op":"add"' \
+  || { echo "serve smoke: incremental add not answered"; echo "$serve_out"; exit 1; }
 
 echo "==> provenance-overhead gate (recorder-off within 2% of the seed path)"
 ANT_SCALE="${ANT_GATE_SCALE:-0.01}" ANT_BENCH_REPEATS="${ANT_GATE_REPEATS:-7}" \

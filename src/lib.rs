@@ -52,14 +52,18 @@ pub use ant_constraints::ovs::OvsStats;
 pub use ant_constraints::pipeline::{
     HcdPass, NormalizePass, OvsPass, Pass, PassPipeline, PassSummary, Prepared, SolutionMapping,
 };
-pub use ant_constraints::{parse_program, Constraint, ConstraintKind, Program, ProgramBuilder};
+pub use ant_constraints::{
+    parse_program, Constraint, ConstraintKind, Program, ProgramBuilder, ProgramDelta,
+};
 pub use ant_core::provenance::{EdgeExplanation, EdgeOrigin, Explainer, Step};
 pub use ant_core::session::{AnalysisSession, Reply, SessionOptions};
 pub use ant_core::{
-    solve_dyn, solve_dyn_recorded, solve_dyn_with_observer, solve_prepared, solve_prepared_raw,
-    solve_prepared_raw_recorded, solve_prepared_recorded, solve_prepared_recorded_with_observer,
-    solve_prepared_with_observer, threads_from_env, Algorithm, BddPts, BitmapPts, PropMode,
-    PtsKind, PtsRepr, SharedPts, Solution, SolveOutput, SolverConfig,
+    resume_dyn, resume_dyn_with_observer, resume_supported, solve_dyn, solve_dyn_recorded,
+    solve_dyn_resumable, solve_dyn_resumable_with_observer, solve_dyn_with_observer,
+    solve_prepared, solve_prepared_raw, solve_prepared_raw_recorded, solve_prepared_recorded,
+    solve_prepared_recorded_with_observer, solve_prepared_with_observer, threads_from_env,
+    Algorithm, BddPts, BitmapPts, PropMode, PtsKind, PtsRepr, ResumableState, SharedPts, Solution,
+    SolveOutput, SolverConfig,
 };
 pub use ant_frontend::{compile_c, FrontendError};
 
