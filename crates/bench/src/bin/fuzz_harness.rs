@@ -1,0 +1,156 @@
+//! Structure-aware differential fuzzer for the serving path (DESIGN.md
+//! §15): seeded program generation + mutation + adversarial `serve`
+//! request streams, with every finding auto-minimized and pinned into the
+//! regression corpus.
+//!
+//! ```text
+//! cargo run --release -p ant-bench --bin fuzz_harness -- \
+//!     [--seed N] [--programs N] [--requests N] [--corpus DIR]
+//! ```
+//!
+//! Iteration counts default to `$FUZZ_ITERS` (or 500). The run is
+//! deterministic per seed. Exit status: `0` when every input was handled
+//! cleanly; `1` when any *new* corpus entry was pinned — the entry is the
+//! reproducer, named `{category}-{contenthash}.{consts|reqs}` under the
+//! corpus directory and replayed forever by `tests/fuzz_regressions.rs`.
+
+use ant_bench::fuzz;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    seed: u64,
+    programs: usize,
+    requests: usize,
+    corpus: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let default_iters: usize = match std::env::var("FUZZ_ITERS") {
+        Ok(v) => v
+            .parse()
+            .map_err(|_| format!("FUZZ_ITERS must be a count, got `{v}`"))?,
+        Err(_) => 500,
+    };
+    let mut args = Args {
+        seed: 0xA27,
+        programs: default_iters,
+        requests: default_iters,
+        corpus: PathBuf::from("testdata/fuzz"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value (see --help)"))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--programs" => {
+                args.programs = value("--programs")?
+                    .parse()
+                    .map_err(|e| format!("--programs: {e}"))?;
+            }
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--corpus" => args.corpus = PathBuf::from(value("--corpus")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: fuzz_harness [--seed N] [--programs N] [--requests N] [--corpus DIR]"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown flag `{other}` (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    // The oracles run every suspect step under catch_unwind; silence the
+    // default per-panic backtrace spew so findings stay readable.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let seeded = match fuzz::seed_corpus(&args.corpus) {
+        Ok(seeded) => seeded,
+        Err(e) => {
+            eprintln!("cannot seed corpus at {}: {e}", args.corpus.display());
+            return ExitCode::from(2);
+        }
+    };
+    if !seeded.is_empty() {
+        println!(
+            "seeded {} historical regression entr{} into {}",
+            seeded.len(),
+            if seeded.len() == 1 { "y" } else { "ies" },
+            args.corpus.display()
+        );
+    }
+
+    let programs = match fuzz::fuzz_programs(args.seed, args.programs, &args.corpus) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("program fuzzing aborted: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "programs: {} iterations (seed {:#x}) — {} verified ({} differential solves), \
+         {} rejected with typed errors, {} new corpus entries",
+        programs.iterations,
+        args.seed,
+        programs.verified,
+        programs.checks,
+        programs.rejected,
+        programs.new_entries.len()
+    );
+
+    let requests = match fuzz::fuzz_requests(args.seed ^ 0x5EED, args.requests, &args.corpus) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("request fuzzing aborted: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "requests: {} streams — {} drained cleanly ({} envelopes checked), {} new corpus entries",
+        requests.iterations,
+        requests.verified,
+        requests.checks,
+        requests.new_entries.len()
+    );
+
+    let new: Vec<_> = programs
+        .new_entries
+        .iter()
+        .chain(&requests.new_entries)
+        .collect();
+    if new.is_empty() {
+        println!("no new findings");
+        ExitCode::SUCCESS
+    } else {
+        for path in &new {
+            eprintln!("NEW FINDING pinned: {}", path.display());
+        }
+        eprintln!(
+            "{} new corpus entr{} — reproduce with `cargo test --test fuzz_regressions`",
+            new.len(),
+            if new.len() == 1 { "y" } else { "ies" }
+        );
+        ExitCode::FAILURE
+    }
+}

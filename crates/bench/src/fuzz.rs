@@ -1,0 +1,902 @@
+//! Structure-aware differential fuzzing and fault injection for the
+//! serving path (DESIGN.md §15).
+//!
+//! Three seeded generators drive the harness (`cargo run --release -p
+//! ant-bench --bin fuzz_harness`):
+//!
+//! 1. [`gen_program_text`] — random but *valid* constraint programs
+//!    (`fun` blocks first, offsets below the largest declared block, a
+//!    sprinkle of comments and blank lines),
+//! 2. [`mutate_program`] — near-valid corruptions of a valid program
+//!    (byte deletions/insertions including invalid UTF-8, line swaps and
+//!    duplications, huge-number substitution, truncation),
+//! 3. [`gen_request_stream`] — adversarial `ant serve` JSONL streams
+//!    (truncated JSON, invalid UTF-8, oversized lines, out-of-order
+//!    `add`/`load`, empty lines, mid-request disconnects).
+//!
+//! Every input that parses and validates is cross-checked
+//! *differentially*: a randomly sampled solver configuration (algorithm ×
+//! points-to representation × propagation mode × thread count × offline
+//! pass subset) must reproduce the reference `Basic`/bitmap/full solve
+//! bit for bit after expansion. Every panic, protocol violation, or
+//! solution mismatch is auto-minimized ([`minimize`]) and pinned into the
+//! on-disk corpus (`testdata/fuzz/`), which `tests/fuzz_regressions.rs`
+//! replays on every `cargo test` via [`replay_program_entry`] /
+//! [`replay_request_entry`].
+//!
+//! Everything is deterministic per seed: the generators run on the
+//! vendored xoshiro256**-backed `StdRng`, so a corpus entry's file name
+//! (content-hashed) and the harness's findings are reproducible with
+//! `fuzz_harness --seed N`.
+
+use ant_constraints::pipeline::PassPipeline;
+use ant_constraints::{parse_program, Program};
+use ant_core::obs::parse_object;
+use ant_core::session::{read_request_line, AnalysisSession, SessionOptions};
+use ant_core::{solve_dyn, solve_prepared, Algorithm, PropMode, PtsKind, Solution, SolverConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Line cap used when replaying request streams — deliberately small so
+/// the corpus can exercise the oversized-line path without megabyte
+/// fixtures (the production cap is `ant_core::session::MAX_REQUEST_LINE`).
+pub const REPLAY_LINE_CAP: usize = 1024;
+
+/// File extension for constraint-program corpus entries.
+pub const PROGRAM_EXT: &str = "consts";
+
+/// File extension for JSONL request-stream corpus entries.
+pub const REQUEST_EXT: &str = "reqs";
+
+/// A reproducible defect found by the fuzzer: the corpus-name prefix
+/// (`parse-panic`, `validate-gap`, `solve-panic`, `diff-mismatch`,
+/// `serve-panic`, `serve-protocol`) plus a human-readable description.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Stable category used as the corpus file-name prefix.
+    pub prefix: &'static str,
+    /// What went wrong, including the panic payload or the first
+    /// differing variable.
+    pub message: String,
+}
+
+impl Finding {
+    fn new(prefix: &'static str, message: impl Into<String>) -> Finding {
+        Finding {
+            prefix,
+            message: message.into(),
+        }
+    }
+}
+
+/// What a clean (non-finding) check of one input amounted to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The input was rejected up front with a typed error (parse error,
+    /// invalid UTF-8) — the defended behaviour for malformed inputs.
+    Rejected,
+    /// The input was accepted and every differential/protocol check
+    /// passed; the payload counts the checks that ran (alternative
+    /// configurations solved, or request lines answered).
+    Verified(usize),
+}
+
+/// One alternative solver configuration for the differential oracle.
+#[derive(Clone, Copy, Debug)]
+pub struct AltConfig {
+    /// Algorithm to cross-check against the `Basic` reference.
+    pub algorithm: Algorithm,
+    /// Points-to representation.
+    pub pts: PtsKind,
+    /// Propagation mode.
+    pub prop: PropMode,
+    /// Solver thread count (`≥ 2` routes through the BSP engine).
+    pub threads: usize,
+    /// Offline pass subset, in [`PassPipeline::parse`] syntax.
+    pub passes: &'static str,
+}
+
+/// The fixed replay matrix `tests/fuzz_regressions.rs` runs every corpus
+/// program under: {Basic, LCD, PKH} × {bitmap, shared}, plus LCD+HCD
+/// under both representations with the full pass pipeline — the
+/// configuration that exposed the conditional-cycle HCD pairing bug the
+/// `diff-mismatch-*` corpus entries pin.
+pub const REPLAY_MATRIX: [AltConfig; 8] = {
+    const fn alt(algorithm: Algorithm, pts: PtsKind, passes: &'static str) -> AltConfig {
+        AltConfig {
+            algorithm,
+            pts,
+            prop: PropMode::Full,
+            threads: 1,
+            passes,
+        }
+    }
+    [
+        alt(Algorithm::Basic, PtsKind::Bitmap, "normalize,ovs"),
+        alt(Algorithm::Basic, PtsKind::Shared, "normalize,ovs"),
+        alt(Algorithm::Lcd, PtsKind::Bitmap, "normalize,ovs"),
+        alt(Algorithm::Lcd, PtsKind::Shared, "normalize,ovs"),
+        alt(Algorithm::Pkh, PtsKind::Bitmap, "normalize,ovs"),
+        alt(Algorithm::Pkh, PtsKind::Shared, "normalize,ovs"),
+        alt(Algorithm::LcdHcd, PtsKind::Bitmap, "normalize,ovs,hcd"),
+        alt(Algorithm::LcdHcd, PtsKind::Shared, "normalize,ovs,hcd"),
+    ]
+};
+
+const PASS_SPECS: [&str; 4] = ["", "normalize", "normalize,ovs", "normalize,ovs,hcd"];
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// Generates a random but *valid* constraint program: `fun` blocks first
+/// (so later lines may reference their names), then 1–24 constraints over
+/// a small variable pool, with every `*(p + k)` offset below the largest
+/// declared block. Occasionally sprinkles comments and blank lines.
+pub fn gen_program_text(rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    let nfuns = rng.gen_range(0..=2usize);
+    let mut max_slots = 1u32;
+    let mut names: Vec<String> = Vec::new();
+    for f in 0..nfuns {
+        let slots = rng.gen_range(1..=4u32);
+        max_slots = max_slots.max(slots);
+        out.push_str(&format!("fun f{f} {slots}\n"));
+        names.push(format!("f{f}"));
+        for k in 1..slots {
+            names.push(format!("f{f}#{k}"));
+        }
+    }
+    for v in 0..rng.gen_range(2..=8usize) {
+        names.push(format!("v{v}"));
+    }
+    let nconstraints = rng.gen_range(1..=24usize);
+    for _ in 0..nconstraints {
+        if rng.gen_bool(0.06) {
+            out.push_str("# comment\n");
+        }
+        if rng.gen_bool(0.04) {
+            out.push('\n');
+        }
+        let a = &names[rng.gen_range(0..names.len())];
+        let b = &names[rng.gen_range(0..names.len())];
+        let off = if max_slots > 1 && rng.gen_bool(0.3) {
+            rng.gen_range(1..max_slots)
+        } else {
+            0
+        };
+        let line = match rng.gen_range(0..4u32) {
+            0 => format!("{a} = &{b}"),
+            1 => format!("{a} = {b}"),
+            2 if off > 0 => format!("{a} = *({b} + {off})"),
+            2 => format!("{a} = *{b}"),
+            3 if off > 0 => format!("*({a} + {off}) = {b}"),
+            _ => format!("*{a} = {b}"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Corrupts a valid program into a near-valid byte string: byte
+/// deletions/insertions (including invalid UTF-8), line duplication and
+/// swaps, huge-number substitution, and truncation. The result may or may
+/// not parse — the oracle only demands it never panics.
+pub fn mutate_program(rng: &mut StdRng, text: &str) -> Vec<u8> {
+    let mut bytes = text.as_bytes().to_vec();
+    for _ in 0..rng.gen_range(1..=4usize) {
+        if bytes.is_empty() {
+            break;
+        }
+        match rng.gen_range(0..6u32) {
+            0 => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes.remove(i);
+            }
+            1 => {
+                let i = rng.gen_range(0..=bytes.len());
+                let pool: [u8; 10] = [0xFF, 0xFE, b'*', b'&', b'=', b'#', b'+', b'(', b'9', b' '];
+                bytes.insert(i, pool[rng.gen_range(0..pool.len())]);
+            }
+            2 => {
+                // Duplicate one line.
+                let lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+                if !lines.is_empty() {
+                    let dup = lines[rng.gen_range(0..lines.len())].to_vec();
+                    bytes.extend_from_slice(&dup);
+                    bytes.push(b'\n');
+                }
+            }
+            3 => {
+                // Swap two lines.
+                let mut lines: Vec<Vec<u8>> =
+                    bytes.split(|&b| b == b'\n').map(<[u8]>::to_vec).collect();
+                if lines.len() >= 2 {
+                    let i = rng.gen_range(0..lines.len());
+                    let j = rng.gen_range(0..lines.len());
+                    lines.swap(i, j);
+                    bytes = lines.join(&b'\n');
+                }
+            }
+            4 => {
+                // Replace the first digit run with a huge number.
+                if let Some(pos) = bytes.iter().position(u8::is_ascii_digit) {
+                    let end = bytes[pos..]
+                        .iter()
+                        .position(|b| !b.is_ascii_digit())
+                        .map_or(bytes.len(), |e| pos + e);
+                    let huge: &[u8] = if rng.gen_bool(0.5) {
+                        b"536870911"
+                    } else {
+                        b"99999999999999999999"
+                    };
+                    bytes.splice(pos..end, huge.iter().copied());
+                }
+            }
+            _ => {
+                let cut = rng.gen_range(0..=bytes.len());
+                bytes.truncate(cut);
+            }
+        }
+    }
+    bytes
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Generates an adversarial `ant serve` JSONL request stream: valid
+/// requests (including `load`/`add` with inline programs) interleaved
+/// with truncated JSON, invalid UTF-8, lines over [`REPLAY_LINE_CAP`],
+/// empty lines, out-of-order `add`-before-`load`, mid-stream `shutdown`,
+/// and (sometimes) a final request with no trailing newline — a
+/// mid-request disconnect.
+pub fn gen_request_stream(rng: &mut StdRng) -> Vec<u8> {
+    let mut out: Vec<u8> = Vec::new();
+    let program = json_string(&gen_program_text(rng));
+    let vars = ["v0", "v1", "f0", "f0#1", "nosuch"];
+    let n = rng.gen_range(1..=20usize);
+    for id in 0..n {
+        let line: Vec<u8> = match rng.gen_range(0..13u32) {
+            0 => format!(r#"{{"id":{id},"op":"load","text":{program}}}"#).into_bytes(),
+            1 => format!(r#"{{"id":{id},"op":"add","text":"v0 = &v1\n"}}"#).into_bytes(),
+            2 => {
+                let v = vars[rng.gen_range(0..vars.len())];
+                format!(r#"{{"id":{id},"op":"points_to","var":"{v}"}}"#).into_bytes()
+            }
+            3 => {
+                let (a, b) = (
+                    vars[rng.gen_range(0..vars.len())],
+                    vars[rng.gen_range(0..vars.len())],
+                );
+                format!(r#"{{"id":{id},"op":"may_alias","a":"{a}","b":"{b}"}}"#).into_bytes()
+            }
+            4 => {
+                let v = vars[rng.gen_range(0..vars.len())];
+                format!(r#"{{"id":{id},"op":"resolve","var":"{v}"}}"#).into_bytes()
+            }
+            5 => format!(r#"{{"id":{id},"op":"stats"}}"#).into_bytes(),
+            6 => {
+                let v = vars[rng.gen_range(0..vars.len())];
+                format!(r#"{{"id":{id},"op":"explain","var":"{v}","loc":"v1"}}"#).into_bytes()
+            }
+            7 if rng.gen_bool(0.4) => br#"{"op":"shutdown"}"#.to_vec(),
+            7 => format!(r#"{{"id":{id},"op":"no_such_op"}}"#).into_bytes(),
+            8 => {
+                // Truncated JSON.
+                let full = format!(r#"{{"id":{id},"op":"points_to","var":"v0"}}"#);
+                let cut = rng.gen_range(1..full.len());
+                full.as_bytes()[..cut].to_vec()
+            }
+            9 => {
+                let mut g = b"{\"op\":".to_vec();
+                g.extend_from_slice(&[0xFF, 0xFE, b'}']);
+                g
+            }
+            10 => {
+                let pad = "y".repeat(REPLAY_LINE_CAP + rng.gen_range(1..=REPLAY_LINE_CAP));
+                format!(r#"{{"id":{id},"op":"stats","pad":"{pad}"}}"#).into_bytes()
+            }
+            11 => Vec::new(), // empty line
+            _ => b"}}garbage[[".to_vec(),
+        };
+        out.extend_from_slice(&line);
+        if id + 1 < n || rng.gen_bool(0.8) {
+            out.push(b'\n');
+        } // else: disconnect mid-request (no trailing newline)
+    }
+    out
+}
+
+/// Samples one alternative configuration for the differential oracle.
+pub fn sample_alt(rng: &mut StdRng) -> AltConfig {
+    AltConfig {
+        algorithm: Algorithm::ALL[rng.gen_range(0..Algorithm::ALL.len())],
+        pts: PtsKind::ALL[rng.gen_range(0..PtsKind::ALL.len())],
+        prop: PropMode::ALL[rng.gen_range(0..PropMode::ALL.len())],
+        threads: if rng.gen_bool(0.25) { 4 } else { 1 },
+        passes: PASS_SPECS[rng.gen_range(0..PASS_SPECS.len())],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracles
+// ---------------------------------------------------------------------------
+
+fn reference_solve(program: &Program) -> Result<Solution, Finding> {
+    let config = SolverConfig::new(Algorithm::Basic);
+    catch_unwind(AssertUnwindSafe(|| {
+        solve_dyn(program, &config, PtsKind::Bitmap).solution
+    }))
+    .map_err(|p| {
+        Finding::new(
+            "solve-panic",
+            format!("reference Basic/bitmap solve panicked: {}", panic_text(p)),
+        )
+    })
+}
+
+fn alt_solve(program: &Program, alt: &AltConfig) -> Result<Solution, Finding> {
+    let pipeline = PassPipeline::parse(alt.passes).map_err(|e| {
+        Finding::new(
+            "solve-panic",
+            format!("pass spec `{}` failed to parse: {e}", alt.passes),
+        )
+    })?;
+    let mut config = SolverConfig::new(alt.algorithm);
+    config.prop = alt.prop;
+    config.threads = alt.threads;
+    catch_unwind(AssertUnwindSafe(|| {
+        let prepared = pipeline.run(program);
+        solve_prepared(&prepared, &config, alt.pts).solution
+    }))
+    .map_err(|p| {
+        Finding::new(
+            "solve-panic",
+            format!(
+                "{}/{:?}/{}/t{}/[{}] panicked: {}",
+                alt.algorithm.name(),
+                alt.pts,
+                alt.prop,
+                alt.threads,
+                alt.passes,
+                panic_text(p)
+            ),
+        )
+    })
+}
+
+/// Runs the full program oracle on raw input bytes: UTF-8 decode → parse
+/// (must not panic) → [`Program::validate`] (parse must only accept what
+/// validates) → reference solve → one differential solve per entry of
+/// `alts`, each required to be bit-identical to the `Basic`/bitmap
+/// reference after expansion.
+///
+/// # Errors
+///
+/// Returns the [`Finding`] describing the first panic, validation gap, or
+/// solution mismatch.
+pub fn check_program(bytes: &[u8], alts: &[AltConfig]) -> Result<Outcome, Finding> {
+    let Ok(text) = std::str::from_utf8(bytes) else {
+        return Ok(Outcome::Rejected); // rejected upstream by read_to_string
+    };
+    let parsed = catch_unwind(AssertUnwindSafe(|| parse_program(text))).map_err(|p| {
+        Finding::new(
+            "parse-panic",
+            format!("parse_program panicked: {}", panic_text(p)),
+        )
+    })?;
+    let program = match parsed {
+        Ok(p) => p,
+        Err(_) => return Ok(Outcome::Rejected),
+    };
+    if let Err(msg) = program.validate() {
+        return Err(Finding::new(
+            "validate-gap",
+            format!("parse accepted a program validate rejects: {msg}"),
+        ));
+    }
+    let reference = reference_solve(&program)?;
+    for alt in alts {
+        let solution = alt_solve(&program, alt)?;
+        if !solution.equiv(&reference) {
+            let var = solution
+                .first_difference(&reference)
+                .map_or("set count".to_owned(), |v| format!("var {}", v.index()));
+            return Err(Finding::new(
+                "diff-mismatch",
+                format!(
+                    "{}/{:?}/{}/t{}/[{}] differs from Basic/bitmap at {var}",
+                    alt.algorithm.name(),
+                    alt.pts,
+                    alt.prop,
+                    alt.threads,
+                    alt.passes,
+                ),
+            ));
+        }
+    }
+    Ok(Outcome::Verified(alts.len()))
+}
+
+fn check_reply_envelope(json: &str, ok: bool) -> Result<(), String> {
+    let obj =
+        parse_object(json).map_err(|e| format!("reply is not a JSON object ({e}): {json}"))?;
+    match obj.get("ok").and_then(|v| v.as_bool()) {
+        Some(flag) if flag == ok => {}
+        Some(_) => return Err(format!("reply `ok` field contradicts Reply.ok: {json}")),
+        None => return Err(format!("reply missing boolean `ok`: {json}")),
+    }
+    if !ok {
+        for key in ["error", "message"] {
+            if obj.get(key).and_then(|v| v.as_str()).is_none() {
+                return Err(format!("error reply missing string `{key}`: {json}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Drives a whole request-stream byte string through the transport reader
+/// ([`read_request_line`] with [`REPLAY_LINE_CAP`]) and a fresh
+/// [`AnalysisSession`], exactly like the serve loop: transport errors
+/// become `malformed_request` envelopes, every reply must be a
+/// well-formed JSON envelope (`ok` flag; `error` + `message` on
+/// failures), and nothing may panic.
+///
+/// # Errors
+///
+/// Returns the [`Finding`] (`serve-panic` or `serve-protocol`) for the
+/// first panic or malformed envelope.
+pub fn check_requests(bytes: &[u8]) -> Result<Outcome, Finding> {
+    let opts = SessionOptions::new(SolverConfig::new(Algorithm::Lcd));
+    let mut session = AnalysisSession::new(opts)
+        .map_err(|e| Finding::new("serve-protocol", format!("session refused to start: {e}")))?;
+    let mut cursor = std::io::Cursor::new(bytes);
+    let mut replies = 0usize;
+    while let Some(line) = read_request_line(&mut cursor, REPLAY_LINE_CAP) {
+        let reply = match line {
+            Ok(line) if line.trim().is_empty() => continue,
+            Ok(line) => {
+                catch_unwind(AssertUnwindSafe(|| session.handle_line(&line))).map_err(|p| {
+                    Finding::new(
+                        "serve-panic",
+                        format!("handle_line panicked: {}", panic_text(p)),
+                    )
+                })?
+            }
+            Err(e) if matches!(e.kind(), ant_common::AntErrorKind::Io) => break,
+            Err(e) => catch_unwind(AssertUnwindSafe(|| session.transport_error_reply(&e)))
+                .map_err(|p| {
+                    Finding::new(
+                        "serve-panic",
+                        format!("transport_error_reply panicked: {}", panic_text(p)),
+                    )
+                })?,
+        };
+        replies += 1;
+        check_reply_envelope(&reply.json, reply.ok)
+            .map_err(|msg| Finding::new("serve-protocol", msg))?;
+        if reply.shutdown {
+            break;
+        }
+    }
+    Ok(Outcome::Verified(replies))
+}
+
+// ---------------------------------------------------------------------------
+// Minimization and corpus
+// ---------------------------------------------------------------------------
+
+/// Line-based auto-minimization: repeatedly drops whole lines, then
+/// single bytes, as long as `still_fails` keeps returning `true`.
+/// Deterministic and bounded — inputs here are at most a few KiB.
+pub fn minimize<F: FnMut(&[u8]) -> bool>(bytes: &[u8], mut still_fails: F) -> Vec<u8> {
+    let mut best = bytes.to_vec();
+    // Whole-line removal to a fixpoint (bounded).
+    for _ in 0..8 {
+        let mut shrunk = false;
+        let mut i = 0;
+        loop {
+            let lines: Vec<&[u8]> = best.split(|&b| b == b'\n').collect();
+            if i >= lines.len() {
+                break;
+            }
+            if lines.len() > 1 {
+                let candidate: Vec<u8> = lines
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, l)| *l)
+                    .collect::<Vec<_>>()
+                    .join(&b'\n');
+                if still_fails(&candidate) {
+                    best = candidate;
+                    shrunk = true;
+                    continue; // same index now names the next line
+                }
+            }
+            i += 1;
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    // One bounded single-byte removal pass.
+    let mut i = 0;
+    while i < best.len() && best.len() <= 4096 {
+        let mut candidate = best.clone();
+        candidate.remove(i);
+        if still_fails(&candidate) {
+            best = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    best
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The content-hashed corpus file name: `{prefix}-{hash:08x}.{ext}`.
+pub fn corpus_file_name(prefix: &str, bytes: &[u8], ext: &str) -> String {
+    format!("{prefix}-{:08x}.{ext}", fnv1a64(bytes) as u32)
+}
+
+/// Writes a minimized failing input into the corpus directory under its
+/// content-hashed name. Returns `Ok(None)` when an identical entry is
+/// already pinned (not a new finding).
+///
+/// # Errors
+///
+/// Propagates filesystem errors creating the directory or writing.
+pub fn write_corpus_entry(
+    dir: &Path,
+    prefix: &str,
+    ext: &str,
+    bytes: &[u8],
+) -> std::io::Result<Option<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(corpus_file_name(prefix, bytes, ext));
+    if path.exists() {
+        return Ok(None);
+    }
+    std::fs::write(&path, bytes)?;
+    Ok(Some(path))
+}
+
+/// Pins the historical crashers this harness was built around (each fixed
+/// in the same change) so they replay forever as regressions. Idempotent;
+/// returns only the entries that were newly written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from [`write_corpus_entry`].
+pub fn seed_corpus(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let programs: [(&str, &[u8]); 4] = [
+        // ProgramBuilder::function used to panic when a fun block's slot
+        // name was already taken.
+        ("parse-panic", b"a#1 = x\nfun a 2\n"),
+        // An absurd slot count used to attempt the full allocation.
+        ("parse-panic", b"fun f 536870911\n"),
+        // A zero-slot block used to slip through to the builder.
+        ("parse-panic", b"fun f 0\n"),
+        // Parse used to accept offsets no fun block makes addressable,
+        // which Program::validate then rejected.
+        ("validate-gap", b"a = *(b + 9)\n"),
+    ];
+    let mut fault_bytes = Vec::new();
+    fault_bytes.extend_from_slice(b"{\"op\":\"add\",\"text\":\"p = &x\\n\"}\n"); // add before load
+    fault_bytes.extend_from_slice(b"{\"op\":\xFF\xFE}\n"); // invalid UTF-8
+    fault_bytes.extend_from_slice(b"{\"op\":\"load\"}\n"); // no path/text: was unreachable!()
+    fault_bytes.extend_from_slice(
+        format!(
+            "{{\"op\":\"stats\",\"pad\":\"{}\"}}\n",
+            "y".repeat(2 * REPLAY_LINE_CAP)
+        )
+        .as_bytes(),
+    );
+    fault_bytes.extend_from_slice(b"{\"op\":\"load\",\"text\":\"p = &x\\nq = p\\n\"}\n");
+    fault_bytes.extend_from_slice(b"{\"op\":\"points_to\",\"var\":\"q\"}\n");
+    fault_bytes.extend_from_slice(b"{\"op\":\"shutdown\"}"); // no trailing newline
+    let truncated = b"{\"op\":\"poi".to_vec();
+    let mut new = Vec::new();
+    for (prefix, bytes) in programs {
+        if let Some(p) = write_corpus_entry(dir, prefix, PROGRAM_EXT, bytes)? {
+            new.push(p);
+        }
+    }
+    if let Some(p) = write_corpus_entry(dir, "serve-panic", REQUEST_EXT, &fault_bytes)? {
+        new.push(p);
+    }
+    if let Some(p) = write_corpus_entry(dir, "serve-protocol", REQUEST_EXT, &truncated)? {
+        new.push(p);
+    }
+    Ok(new)
+}
+
+/// All corpus entries with the given extension, sorted by file name.
+///
+/// # Errors
+///
+/// Propagates directory-read errors (a missing directory is an empty
+/// corpus, not an error).
+pub fn corpus_entries(dir: &Path, ext: &str) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) == Some(ext) {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Replay (used by tests/fuzz_regressions.rs)
+// ---------------------------------------------------------------------------
+
+/// Replays one program corpus entry under the fixed [`REPLAY_MATRIX`].
+///
+/// # Errors
+///
+/// Returns the finding's category and message when the entry still
+/// panics, still exposes a validation gap, or still mismatches.
+pub fn replay_program_entry(bytes: &[u8]) -> Result<(), String> {
+    match check_program(bytes, &REPLAY_MATRIX) {
+        Ok(_) => Ok(()),
+        Err(f) => Err(format!("{}: {}", f.prefix, f.message)),
+    }
+}
+
+/// Replays one request-stream corpus entry through a fresh session.
+///
+/// # Errors
+///
+/// Returns the finding's category and message when the stream still
+/// panics the session or still produces a malformed envelope.
+pub fn replay_request_entry(bytes: &[u8]) -> Result<(), String> {
+    match check_requests(bytes) {
+        Ok(_) => Ok(()),
+        Err(f) => Err(format!("{}: {}", f.prefix, f.message)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz loops
+// ---------------------------------------------------------------------------
+
+/// What one fuzzing campaign did: totals plus any *new* corpus entries
+/// (each one a freshly discovered, already-minimized failing input).
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Inputs generated and checked.
+    pub iterations: usize,
+    /// Inputs rejected up front with a typed error.
+    pub rejected: usize,
+    /// Inputs fully verified (differential checks or answered requests).
+    pub verified: usize,
+    /// Total differential solves / request replies across the campaign.
+    pub checks: usize,
+    /// Newly pinned corpus entries — any entry here fails the build.
+    pub new_entries: Vec<PathBuf>,
+}
+
+fn record_finding(
+    report: &mut FuzzReport,
+    corpus: &Path,
+    ext: &str,
+    finding: &Finding,
+    bytes: &[u8],
+    mut still_fails: impl FnMut(&[u8]) -> bool,
+) -> std::io::Result<()> {
+    let minimized = minimize(bytes, &mut still_fails);
+    eprintln!(
+        "fuzz: {} — {} ({} bytes, minimized to {})",
+        finding.prefix,
+        finding.message,
+        bytes.len(),
+        minimized.len()
+    );
+    if let Some(path) = write_corpus_entry(corpus, finding.prefix, ext, &minimized)? {
+        report.new_entries.push(path);
+    }
+    Ok(())
+}
+
+/// Fuzzes constraint-program parsing and differential solving for
+/// `iters` iterations from `seed`. Roughly half the inputs are valid
+/// generated programs (checked differentially against randomly sampled
+/// configurations), half are mutated corruptions (checked for panic-free
+/// rejection). New findings are minimized and pinned under `corpus`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors writing corpus entries.
+pub fn fuzz_programs(seed: u64, iters: usize, corpus: &Path) -> std::io::Result<FuzzReport> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = FuzzReport::default();
+    for _ in 0..iters {
+        report.iterations += 1;
+        let text = gen_program_text(&mut rng);
+        let bytes = if rng.gen_bool(0.5) {
+            mutate_program(&mut rng, &text)
+        } else {
+            text.into_bytes()
+        };
+        let alts = [sample_alt(&mut rng), sample_alt(&mut rng)];
+        match check_program(&bytes, &alts) {
+            Ok(Outcome::Rejected) => report.rejected += 1,
+            Ok(Outcome::Verified(n)) => {
+                report.verified += 1;
+                report.checks += n;
+            }
+            Err(finding) => {
+                let prefix = finding.prefix;
+                record_finding(
+                    &mut report,
+                    corpus,
+                    PROGRAM_EXT,
+                    &finding,
+                    &bytes,
+                    |b| matches!(check_program(b, &alts), Err(f) if f.prefix == prefix),
+                )?;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Fuzzes the serve transport and session protocol for `iters`
+/// adversarial JSONL streams from `seed`. Every stream must drain
+/// without a panic, and every reply must be a well-formed envelope.
+///
+/// # Errors
+///
+/// Propagates filesystem errors writing corpus entries.
+pub fn fuzz_requests(seed: u64, iters: usize, corpus: &Path) -> std::io::Result<FuzzReport> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = FuzzReport::default();
+    for _ in 0..iters {
+        report.iterations += 1;
+        let bytes = gen_request_stream(&mut rng);
+        match check_requests(&bytes) {
+            Ok(Outcome::Rejected) => report.rejected += 1,
+            Ok(Outcome::Verified(n)) => {
+                report.verified += 1;
+                report.checks += n;
+            }
+            Err(finding) => {
+                let prefix = finding.prefix;
+                record_finding(
+                    &mut report,
+                    corpus,
+                    REQUEST_EXT,
+                    &finding,
+                    &bytes,
+                    |b| matches!(check_requests(b), Err(f) if f.prefix == prefix),
+                )?;
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_programs_are_valid_and_agree() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let text = gen_program_text(&mut rng);
+            let alts = [sample_alt(&mut rng)];
+            match check_program(text.as_bytes(), &alts) {
+                Ok(Outcome::Verified(1)) => {}
+                other => panic!("generated program not verified: {other:?}\n{text}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_programs_never_panic() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let text = gen_program_text(&mut rng);
+            let bytes = mutate_program(&mut rng, &text);
+            if let Err(f) = check_program(&bytes, &[]) {
+                panic!("{}: {} on {:?}", f.prefix, f.message, bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn request_streams_never_panic_and_keep_the_protocol() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..25 {
+            let bytes = gen_request_stream(&mut rng);
+            if let Err(f) = check_requests(&bytes) {
+                panic!("{}: {} on {:?}", f.prefix, f.message, bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_shrinks_while_preserving_the_predicate() {
+        let input = b"keep\nnoise one\nnoise two\nBAD marker\ntrailing\n";
+        let out = minimize(input, |b| b.windows(3).any(|w| w == b"BAD"));
+        assert!(out.windows(3).any(|w| w == b"BAD"));
+        assert!(out.len() < input.len(), "no shrink: {out:?}");
+    }
+
+    #[test]
+    fn corpus_round_trips_and_dedups() {
+        let dir = std::env::temp_dir().join(format!("ant-fuzz-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let first = write_corpus_entry(&dir, "diff-mismatch", PROGRAM_EXT, b"p = &x\n").unwrap();
+        assert!(first.is_some());
+        let dup = write_corpus_entry(&dir, "diff-mismatch", PROGRAM_EXT, b"p = &x\n").unwrap();
+        assert!(dup.is_none(), "identical content must not be a new entry");
+        let listed = corpus_entries(&dir, PROGRAM_EXT).unwrap();
+        assert_eq!(listed, vec![first.unwrap()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seeded_corpus_replays_clean() {
+        let dir = std::env::temp_dir().join(format!("ant-fuzz-seed-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let new = seed_corpus(&dir).unwrap();
+        assert_eq!(new.len(), 6, "all six historical crashers pinned");
+        assert!(seed_corpus(&dir).unwrap().is_empty(), "idempotent");
+        for path in corpus_entries(&dir, PROGRAM_EXT).unwrap() {
+            let bytes = std::fs::read(&path).unwrap();
+            replay_program_entry(&bytes).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        }
+        for path in corpus_entries(&dir, REQUEST_EXT).unwrap() {
+            let bytes = std::fs::read(&path).unwrap();
+            replay_request_entry(&bytes).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,5 +1,15 @@
 //! The `ant` subcommands.
 
+// The serve path in this module handles untrusted client streams; failures
+// must exit with a typed code or answer with an error envelope, never
+// panic. The lints keep the panic-free audit from regressing.
+#![warn(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable
+)]
+
 use crate::opts::{flag_help, Opts};
 use ant_common::{AntError, QueryErrorKind, VarId};
 use ant_constraints::pipeline::{PassPipeline, Prepared};
@@ -381,7 +391,7 @@ fn solve_incremental(base_path: &str, adds: &[&str], opts: &Opts) -> Result<(), 
     // overrides this; non-delta-stable passes then re-run over each union
     // and the warm start is skipped.
     if opts.value("--passes").is_none() && !opts.has("--no-ovs") {
-        cfg.passes = PassPipeline::parse("normalize").expect("normalize is a valid pass");
+        cfg.passes = PassPipeline::parse("normalize")?;
     }
     if !resume_supported(&cfg.solver, cfg.pts) {
         eprintln!(
@@ -561,7 +571,9 @@ fn run_recorded(
     let mut cfg = CliConfig::from_opts(opts)?;
     cfg.record = true;
     let (program, out, prepared, prov) = run(input, &cfg)?;
-    let prov = prov.expect("record flag forced on");
+    let prov = prov.ok_or_else(|| {
+        AntError::solver("internal: recorded solve returned no provenance despite --record")
+    })?;
     Ok((program, out, prepared, prov))
 }
 
@@ -795,23 +807,36 @@ pub fn serve(args: &[String]) -> Result<(), AntError> {
 
 /// Answers request lines from `reader` on `session`, writing one envelope
 /// line per request to `writer` (flushed per line, so pipe clients see
-/// answers promptly). Every reply is mirrored as a
-/// [`SolveEvent::Query`] to the telemetry fan-out and aggregated into
-/// `metrics`. Returns `Ok(true)` when a `shutdown` request ended the
-/// loop, `Ok(false)` on EOF.
+/// answers promptly). Lines are read through
+/// [`read_request_line`](ant_core::session::read_request_line) under the
+/// [`MAX_REQUEST_LINE`](ant_core::session::MAX_REQUEST_LINE) cap, so an
+/// oversized line or invalid UTF-8 gets a `malformed_request` envelope and
+/// the connection keeps serving; only a genuine read failure ends it.
+/// Every reply is mirrored as a [`SolveEvent::Query`] to the telemetry
+/// fan-out and aggregated into `metrics`. Returns `Ok(true)` when a
+/// `shutdown` request ended the loop, `Ok(false)` on EOF.
 fn serve_loop(
     session: &mut AnalysisSession,
-    reader: impl BufRead,
+    mut reader: impl BufRead,
     mut writer: impl Write,
     fan: &mut Option<FanOut<'_>>,
     metrics: &mut ant_core::obs::MetricsRegistry,
 ) -> Result<bool, AntError> {
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let reply = session.handle_line(&line);
+    use ant_core::session::{read_request_line, MAX_REQUEST_LINE};
+    while let Some(line) = read_request_line(&mut reader, MAX_REQUEST_LINE) {
+        let reply = match line {
+            Ok(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                session.handle_line(&line)
+            }
+            // Transport-level rejections (length cap, invalid UTF-8) are
+            // answered like any malformed request; I/O errors end the
+            // connection.
+            Err(e) if matches!(e.kind(), ant_common::AntErrorKind::Io) => return Err(e),
+            Err(e) => session.transport_error_reply(&e),
+        };
         writeln!(writer, "{}", reply.json)?;
         writer.flush()?;
         metrics.add("serve.requests", 1);
@@ -835,9 +860,27 @@ fn serve_loop(
     Ok(false)
 }
 
+/// Removes the serve lockfile when the server exits, however it exits.
+#[cfg(unix)]
+struct LockfileGuard(std::path::PathBuf);
+
+#[cfg(unix)]
+impl Drop for LockfileGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
 /// Serves connections on a Unix socket, one client at a time. A dropped
 /// connection only ends that client; a `shutdown` request stops the
 /// server (and removes the socket file).
+///
+/// Before unlinking a stale socket the server takes `<path>.lock`
+/// exclusively (`O_CREAT|O_EXCL`): two servers racing on the same path
+/// would otherwise both unlink-and-bind, with the loser silently stealing
+/// the winner's socket. The bound socket's permissions are restricted to
+/// `0600` — the query protocol reads arbitrary files server-side (`load`
+/// by path), so the socket must not be world-connectable.
 #[cfg(unix)]
 fn serve_socket(
     session: &mut AnalysisSession,
@@ -845,7 +888,29 @@ fn serve_socket(
     fan: &mut Option<FanOut<'_>>,
     metrics: &mut ant_core::obs::MetricsRegistry,
 ) -> Result<(), AntError> {
+    use std::os::unix::fs::PermissionsExt;
     use std::os::unix::net::UnixListener;
+    let lock_path = std::path::PathBuf::from(format!("{path}.lock"));
+    std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&lock_path)
+        .map_err(|e| {
+            if e.kind() == io::ErrorKind::AlreadyExists {
+                AntError::io(format!(
+                    "another server is starting on {path} (lockfile {} exists; \
+                     remove it if that server is gone)",
+                    lock_path.display()
+                ))
+            } else {
+                AntError::io(format!(
+                    "cannot create lockfile {}: {e}",
+                    lock_path.display()
+                ))
+                .with_source(e)
+            }
+        })?;
+    let _lock = LockfileGuard(lock_path);
     if std::fs::metadata(path).is_ok() {
         std::fs::remove_file(path).map_err(|e| {
             AntError::io(format!("cannot replace stale socket {path}: {e}")).with_source(e)
@@ -853,10 +918,25 @@ fn serve_socket(
     }
     let listener = UnixListener::bind(path)
         .map_err(|e| AntError::io(format!("cannot bind {path}: {e}")).with_source(e))?;
+    std::fs::set_permissions(path, std::fs::Permissions::from_mode(0o600))
+        .map_err(|e| AntError::io(format!("cannot chmod {path}: {e}")).with_source(e))?;
     eprintln!("serving on {path}");
     for conn in listener.incoming() {
-        let conn = conn?;
-        let reader = io::BufReader::new(conn.try_clone()?);
+        let conn = match conn {
+            Ok(c) => c,
+            // A failed accept leaves the listener usable; keep serving.
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                continue;
+            }
+        };
+        let reader = match conn.try_clone() {
+            Ok(c) => io::BufReader::new(c),
+            Err(e) => {
+                eprintln!("connection dropped: {e}");
+                continue;
+            }
+        };
         match serve_loop(session, reader, conn, fan, metrics) {
             Ok(true) => break,
             Ok(false) => {}
@@ -881,6 +961,7 @@ fn serve_socket(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 
@@ -1257,8 +1338,23 @@ mod tests {
             }
         }
         let conn = conn.expect("server came up");
+        // The socket is private to the serving user.
+        {
+            use std::os::unix::fs::PermissionsExt;
+            let mode = std::fs::metadata(&sock).unwrap().permissions().mode();
+            assert_eq!(mode & 0o777, 0o600, "socket must be 0600");
+        }
         let mut reader = BufReader::new(conn.try_clone().unwrap());
         let mut writer = conn;
+        // Invalid UTF-8 must be answered with an envelope, not kill the
+        // connection.
+        writer.write_all(b"\xff\xfe{not utf8}\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(
+            reply.contains(r#""error":"malformed_request""#) && reply.contains("UTF-8"),
+            "got {reply}"
+        );
         let mut ask = |line: &str| {
             writeln!(writer, "{line}").unwrap();
             let mut reply = String::new();
@@ -1271,6 +1367,14 @@ mod tests {
         let reply = ask("not json at all");
         assert!(
             reply.contains(r#""error":"malformed_request""#),
+            "got {reply}"
+        );
+        // A request line over the transport cap is rejected with an
+        // envelope and the connection keeps serving.
+        let big = format!(r#"{{"op":"stats","pad":"{}"}}"#, "y".repeat(2 << 20));
+        let reply = ask(&big);
+        assert!(
+            reply.contains(r#""error":"malformed_request""#) && reply.contains("exceeds"),
             "got {reply}"
         );
         let reply = ask(r#"{"op":"may_alias","a":"p","b":"q"}"#);
@@ -1294,6 +1398,28 @@ mod tests {
             !std::path::Path::new(&sock).exists(),
             "socket file removed on shutdown"
         );
+        assert!(
+            !std::path::Path::new(&format!("{sock}.lock")).exists(),
+            "lockfile removed on shutdown"
+        );
+    }
+
+    /// A concurrently starting server holds `<path>.lock`; the second
+    /// server must refuse to unlink the socket out from under it.
+    #[cfg(unix)]
+    #[test]
+    fn serve_socket_refuses_when_lockfile_held() {
+        let sock = std::env::temp_dir()
+            .join("ant-cli-tests")
+            .join("t16.sock")
+            .to_string_lossy()
+            .into_owned();
+        std::fs::create_dir_all(std::env::temp_dir().join("ant-cli-tests")).unwrap();
+        let lock = format!("{sock}.lock");
+        std::fs::write(&lock, "").unwrap();
+        let err = serve(&s(&["--socket", &sock])).unwrap_err();
+        assert!(err.message().contains("lockfile"), "{err}");
+        std::fs::remove_file(&lock).unwrap();
     }
 
     /// `ant solve --base/--add` warm-starts the retained state: the trace

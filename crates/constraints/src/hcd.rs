@@ -1,16 +1,34 @@
 //! The offline half of Hybrid Cycle Detection (§4.2, Figures 3–4).
 //!
-//! A linear-time static analysis run before the pointer analysis. It finds
+//! A near-linear static analysis run before the pointer analysis. It finds
 //! SCCs of the [offline constraint graph](crate::offline::OfflineGraph)
 //! with Tarjan's algorithm and splits them into:
 //!
 //! * SCCs of only non-ref nodes — genuine copy cycles, collapsible
 //!   immediately ([`HcdOffline::static_unions`]);
-//! * SCCs containing ref nodes — for each ref node `*a` in such an SCC,
-//!   record the pair `(a, b)` where `b` is a non-ref member
+//! * SCCs containing ref nodes — for each ref node `*a` that lies on a
+//!   cycle whose *other* nodes are all non-ref, record the pair `(a, b)`
+//!   where `b` is a non-ref node on that cycle
 //!   ([`HcdOffline::pair_of`]). At solve time, whenever node `a` is popped,
 //!   every `v ∈ pts(a)` is preemptively collapsed with `b` — cycle
 //!   collapsing with **zero** graph traversal.
+//!
+//! The ref-free-cycle restriction is what makes the pair list *exact*
+//! rather than speculative. A cycle `x → *a → y → ⋯ → x` with only
+//! non-ref interior nodes instantiates online as `x → v → y → ⋯ → x` for
+//! every `v ∈ pts(a)` — the copy segment `y → ⋯ → x` exists from the
+//! start, so `v` really does join a cycle with `b` and the preemptive
+//! collapse preserves the solution bit for bit. A cycle that passes
+//! through a *second* ref node `*c` only materializes when `pts(c)` turns
+//! out non-empty; pairing on it merges variables that may never share a
+//! cycle, which *grows* points-to sets. (Found by the differential fuzz
+//! harness — `testdata/fuzz/diff-mismatch-*.consts` pin the reproducers;
+//! DESIGN.md §15.) Such conditional cycles are left to the online
+//! detectors (LCD), which only ever collapse cycles that actually exist.
+//!
+//! Copy-only sub-cycles *among* the non-ref members of a mixed SCC are
+//! still genuine copy cycles no matter what any points-to set ends up
+//! being, so they are collapsed statically like pure copy SCCs.
 
 use crate::offline::OfflineGraph;
 use crate::scc::tarjan_scc;
@@ -56,34 +74,86 @@ impl HcdOffline {
         let mut ref_sccs = 0;
 
         let members = scc.members();
+        // Stamp arrays shared across components (no per-SCC allocation).
+        let mut in_comp = vec![0u32; g.adj.len()];
+        let mut visited = vec![0u32; g.adj.len()];
+        let mut epoch = 0u32;
+        let mut dfs_epoch = 0u32;
         for comp in &members {
             if comp.len() <= 1 {
                 continue;
             }
-            let rep = comp.iter().copied().find(|&n| !g.is_ref(n));
-            let rep = match rep {
-                Some(r) => VarId::from_u32(r),
-                // The paper: "no ref node can have a reflexive edge and any
-                // non-trivial SCC containing a ref node must also contain a
-                // non-ref node" — there are no *p ⊇ *q constraints, so every
-                // edge touches a non-ref node.
-                None => unreachable!("non-trivial SCC of only ref nodes is impossible"),
-            };
             let has_ref = comp.iter().any(|&n| g.is_ref(n));
-            if has_ref {
-                ref_sccs += 1;
+            if !has_ref {
+                // A pure copy cycle: collapsible before solving starts.
+                let rep = VarId::from_u32(comp[0]);
+                for &n in &comp[1..] {
+                    static_unions.push((VarId::from_u32(n), rep));
+                }
+                continue;
             }
+            ref_sccs += 1;
+            epoch += 1;
             for &n in comp {
-                if g.is_ref(n) {
-                    pair[g.var_of(n).index()] = Some(rep);
-                } else if n != rep.as_u32() {
-                    // Non-ref members of *any* non-trivial SCC are linked by
-                    // genuine copy paths... only when the path avoids ref
-                    // nodes. Only collapse components made purely of
-                    // non-ref nodes; mixed components defer to the online
-                    // pairs.
-                    if !has_ref {
-                        static_unions.push((VarId::from_u32(n), rep));
+                in_comp[n as usize] = epoch;
+            }
+            // Copy-only sub-cycles among the non-ref members are real
+            // cycles regardless of any points-to set: collapse them
+            // statically, exactly like a pure copy SCC.
+            let nonref: Vec<u32> = comp.iter().copied().filter(|&n| !g.is_ref(n)).collect();
+            debug_assert!(
+                !nonref.is_empty(),
+                // There are no *p ⊇ *q constraints, so every edge touches a
+                // non-ref node and no SCC is made of ref nodes alone.
+                "non-trivial SCC of only ref nodes is impossible"
+            );
+            let local: ant_common::fx::FxHashMap<u32, usize> =
+                nonref.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+            let sub_adj: Vec<Vec<u32>> = nonref
+                .iter()
+                .map(|&u| {
+                    g.adj[u as usize]
+                        .iter()
+                        .filter_map(|v| local.get(v).map(|&i| i as u32))
+                        .collect()
+                })
+                .collect();
+            let sub = tarjan_scc(&sub_adj);
+            for sub_comp in &sub.members() {
+                if sub_comp.len() > 1 {
+                    let rep = VarId::from_u32(nonref[sub_comp[0] as usize]);
+                    for &i in &sub_comp[1..] {
+                        static_unions.push((VarId::from_u32(nonref[i as usize]), rep));
+                    }
+                }
+            }
+            // A ref node earns a pair only when it sits on a ref-free
+            // cycle: walk forward from its successors through non-ref
+            // members; an edge back into the ref node closes such a cycle
+            // and its source is the online-collapse partner.
+            for &r in comp.iter().filter(|&&n| g.is_ref(n)) {
+                dfs_epoch += 1;
+                let mut stack: Vec<u32> = g.adj[r as usize]
+                    .iter()
+                    .copied()
+                    .filter(|&s| in_comp[s as usize] == epoch && !g.is_ref(s))
+                    .collect();
+                for &s in &stack {
+                    visited[s as usize] = dfs_epoch;
+                }
+                while let Some(u) = stack.pop() {
+                    if g.adj[u as usize].binary_search(&r).is_ok() {
+                        pair[g.var_of(r).index()] = Some(VarId::from_u32(u));
+                        break;
+                    }
+                    for &v in &g.adj[u as usize] {
+                        if in_comp[v as usize] == epoch
+                            && !g.is_ref(v)
+                            && visited[v as usize] != dfs_epoch
+                        {
+                            visited[v as usize] = dfs_epoch;
+                            stack.push(v);
+                        }
                     }
                 }
             }
@@ -163,8 +233,12 @@ mod tests {
     }
 
     #[test]
-    fn mixed_scc_defers_nonref_members_to_online_pairs() {
-        // b → *c → x → *a → b : refs {*a,*c} and non-refs {b,x} in one SCC.
+    fn double_ref_cycle_earns_no_pairs() {
+        // b → *c → x → *a → b : refs {*a,*c} and non-refs {b,x} in one SCC,
+        // but every cycle through either ref node crosses the *other* ref
+        // node too. The cycle only materializes online if both pts(a) and
+        // pts(c) are non-empty, so pairing on it would merge variables
+        // that may never share a cycle.
         let mut pb = ProgramBuilder::new();
         let a = pb.var("a");
         let b = pb.var("b");
@@ -175,14 +249,91 @@ mod tests {
         pb.store(a, x); // *a ⊇ x : x → *a
         pb.load(b, a); // b ⊇ *a : *a → b
         let hcd = HcdOffline::analyze(&pb.finish());
-        assert_eq!(hcd.num_pairs(), 2);
-        let pa = hcd.pair_of(a).unwrap();
-        let pc = hcd.pair_of(c).unwrap();
-        assert_eq!(pa, pc);
-        assert!(pa == b || pa == x);
-        // b and x must NOT be statically collapsed: the cycle between them
-        // only materializes if the ref nodes' points-to sets are non-empty.
+        assert_eq!(hcd.num_pairs(), 0);
+        assert_eq!(hcd.ref_sccs, 1);
+        // b and x must NOT be statically collapsed either: there is no
+        // copy path between them.
         assert!(hcd.static_unions.is_empty());
+    }
+
+    /// Minimized from the differential fuzz harness
+    /// (`testdata/fuzz/diff-mismatch-9ccec217.consts`): the SCC
+    /// `{v1, *v6, v4, *v2}` holds two ref nodes. Every cycle through
+    /// `*v6` crosses `*v2`, whose points-to set stays empty, so
+    /// `pts(v6) = {v1}` never joins a cycle with `v4` — yet the old
+    /// analysis paired *both* refs with one shared representative, and
+    /// when that representative was `v4` the preemptive merge of `v1`
+    /// into it grew four points-to sets. `*v2` keeps its pair: it sits on
+    /// the genuine ref-free cycle `*v2 → v1 → v4 → *v2` (exact, and
+    /// dormant while `pts(v2)` is empty).
+    #[test]
+    fn conditional_cycle_through_empty_ref_is_not_paired() {
+        let mut pb = ProgramBuilder::new();
+        let v5 = pb.var("v5");
+        let v4 = pb.var("v4");
+        let v1 = pb.var("v1");
+        let v2 = pb.var("v2");
+        let v6 = pb.var("v6");
+        pb.load(v5, v4); // v5 ⊇ *v4
+        pb.load(v1, v2); // v1 ⊇ *v2
+        pb.addr_of(v4, v2);
+        pb.store(v6, v1); // *v6 ⊇ v1
+        pb.copy(v4, v1);
+        pb.store(v2, v4); // *v2 ⊇ v4
+        pb.load(v4, v6); // v4 ⊇ *v6
+        pb.addr_of(v1, v1);
+        pb.copy(v6, v5);
+        let hcd = HcdOffline::analyze(&pb.finish());
+        assert_eq!(hcd.pair_of(v6), None);
+        let partner = hcd.pair_of(v2).expect("*v2 is on a ref-free cycle");
+        assert!(partner == v1 || partner == v4);
+        assert_eq!(hcd.num_pairs(), 1);
+        assert!(hcd.static_unions.is_empty());
+        assert_eq!(hcd.ref_sccs, 1);
+    }
+
+    #[test]
+    fn ref_free_cycle_inside_mixed_scc_still_pairs() {
+        // *a sits on the ref-free cycle x → *a → y → x, and the SCC also
+        // drags in a second conditional ref *c (y → *c → x). The exact
+        // analysis keeps the (a, partner) pair, skips (c, _), and
+        // statically collapses nothing (x ↔ y only connect through refs).
+        let mut pb = ProgramBuilder::new();
+        let a = pb.var("a");
+        let c = pb.var("c");
+        let x = pb.var("x");
+        let y = pb.var("y");
+        pb.store(a, x); // x → *a
+        pb.load(y, a); // *a → y
+        pb.copy(x, y); // y → x : closes the ref-free cycle through *a
+        pb.store(c, y); // y → *c
+        pb.load(x, c); // *c → x : conditional second path
+        let hcd = HcdOffline::analyze(&pb.finish());
+        assert_eq!(hcd.pair_of(c), None);
+        let partner = hcd.pair_of(a).expect("*a lies on a ref-free cycle");
+        assert!(partner == x || partner == y);
+        assert_eq!(hcd.num_pairs(), 1);
+    }
+
+    #[test]
+    fn copy_subcycle_inside_mixed_scc_is_statically_unioned() {
+        // x ↔ y is a pure copy cycle; the store/load through *a pull the
+        // pair into one big SCC with a ref node. The copy cycle is real
+        // no matter what pts(a) is, so it still collapses statically.
+        let mut pb = ProgramBuilder::new();
+        let a = pb.var("a");
+        let x = pb.var("x");
+        let y = pb.var("y");
+        pb.copy(x, y);
+        pb.copy(y, x);
+        pb.store(a, x); // x → *a
+        pb.load(y, a); // *a → y
+        let hcd = HcdOffline::analyze(&pb.finish());
+        assert_eq!(hcd.static_unions.len(), 1);
+        let (from, to) = hcd.static_unions[0];
+        assert!((from == x && to == y) || (from == y && to == x));
+        // *a also sits on the ref-free cycle x → *a → y → x.
+        assert!(hcd.pair_of(a).is_some());
     }
 
     #[test]

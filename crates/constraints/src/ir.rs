@@ -537,6 +537,50 @@ impl ProgramBuilder {
         f
     }
 
+    /// Largest slot count [`try_function`](Self::try_function) accepts. A
+    /// `fun f 536870911` line would otherwise intern half a billion slot
+    /// names before anything notices; real indirect-call blocks are tiny.
+    pub const MAX_FUN_SLOTS: u32 = 1 << 16;
+
+    /// Fallible variant of [`function`](Self::function) for untrusted input
+    /// (the text parser, `serve` load/add). Checks everything `function`
+    /// asserts — and the slot-name collisions it only `debug_assert`s — and
+    /// reports them as values instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when `slots` is 0 or above
+    /// [`MAX_FUN_SLOTS`](Self::MAX_FUN_SLOTS), when `name` is already
+    /// interned, or when any slot name `name#k` is already interned (the
+    /// block could not be allocated contiguously).
+    pub fn try_function(&mut self, name: &str, slots: u32) -> Result<VarId, String> {
+        if slots == 0 {
+            return Err("slot count must be >= 1".to_owned());
+        }
+        if slots > Self::MAX_FUN_SLOTS {
+            return Err(format!(
+                "slot count {slots} exceeds the maximum of {}",
+                Self::MAX_FUN_SLOTS
+            ));
+        }
+        if self.by_name.contains_key(name) {
+            return Err(format!(
+                "function `{name}` declared after its name was already used \
+                 (declare `fun` lines before referencing the name)"
+            ));
+        }
+        for k in 1..slots {
+            let slot = format!("{name}#{k}");
+            if self.by_name.contains_key(&slot) {
+                return Err(format!(
+                    "slot name `{slot}` is already in use, so the block for \
+                     `fun {name} {slots}` cannot be allocated contiguously"
+                ));
+            }
+        }
+        Ok(self.function(name, slots))
+    }
+
     /// Number of variables created so far.
     pub fn num_vars(&self) -> usize {
         self.names.len()
@@ -631,6 +675,22 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.var("f");
         b.function("f", 2);
+    }
+
+    #[test]
+    fn try_function_reports_instead_of_panicking() {
+        let mut b = ProgramBuilder::new();
+        assert!(b.try_function("f", 0).is_err());
+        assert!(b
+            .try_function("f", ProgramBuilder::MAX_FUN_SLOTS + 1)
+            .is_err());
+        b.var("g#1");
+        let err = b.try_function("g", 2).unwrap_err();
+        assert!(err.contains("g#1"), "{err}");
+        b.var("h");
+        assert!(b.try_function("h", 2).is_err());
+        let f = b.try_function("f", 3).unwrap();
+        assert_eq!(b.var("f#2"), f.offset(2));
     }
 
     #[test]

@@ -15,6 +15,17 @@
 //! *(fp + 2) = arg    # complex 2 with offset (indirect-call argument)
 //! ```
 
+// Untrusted input enters the system here (`serve` load/add, CLI files):
+// every failure must surface as a typed error, never a panic. The fuzz
+// harness (`ant_bench::fuzz`) and the corpus under `testdata/fuzz/` exercise
+// this; the lints keep the audit from regressing.
+#![warn(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable
+)]
+
 use crate::{Program, ProgramBuilder};
 use std::error::Error;
 use std::fmt;
@@ -23,13 +34,15 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseProgramError {
     line: usize,
+    column: usize,
     message: String,
 }
 
 impl ParseProgramError {
-    fn new(line: usize, message: impl Into<String>) -> Self {
+    fn at(line: usize, column: usize, message: impl Into<String>) -> Self {
         ParseProgramError {
             line,
+            column,
             message: message.into(),
         }
     }
@@ -38,11 +51,21 @@ impl ParseProgramError {
     pub fn line(&self) -> usize {
         self.line
     }
+
+    /// 1-based byte column of the offending token (1 when the whole line is
+    /// at fault).
+    pub fn column(&self) -> usize {
+        self.column
+    }
 }
 
 impl fmt::Display for ParseProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "line {}, col {}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -58,6 +81,19 @@ fn is_ident(s: &str) -> bool {
     !s.is_empty()
         && s.chars()
             .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '$' | '#' | '.' | ':'))
+}
+
+/// 1-based byte column of `sub` within `raw`, where `sub` is a slice carved
+/// out of `raw`. Falls back to the first non-whitespace column when `sub` is
+/// not inside `raw` (e.g. a transformed token).
+fn col_of(raw: &str, sub: &str) -> usize {
+    let raw_start = raw.as_ptr() as usize;
+    let sub_start = sub.as_ptr() as usize;
+    if sub_start >= raw_start && sub_start + sub.len() <= raw_start + raw.len() {
+        sub_start - raw_start + 1
+    } else {
+        raw.len() - raw.trim_start().len() + 1
+    }
 }
 
 /// A dereference expression `*v`, `*(v + k)`, or a bare identifier.
@@ -81,8 +117,11 @@ fn parse_side(s: &str) -> Option<(&str, bool, u32)> {
 ///
 /// # Errors
 ///
-/// Returns [`ParseProgramError`] on malformed lines, unknown directives, or
-/// `fun` declarations that appear after the name was already used.
+/// Returns [`ParseProgramError`] — with 1-based line and column context — on
+/// malformed lines, unknown directives, `fun` declarations that appear after
+/// the name (or any of its slot names) was already used, slot counts above
+/// [`ProgramBuilder::MAX_FUN_SLOTS`], and load/store offsets that no `fun`
+/// block anywhere in the file makes addressable.
 ///
 /// # Example
 ///
@@ -96,6 +135,11 @@ fn parse_side(s: &str) -> Option<(&str, bool, u32)> {
 /// ```
 pub fn parse_program(text: &str) -> Result<Program, ParseProgramError> {
     let mut b = ProgramBuilder::new();
+    // Offsets used by load/store constraints, validated after the whole file
+    // is read: a `fun` block big enough to make an offset addressable may
+    // legally appear on a later line.
+    let mut max_slots: u32 = 1;
+    let mut pending_offsets: Vec<(usize, usize, u32)> = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let lineno = i + 1;
         let line = match raw.split_once('#') {
@@ -113,70 +157,98 @@ pub fn parse_program(text: &str) -> Result<Program, ParseProgramError> {
         }
         if let Some(rest) = line.strip_prefix("fun ") {
             let mut parts = rest.split_whitespace();
-            let (name, slots) = match (parts.next(), parts.next(), parts.next()) {
+            let (name, slots_text) = match (parts.next(), parts.next(), parts.next()) {
                 (Some(n), Some(s), None) => (n, s),
                 _ => {
-                    return Err(ParseProgramError::new(
+                    return Err(ParseProgramError::at(
                         lineno,
+                        col_of(raw, line),
                         "expected `fun <name> <slots>`",
                     ))
                 }
             };
-            let slots: u32 = slots
-                .parse()
-                .map_err(|_| ParseProgramError::new(lineno, "bad slot count"))?;
-            if slots == 0 {
-                return Err(ParseProgramError::new(lineno, "slot count must be >= 1"));
-            }
+            let slots: u32 = slots_text.parse().map_err(|_| {
+                ParseProgramError::at(lineno, col_of(raw, slots_text), "bad slot count")
+            })?;
             if !is_ident(name) {
-                return Err(ParseProgramError::new(lineno, "bad function name"));
-            }
-            if b.has_var(name) {
-                return Err(ParseProgramError::new(
+                return Err(ParseProgramError::at(
                     lineno,
-                    "function declared after its name was already used \
-                     (declare `fun` lines before referencing the name)",
+                    col_of(raw, name),
+                    "bad function name",
                 ));
             }
-            b.function(name, slots);
+            b.try_function(name, slots)
+                .map_err(|msg| ParseProgramError::at(lineno, col_of(raw, name), msg))?;
+            max_slots = max_slots.max(slots);
             continue;
         }
-        let (lhs_text, rhs_text) = line
-            .split_once('=')
-            .ok_or_else(|| ParseProgramError::new(lineno, "expected `lhs = rhs`"))?;
-        let (lname, lderef, loff) = parse_side(lhs_text)
-            .ok_or_else(|| ParseProgramError::new(lineno, "bad left-hand side"))?;
+        let (lhs_text, rhs_text) = line.split_once('=').ok_or_else(|| {
+            ParseProgramError::at(lineno, col_of(raw, line), "expected `lhs = rhs`")
+        })?;
+        let (lname, lderef, loff) = parse_side(lhs_text).ok_or_else(|| {
+            ParseProgramError::at(lineno, col_of(raw, lhs_text.trim()), "bad left-hand side")
+        })?;
         let rhs_text = rhs_text.trim();
         if let Some(addr) = rhs_text.strip_prefix('&') {
             let addr = addr.trim();
             if lderef || !is_ident(addr) {
-                return Err(ParseProgramError::new(lineno, "bad address-of constraint"));
+                return Err(ParseProgramError::at(
+                    lineno,
+                    col_of(raw, rhs_text),
+                    "bad address-of constraint",
+                ));
             }
             let lhs = b.var(lname);
             let rhs = b.var(addr);
             b.addr_of(lhs, rhs);
             continue;
         }
-        let (rname, rderef, roff) = parse_side(rhs_text)
-            .ok_or_else(|| ParseProgramError::new(lineno, "bad right-hand side"))?;
+        let (rname, rderef, roff) = parse_side(rhs_text).ok_or_else(|| {
+            ParseProgramError::at(lineno, col_of(raw, rhs_text), "bad right-hand side")
+        })?;
         let lhs = b.var(lname);
         let rhs = b.var(rname);
         match (lderef, rderef) {
             (false, false) => b.copy(lhs, rhs),
-            (false, true) => b.load_offset(lhs, rhs, roff),
-            (true, false) => b.store_offset(lhs, rhs, loff),
+            (false, true) => {
+                if roff > 0 {
+                    pending_offsets.push((lineno, col_of(raw, rhs_text), roff));
+                }
+                b.load_offset(lhs, rhs, roff);
+            }
+            (true, false) => {
+                if loff > 0 {
+                    pending_offsets.push((lineno, col_of(raw, lhs_text.trim()), loff));
+                }
+                b.store_offset(lhs, rhs, loff);
+            }
             (true, true) => {
-                return Err(ParseProgramError::new(
+                return Err(ParseProgramError::at(
                     lineno,
+                    col_of(raw, line),
                     "at most one dereference per constraint (introduce a temporary)",
                 ))
             }
         }
     }
+    if let Some(&(lineno, col, off)) = pending_offsets
+        .iter()
+        .find(|&&(_, _, off)| off >= max_slots)
+    {
+        return Err(ParseProgramError::at(
+            lineno,
+            col,
+            format!(
+                "offset {off} is not addressable: the largest `fun` block \
+                 declares {max_slots} slot(s), so offsets must be < {max_slots}"
+            ),
+        ));
+    }
     Ok(b.finish())
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::ConstraintKind;
@@ -185,6 +257,7 @@ mod tests {
     fn parses_all_forms() {
         let p = parse_program(
             "# a comment\n\
+             fun f 3\n\
              p = &x\n\
              q = p\n\
              r = *q\n\
@@ -264,5 +337,52 @@ mod tests {
         let err = parse_program("???\n").unwrap_err();
         let _: &dyn std::error::Error = &err;
         assert!(err.to_string().starts_with("line 1"));
+    }
+
+    #[test]
+    fn rejects_fun_after_slot_name_use() {
+        // `a#1` interned first makes the block for `fun a 2` non-contiguous;
+        // this used to trip a debug_assert (and silently corrupt the block
+        // in release builds).
+        let err = parse_program("a#1 = x\nfun a 2\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("already in use"), "{err}");
+    }
+
+    #[test]
+    fn rejects_oversized_fun_block() {
+        // Used to allocate half a billion slot names before failing.
+        let err = parse_program("fun f 536870911\n").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("exceeds the maximum"), "{err}");
+    }
+
+    #[test]
+    fn rejects_dangling_offsets() {
+        // No `fun` block spans 10 slots, so offset 9 can never resolve; this
+        // used to pass parse and trip Program::validate downstream.
+        let err = parse_program("a = *(b + 9)\n").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("not addressable"), "{err}");
+        let err = parse_program("fun f 4\n*(a + 7) = b\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("not addressable"), "{err}");
+    }
+
+    #[test]
+    fn fun_after_offset_use_makes_it_addressable() {
+        // The addressability check is deferred to end-of-file: a big-enough
+        // `fun` on a later line legitimizes an earlier offset.
+        let p = parse_program("a = *(b + 7)\nfun f 8\n").unwrap();
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn errors_carry_column_context() {
+        let err = parse_program("a = *(b + 9)\n").unwrap_err();
+        assert_eq!((err.line(), err.column()), (1, 5));
+        let err = parse_program("  fun f 1x\n").unwrap_err();
+        assert_eq!((err.line(), err.column()), (1, 9));
+        assert!(err.to_string().contains("col 9"), "{err}");
     }
 }

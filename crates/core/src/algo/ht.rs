@@ -82,11 +82,14 @@ pub(crate) fn ht<'o, P: PtsRepr>(
     }
 
     let mut bufs = QueryBufs::new(st.n);
+    // HT has no worklist, so edges implied by collapse reconciliation are
+    // re-derived by the next round's queries; the sink only absorbs them.
     let mut sink = Fifo::new(st.n);
     let mut round = 0u32;
     loop {
         round += 1;
         let edges_before = st.stats.edges_added;
+        let collapsed_before = st.stats.nodes_collapsed;
         for &(a, b, k) in &loads {
             // HT has no worklist; the cadence counts constraint resolutions
             // and reports the per-round pending count in its place.
@@ -141,7 +144,16 @@ pub(crate) fn ht<'o, P: PtsRepr>(
                 }
             }
         }
-        if st.stats.edges_added == edges_before {
+        // A round is quiescent only if it neither added an edge *nor*
+        // collapsed a node. HCD collapses can merge points-to facts into a
+        // node already finalized for this round without inserting any edge
+        // (`collapse_with` unions the sets in place), so stopping on the
+        // edge count alone would skip the re-query round that propagates
+        // them — dropping facts. Collapses are bounded by the node count,
+        // so this still terminates, and in a round with no new edges the
+        // queries find no new cycles, leaving HCD as the only collapser;
+        // once `hcd_done` catches up with the stable sets it goes quiet.
+        if st.stats.edges_added == edges_before && st.stats.nodes_collapsed == collapsed_before {
             break;
         }
     }

@@ -50,6 +50,16 @@
 //! most recent (re-)solve so warm-start latency is directly comparable to
 //! a from-scratch solve.
 
+// Resume guards (prefix fingerprint, algorithm gates) face session-driven
+// input; mismatches must degrade to typed errors and full re-solves, never
+// panic. The lints keep the audit from regressing.
+#![warn(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable
+)]
+
 use super::pkh03::{self, Order};
 use super::worklist_solvers::{basic_step, lcd_step, pkh_sweep};
 use super::{Algorithm, PropMode, SolveOutput, SolverConfig};
@@ -80,12 +90,16 @@ pub fn resume_supported(config: &SolverConfig, pts: PtsKind) -> bool {
 /// union program to verify it really extends the retained base — variable
 /// ids and constraint order must survive unchanged for the grafted state to
 /// mean anything.
-fn prefix_hash(program: &Program, vars: usize, constraints: usize) -> u64 {
+/// `None` when the program is shorter than the requested prefix — callers
+/// treat that as a fingerprint mismatch (typed error), never a panic.
+fn prefix_hash(program: &Program, vars: usize, constraints: usize) -> Option<u64> {
+    let prefix = program.constraints().get(..constraints)?;
+    let limits = program.offset_limits().get(..vars)?;
     let mut h = std::collections::hash_map::DefaultHasher::new();
     vars.hash(&mut h);
-    program.constraints()[..constraints].hash(&mut h);
-    program.offset_limits()[..vars].hash(&mut h);
-    h.finish()
+    prefix.hash(&mut h);
+    limits.hash(&mut h);
+    Some(h.finish())
 }
 
 /// A solver state plus the per-algorithm structures that must survive
@@ -194,7 +208,11 @@ fn seed<P: PtsRepr>(st: &mut OnlineState<'_, P>, wl: &mut dyn Worklist, delta: O
 /// same step bodies — so base solves report the same §5.3 counters as the
 /// plain entry points and resumes stay deterministic across
 /// representations, propagation modes and thread configurations.
-fn drive_core<P: PtsRepr>(core: &mut Core<'_, P>, config: &SolverConfig, delta: Option<&[VarId]>) {
+fn drive_core<P: PtsRepr>(
+    core: &mut Core<'_, P>,
+    config: &SolverConfig,
+    delta: Option<&[VarId]>,
+) -> Result<(), AntError> {
     match config.algorithm {
         Algorithm::Basic => {
             let mut wl = config.worklist.build(core.st.n);
@@ -250,8 +268,15 @@ fn drive_core<P: PtsRepr>(core: &mut Core<'_, P>, config: &SolverConfig, delta: 
             seed(&mut core.st, wl.as_mut(), delta);
             pkh03::drive(&mut core.st, order, wl.as_mut(), false);
         }
-        alg => unreachable!("{alg} is gated out by resume_supported"),
+        // Gated out by resume_supported; reported instead of panicking so a
+        // caller that skips the gate degrades to a typed error.
+        alg => {
+            return Err(AntError::solver(format!(
+                "internal: {alg} does not support resumable solves"
+            )))
+        }
     }
+    Ok(())
 }
 
 /// The retained-state counterpart of `algo::finish`: stamp `solve_time`,
@@ -286,7 +311,7 @@ fn base_solve<P: PtsRepr>(
     program: &Program,
     config: &SolverConfig,
     obs: Obs<'_>,
-) -> (SolveOutput, Core<'static, P>) {
+) -> Result<(SolveOutput, Core<'static, P>), AntError> {
     let mut obs = obs;
     obs.emit(&SolveEvent::SolverStart {
         name: config.algorithm.name(),
@@ -309,9 +334,9 @@ fn base_solve<P: PtsRepr>(
         triggered_epoch,
         order: None,
     };
-    drive_core(&mut core, config, None);
+    drive_core(&mut core, config, None)?;
     let out = finish_retained(&mut core, start, &mut timer);
-    (out, unbind(core))
+    Ok((out, unbind(core)))
 }
 
 fn make_state(
@@ -326,7 +351,11 @@ fn make_state(
         pts,
         base_vars: program.num_vars(),
         base_constraints: program.constraints().len(),
-        base_hash: prefix_hash(program, program.num_vars(), program.constraints().len()),
+        // The full-program prefix always hashes; `unwrap_or(0)` is a
+        // never-taken safety net (a 0 hash would simply fail the next
+        // resume's fingerprint check and fall back to a full solve).
+        base_hash: prefix_hash(program, program.num_vars(), program.constraints().len())
+            .unwrap_or(0),
     }
 }
 
@@ -347,18 +376,18 @@ pub fn solve_dyn_resumable(
     if !resume_supported(config, pts) {
         return (super::solve_dyn(program, config, pts), None);
     }
-    let (out, inner) = match pts {
-        PtsKind::Bitmap => {
-            let (out, core) = base_solve::<BitmapPts>(program, config, Obs::none());
-            (out, ResumableInner::Bitmap(core))
-        }
-        PtsKind::Shared => {
-            let (out, core) = base_solve::<SharedPts>(program, config, Obs::none());
-            (out, ResumableInner::Shared(core))
-        }
-        PtsKind::Bdd => unreachable!("gated by resume_supported"),
+    let solved = match pts {
+        PtsKind::Bitmap => base_solve::<BitmapPts>(program, config, Obs::none())
+            .map(|(out, core)| (out, ResumableInner::Bitmap(core))),
+        PtsKind::Shared => base_solve::<SharedPts>(program, config, Obs::none())
+            .map(|(out, core)| (out, ResumableInner::Shared(core))),
+        // Gated by resume_supported; degrade instead of panicking.
+        PtsKind::Bdd => Err(AntError::solver("internal: BDD is not resumable")),
     };
-    (out, Some(make_state(inner, config, pts, program)))
+    match solved {
+        Ok((out, inner)) => (out, Some(make_state(inner, config, pts, program))),
+        Err(_) => (super::solve_dyn(program, config, pts), None),
+    }
 }
 
 /// [`solve_dyn_resumable`] with telemetry (see
@@ -375,19 +404,27 @@ pub fn solve_dyn_resumable_with_observer(
             None,
         );
     }
-    let obs = Obs::new(observer, config.progress_every);
-    let (out, inner) = match pts {
+    let solved = match pts {
         PtsKind::Bitmap => {
-            let (out, core) = base_solve::<BitmapPts>(program, config, obs);
-            (out, ResumableInner::Bitmap(core))
+            let obs = Obs::new(&mut *observer, config.progress_every);
+            base_solve::<BitmapPts>(program, config, obs)
+                .map(|(out, core)| (out, ResumableInner::Bitmap(core)))
         }
         PtsKind::Shared => {
-            let (out, core) = base_solve::<SharedPts>(program, config, obs);
-            (out, ResumableInner::Shared(core))
+            let obs = Obs::new(&mut *observer, config.progress_every);
+            base_solve::<SharedPts>(program, config, obs)
+                .map(|(out, core)| (out, ResumableInner::Shared(core)))
         }
-        PtsKind::Bdd => unreachable!("gated by resume_supported"),
+        // Gated by resume_supported; degrade instead of panicking.
+        PtsKind::Bdd => Err(AntError::solver("internal: BDD is not resumable")),
     };
-    (out, Some(make_state(inner, config, pts, program)))
+    match solved {
+        Ok((out, inner)) => (out, Some(make_state(inner, config, pts, program))),
+        Err(_) => (
+            super::solve_dyn_with_observer(program, config, pts, observer),
+            None,
+        ),
+    }
 }
 
 fn resume_core<P: PtsRepr>(
@@ -396,7 +433,7 @@ fn resume_core<P: PtsRepr>(
     config: &SolverConfig,
     base_constraints: usize,
     obs: Obs<'_>,
-) -> (SolveOutput, Core<'static, P>) {
+) -> Result<(SolveOutput, Core<'static, P>), AntError> {
     let mut obs = obs;
     obs.emit(&SolveEvent::SolverStart {
         name: config.algorithm.name(),
@@ -415,9 +452,9 @@ fn resume_core<P: PtsRepr>(
         order: core.order,
     };
     let seeds = core.st.apply_delta(union, base_constraints);
-    drive_core(&mut core, config, Some(&seeds));
+    drive_core(&mut core, config, Some(&seeds))?;
     let out = finish_retained(&mut core, start, &mut timer);
-    (out, unbind(core))
+    Ok((out, unbind(core)))
 }
 
 fn resume_impl(
@@ -435,7 +472,7 @@ fn resume_impl(
             union.constraints().len(),
         )));
     }
-    if prefix_hash(union, state.base_vars, state.base_constraints) != state.base_hash {
+    if prefix_hash(union, state.base_vars, state.base_constraints) != Some(state.base_hash) {
         return Err(AntError::solver(
             "resume requires a program extending the retained base \
              (prefix fingerprint mismatch: variables or constraints of the \
@@ -446,11 +483,11 @@ fn resume_impl(
     let pts = state.pts;
     let (out, inner) = match state.inner {
         ResumableInner::Bitmap(core) => {
-            let (out, core) = resume_core(core, union, &config, state.base_constraints, obs);
+            let (out, core) = resume_core(core, union, &config, state.base_constraints, obs)?;
             (out, ResumableInner::Bitmap(core))
         }
         ResumableInner::Shared(core) => {
-            let (out, core) = resume_core(core, union, &config, state.base_constraints, obs);
+            let (out, core) = resume_core(core, union, &config, state.base_constraints, obs)?;
             (out, ResumableInner::Shared(core))
         }
     };
@@ -491,6 +528,7 @@ pub fn resume_dyn_with_observer(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::solve_dyn;

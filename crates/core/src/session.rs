@@ -34,6 +34,17 @@
 //! [`SolutionMapping`]: ant_constraints::pipeline::SolutionMapping
 //! [`SolutionMapping::resolve`]: ant_constraints::pipeline::SolutionMapping::resolve
 
+// This module faces untrusted request streams: every failure must become a
+// typed error envelope, never a panic. The fuzz harness (`ant_bench::fuzz`)
+// drives adversarial streams through it; the lints keep the audit from
+// regressing.
+#![warn(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable
+)]
+
 use crate::provenance::Explainer;
 use crate::{
     resume_dyn, resume_supported, solve_dyn_resumable, solve_prepared_raw,
@@ -339,7 +350,14 @@ impl SessionView<'_> {
                 o.uint_field("rep_id", self.mapping.rep_of(v).as_u32() as u64);
                 o.bool_field("merged", self.mapping.was_merged(v));
             }
-            _ => unreachable!("answer() only serves read-only ops"),
+            other => {
+                // Only read-only ops are routed here; anything else is an
+                // internal dispatch bug, reported instead of panicking.
+                return Err(AntError::solver(format!(
+                    "internal: op `{}` routed to the read-only answer path",
+                    other.name()
+                )));
+            }
         }
         Ok(o)
     }
@@ -452,7 +470,7 @@ impl AnalysisSession {
         let base_key = loaded.key;
         let key = self.content_key(&union);
         let pipeline = PassPipeline::parse(&self.opts.passes)?;
-        let loaded = self.loaded.as_ref().expect("checked above");
+        let loaded = self.loaded()?;
         // The delta pipeline lane: when every pass is delta-stable
         // (normalize-only), the union's prepared program extends the base's
         // — the precondition for resuming the retained state.
@@ -473,14 +491,16 @@ impl AnalysisSession {
                 && self.retains_state()
                 && self.retained.as_ref().is_some_and(|(k, _)| *k == base_key)
             {
-                let (_, state) = self.retained.take().expect("checked above");
-                // A failed resume (panic or typed mismatch) falls back to
-                // the from-scratch solve below; the state is spent either
-                // way.
-                if let Ok(Ok((output, state))) = run_solver(|| resume_dyn(state, &prepared.program))
-                {
-                    resumed = true;
-                    solved = Some((CachedSolve { output, prov: None }, Some(state)));
+                if let Some((_, state)) = self.retained.take() {
+                    // A failed resume (panic or typed mismatch) falls back
+                    // to the from-scratch solve below; the state is spent
+                    // either way.
+                    if let Ok(Ok((output, state))) =
+                        run_solver(|| resume_dyn(state, &prepared.program))
+                    {
+                        resumed = true;
+                        solved = Some((CachedSolve { output, prov: None }, Some(state)));
+                    }
                 }
             }
             let (cached, state) = match solved {
@@ -595,7 +615,7 @@ impl AnalysisSession {
             return Ok(());
         }
         self.cache_misses += 1;
-        let loaded = self.loaded.as_ref().expect("checked above");
+        let loaded = self.loaded()?;
         let retains = self.retains_state();
         let (opts, prepared) = (&self.opts, &loaded.prepared);
         let (solved, state) = run_solver(|| {
@@ -639,19 +659,23 @@ impl AnalysisSession {
         self.cache_order.push(key);
     }
 
-    fn active_solve(&self) -> &CachedSolve {
-        let key = self.active.expect("ensure_solved ran");
-        self.cache.get(&key).expect("active solve is cached")
+    fn active_solve(&self) -> Result<&CachedSolve, AntError> {
+        let key = self.active.ok_or_else(|| {
+            AntError::solver("internal: no active solve (ensure_solved did not run)")
+        })?;
+        self.cache
+            .get(&key)
+            .ok_or_else(|| AntError::solver("internal: active solve evicted from the cache"))
     }
 
-    fn view(&self) -> SessionView<'_> {
-        let loaded = self.loaded.as_ref().expect("ensure_solved ran");
-        SessionView {
+    fn view(&self) -> Result<SessionView<'_>, AntError> {
+        let loaded = self.loaded()?;
+        Ok(SessionView {
             program: &loaded.program,
             mapping: &loaded.prepared.mapping,
             names: &loaded.names,
-            solution: &self.active_solve().output.solution,
-        }
+            solution: &self.active_solve()?.output.solution,
+        })
     }
 
     /// Executes one parsed op, mutating the session as needed.
@@ -659,11 +683,11 @@ impl AnalysisSession {
         match op {
             Op::PointsTo { .. } | Op::MayAlias { .. } | Op::Resolve { .. } => {
                 self.ensure_solved()?;
-                Ok(Payload::Fields(self.view().answer(op)?))
+                Ok(Payload::Fields(self.view()?.answer(op)?))
             }
             Op::Explain { var, loc } => {
                 self.ensure_solved()?;
-                let loaded = self.loaded.as_ref().expect("ensure_solved ran");
+                let loaded = self.loaded()?;
                 let names = &loaded.names;
                 let named = |name: &str| -> Result<VarId, AntError> {
                     names.get(name).copied().ok_or_else(|| {
@@ -674,7 +698,7 @@ impl AnalysisSession {
                     })
                 };
                 let (v, l) = (named(var)?, named(loc)?);
-                let solve = self.active_solve();
+                let solve = self.active_solve()?;
                 let prov = solve.prov.as_ref().ok_or_else(|| {
                     AntError::query(
                         QueryErrorKind::NoProvenance,
@@ -722,8 +746,7 @@ impl AnalysisSession {
                         loaded.prepared.program.constraints().len() as u64,
                     );
                 }
-                if let Some(key) = self.active {
-                    let solve = self.cache.get(&key).expect("active solve is cached");
+                if let Some(solve) = self.active.and_then(|key| self.cache.get(&key)) {
                     o.uint_field(
                         "total_pts_size",
                         solve.output.solution.total_pts_size() as u64,
@@ -742,7 +765,7 @@ impl AnalysisSession {
                 o.uint_field("vars", program.num_vars() as u64);
                 o.uint_field("constraints", program.constraints().len() as u64);
                 self.load_program(program)?;
-                let key = self.loaded.as_ref().expect("just loaded").key;
+                let key = self.loaded()?.key;
                 o.str_field("key", &format!("{key:016x}"));
                 o.bool_field("cache_hit", self.cache.contains_key(&key));
                 // Loads are lazy; only `add` re-enters a retained state.
@@ -755,6 +778,23 @@ impl AnalysisSession {
                 Ok(Payload::Fields(self.add_program(addition)?))
             }
             Op::Shutdown => Ok(Payload::Shutdown),
+        }
+    }
+
+    /// Renders a transport-level failure — an over-long request line or
+    /// invalid UTF-8 from [`read_request_line`] — as a `malformed` error
+    /// envelope, counting it like any other failed request. The serve loop
+    /// answers these and keeps the connection; only genuine I/O errors end
+    /// it.
+    pub fn transport_error_reply(&mut self, e: &AntError) -> Reply {
+        self.requests += 1;
+        self.errors += 1;
+        Reply {
+            json: envelope(None, None, Err(e), 0),
+            op: "malformed",
+            ok: false,
+            micros: 0,
+            shutdown: false,
         }
     }
 
@@ -831,7 +871,21 @@ impl AnalysisSession {
 
     /// Fans a batch of read-only requests out over scoped threads.
     fn run_batch(&mut self, batch: Vec<(Instant, Result<Request, AntError>)>) -> Vec<Reply> {
-        let view = self.view();
+        let view = match self.view() {
+            Ok(v) => v,
+            Err(e) => {
+                // Batches only form against a solved session, so this is an
+                // internal inconsistency — answer every request with the
+                // typed error rather than panicking.
+                let replies: Vec<Reply> = batch
+                    .iter()
+                    .map(|(start, req)| reply_for_error(req, &e, *start))
+                    .collect();
+                self.requests += replies.len() as u64;
+                self.errors += replies.len() as u64;
+                return replies;
+            }
+        };
         let deadline = self.opts.deadline_ms;
         let workers = self
             .opts
@@ -876,8 +930,20 @@ impl AnalysisSession {
                         })
                     })
                     .collect();
-                for h in handles {
-                    out.push(h.join().expect("query worker panicked"));
+                for (part, h) in batch.chunks(chunk).zip(handles) {
+                    match h.join() {
+                        Ok(replies) => out.push(replies),
+                        Err(_) => {
+                            // A worker panicked: its whole chunk gets typed
+                            // solver-error envelopes; the session survives.
+                            let e = AntError::solver("query worker panicked; request not answered");
+                            out.push(
+                                part.iter()
+                                    .map(|(start, req)| reply_for_error(req, &e, *start))
+                                    .collect(),
+                            );
+                        }
+                    }
                 }
             });
             out.into_iter().flatten().collect()
@@ -905,6 +971,72 @@ impl AnalysisSession {
 
 fn elapsed_micros(start: Instant) -> u64 {
     start.elapsed().as_micros() as u64
+}
+
+/// Default cap on one JSONL request line (1 MiB). A client that streams an
+/// unterminated line would otherwise grow the buffer without bound.
+pub const MAX_REQUEST_LINE: usize = 1 << 20;
+
+/// Reads one request line from `reader` under transport limits, without
+/// assuming the stream is UTF-8.
+///
+/// Returns `None` at a clean EOF, `Some(Ok(line))` for a complete line
+/// (trailing `\n`/`\r\n` stripped), and `Some(Err(_))` with:
+///
+/// * [`QueryErrorKind::MalformedRequest`] when the line exceeds `cap` bytes
+///   (the rest of the oversized line is drained so the next request starts
+///   clean) or is not valid UTF-8 — answer with an envelope and keep
+///   reading;
+/// * [`AntErrorKind::Io`](ant_common::AntErrorKind::Io) when the underlying
+///   read fails — the connection is gone, stop serving it.
+pub fn read_request_line(
+    reader: &mut impl std::io::BufRead,
+    cap: usize,
+) -> Option<Result<String, AntError>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Some(Err(AntError::io(format!("read failed: {e}")))),
+        };
+        if chunk.is_empty() {
+            // EOF. A partial unterminated line still gets answered.
+            if buf.is_empty() && !overflowed {
+                return None;
+            }
+            break;
+        }
+        let (part, terminated) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos, true),
+            None => (chunk.len(), false),
+        };
+        if !overflowed {
+            if buf.len() + part > cap {
+                overflowed = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(&chunk[..part]);
+            }
+        }
+        reader.consume(part + usize::from(terminated));
+        if terminated {
+            break;
+        }
+    }
+    if overflowed {
+        return Some(Err(malformed(format!("request line exceeds {cap} bytes"))));
+    }
+    match String::from_utf8(buf) {
+        Ok(mut s) => {
+            if s.ends_with('\r') {
+                s.pop();
+            }
+            Some(Ok(s))
+        }
+        Err(_) => Some(Err(malformed("request line is not valid UTF-8"))),
+    }
 }
 
 /// Runs a solve under `catch_unwind`, converting panics into typed solver
@@ -935,7 +1067,32 @@ fn read_source(path: &Option<String>, text: &Option<String>) -> Result<String, A
             std::fs::read_to_string(path)
                 .map_err(|e| AntError::io(format!("cannot read {path}: {e}")))
         }
-        (None, None) => unreachable!("parse_request requires path or text"),
+        // parse_request rejects this shape, but read_source stays total: a
+        // future caller skipping that check gets a typed error, not a panic.
+        (None, None) => Err(malformed("op needs a `path` or `text` field")),
+    }
+}
+
+/// Answers a request with `fallback` — an internal failure that pre-empted
+/// the normal answer path — preserving the request's id/op echo.
+/// Unparseable requests keep their own parse error.
+fn reply_for_error(req: &Result<Request, AntError>, fallback: &AntError, start: Instant) -> Reply {
+    let micros = elapsed_micros(start);
+    match req {
+        Ok(r) => Reply {
+            json: envelope(r.id.as_ref(), Some(r.op.name()), Err(fallback), micros),
+            op: r.op.name(),
+            ok: false,
+            micros,
+            shutdown: false,
+        },
+        Err(e) => Reply {
+            json: envelope(None, None, Err(e), micros),
+            op: "malformed",
+            ok: false,
+            micros,
+            shutdown: false,
+        },
     }
 }
 
@@ -1017,6 +1174,7 @@ fn envelope(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::Algorithm;
@@ -1259,6 +1417,78 @@ mod tests {
         assert_eq!(field(&m, "error").as_str(), Some("malformed_request"));
         // The session survives and still answers.
         assert!(s.handle_line(r#"{"op":"points_to","var":"p"}"#).ok);
+    }
+
+    #[test]
+    fn read_request_line_strips_newlines_and_reports_eof() {
+        let mut r = std::io::Cursor::new(b"{\"op\":\"stats\"}\nnext\r\nlast".to_vec());
+        assert_eq!(
+            read_request_line(&mut r, MAX_REQUEST_LINE)
+                .unwrap()
+                .unwrap(),
+            "{\"op\":\"stats\"}"
+        );
+        assert_eq!(
+            read_request_line(&mut r, MAX_REQUEST_LINE)
+                .unwrap()
+                .unwrap(),
+            "next"
+        );
+        // No trailing newline (mid-request disconnect): the partial line is
+        // still delivered, then EOF.
+        assert_eq!(
+            read_request_line(&mut r, MAX_REQUEST_LINE)
+                .unwrap()
+                .unwrap(),
+            "last"
+        );
+        assert!(read_request_line(&mut r, MAX_REQUEST_LINE).is_none());
+    }
+
+    #[test]
+    fn read_request_line_caps_length_and_resynchronizes() {
+        let mut input = vec![b'x'; 300];
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        let mut r = std::io::Cursor::new(input);
+        let err = read_request_line(&mut r, 64).unwrap().unwrap_err();
+        assert_eq!(
+            err.kind(),
+            ant_common::AntErrorKind::Query(QueryErrorKind::MalformedRequest)
+        );
+        assert!(err.message().contains("exceeds 64 bytes"), "{err}");
+        // The oversized line was drained: the stream resynchronizes.
+        assert_eq!(read_request_line(&mut r, 64).unwrap().unwrap(), "ok");
+    }
+
+    #[test]
+    fn read_request_line_reports_invalid_utf8_without_killing_the_stream() {
+        let mut input = b"\xff\xfe{broken\n".to_vec();
+        input.extend_from_slice(b"{\"op\":\"stats\"}\n");
+        let mut r = std::io::Cursor::new(input);
+        let err = read_request_line(&mut r, MAX_REQUEST_LINE)
+            .unwrap()
+            .unwrap_err();
+        assert!(err.message().contains("UTF-8"), "{err}");
+        assert_eq!(
+            read_request_line(&mut r, MAX_REQUEST_LINE)
+                .unwrap()
+                .unwrap(),
+            "{\"op\":\"stats\"}"
+        );
+    }
+
+    #[test]
+    fn transport_errors_become_malformed_envelopes_and_count() {
+        let mut s = loaded_session(opts());
+        let e = malformed("request line exceeds 4 bytes");
+        let r = s.transport_error_reply(&e);
+        assert!(!r.ok);
+        let m = parse_object(&r.json).unwrap();
+        assert_eq!(field(&m, "error").as_str(), Some("malformed_request"));
+        let m = parse_object(&s.handle_line(r#"{"op":"stats"}"#).json).unwrap();
+        assert_eq!(field(&m, "errors").as_u64(), Some(1));
+        assert_eq!(field(&m, "requests").as_u64(), Some(2));
     }
 
     /// Chained adds keep resuming: each re-keys the retained slot to the

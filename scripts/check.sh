@@ -50,6 +50,17 @@ echo "$serve_out" | grep -q '"error":"malformed_request"' \
 echo "$serve_out" | grep -q '"ok":true.*"op":"add"' \
   || { echo "serve smoke: incremental add not answered"; echo "$serve_out"; exit 1; }
 
+echo "==> fuzz smoke (fixed seed, FUZZ_ITERS=${FUZZ_ITERS:-500} programs + request streams)"
+# Deterministic structure-aware fuzzing of parse/solve/serve (DESIGN.md §15).
+# Exit 1 means the harness pinned a *new* reproducer under testdata/fuzz/ —
+# inspect it, fix the crash/mismatch, and commit the entry with the fix.
+FUZZ_ITERS="${FUZZ_ITERS:-500}" \
+  cargo run --release -q -p ant-bench --bin fuzz_harness -- --seed 2599 \
+  || { echo "fuzz smoke: new findings pinned in testdata/fuzz/ (see above)"; exit 1; }
+
+echo "==> fuzz regression corpus replay"
+cargo test --release --test fuzz_regressions -q
+
 echo "==> provenance-overhead gate (recorder-off within 2% of the seed path)"
 ANT_SCALE="${ANT_GATE_SCALE:-0.01}" ANT_BENCH_REPEATS="${ANT_GATE_REPEATS:-7}" \
   cargo run --release -q -p ant-bench --bin obs_bench -- --gate

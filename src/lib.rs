@@ -56,7 +56,9 @@ pub use ant_constraints::{
     parse_program, Constraint, ConstraintKind, Program, ProgramBuilder, ProgramDelta,
 };
 pub use ant_core::provenance::{EdgeExplanation, EdgeOrigin, Explainer, Step};
-pub use ant_core::session::{AnalysisSession, Reply, SessionOptions};
+pub use ant_core::session::{
+    read_request_line, AnalysisSession, Reply, SessionOptions, MAX_REQUEST_LINE,
+};
 pub use ant_core::{
     resume_dyn, resume_dyn_with_observer, resume_supported, solve_dyn, solve_dyn_recorded,
     solve_dyn_resumable, solve_dyn_resumable_with_observer, solve_dyn_with_observer,

@@ -1,0 +1,92 @@
+//! Replays the fuzz regression corpus (`testdata/fuzz/`) on every test
+//! run, so any input that ever panicked a layer, wedged the serve loop,
+//! or produced a differential mismatch stays fixed forever.
+//!
+//! Program entries (`*.consts`) run the full oracle: UTF-8 decode →
+//! parse (panic-free) → validate agreement → differential solving under
+//! the fixed matrix {Basic, LCD, PKH} × {bitmap, shared} plus
+//! LCD+HCD × {bitmap, shared} with the full pass pipeline, each solution
+//! required to be bit-identical to the Basic/bitmap reference. Request
+//! entries (`*.reqs`) drive a fresh `AnalysisSession` through the capped
+//! transport reader exactly like `ant serve`, asserting every reply is a
+//! well-formed envelope and nothing panics.
+//!
+//! The harness (`cargo run --release -p ant-bench --bin fuzz_harness`)
+//! both discovers new entries and re-seeds the historical ones; this test
+//! seeds them too so a fresh checkout replays the full set.
+
+use ant_bench::fuzz;
+use std::path::Path;
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/fuzz"))
+}
+
+#[test]
+fn corpus_is_seeded_with_the_historical_crashers() {
+    // Idempotent: only writes entries that are missing.
+    fuzz::seed_corpus(corpus_dir()).expect("seed corpus");
+    let programs = fuzz::corpus_entries(corpus_dir(), fuzz::PROGRAM_EXT).expect("list programs");
+    let requests = fuzz::corpus_entries(corpus_dir(), fuzz::REQUEST_EXT).expect("list requests");
+    assert!(
+        programs.len() >= 4,
+        "expected the pinned program crashers, found {programs:?}"
+    );
+    assert!(
+        requests.len() >= 2,
+        "expected the pinned request-stream crashers, found {requests:?}"
+    );
+}
+
+#[test]
+fn every_program_entry_replays_clean() {
+    fuzz::seed_corpus(corpus_dir()).expect("seed corpus");
+    let entries = fuzz::corpus_entries(corpus_dir(), fuzz::PROGRAM_EXT).expect("list corpus");
+    assert!(!entries.is_empty(), "program corpus must not be empty");
+    for path in entries {
+        let bytes = std::fs::read(&path).expect("read corpus entry");
+        if let Err(finding) = fuzz::replay_program_entry(&bytes) {
+            panic!("{} regressed: {finding}", path.display());
+        }
+    }
+}
+
+#[test]
+fn every_request_entry_replays_clean() {
+    fuzz::seed_corpus(corpus_dir()).expect("seed corpus");
+    let entries = fuzz::corpus_entries(corpus_dir(), fuzz::REQUEST_EXT).expect("list corpus");
+    assert!(!entries.is_empty(), "request corpus must not be empty");
+    for path in entries {
+        let bytes = std::fs::read(&path).expect("read corpus entry");
+        if let Err(finding) = fuzz::replay_request_entry(&bytes) {
+            panic!("{} regressed: {finding}", path.display());
+        }
+    }
+}
+
+/// The two `diff-mismatch` entries pinned by the harness reproduce the
+/// conditional-cycle HCD pairing bug (a ref node paired off an offline
+/// SCC whose cycle ran through a second, empty ref node). Assert they
+/// are present and still covered by an HCD configuration in the matrix.
+#[test]
+fn hcd_mismatch_reproducers_are_pinned_and_guarded() {
+    let entries = fuzz::corpus_entries(corpus_dir(), fuzz::PROGRAM_EXT).expect("list corpus");
+    let mismatches: Vec<_> = entries
+        .iter()
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("diff-mismatch-"))
+        })
+        .collect();
+    assert!(
+        !mismatches.is_empty(),
+        "the HCD mismatch reproducers must stay pinned"
+    );
+    assert!(
+        fuzz::REPLAY_MATRIX
+            .iter()
+            .any(|alt| alt.passes.contains("hcd")),
+        "replay matrix must keep an HCD configuration to guard them"
+    );
+}
